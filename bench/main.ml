@@ -1,0 +1,732 @@
+(** Benchmark and reproduction harness.
+
+    One section per table/figure of the paper (see DESIGN.md's
+    per-experiment index and EXPERIMENTS.md for the recorded outcomes):
+    each section regenerates its artifact — inclusion relations,
+    chase statistics, translation sizes, capture results — and prints the
+    rows. A final Bechamel pass micro-times one representative operation
+    per experiment.
+
+    Usage: dune exec bench/main.exe [-- SECTION...]
+    Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup micro *)
+
+open Guarded_core
+module Engine = Guarded_chase.Engine
+module Tree = Guarded_chase.Tree
+module Seminaive = Guarded_datalog.Seminaive
+module Saturate = Guarded_translate.Saturate
+module Rewrite_fg = Guarded_translate.Rewrite_fg
+module Annotate = Guarded_translate.Annotate
+module Pipeline = Guarded_translate.Pipeline
+module Capture = Guarded_capture
+
+(* ------------------------------------------------------------------ *)
+(* Small table printer                                                 *)
+
+let section id title =
+  Fmt.pr "@.=== %s — %s ===@." (String.uppercase_ascii id) title
+
+let table header rows =
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    Fmt.pr "| %s |@."
+      (String.concat " | " (List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths row))
+  in
+  print_row header;
+  Fmt.pr "|%s|@."
+    (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter print_row rows
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let ms t = Fmt.str "%.1fms" (t *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+
+(* The running example scaled to a chain of [n] publications citing the
+   next one, sharing an author pairwise, with a scientific seed topic. *)
+let publications_db n =
+  let db = Database.create () in
+  let add text = ignore (Database.add db (Parser.atom_of_string text)) in
+  for i = 1 to n do
+    add (Fmt.str "publication(p%d)" i);
+    add (Fmt.str "hasAuthor(p%d, auth%d)" i i);
+    if i < n then begin
+      add (Fmt.str "citedIn(p%d, p%d)" i (i + 1));
+      add (Fmt.str "hasAuthor(p%d, auth%d)" (i + 1) i)
+    end
+  done;
+  add (Fmt.str "hasTopic(p%d, seed)" n);
+  add "scientific(seed)";
+  db
+
+let publications_theory () = Parser.theory_of_string Workloads.publications_text
+let small_fg_theory () = Parser.theory_of_string Workloads.small_fg_text
+
+(* A guarded "genealogy" family with a growing Datalog layer. *)
+let guarded_family width =
+  let rules =
+    [
+      "person(X) -> exists Y. parent(X, Y).";
+      "parent(X, Y) -> person(Y).";
+      "parent(X, Y) -> ancestor(X, Y).";
+    ]
+    @ List.init width (fun i ->
+          Fmt.str "ancestor(X, Y), tag%d(X) -> tagged%d(Y)." i i)
+    @ List.init width (fun i -> Fmt.str "tagged%d(X) -> anyTagged(X)." i)
+  in
+  Parser.theory_of_string (String.concat "\n" rules)
+
+(* The frontier-guarded family of Thm 1's sweep: a non-guarded Datalog
+   rule with [m] body atoms over existential values. *)
+let fg_family m =
+  let body =
+    String.concat ", " (List.init m (fun i -> Fmt.str "hasTopic(X%d, Z)" i))
+  in
+  Parser.theory_of_string
+    (Fmt.str
+       {|
+     publication(X) -> exists K1, K2. keywords(X, K1, K2).
+     keywords(X, K1, K2) -> hasTopic(X, K1).
+     %s -> shared(Z).
+     shared(Z), hasTopic(X0, Z), hasAuthor(X0, A) -> q(A).
+   |}
+       body)
+
+let fg_family_db () =
+  Parser.database_of_string
+    {|
+  publication(p1). publication(p2).
+  hasAuthor(p1, a1). hasAuthor(p2, a2).
+  hasTopic(p1, t). hasTopic(p2, t).
+|}
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: the inclusion diagram, regenerated                            *)
+
+let fig1 () =
+  section "fig1" "Figure 1: semantic relations between the languages";
+  let theories =
+    [
+      ("transitive closure", Parser.theory_of_string "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z).");
+      ("Example 7 (guarded)", Parser.theory_of_string Workloads.example7_text);
+      ("running example Σp", publications_theory ());
+      ("small FG ontology", small_fg_theory ());
+      ("WFG witness", Parser.theory_of_string Workloads.wfg_text);
+      ("WG witness", Parser.theory_of_string Workloads.wg_text);
+    ]
+  in
+  table
+    [ "theory"; "classified"; "G"; "FG"; "NG"; "NFG"; "WG"; "WFG" ]
+    (List.map
+       (fun (name, sigma) ->
+         let b f = if f sigma then "yes" else "-" in
+         [
+           name;
+           Classify.language_name (Classify.classify sigma);
+           b Classify.is_guarded;
+           b Classify.is_frontier_guarded;
+           b Classify.is_nearly_guarded;
+           b Classify.is_nearly_frontier_guarded;
+           b Classify.is_weakly_guarded;
+           b Classify.is_weakly_frontier_guarded;
+         ])
+       theories);
+  (* The translation edges of the figure, executed: *)
+  Fmt.pr "@.edges (executed translations):@.";
+  let norm = Normalize.normalize (small_fg_theory ()) in
+  let ng, _ = Rewrite_fg.rew_frontier_guarded ~max_rules:50_000 norm in
+  Fmt.pr "  FG -> NG   (Thm 1): %d -> %d rules, nearly guarded: %b@." (Theory.size norm)
+    (Theory.size ng) (Classify.is_nearly_guarded ng);
+  let dat, _ = Saturate.dat_nearly_guarded ~max_rules:50_000 ng in
+  Fmt.pr "  NG -> DLog (Thm 3 + Prop 6): %d -> %d rules, datalog: %b@." (Theory.size ng)
+    (Theory.size dat) (Theory.is_datalog dat);
+  let wfg = Normalize.normalize (Parser.theory_of_string Workloads.wfg_text) in
+  let wg = Annotate.rew_weakly_frontier_guarded ~max_rules:50_000 wfg in
+  Fmt.pr "  WFG -> WG  (Thm 2): %d -> %d rules, weakly guarded: %b@." (Theory.size wfg)
+    (Theory.size wg.Annotate.theory)
+    (Classify.is_weakly_guarded wg.Annotate.theory);
+  Fmt.pr "@.non-edges (separations):@.";
+  Fmt.pr "  Datalog not in FG: the tc rule is not frontier-guarded: %b@."
+    (not
+       (Classify.is_frontier_guarded_rule
+          (Parser.rule_of_string "tc(X, Y), e(Y, Z) -> tc(X, Z).")));
+  (match Pipeline.to_datalog (Parser.theory_of_string Workloads.wg_text) with
+  | exception Pipeline.Not_datalog_expressible l ->
+    Fmt.pr "  WG not in Datalog: pipeline refuses (%s, ExpTime-complete data complexity)@."
+      (Classify.language_name l)
+  | _ -> Fmt.pr "  WG not in Datalog: UNEXPECTEDLY TRANSLATED@.")
+
+(* ------------------------------------------------------------------ *)
+(* FIG2: the running example's chase, scaled                           *)
+
+let fig2 () =
+  section "fig2" "Figure 2: chase of the publication example (scaled)";
+  let sigma = publications_theory () in
+  let norm = Normalize.normalize sigma in
+  let rows =
+    List.map
+      (fun n ->
+        let db = publications_db n in
+        let (res : Engine.result), t = time (fun () -> Engine.run norm db) in
+        let tree = Tree.build norm db res in
+        let ok = match Tree.verify tree norm db with Ok () -> "ok" | Error _ -> "VIOLATED" in
+        let answers, _ = Engine.answers norm db ~query:"q" in
+        [
+          string_of_int n;
+          string_of_int (Database.cardinal db);
+          string_of_int res.Engine.derivations;
+          string_of_int (Database.cardinal res.Engine.db);
+          string_of_int (List.length answers);
+          string_of_int (Tree.node_count tree);
+          string_of_int (Tree.width tree);
+          ok;
+          ms t;
+        ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  table
+    [ "n pubs"; "|D|"; "derivations"; "|chase|"; "answers"; "tree nodes"; "width"; "P1-P3"; "time" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* FIG3: the inference rules of Figure 3 on Example 7                  *)
+
+let fig3 () =
+  section "fig3" "Figure 3 / Example 7: the saturation calculus";
+  let sigma = Parser.theory_of_string Workloads.example7_text in
+  let (xi, stats), t = time (fun () -> Saturate.closure ~max_rules:10_000 sigma) in
+  Fmt.pr "Ξ(Σ): %d rules (%d Datalog) from %d input rules (%s)@." stats.Saturate.closure_rules
+    stats.Saturate.datalog_rules stats.Saturate.input_rules (ms t);
+  let sigma12 = Rule.canonicalize (Parser.rule_of_string "a(X), c(X) -> d(X).") in
+  let derived =
+    List.exists
+      (fun r -> Rule.to_string (Rule.canonicalize r) = Rule.to_string sigma12)
+      (Theory.rules xi)
+  in
+  Fmt.pr "σ12 = A(x) ∧ C(x) → D(x) derived: %b@." derived;
+  let dat, _ = Saturate.dat_via_closure ~max_rules:10_000 sigma in
+  let db = Parser.database_of_string "a(k). c(k)." in
+  let answers = Seminaive.answers dat db ~query:"d" in
+  Fmt.pr "dat(Σ) alone answers D(c) over {A(c), C(c)}: %b@."
+    (answers = [ [ Term.Const "k" ] ]);
+  let dat2, st2 = Saturate.dat sigma in
+  Fmt.pr "consequence-driven dat: %d rules, %d objects, agrees: %b@." (Theory.size dat2)
+    st2.Saturate.resolutions
+    (Seminaive.answers dat2 db ~query:"d" = answers)
+
+(* ------------------------------------------------------------------ *)
+(* THM1: FG -> NG translation sweep                                    *)
+
+let thm1 () =
+  section "thm1" "Theorem 1: frontier-guarded -> nearly guarded";
+  let rows =
+    List.map
+      (fun m ->
+        let sigma = Normalize.normalize (fg_family m) in
+        let (ng, stats), t = time (fun () -> Rewrite_fg.rew_frontier_guarded ~max_rules:100_000 sigma) in
+        let db = fg_family_db () in
+        let expected, _ = Engine.answers sigma db ~query:"q" in
+        let db' = Database.copy db in
+        Database.materialize_acdom db';
+        let got, _ =
+          Engine.answers ~limits:{ max_derivations = 300_000; max_depth = None } ng db' ~query:"q"
+        in
+        [
+          string_of_int m;
+          string_of_int (Theory.size sigma);
+          string_of_int stats.Guarded_translate.Expansion.output_rules;
+          string_of_int stats.Guarded_translate.Expansion.aux_relations;
+          (if Classify.is_nearly_guarded ng then "yes" else "NO");
+          (if expected = got then "agree" else "MISMATCH");
+          ms t;
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  table
+    [ "body atoms"; "|Σ|"; "|rew(Σ)|"; "aux rels"; "nearly guarded"; "answers"; "time" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* THM2: WFG -> WG translation                                         *)
+
+let thm2 () =
+  section "thm2" "Theorem 2: weakly frontier-guarded -> weakly guarded";
+  let cases =
+    [ ("WFG witness", Workloads.wfg_text, "item(i1). item(i2). label(l1).", "tagged") ]
+  in
+  let rows =
+    List.map
+      (fun (name, text, db_text, query) ->
+        let sigma = Normalize.normalize (Parser.theory_of_string text) in
+        let r, t = time (fun () -> Annotate.rew_weakly_frontier_guarded ~max_rules:50_000 sigma) in
+        let db = Parser.database_of_string db_text in
+        let expected, _ = Engine.answers sigma db ~query in
+        let db' = Database.copy db in
+        Database.materialize_acdom db';
+        let got, _ =
+          Engine.answers ~limits:{ max_derivations = 100_000; max_depth = None }
+            r.Annotate.theory db' ~query
+        in
+        [
+          name;
+          string_of_int (Theory.size sigma);
+          string_of_int (Theory.size r.Annotate.theory);
+          (if Classify.is_weakly_guarded r.Annotate.theory then "yes" else "NO");
+          (if expected = got then "agree" else "MISMATCH");
+          ms t;
+        ])
+      cases
+  in
+  table [ "theory"; "|Σ|"; "|rew(Σ)|"; "weakly guarded"; "answers"; "time" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* THM3: guarded -> Datalog sweep                                      *)
+
+let thm3 () =
+  section "thm3" "Theorem 3 / Prop 6: (nearly) guarded -> Datalog";
+  let db =
+    Parser.database_of_string
+      "person(adam). tag0(adam). tag1(adam). tag2(adam). tag3(adam)."
+  in
+  let rows =
+    List.map
+      (fun width ->
+        let sigma = guarded_family width in
+        let (dat, stats), t = time (fun () -> Saturate.dat ~max_rules:100_000 sigma) in
+        let expected, outcome =
+          Engine.answers ~limits:{ max_derivations = 2_000; max_depth = Some 4 } sigma db
+            ~query:"anyTagged"
+        in
+        let got = Seminaive.answers dat db ~query:"anyTagged" in
+        let agree =
+          match outcome with
+          | Engine.Saturated -> if expected = got then "agree" else "MISMATCH"
+          | Engine.Bounded ->
+            if List.for_all (fun t' -> List.mem t' got) expected then "agree(bounded)"
+            else "MISMATCH"
+        in
+        [
+          string_of_int width;
+          string_of_int (Theory.size sigma);
+          string_of_int (Theory.size dat);
+          string_of_int stats.Saturate.resolutions;
+          agree;
+          ms t;
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  table [ "datalog layer"; "|Σ|"; "|dat(Σ)|"; "objects"; "answers"; "time" ] rows;
+  Fmt.pr
+    "@.(the object count grows with the subsets of side conditions: the paper's@.\
+     \ double-exponential worst case for Def. 19 is real; see the blow-up section)@."
+
+(* ------------------------------------------------------------------ *)
+(* SEC7: conjunctive query answering                                   *)
+
+let sec7 () =
+  section "sec7" "Section 7: conjunctive queries over enriched databases";
+  let sigma = small_fg_theory () in
+  let db = Parser.database_of_string Workloads.small_fg_db_text in
+  let queries =
+    [
+      "keywords(P, K1, K2), hasTopic(P, K1) -> q(P).";
+      "hasAuthor(P, A), scientific(T), hasTopic(P, T) -> q(A).";
+      "scientific(T) -> q().";
+    ]
+  in
+  let rows =
+    List.map
+      (fun text ->
+        let q, _ = Guarded_cq.Cq.of_string text in
+        let sort = List.sort_uniq (List.compare Term.compare) in
+        let answers, t = time (fun () -> Guarded_cq.Answer.certain_answers sigma q db) in
+        let via_chase, t2 = time (fun () -> fst (Guarded_cq.Answer.answers_via_chase sigma q db)) in
+        [
+          String.trim text;
+          string_of_int (List.length answers);
+          (if sort answers = sort via_chase then "agree" else "MISMATCH");
+          ms t;
+          ms t2;
+        ])
+      queries
+  in
+  table [ "conjunctive query"; "answers"; "vs chase"; "pipeline"; "chase" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* THM4: the TM simulation                                             *)
+
+let thm4 () =
+  section "thm4" "Theorem 4: weakly guarded rules capture ExpTime on strings";
+  let machines =
+    [
+      (Capture.Turing.parity_machine, [ [ "one"; "one" ]; [ "one"; "zero" ]; [ "zero" ] ]);
+      ( Capture.Turing.balanced_machine,
+        [ [ "zero"; "one" ]; [ "zero"; "zero"; "one"; "one" ]; [ "one"; "zero" ] ] );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (spec, words) ->
+        List.map
+          (fun word ->
+            let db, info = Capture.String_db.encode ~k:1 word in
+            let direct = Capture.Turing.accepts spec ~cells:info.Capture.String_db.cells word in
+            let (via, t) =
+              time (fun () ->
+                  match Capture.Tm_encode.accepts ~k:1 spec db with
+                  | Ok b -> b
+                  | Error m -> failwith m)
+            in
+            [
+              spec.Capture.Turing.sp_name;
+              "[" ^ String.concat ";" word ^ "]";
+              string_of_bool direct;
+              string_of_bool via;
+              (if direct = via then "agree" else "MISMATCH");
+              ms t;
+            ])
+          words)
+      machines
+  in
+  table [ "machine"; "word"; "direct"; "via chase"; "Thm 4"; "time" ] rows;
+  Fmt.pr "@.exponential-time witness (binary counter):@.";
+  let rows2 =
+    List.map
+      (fun n ->
+        let input = Capture.Turing.counter_input n in
+        let db, _ = Capture.String_db.encode ~k:1 input in
+        let direct = Capture.Turing.run Capture.Turing.counter_machine ~cells:(n + 2) input in
+        let (res : Engine.result), t =
+          time (fun () ->
+              Engine.run
+                ~limits:{ max_derivations = 1_000_000; max_depth = None }
+                (Capture.Tm_encode.theory ~k:1 Capture.Turing.counter_machine)
+                db)
+        in
+        [
+          string_of_int n;
+          string_of_int direct.Capture.Turing.steps;
+          string_of_int res.Engine.derivations;
+          string_of_bool (Database.mem res.Engine.db (Atom.make Capture.Tm_encode.accept []));
+          ms t;
+        ])
+      [ 2; 3; 4; 5; 6 ]
+  in
+  table [ "bits n"; "machine steps"; "chase derivations"; "accepts"; "time" ] rows2;
+  Fmt.pr "@.the cited PTime baseline (semipositive Datalog, no value invention):@.";
+  let rows3 =
+    List.map
+      (fun word ->
+        let db, info = Capture.String_db.encode ~k:1 word in
+        let direct =
+          Capture.Turing.accepts Capture.Turing.parity_machine
+            ~cells:info.Capture.String_db.cells word
+        in
+        let via, t =
+          time (fun () -> Capture.Ptime_encode.accepts ~time:2 Capture.Turing.parity_machine db)
+        in
+        [
+          "[" ^ String.concat ";" word ^ "]";
+          string_of_bool direct;
+          string_of_bool via;
+          (if direct = via then "agree" else "MISMATCH");
+          ms t;
+        ])
+      [ [ "one"; "one" ]; [ "one"; "zero"; "one" ]; [ "zero" ] ]
+  in
+  table [ "word"; "direct"; "via semipositive Datalog"; "PTime baseline"; "time" ] rows3
+
+(* ------------------------------------------------------------------ *)
+(* THM5: Σ_succ and the EVEN query                                     *)
+
+let thm5 () =
+  section "thm5" "Theorem 5: stratified weakly guarded rules capture ExpTime";
+  let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+  let rows =
+    List.map
+      (fun n ->
+        let db =
+          Database.of_atoms
+            (List.init n (fun i -> Atom.make "elem" [ Term.Const (Fmt.str "c%d" i) ]))
+        in
+        let (orders, _), t = time (fun () -> Capture.Succ_order.good_orders db) in
+        let even, t2 = time (fun () -> Capture.Succ_order.even_cardinality db) in
+        [
+          string_of_int n;
+          string_of_int (List.length orders);
+          string_of_int (fact n);
+          (if List.length orders = fact n then "ok" else "WRONG");
+          string_of_bool even;
+          ms t;
+          ms t2;
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  table [ "n"; "good orders"; "n!"; "Thm 5"; "evenCard"; "orders time"; "even time" ] rows;
+  Fmt.pr "@.Σ_code characteristic strings:@.";
+  let d = Parser.database_of_string "r(a). r(c). min(a). succ(a, b). succ(b, c). max(c)." in
+  let sdb = Capture.Sigma_code.encode ~rel:"r" ~arity:1 d in
+  Fmt.pr "  r = {a, c} over a<b<c  ->  %s@."
+    (String.concat ""
+       (List.map
+          (function "one" -> "1" | "zero" -> "0" | _ -> "_")
+          (Capture.String_db.decode ~k:1 sdb)))
+
+(* ------------------------------------------------------------------ *)
+(* BLOWUP: translation sizes against the stated bounds                 *)
+
+let blowup () =
+  section "blowup" "Section 6: translation blow-up (worst-case exponential)";
+  let rows =
+    List.map
+      (fun vars ->
+        (* a cycle rule with [vars] variables, frontier-guarded *)
+        let atoms =
+          String.concat ", "
+            (List.init vars (fun i -> Fmt.str "e(X%d, X%d)" i ((i + 1) mod vars)))
+        in
+        let sigma =
+          Parser.theory_of_string
+            (Fmt.str
+               {|
+           seed(X) -> exists Y. e(X, Y).
+           %s -> cyc(X0).
+         |}
+               atoms)
+        in
+        let norm = Normalize.normalize sigma in
+        match
+          time (fun () -> Rewrite_fg.rew_frontier_guarded ~max_rules:300_000 norm)
+        with
+        | (_, stats), t ->
+          [
+            string_of_int vars;
+            string_of_int (Theory.size norm);
+            string_of_int stats.Guarded_translate.Expansion.output_rules;
+            string_of_int stats.Guarded_translate.Expansion.aux_relations;
+            ms t;
+          ]
+        | exception Guarded_translate.Expansion.Budget_exceeded _ ->
+          [ string_of_int vars; string_of_int (Theory.size norm); ">300000"; "-"; "-" ])
+      [ 2; 3; 4; 5; 6; 7 ]
+  in
+  table [ "cycle length"; "|Σ|"; "|ex(Σ)|"; "aux rels"; "time" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* ABLATION: design choices called out in DESIGN.md                    *)
+
+let ablation () =
+  section "ablation" "ablations of the implementation's design choices";
+  (* 1. Guard enumeration: goal-directed (node relations) vs the
+     paper-literal "any relation of Σ". *)
+  Fmt.pr "guard enumeration in ex(Σ) (small FG ontology, then the running example):@.";
+  let ablate name sigma =
+    let norm = Normalize.normalize sigma in
+    let run guards =
+      match
+        time (fun () -> Guarded_translate.Expansion.expand ~max_rules:2_000_000 ~guards norm)
+      with
+      | (_, stats), t ->
+        (string_of_int stats.Guarded_translate.Expansion.output_rules, ms t)
+      | exception Guarded_translate.Expansion.Budget_exceeded _ -> (">2000000", "-")
+    in
+    let goal_rules, goal_time = run `Node_relations in
+    let all_rules, all_time = run `All_relations in
+    table
+      [ "theory"; "guards"; "|ex(Σ)|"; "time" ]
+      [
+        [ name; "node relations (default)"; goal_rules; goal_time ];
+        [ name; "all relations (paper-literal)"; all_rules; all_time ];
+      ]
+  in
+  ablate "small FG ontology" (small_fg_theory ());
+  ablate "running example Σp" (publications_theory ());
+  (* 2. chase variant: oblivious (the paper's) vs restricted. *)
+  Fmt.pr "@.chase variants on a pre-satisfied genealogy (person/parent cycle):@.";
+  let genea =
+    Parser.theory_of_string
+      "person(X) -> exists Y. parent(X, Y). parent(X, Y) -> person(Y)."
+  in
+  let cyc_db = Parser.database_of_string "person(a). parent(a, a)." in
+  let obl =
+    Engine.run ~limits:{ max_derivations = 1_000; max_depth = None } genea cyc_db
+  in
+  let restr = Engine.run ~variant:Engine.Restricted genea cyc_db in
+  table
+    [ "variant"; "derivations"; "outcome" ]
+    [
+      [
+        "oblivious (paper)";
+        string_of_int obl.Engine.derivations;
+        (match obl.Engine.outcome with Engine.Saturated -> "saturated" | Engine.Bounded -> "bounded");
+      ];
+      [
+        "restricted";
+        string_of_int restr.Engine.derivations;
+        (match restr.Engine.outcome with Engine.Saturated -> "saturated" | Engine.Bounded -> "bounded");
+      ];
+    ];
+  (* 3. Datalog evaluation: plain seminaive vs magic sets on a bound
+     reachability query over a long chain. *)
+  Fmt.pr "@.goal-directed evaluation (tc(last, X) over a 200-edge chain):@.";
+  let tc = Parser.theory_of_string "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  let chain =
+    Database.of_atoms
+      (List.init 200 (fun i ->
+           Atom.make "e" [ Term.Const (Fmt.str "n%d" i); Term.Const (Fmt.str "n%d" (i + 1)) ]))
+  in
+  let (_, t_plain) = time (fun () -> Seminaive.eval tc chain) in
+  let q = Guarded_datalog.Magic.query_of_atom (Parser.atom_of_string "tc(n199, X)") in
+  let (magic_ans, t_magic) = time (fun () -> Guarded_datalog.Magic.answers tc q chain) in
+  table
+    [ "evaluation"; "time"; "answers" ]
+    [
+      [ "plain seminaive (full tc)"; ms t_plain; "-" ];
+      [ "magic sets (bound query)"; ms t_magic; string_of_int (List.length magic_ans) ];
+    ];
+  (* 3b. subsumption reduction of a translated program. *)
+  Fmt.pr "@.subsumption reduction of translated Datalog programs:@.";
+  let tr_small = Pipeline.to_datalog (small_fg_theory ()) in
+  let reduced, t_red =
+    time (fun () -> Guarded_translate.Subsumption.reduce tr_small.Pipeline.datalog)
+  in
+  table
+    [ "program"; "rules"; "after reduction"; "time" ]
+    [
+      [
+        "small FG ontology, compiled";
+        string_of_int (Theory.size tr_small.Pipeline.datalog);
+        string_of_int (Theory.size reduced);
+        ms t_red;
+      ];
+    ];
+  (* 4. dat: consequence-driven objects vs the literal Fig. 3 closure. *)
+  Fmt.pr "@.dat(Σ): consequence-driven vs the literal closure (guarded family):@.";
+  let rows =
+    List.map
+      (fun width ->
+        let sigma = guarded_family width in
+        let (cd, _), t_cd = time (fun () -> Saturate.dat ~max_rules:100_000 sigma) in
+        let closure_cell, closure_time =
+          match time (fun () -> Saturate.dat_via_closure ~max_rules:100_000 sigma) with
+          | (cl, _), t -> (string_of_int (Theory.size cl), ms t)
+          | exception Saturate.Budget_exceeded _ -> (">100000", "-")
+        in
+        [
+          string_of_int width;
+          string_of_int (Theory.size cd);
+          ms t_cd;
+          closure_cell;
+          closure_time;
+        ])
+      [ 1; 2; 3 ]
+  in
+  table
+    [ "datalog layer"; "|dat| (objects)"; "time"; "|dat| (closure)"; "time" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per experiment                       *)
+
+let micro () =
+  section "micro" "Bechamel micro-benchmarks (one per experiment)";
+  let open Bechamel in
+  let sigma_p = publications_theory () in
+  let norm_p = Normalize.normalize sigma_p in
+  let db8 = publications_db 8 in
+  let ex7 = Parser.theory_of_string Workloads.example7_text in
+  let small = small_fg_theory () in
+  let small_norm = Normalize.normalize small in
+  let word = [ "one"; "zero"; "one" ] in
+  let tm_db, _ = Capture.String_db.encode ~k:1 word in
+  let _tm_theory = Capture.Tm_encode.theory ~k:1 Capture.Turing.parity_machine in
+  let elem3 =
+    Database.of_atoms (List.init 3 (fun i -> Atom.make "elem" [ Term.Const (Fmt.str "c%d" i) ]))
+  in
+  let cq_db = Parser.database_of_string Workloads.small_fg_db_text in
+  let cq, _ = Guarded_cq.Cq.of_string "hasAuthor(P, A), scientific(T), hasTopic(P, T) -> q(A)." in
+  let tests =
+    [
+      Test.make ~name:"fig1-classify" (Staged.stage (fun () -> Classify.classify sigma_p));
+      Test.make ~name:"fig2-chase" (Staged.stage (fun () -> Engine.run norm_p db8));
+      Test.make ~name:"fig3-closure"
+        (Staged.stage (fun () -> Saturate.closure ~max_rules:10_000 ex7));
+      Test.make ~name:"thm1-rew-fg"
+        (Staged.stage (fun () -> Rewrite_fg.rew_frontier_guarded ~max_rules:50_000 small_norm));
+      Test.make ~name:"thm2-rew-wfg"
+        (Staged.stage
+           (let wfg = Normalize.normalize (Parser.theory_of_string Workloads.wfg_text) in
+            fun () -> Annotate.rew_weakly_frontier_guarded ~max_rules:50_000 wfg));
+      Test.make ~name:"thm3-dat" (Staged.stage (fun () -> Saturate.dat ex7));
+      Test.make ~name:"sec7-cq"
+        (Staged.stage (fun () -> Guarded_cq.Answer.certain_answers small cq cq_db));
+      Test.make ~name:"thm4-tm-chase"
+        (Staged.stage (fun () -> Capture.Tm_encode.accepts ~k:1 Capture.Turing.parity_machine tm_db));
+      Test.make ~name:"thm5-orders"
+        (Staged.stage (fun () -> Capture.Succ_order.good_orders elem3));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"guarded" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> Fmt.str "%.1f" (e /. 1_000.)
+          | _ -> "-"
+        in
+        [ name; est ] :: acc)
+      ols []
+    |> List.sort compare
+  in
+  table [ "operation"; "µs/run" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("thm1", thm1);
+    ("thm2", thm2);
+    ("thm3", thm3);
+    ("sec7", sec7);
+    ("thm4", thm4);
+    ("thm5", thm5);
+    ("blowup", blowup);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst all_sections
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all_sections with
+      | Some f -> f ()
+      | None -> Fmt.epr "unknown section %S (known: %s)@." id
+                  (String.concat " " (List.map fst all_sections)))
+    requested

@@ -1,0 +1,54 @@
+(** Shared workload texts for the benchmark harness. *)
+
+let publications_text =
+  {|
+  @s1 publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  @s2 keywords(X, K1, K2) -> hasTopic(X, K1).
+  @s3 hasTopic(X, Z), hasAuthor(X, U), hasAuthor(Y, U), hasTopic(Y, Z2),
+      scientific(Z2), citedIn(Y, X) -> scientific(Z).
+  @s4 hasAuthor(X, Y), hasTopic(X, Z), scientific(Z) -> q(Y).
+|}
+
+let small_fg_text =
+  {|
+  @s1 publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  @s2 keywords(X, K1, K2) -> hasTopic(X, K1).
+  @s3 hasTopic(X, Z), inCollection(X, C), popular(C) -> scientific(Z).
+  @s4 hasAuthor(X, Y), hasTopic(X, Z), scientific(Z) -> q(Y).
+|}
+
+let small_fg_db_text =
+  {|
+  publication(p1). inCollection(p1, c1). popular(c1).
+  hasAuthor(p1, a1). hasAuthor(p1, a2).
+|}
+
+let example7_text =
+  {|
+  @e1 a(X) -> exists Y. r(X, Y).
+  @e2 r(X, Y) -> s(Y, Y).
+  @e3 s(X, Y) -> exists Z. t(X, Y, Z).
+  @e4 t(X, X, Y) -> b(X).
+  @e5 c(X), r(X, Y), b(Y) -> d(X).
+|}
+
+(* Weakly frontier-guarded only: w2 is neither frontier-guarded (its
+   frontier {Y, S} shares no atom) nor weakly guarded (the unsafe pair
+   {Y, Y2} shares no atom); its unsafe frontier part {Y} is covered by
+   box(X, Y). *)
+let wfg_text =
+  {|
+  @w1 item(X) -> exists Y. box(X, Y).
+  @w2 box(X, Y), box(X2, Y2), label(S) -> marked(Y, S).
+  @w3 marked(Y, S), box(X, Y) -> out(X, S).
+  @w4 out(X, S) -> tagged(S).
+|}
+
+(* Weakly guarded, not nearly frontier-guarded; infinite chase. *)
+let wg_text =
+  {|
+  @w1 node(X) -> gen(X).
+  @w2 gen(X) -> exists Y. next(X, Y).
+  @w3 next(X, Y) -> gen(Y).
+  @w4 next(X, Y), anchor(Z) -> out(Y, Z).
+|}

@@ -1,0 +1,281 @@
+(** The [guarded] command-line tool: classify, normalize, translate,
+    chase and query theories of existential rules from the shell.
+
+    {v
+      guarded classify  THEORY
+      guarded normalize THEORY
+      guarded translate THEORY [--target datalog|weakly-guarded]
+      guarded chase     THEORY DATABASE [--max-derivations N] [--max-depth N]
+      guarded answer    THEORY DATABASE --query Q
+      guarded cq        THEORY DATABASE --cq "body -> q(X)."
+    v} *)
+
+open Guarded_core
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_theory path = Parser.theory_of_string (read_file path)
+let load_db path = Parser.database_of_string (read_file path)
+
+let theory_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"THEORY" ~doc:"Rule file.")
+
+let db_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"DATABASE" ~doc:"Database file.")
+
+let handle_errors f =
+  try f () with
+  | Parser.Parse_error m -> Fmt.epr "parse error: %s@." m; exit 2
+  | Rule.Ill_formed m -> Fmt.epr "ill-formed rule: %s@." m; exit 2
+  | Invalid_argument m -> Fmt.epr "error: %s@." m; exit 2
+  | Guarded_translate.Expansion.Budget_exceeded m
+  | Guarded_translate.Saturate.Budget_exceeded m ->
+    Fmt.epr "budget exceeded: %s (raise it with --budget)@." m;
+    exit 3
+
+(* --- classify -------------------------------------------------------- *)
+
+let classify_cmd =
+  let run theory_path =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        Fmt.pr "rules:      %d@." (Theory.size sigma);
+        Fmt.pr "language:   %s@." (Classify.language_name (Classify.classify sigma));
+        Fmt.pr "normal:     %b@." (Normalize.is_normal sigma);
+        Fmt.pr "proper:     %b@." (Classify.is_proper sigma);
+        Fmt.pr "stratified: %b@." (Guarded_datalog.Stratify.is_stratified sigma);
+        Fmt.pr "weakly acyclic (restricted chase terminates): %b@."
+          (Acyclicity.is_weakly_acyclic sigma);
+        let ap = Classify.affected_positions sigma in
+        Fmt.pr "affected positions: %d@." (Classify.Pos_set.cardinal ap))
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a theory in the languages of Figure 1.")
+    Term.(const run $ theory_arg)
+
+(* --- normalize -------------------------------------------------------- *)
+
+let normalize_cmd =
+  let run theory_path =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let norm = Normalize.normalize sigma in
+        List.iter (fun r -> Fmt.pr "%a.@." Rule.pp r) (Theory.rules norm))
+  in
+  Cmd.v
+    (Cmd.info "normalize" ~doc:"Normalize a theory (Definition 4 / Proposition 1).")
+    Term.(const run $ theory_arg)
+
+(* --- translate -------------------------------------------------------- *)
+
+let budget_arg =
+  Arg.(value & opt int 50_000 & info [ "budget" ] ~docv:"N" ~doc:"Rule budget for translations.")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (enum [ ("datalog", `Datalog); ("weakly-guarded", `Weakly_guarded) ]) `Datalog
+    & info [ "target" ] ~docv:"LANG" ~doc:"Target language: datalog or weakly-guarded.")
+
+let translate_cmd =
+  let run theory_path target budget_n =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let budget =
+          {
+            Guarded_translate.Pipeline.max_expansion_rules = budget_n;
+            max_saturation_rules = budget_n;
+            max_ground_rules = budget_n;
+          }
+        in
+        match target with
+        | `Datalog -> (
+          match Guarded_translate.Pipeline.to_datalog ~budget sigma with
+          | tr ->
+            Fmt.epr "source language: %s, %d rules@."
+              (Classify.language_name tr.Guarded_translate.Pipeline.source_language)
+              (Theory.size tr.Guarded_translate.Pipeline.datalog);
+            List.iter
+              (fun r -> Fmt.pr "%a.@." Rule.pp r)
+              (Theory.rules tr.Guarded_translate.Pipeline.datalog)
+          | exception Guarded_translate.Pipeline.Not_datalog_expressible l ->
+            Fmt.epr
+              "this %s theory has ExpTime-complete data complexity and cannot be expressed \
+               in Datalog (Section 8); use --target weakly-guarded@."
+              (Classify.language_name l);
+            exit 4)
+        | `Weakly_guarded ->
+          let wg = Guarded_translate.Pipeline.to_weakly_guarded ~budget sigma in
+          List.iter (fun r -> Fmt.pr "%a.@." Rule.pp r) (Theory.rules wg))
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate a theory into Datalog (Thms 1+3) or weakly guarded rules (Thm 2).")
+    Term.(const run $ theory_arg $ target_arg $ budget_arg)
+
+(* --- chase ------------------------------------------------------------ *)
+
+let chase_cmd =
+  let max_derivations =
+    Arg.(value & opt int 100_000 & info [ "max-derivations" ] ~docv:"N" ~doc:"Derivation budget.")
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"N" ~doc:"Null-depth bound.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("oblivious", Guarded_chase.Engine.Oblivious); ("restricted", Guarded_chase.Engine.Restricted) ])
+          Guarded_chase.Engine.Oblivious
+      & info [ "variant" ] ~docv:"V" ~doc:"Chase variant: oblivious (default) or restricted.")
+  in
+  let show_tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Print the chase tree of Section 4 (normalizes first).")
+  in
+  let run theory_path db_path max_derivations max_depth variant show_tree =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let db = load_db db_path in
+        Database.materialize_acdom db;
+        let limits = { Guarded_chase.Engine.max_derivations; max_depth } in
+        if show_tree then begin
+          let norm = Normalize.normalize sigma in
+          if not (Classify.is_frontier_guarded norm) then
+            Fmt.epr "warning: theory is not frontier-guarded; the tree properties of Prop. 2 may fail@.";
+          let res = Guarded_chase.Engine.run ~limits ~variant norm db in
+          let tree = Guarded_chase.Tree.build norm db res in
+          Fmt.pr "%a" Guarded_chase.Tree.pp tree;
+          match Guarded_chase.Tree.verify tree norm db with
+          | Ok () -> Fmt.epr "Prop. 2 (P1)-(P3): verified@."
+          | Error vs -> Fmt.epr "violations: %a@." Fmt.(list ~sep:(any "; ") string) vs
+        end
+        else begin
+          let res =
+            if Theory.is_positive sigma then Guarded_chase.Engine.run ~limits ~variant sigma db
+            else begin
+              let r = Guarded_datalog.Stratified.chase ~limits sigma db in
+              {
+                Guarded_chase.Engine.db = r.Guarded_datalog.Stratified.db;
+                outcome = r.Guarded_datalog.Stratified.outcome;
+                derivations = 0;
+                steps = [];
+              }
+            end
+          in
+          Fmt.epr "%s@."
+            (match res.Guarded_chase.Engine.outcome with
+            | Guarded_chase.Engine.Saturated -> "saturated"
+            | Guarded_chase.Engine.Bounded -> "bounded (result is a sound under-approximation)");
+          Fmt.pr "%a@." Database.pp res.Guarded_chase.Engine.db
+        end)
+  in
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Chase a database (stratified semantics when negation occurs).")
+    Term.(const run $ theory_arg $ db_arg $ max_derivations $ max_depth $ variant $ show_tree)
+
+(* --- answer ------------------------------------------------------------ *)
+
+let query_arg =
+  Arg.(required & opt (some string) None & info [ "query" ] ~docv:"REL" ~doc:"Output relation.")
+
+let answer_cmd =
+  let magic =
+    Arg.(
+      value & flag
+      & info [ "magic" ]
+          ~doc:"Evaluate the translated Datalog program with the magic-set transformation.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print a proof tree for each answer (via the translated Datalog program).")
+  in
+  let run theory_path db_path query budget_n use_magic explain =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let db = load_db db_path in
+        let budget =
+          {
+            Guarded_translate.Pipeline.max_expansion_rules = budget_n;
+            max_saturation_rules = budget_n;
+            max_ground_rules = budget_n;
+          }
+        in
+        if explain then begin
+          let tr = Guarded_translate.Pipeline.to_datalog ~budget sigma in
+          let d = Database.copy db in
+          if Guarded_datalog.Seminaive.mentions_acdom tr.Guarded_translate.Pipeline.datalog then
+            Database.materialize_acdom d;
+          let prov = Guarded_datalog.Provenance.eval tr.Guarded_translate.Pipeline.datalog d in
+          Database.iter
+            (fun fact ->
+              if String.equal (Atom.rel fact) query then
+                match Guarded_datalog.Provenance.explain prov fact with
+                | Some proof -> Fmt.pr "%a@." Guarded_datalog.Provenance.pp_proof proof
+                | None -> ())
+            prov.Guarded_datalog.Provenance.result
+        end
+        else
+        let answers =
+          if use_magic then begin
+            let tr = Guarded_translate.Pipeline.to_datalog ~budget sigma in
+            let program = tr.Guarded_translate.Pipeline.datalog in
+            let arity =
+              Theory.Rel_set.fold
+                (fun (n, _, a) acc -> if String.equal n query then a else acc)
+                (Theory.relations program) 0
+            in
+            let pattern = List.init arity (fun i -> Guarded_core.Term.Var (Fmt.str "X%d" i)) in
+            let db = Database.copy db in
+            if Guarded_datalog.Seminaive.mentions_acdom program then
+              Database.materialize_acdom db;
+            Guarded_datalog.Magic.answers program
+              { Guarded_datalog.Magic.q_rel = query; q_pattern = pattern }
+              db
+          end
+          else Guarded_translate.Pipeline.answer ~budget sigma db ~query
+        in
+        List.iter
+          (fun tuple -> Fmt.pr "%s(%a)@." query (Fmt.list ~sep:(Fmt.any ", ") Guarded_core.Term.pp) tuple)
+          answers)
+  in
+  Cmd.v
+    (Cmd.info "answer"
+       ~doc:"Certain answers of (THEORY, REL) over DATABASE via the translation pipelines.")
+    Term.(const run $ theory_arg $ db_arg $ query_arg $ budget_arg $ magic $ explain)
+
+(* --- cq ----------------------------------------------------------------- *)
+
+let cq_cmd =
+  let cq_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cq" ] ~docv:"QUERY" ~doc:"Conjunctive query, e.g. \"r(X, Y) -> q(X).\"")
+  in
+  let run theory_path db_path cq_text =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let db = load_db db_path in
+        let q, _ = Guarded_cq.Cq.of_string cq_text in
+        let answers = Guarded_cq.Answer.certain_answers sigma q db in
+        List.iter
+          (fun tuple -> Fmt.pr "(%a)@." (Fmt.list ~sep:(Fmt.any ", ") Guarded_core.Term.pp) tuple)
+          answers)
+  in
+  Cmd.v
+    (Cmd.info "cq" ~doc:"Certain answers of a conjunctive query (Section 7).")
+    Term.(const run $ theory_arg $ db_arg $ cq_arg)
+
+let () =
+  let doc = "guarded existential rule languages (PODS 2014) — translations and query answering" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "guarded" ~version:"1.0.0" ~doc)
+          [ classify_cmd; normalize_cmd; translate_cmd; chase_cmd; answer_cmd; cq_cmd ]))

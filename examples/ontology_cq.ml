@@ -1,0 +1,68 @@
+(** Ontology-mediated conjunctive query answering (Section 7): a small
+    university ontology with value invention, compiled down to Datalog,
+    with conjunctive queries answered over the enriched database.
+
+    Run with: dune exec examples/ontology_cq.exe *)
+
+open Guarded_core
+
+(* A frontier-guarded university ontology. *)
+let ontology =
+  Parser.theory_of_string
+    {|
+  % every course is taught by some lecturer
+  course(C) -> exists L. teaches(L, C).
+  % lecturers are staff members
+  teaches(L, C) -> staff(L).
+  % teaching a course makes its topics covered
+  teaches(L, C), about(C, T) -> covered(T).
+  % a student enrolled in a course about a covered topic is exposed to it
+  enrolled(S, C), about(C, T), covered(T) -> exposedTo(S, T).
+|}
+
+let db =
+  Parser.database_of_string
+    {|
+  course(db101). course(logic2).
+  about(db101, databases). about(logic2, logic).
+  enrolled(mia, db101). enrolled(sam, logic2). enrolled(sam, db101).
+|}
+
+let pp_tuples = Fmt.list ~sep:(Fmt.any ", ") (Fmt.list ~sep:(Fmt.any " ") Term.pp)
+
+let () =
+  Fmt.pr "=== University ontology ===@.%a@.@." Theory.pp ontology;
+  Fmt.pr "language: %s@.@." (Classify.language_name (Classify.classify ontology));
+
+  (* Certain answers through the full translation pipeline. *)
+  let run_cq text =
+    let q, _ = Guarded_cq.Cq.of_string text in
+    let answers = Guarded_cq.Answer.certain_answers ontology q db in
+    (if q.Guarded_cq.Cq.answer_vars = [] then
+       Fmt.pr "%s@.  certain: %b@." (String.trim text) (answers <> [])
+     else Fmt.pr "%s@.  certain answers: %a@." (String.trim text) pp_tuples answers);
+    (* Cross-check against the chase-based semantics. *)
+    let via_chase, outcome = Guarded_cq.Answer.answers_via_chase ontology q db in
+    assert (outcome = Guarded_chase.Engine.Saturated);
+    assert (answers = via_chase);
+    Fmt.pr "  (cross-checked against the saturated chase)@.@."
+  in
+
+  (* Atoms witnessed by invented lecturers still produce certain answers. *)
+  run_cq "teaches(L, C), enrolled(S, C) -> q(S, C).";
+  (* Join through the ontology's derived relations. *)
+  run_cq "exposedTo(S, T) -> q(S, T).";
+  (* A boolean query: is any staff member certain to exist? *)
+  run_cq "staff(L), teaches(L, C), about(C, databases) -> q().";
+
+  (* The same pipeline, showing the generated Datalog program. *)
+  let q, rel = Guarded_cq.Cq.of_string "exposedTo(S, logic) -> q(S)." in
+  let enriched =
+    Theory.of_rules (Theory.rules ontology @ [ Guarded_cq.Cq.to_rule q ~query_rel:rel ])
+  in
+  let tr = Guarded_translate.Pipeline.to_datalog enriched in
+  Fmt.pr "=== the compiled Datalog query (%d rules, source: %s) ===@."
+    (Theory.size tr.Guarded_translate.Pipeline.datalog)
+    (Classify.language_name tr.Guarded_translate.Pipeline.source_language);
+  Fmt.pr "who is exposed to logic? %a@." pp_tuples
+    (Guarded_datalog.Seminaive.answers tr.Guarded_translate.Pipeline.datalog db ~query:rel)

@@ -1,0 +1,57 @@
+(** Quickstart: parse a theory, classify it, chase it, translate it to
+    Datalog, and answer a query — the library's core loop in 60 lines.
+
+    Run with: dune exec examples/quickstart.exe *)
+
+open Guarded_core
+
+let theory_text =
+  {|
+  % Every employee works in some department.
+  employee(X) -> exists D. worksIn(X, D).
+  % Departments of employees are organizational units.
+  worksIn(X, D) -> orgUnit(D).
+  % An employee working where a manager works is supervised.
+  worksIn(X, D), worksIn(M, D), manager(M) -> supervised(X).
+|}
+
+let database_text =
+  {|
+  employee(alice). employee(bob).
+  manager(carol). worksIn(carol, sales). worksIn(bob, sales).
+|}
+
+let pp_tuples = Fmt.list ~sep:(Fmt.any ", ") (Fmt.list ~sep:(Fmt.any " ") Term.pp)
+
+let () =
+  let sigma = Parser.theory_of_string theory_text in
+  let db = Parser.database_of_string database_text in
+
+  (* 1. Which of the paper's languages is this theory in? *)
+  Fmt.pr "language: %s@." (Classify.language_name (Classify.classify sigma));
+
+  (* 2. Run the chase: alice gets an invented department. *)
+  let res = Guarded_chase.Engine.run sigma db in
+  Fmt.pr "chase: %d derivations, %s@." res.derivations
+    (match res.outcome with
+    | Guarded_chase.Engine.Saturated -> "saturated"
+    | Guarded_chase.Engine.Bounded -> "bounded");
+  Fmt.pr "chase result:@.%a@.@." Database.pp res.db;
+
+  (* 3. Translate the whole theory into plain Datalog (Theorems 1+3). *)
+  let tr = Guarded_translate.Pipeline.to_datalog sigma in
+  Fmt.pr "datalog program (%d rules):@.%a@.@."
+    (Theory.size tr.Guarded_translate.Pipeline.datalog)
+    Theory.pp tr.Guarded_translate.Pipeline.datalog;
+
+  (* 4. Answer queries on the Datalog side — same certain answers. *)
+  let answers query =
+    Guarded_datalog.Seminaive.answers tr.Guarded_translate.Pipeline.datalog db ~query
+  in
+  Fmt.pr "supervised: %a@." pp_tuples (answers "supervised");
+  Fmt.pr "orgUnit:    %a@." pp_tuples (answers "orgUnit");
+
+  (* 5. Conjunctive queries see the invented values too. *)
+  let q, _ = Guarded_cq.Cq.of_string "worksIn(X, D), orgUnit(D) -> q(X)." in
+  Fmt.pr "who works in some org unit (certain answers): %a@." pp_tuples
+    (Guarded_cq.Answer.certain_answers sigma q db)

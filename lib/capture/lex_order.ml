@@ -1,0 +1,82 @@
+(** Lexicographic orders on k-tuples, as Datalog rules.
+
+    Given a successor structure (min, succ, max) on the constants of a
+    database, the rules generated here define first / successor / last
+    relations on k-tuples in lexicographic order — the standard
+    construction the paper's Section 8 invokes from Dantsin et al. [16]
+    to build the string encoding of a database. All rules are plain
+    Datalog and safe. *)
+
+open Guarded_core
+
+type base = {
+  b_min : string;  (** unary: the least constant *)
+  b_succ : string;  (** binary: successor *)
+  b_max : string;  (** unary: the greatest constant *)
+}
+
+type tuple_order = {
+  t_first : string;  (** k-ary *)
+  t_next : string;  (** 2k-ary *)
+  t_last : string;  (** k-ary *)
+  t_k : int;
+}
+
+let var i = Term.Var (Printf.sprintf "x%d" i)
+let var' i = Term.Var (Printf.sprintf "y%d" i)
+
+(* The Datalog rules defining the k-tuple lexicographic order [out]
+   from the base order [base]. *)
+let rules ~k ~(base : base) ~(out : tuple_order) : Rule.t list =
+  if k <> out.t_k then invalid_arg "Lex_order.rules: k mismatch";
+  let xs = List.init k var in
+  let first =
+    (* min(x1) ∧ ... ∧ min(xk) → first(~x) *)
+    Rule.make_pos
+      (List.map (fun x -> Atom.make base.b_min [ x ]) xs)
+      [ Atom.make out.t_first xs ]
+  in
+  let last =
+    Rule.make_pos
+      (List.map (fun x -> Atom.make base.b_max [ x ]) xs)
+      [ Atom.make out.t_last xs ]
+  in
+  (* One rule per position i: the successor increments position i,
+     resets the positions after i from max to min, and copies the
+     prefix (shared variables). *)
+  let next_rules =
+    List.init k (fun i ->
+        let lhs = List.init k (fun j -> if j < i then var j else if j = i then var i else var' j) in
+        let rhs =
+          List.init k (fun j ->
+              if j < i then var j else if j = i then Term.Var "xi'" else Term.Var (Printf.sprintf "m%d" j))
+        in
+        let body =
+          Atom.make base.b_succ [ var i; Term.Var "xi'" ]
+          :: List.concat
+               (List.init k (fun j ->
+                    if j < i then
+                      (* the copied prefix ranges over the whole domain *)
+                      [ Atom.make Database.acdom_rel [ var j ] ]
+                    else if j = i then []
+                    else
+                      [
+                        Atom.make base.b_max [ var' j ];
+                        Atom.make base.b_min [ Term.Var (Printf.sprintf "m%d" j) ];
+                      ]))
+        in
+        Rule.make_pos body [ Atom.make out.t_next (lhs @ rhs) ])
+  in
+  (first :: last :: next_rules)
+
+(* Base-order facts for an explicitly given constant sequence. *)
+let base_facts ~(base : base) constants =
+  match constants with
+  | [] -> invalid_arg "Lex_order.base_facts: empty domain"
+  | first :: _ ->
+    let rec succs = function
+      | a :: (b :: _ as rest) -> Atom.make base.b_succ [ a; b ] :: succs rest
+      | [ last ] -> [ Atom.make base.b_max [ last ] ]
+      | [] -> []
+    in
+    Atom.make base.b_min [ first ] :: succs constants

@@ -1,0 +1,24 @@
+(** Lexicographic orders on k-tuples as Datalog rules, from a base
+    (min, succ, max) order on the constants — the standard construction
+    Section 8 invokes to build string encodings of databases. *)
+
+open Guarded_core
+
+type base = {
+  b_min : string;
+  b_succ : string;
+  b_max : string;
+}
+
+type tuple_order = {
+  t_first : string;
+  t_next : string;
+  t_last : string;
+  t_k : int;
+}
+
+val rules : k:int -> base:base -> out:tuple_order -> Rule.t list
+(** Pure Datalog (the prefix-copy positions range over ACDom). *)
+
+val base_facts : base:base -> Term.t list -> Atom.t list
+(** Base-order facts for an explicit constant sequence. *)

@@ -1,0 +1,166 @@
+(** The PTime baseline the paper cites next to Theorem 4: semipositive
+    Datalog over ordered databases captures exactly the queries
+    computable in polynomial time (Vardi [31], Papadimitriou [28]).
+
+    The reduction here runs a deterministic Turing machine for |Dom|^t
+    steps over |Dom|^s tape cells, both indexed by tuples of database
+    constants in lexicographic order — so, unlike {!Tm_encode}, no value
+    invention is needed and the produced program is plain (semipositive)
+    Datalog:
+
+    - [cfgState(~i, q)]      at time ~i the machine is in state q,
+    - [cfgHead(~i, ~p)]      at time ~i the head is on cell ~p,
+    - [cfgTape(~i, ~p, s)]   at time ~i cell ~p holds symbol s,
+    - [acceptP()]            an accepting state was reached.
+
+    The input word is read from the same string-database signature
+    {!String_db} uses (cells of degree [space]); the time tuples have
+    degree [time]. Lexicographic successors for both tuple spaces are
+    built by {!Lex_order} from a base order given by domFirst / domNext /
+    domLast facts (or derived from the cell order when [space = 1]). *)
+
+open Guarded_core
+
+let cfg_state = "cfgState"
+let cfg_head = "cfgHead"
+let cfg_tape = "cfgTape"
+let accept_p = "acceptP"
+
+let state_const q = Term.Const ("q_" ^ q)
+let symbol_const s = Term.Const ("s_" ^ s)
+
+let dom_base : Lex_order.base = { b_min = "domFirst"; b_succ = "domNext"; b_max = "domLast" }
+
+let time_ordering ~time : Lex_order.tuple_order =
+  { t_first = "timeFirst"; t_next = "timeNext"; t_last = "timeLast"; t_k = time }
+
+let space_ordering ~space : Lex_order.tuple_order =
+  { t_first = String_db.cell_first; t_next = String_db.cell_next; t_last = String_db.cell_last; t_k = space }
+
+let tvars k = List.init k (fun i -> Term.Var (Printf.sprintf "T%d" i))
+let tvars' k = List.init k (fun i -> Term.Var (Printf.sprintf "U%d" i))
+let pvars k = List.init k (fun i -> Term.Var (Printf.sprintf "P%d" i))
+let qvars k = List.init k (fun i -> Term.Var (Printf.sprintf "Q%d" i))
+
+(* Tuple inequality on cells, via the strict order. *)
+let lt_cells = "ltCellsP"
+let differs = "differsCellsP"
+
+let cell_inequality_rules ~space =
+  let p = pvars space and q = qvars space and r = tvars' space in
+  [
+    Rule.make_pos [ Atom.make String_db.cell_next (p @ q) ] [ Atom.make lt_cells (p @ q) ];
+    Rule.make_pos
+      [ Atom.make lt_cells (p @ q); Atom.make lt_cells (q @ r) ]
+      [ Atom.make lt_cells (p @ r) ];
+    Rule.make_pos [ Atom.make lt_cells (p @ q) ] [ Atom.make differs (p @ q) ];
+    Rule.make_pos [ Atom.make lt_cells (p @ q) ] [ Atom.make differs (q @ p) ];
+  ]
+
+(* The semipositive Datalog program simulating [spec] for |Dom|^time
+   steps on the |Dom|^space cells of the input string database. *)
+let theory ~time ~space (spec : Turing.spec) : Theory.t =
+  if List.exists (fun ((q, _), _) -> String.equal q spec.Turing.sp_accept) spec.Turing.sp_delta
+  then invalid_arg "Ptime_encode.theory: the accepting state must be halting";
+  let t = tvars time and t' = tvars' time in
+  let p = pvars space in
+  let alphabet =
+    List.sort_uniq String.compare
+      (spec.Turing.sp_blank
+      :: List.concat_map (fun ((_, s), tr) -> [ s; tr.Turing.write ]) spec.Turing.sp_delta)
+  in
+  let time_ord = time_ordering ~time in
+  let init =
+    (* at the first time step: start state, head at the first cell, tape
+       as given by the input symbols *)
+    Rule.make_pos
+      [ Atom.make time_ord.t_first t ]
+      [ Atom.make cfg_state (t @ [ state_const spec.Turing.sp_start ]) ]
+    :: Rule.make_pos
+         [ Atom.make time_ord.t_first t; Atom.make String_db.cell_first p ]
+         [ Atom.make cfg_head (t @ p) ]
+    :: List.map
+         (fun s ->
+           Rule.make_pos
+             [ Atom.make time_ord.t_first t; Atom.make s p ]
+             [ Atom.make cfg_tape ((t @ p) @ [ symbol_const s ]) ])
+         alphabet
+  in
+  let step_rules =
+    List.concat_map
+      (fun ((q, s), (tr : Turing.transition)) ->
+        let base =
+          [
+            Atom.make cfg_state (t @ [ state_const q ]);
+            Atom.make cfg_head (t @ p);
+            Atom.make cfg_tape ((t @ p) @ [ symbol_const s ]);
+            Atom.make time_ord.t_next (t @ t');
+          ]
+        in
+        let stepped ~extra ~new_head =
+          [
+            Rule.make_pos (base @ extra)
+              [ Atom.make cfg_state (t' @ [ state_const tr.Turing.next_state ]) ];
+            Rule.make_pos (base @ extra)
+              [ Atom.make cfg_tape ((t' @ p) @ [ symbol_const tr.Turing.write ]) ];
+            Rule.make_pos (base @ extra) [ Atom.make cfg_head (t' @ new_head) ];
+          ]
+        in
+        match tr.Turing.move with
+        | Turing.Stay -> stepped ~extra:[] ~new_head:p
+        | Turing.Right ->
+          let p2 = qvars space in
+          stepped ~extra:[ Atom.make String_db.cell_next (p @ p2) ] ~new_head:p2
+          @ stepped ~extra:[ Atom.make String_db.cell_last p ] ~new_head:p
+        | Turing.Left ->
+          let p0 = qvars space in
+          stepped ~extra:[ Atom.make String_db.cell_next (p0 @ p) ] ~new_head:p0
+          @ stepped ~extra:[ Atom.make String_db.cell_first p ] ~new_head:p)
+      spec.Turing.sp_delta
+  in
+  let copy =
+    (* unmoved cells carry their symbol to the next time step *)
+    let q = qvars space in
+    Rule.make_pos
+      [
+        Atom.make cfg_tape ((t @ p) @ [ Term.Var "S" ]);
+        Atom.make cfg_head (t @ q);
+        Atom.make differs (p @ q);
+        Atom.make time_ord.t_next (t @ t');
+      ]
+      [ Atom.make cfg_tape ((t' @ p) @ [ Term.Var "S" ]) ]
+  in
+  let accepting =
+    Rule.make_pos
+      [ Atom.make cfg_state (t @ [ state_const spec.Turing.sp_accept ]) ]
+      [ Atom.make accept_p [] ]
+  in
+  let time_lex = Lex_order.rules ~k:time ~base:dom_base ~out:time_ord in
+  Theory.of_rules (time_lex @ cell_inequality_rules ~space @ init @ step_rules @ [ copy; accepting ])
+
+(* Base-order facts over the string database's own constants, derived
+   from its degree-1 cell order (for space = 1 the orders coincide). *)
+let dom_order_facts db =
+  let atoms = ref [] in
+  Database.iter
+    (fun a ->
+      let renamed name = Atom.make name (Atom.args a) in
+      match Atom.rel_key a with
+      | name, 0, 1 when String.equal name String_db.cell_first ->
+        atoms := renamed dom_base.b_min :: !atoms
+      | name, 0, 1 when String.equal name String_db.cell_last ->
+        atoms := renamed dom_base.b_max :: !atoms
+      | name, 0, 2 when String.equal name String_db.cell_next ->
+        atoms := renamed dom_base.b_succ :: !atoms
+      | _ -> ())
+    db;
+  !atoms
+
+(* Decide acceptance of the word in the degree-1 string database [db]
+   within |Dom|^time steps, by semi-naive Datalog evaluation. *)
+let accepts ~time spec db =
+  let db = Database.copy db in
+  Database.add_all db (dom_order_facts db);
+  let sigma = theory ~time ~space:1 spec in
+  let result = Guarded_datalog.Seminaive.eval sigma db in
+  Database.mem result (Atom.make accept_p [])

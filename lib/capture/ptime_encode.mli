@@ -1,0 +1,28 @@
+(** The PTime capture baseline (Vardi, Papadimitriou — cited next to
+    Theorem 4): semipositive Datalog over ordered databases simulates a
+    deterministic Turing machine for |Dom|^time steps over the
+    |Dom|^space cells of a string database, with no value invention. *)
+
+open Guarded_core
+
+val cfg_state : string
+val cfg_head : string
+val cfg_tape : string
+val accept_p : string
+
+val dom_base : Lex_order.base
+val time_ordering : time:int -> Lex_order.tuple_order
+val space_ordering : space:int -> Lex_order.tuple_order
+
+val theory : time:int -> space:int -> Turing.spec -> Theory.t
+(** Plain Datalog (no negation, no existentials).
+    @raise Invalid_argument if the accepting state has outgoing
+    transitions. *)
+
+val dom_order_facts : Database.t -> Atom.t list
+(** Base-order facts derived from a degree-1 string database's cell
+    order. *)
+
+val accepts : time:int -> Turing.spec -> Database.t -> bool
+(** Acceptance within |Dom|^time steps, by semi-naive evaluation over a
+    degree-1 string database. *)

@@ -1,0 +1,94 @@
+(** Σ_code: encoding an ordered database as a string database
+    (Section 8, proof of Theorem 5 / the semipositive step).
+
+    For a signature with a single n-ary relation R and a total order on
+    the constants given by (min, succ, max) facts, the semipositive
+    program produced here derives the characteristic string of R: the
+    cells are the n-tuples of constants in lexicographic order (built by
+    {!Lex_order}), each holding [one] if the tuple is in R and [zero]
+    otherwise.
+
+    For unary relations, {!encode} appends (by default) a fresh
+    end-of-data constant as the new maximum whose cell reads [blank]:
+    Turing machines detect the end of their input by reading a blank, so
+    the padded string database feeds directly into {!Tm_encode}. The
+    padding is only meaningful at arity 1 (at higher arities the
+    eod-containing tuples would be interleaved in the lexicographic
+    order), so it is disabled there. *)
+
+open Guarded_core
+
+let base : Lex_order.base = { b_min = "min"; b_succ = "succ"; b_max = "max" }
+
+let one = "one"
+let zero = "zero"
+let blank = "blank"
+
+(* The fresh end-of-data marker relation; its single fact tags the
+   padding constant. *)
+let eod_rel = "eodMarker"
+
+let theory ?(pad = false) ~rel ~arity () : Theory.t =
+  let out : Lex_order.tuple_order =
+    {
+      t_first = String_db.cell_first;
+      t_next = String_db.cell_next;
+      t_last = String_db.cell_last;
+      t_k = arity;
+    }
+  in
+  let xs = List.init arity (fun i -> Term.Var (Printf.sprintf "x%d" i)) in
+  let dom_atom x =
+    (* the original (non-padding) domain *)
+    if pad then Literal.Neg (Atom.make eod_rel [ x ]) else Literal.Pos (Atom.make Database.acdom_rel [ x ])
+  in
+  let characteristic =
+    [
+      Rule.make_pos [ Atom.make rel xs ] [ Atom.make one xs ];
+      (* ¬R(~x) over the original domain: the input negation the theorem
+         grants on ordered databases. *)
+      Rule.make
+        (Literal.Neg (Atom.make rel xs)
+        :: List.map (fun x -> Literal.Pos (Atom.make Database.acdom_rel [ x ])) xs
+        @ List.map dom_atom xs)
+        [ Atom.make zero xs ];
+    ]
+  in
+  let padding =
+    if pad then
+      [ Rule.make_pos [ Atom.make eod_rel [ Term.Var "x0" ] ] [ Atom.make blank [ Term.Var "x0" ] ] ]
+    else []
+  in
+  Theory.of_rules (Lex_order.rules ~k:arity ~base ~out @ characteristic @ padding)
+
+(* Evaluate Σ_code over [db] (which must contain the base-order facts)
+   and return the derived string database restricted to the string
+   signature. With [pad] (default for arity 1), a fresh end-of-data
+   constant is appended as the new maximum and its cell reads blank. *)
+let encode ?pad ~rel ~arity db : Database.t =
+  let pad = match pad with Some p -> p | None -> arity = 1 in
+  let db =
+    if not pad then db
+    else begin
+      let db = Database.copy db in
+      let eod = Term.Const "eod_pad" in
+      (* move the maximum: max(m) becomes succ(m, eod), max(eod) *)
+      let old_max =
+        match Database.facts_of_rel db (base.b_max, 0, 1) with
+        | [ a ] -> List.hd (Atom.args a)
+        | _ -> invalid_arg "Sigma_code.encode: exactly one max fact expected"
+      in
+      let db' = Database.restrict db (fun a -> not (String.equal (Atom.rel a) base.b_max)) in
+      ignore (Database.add db' (Atom.make base.b_succ [ old_max; eod ]));
+      ignore (Database.add db' (Atom.make base.b_max [ eod ]));
+      ignore (Database.add db' (Atom.make eod_rel [ eod ]));
+      db'
+    end
+  in
+  let result = Guarded_datalog.Seminaive.eval (theory ~pad ~rel ~arity ()) db in
+  let keep a =
+    let r = Atom.rel a in
+    List.mem r
+      [ one; zero; blank; String_db.cell_first; String_db.cell_next; String_db.cell_last ]
+  in
+  Database.restrict result keep

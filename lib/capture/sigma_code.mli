@@ -1,0 +1,21 @@
+(** Σ_code (Section 8, Theorem 5): a semipositive program turning an
+    ordered database with one n-ary relation R into the string database
+    of R's characteristic function over the lexicographically ordered
+    n-tuples. For n = 1 the output is (by default) padded with a fresh
+    end-of-data constant whose cell reads blank, ready for
+    {!Tm_encode}. *)
+
+open Guarded_core
+
+val base : Lex_order.base
+val one : string
+val zero : string
+val blank : string
+val eod_rel : string
+
+val theory : ?pad:bool -> rel:string -> arity:int -> unit -> Theory.t
+(** Semipositive (negation only on R and the end-of-data marker). *)
+
+val encode : ?pad:bool -> rel:string -> arity:int -> Database.t -> Database.t
+(** Evaluates Σ_code; [pad] defaults to [arity = 1]. The input must
+    contain min/succ/max facts over its constants. *)

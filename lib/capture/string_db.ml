@@ -1,0 +1,130 @@
+(** String databases of degree k (Definition 20).
+
+    A word over an alphabet Ω is stored as a database whose constants
+    are cell indices: every k-tuple of constants (in lexicographic
+    order) is one cell, carrying exactly one symbol relation from Ω; the
+    relations [cell_first] (k-ary), [cell_next] (2k-ary) and
+    [cell_last] (k-ary) expose the cell order. Words shorter than the
+    d^k cells are padded with the blank symbol so that the
+    exactly-one-symbol-per-tuple condition of the definition holds. *)
+
+open Guarded_core
+
+let cell_first = "cellFirst"
+let cell_next = "cellNext"
+let cell_last = "cellLast"
+
+type info = {
+  degree : int;  (** k *)
+  domain : Term.t list;  (** the constants, in base order *)
+  cells : int;  (** |domain|^k *)
+}
+
+let rec power base exp = if exp = 0 then 1 else base * power base (exp - 1)
+
+(* All k-tuples over [domain] in lexicographic order. *)
+let rec tuples domain k =
+  if k = 0 then [ [] ]
+  else List.concat_map (fun prefix -> List.map (fun d -> prefix @ [ d ]) domain) (tuples domain (k - 1))
+
+let constant i = Term.Const (Printf.sprintf "e%d" i)
+
+(* Smallest domain size d >= 2 with d^k >= n (two constants at least, so
+   that the first and last cell always differ). *)
+let domain_size ~k n =
+  let rec go d = if power d k >= max 1 n then d else go (d + 1) in
+  go 2
+
+let encode ?(blank = "blank") ~k word : Database.t * info =
+  let n = List.length word in
+  (* Always leave at least one blank cell after the word: the machines
+     of Section 8 detect the end of the input by reading a blank. *)
+  let d = domain_size ~k (n + 1) in
+  let domain = List.init d constant in
+  let cells = tuples domain k in
+  let db = Database.create () in
+  let symbols = Array.of_list word in
+  List.iteri
+    (fun i cell ->
+      let sym = if i < n then symbols.(i) else blank in
+      ignore (Database.add db (Atom.make sym cell)))
+    cells;
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      ignore (Database.add db (Atom.make cell_next (a @ b)));
+      chain rest
+    | [ last ] -> ignore (Database.add db (Atom.make cell_last last))
+    | [] -> ()
+  in
+  (match cells with
+  | first :: _ ->
+    ignore (Database.add db (Atom.make cell_first first));
+    chain cells
+  | [] -> ());
+  (db, { degree = k; domain; cells = List.length cells })
+
+(* Read the word w(D) back from a string database. *)
+let decode ~k db =
+  let find_unique rel_arity name =
+    match Database.facts_of_rel db (name, 0, rel_arity) with
+    | [ a ] -> Atom.args a
+    | [] -> invalid_arg (Fmt.str "String_db.decode: missing %s" name)
+    | _ -> invalid_arg (Fmt.str "String_db.decode: ambiguous %s" name)
+  in
+  let first = find_unique k cell_first in
+  let next_of cell =
+    let pattern = Atom.make cell_next (cell @ List.init k (fun i -> Term.Var (Printf.sprintf "n%d" i))) in
+    let matching =
+      List.filter
+        (fun fact -> Subst.match_atom Subst.empty pattern fact <> None)
+        (Database.candidates db pattern)
+    in
+    match matching with
+    | [] -> None
+    | fact :: _ -> Some (List.filteri (fun i _ -> i >= k) (Atom.args fact))
+  in
+  let symbol_of cell =
+    let syms =
+      Database.fold
+        (fun a acc ->
+          if
+            Atom.arity a = k
+            && (not (List.mem (Atom.rel a) [ cell_first; cell_last ]))
+            && List.equal Term.equal (Atom.args a) cell
+          then Atom.rel a :: acc
+          else acc)
+        db []
+    in
+    match syms with
+    | [ s ] -> s
+    | [] -> invalid_arg "String_db.decode: cell without symbol"
+    | _ -> invalid_arg "String_db.decode: cell with several symbols"
+  in
+  let rec walk cell acc =
+    let acc = symbol_of cell :: acc in
+    match next_of cell with None -> List.rev acc | Some next -> walk next acc
+  in
+  walk first []
+
+(* Check the conditions of Def. 20 for a given alphabet. *)
+let validate ~k ~alphabet db : (unit, string) result =
+  let domain = Term.Set.elements (Database.active_domain db) in
+  let cells = tuples domain k in
+  let expected = List.length cells in
+  let count_symbols cell =
+    List.length
+      (List.filter
+         (fun sym ->
+           Database.mem db (Atom.make sym cell))
+         alphabet)
+  in
+  let bad = List.filter (fun c -> count_symbols c <> 1) cells in
+  if bad <> [] then Error (Fmt.str "%d of %d tuples violate exactly-one-symbol" (List.length bad) expected)
+  else begin
+    (* the next-chain must visit every tuple exactly once *)
+    match decode ~k db with
+    | word ->
+      if List.length word = expected then Ok ()
+      else Error (Fmt.str "successor chain covers %d of %d tuples" (List.length word) expected)
+    | exception Invalid_argument m -> Error m
+  end

@@ -1,0 +1,31 @@
+(** String databases of degree k (Definition 20): a word stored as a
+    database whose cells are the k-tuples of constants in lexicographic
+    order, each carrying exactly one symbol relation; words shorter than
+    the d^k cells are padded with the blank symbol, and at least one
+    blank cell always follows the word (machines detect end-of-input by
+    reading a blank). *)
+
+open Guarded_core
+
+val cell_first : string
+val cell_next : string
+val cell_last : string
+
+type info = {
+  degree : int;
+  domain : Term.t list;
+  cells : int;
+}
+
+val tuples : 'a list -> int -> 'a list list
+(** All k-tuples in lexicographic order. *)
+
+val domain_size : k:int -> int -> int
+
+val encode : ?blank:string -> k:int -> string list -> Database.t * info
+
+val decode : k:int -> Database.t -> string list
+(** w(D): the symbols along the successor chain. *)
+
+val validate : k:int -> alphabet:string list -> Database.t -> (unit, string) result
+(** Checks the conditions of Def. 20. *)

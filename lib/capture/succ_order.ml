@@ -1,0 +1,126 @@
+(** The order-generation program Σ_succ of Theorem 5.
+
+    The stratified weakly guarded theory below grows, with existential
+    rules, an infinite forest in which every finite sequence of database
+    constants is represented by a labeled null; the sequences that
+    enumerate the whole active domain without repetition are tagged
+    [good(u)] and carry a total order in the relations
+    [min(·,u)], [succ(·,·,u)], [max(·,u)].
+
+    Faithfulness note: the paper's rule set uses "Succ" with both four
+    and three arguments; we split it into the 4-ary extension relation
+    [step(x, y, u, v)] ("ordering v extends u by letting y succeed x")
+    and the 3-ary in-ordering successor [succ(x, y, u)], with the
+    bridging rule step(x,y,u,v) → succ(x,y,v) (rules 6a/6b below).
+
+    The chase of Σ_succ is infinite by design (every ordering keeps
+    being extended, repetitions included); a null-depth bound of
+    |domain| + 1 suffices to produce every good ordering, since good
+    sequences have exactly |domain| elements. *)
+
+open Guarded_core
+
+let theory_text =
+  {|
+  % (1) every constant starts an ordering
+  @r1  ACDom(X) -> exists U. min(X, U), new_(X, U).
+  % (2) extend any ordering by any constant
+  @r2  new_(X, U), ACDom(Y) -> exists V. step(X, Y, U, V), new_(Y, V).
+  % (3) the last element is part of the ordering
+  @r3  new_(X, U) -> old(X, U).
+  % (4) inherited membership
+  @r4  step(X, Y, U, V), old(X2, U) -> old(X2, V).
+  % (5) inherited minimum
+  @r5  step(X, Y, U, V), min(X2, U) -> min(X2, V).
+  % (6a) inherited successor pairs, (6b) the new pair
+  @r6a step(X, Y, U, V), succ(X2, Y2, U) -> succ(X2, Y2, V).
+  @r6b step(X, Y, U, V) -> succ(X, Y, V).
+  % (7)-(8) the strict order
+  @r7  succ(X, Y, U) -> lt(X, Y, U).
+  @r8  lt(X, Y, U), lt(Y, Z, U) -> lt(X, Z, U).
+  % (9) a cycle means a repeated element
+  @r9  lt(X, X, U) -> repetition(U).
+  % (10) a constant missing from the ordering
+  @r10 old(Y, U), ACDom(X), not old(X, U) -> omission(U).
+  % (11) good orderings are complete and repetition-free
+  @r11 old(X, U), not repetition(U), not omission(U) -> good(U).
+  % (12) the last element of a good ordering is its maximum
+  @r12 new_(X, U), good(U) -> max(X, U).
+|}
+
+let theory () = Parser.theory_of_string theory_text
+
+(* A total order extracted from the chase: the constants in sequence. *)
+type order = {
+  order_id : Term.t;  (** the null identifying the ordering *)
+  sequence : Term.t list;
+}
+
+let default_limits n =
+  { Guarded_chase.Engine.max_derivations = 2_000_000; max_depth = Some (n + 1) }
+
+(* Run the stratified chase and extract every good ordering. *)
+let good_orders ?limits (db : Database.t) : order list * Guarded_chase.Engine.outcome =
+  let n = Term.Set.cardinal (Database.active_domain db) in
+  let limits = match limits with Some l -> l | None -> default_limits n in
+  let res = Guarded_datalog.Stratified.chase ~limits (theory ()) db in
+  let goods =
+    Database.fold
+      (fun a acc -> if String.equal (Atom.rel a) "good" then Atom.args a @ acc else acc)
+      res.db []
+  in
+  let succ_of u x =
+    let pattern = Atom.make "succ" [ x; Term.Var "Y"; u ] in
+    List.filter_map
+      (fun fact ->
+        match Atom.args fact with
+        | [ x'; y; u' ] when Term.equal x' x && Term.equal u' u -> Some y
+        | _ -> None)
+      (Database.candidates res.db pattern)
+  in
+  let min_of u =
+    Database.fold
+      (fun a acc ->
+        match (Atom.rel a, Atom.args a) with
+        | "min", [ x; u' ] when Term.equal u' u -> x :: acc
+        | _ -> acc)
+      res.db []
+  in
+  let orders =
+    List.filter_map
+      (fun u ->
+        match min_of u with
+        | [ start ] ->
+          let rec walk x acc =
+            match succ_of u x with
+            | [] -> List.rev (x :: acc)
+            | [ y ] -> walk y (x :: acc)
+            | _ -> List.rev (x :: acc)
+          in
+          Some { order_id = u; sequence = walk start [] }
+        | _ -> None)
+      goods
+  in
+  (orders, res.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's own non-monotonic witness: is |adom(D)| even? This
+   query is inexpressible without negation (monotonicity), and becomes
+   a two-rule walk over any good ordering. *)
+
+let even_text =
+  {|
+  @p1 min(X, U) -> oddIdx(X, U).
+  @p2 oddIdx(X, U), succ(X, Y, U) -> evenIdx(Y, U).
+  @p3 evenIdx(X, U), succ(X, Y, U) -> oddIdx(Y, U).
+  @p4 good(U), max(X, U), evenIdx(X, U) -> evenCard().
+|}
+
+let even_cardinality_theory () =
+  Theory.of_rules (Theory.rules (theory ()) @ Theory.rules (Parser.theory_of_string even_text))
+
+let even_cardinality ?limits db =
+  let n = Term.Set.cardinal (Database.active_domain db) in
+  let limits = match limits with Some l -> l | None -> default_limits n in
+  let res = Guarded_datalog.Stratified.chase ~limits (even_cardinality_theory ()) db in
+  Database.mem res.db (Atom.make "evenCard" [])

@@ -1,0 +1,30 @@
+(** The order-generation program Σ_succ of Theorem 5: a stratified
+    weakly guarded theory whose chase grows every finite sequence of
+    database constants as a labeled null; the repetition-free, complete
+    ones are tagged good(u) and carry min/succ/max relations indexed by
+    u. See the implementation header for the 4-ary/3-ary Succ repair. *)
+
+open Guarded_core
+
+val theory : unit -> Theory.t
+(** The (repaired) 13-rule program. *)
+
+type order = {
+  order_id : Term.t;
+  sequence : Term.t list;
+}
+
+val default_limits : int -> Guarded_chase.Engine.limits
+(** Null-depth |domain| + 1: enough to generate every good ordering. *)
+
+val good_orders :
+  ?limits:Guarded_chase.Engine.limits ->
+  Database.t ->
+  order list * Guarded_chase.Engine.outcome
+(** All good orderings — exactly the |adom|! permutations. *)
+
+val even_cardinality_theory : unit -> Theory.t
+(** Σ_succ plus the parity walk: derives evenCard() iff |adom(D)| is
+    even — the paper's witness that stratified negation is needed. *)
+
+val even_cardinality : ?limits:Guarded_chase.Engine.limits -> Database.t -> bool

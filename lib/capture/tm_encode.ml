@@ -1,0 +1,147 @@
+(** The reduction behind Theorem 4: from a deterministic Turing machine
+    to a weakly guarded theory over string databases.
+
+    The machine's tape cells are the k-tuples of the input string
+    database; configurations are labeled nulls invented by the chase.
+    Relations:
+    - [conf0(c)]           the initial configuration,
+    - [inState(c, q)]      the machine is in state q (a constant),
+    - [head(c, ~p)]        the head sits on cell ~p,
+    - [tape(c, ~p, s)]     cell ~p holds symbol s (a constant),
+    - [step(c, c')]        c' is the successor configuration of c,
+    - [accept()]           the machine halted in the accepting state.
+
+    Every rule is weakly guarded: the only unsafe variables are the
+    configuration nulls c, c', always covered jointly by a [step] or
+    singly by an [inState]/[conf0] atom; cell and symbol variables live
+    in non-affected (database) positions. The tape-copy rule uses a
+    tuple inequality computed by Datalog from the transitive closure of
+    the cell successor. A deterministic machine yields a chase that is
+    one configuration chain; it saturates exactly when the machine
+    halts, so bounded chase entailment of [accept()] decides acceptance
+    for halting machines. *)
+
+open Guarded_core
+
+let conf0 = "conf0"
+let in_state = "inState"
+let head_rel = "head"
+let tape = "tape"
+let step = "step"
+let accept = "accept"
+let lt_cells = "ltCells"
+let differs = "differsCells"
+
+let state_const q = Term.Const ("q_" ^ q)
+let symbol_const s = Term.Const ("s_" ^ s)
+
+let cvar = Term.Var "C"
+let cvar' = Term.Var "C2"
+let pvars k = List.init k (fun i -> Term.Var (Printf.sprintf "P%d" i))
+let pvars' k = List.init k (fun i -> Term.Var (Printf.sprintf "R%d" i))
+let qvars k = List.init k (fun i -> Term.Var (Printf.sprintf "Q%d" i))
+
+(* Datalog: strict order on cells (transitive closure of cell_next) and
+   the tuple inequality derived from it. *)
+let cell_order_rules ~k =
+  let p = pvars k and q = qvars k and r = pvars' k in
+  [
+    Rule.make_pos [ Atom.make String_db.cell_next (p @ q) ] [ Atom.make lt_cells (p @ q) ];
+    Rule.make_pos
+      [ Atom.make lt_cells (p @ q); Atom.make lt_cells (q @ r) ]
+      [ Atom.make lt_cells (p @ r) ];
+    Rule.make_pos [ Atom.make lt_cells (p @ q) ] [ Atom.make differs (p @ q) ];
+    Rule.make_pos [ Atom.make lt_cells (p @ q) ] [ Atom.make differs (q @ p) ];
+  ]
+
+(* The full theory Σ_M for machine [spec] over degree-k string
+   databases whose symbols it reads directly as relation names. *)
+let theory ~k (spec : Turing.spec) : Theory.t =
+  let outgoing_from_accept =
+    List.exists (fun ((q, _), _) -> String.equal q spec.sp_accept) spec.sp_delta
+  in
+  if outgoing_from_accept then
+    invalid_arg "Tm_encode.theory: the accepting state must be halting";
+  let p = pvars k in
+  let alphabet =
+    List.sort_uniq String.compare
+      (spec.sp_blank
+      :: List.concat_map (fun ((_, s), tr) -> [ s; tr.Turing.write ]) spec.sp_delta)
+  in
+  let init =
+    Rule.make_pos ~evars:[ "C" ] [] [ Atom.make conf0 [ cvar ] ]
+    :: Rule.make_pos [ Atom.make conf0 [ cvar ] ] [ Atom.make in_state [ cvar; state_const spec.sp_start ] ]
+    :: Rule.make_pos
+         [ Atom.make conf0 [ cvar ]; Atom.make String_db.cell_first p ]
+         [ Atom.make head_rel (cvar :: p) ]
+    :: List.map
+         (fun s ->
+           Rule.make_pos
+             [ Atom.make conf0 [ cvar ]; Atom.make s p ]
+             [ Atom.make tape ((cvar :: p) @ [ symbol_const s ]) ])
+         alphabet
+  in
+  (* One existential rule per transition and movement case. *)
+  let transition_rules =
+    List.concat_map
+      (fun ((q, s), (tr : Turing.transition)) ->
+        let base_body =
+          [
+            Atom.make in_state [ cvar; state_const q ];
+            Atom.make head_rel (cvar :: p);
+            Atom.make tape ((cvar :: p) @ [ symbol_const s ]);
+          ]
+        in
+        let make_step ~extra_body ~new_head =
+          Rule.make_pos ~evars:[ "C2" ] (base_body @ extra_body)
+            [
+              Atom.make step [ cvar; cvar' ];
+              Atom.make in_state [ cvar'; state_const tr.next_state ];
+              Atom.make tape ((cvar' :: p) @ [ symbol_const tr.write ]);
+              Atom.make head_rel (cvar' :: new_head);
+            ]
+        in
+        match tr.move with
+        | Turing.Stay -> [ make_step ~extra_body:[] ~new_head:p ]
+        | Turing.Right ->
+          let p2 = qvars k in
+          [
+            make_step ~extra_body:[ Atom.make String_db.cell_next (p @ p2) ] ~new_head:p2;
+            (* at the right end the head stays in place *)
+            make_step ~extra_body:[ Atom.make String_db.cell_last p ] ~new_head:p;
+          ]
+        | Turing.Left ->
+          let p0 = qvars k in
+          [
+            make_step ~extra_body:[ Atom.make String_db.cell_next (p0 @ p) ] ~new_head:p0;
+            make_step ~extra_body:[ Atom.make String_db.cell_first p ] ~new_head:p;
+          ])
+      spec.sp_delta
+  in
+  let copy =
+    (* step(c,c') ∧ tape(c,~p,s) ∧ head(c,~q) ∧ differs(~p,~q) → tape(c',~p,s) *)
+    let q = qvars k in
+    Rule.make_pos
+      [
+        Atom.make step [ cvar; cvar' ];
+        Atom.make tape ((cvar :: p) @ [ Term.Var "S" ]);
+        Atom.make head_rel (cvar :: q);
+        Atom.make differs (p @ q);
+      ]
+      [ Atom.make tape ((cvar' :: p) @ [ Term.Var "S" ]) ]
+  in
+  let accepting =
+    Rule.make_pos
+      [ Atom.make in_state [ cvar; state_const spec.sp_accept ] ]
+      [ Atom.make accept [] ]
+  in
+  Theory.of_rules (init @ cell_order_rules ~k @ transition_rules @ [ copy; accepting ])
+
+(* Decide whether [spec] accepts the word stored in the string database
+   [db] by chasing Σ_M; complete whenever the machine halts within the
+   derivation budget. *)
+let accepts ?limits ~k spec db =
+  match Guarded_chase.Engine.entails ?limits (theory ~k spec) db (Atom.make accept []) with
+  | Guarded_chase.Engine.Proved -> Ok true
+  | Guarded_chase.Engine.Disproved -> Ok false
+  | Guarded_chase.Engine.Unknown -> Error "chase budget exhausted before the machine halted"

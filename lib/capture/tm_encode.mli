@@ -1,0 +1,30 @@
+(** The reduction behind Theorem 4: a deterministic Turing machine
+    becomes a weakly guarded theory over string databases whose chase
+    simulates the run — configurations are labeled nulls, tape cells are
+    the database's k-tuples. *)
+
+open Guarded_core
+
+val conf0 : string
+val in_state : string
+val head_rel : string
+val tape : string
+val step : string
+
+val accept : string
+(** The 0-ary output relation: the machine halted accepting. *)
+
+val theory : k:int -> Turing.spec -> Theory.t
+(** Σ_M. Weakly guarded by construction (the test-suite checks it with
+    the classifier).
+    @raise Invalid_argument if the accepting state has outgoing
+    transitions. *)
+
+val accepts :
+  ?limits:Guarded_chase.Engine.limits ->
+  k:int ->
+  Turing.spec ->
+  Database.t ->
+  (bool, string) result
+(** Chase-based acceptance; [Error] when the budget ran out before the
+    machine halted. *)

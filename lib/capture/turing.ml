@@ -1,0 +1,147 @@
+(** Deterministic Turing machines (the computation model of Section 8).
+
+    A machine works over a finite tape alphabet, has a single tape and a
+    single head, and is deterministic: at most one transition per
+    (state, symbol) pair. A missing transition halts the machine; it
+    accepts iff it halts in the accepting state. The tape is bounded
+    (the capture theorems simulate space-bounded machines whose cells
+    are the positions of a string database); moving off either end
+    halts the machine in place. *)
+
+type direction =
+  | Left
+  | Right
+  | Stay
+
+type transition = {
+  next_state : string;
+  write : string;
+  move : direction;
+}
+
+type spec = {
+  sp_name : string;
+  sp_blank : string;
+  sp_start : string;
+  sp_accept : string;
+  sp_delta : ((string * string) * transition) list;
+      (** association list on (state, read symbol) *)
+}
+
+let make ~name ~blank ~start ~accept delta =
+  (* Determinism: no duplicate (state, symbol) key. *)
+  let keys = List.map fst delta in
+  let sorted = List.sort compare keys in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  (match dup sorted with
+  | Some (q, s) -> invalid_arg (Fmt.str "Turing.make: duplicate transition for (%s, %s)" q s)
+  | None -> ());
+  { sp_name = name; sp_blank = blank; sp_start = start; sp_accept = accept; sp_delta = delta }
+
+let transition spec q s = List.assoc_opt (q, s) spec.sp_delta
+
+type outcome =
+  | Accepted
+  | Rejected  (** halted in a non-accepting state *)
+  | Out_of_fuel
+
+type run = {
+  outcome : outcome;
+  steps : int;
+  final_tape : string array;
+}
+
+(* Run [spec] on a tape of [cells] cells initialized with [input]
+   (padded with blanks), head at cell 0, for at most [fuel] steps. *)
+let run ?(fuel = 1_000_000) spec ~cells input =
+  if List.length input > cells then invalid_arg "Turing.run: input longer than the tape";
+  let tape = Array.make cells spec.sp_blank in
+  List.iteri (fun i s -> tape.(i) <- s) input;
+  let rec go state head steps =
+    if steps >= fuel then { outcome = Out_of_fuel; steps; final_tape = tape }
+    else
+      match transition spec state tape.(head) with
+      | None ->
+        {
+          outcome = (if String.equal state spec.sp_accept then Accepted else Rejected);
+          steps;
+          final_tape = tape;
+        }
+      | Some tr ->
+        tape.(head) <- tr.write;
+        let head' =
+          match tr.move with
+          | Left -> if head = 0 then head else head - 1
+          | Right -> if head = cells - 1 then head else head + 1
+          | Stay -> head
+        in
+        go tr.next_state head' (steps + 1)
+  in
+  go spec.sp_start 0 0
+
+let accepts ?fuel spec ~cells input =
+  match (run ?fuel spec ~cells input).outcome with
+  | Accepted -> true
+  | Rejected | Out_of_fuel -> false
+
+(* ------------------------------------------------------------------ *)
+(* A small zoo of machines used by tests, examples and benchmarks.     *)
+
+(* Accepts words over {one, zero} with an even number of "one"s. *)
+let parity_machine =
+  let tr q s q' = ((q, s), { next_state = q'; write = s; move = Right }) in
+  make ~name:"even-ones" ~blank:"blank" ~start:"even" ~accept:"acc"
+    [
+      tr "even" "zero" "even";
+      tr "even" "one" "odd";
+      tr "odd" "zero" "odd";
+      tr "odd" "one" "even";
+      (("even", "blank"), { next_state = "acc"; write = "blank"; move = Stay });
+    ]
+
+(* Accepts words of the form zero^m one^m (balanced halves), a classic
+   crossing-off machine exercising both directions and rewriting. *)
+let balanced_machine =
+  let t q s q' w m = ((q, s), { next_state = q'; write = w; move = m }) in
+  make ~name:"zeros-then-ones" ~blank:"blank" ~start:"seek0" ~accept:"acc"
+    [
+      (* Cross off the leftmost zero... *)
+      t "seek0" "zero" "scan_right" "crossed" Right;
+      t "seek0" "crossed" "seek0" "crossed" Right;
+      t "seek0" "blank" "acc" "blank" Stay;
+      (* ... find the last one and cross it off. *)
+      t "scan_right" "zero" "scan_right" "zero" Right;
+      t "scan_right" "one" "scan_right" "one" Right;
+      t "scan_right" "crossed" "back_off" "crossed" Left;
+      t "scan_right" "blank" "back_off" "blank" Left;
+      t "back_off" "one" "rewind" "crossed" Left;
+      (* Rewind to the leftmost uncrossed zero. *)
+      t "rewind" "zero" "rewind" "zero" Left;
+      t "rewind" "one" "rewind" "one" Left;
+      t "rewind" "crossed" "seek0" "crossed" Right;
+    ]
+
+(* A binary counter, least significant bit first after a left-end
+   marker: the input is [lend; zero^n] and the machine increments until
+   the counter overflows (all cells were one), which takes Θ(2^n) steps
+   — the witness that weakly guarded chases genuinely need exponential
+   time. Run it with at least one blank cell after the bits. *)
+let counter_machine =
+  let t q s q' w m = ((q, s), { next_state = q'; write = w; move = m }) in
+  make ~name:"binary-counter" ~blank:"blank" ~start:"start" ~accept:"acc"
+    [
+      t "start" "lend" "inc" "lend" Right;
+      (* Increment with carry from the least significant bit. *)
+      t "inc" "one" "inc" "zero" Right;
+      t "inc" "zero" "rewind" "one" Left;
+      (* Carry past the last bit: overflow, every bit was one. *)
+      t "inc" "blank" "acc" "blank" Stay;
+      t "rewind" "zero" "rewind" "zero" Left;
+      t "rewind" "one" "rewind" "one" Left;
+      t "rewind" "lend" "inc" "lend" Right;
+    ]
+
+let counter_input n = "lend" :: List.init n (fun _ -> "zero")

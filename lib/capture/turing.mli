@@ -1,0 +1,63 @@
+(** Deterministic Turing machines (the computation model of Section 8).
+
+    Single tape, single head, bounded tape (the capture theorems simulate
+    space-bounded machines whose cells are the positions of a string
+    database). A missing transition halts; acceptance is halting in the
+    accepting state; moving off either end halts in place. *)
+
+type direction =
+  | Left
+  | Right
+  | Stay
+
+type transition = {
+  next_state : string;
+  write : string;
+  move : direction;
+}
+
+type spec = {
+  sp_name : string;
+  sp_blank : string;
+  sp_start : string;
+  sp_accept : string;
+  sp_delta : ((string * string) * transition) list;
+}
+
+val make :
+  name:string ->
+  blank:string ->
+  start:string ->
+  accept:string ->
+  ((string * string) * transition) list ->
+  spec
+(** @raise Invalid_argument on duplicate (state, symbol) transitions. *)
+
+val transition : spec -> string -> string -> transition option
+
+type outcome =
+  | Accepted
+  | Rejected
+  | Out_of_fuel
+
+type run = {
+  outcome : outcome;
+  steps : int;
+  final_tape : string array;
+}
+
+val run : ?fuel:int -> spec -> cells:int -> string list -> run
+val accepts : ?fuel:int -> spec -> cells:int -> string list -> bool
+
+(** {2 The machine zoo used by tests, examples and benchmarks} *)
+
+val parity_machine : spec
+(** Accepts words over \{one, zero\} with an even number of ones. *)
+
+val balanced_machine : spec
+(** Accepts zero^m one^m. *)
+
+val counter_machine : spec
+(** A binary counter taking Θ(2^n) steps on [counter_input n]. *)
+
+val counter_input : int -> string list

@@ -1,0 +1,268 @@
+(** The (oblivious) chase of a database w.r.t. a theory.
+
+    Following the paper's preliminaries, the oblivious chase fires every
+    rule on every body homomorphism exactly once, inventing a fresh
+    labeled null for each existential variable. The chase is fair (a
+    breadth-first round structure guarantees condition (c) of the
+    definition) and potentially infinite, so runs are bounded by a
+    derivation budget and, optionally, by the nesting depth of invented
+    nulls. A run reports whether it saturated (no applicable trigger
+    remained, hence the result is the full universal solution) or hit a
+    bound (the result is a sound under-approximation).
+
+    Only positive rules are supported here; stratified negation has its
+    own evaluation in [Guarded_datalog.Stratified]. *)
+
+open Guarded_core
+
+type outcome =
+  | Saturated  (** no trigger left: the result is chase(Σ, D) itself *)
+  | Bounded  (** a resource limit was hit: sound under-approximation *)
+
+(* One chase step: the fired rule, the body homomorphism (extended with
+   the null assignment for existential variables) and the added atoms. *)
+type step = {
+  rule : Rule.t;
+  assignment : Subst.t;
+  added : Atom.t list;
+}
+
+type result = {
+  db : Database.t;
+  outcome : outcome;
+  derivations : int;
+  steps : step list;  (** in derivation order *)
+}
+
+type limits = {
+  max_derivations : int;
+  max_depth : int option;  (** bound on null nesting depth *)
+}
+
+let default_limits = { max_derivations = 100_000; max_depth = None }
+
+(* How to interpret negative body literals. [Reject] refuses them (the
+   plain chase of the paper's Sections 2-7 is positive); [Snapshot db]
+   implements the stratified semantics of Def. 23: [not A(~t)] holds iff
+   the instantiated tuple ranges over the terms of [db] and [A(~t)] is
+   absent from [db] — exactly membership of [Ā(~t)] in S'_{i-1}. *)
+type negation =
+  | Reject
+  | Snapshot of Database.t
+
+let check_positive sigma =
+  List.iter
+    (fun r ->
+      if not (Rule.is_positive r) then
+        invalid_arg
+          (Fmt.str "Chase.run: rule with negation not supported: %a" Rule.pp r))
+    (Theory.rules sigma)
+
+(* Key identifying a trigger: the rule index and the canonical image of
+   its universal variables. *)
+let trigger_key idx r subst =
+  let uvars = Names.Sset.elements (Rule.uvars r) in
+  let img =
+    List.map
+      (fun v ->
+        match Subst.find_opt v subst with
+        | Some t -> Term.to_string t
+        | None -> "?")
+      uvars
+  in
+  string_of_int idx ^ "|" ^ String.concat "," img
+
+(* Chase variants: the oblivious chase of the paper fires every trigger
+   once; the restricted (standard) chase skips a trigger whose head is
+   already satisfied by an extension of the body homomorphism. The
+   restricted chase terminates on many theories whose oblivious chase
+   diverges and has the same certain answers (both produce universal
+   models). *)
+type variant =
+  | Oblivious
+  | Restricted
+
+let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
+    (sigma : Theory.t) (db0 : Database.t) =
+  let snapshot_terms, snapshot =
+    match negation with
+    | Reject ->
+      check_positive sigma;
+      (Term.Set.empty, None)
+    | Snapshot snap ->
+      let terms =
+        Database.fold
+          (fun a acc -> List.fold_left (fun acc t -> Term.Set.add t acc) acc (Atom.terms a))
+          snap Term.Set.empty
+      in
+      (terms, Some snap)
+  in
+  let negatives_hold r subst =
+    match snapshot with
+    | None -> true
+    | Some snap ->
+      List.for_all
+        (fun a ->
+          let a' = Subst.apply_atom subst a in
+          if not (Atom.is_ground a') then
+            invalid_arg (Fmt.str "Chase.run: unsafe negative literal %a" Atom.pp a');
+          List.for_all (fun t -> Term.Set.mem t snapshot_terms) (Atom.terms a')
+          && not (Database.mem snap a'))
+        (Rule.neg_body_atoms r)
+  in
+  let db = Database.copy db0 in
+  let fired : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let null_depth : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_null =
+    ref
+      (1
+      + Database.fold
+          (fun a acc ->
+            List.fold_left
+              (fun acc t -> match t with Term.Null n -> max acc n | Term.Const _ | Term.Var _ -> acc)
+              acc (Atom.terms a))
+          db 0)
+  in
+  let term_depth = function
+    | Term.Null n -> ( match Hashtbl.find_opt null_depth n with Some d -> d | None -> 0)
+    | Term.Const _ | Term.Var _ -> 0
+  in
+  let steps = ref [] in
+  let derivations = ref 0 in
+  let truncated = ref false in
+  let rules = Array.of_list (Theory.rules sigma) in
+  (* Fire one trigger; returns true if the database grew. *)
+  let fire r subst =
+    let body_img = List.map (Subst.apply_atom subst) (Rule.body_atoms r) in
+    let depth = List.fold_left (fun d a -> List.fold_left (fun d t -> max d (term_depth t)) d (Atom.terms a)) 0 body_img in
+    let within_depth =
+      match limits.max_depth with None -> true | Some k -> depth < k
+    in
+    if (not within_depth) && not (Names.Sset.is_empty (Rule.evars r)) then begin
+      truncated := true;
+      false
+    end
+    else begin
+      let assignment =
+        Names.Sset.fold
+          (fun v acc ->
+            let n = !next_null in
+            incr next_null;
+            Hashtbl.replace null_depth n (depth + 1);
+            Subst.add v (Term.Null n) acc)
+          (Rule.evars r) subst
+      in
+      let added =
+        List.filter (fun a -> Database.add db a) (Subst.apply_atoms assignment (Rule.head r))
+      in
+      incr derivations;
+      steps := { rule = r; assignment; added } :: !steps;
+      added <> []
+    end
+  in
+  (* Semi-naive rounds: after the first full enumeration, a rule only
+     re-fires on joins anchored in a fact added during the previous
+     round. This keeps fairness (condition (c) of the chase definition)
+     while avoiding the quadratic re-enumeration of old triggers. *)
+  (* Restricted chase: the trigger is inactive when the head already
+     has an image extending the homomorphism. Satisfaction is monotone,
+     so a skipped trigger may safely be marked as fired. *)
+  let head_satisfied r subst =
+    match variant with
+    | Oblivious -> false
+    | Restricted -> Homomorphism.exists ~init:subst (Rule.head r) db
+  in
+  let consider idx r new_trigger subst =
+    if !derivations < limits.max_derivations then begin
+      let key = trigger_key idx r subst in
+      if (not (Hashtbl.mem fired key)) && negatives_hold r subst then begin
+        Hashtbl.add fired key ();
+        if not (head_satisfied r subst) then begin
+          ignore (fire r subst);
+          new_trigger := true
+        end
+      end
+    end
+    else truncated := true
+  in
+  let fire_round ~delta =
+    let new_trigger = ref false in
+    Array.iteri
+      (fun idx r ->
+        if !derivations < limits.max_derivations then begin
+          let body = Rule.body_atoms r in
+          match delta with
+          | None ->
+            (* first round: full enumeration *)
+            Homomorphism.iter_pos body db (consider idx r new_trigger)
+          | Some delta ->
+            List.iteri
+              (fun i anchor ->
+                if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
+                  List.iter
+                    (fun fact ->
+                      match Subst.match_atom Subst.empty anchor fact with
+                      | None -> ()
+                      | Some subst ->
+                        let rest = List.filteri (fun j _ -> j <> i) body in
+                        Homomorphism.iter_pos ~init:subst rest db
+                          (consider idx r new_trigger))
+                    (Database.candidates delta anchor))
+              body
+        end
+        else truncated := true)
+      rules;
+    !new_trigger
+  in
+  let rec rounds ~delta seen_steps =
+    if !derivations >= limits.max_derivations then truncated := true
+    else begin
+      ignore (fire_round ~delta);
+      (* The next delta: everything added by the steps of this round. *)
+      let next_delta = Database.create () in
+      let rec collect n l =
+        if n > 0 then
+          match l with
+          | step :: rest ->
+            List.iter (fun a -> ignore (Database.add next_delta a)) step.added;
+            collect (n - 1) rest
+          | [] -> ()
+      in
+      let total = List.length !steps in
+      collect (total - seen_steps) !steps;
+      if Database.cardinal next_delta > 0 then rounds ~delta:(Some next_delta) total
+    end
+  in
+  rounds ~delta:None 0;
+  {
+    db;
+    outcome = (if !truncated then Bounded else Saturated);
+    derivations = !derivations;
+    steps = List.rev !steps;
+  }
+
+(* Three-valued entailment of a ground atom under a bounded chase. *)
+type verdict =
+  | Proved
+  | Disproved
+  | Unknown  (** the bounded chase neither derived the atom nor saturated *)
+
+let entails ?limits sigma db atom =
+  if not (Atom.is_ground atom) then invalid_arg "Chase.entails: atom must be ground";
+  let res = run ?limits sigma db in
+  if Database.mem res.db atom then Proved
+  else match res.outcome with Saturated -> Disproved | Bounded -> Unknown
+
+(* ans((Σ, Q), D): constant tuples ~c with Q(~c) in the chase. Sound and,
+   when the run saturates, complete. *)
+let answers ?limits sigma db ~query =
+  let res = run ?limits sigma db in
+  let tuples =
+    Database.fold
+      (fun a acc ->
+        if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
+          Atom.args a :: acc
+        else acc)
+      res.db []
+  in
+  (List.sort_uniq (List.compare Term.compare) tuples, res.outcome)

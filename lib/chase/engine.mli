@@ -1,0 +1,69 @@
+(** The (oblivious) chase of a database w.r.t. a theory (Section 2).
+
+    The oblivious chase fires every rule on every body homomorphism
+    exactly once, inventing a fresh labeled null per existential
+    variable. Rounds are semi-naive (new triggers are anchored in the
+    facts of the previous round) and fair, satisfying condition (c) of
+    the chase definition. Runs are bounded by a derivation budget and,
+    optionally, by the nesting depth of invented nulls: a [Saturated]
+    outcome means the result is chase(Σ, D) itself; [Bounded] means a
+    sound under-approximation. *)
+
+open Guarded_core
+
+type outcome =
+  | Saturated
+  | Bounded
+
+type step = {
+  rule : Rule.t;
+  assignment : Subst.t;
+      (** the body homomorphism extended with the null assignment *)
+  added : Atom.t list;
+}
+
+type result = {
+  db : Database.t;
+  outcome : outcome;
+  derivations : int;
+  steps : step list;  (** in derivation order *)
+}
+
+type limits = {
+  max_derivations : int;
+  max_depth : int option;  (** bound on null nesting depth *)
+}
+
+val default_limits : limits
+
+(** Interpretation of negative body literals. [Reject] refuses them;
+    [Snapshot db] implements the stratified semantics of Def. 23:
+    [not A(~t)] holds iff the tuple ranges over the terms of [db] and
+    [A(~t)] is absent from [db]. *)
+type negation =
+  | Reject
+  | Snapshot of Database.t
+
+(** Chase variants: [Oblivious] (the paper's, default) fires every
+    trigger once; [Restricted] skips triggers whose head is already
+    satisfied by an extension of the body homomorphism — it terminates
+    on many theories whose oblivious chase diverges, with the same
+    certain answers (both results are universal models). *)
+type variant =
+  | Oblivious
+  | Restricted
+
+val run :
+  ?limits:limits -> ?negation:negation -> ?variant:variant -> Theory.t -> Database.t -> result
+
+type verdict =
+  | Proved
+  | Disproved
+  | Unknown  (** the bounded chase neither derived the atom nor saturated *)
+
+val entails : ?limits:limits -> Theory.t -> Database.t -> Atom.t -> verdict
+
+val answers :
+  ?limits:limits -> Theory.t -> Database.t -> query:string -> Term.t list list * outcome
+(** ans((Σ, Q), D): constant tuples with Q(~c) in the chase; complete
+    exactly when the run saturates. *)

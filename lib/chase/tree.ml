@@ -1,0 +1,208 @@
+(** Chase trees (Definitions 5-6) and the properties of Proposition 2.
+
+    Replaying the derivation order of a chase of a normal
+    frontier-guarded theory, atoms are placed into a tree whose root
+    holds the input database (plus the fact rules of the theory) and
+    whose non-root nodes hold atoms over at most [m] terms, where [m] is
+    the maximal relation arity. The placement follows (C1)/(C2): an atom
+    whose terms already live together in some node goes to the unique
+    minimal such node, otherwise it opens a new child under the minimal
+    node covering the image of the fired rule's frontier. *)
+
+open Guarded_core
+
+type node = {
+  id : int;
+  parent : node option;
+  mutable atoms : Atom.Set.t;
+  mutable terms : Term.Set.t;
+  mutable children : node list;
+}
+
+type t = {
+  root : node;
+  mutable nodes : node list;  (** all nodes, most recent first *)
+  mutable next_id : int;
+}
+
+let root t = t.root
+let nodes t = List.rev t.nodes
+let node_count t = List.length t.nodes
+
+let node_atoms n = n.atoms
+let node_terms n = n.terms
+let node_children n = n.children
+let node_parent n = n.parent
+let is_root n = n.parent = None
+
+let atom_terms a = Term.Set.of_list (Atom.terms a)
+
+let add_atom_to_node n a =
+  n.atoms <- Atom.Set.add a n.atoms;
+  n.terms <- Term.Set.union n.terms (atom_terms a)
+
+let create_root atoms =
+  let root =
+    { id = 0; parent = None; atoms = Atom.Set.empty; terms = Term.Set.empty; children = [] }
+  in
+  List.iter (add_atom_to_node root) atoms;
+  { root; nodes = [ root ]; next_id = 1 }
+
+(* All nodes of the tree that contain the term set [c]. *)
+let nodes_containing t c = List.filter (fun n -> Term.Set.subset c n.terms) t.nodes
+
+(* The C-minimal nodes: containing [c], with no parent containing [c].
+   Proposition 2 (P3) promises at most one; we expose the list so the
+   test-suite can check the promise. *)
+let minimal_nodes t c =
+  List.filter
+    (fun n ->
+      match n.parent with
+      | None -> true
+      | Some p -> not (Term.Set.subset c p.terms))
+    (nodes_containing t c)
+
+let minimal_node t c =
+  match minimal_nodes t c with
+  | [] -> None
+  | [ n ] -> Some n
+  | n :: _ as all ->
+    (* Should not happen for frontier-guarded chases (P3); pick the
+       shallowest deterministically but record the anomaly. *)
+    ignore all;
+    Some n
+
+let new_child t parent atom =
+  let n =
+    {
+      id = t.next_id;
+      parent = Some parent;
+      atoms = Atom.Set.singleton atom;
+      terms = atom_terms atom;
+      children = [];
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  parent.children <- n :: parent.children;
+  t.nodes <- n :: t.nodes;
+  n
+
+(* Insert one chase consequence [atom] derived by [rule] under body
+   homomorphism [assignment] (C1/C2 of Def. 6). *)
+let insert t rule assignment atom =
+  let c = atom_terms atom in
+  match minimal_node t c with
+  | Some n -> add_atom_to_node n atom
+  | None ->
+    let frontier_img =
+      Names.Sset.fold
+        (fun v acc ->
+          match Subst.find_opt v assignment with
+          | Some term -> Term.Set.add term acc
+          | None -> acc)
+        (Rule.fvars rule) Term.Set.empty
+    in
+    let parent =
+      match minimal_node t frontier_img with
+      | Some n -> n
+      | None -> t.root
+    in
+    ignore (new_child t parent atom)
+
+(* Build the chase tree of [db] w.r.t. the normal frontier-guarded
+   theory [sigma] by replaying the steps of a chase run. *)
+let build (sigma : Theory.t) (db : Database.t) (res : Engine.result) =
+  let fact_atoms =
+    List.concat_map
+      (fun r -> if Rule.body r = [] && Rule.is_datalog r then Rule.head r else [])
+      (Theory.rules sigma)
+  in
+  let t = create_root (Database.to_list db @ fact_atoms) in
+  List.iter
+    (fun (step : Engine.step) ->
+      List.iter (fun a -> insert t step.rule step.assignment a) step.added)
+    res.steps;
+  t
+
+(* Width of the induced tree decomposition: max terms per node, minus one
+   by the usual convention. *)
+let width t = List.fold_left (fun acc n -> max acc (Term.Set.cardinal n.terms)) 0 t.nodes - 1
+
+let depth t =
+  let rec go n = 1 + List.fold_left (fun acc c -> max acc (go c)) (-1) n.children in
+  go t.root
+
+(* --- Proposition 2 checks ------------------------------------------------ *)
+
+type violation = string
+
+(* (P1): |terms(d0)| <= |terms(D)| + k, with k the constants in Σ rules. *)
+let check_p1 t sigma db : violation list =
+  let d_terms =
+    Database.fold (fun a acc -> Term.Set.union acc (atom_terms a)) db Term.Set.empty
+  in
+  let k = Names.Sset.cardinal (Theory.constants sigma) in
+  let bound = Term.Set.cardinal d_terms + k in
+  if Term.Set.cardinal t.root.terms <= bound then []
+  else [ Fmt.str "P1 violated: root has %d terms > %d" (Term.Set.cardinal t.root.terms) bound ]
+
+(* (P2): non-root nodes carry at most m terms (m = max arity). *)
+let check_p2 t sigma : violation list =
+  let m = Theory.max_arity sigma in
+  List.filter_map
+    (fun n ->
+      if is_root n || Term.Set.cardinal n.terms <= m then None
+      else Some (Fmt.str "P2 violated: node %d has %d terms > arity bound %d" n.id (Term.Set.cardinal n.terms) m))
+    t.nodes
+
+(* (P3): for each node's term set, the minimal node is unique. We check
+   uniqueness for every singleton {t} and every node term set. *)
+let check_p3 t : violation list =
+  let all_terms =
+    List.fold_left (fun acc n -> Term.Set.union acc n.terms) Term.Set.empty t.nodes
+  in
+  Term.Set.fold
+    (fun term acc ->
+      match minimal_nodes t (Term.Set.singleton term) with
+      | [] | [ _ ] -> acc
+      | l -> Fmt.str "P3 violated: term %a has %d minimal nodes" Term.pp term (List.length l) :: acc)
+    all_terms []
+
+(* Connectedness of the decomposition: nodes containing a term form a
+   connected subtree (equivalent to P3 for singletons, checked directly). *)
+let check_connected t : violation list =
+  let all_terms =
+    List.fold_left (fun acc n -> Term.Set.union acc n.terms) Term.Set.empty t.nodes
+  in
+  Term.Set.fold
+    (fun term acc ->
+      let holders = List.filter (fun n -> Term.Set.mem term n.terms) t.nodes in
+      (* Each holder except one must have a holder parent. *)
+      let roots =
+        List.filter
+          (fun n ->
+            match n.parent with
+            | None -> true
+            | Some p -> not (Term.Set.mem term p.terms))
+          holders
+      in
+      if List.length roots <= 1 then acc
+      else Fmt.str "connectedness violated for term %a" Term.pp term :: acc)
+    all_terms []
+
+let verify t sigma db : (unit, violation list) result
+    =
+  match check_p1 t sigma db @ check_p2 t sigma @ check_p3 t @ check_connected t with
+  | [] -> Ok ()
+  | violations -> Error violations
+
+let pp ppf t =
+  let rec go indent n =
+    Fmt.pf ppf "%s[%d] {%a}@."
+      (String.make indent ' ')
+      n.id
+      (Names.pp_comma_list Atom.pp)
+      (Atom.Set.elements n.atoms);
+    List.iter (go (indent + 2)) (List.rev n.children)
+  in
+  go 0 t.root

@@ -1,0 +1,46 @@
+(** Chase trees (Definitions 5-6) and the properties of Proposition 2.
+
+    Replaying the derivation order of a chase of a normal
+    frontier-guarded theory, atoms are placed into a tree whose root
+    holds the input database (plus the theory's fact rules) and whose
+    non-root nodes hold atoms over at most [m] terms (the maximal
+    relation arity): an atom whose terms already live together goes to
+    the unique C-minimal node (C1), otherwise it opens a child under the
+    minimal node covering the fired rule's frontier image (C2). *)
+
+open Guarded_core
+
+type node
+type t
+
+val build : Theory.t -> Database.t -> Engine.result -> t
+(** [build sigma db result] replays [result.steps] into a chase tree.
+    [sigma] must be normal and frontier-guarded for the Prop. 2
+    guarantees to hold. *)
+
+val root : t -> node
+val nodes : t -> node list
+val node_count : t -> int
+
+val node_atoms : node -> Atom.Set.t
+val node_terms : node -> Term.Set.t
+val node_children : node -> node list
+val node_parent : node -> node option
+val is_root : node -> bool
+
+val minimal_nodes : t -> Term.Set.t -> node list
+(** The C-minimal nodes for a term set (Def. 5); Prop. 2 (P3) promises
+    at most one for frontier-guarded chases. *)
+
+val width : t -> int
+(** Width of the induced tree decomposition (max node terms - 1). *)
+
+val depth : t -> int
+
+type violation = string
+
+val verify : t -> Theory.t -> Database.t -> (unit, violation list) result
+(** Checks (P1) root size, (P2) non-root arity bound, (P3) uniqueness of
+    minimal nodes, and connectedness of the decomposition. *)
+
+val pp : t Fmt.t

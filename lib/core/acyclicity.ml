@@ -1,0 +1,92 @@
+(** Weak acyclicity (Fagin, Kolaitis, Miller, Popa): the classic
+    sufficient condition for termination of the {e restricted} chase
+    (the oblivious chase may still diverge by re-firing on its own
+    nulls: t(X,Y) → ∃Z. t(Z,Y) is weakly acyclic), used here to let
+    callers run unbounded restricted chases safely.
+
+    The dependency graph has one node per (relation, argument position).
+    For every rule, every universal variable x occurring in body position
+    p and head position h induces a {e regular} edge p → h; if the
+    rule also has an existential variable at head position e, each such
+    body position p additionally gets a {e special} edge p ⇒ e. The
+    theory is weakly acyclic iff no cycle goes through a special edge;
+    then every restricted-chase sequence terminates in polynomially many
+    steps in the database size. *)
+
+type edge_kind =
+  | Regular
+  | Special
+
+module Pos_map = Map.Make (struct
+  type t = Classify.position
+
+  let compare = compare
+end)
+
+type graph = (Classify.position * edge_kind) list Pos_map.t
+
+let add_edge src dst kind (g : graph) : graph =
+  let existing = match Pos_map.find_opt src g with Some l -> l | None -> [] in
+  if List.mem (dst, kind) existing then g else Pos_map.add src ((dst, kind) :: existing) g
+
+(* Argument positions of variable [x] in [atoms]. *)
+let positions_in atoms x = Classify.positions_of_var atoms x
+
+let dependency_graph (sigma : Theory.t) : graph =
+  List.fold_left
+    (fun g r ->
+      let body = Rule.body_atoms r in
+      let head = Rule.head r in
+      let evar_positions =
+        Names.Sset.fold
+          (fun y acc -> Classify.Pos_set.union acc (positions_in head y))
+          (Rule.evars r) Classify.Pos_set.empty
+      in
+      (* Only frontier variables (body variables that reach the head)
+         induce edges: their values propagate, possibly forcing the
+         invention of the nulls at the existential positions. *)
+      Names.Sset.fold
+        (fun x g ->
+          let body_pos = positions_in body x in
+          let head_pos = positions_in head x in
+          Classify.Pos_set.fold
+            (fun p g ->
+              let g =
+                Classify.Pos_set.fold (fun h g -> add_edge p h Regular g) head_pos g
+              in
+              Classify.Pos_set.fold (fun e g -> add_edge p e Special g) evar_positions g)
+            body_pos g)
+        (Rule.fvars r) g)
+    Pos_map.empty (Theory.rules sigma)
+
+(* Is there a cycle through a special edge? Check per special edge
+   (u ⇒ v): reachable(v) ∋ u. *)
+let is_weakly_acyclic (sigma : Theory.t) : bool =
+  let g = dependency_graph sigma in
+  let successors p = match Pos_map.find_opt p g with Some l -> List.map fst l | None -> [] in
+  let reaches src dst =
+    let visited = Hashtbl.create 16 in
+    let rec go p =
+      if compare p dst = 0 then true
+      else if Hashtbl.mem visited p then false
+      else begin
+        Hashtbl.replace visited p ();
+        List.exists go (successors p)
+      end
+    in
+    go src
+  in
+  not
+    (Pos_map.exists
+       (fun src edges ->
+         List.exists (fun (dst, kind) -> kind = Special && reaches dst src) edges)
+       g)
+
+(* The special edges, for diagnostics. *)
+let special_edges (sigma : Theory.t) : (Classify.position * Classify.position) list =
+  Pos_map.fold
+    (fun src edges acc ->
+      List.fold_left
+        (fun acc (dst, kind) -> if kind = Special then (src, dst) :: acc else acc)
+        acc edges)
+    (dependency_graph sigma) []

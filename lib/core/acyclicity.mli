@@ -1,0 +1,19 @@
+(** Weak acyclicity (Fagin-Kolaitis-Miller-Popa): the classic sufficient
+    condition for termination of the restricted chase. A weakly acyclic
+    theory's restricted chase terminates on every database in
+    polynomially many steps; the oblivious chase may still diverge. *)
+
+type edge_kind =
+  | Regular
+  | Special
+
+module Pos_map : Map.S with type key = Classify.position
+
+type graph = (Classify.position * edge_kind) list Pos_map.t
+
+val dependency_graph : Theory.t -> graph
+
+val is_weakly_acyclic : Theory.t -> bool
+(** No cycle through a special edge. *)
+
+val special_edges : Theory.t -> (Classify.position * Classify.position) list

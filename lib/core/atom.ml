@@ -1,0 +1,79 @@
+(** Atoms [R(t1, ..., tn)], optionally with an annotated relation name
+    [R[u1, ..., uk](t1, ..., tn)].
+
+    Annotations ("relation name annotations" in the paper) carry terms as
+    part of the relation name; they are used by the weakly-frontier-guarded
+    to weakly-guarded translation (Section 5.2) to park the terms sitting
+    in non-affected positions. Two atoms denote the same relation exactly
+    when their name, annotation arity and argument arity agree. *)
+
+type t = {
+  rel : string;
+  ann : Term.t list;  (** annotation terms; [[]] for ordinary atoms *)
+  args : Term.t list;
+}
+
+let make ?(ann = []) rel args = { rel; ann; args }
+
+let rel a = a.rel
+let ann a = a.ann
+let args a = a.args
+let arity a = List.length a.args
+
+(* Relation identity: name together with the two arities. *)
+type rel_key = string * int * int
+
+let rel_key a : rel_key = (a.rel, List.length a.ann, List.length a.args)
+
+let terms a = a.ann @ a.args
+
+let vars a =
+  List.filter_map (function Term.Var v -> Some v | Term.Const _ | Term.Null _ -> None) (terms a)
+
+let var_set a = Names.Sset.of_list (vars a)
+
+(* Variables of the argument positions only. Guardedness notions look at
+   these: annotation slots are invisible to guards (a safely annotated
+   theory never lets an annotation variable occur as an argument). *)
+let arg_vars a =
+  List.filter_map (function Term.Var v -> Some v | Term.Const _ | Term.Null _ -> None) a.args
+
+let arg_var_set a = Names.Sset.of_list (arg_vars a)
+
+let term_set a = Term.Set.of_list (terms a)
+
+let constants a =
+  List.filter_map (function Term.Const c -> Some c | Term.Var _ | Term.Null _ -> None) (terms a)
+
+let is_ground a = List.for_all Term.is_ground (terms a)
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let c = List.compare Term.compare a.ann b.ann in
+    if c <> 0 then c else List.compare Term.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let map_terms f a = { a with ann = List.map f a.ann; args = List.map f a.args }
+
+let pp ppf a =
+  match a.ann with
+  | [] -> Fmt.pf ppf "%s(%a)" a.rel (Names.pp_comma_list Term.pp) a.args
+  | ann ->
+    Fmt.pf ppf "%s[%a](%a)" a.rel
+      (Names.pp_comma_list Term.pp)
+      ann
+      (Names.pp_comma_list Term.pp)
+      a.args
+
+let to_string = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

@@ -1,0 +1,59 @@
+(** Atoms [R(t1, ..., tn)], optionally with an annotated relation name
+    [R[u1, ..., uk](t1, ..., tn)].
+
+    Annotations ("relation name annotations", Section 2 of the paper)
+    carry terms as part of the relation name; the weakly-frontier-guarded
+    to weakly-guarded translation (Section 5.2) parks the terms sitting
+    in non-affected positions there. Two atoms denote the same relation
+    exactly when name, annotation arity and argument arity all agree. *)
+
+type t = private {
+  rel : string;
+  ann : Term.t list;  (** annotation terms; [[]] for ordinary atoms *)
+  args : Term.t list;
+}
+
+val make : ?ann:Term.t list -> string -> Term.t list -> t
+
+val rel : t -> string
+val ann : t -> Term.t list
+val args : t -> Term.t list
+
+val arity : t -> int
+(** Number of argument positions (annotation slots not counted). *)
+
+type rel_key = string * int * int
+(** Relation identity: name, annotation arity, argument arity. *)
+
+val rel_key : t -> rel_key
+
+val terms : t -> Term.t list
+(** All terms: annotation followed by arguments. *)
+
+val vars : t -> string list
+(** All variable names, annotation included, in positional order (with
+    duplicates). *)
+
+val var_set : t -> Names.Sset.t
+
+val term_set : t -> Term.Set.t
+
+val arg_vars : t -> string list
+(** Variables of the argument positions only. Guardedness notions look
+    at these: annotation slots are invisible to guards. *)
+
+val arg_var_set : t -> Names.Sset.t
+
+val constants : t -> string list
+val is_ground : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val map_terms : (Term.t -> Term.t) -> t -> t
+(** Applies the function to annotation and argument terms alike. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,183 @@
+(** Guardedness analysis (Definitions 1-3 of the paper).
+
+    Computes affected positions [ap(Σ)], unsafe variables, and classifies
+    rules and theories as Datalog / guarded / frontier-guarded / weakly
+    (frontier-)guarded / nearly (frontier-)guarded.
+
+    For theories with negation (Section 8), all notions are computed on
+    the positive part: negative literals are ignored both for affected
+    positions and for guard search, matching the paper's definition of
+    weak guardedness for stratified theories. *)
+
+type position = Atom.rel_key * int
+
+module Pos_set = Set.Make (struct
+  type t = position
+
+  let compare = compare
+end)
+
+(* pos(Γ, x): the argument positions at which variable [x] occurs in
+   [atoms]. Annotation slots are not positions: an annotation variable
+   only ever carries database constants, so it is never affected and
+   never unsafe. *)
+let positions_of_var atoms x =
+  List.fold_left
+    (fun acc a ->
+      let key = Atom.rel_key a in
+      List.fold_left
+        (fun (i, acc) t ->
+          match t with
+          | Term.Var v when String.equal v x -> (i + 1, Pos_set.add (key, i) acc)
+          | Term.Var _ | Term.Const _ | Term.Null _ -> (i + 1, acc))
+        (0, acc) (Atom.args a)
+      |> snd)
+    Pos_set.empty atoms
+
+(* Affected positions of a theory: least fixpoint of Def. 2. *)
+let affected_positions (sigma : Theory.t) =
+  let start =
+    List.fold_left
+      (fun acc r ->
+        Names.Sset.fold
+          (fun y acc -> Pos_set.union acc (positions_of_var (Rule.head r) y))
+          (Rule.evars r) acc)
+      Pos_set.empty (Theory.rules sigma)
+  in
+  let step ap =
+    List.fold_left
+      (fun ap r ->
+        let body = Rule.body_atoms r in
+        Names.Sset.fold
+          (fun x ap ->
+            let body_pos = positions_of_var body x in
+            if (not (Pos_set.is_empty body_pos)) && Pos_set.subset body_pos ap then
+              Pos_set.union ap (positions_of_var (Rule.head r) x)
+            else ap)
+          (Rule.uvars r) ap)
+      ap (Theory.rules sigma)
+  in
+  let rec fix ap =
+    let ap' = step ap in
+    if Pos_set.cardinal ap' = Pos_set.cardinal ap then ap else fix ap'
+  in
+  fix start
+
+(* Variables of [r] that are unsafe w.r.t. the affected positions [ap]:
+   they occur in argument positions and all those occurrences are
+   affected. Variables living only in annotations are safe. *)
+let unsafe_vars ~ap r =
+  let body = Rule.body_atoms r in
+  Names.Sset.filter
+    (fun x ->
+      let body_pos = positions_of_var body x in
+      (not (Pos_set.is_empty body_pos)) && Pos_set.subset body_pos ap)
+    (Rule.uvars r)
+
+(* A body atom of [r] covering the variable set [vs], if any. When [vs]
+   is empty any rule qualifies (the guard is vacuous), including rules
+   with empty bodies such as "-> R(c)". *)
+let find_guard r vs =
+  if Names.Sset.is_empty vs then Some None
+  else
+    let covering a = Names.Sset.subset vs (Atom.arg_var_set a) in
+    match List.find_opt covering (Rule.body_atoms r) with
+    | Some a -> Some (Some a)
+    | None -> None
+
+let is_guarded_rule r = find_guard r (Rule.uvars_args r) <> None
+let is_frontier_guarded_rule r = find_guard r (Rule.fvars_args r) <> None
+
+(* fg(σ): an arbitrary but fixed frontier guard (Def. 1). *)
+let frontier_guard r =
+  match find_guard r (Rule.fvars_args r) with
+  | Some (Some a) -> Some a
+  | Some None -> (
+    (* Vacuous frontier: fix the first body atom as the guard if any. *)
+    match Rule.body_atoms r with
+    | a :: _ -> Some a
+    | [] -> None)
+  | None -> None
+
+let is_weakly_guarded_rule ~ap r =
+  find_guard r (Names.Sset.inter (Rule.uvars_args r) (unsafe_vars ~ap r)) <> None
+
+let is_weakly_frontier_guarded_rule ~ap r =
+  find_guard r (Names.Sset.inter (Rule.fvars_args r) (unsafe_vars ~ap r)) <> None
+
+let is_nearly_guarded_rule ~ap r =
+  is_guarded_rule r || (Names.Sset.is_empty (unsafe_vars ~ap r) && Rule.is_datalog r)
+
+let is_nearly_frontier_guarded_rule ~ap r =
+  is_frontier_guarded_rule r
+  || (Names.Sset.is_empty (unsafe_vars ~ap r) && Rule.is_datalog r)
+
+let for_all_rules p sigma =
+  let ap = affected_positions sigma in
+  List.for_all (p ~ap) (Theory.rules sigma)
+
+let is_guarded sigma = List.for_all is_guarded_rule (Theory.rules sigma)
+let is_frontier_guarded sigma = List.for_all is_frontier_guarded_rule (Theory.rules sigma)
+let is_weakly_guarded sigma = for_all_rules is_weakly_guarded_rule sigma
+let is_weakly_frontier_guarded sigma = for_all_rules is_weakly_frontier_guarded_rule sigma
+let is_nearly_guarded sigma = for_all_rules is_nearly_guarded_rule sigma
+let is_nearly_frontier_guarded sigma = for_all_rules is_nearly_frontier_guarded_rule sigma
+
+(* The seven languages of Figure 1, ordered by syntactic generality. *)
+type language =
+  | Datalog
+  | Guarded
+  | Frontier_guarded
+  | Nearly_guarded
+  | Nearly_frontier_guarded
+  | Weakly_guarded
+  | Weakly_frontier_guarded
+  | Unrestricted
+
+let language_name = function
+  | Datalog -> "Datalog"
+  | Guarded -> "guarded"
+  | Frontier_guarded -> "frontier-guarded"
+  | Nearly_guarded -> "nearly guarded"
+  | Nearly_frontier_guarded -> "nearly frontier-guarded"
+  | Weakly_guarded -> "weakly guarded"
+  | Weakly_frontier_guarded -> "weakly frontier-guarded"
+  | Unrestricted -> "unrestricted"
+
+(* The most restrictive language of Figure 1 that syntactically contains
+   the theory. The order tried follows the figure's inclusions. *)
+let classify sigma =
+  if Theory.is_datalog sigma then Datalog
+  else if is_guarded sigma then Guarded
+  else if is_frontier_guarded sigma then Frontier_guarded
+  else if is_nearly_guarded sigma then Nearly_guarded
+  else if is_nearly_frontier_guarded sigma then Nearly_frontier_guarded
+  else if is_weakly_guarded sigma then Weakly_guarded
+  else if is_weakly_frontier_guarded sigma then Weakly_frontier_guarded
+  else Unrestricted
+
+(* Membership test for a given language. *)
+let in_language sigma = function
+  | Datalog -> Theory.is_datalog sigma
+  | Guarded -> is_guarded sigma
+  | Frontier_guarded -> is_frontier_guarded sigma
+  | Nearly_guarded -> is_nearly_guarded sigma
+  | Nearly_frontier_guarded -> is_nearly_frontier_guarded sigma
+  | Weakly_guarded -> is_weakly_guarded sigma
+  | Weakly_frontier_guarded -> is_weakly_frontier_guarded sigma
+  | Unrestricted -> true
+
+(* Proper theories (Def. 16): in every relation the affected positions
+   form a prefix of the argument list. *)
+let is_proper sigma =
+  let ap = affected_positions sigma in
+  Theory.Rel_set.for_all
+    (fun ((_, _, arity) as key) ->
+      let affected i = Pos_set.mem (key, i) ap in
+      let rec check i seen_unaffected =
+        if i >= arity then true
+        else if affected i then (not seen_unaffected) && check (i + 1) false
+        else check (i + 1) true
+      in
+      check 0 false)
+    (Theory.relations sigma)

@@ -1,0 +1,66 @@
+(** Guardedness analysis (Definitions 1-3 of the paper): affected
+    positions, unsafe variables, and the seven languages of Figure 1.
+
+    For theories with negation (Section 8), all notions are computed on
+    the positive part, matching the paper's definition of weak
+    guardedness for stratified theories. *)
+
+type position = Atom.rel_key * int
+
+module Pos_set : Set.S with type elt = position
+
+val positions_of_var : Atom.t list -> string -> Pos_set.t
+(** pos(Γ, x): the argument positions at which the variable occurs.
+    Annotation slots are not positions. *)
+
+val affected_positions : Theory.t -> Pos_set.t
+(** ap(Σ): the least set containing the positions of existential head
+    variables and closed under propagation through rules whose variable
+    occurs only in affected body positions (Def. 2). *)
+
+val unsafe_vars : ap:Pos_set.t -> Rule.t -> Names.Sset.t
+(** Variables whose body occurrences are all in affected (argument)
+    positions — the ones that may be bound to labeled nulls. *)
+
+val find_guard : Rule.t -> Names.Sset.t -> Atom.t option option
+(** [find_guard r vs] is [Some g] when some positive body atom's
+    argument variables cover [vs] ([Some None] when [vs] is empty: the
+    guard is vacuous), [None] otherwise. *)
+
+val is_guarded_rule : Rule.t -> bool
+val is_frontier_guarded_rule : Rule.t -> bool
+
+val frontier_guard : Rule.t -> Atom.t option
+(** fg(σ): an arbitrary but fixed frontier guard (Def. 1). *)
+
+val is_weakly_guarded_rule : ap:Pos_set.t -> Rule.t -> bool
+val is_weakly_frontier_guarded_rule : ap:Pos_set.t -> Rule.t -> bool
+val is_nearly_guarded_rule : ap:Pos_set.t -> Rule.t -> bool
+val is_nearly_frontier_guarded_rule : ap:Pos_set.t -> Rule.t -> bool
+
+val is_guarded : Theory.t -> bool
+val is_frontier_guarded : Theory.t -> bool
+val is_weakly_guarded : Theory.t -> bool
+val is_weakly_frontier_guarded : Theory.t -> bool
+val is_nearly_guarded : Theory.t -> bool
+val is_nearly_frontier_guarded : Theory.t -> bool
+
+type language =
+  | Datalog
+  | Guarded
+  | Frontier_guarded
+  | Nearly_guarded
+  | Nearly_frontier_guarded
+  | Weakly_guarded
+  | Weakly_frontier_guarded
+  | Unrestricted
+
+val language_name : language -> string
+
+val classify : Theory.t -> language
+(** The most restrictive language of Figure 1 containing the theory. *)
+
+val in_language : Theory.t -> language -> bool
+
+val is_proper : Theory.t -> bool
+(** Def. 16: the affected positions of every relation form a prefix. *)

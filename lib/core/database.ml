@@ -1,0 +1,133 @@
+(** Databases: mutable, indexed stores of ground atoms.
+
+    A database is a finite set of atoms over constants and labeled nulls.
+    Facts are indexed per relation and per (position, term) pair so that
+    homomorphism search and semi-naive evaluation can select candidate
+    facts for partially bound atoms without scanning whole relations.
+
+    The distinguished unary relation {!acdom_rel} ("ACDom" in the paper)
+    holds exactly the terms of the active domain; {!materialize_acdom}
+    populates it from the current non-ACDom facts. *)
+
+type t = {
+  by_rel : (Atom.rel_key, (Atom.t, unit) Hashtbl.t) Hashtbl.t;
+  by_pos : (Atom.rel_key * int * Term.t, (Atom.t, unit) Hashtbl.t) Hashtbl.t;
+  mutable count : int;
+}
+
+let acdom_rel = "ACDom"
+
+let create () = { by_rel = Hashtbl.create 64; by_pos = Hashtbl.create 256; count = 0 }
+
+let cardinal db = db.count
+
+let mem db atom =
+  match Hashtbl.find_opt db.by_rel (Atom.rel_key atom) with
+  | None -> false
+  | Some tbl -> Hashtbl.mem tbl atom
+
+let add db atom =
+  if not (Atom.is_ground atom) then
+    invalid_arg (Fmt.str "Database.add: non-ground atom %a" Atom.pp atom);
+  if mem db atom then false
+  else begin
+    let key = Atom.rel_key atom in
+    let tbl =
+      match Hashtbl.find_opt db.by_rel key with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 32 in
+        Hashtbl.add db.by_rel key tbl;
+        tbl
+    in
+    Hashtbl.replace tbl atom ();
+    List.iteri
+      (fun i t ->
+        let pkey = (key, i, t) in
+        let ptbl =
+          match Hashtbl.find_opt db.by_pos pkey with
+          | Some ptbl -> ptbl
+          | None ->
+            let ptbl = Hashtbl.create 8 in
+            Hashtbl.add db.by_pos pkey ptbl;
+            ptbl
+        in
+        Hashtbl.replace ptbl atom ())
+      (Atom.terms atom);
+    db.count <- db.count + 1;
+    true
+  end
+
+let add_all db atoms = List.iter (fun a -> ignore (add db a)) atoms
+
+let of_atoms atoms =
+  let db = create () in
+  add_all db atoms;
+  db
+
+let iter f db = Hashtbl.iter (fun _ tbl -> Hashtbl.iter (fun a () -> f a) tbl) db.by_rel
+
+let fold f db acc =
+  let r = ref acc in
+  iter (fun a -> r := f a !r) db;
+  !r
+
+let to_list db = fold (fun a acc -> a :: acc) db []
+
+let copy db =
+  let db' = create () in
+  iter (fun a -> ignore (add db' a)) db;
+  db'
+
+let facts_of_rel db key =
+  match Hashtbl.find_opt db.by_rel key with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun a () acc -> a :: acc) tbl []
+
+let rel_cardinal db key =
+  match Hashtbl.find_opt db.by_rel key with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+(* Candidate facts that can match [pattern] (whose terms may contain
+   variables): if some position of the pattern is ground, use the
+   positional index, otherwise return the whole relation. *)
+let candidates db pattern =
+  let key = Atom.rel_key pattern in
+  let rec first_ground i = function
+    | [] -> None
+    | t :: rest -> if Term.is_ground t then Some (i, t) else first_ground (i + 1) rest
+  in
+  match first_ground 0 (Atom.terms pattern) with
+  | Some (i, t) -> (
+    match Hashtbl.find_opt db.by_pos (key, i, t) with
+    | None -> []
+    | Some ptbl -> Hashtbl.fold (fun a () acc -> a :: acc) ptbl [])
+  | None -> facts_of_rel db key
+
+(* Active domain: every term occurring in a non-ACDom fact. *)
+let active_domain db =
+  fold
+    (fun a acc ->
+      if Atom.rel a = acdom_rel then acc
+      else List.fold_left (fun acc t -> Term.Set.add t acc) acc (Atom.terms a))
+    db Term.Set.empty
+
+let materialize_acdom db =
+  Term.Set.iter
+    (fun t -> ignore (add db (Atom.make acdom_rel [ t ])))
+    (active_domain db)
+
+(* Relations present in the database. *)
+let relations db = Hashtbl.fold (fun key _ acc -> key :: acc) db.by_rel []
+
+let restrict db keep =
+  let db' = create () in
+  iter (fun a -> if keep a then ignore (add db' a)) db;
+  db'
+
+(* Set equality of the stored facts. *)
+let equal db1 db2 =
+  cardinal db1 = cardinal db2 && fold (fun a ok -> ok && mem db2 a) db1 true
+
+let pp ppf db =
+  let facts = List.sort Atom.compare (to_list db) in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Atom.pp) facts

@@ -1,0 +1,48 @@
+(** Databases: mutable, indexed stores of ground atoms.
+
+    A database is a finite set of atoms over constants and labeled
+    nulls, indexed per relation and per (position, term) pair so that
+    homomorphism search and semi-naive evaluation can select candidate
+    facts for partially bound atoms without scanning whole relations. *)
+
+type t
+
+val acdom_rel : string
+(** The distinguished unary relation "ACDom" holding the active domain
+    (Section 2 of the paper). *)
+
+val create : unit -> t
+
+val add : t -> Atom.t -> bool
+(** [add db a] inserts the ground atom [a]; returns [false] when it was
+    already present. @raise Invalid_argument on a non-ground atom. *)
+
+val add_all : t -> Atom.t list -> unit
+val of_atoms : Atom.t list -> t
+
+val mem : t -> Atom.t -> bool
+val cardinal : t -> int
+val iter : (Atom.t -> unit) -> t -> unit
+val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Atom.t list
+val copy : t -> t
+
+val facts_of_rel : t -> Atom.rel_key -> Atom.t list
+val rel_cardinal : t -> Atom.rel_key -> int
+
+val candidates : t -> Atom.t -> Atom.t list
+(** Facts that can match the given pattern atom (whose terms may contain
+    variables): uses the positional index on the first ground position,
+    falling back to the whole relation. A superset of the true matches. *)
+
+val active_domain : t -> Term.Set.t
+(** Every term occurring in a non-ACDom fact. *)
+
+val materialize_acdom : t -> unit
+(** Adds ACDom(t) for every term of the current active domain. *)
+
+val relations : t -> Atom.rel_key list
+val restrict : t -> (Atom.t -> bool) -> t
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

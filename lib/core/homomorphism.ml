@@ -1,0 +1,92 @@
+(** Homomorphism search from atom conjunctions into databases.
+
+    A homomorphism maps variables to database terms such that every
+    positive atom has an image among the facts; constants are fixed.
+    The search is a backtracking join that at each step materializes the
+    candidate facts of every remaining atom under the current partial
+    substitution and expands the atom with the fewest candidates.
+    Negative literals are evaluated last, as absence checks (their
+    variables are bound by then thanks to rule safety). *)
+
+(* Enumerate all extensions of [init] mapping every atom of [atoms] into
+   [db]; calls [k] on each complete homomorphism. *)
+let iter_pos ?(init = Subst.empty) atoms db k =
+  let rec go subst remaining =
+    match remaining with
+    | [] -> k subst
+    | _ ->
+      (* Pick the remaining atom with the fewest candidate facts. *)
+      let scored =
+        List.map
+          (fun a ->
+            let bound = Subst.apply_atom subst a in
+            let cands = Database.candidates db bound in
+            (a, bound, cands, List.length cands))
+          remaining
+      in
+      let best =
+        List.fold_left
+          (fun acc x ->
+            match acc with
+            | None -> Some x
+            | Some (_, _, _, n) ->
+              let _, _, _, n' = x in
+              if n' < n then Some x else acc)
+          None scored
+      in
+      ( match best with
+      | None -> ()
+      | Some (atom, bound, cands, _) ->
+        let rest = List.filter (fun a -> a != atom) remaining in
+        List.iter
+          (fun fact ->
+            match Subst.match_atom subst bound fact with
+            | None -> ()
+            | Some subst' -> go subst' rest)
+          cands )
+  in
+  go init atoms
+
+let all ?init atoms db =
+  let acc = ref [] in
+  iter_pos ?init atoms db (fun s -> acc := s :: !acc);
+  !acc
+
+let exists ?init atoms db =
+  let module M = struct
+    exception Found
+  end in
+  try
+    iter_pos ?init atoms db (fun _ -> raise M.Found);
+    false
+  with M.Found -> true
+
+(* Literal-level search: positive literals are joined, then each negative
+   literal is checked to have no image in [db]. Negative literals with
+   unbound variables are rejected (the caller must ensure safety). *)
+let iter_literals ?(init = Subst.empty) literals db k =
+  let pos = List.filter_map (function Literal.Pos a -> Some a | Literal.Neg _ -> None) literals in
+  let neg = List.filter_map (function Literal.Neg a -> Some a | Literal.Pos _ -> None) literals in
+  iter_pos ~init pos db (fun subst ->
+      let ok =
+        List.for_all
+          (fun a ->
+            let a' = Subst.apply_atom subst a in
+            if not (Atom.is_ground a') then
+              invalid_arg
+                (Fmt.str "Homomorphism.iter_literals: unsafe negative literal %a" Atom.pp a');
+            not (Database.mem db a'))
+          neg
+      in
+      if ok then k subst)
+
+let all_literals ?init literals db =
+  let acc = ref [] in
+  iter_literals ?init literals db (fun s -> acc := s :: !acc);
+  !acc
+
+(* Does the conjunction [atoms] (with variables) map into the finite atom
+   set [targets]? Used for chase-tree reasoning and tests. *)
+let into_atoms atoms targets =
+  let db = Database.of_atoms targets in
+  exists atoms db

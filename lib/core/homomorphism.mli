@@ -1,0 +1,24 @@
+(** Homomorphism search from atom conjunctions into databases.
+
+    A homomorphism maps variables to database terms so that every
+    positive atom has an image among the facts; constants are fixed.
+    The search is a backtracking join expanding the atom with the fewest
+    candidate facts first. *)
+
+val iter_pos : ?init:Subst.t -> Atom.t list -> Database.t -> (Subst.t -> unit) -> unit
+(** Enumerates all extensions of [init] mapping every atom into the
+    database; calls the continuation on each complete homomorphism. *)
+
+val all : ?init:Subst.t -> Atom.t list -> Database.t -> Subst.t list
+
+val exists : ?init:Subst.t -> Atom.t list -> Database.t -> bool
+
+val iter_literals : ?init:Subst.t -> Literal.t list -> Database.t -> (Subst.t -> unit) -> unit
+(** Positive literals are joined, then each negative literal is checked
+    to have no image (its variables must be bound by then — rule safety
+    guarantees it). *)
+
+val all_literals : ?init:Subst.t -> Literal.t list -> Database.t -> Subst.t list
+
+val into_atoms : Atom.t list -> Atom.t list -> bool
+(** Does the conjunction map into the given finite set of ground atoms? *)

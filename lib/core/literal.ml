@@ -1,0 +1,28 @@
+(** Body literals: positive or negated atoms.
+
+    Negation appears only in Section 8 of the paper (semipositive and
+    stratified theories, Def. 22); the translation machinery of
+    Sections 4-6 handles positive rules only and rejects negative
+    literals where they would be unsound. *)
+
+type t =
+  | Pos of Atom.t
+  | Neg of Atom.t
+
+let atom = function Pos a | Neg a -> a
+let is_pos = function Pos _ -> true | Neg _ -> false
+let is_neg = function Neg _ -> true | Pos _ -> false
+
+let map_atom f = function Pos a -> Pos (f a) | Neg a -> Neg (f a)
+
+let compare l1 l2 =
+  match (l1, l2) with
+  | Pos a, Pos b | Neg a, Neg b -> Atom.compare a b
+  | Pos _, Neg _ -> -1
+  | Neg _, Pos _ -> 1
+
+let equal l1 l2 = compare l1 l2 = 0
+
+let pp ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Fmt.pf ppf "not %a" Atom.pp a

@@ -1,0 +1,20 @@
+(** Body literals: positive or negated atoms.
+
+    Negation appears only in Section 8 of the paper (semipositive and
+    stratified theories, Def. 22); the translations of Sections 4-6
+    handle positive rules only. *)
+
+type t =
+  | Pos of Atom.t
+  | Neg of Atom.t
+
+val atom : t -> Atom.t
+val is_pos : t -> bool
+val is_neg : t -> bool
+
+val map_atom : (Atom.t -> Atom.t) -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,23 @@
+(** Shared name-indexed collections and fresh-name generation.
+
+    All identifiers in the library (variables, constants, relation names)
+    are strings; this module centralizes the set/map instances over them
+    and a deterministic gensym used for fresh variables, relation names
+    and labeled nulls. *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type gensym = { mutable next : int; prefix : string }
+
+let gensym prefix = { next = 0; prefix }
+
+let fresh g =
+  let n = g.next in
+  g.next <- n + 1;
+  Printf.sprintf "%s%d" g.prefix n
+
+let reset g = g.next <- 0
+
+(* Pretty-printing helpers shared by the whole library. *)
+let pp_comma_list pp = Fmt.list ~sep:(Fmt.any ", ") pp

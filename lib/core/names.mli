@@ -1,0 +1,16 @@
+(** Shared name-indexed collections and fresh-name generation. *)
+
+module Sset : Set.S with type elt = string
+module Smap : Map.S with type key = string
+
+type gensym
+(** A deterministic counter-based fresh-name source. *)
+
+val gensym : string -> gensym
+(** [gensym prefix] creates a source producing [prefix0], [prefix1], ... *)
+
+val fresh : gensym -> string
+val reset : gensym -> unit
+
+val pp_comma_list : 'a Fmt.t -> 'a list Fmt.t
+(** Comma-separated list printer without line breaks. *)

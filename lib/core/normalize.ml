@@ -1,0 +1,161 @@
+(** Normalization of theories (Definition 4 / Proposition 1).
+
+    A theory is normal when (i) every head is a single atom, (ii) every
+    rule with existential variables is guarded, and (iii) constants occur
+    only in fact rules of the form [-> R(c)].
+
+    The transformation used here:
+    - multi-atom Datalog heads are split into one rule per head atom;
+      multi-atom existential heads go through a fresh head relation over
+      all head variables;
+    - a non-guarded existential rule [body -> ∃z. H] becomes
+      [body -> Front(f)] and [Front(f) -> ∃z. H] where [f] enumerates the
+      frontier, making the existential rule guarded by [Front(f)];
+    - a constant [c] inside an ordinary rule is pulled out through the
+      fresh unary relation [Cst_c] (axiomatized by the fact rule
+      [-> Cst_c(c)]): body occurrences inside an atom [A] are removed by
+      specializing [A] to a fresh constant-free relation defined by a
+      guarded rule, head occurrences by rebuilding the head atom from a
+      constant-free core via an extra Datalog rule.
+
+    The result preserves answers over the original signature, and
+    preserves weak (frontier-)guardedness. Near (frontier-)guardedness is
+    preserved except in one corner the paper glosses over: a guarded rule
+    carrying a constant in its head whose frontier contains unsafe
+    variables normalizes to a weakly guarded (not nearly guarded) rule;
+    the full pipeline still handles such theories through the
+    weakly-guarded route (see DESIGN.md). *)
+
+let var_gensym = Names.gensym "nv"
+let rel_gensym = Names.gensym "NF"
+
+(* A stable, signature-friendly name for the constant relation. *)
+let const_rel c = "Cst_" ^ c
+
+let const_fact c = Rule.make_pos [] [ Atom.make (const_rel c) [ Term.Const c ] ]
+
+let is_fact_rule r = Rule.body r = [] && List.for_all Atom.is_ground (Rule.head r)
+
+(* --- (i) singleton heads ------------------------------------------------ *)
+
+let split_head r =
+  match Rule.head r with
+  | [] | [ _ ] -> [ r ]
+  | head when Rule.is_datalog r ->
+    List.map (fun h -> Rule.make ?label:(Rule.label r) (Rule.body r) [ h ]) head
+  | head ->
+    let hvars = Names.Sset.elements (Rule.head_vars r) in
+    let aux = Atom.make (Names.fresh rel_gensym ^ "_head") (List.map (fun v -> Term.Var v) hvars) in
+    let bridge = Rule.make ?label:(Rule.label r) ~evars:(Names.Sset.elements (Rule.evars r)) (Rule.body r) [ aux ] in
+    bridge :: List.map (fun h -> Rule.make_pos [ aux ] [ h ]) head
+
+(* --- (ii) guard existential rules --------------------------------------- *)
+
+let guard_existential r =
+  if Rule.is_datalog r || Classify.is_guarded_rule r then [ r ]
+  else begin
+    let frontier = Names.Sset.elements (Rule.fvars r) in
+    let aux = Atom.make (Names.fresh rel_gensym ^ "_front") (List.map (fun v -> Term.Var v) frontier) in
+    [
+      Rule.make ?label:(Rule.label r) (Rule.body r) [ aux ];
+      Rule.make_pos ~evars:(Names.Sset.elements (Rule.evars r)) [ aux ] (Rule.head r);
+    ]
+  end
+
+(* --- (iii) eliminate constants ------------------------------------------ *)
+
+(* Replace the constants of a body atom by specializing its relation:
+   R(t1,..,tn) with constants at positions P becomes R_spec(vars only),
+   defined by the guarded, constant-free rule
+   R(x1,..,xn), Cst_c(xi) [i in P] -> R_spec(xj | j not in P). *)
+let specialize_body_atom ~emit atom =
+  if Atom.ann atom <> [] then
+    invalid_arg "Normalize: annotated atoms are not expected before annotation pipelines";
+  let consts = Atom.constants atom in
+  if consts = [] then atom
+  else begin
+    let slots = List.map (fun t -> (t, Term.Var (Names.fresh var_gensym))) (Atom.args atom) in
+    let gen_atom = Atom.make (Atom.rel atom) (List.map snd slots) in
+    let const_atoms =
+      List.filter_map
+        (fun (t, v) ->
+          match t with
+          | Term.Const c ->
+            emit (const_fact c);
+            Some (Atom.make (const_rel c) [ v ])
+          | Term.Var _ | Term.Null _ -> None)
+        slots
+    in
+    let kept =
+      List.filter_map
+        (fun (t, v) -> match t with Term.Const _ -> None | Term.Var _ | Term.Null _ -> Some (t, v))
+        slots
+    in
+    let spec_rel = Names.fresh rel_gensym ^ "_spec_" ^ Atom.rel atom in
+    let spec_atom_generic = Atom.make spec_rel (List.map snd kept) in
+    emit (Rule.make_pos (gen_atom :: const_atoms) [ spec_atom_generic ]);
+    Atom.make spec_rel (List.map fst kept)
+  end
+
+(* Rebuild a head atom with constants from a constant-free core relation:
+   body -> H(~t) with constants becomes body -> H_core(head vars) plus
+   H_core(~w), Cst_c(z_i).. -> H(~t[c -> z]). *)
+let rebuild_head_atom ~emit ~evars atom =
+  let consts = Atom.constants atom in
+  if consts = [] then atom
+  else begin
+    let hvars = Names.Sset.elements (Atom.var_set atom) in
+    let core_rel = Names.fresh rel_gensym ^ "_core_" ^ Atom.rel atom in
+    let core_atom = Atom.make core_rel (List.map (fun v -> Term.Var v) hvars) in
+    let replaced = ref [] in
+    let subst_const t =
+      match t with
+      | Term.Const c ->
+        let v = Names.fresh var_gensym in
+        emit (const_fact c);
+        replaced := (c, v) :: !replaced;
+        Term.Var v
+      | Term.Var _ | Term.Null _ -> t
+    in
+    let rebuilt = Atom.map_terms subst_const atom in
+    let const_atoms = List.map (fun (c, v) -> Atom.make (const_rel c) [ Term.Var v ]) !replaced in
+    ignore evars;
+    emit (Rule.make_pos (core_atom :: const_atoms) [ rebuilt ]);
+    core_atom
+  end
+
+let eliminate_constants r =
+  if is_fact_rule r && List.length (Rule.head r) = 1 then [ r ]
+  else if Names.Sset.is_empty (Rule.constants r) then [ r ]
+  else begin
+    let extra = ref [] in
+    let emit r' = extra := r' :: !extra in
+    let body =
+      List.map (Literal.map_atom (specialize_body_atom ~emit)) (Rule.body r)
+    in
+    let evars = Names.Sset.elements (Rule.evars r) in
+    let head = List.map (rebuild_head_atom ~emit ~evars) (Rule.head r) in
+    Rule.make ?label:(Rule.label r) ~evars body head :: !extra
+  end
+
+(* --- full normalization -------------------------------------------------- *)
+
+let normalize (sigma : Theory.t) : Theory.t =
+  let step f rules = List.concat_map f rules in
+  Theory.rules sigma
+  |> step split_head
+  |> step guard_existential
+  |> step eliminate_constants
+  (* Constant elimination can introduce new multi-variable heads? No: it
+     emits singleton-headed rules only; but it can emit duplicate Cst
+     facts, so deduplicate. *)
+  |> Theory.of_rules
+  |> Theory.dedup
+
+let is_normal (sigma : Theory.t) =
+  List.for_all
+    (fun r ->
+      List.length (Rule.head r) = 1
+      && (Rule.is_datalog r || Classify.is_guarded_rule r)
+      && (Names.Sset.is_empty (Rule.constants r) || is_fact_rule r))
+    (Theory.rules sigma)

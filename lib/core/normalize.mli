@@ -1,0 +1,18 @@
+(** Normalization of theories (Definition 4 / Proposition 1).
+
+    A theory is normal when (i) every head is a single atom, (ii) every
+    rule with existential variables is guarded, and (iii) constants occur
+    only in fact rules of the form [-> R(c)]. The transformation
+    preserves answers over the original signature and the weakly / nearly
+    guarded languages (see the implementation and DESIGN.md for the one
+    corner the paper glosses over). *)
+
+val const_rel : string -> string
+(** Name of the unary relation axiomatizing a constant pulled out of a
+    rule. *)
+
+val is_fact_rule : Rule.t -> bool
+
+val normalize : Theory.t -> Theory.t
+
+val is_normal : Theory.t -> bool

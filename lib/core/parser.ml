@@ -1,0 +1,294 @@
+(** Surface syntax for rules, theories and databases.
+
+    Grammar (comments start with [%] or [#] and run to end of line):
+    {v
+      theory   ::= rule*
+      rule     ::= ["@" ident] body? "->" head "."
+      body     ::= literal ("," literal)*   |  "true"
+      literal  ::= atom | "not" atom
+      head     ::= "exists" var ("," var)* "." atoms | atoms
+      atoms    ::= atom ("," atom)*
+      atom     ::= ident ["[" terms "]"] "(" terms? ")"
+      term     ::= var | constant | "_n" digits
+      var      ::= uppercase identifier | "?" ident
+      constant ::= lowercase identifier | digits | "'" chars "'"
+      database ::= (atom ".")*
+    v}
+    Following Datalog convention, identifiers starting with an uppercase
+    letter (or prefixed by [?]) are variables; everything else is a
+    constant. [_nK] denotes the labeled null with index K. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lpar
+  | Rpar
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Dot
+  | Arrow
+  | Implied  (** ":-", Datalog-style *)
+  | At
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Quoted s -> Fmt.pf ppf "quoted constant %S" s
+  | Lpar -> Fmt.string ppf "'('"
+  | Rpar -> Fmt.string ppf "')'"
+  | Lbracket -> Fmt.string ppf "'['"
+  | Rbracket -> Fmt.string ppf "']'"
+  | Comma -> Fmt.string ppf "','"
+  | Dot -> Fmt.string ppf "'.'"
+  | Arrow -> Fmt.string ppf "'->'"
+  | Implied -> Fmt.string ppf "':-'"
+  | At -> Fmt.string ppf "'@'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '?'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' || c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (push Lpar; incr i)
+    else if c = ')' then (push Rpar; incr i)
+    else if c = '[' then (push Lbracket; incr i)
+    else if c = ']' then (push Rbracket; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = '.' then (push Dot; incr i)
+    else if c = '@' then (push At; incr i)
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then (push Arrow; i := !i + 2)
+    else if c = ':' && !i + 1 < n && input.[!i + 1] = '-' then (push Implied; i := !i + 2)
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && input.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then parse_error "unterminated quoted constant";
+      push (Quoted (String.sub input (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub input !i (!j - !i)));
+      i := !j
+    end
+    else parse_error "unexpected character %C" c
+  done;
+  push Eof;
+  List.rev !tokens
+
+(* A tiny stream over the token list. *)
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> Eof | t :: _ -> t
+let next s =
+  match s.toks with
+  | [] -> Eof
+  | t :: rest ->
+    s.toks <- rest;
+    t
+
+let expect s tok =
+  let t = next s in
+  if t <> tok then parse_error "expected %a but found %a" pp_token tok pp_token t
+
+let ident s =
+  match next s with
+  | Ident id -> id
+  | t -> parse_error "expected an identifier but found %a" pp_token t
+
+let is_variable_name id =
+  String.length id > 0
+  && (id.[0] = '?' || (id.[0] >= 'A' && id.[0] <= 'Z'))
+
+let term_of_ident id =
+  if is_variable_name id then
+    Term.Var (if id.[0] = '?' then String.sub id 1 (String.length id - 1) else id)
+  else if String.length id > 2 && id.[0] = '_' && id.[1] = 'n' then
+    match int_of_string_opt (String.sub id 2 (String.length id - 2)) with
+    | Some k -> Term.Null k
+    | None -> Term.Const id
+  else Term.Const id
+
+let parse_term s =
+  match next s with
+  | Ident id -> term_of_ident id
+  | Quoted c -> Term.Const c
+  | t -> parse_error "expected a term but found %a" pp_token t
+
+let rec parse_term_list s acc =
+  let t = parse_term s in
+  match peek s with
+  | Comma ->
+    ignore (next s);
+    parse_term_list s (t :: acc)
+  | _ -> List.rev (t :: acc)
+
+let parse_atom_named s rel =
+  let ann =
+    if peek s = Lbracket then begin
+      ignore (next s);
+      let ts = parse_term_list s [] in
+      expect s Rbracket;
+      ts
+    end
+    else []
+  in
+  expect s Lpar;
+  let args = if peek s = Rpar then [] else parse_term_list s [] in
+  expect s Rpar;
+  Atom.make ~ann rel args
+
+let parse_atom s = parse_atom_named s (ident s)
+
+let parse_literal s =
+  match peek s with
+  | Ident "not" ->
+    ignore (next s);
+    Literal.Neg (parse_atom s)
+  | _ -> Literal.Pos (parse_atom s)
+
+let rec parse_literals s acc =
+  let l = parse_literal s in
+  match peek s with
+  | Comma ->
+    ignore (next s);
+    parse_literals s (l :: acc)
+  | _ -> List.rev (l :: acc)
+
+let rec parse_var_list s acc =
+  let id = ident s in
+  let v =
+    if is_variable_name id then
+      if id.[0] = '?' then String.sub id 1 (String.length id - 1) else id
+    else parse_error "existential binder expects a variable, found %S" id
+  in
+  match peek s with
+  | Comma ->
+    ignore (next s);
+    parse_var_list s (v :: acc)
+  | _ -> List.rev (v :: acc)
+
+let rec parse_atoms s acc =
+  let a = parse_atom s in
+  match peek s with
+  | Comma ->
+    ignore (next s);
+    parse_atoms s (a :: acc)
+  | _ -> List.rev (a :: acc)
+
+let parse_head s =
+  match peek s with
+  | Ident "exists" ->
+    ignore (next s);
+    let evars = parse_var_list s [] in
+    expect s Dot;
+    let atoms = parse_atoms s [] in
+    (evars, atoms)
+  | _ -> ([], parse_atoms s [])
+
+let parse_rule_body s =
+  match peek s with
+  | Arrow | Dot -> []
+  | Ident "true" ->
+    ignore (next s);
+    []
+  | _ -> parse_literals s []
+
+(* Two rule syntaxes: "body -> head." and Datalog-style "head :- body."
+   (the latter with a plain atom head and no existentials). *)
+let parse_rule_stream s =
+  let label =
+    if peek s = At then begin
+      ignore (next s);
+      Some (ident s)
+    end
+    else None
+  in
+  match peek s with
+  | Arrow | Ident "true" ->
+    let body = parse_rule_body s in
+    expect s Arrow;
+    let evars, head = parse_head s in
+    expect s Dot;
+    Rule.make ?label ~evars body head
+  | _ ->
+    (* Could be "atom :- body.", "atom." (a fact), or the start of a
+       "body -> head." rule. Parse the first literal, then decide. *)
+    let first = parse_literal s in
+    (match (first, peek s) with
+    | Literal.Pos head, Implied ->
+      ignore (next s);
+      let body = parse_rule_body s in
+      (match peek s with Arrow -> parse_error "mixed ':-' and '->' syntax" | _ -> ());
+      expect s Dot;
+      Rule.make ?label body [ head ]
+    | Literal.Pos head, Dot ->
+      ignore (next s);
+      (* a bare fact: "r(c)." *)
+      Rule.make ?label [] [ head ]
+    | _ ->
+      let rest =
+        match peek s with
+        | Comma ->
+          ignore (next s);
+          parse_literals s []
+        | _ -> []
+      in
+      expect s Arrow;
+      let evars, head = parse_head s in
+      expect s Dot;
+      Rule.make ?label ~evars (first :: rest) head)
+
+let theory_of_string input : Theory.t =
+  let s = { toks = tokenize input } in
+  let rec go acc = if peek s = Eof then List.rev acc else go (parse_rule_stream s :: acc) in
+  Theory.of_rules (go [])
+
+let rule_of_string input =
+  let s = { toks = tokenize input } in
+  let r = parse_rule_stream s in
+  expect s Eof;
+  r
+
+let atom_of_string input =
+  let s = { toks = tokenize input } in
+  let a = parse_atom s in
+  (match peek s with Dot -> ignore (next s) | _ -> ());
+  expect s Eof;
+  a
+
+let database_of_string input =
+  let s = { toks = tokenize input } in
+  let db = Database.create () in
+  let rec go () =
+    if peek s <> Eof then begin
+      let a = parse_atom s in
+      expect s Dot;
+      if not (Atom.is_ground a) then parse_error "database atom %a is not ground" Atom.pp a;
+      ignore (Database.add db a);
+      go ()
+    end
+  in
+  go ();
+  db

@@ -1,0 +1,24 @@
+(** Surface syntax for rules, theories and databases.
+
+    {v
+      theory   ::= rule*
+      rule     ::= ["@" ident] body? "->" head "."
+                 | ["@" ident] atom ":-" body "."      (Datalog style)
+                 | ["@" ident] atom "."                (a fact)
+      body     ::= literal ("," literal)*  |  "true"
+      literal  ::= atom | "not" atom
+      head     ::= "exists" var ("," var)* "." atoms | atoms
+      atom     ::= ident ["[" terms "]"] "(" terms? ")"
+      var      ::= Capitalized identifier | "?" ident
+      constant ::= lowercase identifier | digits | 'quoted'
+      null     ::= "_n" digits
+      database ::= (atom ".")*
+    v}
+    [%] and [#] start comments. *)
+
+exception Parse_error of string
+
+val theory_of_string : string -> Theory.t
+val rule_of_string : string -> Rule.t
+val atom_of_string : string -> Atom.t
+val database_of_string : string -> Database.t

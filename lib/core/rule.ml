@@ -1,0 +1,287 @@
+(** Existential rules  B1 ∧ ... ∧ Bn → ∃y1...yk. H1 ∧ ... ∧ Hm.
+
+    The record keeps the set of existentially quantified head variables
+    explicitly. Invariants enforced by {!make}:
+    - the head is non-empty;
+    - [evars] only contains variables occurring in the head and none
+      occurring in the body;
+    - the rule is safe: every frontier variable (head variable that is
+      not existential) occurs in a positive body atom, and so does every
+      variable of a negative body literal. *)
+
+type t = {
+  label : string option;
+  body : Literal.t list;
+  head : Atom.t list;
+  evars : Names.Sset.t;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let body r = r.body
+let head r = r.head
+let label r = r.label
+let evars r = r.evars
+
+let body_atoms r = List.filter_map (function Literal.Pos a -> Some a | Literal.Neg _ -> None) r.body
+let neg_body_atoms r =
+  List.filter_map (function Literal.Neg a -> Some a | Literal.Pos _ -> None) r.body
+
+let atom_list_vars atoms =
+  List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty atoms
+
+(* Universal variables: all variables of the body (paper: uvars(σ)). *)
+let uvars r = atom_list_vars (List.map Literal.atom r.body)
+
+let head_vars r = atom_list_vars r.head
+
+(* Frontier: head variables that are not existential (paper: fvars(σ)). *)
+let fvars r = Names.Sset.diff (head_vars r) r.evars
+
+(* Argument-position variants: the variable sets that guardedness
+   notions quantify over. For unannotated rules they coincide with
+   {!uvars}/{!fvars}; annotation variables never count towards guards. *)
+let atom_list_arg_vars atoms =
+  List.fold_left (fun acc a -> Names.Sset.union acc (Atom.arg_var_set a)) Names.Sset.empty atoms
+
+let uvars_args r = atom_list_arg_vars (List.map Literal.atom r.body)
+let fvars_args r = Names.Sset.diff (atom_list_arg_vars r.head) r.evars
+
+let vars r = Names.Sset.union (uvars r) (head_vars r)
+
+let is_datalog r = Names.Sset.is_empty r.evars
+let is_positive r = List.for_all Literal.is_pos r.body
+
+let constants r =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc c -> Names.Sset.add c acc) acc (Atom.constants a))
+    Names.Sset.empty
+    (List.map Literal.atom r.body @ r.head)
+
+let atoms r = List.map Literal.atom r.body @ r.head
+
+let make ?label ?(evars = []) body head =
+  let evars = Names.Sset.of_list evars in
+  if head = [] then ill_formed "rule with empty head";
+  let hvars = atom_list_vars head in
+  let pos_vars = atom_list_vars (List.filter_map (function Literal.Pos a -> Some a | Literal.Neg _ -> None) body) in
+  let bvars = atom_list_vars (List.map Literal.atom body) in
+  Names.Sset.iter
+    (fun v ->
+      if not (Names.Sset.mem v hvars) then
+        ill_formed "existential variable %s does not occur in the head" v;
+      if Names.Sset.mem v bvars then
+        ill_formed "existential variable %s occurs in the body" v)
+    evars;
+  let frontier = Names.Sset.diff hvars evars in
+  Names.Sset.iter
+    (fun v ->
+      if not (Names.Sset.mem v pos_vars) then
+        ill_formed "unsafe rule: frontier variable %s not in a positive body atom" v)
+    frontier;
+  List.iter
+    (function
+      | Literal.Pos _ -> ()
+      | Literal.Neg a ->
+        Names.Sset.iter
+          (fun v ->
+            if not (Names.Sset.mem v pos_vars) then
+              ill_formed "unsafe negation: variable %s only occurs negatively" v)
+          (Atom.var_set a))
+    body;
+  { label; body; head; evars = evars }
+
+(* Positive-body convenience constructor. *)
+let make_pos ?label ?evars body head =
+  make ?label ?evars (List.map (fun a -> Literal.Pos a) body) head
+
+let with_label label r = { r with label = Some label }
+
+(* Apply a substitution to a rule. The substitution must not mention the
+   existential variables (they are bound); if its range would capture an
+   existential variable, the existential variables are renamed first. *)
+let evar_gensym = Names.gensym "e"
+
+let apply subst r =
+  Names.Sset.iter
+    (fun v ->
+      if Subst.mem v subst then ill_formed "substitution binds existential variable %s" v)
+    r.evars;
+  let range_vars =
+    Term.Set.fold
+      (fun t acc -> match t with Term.Var v -> Names.Sset.add v acc | Term.Const _ | Term.Null _ -> acc)
+      (Subst.range subst) Names.Sset.empty
+  in
+  let captured = Names.Sset.inter range_vars r.evars in
+  let r =
+    if Names.Sset.is_empty captured then r
+    else begin
+      let renaming =
+        Names.Sset.fold
+          (fun v acc -> Subst.add v (Term.Var (Names.fresh evar_gensym)) acc)
+          captured Subst.empty
+      in
+      let rename_var v =
+        match Subst.find_opt v renaming with
+        | Some (Term.Var v') -> v'
+        | Some _ | None -> v
+      in
+      {
+        r with
+        head = Subst.apply_atoms renaming r.head;
+        evars = Names.Sset.map rename_var r.evars;
+      }
+    end
+  in
+  {
+    r with
+    body = List.map (Subst.apply_literal subst) r.body;
+    head = Subst.apply_atoms subst r.head;
+  }
+
+(* Rename every variable of [r] (including existential ones) with a fresh
+   name from [g]; used to keep rules variable-disjoint during resolution. *)
+let rename_apart g r =
+  let renaming =
+    Names.Sset.fold (fun v acc -> Subst.add v (Term.Var (Names.fresh g)) acc) (vars r) Subst.empty
+  in
+  let rename_var v =
+    match Subst.find_opt v renaming with Some (Term.Var v') -> v' | Some _ | None -> v
+  in
+  {
+    r with
+    body = List.map (Subst.apply_literal renaming) r.body;
+    head = Subst.apply_atoms renaming r.head;
+    evars = Names.Sset.map rename_var r.evars;
+  }
+
+let compare r1 r2 =
+  let c = List.compare Literal.compare r1.body r2.body in
+  if c <> 0 then c
+  else
+    let c = List.compare Atom.compare r1.head r2.head in
+    if c <> 0 then c else Names.Sset.compare r1.evars r2.evars
+
+let equal r1 r2 = compare r1 r2 = 0
+
+(* Canonical form up to variable renaming, used to deduplicate rules in
+   the closures ex(Σ) and Ξ(Σ). Variables are distinguished by iterated
+   color refinement over their occurrence structure (a 1-WL pass over
+   the rule's hypergraph), then renamed to v0, v1, ... by first
+   occurrence in the color-sorted atom list. Equal canonical forms imply
+   the rules are variants of each other; variables a refinement round
+   cannot separate are either automorphic (any tie-break yields the same
+   string) or — rarely — genuinely different, in which case a duplicate
+   may survive, which is harmless for soundness and termination. *)
+let canonicalize r =
+  let occurrences =
+    (* (tag, atom, literal-or-head marker) in a stable order *)
+    List.mapi (fun i l -> ((if Literal.is_neg l then "~" else "b"), i, Literal.atom l)) r.body
+    @ List.mapi (fun i a -> ("h", i, a)) r.head
+  in
+  let color : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  Names.Sset.iter
+    (fun v -> Hashtbl.replace color v (if Names.Sset.mem v r.evars then "E" else "U"))
+    (vars r);
+  let term_color = function
+    | Term.Var v -> "v:" ^ (match Hashtbl.find_opt color v with Some c -> c | None -> "?")
+    | Term.Const c -> "c:" ^ c
+    | Term.Null n -> "n:" ^ string_of_int n
+  in
+  (* One refinement round: each variable's new color is its old color
+     plus the sorted multiset of its colored occurrence contexts. *)
+  let refine () =
+    let contexts : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (tag, _, a) ->
+        let sig_ = tag ^ "|" ^ Atom.rel a ^ "|" ^ String.concat "," (List.map term_color (Atom.terms a)) in
+        List.iteri
+          (fun pos t ->
+            match t with
+            | Term.Var v ->
+              let prev = match Hashtbl.find_opt contexts v with Some l -> l | None -> [] in
+              Hashtbl.replace contexts v ((sig_ ^ "@" ^ string_of_int pos) :: prev)
+            | Term.Const _ | Term.Null _ -> ())
+          (Atom.terms a))
+      occurrences;
+    (* compress the (old color, contexts) pairs into fresh color ids *)
+    let keys =
+      Names.Sset.fold
+        (fun v acc ->
+          let ctx = match Hashtbl.find_opt contexts v with Some l -> l | None -> [] in
+          let key =
+            (match Hashtbl.find_opt color v with Some c -> c | None -> "?")
+            ^ "||" ^ String.concat ";" (List.sort String.compare ctx)
+          in
+          (v, key) :: acc)
+        (vars r) []
+    in
+    let ids = Hashtbl.create 16 in
+    List.iter
+      (fun (_, key) -> if not (Hashtbl.mem ids key) then Hashtbl.replace ids key ())
+      keys;
+    let sorted_keys = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) ids []) in
+    let id_of = Hashtbl.create 16 in
+    List.iteri (fun i k -> Hashtbl.replace id_of k (Printf.sprintf "c%d" i)) sorted_keys;
+    List.iter (fun (v, key) -> Hashtbl.replace color v (Hashtbl.find id_of key)) keys
+  in
+  let nvars = Names.Sset.cardinal (vars r) in
+  for _ = 1 to min 4 (max 1 nvars) do
+    refine ()
+  done;
+  (* Sort atoms by their colored rendering, then rename variables by
+     first occurrence in that order. *)
+  let colored_key a = Atom.rel a ^ "(" ^ String.concat "," (List.map term_color (Atom.terms a)) ^ ")" in
+  let body_sorted =
+    List.stable_sort
+      (fun l1 l2 ->
+        Stdlib.compare
+          (Literal.is_neg l1, colored_key (Literal.atom l1))
+          (Literal.is_neg l2, colored_key (Literal.atom l2)))
+      r.body
+  in
+  let head_sorted =
+    List.stable_sort (fun a1 a2 -> String.compare (colored_key a1) (colored_key a2)) r.head
+  in
+  let counter = ref 0 in
+  let mapping = Hashtbl.create 16 in
+  let rename_var v =
+    match Hashtbl.find_opt mapping v with
+    | Some v' -> v'
+    | None ->
+      let v' = Printf.sprintf "v%d" !counter in
+      incr counter;
+      Hashtbl.add mapping v v';
+      v'
+  in
+  let rename_term = function
+    | Term.Var v -> Term.Var (rename_var v)
+    | (Term.Const _ | Term.Null _) as t -> t
+  in
+  let rename_atom = Atom.map_terms rename_term in
+  let body = List.map (Literal.map_atom rename_atom) body_sorted in
+  let head = List.map rename_atom head_sorted in
+  let evars =
+    Names.Sset.map
+      (fun v -> match Hashtbl.find_opt mapping v with Some v' -> v' | None -> v)
+      r.evars
+  in
+  let renamed = { label = None; body; head; evars } in
+  (* A final plain sort for a stable printed form. *)
+  { renamed with body = List.sort Literal.compare renamed.body; head = List.sort Atom.compare renamed.head }
+
+let pp ppf r =
+  let pp_evars ppf evars =
+    if not (Names.Sset.is_empty evars) then
+      let pp_var ppf v = Fmt.pf ppf "?%s" v in
+      Fmt.pf ppf "exists %a. " (Names.pp_comma_list pp_var) (Names.Sset.elements evars)
+  in
+  let pp_body ppf = function
+    | [] -> Fmt.string ppf "true"
+    | body -> Names.pp_comma_list Literal.pp ppf body
+  in
+  Fmt.pf ppf "%a -> %a%a" pp_body r.body pp_evars r.evars (Names.pp_comma_list Atom.pp) r.head
+
+let to_string = Fmt.to_to_string pp

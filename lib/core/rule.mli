@@ -1,0 +1,74 @@
+(** Existential rules  B1 ∧ ... ∧ Bn → ∃y1...yk. H1 ∧ ... ∧ Hm.
+
+    Invariants enforced by {!make}: the head is non-empty; the
+    existential variables occur in the head and not in the body; the
+    rule is safe (every frontier variable, and every variable of a
+    negative literal, occurs in a positive body atom). *)
+
+type t
+
+exception Ill_formed of string
+
+val make : ?label:string -> ?evars:string list -> Literal.t list -> Atom.t list -> t
+(** @raise Ill_formed when an invariant is violated. *)
+
+val make_pos : ?label:string -> ?evars:string list -> Atom.t list -> Atom.t list -> t
+(** Positive-body convenience constructor. *)
+
+val body : t -> Literal.t list
+val head : t -> Atom.t list
+val label : t -> string option
+val with_label : string -> t -> t
+
+val body_atoms : t -> Atom.t list
+(** The positive body atoms. *)
+
+val neg_body_atoms : t -> Atom.t list
+
+val evars : t -> Names.Sset.t
+(** The existentially quantified head variables. *)
+
+val uvars : t -> Names.Sset.t
+(** Universal variables: all variables of the body (paper: uvars(σ)). *)
+
+val head_vars : t -> Names.Sset.t
+
+val fvars : t -> Names.Sset.t
+(** The frontier: head variables that are not existential. *)
+
+val uvars_args : t -> Names.Sset.t
+(** Universal variables occurring in argument positions — the set that
+    guardedness notions quantify over (annotation variables excluded). *)
+
+val fvars_args : t -> Names.Sset.t
+
+val vars : t -> Names.Sset.t
+val constants : t -> Names.Sset.t
+val atoms : t -> Atom.t list
+
+val is_datalog : t -> bool
+(** No existential variables. *)
+
+val is_positive : t -> bool
+(** No negated body literals. *)
+
+val apply : Subst.t -> t -> t
+(** Applies a substitution to body and head; existential variables are
+    renamed first if the range would capture them.
+    @raise Ill_formed if the substitution binds an existential variable. *)
+
+val rename_apart : Names.gensym -> t -> t
+(** Fresh-renames every variable (existential ones included). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val canonicalize : t -> t
+(** A canonical variant up to variable renaming, used to deduplicate
+    rules in the closures ex(Σ) and Ξ(Σ). Equal canonical forms imply
+    the rules are variants of each other; the converse may fail (a
+    surviving duplicate is harmless and the space of canonical forms
+    over a finite vocabulary stays finite). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,61 @@
+(** Substitutions: finite maps from variables to terms.
+
+    Homomorphisms from atom sets into databases (mapping variables to
+    constants and nulls) and variable renamings are both represented as
+    substitutions. Application leaves unmapped variables untouched. *)
+
+type t = Term.t Names.Smap.t
+
+let empty : t = Names.Smap.empty
+let is_empty = Names.Smap.is_empty
+let singleton v t : t = Names.Smap.singleton v t
+let add v t (s : t) : t = Names.Smap.add v t s
+let find_opt v (s : t) = Names.Smap.find_opt v s
+let mem v (s : t) = Names.Smap.mem v s
+let bindings (s : t) = Names.Smap.bindings s
+let of_list l : t = Names.Smap.of_seq (List.to_seq l)
+let domain (s : t) = Names.Smap.fold (fun v _ acc -> Names.Sset.add v acc) s Names.Sset.empty
+let range (s : t) = Names.Smap.fold (fun _ t acc -> Term.Set.add t acc) s Term.Set.empty
+let cardinal (s : t) = Names.Smap.cardinal s
+
+let apply_term (s : t) t =
+  match t with
+  | Term.Var v -> ( match Names.Smap.find_opt v s with Some t' -> t' | None -> t)
+  | Term.Const _ | Term.Null _ -> t
+
+let apply_atom (s : t) a = Atom.map_terms (apply_term s) a
+let apply_atoms (s : t) atoms = List.map (apply_atom s) atoms
+let apply_literal (s : t) l = Literal.map_atom (apply_atom s) l
+
+(* [compose s1 s2] applies s1 first, then s2: (compose s1 s2) x = s2 (s1 x).
+   Bindings of s2 on variables outside dom(s1) are kept. *)
+let compose (s1 : t) (s2 : t) : t =
+  let s1' = Names.Smap.map (apply_term s2) s1 in
+  Names.Smap.union (fun _ t _ -> Some t) s1' s2
+
+(* Extend a candidate homomorphism so that it maps [t] to [target];
+   returns None on conflict. Constants must map to themselves. *)
+let unify_term (s : t) t target =
+  match t with
+  | Term.Const _ | Term.Null _ -> if Term.equal t target then Some s else None
+  | Term.Var v -> (
+    match Names.Smap.find_opt v s with
+    | Some t' -> if Term.equal t' target then Some s else None
+    | None -> Some (add v target s))
+
+(* Match an atom with variables against a (ground) atom, extending [s]. *)
+let match_atom (s : t) pattern target =
+  if Atom.rel_key pattern <> Atom.rel_key target then None
+  else
+    let rec go s pats tgts =
+      match (pats, tgts) with
+      | [], [] -> Some s
+      | p :: pats, t :: tgts -> (
+        match unify_term s p t with None -> None | Some s -> go s pats tgts)
+      | [], _ :: _ | _ :: _, [] -> None
+    in
+    go s (Atom.terms pattern) (Atom.terms target)
+
+let pp ppf (s : t) =
+  let pp_binding ppf (v, t) = Fmt.pf ppf "%s -> %a" v Term.pp t in
+  Fmt.pf ppf "{%a}" (Names.pp_comma_list pp_binding) (bindings s)

@@ -1,0 +1,38 @@
+(** Substitutions: finite maps from variables to terms.
+
+    Homomorphisms from atom sets into databases (mapping variables to
+    constants and nulls) and variable renamings are both represented as
+    substitutions. Application leaves unmapped variables untouched. *)
+
+type t = Term.t Names.Smap.t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : string -> Term.t -> t
+val add : string -> Term.t -> t -> t
+val find_opt : string -> t -> Term.t option
+val mem : string -> t -> bool
+val bindings : t -> (string * Term.t) list
+val of_list : (string * Term.t) list -> t
+val domain : t -> Names.Sset.t
+val range : t -> Term.Set.t
+val cardinal : t -> int
+
+val apply_term : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+val apply_atoms : t -> Atom.t list -> Atom.t list
+val apply_literal : t -> Literal.t -> Literal.t
+
+val compose : t -> t -> t
+(** [compose s1 s2] applies [s1] first: [(compose s1 s2) x = s2 (s1 x)].
+    Bindings of [s2] on variables outside [dom s1] are kept. *)
+
+val unify_term : t -> Term.t -> Term.t -> t option
+(** [unify_term s t target] extends [s] so that it maps [t] to the
+    ground term [target]; [None] on conflict. *)
+
+val match_atom : t -> Atom.t -> Atom.t -> t option
+(** [match_atom s pattern target] extends [s] to a homomorphism sending
+    [pattern] to the (ground) atom [target]. *)
+
+val pp : t Fmt.t

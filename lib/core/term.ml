@@ -1,0 +1,45 @@
+(** Terms of existential rules: constants, labeled nulls and variables.
+
+    Following the paper's preliminaries, [Const] ranges over the constant
+    domain Δc, [Null] over the labeled nulls Δn (invented by the chase),
+    and [Var] over the variables Δv (occurring in rules only). *)
+
+type t =
+  | Const of string
+  | Null of int
+  | Var of string
+
+let compare a b =
+  match (a, b) with
+  | Const x, Const y -> String.compare x y
+  | Const _, (Null _ | Var _) -> -1
+  | Null _, Const _ -> 1
+  | Null x, Null y -> Int.compare x y
+  | Null _, Var _ -> -1
+  | Var _, (Const _ | Null _) -> 1
+  | Var x, Var y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let is_const = function Const _ -> true | Null _ | Var _ -> false
+let is_null = function Null _ -> true | Const _ | Var _ -> false
+let is_var = function Var _ -> true | Const _ | Null _ -> false
+
+(* A term with no variable may occur in a database. *)
+let is_ground = function Const _ | Null _ -> true | Var _ -> false
+
+let pp ppf = function
+  | Const c -> Fmt.string ppf c
+  | Null n -> Fmt.pf ppf "_n%d" n
+  | Var v -> Fmt.pf ppf "?%s" v
+
+let to_string = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,33 @@
+(** Terms of existential rules.
+
+    Following the paper's preliminaries, terms are drawn from three
+    mutually disjoint infinite sets: constants Δc, labeled nulls Δn
+    (invented by the chase), and variables Δv (occurring in rules
+    only). *)
+
+type t =
+  | Const of string  (** a constant from Δc *)
+  | Null of int  (** the labeled null with the given index, from Δn *)
+  | Var of string  (** a variable from Δv *)
+
+val compare : t -> t -> int
+(** Total order: constants before nulls before variables. *)
+
+val equal : t -> t -> bool
+
+val is_const : t -> bool
+val is_null : t -> bool
+val is_var : t -> bool
+
+val is_ground : t -> bool
+(** [is_ground t] holds for constants and nulls — the terms that may
+    occur in databases. *)
+
+val pp : t Fmt.t
+(** Prints constants bare, nulls as [_nK], variables as [?x]; the
+    output is accepted back by {!Parser}. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

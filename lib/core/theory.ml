@@ -1,0 +1,65 @@
+(** Theories: finite sets of existential rules, with signature queries.
+
+    A theory is kept as a list (order is irrelevant semantically but
+    preserved for readable output). The signature functions below drive
+    guardedness analysis and the translations: the set of relations with
+    their arities, the maximal arity, the constants, and the partition
+    into intensional (head) and extensional relations. *)
+
+type t = Rule.t list
+
+let of_rules rules : t = rules
+let rules (sigma : t) = sigma
+let size (sigma : t) = List.length sigma
+
+let atoms (sigma : t) = List.concat_map Rule.atoms sigma
+
+(* All relation keys occurring in the theory. *)
+module Rel_set = Set.Make (struct
+  type t = Atom.rel_key
+
+  let compare = compare
+end)
+
+let relations (sigma : t) =
+  List.fold_left (fun acc a -> Rel_set.add (Atom.rel_key a) acc) Rel_set.empty (atoms sigma)
+
+let relation_list sigma = Rel_set.elements (relations sigma)
+
+(* Maximal arity over the relations of the theory (annotation slots
+   included, since after a⁻ they become ordinary argument positions). *)
+let max_arity (sigma : t) =
+  List.fold_left (fun acc a -> max acc (List.length (Atom.terms a))) 0 (atoms sigma)
+
+let constants (sigma : t) =
+  List.fold_left (fun acc r -> Names.Sset.union acc (Rule.constants r)) Names.Sset.empty sigma
+
+let head_relations (sigma : t) =
+  List.fold_left
+    (fun acc r -> List.fold_left (fun acc a -> Rel_set.add (Atom.rel_key a) acc) acc (Rule.head r))
+    Rel_set.empty sigma
+
+(* Extensional relations: mentioned, but never derived by a rule head. *)
+let edb_relations (sigma : t) = Rel_set.diff (relations sigma) (head_relations sigma)
+
+let is_datalog (sigma : t) = List.for_all Rule.is_datalog sigma
+let is_positive (sigma : t) = List.for_all Rule.is_positive sigma
+
+let max_vars_per_rule (sigma : t) =
+  List.fold_left (fun acc r -> max acc (Names.Sset.cardinal (Rule.vars r))) 0 sigma
+
+(* Deduplicate rules up to variable renaming (canonical forms). *)
+let dedup (sigma : t) : t =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let key = Rule.to_string (Rule.canonicalize r) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    sigma
+
+let pp ppf (sigma : t) = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Rule.pp) sigma
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,35 @@
+(** Theories: finite sets of existential rules, with signature queries. *)
+
+type t
+
+val of_rules : Rule.t list -> t
+val rules : t -> Rule.t list
+val size : t -> int
+val atoms : t -> Atom.t list
+
+module Rel_set : Set.S with type elt = Atom.rel_key
+
+val relations : t -> Rel_set.t
+val relation_list : t -> Atom.rel_key list
+
+val max_arity : t -> int
+(** Maximal number of terms per atom (annotation slots included, since
+    deannotation turns them into argument positions). *)
+
+val constants : t -> Names.Sset.t
+
+val head_relations : t -> Rel_set.t
+
+val edb_relations : t -> Rel_set.t
+(** Relations mentioned but never derived by a rule head. *)
+
+val is_datalog : t -> bool
+val is_positive : t -> bool
+
+val max_vars_per_rule : t -> int
+
+val dedup : t -> t
+(** Removes rules that are variants (up to renaming) of earlier ones. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,43 @@
+(** Answering conjunctive queries over rule-enriched databases.
+
+    Two routes are provided:
+    - {!certain_answers}: fold the ACDom-guarded query rule into the
+      theory and run the translation pipelines of Sections 5-7 (always
+      applicable for weakly frontier-guarded theories, data-independent
+      translation whenever the combined theory stays in a PTime
+      fragment);
+    - {!answers_via_chase}: evaluate the query directly against a
+      saturated chase (sound; complete exactly when the chase run
+      saturates), used by the test-suite as an independent oracle. *)
+
+open Guarded_core
+
+let query_gensym = Names.gensym "CqAns"
+
+(* Certain answers through the translation pipelines. *)
+let certain_answers ?budget (sigma : Theory.t) (q : Cq.t) db =
+  let query_rel = Names.fresh query_gensym in
+  let enriched = Theory.of_rules (Theory.rules sigma @ [ Cq.to_rule q ~query_rel ]) in
+  Guarded_translate.Pipeline.answer ?budget enriched db ~query:query_rel
+
+(* Boolean query: no answer variables. *)
+let certain ?budget sigma q db =
+  match certain_answers ?budget sigma q db with [] -> false | _ :: _ -> true
+
+(* Answers by homomorphism into a chase: answer variables must land on
+   constants, the other variables may land on labeled nulls (which is
+   sound by universality of the chase). *)
+let answers_via_chase ?limits (sigma : Theory.t) (q : Cq.t) db =
+  let res = Guarded_chase.Engine.run ?limits sigma db in
+  let tuples = ref [] in
+  Homomorphism.iter_pos q.Cq.body res.db (fun subst ->
+      let tuple =
+        List.map
+          (fun v ->
+            match Subst.find_opt v subst with
+            | Some t -> t
+            | None -> invalid_arg "Answer.answers_via_chase: unbound answer variable")
+          q.Cq.answer_vars
+      in
+      if List.for_all Term.is_const tuple then tuples := tuple :: !tuples);
+  (List.sort_uniq (List.compare Term.compare) !tuples, res.outcome)

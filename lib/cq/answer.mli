@@ -1,0 +1,26 @@
+(** Answering conjunctive queries over rule-enriched databases. *)
+
+open Guarded_core
+
+val certain_answers :
+  ?budget:Guarded_translate.Pipeline.budget ->
+  Theory.t ->
+  Cq.t ->
+  Database.t ->
+  Term.t list list
+(** Folds the ACDom-guarded query rule into the theory and answers
+    through the translation pipelines of Sections 5-7. *)
+
+val certain :
+  ?budget:Guarded_translate.Pipeline.budget -> Theory.t -> Cq.t -> Database.t -> bool
+(** Boolean-query variant. *)
+
+val answers_via_chase :
+  ?limits:Guarded_chase.Engine.limits ->
+  Theory.t ->
+  Cq.t ->
+  Database.t ->
+  Term.t list list * Guarded_chase.Engine.outcome
+(** Homomorphisms into a chase, answer variables restricted to
+    constants; complete exactly when the run saturates. Used as an
+    independent oracle. *)

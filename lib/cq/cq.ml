@@ -1,0 +1,66 @@
+(** Conjunctive queries over databases enriched with existential rules
+    (Section 7).
+
+    A conjunctive query q(~x) ← ∃~y. φ(~x, ~y) is turned into the rule
+    φ ∧ ACDom(x1) ∧ ... ∧ ACDom(xn) → Q(~x), which is weakly
+    frontier-guarded in any enriched theory (the ACDom atoms make every
+    answer variable safe, so the frontier has no unsafe variable to
+    guard). Answering then goes through the translation pipelines; the
+    certain answers coincide with the homomorphism-based semantics, which
+    is also provided directly against a saturated chase for
+    cross-checking. *)
+
+open Guarded_core
+
+type t = {
+  body : Atom.t list;
+  answer_vars : string list;
+}
+
+let make body ~answer_vars =
+  let body_vars =
+    List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+  in
+  List.iter
+    (fun v ->
+      if not (Names.Sset.mem v body_vars) then
+        invalid_arg (Fmt.str "Cq.make: answer variable %s does not occur in the query body" v))
+    answer_vars;
+  { body; answer_vars }
+
+(* Parse "q(X, Y) :- r(X, Z), s(Z, Y)." style text: the head atom names
+   the answer tuple, the body is a conjunction of atoms. For uniformity
+   with the rule parser we reuse its syntax: "r(X,Z), s(Z,Y) -> q(X,Y)." *)
+let of_string text =
+  let rule = Parser.rule_of_string text in
+  if not (Rule.is_datalog rule && Rule.is_positive rule) then
+    invalid_arg "Cq.of_string: a conjunctive query is a positive Datalog rule";
+  match Rule.head rule with
+  | [ head ] ->
+    let answer_vars =
+      List.map
+        (function
+          | Term.Var v -> v
+          | t -> invalid_arg (Fmt.str "Cq.of_string: non-variable answer term %a" Term.pp t))
+        (Atom.args head)
+    in
+    (make (Rule.body_atoms rule) ~answer_vars, Atom.rel head)
+  | _ -> invalid_arg "Cq.of_string: query must have a single head atom"
+
+let vars q =
+  List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty q.body
+
+(* The ACDom-guarded query rule of Section 7. *)
+let to_rule q ~query_rel =
+  let head = Atom.make query_rel (List.map (fun v -> Term.Var v) q.answer_vars) in
+  let acdom_atoms =
+    List.map (fun v -> Atom.make Database.acdom_rel [ Term.Var v ]) q.answer_vars
+  in
+  Rule.make_pos (q.body @ acdom_atoms) [ head ]
+
+let pp ppf q =
+  Fmt.pf ppf "(%a) <- %a"
+    (Names.pp_comma_list Fmt.string)
+    q.answer_vars
+    (Names.pp_comma_list Atom.pp)
+    q.body

@@ -1,0 +1,23 @@
+(** Conjunctive queries over databases enriched with existential rules
+    (Section 7). *)
+
+open Guarded_core
+
+type t = {
+  body : Atom.t list;
+  answer_vars : string list;
+}
+
+val make : Atom.t list -> answer_vars:string list -> t
+
+val of_string : string -> t * string
+(** Parses "body -> q(X, Y)." and returns the query together with the
+    head relation name. *)
+
+val vars : t -> Names.Sset.t
+
+val to_rule : t -> query_rel:string -> Rule.t
+(** The ACDom-guarded query rule of Section 7: weakly frontier-guarded
+    in any enriched theory. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,63 @@
+(** Conjunctive-query minimization: the core of a CQ.
+
+    Two conjunctive queries are equivalent iff they have homomorphisms
+    into each other (Chandra-Merkle); every CQ has a unique (up to
+    isomorphism) minimal equivalent subquery, its {e core}. Minimizing
+    before answering shrinks the joins and, in Section 7's pipeline, the
+    rule folded into the theory. The algorithm is the classic one:
+    repeatedly try to drop a body atom and check that a homomorphism
+    from the original body into the remainder still exists, fixing the
+    answer variables. *)
+
+open Guarded_core
+
+(* Is there a homomorphism from [atoms] into [target_atoms] that is the
+   identity on [fixed] variables? Both sides may share variables; the
+   target is frozen. *)
+let retracts_onto atoms target_atoms ~fixed =
+  let frozen_targets = List.map Guarded_translate.Matching.freeze_atom target_atoms in
+  let db = Database.of_atoms frozen_targets in
+  let init =
+    Names.Sset.fold
+      (fun v acc -> Subst.add v (Guarded_translate.Matching.freeze_term (Term.Var v)) acc)
+      fixed Subst.empty
+  in
+  Homomorphism.exists ~init atoms db
+
+(* The core of [q]: a minimal subset of the body admitting a retraction
+   from the full body that fixes the answer variables. *)
+let core (q : Cq.t) : Cq.t =
+  let fixed = Names.Sset.of_list q.Cq.answer_vars in
+  let rec shrink kept =
+    let try_drop a =
+      let remainder = List.filter (fun b -> not (Atom.equal a b)) kept in
+      if remainder <> [] && retracts_onto kept remainder ~fixed then Some remainder else None
+    in
+    match List.find_map try_drop kept with
+    | Some smaller -> shrink smaller
+    | None -> kept
+  in
+  { q with Cq.body = shrink q.Cq.body }
+
+(* Homomorphic containment: q1 ⊆ q2 (every answer of q1 is an answer of
+   q2 on every database) iff q2's body maps into q1's body fixing the
+   answer tuple. *)
+let fresh_gensym = Names.gensym "cqv"
+
+let contained_in (q1 : Cq.t) (q2 : Cq.t) : bool =
+  List.length q1.Cq.answer_vars = List.length q2.Cq.answer_vars
+  &&
+  (* align the answer variables of q2 with those of q1 and rename its
+     other variables apart (they must not collide with q1's names) *)
+  let renaming =
+    Names.Sset.fold
+      (fun v acc -> Subst.add v (Term.Var (Names.fresh fresh_gensym)) acc)
+      (Names.Sset.diff (Cq.vars q2) (Names.Sset.of_list q2.Cq.answer_vars))
+      (List.fold_left2
+         (fun acc v2 v1 -> Subst.add v2 (Term.Var v1) acc)
+         Subst.empty q2.Cq.answer_vars q1.Cq.answer_vars)
+  in
+  let q2_body = Subst.apply_atoms renaming q2.Cq.body in
+  retracts_onto q2_body q1.Cq.body ~fixed:(Names.Sset.of_list q1.Cq.answer_vars)
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1

@@ -1,0 +1,18 @@
+(** Conjunctive-query minimization (cores) and homomorphic containment
+    (Chandra-Merlin), used to shrink queries before the Section 7
+    pipeline. *)
+
+open Guarded_core
+
+val retracts_onto : Atom.t list -> Atom.t list -> fixed:Names.Sset.t -> bool
+(** Is there a homomorphism from the first conjunction into the second
+    that is the identity on [fixed] variables? *)
+
+val core : Cq.t -> Cq.t
+(** The unique minimal equivalent subquery. *)
+
+val contained_in : Cq.t -> Cq.t -> bool
+(** [contained_in q1 q2]: every answer of [q1] is an answer of [q2] on
+    every database. *)
+
+val equivalent : Cq.t -> Cq.t -> bool

@@ -1,0 +1,81 @@
+(** Unions of conjunctive queries: the closure of CQs under union, with
+    certain-answer semantics over rule-enriched databases and the
+    classic containment test (Sagiv-Yannakakis: Q ⊆ ∪Qi iff each
+    disjunct of Q is contained in some Qi). *)
+
+open Guarded_core
+
+type t = {
+  disjuncts : Cq.t list;  (** all with the same answer arity *)
+}
+
+let make disjuncts =
+  match disjuncts with
+  | [] -> invalid_arg "Ucq.make: empty union"
+  | q :: rest ->
+    let arity = List.length q.Cq.answer_vars in
+    List.iter
+      (fun q' ->
+        if List.length q'.Cq.answer_vars <> arity then
+          invalid_arg "Ucq.make: disjuncts with different answer arities")
+      rest;
+    { disjuncts }
+
+let arity u = List.length (List.hd u.disjuncts).Cq.answer_vars
+
+(* Parse a ;-separated list of CQ rules sharing one head relation:
+   "e(X,Y) -> q(X). ; p(X) -> q(X)." *)
+let of_string text =
+  let parts =
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parsed = List.map Cq.of_string parts in
+  (match parsed with
+  | (_, rel0) :: rest ->
+    List.iter
+      (fun (_, rel) ->
+        if not (String.equal rel rel0) then
+          invalid_arg "Ucq.of_string: disjuncts must share the head relation")
+      rest
+  | [] -> invalid_arg "Ucq.of_string: empty union");
+  (make (List.map fst parsed), snd (List.hd parsed))
+
+(* Certain answers: the union of the disjuncts' certain answers — sound
+   and complete for unions (a certain answer of the union must be a
+   certain answer of one disjunct on the chase, by universality). *)
+let certain_answers ?budget (sigma : Theory.t) (u : t) db =
+  List.concat_map (fun q -> Answer.certain_answers ?budget sigma q db) u.disjuncts
+  |> List.sort_uniq (List.compare Term.compare)
+
+let certain ?budget sigma u db = certain_answers ?budget sigma u db <> []
+
+(* Containment: every disjunct of [u1] homomorphically contained in some
+   disjunct of [u2]. *)
+let contained_in (u1 : t) (u2 : t) : bool =
+  arity u1 = arity u2
+  && List.for_all
+       (fun q1 -> List.exists (fun q2 -> Minimize.contained_in q1 q2) u2.disjuncts)
+       u1.disjuncts
+
+let equivalent u1 u2 = contained_in u1 u2 && contained_in u2 u1
+
+(* Minimization: core every disjunct, then drop disjuncts contained in
+   another remaining one. *)
+let minimize (u : t) : t =
+  let cored = List.map Minimize.core u.disjuncts in
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | q :: rest ->
+      let redundant =
+        List.exists (fun q' -> Minimize.contained_in q q') (kept @ rest)
+      in
+      if redundant then prune kept rest else prune (q :: kept) rest
+  in
+  { disjuncts = prune [] cored }
+
+let pp ppf u =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:(Fmt.any " ∪@ ") Cq.pp)
+    u.disjuncts

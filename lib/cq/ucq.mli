@@ -1,0 +1,31 @@
+(** Unions of conjunctive queries over rule-enriched databases:
+    certain answers, Sagiv-Yannakakis containment, minimization. *)
+
+open Guarded_core
+
+type t = { disjuncts : Cq.t list }
+
+val make : Cq.t list -> t
+(** @raise Invalid_argument on an empty union or mixed arities. *)
+
+val arity : t -> int
+
+val of_string : string -> t * string
+(** Parses ";"-separated CQ rules sharing one head relation; returns the
+    union and the head relation name. *)
+
+val certain_answers :
+  ?budget:Guarded_translate.Pipeline.budget -> Theory.t -> t -> Database.t -> Term.t list list
+
+val certain :
+  ?budget:Guarded_translate.Pipeline.budget -> Theory.t -> t -> Database.t -> bool
+
+val contained_in : t -> t -> bool
+(** Each disjunct of the first contained in some disjunct of the second. *)
+
+val equivalent : t -> t -> bool
+
+val minimize : t -> t
+(** Core every disjunct, then drop disjuncts subsumed by another. *)
+
+val pp : t Fmt.t

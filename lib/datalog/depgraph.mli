@@ -1,0 +1,28 @@
+(** The predicate dependency graph of a program: edges from body
+    relations to head relations, Tarjan SCCs in dependencies-first
+    order, recursion and relevance queries. *)
+
+open Guarded_core
+
+module Rel_map : Map.S with type key = Atom.rel_key
+module Rel_set = Theory.Rel_set
+
+type t
+
+val of_theory : Theory.t -> t
+
+val successors : t -> Atom.rel_key -> Rel_set.t
+(** Head relations with a body occurrence of the key. *)
+
+val predecessors : t -> Atom.rel_key -> Rel_set.t
+(** Body relations of the rules deriving the key. *)
+
+val sccs : t -> Atom.rel_key list list
+(** Strongly connected components, dependencies first: every component
+    only depends on earlier ones. *)
+
+val recursive_relations : t -> Rel_set.t
+
+val reachable_from : t -> Rel_set.t -> Rel_set.t
+(** Relations on which the targets transitively depend (inclusive) —
+    the query-relevant part of a program. *)

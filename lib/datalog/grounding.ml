@@ -1,0 +1,53 @@
+(** Partial grounding pg(Σ, D) (Section 7, step 2).
+
+    Every safe variable of a rule — a universal variable with at least
+    one body occurrence in a non-affected position — is instantiated in
+    all possible ways with terms of the database's active domain. For a
+    weakly guarded theory the result is guarded: the remaining variables
+    of every rule are unsafe and hence covered by the weak guard. The
+    blow-up is exponential in the number of safe variables per rule,
+    which matches the paper's complexity analysis; a budget guards
+    against accidental explosions. *)
+
+open Guarded_core
+
+exception Budget_exceeded of string
+
+(* Enumerate all functions from [vars] to [terms]; calls [k] once per
+   assignment. *)
+let rec enumerate vars terms subst k =
+  match vars with
+  | [] -> k subst
+  | v :: rest -> List.iter (fun t -> enumerate rest terms (Subst.add v t subst) k) terms
+
+let partial_ground ?(max_rules = 200_000) (sigma : Theory.t) (db : Database.t) : Theory.t =
+  let ap = Classify.affected_positions sigma in
+  (* Constants of the theory's fact rules live in the chase root next to
+     the database constants, so they take part in the grounding too. *)
+  let domain =
+    Term.Set.elements
+      (Names.Sset.fold
+         (fun c acc -> Term.Set.add (Term.Const c) acc)
+         (Theory.constants sigma)
+         (Database.active_domain db))
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun r ->
+      let unsafe = Classify.unsafe_vars ~ap r in
+      let safe = Names.Sset.elements (Names.Sset.diff (Rule.uvars r) unsafe) in
+      let n = List.length safe and d = List.length domain in
+      let combos = if n = 0 then 1.0 else Float.pow (float_of_int d) (float_of_int n) in
+      if combos > float_of_int max_rules then
+        raise
+          (Budget_exceeded
+             (Fmt.str "pg: %d^%d groundings of rule %a exceed the budget" d n Rule.pp r));
+      if safe = [] || domain = [] then out := r :: !out
+      else
+        enumerate safe domain Subst.empty (fun subst ->
+            incr count;
+            if !count > max_rules then raise (Budget_exceeded "pg: too many ground rules");
+            out := Rule.apply subst r :: !out))
+    (Theory.rules sigma);
+  Theory.of_rules (List.rev !out)

@@ -1,0 +1,12 @@
+(** Partial grounding pg(Σ, D) (Section 7, step 2).
+
+    Every safe variable — a universal variable with a body occurrence in
+    a non-affected position — is instantiated in all possible ways with
+    terms of the active domain (plus the theory's constants). For a
+    weakly guarded theory the result is guarded. *)
+
+open Guarded_core
+
+exception Budget_exceeded of string
+
+val partial_ground : ?max_rules:int -> Theory.t -> Database.t -> Theory.t

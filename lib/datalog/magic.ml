@@ -1,0 +1,166 @@
+(** The (generalized) magic-set transformation: goal-directed Datalog
+    evaluation.
+
+    Given a positive Datalog program and a query pattern (an atom whose
+    constant arguments are bound and whose variables are free), the
+    transform produces a program whose bottom-up evaluation only derives
+    facts relevant to the query — the classic simulation of top-down
+    evaluation with sideways information passing (SIP), here the
+    standard left-to-right SIP.
+
+    For each intensional relation p used with adornment a (a string of
+    'b'/'f' per argument), the transformed program has:
+    - an adorned copy [p^a] of every rule deriving p, guarded by the
+      magic atom [magic_p^a(bound args)];
+    - for every intensional body atom q^a' of such a rule, a magic rule
+      deriving [magic_q^a'] from [magic_p^a] and the atoms to its left;
+    - the seed fact [magic_q0^a0(constants of the query)].
+
+    Extensional relations stay unadorned. Evaluation of the transformed
+    program with {!Seminaive.eval} computes exactly the query-relevant
+    part of the original fixpoint. *)
+
+open Guarded_core
+
+(* ------------------------------------------------------------------ *)
+(* Adornments                                                          *)
+
+type adornment = string  (** e.g. "bf" *)
+
+let adorn_name rel (a : adornment) = rel ^ "__" ^ a
+let magic_name rel (a : adornment) = "magic__" ^ rel ^ "__" ^ a
+
+(* The adornment of an atom given the currently bound variables:
+   constants and bound variables are 'b', the rest 'f'. *)
+let adornment_of ~bound atom : adornment =
+  String.concat ""
+    (List.map
+       (fun t ->
+         match t with
+         | Term.Const _ | Term.Null _ -> "b"
+         | Term.Var v -> if Names.Sset.mem v bound then "b" else "f")
+       (Atom.args atom))
+
+let bound_args (a : adornment) args =
+  List.filteri (fun i _ -> a.[i] = 'b') args
+
+(* ------------------------------------------------------------------ *)
+(* The transformation                                                  *)
+
+type query = {
+  q_rel : string;
+  q_pattern : Term.t list;  (** constants bound, variables free *)
+}
+
+let query_of_atom atom = { q_rel = Atom.rel atom; q_pattern = Atom.args atom }
+
+exception Unsupported of string
+
+let check_supported (sigma : Theory.t) =
+  List.iter
+    (fun r ->
+      if not (Rule.is_datalog r) then raise (Unsupported "magic sets: existential rule");
+      if not (Rule.is_positive r) then raise (Unsupported "magic sets: negation");
+      if List.length (Rule.head r) <> 1 then
+        raise (Unsupported "magic sets: multi-atom head (normalize first)"))
+    (Theory.rules sigma)
+
+(* [transform sigma query] returns the magic program together with the
+   name of the adorned query relation holding the answers. *)
+let transform (sigma : Theory.t) (query : query) : Theory.t * string =
+  check_supported sigma;
+  let idb = Theory.head_relations sigma in
+  let is_idb atom = Theory.Rel_set.mem (Atom.rel_key atom) idb in
+  let rules_for rel =
+    List.filter
+      (fun r -> match Rule.head r with [ h ] -> String.equal (Atom.rel h) rel | _ -> false)
+      (Theory.rules sigma)
+  in
+  let output = ref [] in
+  let emit r = output := r :: !output in
+  let done_adornments : (string * adornment, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec process rel (a : adornment) =
+    if not (Hashtbl.mem done_adornments (rel, a)) then begin
+      Hashtbl.replace done_adornments (rel, a) ();
+      (* base-copy rule: an intensional relation may also hold input
+         facts under its own (unadorned) name; nothing else derives the
+         unadorned relation in the transformed program. *)
+      let xs = List.init (String.length a) (fun i -> Term.Var (Printf.sprintf "mx%d" i)) in
+      emit
+        (Rule.make_pos
+           [ Atom.make (magic_name rel a) (bound_args a xs); Atom.make rel xs ]
+           [ Atom.make (adorn_name rel a) xs ]);
+      List.iter (adorn_rule rel a) (rules_for rel)
+    end
+  and adorn_rule rel (a : adornment) r =
+    let head = List.hd (Rule.head r) in
+    let head_args = Atom.args head in
+    let head_bound =
+      List.filteri (fun i _ -> a.[i] = 'b') head_args
+      |> List.filter_map (function Term.Var v -> Some v | _ -> None)
+    in
+    let magic_head = Atom.make (magic_name rel a) (bound_args a head_args) in
+    (* walk the body left to right, accumulating bound variables *)
+    let bound = ref (Names.Sset.of_list head_bound) in
+    let prefix = ref [ magic_head ] in
+    let new_body =
+      List.map
+        (fun atom ->
+          let adorned =
+            if is_idb atom then begin
+              let a' = adornment_of ~bound:!bound atom in
+              process (Atom.rel atom) a';
+              (* magic rule: magic_q^a'(bound args) <- prefix *)
+              let bargs = bound_args a' (Atom.args atom) in
+              emit
+                (Rule.make_pos (List.rev !prefix)
+                   [ Atom.make (magic_name (Atom.rel atom) a') bargs ]);
+              Atom.make (adorn_name (Atom.rel atom) a') (Atom.args atom)
+            end
+            else atom
+          in
+          prefix := adorned :: !prefix;
+          bound := Names.Sset.union !bound (Atom.var_set atom);
+          adorned)
+        (Rule.body_atoms r)
+    in
+    emit
+      (Rule.make_pos (magic_head :: new_body) [ Atom.make (adorn_name rel a) head_args ])
+  in
+  let q_adornment : adornment =
+    String.concat ""
+      (List.map
+         (function Term.Const _ | Term.Null _ -> "b" | Term.Var _ -> "f")
+         query.q_pattern)
+  in
+  if not (Theory.Rel_set.exists (fun (n, _, _) -> String.equal n query.q_rel) idb) then
+    (* purely extensional query: nothing to transform *)
+    (Theory.of_rules [], query.q_rel)
+  else begin
+    process query.q_rel q_adornment;
+    (* the seed: magic fact for the query's constants *)
+    let seed_args =
+      List.filter (function Term.Const _ | Term.Null _ -> true | Term.Var _ -> false)
+        query.q_pattern
+    in
+    emit (Rule.make_pos [] [ Atom.make (magic_name query.q_rel q_adornment) seed_args ]);
+    (Theory.of_rules (List.rev !output), adorn_name query.q_rel q_adornment)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+(* Answers to [query] over [db]: evaluate the magic program and read the
+   tuples of the adorned query relation matching the pattern. *)
+let answers (sigma : Theory.t) (query : query) (db : Database.t) : Term.t list list =
+  let program, out_rel = transform sigma query in
+  let result =
+    if Theory.size program = 0 then db else Seminaive.eval program db
+  in
+  let pattern = Atom.make out_rel query.q_pattern in
+  Database.candidates result pattern
+  |> List.filter_map (fun fact ->
+         match Subst.match_atom Subst.empty pattern fact with
+         | Some _ -> Some (Atom.args fact)
+         | None -> None)
+  |> List.sort_uniq (List.compare Term.compare)

@@ -1,0 +1,32 @@
+(** The generalized magic-set transformation: goal-directed bottom-up
+    Datalog evaluation with the standard left-to-right sideways
+    information passing. *)
+
+open Guarded_core
+
+type adornment = string
+(** One character per argument position: 'b' bound, 'f' free. *)
+
+val adorn_name : string -> adornment -> string
+val magic_name : string -> adornment -> string
+
+type query = {
+  q_rel : string;
+  q_pattern : Term.t list;  (** constants bound, variables free *)
+}
+
+val query_of_atom : Atom.t -> query
+
+exception Unsupported of string
+
+val transform : Theory.t -> query -> Theory.t * string
+(** [transform sigma query] is the magic program and the adorned query
+    relation holding the answers. Purely extensional queries return an
+    empty program.
+    @raise Unsupported on negation, existential rules or multi-atom
+    heads. *)
+
+val answers : Theory.t -> query -> Database.t -> Term.t list list
+(** Evaluate the magic program with {!Seminaive.eval} and read the
+    tuples matching the pattern. Agrees with plain evaluation restricted
+    to the query. *)

@@ -1,0 +1,125 @@
+(** Why-provenance for Datalog evaluation: each derived fact remembers
+    the rule and premises of its first derivation, from which a finite
+    proof tree can be reconstructed. First derivations are recorded in
+    evaluation order, so premises always precede their conclusions and
+    the trees are well-founded.
+
+    Useful for auditing the programs produced by the paper's
+    translations: an answer of dat(Σ) can be unfolded down to the input
+    facts through the auxiliary relations the translation invented. *)
+
+open Guarded_core
+
+type justification = {
+  j_rule : Rule.t;
+  j_premises : Atom.t list;  (** instantiated body atoms, in rule order *)
+}
+
+type t = {
+  result : Database.t;
+  why : (Atom.t, justification) Hashtbl.t;
+}
+
+(* Naive-with-delta evaluation recording first derivations. The engine
+   mirrors {!Seminaive.eval} but keeps the (rule, premises) pair for
+   every fact added. *)
+let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) : t =
+  Seminaive.check_datalog sigma;
+  if not (Stratify.is_semipositive sigma) then
+    invalid_arg "Provenance.eval: program is not semipositive";
+  let db = Database.copy db0 in
+  if acdom && Seminaive.mentions_acdom sigma then Database.materialize_acdom db;
+  let why : (Atom.t, justification) Hashtbl.t = Hashtbl.create 256 in
+  let fire rule subst acc_delta =
+    let negs_ok =
+      List.for_all
+        (fun a -> not (Database.mem db (Subst.apply_atom subst a)))
+        (Rule.neg_body_atoms rule)
+    in
+    if negs_ok then begin
+      let premises = List.map (Subst.apply_atom subst) (Rule.body_atoms rule) in
+      List.iter
+        (fun h ->
+          let fact = Subst.apply_atom subst h in
+          if Database.add db fact then begin
+            Hashtbl.replace why fact { j_rule = rule; j_premises = premises };
+            ignore (Database.add acc_delta fact)
+          end)
+        (Rule.head rule)
+    end
+  in
+  let rules = Theory.rules sigma in
+  let delta = Database.create () in
+  List.iter
+    (fun r -> Homomorphism.iter_pos (Rule.body_atoms r) db (fun s -> fire r s delta))
+    rules;
+  let current = ref delta in
+  while Database.cardinal !current > 0 do
+    let next = Database.create () in
+    List.iter
+      (fun r ->
+        let body = Rule.body_atoms r in
+        List.iteri
+          (fun i anchor ->
+            if Database.rel_cardinal !current (Atom.rel_key anchor) > 0 then
+              List.iter
+                (fun fact ->
+                  match Subst.match_atom Subst.empty anchor fact with
+                  | None -> ()
+                  | Some subst ->
+                    let rest = List.filteri (fun j _ -> j <> i) body in
+                    Homomorphism.iter_pos ~init:subst rest db (fun s -> fire r s next))
+                (Database.candidates !current anchor))
+          body)
+      rules;
+    current := next
+  done;
+  { result = db; why }
+
+(* ------------------------------------------------------------------ *)
+(* Proof trees                                                         *)
+
+type proof =
+  | Given of Atom.t  (** an input (or ACDom) fact *)
+  | Derived of Atom.t * Rule.t * proof list
+
+let rec explain (t : t) (fact : Atom.t) : proof option =
+  if not (Database.mem t.result fact) then None
+  else
+    match Hashtbl.find_opt t.why fact with
+    | None -> Some (Given fact)
+    | Some j ->
+      let subproofs = List.filter_map (explain t) j.j_premises in
+      if List.length subproofs = List.length j.j_premises then
+        Some (Derived (fact, j.j_rule, subproofs))
+      else None
+
+let proof_fact = function Given a -> a | Derived (a, _, _) -> a
+
+let rec proof_size = function
+  | Given _ -> 1
+  | Derived (_, _, children) -> 1 + List.fold_left (fun acc c -> acc + proof_size c) 0 children
+
+let rec proof_depth = function
+  | Given _ -> 0
+  | Derived (_, _, children) ->
+    1 + List.fold_left (fun acc c -> max acc (proof_depth c)) 0 children
+
+let pp_proof ppf proof =
+  let rec go indent proof =
+    match proof with
+    | Given a -> Fmt.pf ppf "%s%a  [input]@." (String.make indent ' ') Atom.pp a
+    | Derived (a, rule, children) ->
+      Fmt.pf ppf "%s%a  [%s]@." (String.make indent ' ') Atom.pp a
+        (match Rule.label rule with Some l -> l | None -> "rule");
+      List.iter (go (indent + 2)) children
+  in
+  go 0 proof
+
+(* Leaves of the proof: the input facts the answer depends on. *)
+let support proof =
+  let rec go acc = function
+    | Given a -> Atom.Set.add a acc
+    | Derived (_, _, children) -> List.fold_left go acc children
+  in
+  Atom.Set.elements (go Atom.Set.empty proof)

@@ -1,0 +1,33 @@
+(** Why-provenance for Datalog evaluation: every derived fact remembers
+    its first derivation (rule + instantiated premises), from which
+    well-founded proof trees are reconstructed. *)
+
+open Guarded_core
+
+type justification = {
+  j_rule : Rule.t;
+  j_premises : Atom.t list;
+}
+
+type t = {
+  result : Database.t;
+  why : (Atom.t, justification) Hashtbl.t;
+}
+
+val eval : ?acdom:bool -> Theory.t -> Database.t -> t
+(** Same fixpoint as {!Seminaive.eval}, with provenance. *)
+
+type proof =
+  | Given of Atom.t
+  | Derived of Atom.t * Rule.t * proof list
+
+val explain : t -> Atom.t -> proof option
+(** [None] when the fact is not in the fixpoint. *)
+
+val proof_fact : proof -> Atom.t
+val proof_size : proof -> int
+val proof_depth : proof -> int
+val pp_proof : proof Fmt.t
+
+val support : proof -> Atom.t list
+(** The input facts the proof rests on. *)

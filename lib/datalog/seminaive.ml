@@ -1,0 +1,107 @@
+(** Semi-naive bottom-up evaluation of Datalog programs.
+
+    Standard differential fixpoint: a first naive round evaluates every
+    rule against the input database; afterwards a rule only re-fires on
+    joins that use at least one fact derived in the previous round.
+    Negation must be semipositive (negated relations are never derived),
+    which is what the per-stratum evaluation of stratified theories
+    needs; negative literals are then absence checks against facts that
+    are static throughout the fixpoint. *)
+
+open Guarded_core
+
+let check_datalog sigma =
+  List.iter
+    (fun r ->
+      if not (Rule.is_datalog r) then
+        invalid_arg (Fmt.str "Seminaive.eval: existential rule %a" Rule.pp r))
+    (Theory.rules sigma)
+
+let mentions_acdom sigma =
+  Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
+
+(* Fire [rule] for every homomorphism of its body that maps the selected
+   body atom into [delta] and the others into [db]; add head instances to
+   [db] and to [acc_delta]. *)
+let fire_with_delta rule db delta acc_delta =
+  let body = Rule.body_atoms rule in
+  let negs = Rule.neg_body_atoms rule in
+  let fire subst =
+    let ok =
+      List.for_all
+        (fun a ->
+          let a' = Subst.apply_atom subst a in
+          if not (Atom.is_ground a') then
+            invalid_arg (Fmt.str "Seminaive.eval: unsafe negative literal %a" Atom.pp a');
+          not (Database.mem db a'))
+        negs
+    in
+    if ok then
+      List.iter
+        (fun h ->
+          let fact = Subst.apply_atom subst h in
+          if Database.add db fact then ignore (Database.add acc_delta fact))
+        (Rule.head rule)
+  in
+  (* One pass per body-atom position anchored in the delta. *)
+  List.iteri
+    (fun i anchor ->
+      if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
+        List.iter
+          (fun fact ->
+            match Subst.match_atom Subst.empty anchor fact with
+            | None -> ()
+            | Some subst ->
+              let rest = List.filteri (fun j _ -> j <> i) body in
+              Homomorphism.iter_pos ~init:subst rest db fire)
+          (Database.candidates delta anchor))
+    body
+
+let fire_naive rule db acc_delta =
+  let negs = Rule.neg_body_atoms rule in
+  Homomorphism.iter_pos (Rule.body_atoms rule) db (fun subst ->
+      let ok =
+        List.for_all
+          (fun a ->
+            let a' = Subst.apply_atom subst a in
+            if not (Atom.is_ground a') then
+              invalid_arg (Fmt.str "Seminaive.eval: unsafe negative literal %a" Atom.pp a');
+            not (Database.mem db a'))
+          negs
+      in
+      if ok then
+        List.iter
+          (fun h ->
+            let fact = Subst.apply_atom subst h in
+            if Database.add db fact then ignore (Database.add acc_delta fact))
+          (Rule.head rule))
+
+(* Evaluate [sigma] over [db0] and return the fixpoint (input included).
+   When the program mentions the built-in ACDom relation, it is
+   materialized from the input's active domain first. *)
+let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) =
+  check_datalog sigma;
+  if not (Stratify.is_semipositive sigma) then
+    invalid_arg "Seminaive.eval: program is not semipositive; use Stratified.chase";
+  let db = Database.copy db0 in
+  if acdom && mentions_acdom sigma then Database.materialize_acdom db;
+  let rules = Theory.rules sigma in
+  let delta = Database.create () in
+  List.iter (fun r -> fire_naive r db delta) rules;
+  let current = ref delta in
+  while Database.cardinal !current > 0 do
+    let next = Database.create () in
+    List.iter (fun r -> fire_with_delta r db !current next) rules;
+    current := next
+  done;
+  db
+
+let answers (sigma : Theory.t) (db : Database.t) ~query =
+  let result = eval sigma db in
+  Database.fold
+    (fun a acc ->
+      if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
+        Atom.args a :: acc
+      else acc)
+    result []
+  |> List.sort_uniq (List.compare Term.compare)

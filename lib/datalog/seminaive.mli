@@ -1,0 +1,22 @@
+(** Semi-naive bottom-up evaluation of Datalog programs.
+
+    Standard differential fixpoint; negation must be semipositive
+    (negated relations are never derived), which is what per-stratum
+    evaluation of stratified theories needs. *)
+
+open Guarded_core
+
+val check_datalog : Theory.t -> unit
+(** @raise Invalid_argument on a rule with existential variables. *)
+
+val mentions_acdom : Theory.t -> bool
+
+val eval : ?acdom:bool -> Theory.t -> Database.t -> Database.t
+(** [eval sigma db] returns the fixpoint (input included). When the
+    program mentions the built-in ACDom relation and [acdom] is true
+    (default), ACDom is materialized from the input's active domain
+    first.
+    @raise Invalid_argument on existential rules or non-semipositive
+    negation. *)
+
+val answers : Theory.t -> Database.t -> query:string -> Term.t list list

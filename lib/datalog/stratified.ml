@@ -1,0 +1,67 @@
+(** Iterative chase of stratified theories (Definition 23).
+
+    The strata are evaluated in order; within stratum i, negative
+    literals are interpreted against the result S_{i-1} of the previous
+    strata, i.e. [not A(~t)] holds iff the tuple ranges over the terms of
+    S_{i-1} and [A(~t)] is absent — membership of the complement atom
+    Ā(~t) in S'_{i-1} in the paper's notation. Pure-Datalog strata run
+    on the semi-naive engine; strata with existential rules run on the
+    chase engine with snapshot negation. *)
+
+open Guarded_core
+
+type result = {
+  db : Database.t;
+  outcome : Guarded_chase.Engine.outcome;
+  strata_count : int;
+}
+
+let mentions_acdom sigma =
+  Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
+
+let chase ?(limits = Guarded_chase.Engine.default_limits) (sigma : Theory.t) (db0 : Database.t) =
+  let strata = Stratify.strata sigma in
+  let db = Database.copy db0 in
+  if mentions_acdom sigma then Database.materialize_acdom db;
+  let outcome = ref Guarded_chase.Engine.Saturated in
+  let current = ref db in
+  List.iter
+    (fun stratum ->
+      let snapshot = !current in
+      if Theory.is_datalog stratum then
+        (* Datalog strata terminate; negated relations are static within
+           the stratum, so evaluating absence against the evolving
+           database coincides with the snapshot semantics. *)
+        current := Seminaive.eval ~acdom:false stratum snapshot
+      else begin
+        let res =
+          Guarded_chase.Engine.run ~limits
+            ~negation:(Guarded_chase.Engine.Snapshot snapshot) stratum snapshot
+        in
+        (match res.outcome with
+        | Guarded_chase.Engine.Bounded -> outcome := Guarded_chase.Engine.Bounded
+        | Guarded_chase.Engine.Saturated -> ());
+        current := res.db
+      end)
+    strata;
+  { db = !current; outcome = !outcome; strata_count = List.length strata }
+
+let entails ?limits sigma db atom =
+  let res = chase ?limits sigma db in
+  if Database.mem res.db atom then Guarded_chase.Engine.Proved
+  else
+    match res.outcome with
+    | Guarded_chase.Engine.Saturated -> Guarded_chase.Engine.Disproved
+    | Guarded_chase.Engine.Bounded -> Guarded_chase.Engine.Unknown
+
+let answers ?limits sigma db ~query =
+  let res = chase ?limits sigma db in
+  let tuples =
+    Database.fold
+      (fun a acc ->
+        if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
+          Atom.args a :: acc
+        else acc)
+      res.db []
+  in
+  (List.sort_uniq (List.compare Term.compare) tuples, res.outcome)

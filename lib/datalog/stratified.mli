@@ -1,0 +1,31 @@
+(** Iterative chase of stratified theories (Definition 23).
+
+    Strata are evaluated in order; within stratum i, negative literals
+    are interpreted against the previous strata's result S_{i-1}: the
+    tuple must range over the terms of S_{i-1} and be absent — exactly
+    membership of the complement atom Ā(~t) in S'_{i-1}. *)
+
+open Guarded_core
+
+type result = {
+  db : Database.t;
+  outcome : Guarded_chase.Engine.outcome;
+  strata_count : int;
+}
+
+val chase :
+  ?limits:Guarded_chase.Engine.limits -> Theory.t -> Database.t -> result
+
+val entails :
+  ?limits:Guarded_chase.Engine.limits ->
+  Theory.t ->
+  Database.t ->
+  Atom.t ->
+  Guarded_chase.Engine.verdict
+
+val answers :
+  ?limits:Guarded_chase.Engine.limits ->
+  Theory.t ->
+  Database.t ->
+  query:string ->
+  Term.t list list * Guarded_chase.Engine.outcome

@@ -1,0 +1,95 @@
+(** Stratification of theories with negation (Definition 22).
+
+    A theory is stratified when it can be partitioned into strata
+    Σ1, ..., Σn such that a relation is never (re)defined in a stratum
+    after being read positively, and never defined in or after a stratum
+    reading it negatively. Strata are computed by the usual fixpoint on
+    relation levels: for every rule H ← ..B.., level(H) ≥ level(B) for
+    positive B and level(H) > level(B) for negative B. The theory is
+    unstratifiable exactly when the fixpoint diverges (a cycle through
+    negation). *)
+
+open Guarded_core
+
+exception Unstratifiable of string
+
+(* Levels are per relation key. *)
+module Rel_map = Map.Make (struct
+  type t = Atom.rel_key
+
+  let compare = compare
+end)
+
+let relation_levels (sigma : Theory.t) =
+  let rules = Theory.rules sigma in
+  let nrels = Theory.Rel_set.cardinal (Theory.relations sigma) in
+  let level = ref Rel_map.empty in
+  let get key = match Rel_map.find_opt key !level with Some l -> l | None -> 0 in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed do
+    changed := false;
+    incr iterations;
+    if !iterations > (nrels * nrels) + 2 then
+      raise
+        (Unstratifiable "negative cycle through relation definitions: theory is unstratifiable");
+    List.iter
+      (fun r ->
+        let body_level =
+          List.fold_left
+            (fun acc lit ->
+              let key = Atom.rel_key (Literal.atom lit) in
+              let required =
+                match lit with Literal.Pos _ -> get key | Literal.Neg _ -> get key + 1
+              in
+              max acc required)
+            0 (Rule.body r)
+        in
+        (* All head relations of a rule are derived together, so they
+           must live in the same stratum: raise them to a common level. *)
+        let target =
+          List.fold_left (fun acc h -> max acc (get (Atom.rel_key h))) body_level (Rule.head r)
+        in
+        if target > nrels then
+          raise
+            (Unstratifiable
+               "negative cycle through relation definitions: theory is unstratifiable");
+        List.iter
+          (fun h ->
+            let key = Atom.rel_key h in
+            if get key < target then begin
+              level := Rel_map.add key target !level;
+              changed := true
+            end)
+          (Rule.head r))
+      rules
+  done;
+  !level
+
+(* Split the theory into strata Σ1; ...; Σn in evaluation order. A rule
+   belongs to the stratum of (the maximum level of) its head relations. *)
+let strata (sigma : Theory.t) : Theory.t list =
+  let levels = relation_levels sigma in
+  let level_of key = match Rel_map.find_opt key levels with Some l -> l | None -> 0 in
+  let rule_level r =
+    List.fold_left (fun acc h -> max acc (level_of (Atom.rel_key h))) 0 (Rule.head r)
+  in
+  let max_level = List.fold_left (fun acc r -> max acc (rule_level r)) 0 (Theory.rules sigma) in
+  List.init (max_level + 1) (fun l ->
+      Theory.of_rules (List.filter (fun r -> rule_level r = l) (Theory.rules sigma)))
+  |> List.filter (fun s -> Theory.rules s <> [])
+
+let is_stratified sigma =
+  match relation_levels sigma with _ -> true | exception Unstratifiable _ -> false
+
+let is_semipositive (sigma : Theory.t) =
+  (* Semipositive: negation only on relations never derived by any rule. *)
+  let heads = Theory.head_relations sigma in
+  List.for_all
+    (fun r ->
+      List.for_all
+        (function
+          | Literal.Pos _ -> true
+          | Literal.Neg a -> not (Theory.Rel_set.mem (Atom.rel_key a) heads))
+        (Rule.body r))
+    (Theory.rules sigma)

@@ -1,0 +1,21 @@
+(** Stratification of theories with negation (Definition 22). *)
+
+open Guarded_core
+
+exception Unstratifiable of string
+
+module Rel_map : Map.S with type key = Atom.rel_key
+
+val relation_levels : Theory.t -> int Rel_map.t
+(** The least stratum level per relation: level(head) ≥ level(positive
+    body relation), level(head) > level(negated body relation).
+    @raise Unstratifiable on a negative cycle. *)
+
+val strata : Theory.t -> Theory.t list
+(** The partition Σ1; ...; Σn in evaluation order.
+    @raise Unstratifiable on a negative cycle. *)
+
+val is_stratified : Theory.t -> bool
+
+val is_semipositive : Theory.t -> bool
+(** Negation only on relations never derived by any rule. *)

@@ -1,0 +1,125 @@
+(** QCheck generators for random theories and databases, over a fixed
+    small signature. Used by the property-based test-suite and available
+    to downstream users for fuzzing their own pipelines.
+
+    The generators produce theories that are {e syntactically} in the
+    advertised language (guarded / frontier-guarded / plain Datalog) by
+    construction; the test-suite additionally asserts this with the
+    classifier. *)
+
+open Guarded_core
+
+let constants = [ "a"; "b"; "c"; "d" ]
+let variables = [ "X"; "Y"; "Z"; "W" ]
+
+(* name, arity *)
+let signature = [ ("p", 1); ("r", 2); ("t", 3); ("s", 1); ("e", 2) ]
+
+let gen_const = QCheck.Gen.oneofl (List.map (fun c -> Term.Const c) constants)
+
+let gen_fact =
+  QCheck.Gen.(
+    oneofl signature >>= fun (name, arity) ->
+    list_repeat arity gen_const >|= fun args -> Atom.make name args)
+
+let gen_db ?(max_facts = 8) () =
+  QCheck.Gen.(list_size (int_range 1 max_facts) gen_fact >|= Database.of_atoms)
+
+(* An atom over a given variable pool (possibly with constants). *)
+let gen_atom_over pool =
+  QCheck.Gen.(
+    oneofl signature >>= fun (name, arity) ->
+    list_repeat arity
+      (frequency [ (4, oneofl (List.map (fun v -> Term.Var v) pool)); (1, gen_const) ])
+    >|= fun args -> Atom.make name args)
+
+(* A guarded rule: a guard atom with the whole variable pool, body atoms
+   over the guard variables, and a head that is either a Datalog atom
+   over those variables or an existential atom. *)
+let gen_guarded_rule =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    let guard_gen =
+      oneofl (List.filter (fun (_, a) -> a >= width) signature) >|= fun (name, arity) ->
+      Atom.make name (List.init arity (fun i -> Term.Var (List.nth pool (i mod width))))
+    in
+    guard_gen >>= fun guard ->
+    list_size (int_range 0 2) (gen_atom_over pool) >>= fun extra ->
+    bool >>= fun existential ->
+    if existential then
+      oneofl (List.filter (fun (_, a) -> a >= 2) signature) >|= fun (name, arity) ->
+      let args =
+        List.init arity (fun i ->
+            if i = 0 then Term.Var "E0" else Term.Var (List.nth pool (i mod width)))
+      in
+      Rule.make_pos ~evars:[ "E0" ] (guard :: extra) [ Atom.make name args ]
+    else gen_atom_over pool >|= fun head -> Rule.make_pos (guard :: extra) [ head ])
+
+let gen_guarded_theory =
+  QCheck.Gen.(list_size (int_range 1 4) gen_guarded_rule >|= Theory.of_rules)
+
+(* A frontier-guarded Datalog rule: free body shape, head variables
+   confined to one body atom. *)
+let gen_fg_rule =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool) >>= fun body ->
+    oneofl body >>= fun fg ->
+    let fg_vars = Atom.arg_vars fg in
+    if fg_vars = [] then
+      oneofl (List.filter (fun (_, a) -> a = 1) signature) >|= fun (name, _) ->
+      Rule.make_pos body [ Atom.make name [ List.hd (Atom.args fg) ] ]
+    else
+      oneofl fg_vars >>= fun v ->
+      oneofl signature >|= fun (name, arity) ->
+      Rule.make_pos body [ Atom.make name (List.init arity (fun _ -> Term.Var v)) ])
+
+let gen_fg_theory =
+  QCheck.Gen.(
+    list_size (int_range 1 3) gen_fg_rule >>= fun datalog ->
+    list_size (int_range 0 1) gen_guarded_rule >|= fun guarded ->
+    Theory.of_rules (datalog @ guarded))
+
+(* A positive Datalog rule whose single head variable comes from the
+   body (or a constant head when the body is ground). *)
+let gen_datalog_rule =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool) >>= fun body ->
+    let body_vars =
+      List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+    in
+    if Names.Sset.is_empty body_vars then
+      oneofl signature >|= fun (name, arity) ->
+      Rule.make_pos body [ Atom.make name (List.init arity (fun _ -> Term.Const "a")) ]
+    else
+      oneofl (Names.Sset.elements body_vars) >>= fun v ->
+      oneofl signature >|= fun (name, arity) ->
+      Rule.make_pos body [ Atom.make name (List.init arity (fun _ -> Term.Var v)) ])
+
+let gen_datalog_theory =
+  QCheck.Gen.(list_size (int_range 1 4) gen_datalog_rule >|= Theory.of_rules)
+
+(* A conjunctive query with at most one answer variable. *)
+let gen_cq_body =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck arbitraries with printers                                    *)
+
+let arbitrary_db = QCheck.make ~print:(Fmt.to_to_string Database.pp) (gen_db ())
+
+let arbitrary_guarded = QCheck.make ~print:Theory.to_string gen_guarded_theory
+let arbitrary_fg = QCheck.make ~print:Theory.to_string gen_fg_theory
+let arbitrary_datalog = QCheck.make ~print:Theory.to_string gen_datalog_theory
+
+let arbitrary_pair arb_t =
+  QCheck.make
+    ~print:(fun (sigma, d) -> Fmt.str "%s@.---@.%a" (Theory.to_string sigma) Database.pp d)
+    QCheck.Gen.(pair (QCheck.gen arb_t) (gen_db ()))

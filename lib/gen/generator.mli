@@ -1,0 +1,34 @@
+(** QCheck generators for random theories and databases over a fixed
+    small signature, for property-based testing and fuzzing. The
+    language-specific generators are syntactically in the advertised
+    class by construction. *)
+
+open Guarded_core
+
+val constants : string list
+val variables : string list
+
+val signature : (string * int) list
+(** Relation names with arities. *)
+
+val gen_const : Term.t QCheck.Gen.t
+val gen_fact : Atom.t QCheck.Gen.t
+val gen_db : ?max_facts:int -> unit -> Database.t QCheck.Gen.t
+val gen_atom_over : string list -> Atom.t QCheck.Gen.t
+
+val gen_guarded_rule : Rule.t QCheck.Gen.t
+val gen_guarded_theory : Theory.t QCheck.Gen.t
+val gen_fg_rule : Rule.t QCheck.Gen.t
+val gen_fg_theory : Theory.t QCheck.Gen.t
+val gen_datalog_rule : Rule.t QCheck.Gen.t
+val gen_datalog_theory : Theory.t QCheck.Gen.t
+val gen_cq_body : Atom.t list QCheck.Gen.t
+
+val arbitrary_db : Database.t QCheck.arbitrary
+val arbitrary_guarded : Theory.t QCheck.arbitrary
+val arbitrary_fg : Theory.t QCheck.arbitrary
+val arbitrary_datalog : Theory.t QCheck.arbitrary
+
+val arbitrary_pair :
+  Theory.t QCheck.arbitrary -> (Theory.t * Database.t) QCheck.arbitrary
+(** Pairs a theory arbitrary with a random database. *)

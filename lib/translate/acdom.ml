@@ -1,0 +1,58 @@
+(** Axiomatization of the built-in ACDom relation (Def. 15, Prop. 5).
+
+    Σ* replaces every relation R by a fresh copy R* and adds rules
+    copying the input database into the starred signature, populating
+    ACDom* with every term occurring in an input fact, and asserting
+    ACDom*(c) for every constant of the theory. The result contains no
+    occurrence of the built-in ACDom and computes the same answers under
+    the starred output relation. *)
+
+open Guarded_core
+
+let star = "__star"
+
+let star_rel name = name ^ star
+
+let star_atom a = Atom.make ~ann:(Atom.ann a) (star_rel (Atom.rel a)) (Atom.args a)
+
+(* Numbered variables x1..xn for the copy rules. *)
+let numbered_vars n = List.init n (fun i -> Term.Var (Printf.sprintf "x%d" i))
+
+let axiomatize (sigma : Theory.t) : Theory.t =
+  let relations = Theory.relation_list sigma in
+  let starred_rules =
+    List.map
+      (fun r ->
+        Rule.make ?label:(Rule.label r)
+          ~evars:(Names.Sset.elements (Rule.evars r))
+          (List.map (Literal.map_atom star_atom) (Rule.body r))
+          (List.map star_atom (Rule.head r)))
+      (Theory.rules sigma)
+  in
+  let acdom_star = star_rel Database.acdom_rel in
+  let copy_rules =
+    List.concat_map
+      (fun (name, ann_len, arity) ->
+        if ann_len > 0 then
+          invalid_arg "Acdom.axiomatize: annotated relations are not expected here"
+        else if String.equal name Database.acdom_rel then []
+        else begin
+          let vars = numbered_vars arity in
+          let base = Atom.make name vars in
+          (* (a) copy the input relation into its starred version. *)
+          Rule.make_pos [ base ] [ Atom.make (star_rel name) vars ]
+          :: (* (b) every argument of an input fact is in the active domain. *)
+          List.map (fun v -> Rule.make_pos [ base ] [ Atom.make acdom_star [ v ] ]) vars
+        end)
+      relations
+  in
+  (* (c) the constants of the theory belong to the active domain. *)
+  let const_rules =
+    List.map
+      (fun c -> Rule.make_pos [] [ Atom.make acdom_star [ Term.Const c ] ])
+      (Names.Sset.elements (Theory.constants sigma))
+  in
+  Theory.of_rules (starred_rules @ copy_rules @ const_rules)
+
+(* The query relation moves to its starred copy. *)
+let star_query q = star_rel q

@@ -1,0 +1,14 @@
+(** Axiomatization of the built-in ACDom relation (Def. 15, Prop. 5).
+
+    Σ* replaces every relation R of Σ by a fresh copy R*, copies the
+    input database into the starred signature, populates ACDom* with
+    every argument of an input fact over Σ's relations, and asserts the
+    theory's constants. The result has no occurrence of the built-in
+    ACDom and the same answers under starred output relations. *)
+
+open Guarded_core
+
+val star_rel : string -> string
+val star_query : string -> string
+
+val axiomatize : Theory.t -> Theory.t

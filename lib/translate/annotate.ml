@@ -1,0 +1,233 @@
+(** Relation-name annotations and the weakly-frontier-guarded to
+    weakly-guarded translation (Definitions 16-18, Theorem 2).
+
+    The three steps of Section 5.2:
+    - [properize] reorders argument positions so that the affected
+      positions of every relation form a prefix (Def. 16);
+    - [annotate] moves the terms in non-affected positions into the
+      relation-name annotation (Def. 17), turning a weakly
+      frontier-guarded theory into a frontier-guarded one;
+    - the annotated theory is rewritten with {!Rewrite_fg} and
+      [deannotate] turns annotations back into ordinary argument
+      positions (Def. 18), yielding a weakly guarded theory. *)
+
+open Guarded_core
+
+(* ------------------------------------------------------------------ *)
+(* Properization                                                       *)
+
+type properized = {
+  theory : Theory.t;
+  (* per relation: the permutation sending old positions to new ones *)
+  perms : (Atom.rel_key, int array) Hashtbl.t;
+}
+
+let permute_args perm args =
+  let arr = Array.of_list args in
+  let out = Array.make (Array.length arr) (List.nth args 0) in
+  Array.iteri (fun old_pos new_pos -> out.(new_pos) <- arr.(old_pos)) perm;
+  Array.to_list out
+
+let properize (sigma : Theory.t) : properized =
+  let ap = Classify.affected_positions sigma in
+  let perms = Hashtbl.create 16 in
+  let perm_of key arity =
+    match Hashtbl.find_opt perms key with
+    | Some p -> p
+    | None ->
+      let affected = List.init arity (fun i -> Classify.Pos_set.mem (key, i) ap) in
+      let order =
+        List.stable_sort
+          (fun i j ->
+            let ai = List.nth affected i and aj = List.nth affected j in
+            if ai = aj then Int.compare i j else if ai then -1 else 1)
+          (List.init arity (fun i -> i))
+      in
+      (* order.(new) = old; invert into perm.(old) = new *)
+      let perm = Array.make arity 0 in
+      List.iteri (fun new_pos old_pos -> perm.(old_pos) <- new_pos) order;
+      Hashtbl.add perms key perm;
+      perm
+  in
+  let permute_atom a =
+    if Atom.args a = [] then a
+    else
+      let perm = perm_of (Atom.rel_key a) (Atom.arity a) in
+      Atom.make ~ann:(Atom.ann a) (Atom.rel a) (permute_args perm (Atom.args a))
+  in
+  let theory =
+    Theory.of_rules
+      (List.map
+         (fun r ->
+           Rule.make ?label:(Rule.label r)
+             ~evars:(Names.Sset.elements (Rule.evars r))
+             (List.map (Literal.map_atom permute_atom) (Rule.body r))
+             (List.map permute_atom (Rule.head r)))
+         (Theory.rules sigma))
+  in
+  { theory; perms }
+
+(* Apply / undo the position permutation on a database or an atom. *)
+let permute_db (p : properized) db =
+  let out = Database.create () in
+  Database.iter
+    (fun a ->
+      let a' =
+        match Hashtbl.find_opt p.perms (Atom.rel_key a) with
+        | None -> a
+        | Some perm -> Atom.make ~ann:(Atom.ann a) (Atom.rel a) (permute_args perm (Atom.args a))
+      in
+      ignore (Database.add out a'))
+    db;
+  out
+
+let unpermute_atom (p : properized) a =
+  match Hashtbl.find_opt p.perms (Atom.rel_key a) with
+  | None -> a
+  | Some perm ->
+    let inv = Array.make (Array.length perm) 0 in
+    Array.iteri (fun old_pos new_pos -> inv.(new_pos) <- old_pos) perm;
+    Atom.make ~ann:(Atom.ann a) (Atom.rel a) (permute_args inv (Atom.args a))
+
+(* ------------------------------------------------------------------ *)
+(* Annotation a(Σ) and its inverse a⁻(Σ)                               *)
+
+(* Number of affected (prefix) positions of each relation. *)
+let affected_prefix_lengths (sigma : Theory.t) =
+  let ap = Classify.affected_positions sigma in
+  let tbl = Hashtbl.create 16 in
+  Theory.Rel_set.iter
+    (fun ((_, _, arity) as key) ->
+      let rec count i = if i < arity && Classify.Pos_set.mem (key, i) ap then count (i + 1) else i in
+      Hashtbl.replace tbl key (count 0))
+    (Theory.relations sigma);
+  tbl
+
+let annotate_atom prefix_lengths a =
+  if Atom.ann a <> [] then invalid_arg "Annotate: atom is already annotated";
+  let i =
+    match Hashtbl.find_opt prefix_lengths (Atom.rel_key a) with
+    | Some i -> i
+    | None -> Atom.arity a
+  in
+  let args = Atom.args a in
+  let affected = List.filteri (fun j _ -> j < i) args in
+  let rest = List.filteri (fun j _ -> j >= i) args in
+  Atom.make ~ann:rest (Atom.rel a) affected
+
+(* a(Σ): move terms in non-affected positions into annotations. The
+   theory must be proper. *)
+let annotate (sigma : Theory.t) : Theory.t =
+  if not (Classify.is_proper sigma) then
+    invalid_arg "Annotate.annotate: theory is not proper (call properize first)";
+  let prefix_lengths = affected_prefix_lengths sigma in
+  Theory.of_rules
+    (List.map
+       (fun r ->
+         Rule.make ?label:(Rule.label r)
+           ~evars:(Names.Sset.elements (Rule.evars r))
+           (List.map (Literal.map_atom (annotate_atom prefix_lengths)) (Rule.body r))
+           (List.map (annotate_atom prefix_lengths) (Rule.head r)))
+       (Theory.rules sigma))
+
+let annotate_db (sigma : Theory.t) db =
+  let prefix_lengths = affected_prefix_lengths sigma in
+  let out = Database.create () in
+  Database.iter (fun a -> ignore (Database.add out (annotate_atom prefix_lengths a))) db;
+  out
+
+(* a⁻(Σ): R[~v](~t) becomes R(~t, ~v) (Def. 18). *)
+let deannotate_atom a =
+  match Atom.ann a with
+  | [] -> a
+  | ann -> Atom.make (Atom.rel a) (Atom.args a @ ann)
+
+let deannotate (sigma : Theory.t) : Theory.t =
+  Theory.of_rules
+    (List.map
+       (fun r ->
+         Rule.make ?label:(Rule.label r)
+           ~evars:(Names.Sset.elements (Rule.evars r))
+           (List.map (Literal.map_atom deannotate_atom) (Rule.body r))
+           (List.map deannotate_atom (Rule.head r)))
+       (Theory.rules sigma))
+
+(* ------------------------------------------------------------------ *)
+(* Renormalization of an annotated theory                              *)
+
+let front_gensym = Names.gensym "AFront"
+
+(* Annotation can strip a guard of variables that only sat in its
+   non-affected positions, so an existential rule of a(Σ) need not be
+   guarded even though Σ was normal. Split such rules through a fresh
+   frontier relation carrying the head annotation. *)
+let reguard_existential r =
+  if Rule.is_datalog r || Classify.is_guarded_rule r then [ r ]
+  else begin
+    let head =
+      match Rule.head r with
+      | [ h ] -> h
+      | _ -> invalid_arg "Annotate.reguard_existential: non-singleton head"
+    in
+    let frontier = Names.Sset.elements (Rule.fvars_args r) in
+    let aux =
+      Atom.make ~ann:(Atom.ann head) (Names.fresh front_gensym)
+        (List.map (fun v -> Term.Var v) frontier)
+    in
+    [
+      Rule.make ?label:(Rule.label r) (Rule.body r) [ aux ];
+      Rule.make_pos ~evars:(Names.Sset.elements (Rule.evars r)) [ aux ] [ head ];
+    ]
+  end
+
+let renormalize (sigma : Theory.t) : Theory.t =
+  Theory.of_rules (List.concat_map reguard_existential (Theory.rules sigma))
+
+(* ------------------------------------------------------------------ *)
+(* The full translation of Theorem 2                                   *)
+
+type result = {
+  theory : Theory.t;  (** the weakly guarded rew(Σ), original layout *)
+  stats : Expansion.stats;
+}
+
+(* rew(Σ) = a⁻(rew(a(Σ))) for a normal weakly frontier-guarded Σ. The
+   input is properized first and the result is mapped back to the
+   original argument layout, so callers never see the permutation. *)
+let rew_weakly_frontier_guarded ?max_rules (sigma : Theory.t) : result =
+  if not (Normalize.is_normal sigma) then
+    invalid_arg "Annotate.rew_weakly_frontier_guarded: theory is not normal";
+  if not (Classify.is_weakly_frontier_guarded sigma) then
+    invalid_arg "Annotate.rew_weakly_frontier_guarded: theory is not weakly frontier-guarded";
+  let original_rels = Theory.relations sigma in
+  let p = properize sigma in
+  let annotated = renormalize (annotate p.theory) in
+  (* The paper states that a(Σ) is frontier-guarded whenever Σ is weakly
+     frontier-guarded; this fails when a safe variable occurs at an
+     affected head position (see DESIGN.md). Detect the corner rather
+     than produce a wrong translation. *)
+  if not (Classify.is_frontier_guarded annotated) then
+    invalid_arg
+      "Annotate.rew_weakly_frontier_guarded: a(Σ) is not frontier-guarded (a safe \
+       variable occurs at an affected head position; this corner of Def. 17 is \
+       unsupported, see DESIGN.md)";
+  let rewritten, stats = Rewrite_fg.rew_frontier_guarded ?max_rules annotated in
+  let plain = deannotate rewritten in
+  (* Restore the original argument order on the original relations; the
+     auxiliary relations introduced by the expansion keep their layout.
+     A deannotated original relation has its full original arity again,
+     so the stored permutation applies directly. *)
+  let restore_atom a =
+    if Theory.Rel_set.mem (Atom.rel_key a) original_rels then unpermute_atom p a else a
+  in
+  let theory =
+    Theory.of_rules
+      (List.map
+         (fun r ->
+           Rule.make ?label:(Rule.label r)
+             ~evars:(Names.Sset.elements (Rule.evars r))
+             (List.map (Literal.map_atom restore_atom) (Rule.body r))
+             (List.map restore_atom (Rule.head r)))
+         (Theory.rules plain))
+  in
+  { theory; stats }

@@ -1,0 +1,42 @@
+(** Relation-name annotations and the weakly-frontier-guarded to
+    weakly-guarded translation (Definitions 16-18, Theorem 2). *)
+
+open Guarded_core
+
+(** A properized theory together with the per-relation argument
+    permutations that made the affected positions a prefix (Def. 16). *)
+type properized = {
+  theory : Theory.t;
+  perms : (Atom.rel_key, int array) Hashtbl.t;
+}
+
+val properize : Theory.t -> properized
+val permute_db : properized -> Database.t -> Database.t
+val unpermute_atom : properized -> Atom.t -> Atom.t
+
+val annotate : Theory.t -> Theory.t
+(** a(Σ): moves terms in non-affected (suffix) positions into relation
+    annotations (Def. 17). The theory must be proper. *)
+
+val annotate_db : Theory.t -> Database.t -> Database.t
+
+val deannotate_atom : Atom.t -> Atom.t
+val deannotate : Theory.t -> Theory.t
+(** a⁻(Σ): R[~v](~t) becomes R(~t, ~v) (Def. 18). *)
+
+val renormalize : Theory.t -> Theory.t
+(** Re-guards existential rules whose guard lost variables to
+    annotations, via a fresh annotated frontier relation. *)
+
+type result = {
+  theory : Theory.t;  (** the weakly guarded rew(Σ), original layout *)
+  stats : Expansion.stats;
+}
+
+val rew_weakly_frontier_guarded : ?max_rules:int -> Theory.t -> result
+(** rew(Σ) = a⁻(rew(a(Σ))) for a normal weakly frontier-guarded theory
+    (Thm. 2), properizing first and restoring the original argument
+    order afterwards.
+    @raise Invalid_argument when a safe variable occurs at an affected
+    head position — the corner of Def. 17 the paper's sketch glosses
+    over (see DESIGN.md). *)

@@ -1,0 +1,29 @@
+(** The expansion ex(Σ) of a normal frontier-guarded theory (Def. 12):
+    the closure of Σ under rc- and rnc-rewritings, with canonical
+    deduplication, content-keyed auxiliary relations, and the paper's
+    decreasing measure (variables outside the frontier guard) bounding
+    the recursion. *)
+
+open Guarded_core
+
+exception Budget_exceeded of string
+
+type stats = {
+  input_rules : int;
+  output_rules : int;
+  aux_relations : int;
+  processed : int;  (** rules that went through the rewriting step *)
+}
+
+val measure : Rule.t -> int
+(** Number of variables outside the rule's fixed frontier guard. *)
+
+val expand :
+  ?max_rules:int ->
+  ?guards:[ `Node_relations | `All_relations ] ->
+  Theory.t ->
+  Theory.t * stats
+(** [guards] selects the guard-relation enumeration: [`Node_relations]
+    (default) restricts rc-σ′ / rnc-σ″ guards to existential-head
+    relations as justified by the chase-tree argument; [`All_relations]
+    is the paper-literal enumeration, kept for the ablation bench. *)

@@ -1,0 +1,43 @@
+(** Matching of atom conjunctions against atom conjunctions with
+    variables on both sides (the target side is frozen).
+
+    Used by the saturation calculus (Fig. 3, second inference rule) to
+    enumerate homomorphisms h from γ2 into a rule head β: variables of
+    the target are treated as distinct fresh constants, the pattern side
+    is matched, and the result is thawed back into a substitution whose
+    range may contain the target's variables. *)
+
+open Guarded_core
+
+let freeze_prefix = "$frozen$"
+
+let freeze_term = function
+  | Term.Var v -> Term.Const (freeze_prefix ^ v)
+  | (Term.Const _ | Term.Null _) as t -> t
+
+let thaw_term = function
+  | Term.Const c when String.length c > String.length freeze_prefix
+                      && String.sub c 0 (String.length freeze_prefix) = freeze_prefix ->
+    Term.Var (String.sub c (String.length freeze_prefix) (String.length c - String.length freeze_prefix))
+  | t -> t
+
+let freeze_atom = Atom.map_terms freeze_term
+
+(* All homomorphisms from [patterns] into the atom set [targets]
+   (variables of [targets] are frozen). *)
+let all patterns targets =
+  let frozen = List.map freeze_atom targets in
+  let db = Database.of_atoms frozen in
+  Homomorphism.all patterns db
+  |> List.map (fun subst ->
+         Subst.of_list (List.map (fun (v, t) -> (v, thaw_term t)) (Subst.bindings subst)))
+
+(* All extensions of [subst] mapping each variable of [vars] to one of
+   the candidate terms [choices]. *)
+let rec extensions subst vars choices =
+  match vars with
+  | [] -> [ subst ]
+  | v :: rest ->
+    List.concat_map
+      (fun t -> extensions (Subst.add v t subst) rest choices)
+      choices

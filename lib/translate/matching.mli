@@ -1,0 +1,17 @@
+(** Matching of atom conjunctions against atom conjunctions with
+    variables on both sides: the target side is frozen into marker
+    constants, matched, and thawed back. *)
+
+open Guarded_core
+
+val freeze_term : Term.t -> Term.t
+val thaw_term : Term.t -> Term.t
+val freeze_atom : Atom.t -> Atom.t
+
+val all : Atom.t list -> Atom.t list -> Subst.t list
+(** All homomorphisms from the patterns into the target atom set; the
+    returned substitutions may map into the target's variables. *)
+
+val extensions : Subst.t -> string list -> Term.t list -> Subst.t list
+(** All extensions of the substitution mapping each listed variable to
+    one of the candidate terms. *)

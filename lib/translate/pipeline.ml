@@ -1,0 +1,124 @@
+(** End-to-end translation and query-answering pipelines composing the
+    paper's results.
+
+    Database-independent translations (Sections 5-6):
+    - every language of Figure 1 with PTime data complexity (up to
+      nearly frontier-guarded) compiles to a plain Datalog program with
+      the same certain answers ({!to_datalog});
+    - weakly frontier-guarded theories compile to weakly guarded ones
+      ({!to_weakly_guarded}, Theorem 2).
+
+    Database-dependent answering:
+    - PTime languages: translate once, then semi-naive evaluation;
+    - weakly (frontier-)guarded: the five-step procedure of Section 7 —
+      rewrite to weakly guarded, partially ground against the database
+      (yielding a guarded theory), saturate to Datalog, evaluate. *)
+
+open Guarded_core
+
+type budget = {
+  max_expansion_rules : int;
+  max_saturation_rules : int;
+  max_ground_rules : int;
+}
+
+let default_budget =
+  { max_expansion_rules = 20_000; max_saturation_rules = 10_000; max_ground_rules = 200_000 }
+
+type translation = {
+  datalog : Theory.t;
+  source_language : Classify.language;
+  normalized : Theory.t;
+}
+
+exception Not_datalog_expressible of Classify.language
+
+(* Translate a query theory into an answer-preserving Datalog program.
+   Raises [Not_datalog_expressible] for the ExpTime-complete languages
+   (weakly (frontier-)guarded), which Section 8 proves cannot be
+   expressed in Datalog. *)
+let to_datalog ?(budget = default_budget) (sigma : Theory.t) : translation =
+  let normalized = Normalize.normalize sigma in
+  let lang = Classify.classify normalized in
+  let datalog =
+    match lang with
+    | Classify.Datalog -> normalized
+    | Classify.Guarded ->
+      let d, _ = Saturate.dat ~max_rules:budget.max_saturation_rules normalized in
+      d
+    | Classify.Nearly_guarded ->
+      let d, _ = Saturate.dat_nearly_guarded ~max_rules:budget.max_saturation_rules normalized in
+      d
+    | Classify.Frontier_guarded ->
+      let ng, _ =
+        Rewrite_fg.rew_frontier_guarded ~max_rules:budget.max_expansion_rules normalized
+      in
+      let d, _ = Saturate.dat_nearly_guarded ~max_rules:budget.max_saturation_rules ng in
+      d
+    | Classify.Nearly_frontier_guarded ->
+      let ng, _ =
+        Rewrite_fg.rew_nearly_frontier_guarded ~max_rules:budget.max_expansion_rules normalized
+      in
+      let d, _ = Saturate.dat_nearly_guarded ~max_rules:budget.max_saturation_rules ng in
+      d
+    | (Classify.Weakly_guarded | Classify.Weakly_frontier_guarded | Classify.Unrestricted) as l ->
+      raise (Not_datalog_expressible l)
+  in
+  { datalog; source_language = lang; normalized }
+
+(* Theorem 2: weakly frontier-guarded to weakly guarded. Theories that
+   are already weakly guarded are returned unchanged. *)
+let to_weakly_guarded ?(budget = default_budget) (sigma : Theory.t) : Theory.t =
+  let normalized = Normalize.normalize sigma in
+  if Classify.is_weakly_guarded normalized then normalized
+  else begin
+    let r =
+      Annotate.rew_weakly_frontier_guarded ~max_rules:budget.max_expansion_rules normalized
+    in
+    r.theory
+  end
+
+(* The five-step procedure of Section 7 for one input database. *)
+let answer_weakly_guarded ?(budget = default_budget) (sigma : Theory.t) db ~query =
+  let wg = to_weakly_guarded ~budget sigma in
+  let grounded = Guarded_datalog.Grounding.partial_ground ~max_rules:budget.max_ground_rules wg db in
+  if not (Classify.is_guarded grounded) then
+    invalid_arg "Pipeline.answer_weakly_guarded: partial grounding did not yield a guarded theory";
+  let datalog, _ = Saturate.dat ~max_rules:budget.max_saturation_rules grounded in
+  Guarded_datalog.Seminaive.answers datalog db ~query
+
+exception Answering_incomplete of string
+
+(* Last resort when a translation budget blows: a direct chase. Exact
+   when it saturates; otherwise the situation is reported rather than
+   silently under-approximated. *)
+let answer_via_chase (sigma : Theory.t) db ~query =
+  let db = Database.copy db in
+  Database.materialize_acdom db;
+  let limits = { Guarded_chase.Engine.max_derivations = 50_000; max_depth = None } in
+  match Guarded_chase.Engine.answers ~limits sigma db ~query with
+  | ans, Guarded_chase.Engine.Saturated -> ans
+  | _, Guarded_chase.Engine.Bounded ->
+    raise
+      (Answering_incomplete
+         "translation budgets exceeded and the direct chase did not saturate; raise the budget")
+
+(* Certain answers of (Σ, Q) over [db], choosing the procedure by the
+   classification of the normalized theory. Falls back to a saturating
+   chase when a translation budget is exceeded. *)
+let answer ?(budget = default_budget) (sigma : Theory.t) db ~query =
+  match to_datalog ~budget sigma with
+  | { datalog; _ } -> Guarded_datalog.Seminaive.answers datalog db ~query
+  | exception Not_datalog_expressible _ -> (
+    try answer_weakly_guarded ~budget sigma db ~query
+    with Expansion.Budget_exceeded _ | Saturate.Budget_exceeded _
+       | Guarded_datalog.Grounding.Budget_exceeded _ ->
+      answer_via_chase (Normalize.normalize sigma) db ~query)
+  | exception (Expansion.Budget_exceeded _ | Saturate.Budget_exceeded _) ->
+    answer_via_chase (Normalize.normalize sigma) db ~query
+
+(* Ground-atom entailment through the same pipelines. *)
+let entails ?budget (sigma : Theory.t) db atom =
+  if not (Atom.is_ground atom) then invalid_arg "Pipeline.entails: atom must be ground";
+  let tuples = answer ?budget sigma db ~query:(Atom.rel atom) in
+  List.exists (fun args -> List.equal Term.equal args (Atom.args atom)) tuples

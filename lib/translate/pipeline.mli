@@ -1,0 +1,47 @@
+(** End-to-end translation and query-answering pipelines composing the
+    paper's results (see the module implementation for the overview). *)
+
+open Guarded_core
+
+type budget = {
+  max_expansion_rules : int;
+  max_saturation_rules : int;
+  max_ground_rules : int;
+}
+
+val default_budget : budget
+
+type translation = {
+  datalog : Theory.t;
+  source_language : Classify.language;
+  normalized : Theory.t;
+}
+
+exception Not_datalog_expressible of Classify.language
+
+val to_datalog : ?budget:budget -> Theory.t -> translation
+(** Compiles any theory of a PTime language of Figure 1 (up to nearly
+    frontier-guarded) into an answer-preserving Datalog program.
+    @raise Not_datalog_expressible for weakly (frontier-)guarded input
+    (ExpTime-complete data complexity, Section 8). *)
+
+val to_weakly_guarded : ?budget:budget -> Theory.t -> Theory.t
+(** Theorem 2: normalizes and, if needed, rewrites a weakly
+    frontier-guarded theory into a weakly guarded one. *)
+
+val answer_weakly_guarded :
+  ?budget:budget -> Theory.t -> Database.t -> query:string -> Term.t list list
+(** The five-step procedure of Section 7: rewrite to weakly guarded,
+    partially ground against the database, saturate to Datalog,
+    evaluate. *)
+
+exception Answering_incomplete of string
+
+val answer : ?budget:budget -> Theory.t -> Database.t -> query:string -> Term.t list list
+(** Certain answers, dispatching on the classification of the
+    normalized theory. When a translation budget is exceeded, falls back
+    to a direct chase (exact when it saturates).
+    @raise Answering_incomplete when neither route can give an exact
+    answer within the limits. *)
+
+val entails : ?budget:budget -> Theory.t -> Database.t -> Atom.t -> bool

@@ -1,0 +1,56 @@
+(** The rewriting rew(Σ) from (nearly) frontier-guarded to nearly
+    guarded rules (Definitions 13-14, Theorem 1, Propositions 3-4).
+
+    rew(Σ) is the expansion ex(Σ) with an atom ACDom(x) added to the body
+    of every non-guarded rule for each of its universal (argument)
+    variables: every non-guarded rule then only operates on terms of the
+    input database, which is exactly near-guardedness. For a nearly
+    frontier-guarded theory, the frontier-guarded part is rewritten and
+    the remaining Datalog rules (which have no unsafe variables) are kept
+    unchanged. *)
+
+open Guarded_core
+
+(* Add ACDom(x) to the body of [r] for every universal argument variable. *)
+let acdom_guard_rule r =
+  let acdom_atoms =
+    List.map
+      (fun v -> Literal.Pos (Atom.make Database.acdom_rel [ Term.Var v ]))
+      (Names.Sset.elements (Rule.uvars_args r))
+  in
+  Rule.make ?label:(Rule.label r)
+    ~evars:(Names.Sset.elements (Rule.evars r))
+    (Rule.body r @ acdom_atoms)
+    (Rule.head r)
+
+(* rew for a normal frontier-guarded theory (Def. 13). *)
+let rew_frontier_guarded ?max_rules (sigma : Theory.t) : Theory.t * Expansion.stats =
+  if not (Normalize.is_normal sigma) then
+    invalid_arg "Rewrite_fg.rew_frontier_guarded: theory is not normal";
+  if not (Classify.is_frontier_guarded sigma) then
+    invalid_arg "Rewrite_fg.rew_frontier_guarded: theory is not frontier-guarded";
+  let ex, stats = Expansion.expand ?max_rules sigma in
+  let rewritten =
+    List.map
+      (fun r -> if Classify.is_guarded_rule r then r else acdom_guard_rule r)
+      (Theory.rules ex)
+  in
+  (Theory.of_rules rewritten, stats)
+
+(* rew for a normal nearly frontier-guarded theory (Def. 14):
+   rew(Σf) ∪ Σd where Σf collects the frontier-guarded rules. *)
+let rew_nearly_frontier_guarded ?max_rules (sigma : Theory.t) : Theory.t * Expansion.stats =
+  if not (Normalize.is_normal sigma) then
+    invalid_arg "Rewrite_fg.rew_nearly_frontier_guarded: theory is not normal";
+  let ap = Classify.affected_positions sigma in
+  let frontier_part, datalog_part =
+    List.partition Classify.is_frontier_guarded_rule (Theory.rules sigma)
+  in
+  List.iter
+    (fun r ->
+      if not (Names.Sset.is_empty (Classify.unsafe_vars ~ap r) && Rule.is_datalog r) then
+        invalid_arg
+          (Fmt.str "Rewrite_fg: rule %a is not nearly frontier-guarded" Rule.pp r))
+    datalog_part;
+  let rewritten, stats = rew_frontier_guarded ?max_rules (Theory.of_rules frontier_part) in
+  (Theory.of_rules (Theory.rules rewritten @ datalog_part), stats)

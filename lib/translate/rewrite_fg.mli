@@ -1,0 +1,22 @@
+(** The rewriting rew(Σ) from (nearly) frontier-guarded to nearly
+    guarded rules (Definitions 13-14, Theorem 1, Propositions 3-4).
+
+    rew(Σ) is the expansion ex(Σ) with ACDom atoms added to the body of
+    every non-guarded rule, which confines those rules to the input
+    database's terms — exactly near-guardedness. *)
+
+open Guarded_core
+
+val acdom_guard_rule : Rule.t -> Rule.t
+(** Adds ACDom(x) for every universal argument variable. *)
+
+val rew_frontier_guarded : ?max_rules:int -> Theory.t -> Theory.t * Expansion.stats
+(** Def. 13 for a normal frontier-guarded theory. The result is nearly
+    guarded (Prop. 3) and has the same certain answers over databases
+    with materialized ACDom (Thm. 1).
+    @raise Invalid_argument when the input is not normal/FG.
+    @raise Expansion.Budget_exceeded when the expansion exceeds the budget. *)
+
+val rew_nearly_frontier_guarded : ?max_rules:int -> Theory.t -> Theory.t * Expansion.stats
+(** Def. 14: rewrites the frontier-guarded part and keeps the remaining
+    (unsafe-variable-free) Datalog rules (Prop. 4). *)

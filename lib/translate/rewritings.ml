@@ -1,0 +1,189 @@
+(** The rc- ("remove covered") and rnc- ("remove non-covered") rewritings
+    of Definitions 10 and 11.
+
+    Both rewritings split a non-guarded Datalog rule σ of a normal
+    frontier-guarded theory into a guarded rule and a structurally
+    smaller frontier-guarded rule, communicating through a fresh
+    relation H over keep(σ, μ). The guard atoms R(~x) demanded by the
+    definitions ("an arbitrary relation from Σ whose arguments contain
+    the required variables") are enumerated as injective placements of
+    the required variables into the relation's argument positions, the
+    remaining positions being padded with fresh variables — a padded
+    position matches any term, so the padded patterns subsume every
+    repetition pattern a chase atom could exhibit.
+
+    Annotated relations are handled as in Section 5.2: the annotation
+    variables demanded by the head are placed into the guard's
+    annotation slots the same way, so the produced rules remain safely
+    annotated. *)
+
+open Guarded_core
+
+let pad_gensym = Names.gensym "gp"
+
+(* All injective placements of [needed] into [arity] slots; the other
+   slots are filled by fresh pad variables. Returns a list of term
+   lists. *)
+let placements needed arity =
+  let n = List.length needed in
+  if n > arity then []
+  else begin
+    let rec choose slots vars =
+      match vars with
+      | [] -> [ List.map (fun _ -> None) slots ]
+      | v :: rest ->
+        List.concat_map
+          (fun filled ->
+            (* insert [v] at each free slot of [filled] *)
+            let rec insert prefix = function
+              | [] -> []
+              | None :: suffix ->
+                (List.rev_append prefix (Some v :: suffix))
+                :: insert (None :: prefix) suffix
+              | (Some _ as s) :: suffix -> insert (s :: prefix) suffix
+            in
+            insert [] filled)
+          (choose slots rest)
+    in
+    let slots = List.init arity (fun _ -> ()) in
+    choose slots needed
+    |> List.map
+         (List.map (function
+           | Some v -> Term.Var v
+           | None -> Term.Var (Names.fresh pad_gensym)))
+  end
+
+(* Guard atoms over the candidate relations: [needed_args] are placed
+   injectively into argument slots, [needed_ann] into annotation slots. *)
+let guard_atoms ~relations ~needed_args ~needed_ann =
+  List.concat_map
+    (fun (name, ann_len, arity) ->
+      if String.equal name Database.acdom_rel then []
+      else
+        List.concat_map
+          (fun args ->
+            List.map (fun ann -> Atom.make ~ann name args) (placements needed_ann ann_len))
+          (placements needed_args arity))
+    relations
+
+let arg_vars_of atoms =
+  List.fold_left (fun acc a -> Names.Sset.union acc (Atom.arg_var_set a)) Names.Sset.empty atoms
+
+let ann_vars_of atoms =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc t -> match t with Term.Var v -> Names.Sset.add v acc | Term.Const _ | Term.Null _ -> acc)
+        acc (Atom.ann a))
+    Names.Sset.empty atoms
+
+(* The single head atom of a normal rule. *)
+let the_head rule =
+  match Rule.head rule with
+  | [ h ] -> h
+  | _ -> invalid_arg "Rewritings: rule is not in normal form (non-singleton head)"
+
+(* Content-based name for the fresh relation H: the canonical form of
+   its defining body together with the keep tuple. Two rewritings (from
+   any rules and selections) whose H would have literally the same
+   definition share the relation, which keeps the closure small and is
+   sound: the shared relation has the same extension in every chase. *)
+let content_key kind defining_body keep ann =
+  (* The keep tuple rides in the body as a pseudo atom so that the rule
+     safety check cannot object to keep variables absent from the
+     defining body (possible for head-only variables). *)
+  let h = Atom.make ~ann "$H" (List.map (fun v -> Term.Var v) keep) in
+  let pseudo = Rule.make_pos (h :: defining_body) [ h ] in
+  kind ^ "|" ^ Rule.to_string (Rule.canonicalize pseudo)
+
+(* rc-rewriting of [rule] w.r.t. [mu] (Def. 10). Returns [] if the
+   variable-projection condition fails, otherwise the rule σ'' together
+   with all guard variants of σ'. The fresh head relation name is
+   obtained from [name_of], a memoized gensym keyed by content. *)
+let rc ~relations ~name_of rule (mu : Selection.t) =
+  let cov = Selection.covered rule mu in
+  if cov = [] then []
+  else begin
+    let mu_cov = Selection.apply mu cov in
+    let keep = Selection.keep ~include_head:true rule mu in
+    let keep_set = Names.Sset.of_list keep in
+    let projected = Names.Sset.diff (arg_vars_of mu_cov) keep_set in
+    (* (b) variable projection: μ(cov) must lose at least one variable. *)
+    if Names.Sset.is_empty projected then []
+    else begin
+      let head = the_head rule in
+      let h_name = name_of (content_key "rc" mu_cov keep (Atom.ann head)) in
+      let h_atom = Atom.make ~ann:(Atom.ann head) h_name (List.map (fun v -> Term.Var v) keep) in
+      let remainder = Selection.apply mu (Selection.non_covered rule mu) in
+      let sigma2 =
+        Rule.make_pos ?label:(Rule.label rule) (h_atom :: remainder)
+          [ Subst.apply_atom mu head ]
+      in
+      let needed_args = Names.Sset.elements (Names.Sset.union (arg_vars_of mu_cov) keep_set) in
+      let needed_ann =
+        Names.Sset.elements
+          (Names.Sset.diff (ann_vars_of [ h_atom ]) (ann_vars_of mu_cov))
+      in
+      let sigma1s =
+        List.map
+          (fun guard -> Rule.make_pos (guard :: mu_cov) [ h_atom ])
+          (guard_atoms ~relations ~needed_args ~needed_ann)
+      in
+      (* If no relation can host the guard, H is underivable and the
+         whole rewriting is inert: contribute nothing. *)
+      if sigma1s = [] then [] else sigma2 :: sigma1s
+    end
+  end
+
+(* rnc-rewriting of [rule] w.r.t. [mu] (Def. 11). Returns all guard
+   variants of σ' and σ''. *)
+let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
+  let cov = Selection.covered rule mu in
+  let non_cov = Selection.non_covered rule mu in
+  if non_cov = [] then []
+  else begin
+    let mu_rem = Selection.apply mu non_cov in
+    let mu_cov = Selection.apply mu cov in
+    let keep = Selection.keep ~include_head:false rule mu in
+    let keep_set = Names.Sset.of_list keep in
+    (* (b) variable projection: some variable of μ(body \ cov) is placed
+       in the guard but not kept. *)
+    let z_candidates = Names.Sset.elements (Names.Sset.diff (arg_vars_of mu_rem) keep_set) in
+    if z_candidates = [] then []
+    else begin
+      let head = the_head rule in
+      let h_name = name_of (content_key "rnc" mu_rem keep (Atom.ann head)) in
+      let h_atom = Atom.make ~ann:(Atom.ann head) h_name (List.map (fun v -> Term.Var v) keep) in
+      let needed_ann_s1 =
+        Names.Sset.elements (Names.Sset.diff (ann_vars_of [ h_atom ]) (ann_vars_of mu_rem))
+      in
+      (* σ' fires on database constants (it is ACDom-guarded in rew),
+         so its guard may be any relation of Σ. *)
+      let sigma1s =
+        List.concat_map
+          (fun z ->
+            List.map
+              (fun guard -> Rule.make_pos (guard :: mu_rem) [ h_atom ])
+              (guard_atoms ~relations:all_relations
+                 ~needed_args:(Names.Sset.elements (Names.Sset.add z keep_set))
+                 ~needed_ann:needed_ann_s1))
+          z_candidates
+      in
+      let mu_head = Subst.apply_atom mu head in
+      let needed_args_s2 =
+        Names.Sset.elements
+          (Names.Sset.union keep_set
+             (Names.Sset.union (arg_vars_of mu_cov) (Atom.arg_var_set mu_head)))
+      in
+      (* σ'' matches inside a chase-tree node, whose terms all occur in
+         the node-creating atom: an existential-head guard suffices. *)
+      let sigma2s =
+        List.map
+          (fun guard ->
+            Rule.make_pos ?label:(Rule.label rule) (guard :: h_atom :: mu_cov) [ mu_head ])
+          (guard_atoms ~relations:node_relations ~needed_args:needed_args_s2 ~needed_ann:[])
+      in
+      (* Either half missing makes the rewriting inert: skip it. *)
+      if sigma1s = [] || sigma2s = [] then [] else sigma1s @ sigma2s
+    end
+  end

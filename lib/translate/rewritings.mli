@@ -1,0 +1,45 @@
+(** The rc- ("remove covered") and rnc- ("remove non-covered")
+    rewritings of Definitions 10-11.
+
+    Both split a non-guarded Datalog rule σ of a normal frontier-guarded
+    theory into a guarded rule and a structurally smaller
+    frontier-guarded rule communicating through a fresh relation H over
+    keep(σ, μ). Guard atoms are enumerated as injective placements of
+    the required variables into a candidate relation's positions, padded
+    with fresh variables. H names come from [name_of], a memoized gensym
+    keyed by the canonical content of the rewriting, so isomorphic
+    rewritings share their auxiliary relation. *)
+
+open Guarded_core
+
+val placements : string list -> int -> Term.t list list
+(** All injective placements of the given variables into that many
+    slots, fresh pads elsewhere. *)
+
+val guard_atoms :
+  relations:Atom.rel_key list ->
+  needed_args:string list ->
+  needed_ann:string list ->
+  Atom.t list
+
+val rc :
+  relations:Atom.rel_key list ->
+  name_of:(string -> string) ->
+  Rule.t ->
+  Selection.t ->
+  Rule.t list
+(** The rc-rewriting (Def. 10): σ'' followed by the guard variants of
+    σ'. [relations] should be the node-creating (existential-head)
+    relations. Empty when the variable-projection condition fails or no
+    guard exists. *)
+
+val rnc :
+  node_relations:Atom.rel_key list ->
+  all_relations:Atom.rel_key list ->
+  name_of:(string -> string) ->
+  Rule.t ->
+  Selection.t ->
+  Rule.t list
+(** The rnc-rewriting (Def. 11): all guard variants of σ' (whose guard
+    ranges over every relation — it fires on database constants) and σ''
+    (guarded by a node-creating relation). *)

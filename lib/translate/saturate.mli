@@ -1,0 +1,50 @@
+(** The saturation calculus of Figure 3 and the guarded-to-Datalog
+    translation dat(Σ) (Definition 19, Theorem 3, Proposition 6).
+
+    Two implementations are provided:
+    - {!closure} / {!dat_via_closure}: the calculus of Figure 3 taken
+      literally (modulo the consequence-driven restrictions that skip
+      inferences reconstructible at evaluation time) — every derived
+      rule is materialized. Right for small theories and for inspecting
+      derivations such as Example 7.
+    - {!dat}: the consequence-driven formulation (EL / Horn-SHIQ style):
+      one object per (body, head) state whose head grows in place;
+      resolutions that need variable unifications or extra body atoms
+      spawn new objects; saturated heads are projected into Datalog
+      rules. This is the one the pipelines use. *)
+
+open Guarded_core
+
+exception Budget_exceeded of string
+
+type stats = {
+  input_rules : int;
+  closure_rules : int;
+  datalog_rules : int;
+  resolutions : int;
+}
+
+val project : Rule.t -> Rule.t list
+(** Fig. 3's first rule: α → A for each head atom A without existential
+    variables. *)
+
+val unify : Rule.t -> Rule.t list
+(** Fig. 3's third rule through single merges x ↦ y (their closure
+    generates every non-injective g). *)
+
+val resolve : Rule.t -> Rule.t -> Rule.t list
+(** Fig. 3's second rule: resolve the Datalog second argument into the
+    head of the first. *)
+
+val closure : ?max_rules:int -> Theory.t -> Theory.t * stats
+(** Ξ(Σ): the closure of Σ under the three inference rules. *)
+
+val dat_via_closure : ?max_rules:int -> Theory.t -> Theory.t * stats
+(** The Datalog rules of Ξ(Σ) (Def. 19 verbatim). *)
+
+val dat : ?max_rules:int -> Theory.t -> Theory.t * stats
+(** Consequence-driven dat(Σ) for a guarded (or any positive) theory:
+    same certain answers as Σ on every database (Thm. 3). *)
+
+val dat_nearly_guarded : ?max_rules:int -> Theory.t -> Theory.t * stats
+(** Prop. 6: dat(Σg) ∪ Σd for a nearly guarded theory. *)

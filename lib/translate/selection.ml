@@ -1,0 +1,92 @@
+(** Selections (Definitions 7-9).
+
+    A selection for a rule σ is a partial function μ from uvars(σ) to
+    uvars(σ) with |ran(μ)| ≤ k, where k is the maximal relation arity of
+    the theory. W.l.o.g. we enumerate retractions only: μ is the
+    identity on its range and maps the remaining domain variables onto
+    range representatives — for any homomorphism argument in the proof of
+    Theorem 1 one can pick representatives inside each class, so nothing
+    is lost and the enumeration shrinks drastically. *)
+
+open Guarded_core
+
+type t = Subst.t  (** variable-to-variable substitution *)
+
+let apply (mu : t) atoms = Subst.apply_atoms mu atoms
+
+let domain (mu : t) = Subst.domain mu
+
+let range_vars (mu : t) =
+  Term.Set.fold
+    (fun t acc -> match t with Term.Var v -> Names.Sset.add v acc | Term.Const _ | Term.Null _ -> acc)
+    (Subst.range mu) Names.Sset.empty
+
+(* cov(σ, μ): body atoms whose variables all lie in dom(μ) (Def. 8).
+   Only positive rules reach this code path. *)
+let covered rule (mu : t) =
+  let dom = domain mu in
+  List.filter (fun b -> Names.Sset.subset (Atom.arg_var_set b) dom) (Rule.body_atoms rule)
+
+let non_covered rule (mu : t) =
+  let cov = covered rule mu in
+  List.filter (fun b -> not (List.exists (Atom.equal b) cov)) (Rule.body_atoms rule)
+
+(* keep(σ, μ): the images μ(x) of domain variables x that occur in a
+   non-covered body atom — and, when [include_head] is set, in the head
+   (Def. 9). The rc-rewriting needs the head variables in the interface
+   (σ'' does not repeat μ(cov), so head variables occurring only there
+   must travel through H); the rnc-rewriting must not include them
+   (σ'' re-links them through μ(cov) itself — this is what the paper's
+   Examples 5 and 6 compute, against the letter of Def. 9). *)
+let keep ?(include_head = false) rule (mu : t) =
+  let dom = domain mu in
+  let outside =
+    List.fold_left
+      (fun acc a -> Names.Sset.union acc (Atom.var_set a))
+      (if include_head then Rule.head_vars rule else Names.Sset.empty)
+      (non_covered rule mu)
+  in
+  Names.Sset.fold
+    (fun x acc ->
+      if Names.Sset.mem x outside then
+        match Subst.find_opt x mu with
+        | Some (Term.Var y) -> Names.Sset.add y acc
+        | Some _ | None -> acc
+      else acc)
+    dom Names.Sset.empty
+  |> Names.Sset.elements
+
+(* All subsets of [l] of size at most [k]. *)
+let rec subsets_up_to k l =
+  match l with
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets_up_to k rest in
+    if k = 0 then without
+    else without @ List.map (fun s -> x :: s) (subsets_up_to (k - 1) rest)
+
+let rec all_subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = all_subsets rest in
+    without @ List.map (fun s -> x :: s) without
+
+(* All retraction selections for [rule] with range size at most [k]. *)
+let enumerate ~k rule : t list =
+  let vars = Names.Sset.elements (Rule.uvars_args rule) in
+  let ranges = subsets_up_to k vars in
+  List.concat_map
+    (fun range ->
+      let identity =
+        List.fold_left (fun acc v -> Subst.add v (Term.Var v) acc) Subst.empty range
+      in
+      let rest = List.filter (fun v -> not (List.mem v range)) vars in
+      let targets = List.map (fun v -> Term.Var v) range in
+      if targets = [] then [ identity ]
+      else
+        List.concat_map
+          (fun extra -> Matching.extensions identity extra targets)
+          (all_subsets rest))
+    ranges
+
+let pp ppf (mu : t) = Subst.pp ppf mu

@@ -1,0 +1,34 @@
+(** Selections (Definitions 7-9).
+
+    A selection for a rule σ is a partial function μ from uvars(σ) to
+    uvars(σ) with |ran(μ)| ≤ k (the maximal relation arity). Only
+    retractions are enumerated — μ is the identity on its range — which
+    is sufficient for the proof of Theorem 1. *)
+
+open Guarded_core
+
+type t = Subst.t
+(** variable-to-variable substitution *)
+
+val apply : t -> Atom.t list -> Atom.t list
+
+val domain : t -> Names.Sset.t
+val range_vars : t -> Names.Sset.t
+
+val covered : Rule.t -> t -> Atom.t list
+(** cov(σ, μ): positive body atoms whose argument variables all lie in
+    dom(μ) (Def. 8). *)
+
+val non_covered : Rule.t -> t -> Atom.t list
+
+val keep : ?include_head:bool -> Rule.t -> t -> string list
+(** keep(σ, μ): the images μ(x) of domain variables occurring in a
+    non-covered atom — plus, when [include_head] (the rc case), in the
+    head (Def. 9; see the implementation note on the rnc case and the
+    paper's Examples 5-6). Sorted: the paper's fixed enumeration ~X. *)
+
+val enumerate : k:int -> Rule.t -> t list
+(** All retraction selections over the rule's argument variables with
+    range size at most [k]. *)
+
+val pp : t Fmt.t

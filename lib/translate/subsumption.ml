@@ -1,0 +1,46 @@
+(** Rule subsumption: shrinking translated programs.
+
+    A Datalog rule r1 subsumes r2 when some substitution θ maps the
+    head of r1 onto the head of r2 and every body atom of θ(r1) into
+    the body of r2 — then r2 derives nothing r1 does not, and deleting
+    r2 preserves the program's fixpoint on every database. The
+    translations of Sections 5-6 produce many such redundancies (guard
+    variants instantiate each other), so the reducer is offered as a
+    post-pass on their Datalog outputs. *)
+
+open Guarded_core
+
+(* Does [r1] subsume [r2]? Positive single-head Datalog only; anything
+   else is conservatively not subsumed. *)
+let subsumes r1 r2 =
+  match (Rule.head r1, Rule.head r2) with
+  | [ _ ], [ h2 ]
+    when Rule.is_datalog r1 && Rule.is_datalog r2 && Rule.is_positive r1
+         && Rule.is_positive r2 -> (
+    let r1 = Rule.rename_apart (Names.gensym "sb") r1 in
+    let h1 = List.hd (Rule.head r1) in
+    (* freeze r2 entirely; match θ(h1) = h2 then θ(body r1) ⊆ body r2 *)
+    let frozen_h2 = Matching.freeze_atom h2 in
+    let frozen_body2 = List.map Matching.freeze_atom (Rule.body_atoms r2) in
+    match Subst.match_atom Subst.empty h1 frozen_h2 with
+    | None -> false
+    | Some theta ->
+      let db = Database.of_atoms frozen_body2 in
+      Homomorphism.exists ~init:theta (Rule.body_atoms r1) db)
+  | _ -> false
+
+(* Remove rules subsumed by another (distinct) rule of the theory.
+   Identical-up-to-renaming duplicates collapse to their first
+   occurrence. *)
+let reduce (sigma : Theory.t) : Theory.t =
+  let rules = Array.of_list (Theory.rules (Theory.dedup sigma)) in
+  let n = Array.length rules in
+  let dead = Array.make n false in
+  for i = 0 to n - 1 do
+    if not dead.(i) then
+      for j = 0 to n - 1 do
+        if i <> j && (not dead.(j)) && subsumes rules.(i) rules.(j) then dead.(j) <- true
+      done
+  done;
+  Theory.of_rules
+    (List.filteri (fun i _ -> not dead.(i)) (Array.to_list rules))

@@ -1,0 +1,13 @@
+(** Rule subsumption for shrinking translated Datalog programs: a rule
+    whose head and body map into another's (head onto head, body into
+    body) makes the latter redundant. *)
+
+open Guarded_core
+
+val subsumes : Rule.t -> Rule.t -> bool
+(** [subsumes r1 r2]: deleting [r2] in the presence of [r1] preserves
+    the fixpoint on every database. Positive single-head Datalog only
+    (conservatively false otherwise). *)
+
+val reduce : Theory.t -> Theory.t
+(** Deduplicates, then removes every rule subsumed by a surviving one. *)

@@ -1,0 +1,105 @@
+(** Shared helpers for the test-suites: parsing shortcuts, answer
+    comparison, the chase oracle, and the paper's running examples. *)
+
+open Guarded_core
+
+let theory = Parser.theory_of_string
+let rule = Parser.rule_of_string
+let atom = Parser.atom_of_string
+let db = Parser.database_of_string
+
+let const c = Term.Const c
+
+(* Answers as sorted lists of constant tuples, for Alcotest equality. *)
+let pp_tuple ppf tuple = Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ",") Term.pp) tuple
+let pp_answers ppf ans = Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any " ") pp_tuple) ans
+
+let answers_testable =
+  Alcotest.testable pp_answers (List.equal (List.equal Term.equal))
+
+let sort_answers = List.sort_uniq (List.compare Term.compare)
+
+(* The chase oracle: certain answers via a saturating chase. Fails the
+   test when the chase does not saturate within the limits, because the
+   oracle would be incomplete. *)
+let chase_answers ?(limits = Guarded_chase.Engine.default_limits) sigma database ~query =
+  let ans, outcome = Guarded_chase.Engine.answers ~limits sigma database ~query in
+  match outcome with
+  | Guarded_chase.Engine.Saturated -> ans
+  | Guarded_chase.Engine.Bounded -> Alcotest.fail "chase oracle did not saturate"
+
+let check_answers name expected actual =
+  Alcotest.check answers_testable name (sort_answers expected) (sort_answers actual)
+
+(* Tuples from a string like "a,b; c,d". *)
+let tuples s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun t ->
+           String.split_on_char ',' t |> List.map (fun c -> Term.Const (String.trim c)))
+    |> sort_answers
+
+(* ------------------------------------------------------------------ *)
+(* The paper's running example (Example 1 / Figure 2).                 *)
+
+let publications_theory_text =
+  {|
+  @s1 publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  @s2 keywords(X, K1, K2) -> hasTopic(X, K1).
+  @s3 hasTopic(X, Z), hasAuthor(X, U), hasAuthor(Y, U), hasTopic(Y, Z2),
+      scientific(Z2), citedIn(Y, X) -> scientific(Z).
+  @s4 hasAuthor(X, Y), hasTopic(X, Z), scientific(Z) -> q(Y).
+|}
+
+let publications_theory () = theory publications_theory_text
+
+let publications_db () =
+  db
+    {|
+  publication(p1). publication(p2). citedIn(p1, p2).
+  hasAuthor(p1, a1). hasAuthor(p2, a1). hasAuthor(p2, a2).
+  hasTopic(p1, t1). scientific(t1).
+|}
+
+(* Example 7's guarded theory. *)
+let example7_theory () =
+  theory
+    {|
+  @e1 a(X) -> exists Y. r(X, Y).
+  @e2 r(X, Y) -> s(Y, Y).
+  @e3 s(X, Y) -> exists Z. t(X, Y, Z).
+  @e4 t(X, X, Y) -> b(X).
+  @e5 c(X), r(X, Y), b(Y) -> d(X).
+|}
+
+let example7_db () = db "a(k). c(k)."
+
+(* A small frontier-guarded ontology whose full translation pipeline is
+   tractable (used where the running example's σ3 would be too heavy). *)
+let small_fg_theory () =
+  theory
+    {|
+  @s1 publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  @s2 keywords(X, K1, K2) -> hasTopic(X, K1).
+  @s3 hasTopic(X, Z), inCollection(X, C), popular(C) -> scientific(Z).
+  @s4 hasAuthor(X, Y), hasTopic(X, Z), scientific(Z) -> q(Y).
+|}
+
+let small_fg_db () =
+  db "publication(p1). inCollection(p1, c1). popular(c1). hasAuthor(p1, a1). hasAuthor(p1, a2)."
+
+(* A weakly guarded theory that is not (nearly) frontier-guarded: a
+   generator chain of nulls (whose chase is infinite) plus a rule whose
+   frontier {Y, Z} shares no atom while its unsafe variables {X, Y} are
+   jointly guarded by next(X, Y). *)
+let wg_theory () =
+  theory
+    {|
+  @w1 node(X) -> gen(X).
+  @w2 gen(X) -> exists Y. next(X, Y).
+  @w3 next(X, Y) -> gen(Y).
+  @w4 next(X, Y), anchor(Z) -> out(Y, Z).
+|}
+
+let run_alcotest name suites = Alcotest.run name suites

@@ -1,0 +1,290 @@
+(** Tests for the Section 8 machinery: string databases, Turing
+    machines, the weakly guarded simulation (Theorem 4), the lexicographic
+    tuple orders, Σ_code, and the stratified order generator Σ_succ with
+    the EVEN-cardinality query (Theorem 5). *)
+
+open Guarded_core
+open Guarded_capture
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cslist = Alcotest.list Alcotest.string
+
+(* --- Turing machines -------------------------------------------------- *)
+
+let test_parity_machine () =
+  let accepts w = Turing.accepts Turing.parity_machine ~cells:(List.length w + 1) w in
+  check cbool "even ones" true (accepts [ "one"; "one" ]);
+  check cbool "odd ones" false (accepts [ "one"; "zero" ]);
+  check cbool "empty" true (accepts []);
+  check cbool "zeros only" true (accepts [ "zero"; "zero"; "zero" ])
+
+let test_balanced_machine () =
+  let accepts w = Turing.accepts Turing.balanced_machine ~cells:(List.length w + 1) w in
+  check cbool "01" true (accepts [ "zero"; "one" ]);
+  check cbool "0011" true (accepts [ "zero"; "zero"; "one"; "one" ]);
+  check cbool "001" false (accepts [ "zero"; "zero"; "one" ]);
+  check cbool "10" false (accepts [ "one"; "zero" ]);
+  check cbool "empty balanced" true (accepts [])
+
+let test_counter_machine_exponential () =
+  let steps n =
+    let input = Turing.counter_input n in
+    let run = Turing.run Turing.counter_machine ~cells:(List.length input + 1) input in
+    check cbool "accepts" true (run.outcome = Turing.Accepted);
+    run.steps
+  in
+  let s3 = steps 3 and s4 = steps 4 and s5 = steps 5 in
+  check cbool "exponential growth" true (s4 > (3 * s3) / 2 && s5 > (3 * s4) / 2)
+
+let test_machine_determinism_check () =
+  match
+    Turing.make ~name:"dup" ~blank:"b" ~start:"s" ~accept:"a"
+      [
+        (("s", "x"), { Turing.next_state = "a"; write = "x"; move = Turing.Stay });
+        (("s", "x"), { Turing.next_state = "s"; write = "x"; move = Turing.Stay });
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate transition accepted"
+
+(* --- string databases -------------------------------------------------- *)
+
+let test_string_db_roundtrip () =
+  let word = [ "one"; "zero"; "one" ] in
+  let d, info = String_db.encode ~k:1 word in
+  check cint "degree" 1 info.String_db.degree;
+  let decoded = String_db.decode ~k:1 d in
+  (* the decoded word is the original padded with blanks *)
+  check cslist "prefix preserved" word (List.filteri (fun i _ -> i < 3) decoded);
+  List.iteri
+    (fun i s -> if i >= 3 then check Alcotest.string "padding" "blank" s)
+    decoded
+
+let test_string_db_degree2 () =
+  let word = [ "a"; "b"; "c"; "d"; "e" ] in
+  let d, info = String_db.encode ~k:2 word in
+  check cint "cells = domain^2" (List.length info.String_db.domain * List.length info.String_db.domain)
+    info.String_db.cells;
+  let decoded = String_db.decode ~k:2 d in
+  check cint "decoded covers all cells" info.String_db.cells (List.length decoded);
+  check cslist "prefix" word (List.filteri (fun i _ -> i < 5) decoded)
+
+let test_string_db_validate () =
+  let d, _ = String_db.encode ~k:1 [ "one"; "zero" ] in
+  (match String_db.validate ~k:1 ~alphabet:[ "one"; "zero"; "blank" ] d with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* break the exactly-one condition *)
+  ignore (Database.add d (Atom.make "one" [ Term.Const "e1" ]));
+  match String_db.validate ~k:1 ~alphabet:[ "one"; "zero"; "blank" ] d with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validation missed a double symbol"
+
+(* --- Theorem 4: TM simulation by weakly guarded rules ------------------ *)
+
+let test_tm_theory_weakly_guarded () =
+  List.iter
+    (fun spec ->
+      let sigma = Tm_encode.theory ~k:1 spec in
+      check cbool (spec.Turing.sp_name ^ " theory is WG") true (Classify.is_weakly_guarded sigma);
+      check cbool (spec.Turing.sp_name ^ " not nearly guarded") false
+        (Classify.is_nearly_guarded sigma))
+    [ Turing.parity_machine; Turing.balanced_machine; Turing.counter_machine ]
+
+let chase_equals_direct spec words =
+  List.iter
+    (fun word ->
+      let d, info = String_db.encode ~k:1 word in
+      let direct = Turing.accepts ~fuel:100_000 spec ~cells:info.String_db.cells word in
+      match Tm_encode.accepts ~k:1 spec d with
+      | Ok via_chase ->
+        check cbool
+          (Fmt.str "%s on [%s]" spec.Turing.sp_name (String.concat "," word))
+          direct via_chase
+      | Error m -> Alcotest.fail m)
+    words
+
+let test_theorem4_parity () =
+  chase_equals_direct Turing.parity_machine
+    [ []; [ "one" ]; [ "one"; "one" ]; [ "zero"; "one"; "one" ]; [ "one"; "zero"; "zero" ] ]
+
+let test_theorem4_balanced () =
+  chase_equals_direct Turing.balanced_machine
+    [
+      [];
+      [ "zero"; "one" ];
+      [ "zero"; "zero"; "one"; "one" ];
+      [ "zero"; "one"; "one" ];
+      [ "one" ];
+    ]
+
+let test_theorem4_counter () =
+  (* The chase walks the full exponential computation. *)
+  let input = Turing.counter_input 3 in
+  let d, _ = String_db.encode ~k:1 input in
+  match Tm_encode.accepts ~k:1 Turing.counter_machine d with
+  | Ok accepted -> check cbool "counter accepts via chase" true accepted
+  | Error m -> Alcotest.fail m
+
+let test_theorem4_degree2 () =
+  (* Tape cells as pairs of constants: same machine, k = 2. *)
+  let word = [ "one"; "one" ] in
+  let d, _ = String_db.encode ~k:2 word in
+  let sigma = Tm_encode.theory ~k:2 Turing.parity_machine in
+  check cbool "k=2 theory is WG" true (Classify.is_weakly_guarded sigma);
+  match Tm_encode.accepts ~k:2 Turing.parity_machine d with
+  | Ok accepted -> check cbool "accepts over pair cells" true accepted
+  | Error m -> Alcotest.fail m
+
+(* --- lexicographic orders ---------------------------------------------- *)
+
+let test_lex_order () =
+  let base : Lex_order.base = { b_min = "mn"; b_succ = "sc"; b_max = "mx" } in
+  let out : Lex_order.tuple_order = { t_first = "f2"; t_next = "n2"; t_last = "l2"; t_k = 2 } in
+  let rules = Lex_order.rules ~k:2 ~base ~out in
+  let facts = Lex_order.base_facts ~base [ Term.Const "a"; Term.Const "b" ] in
+  let d = Database.of_atoms facts in
+  let result = Guarded_datalog.Seminaive.eval (Theory.of_rules rules) d in
+  (* aa < ab < ba < bb: three successor pairs, first aa, last bb *)
+  check cint "three successors" 3 (Database.rel_cardinal result ("n2", 0, 4));
+  check cbool "first (a,a)" true (Database.mem result (Helpers.atom "f2(a, a)"));
+  check cbool "last (b,b)" true (Database.mem result (Helpers.atom "l2(b, b)"));
+  check cbool "ab -> ba crosses position 0" true (Database.mem result (Helpers.atom "n2(a, b, b, a)"))
+
+(* --- Σ_code ------------------------------------------------------------- *)
+
+let test_sigma_code () =
+  let d = Helpers.db "r(a). r(c). min(a). succ(a, b). succ(b, c). max(c)." in
+  let sdb = Sigma_code.encode ~rel:"r" ~arity:1 d in
+  (* arity 1 pads with an end-of-data blank cell for the machines *)
+  check cslist "characteristic string" [ "one"; "zero"; "one"; "blank" ]
+    (String_db.decode ~k:1 sdb);
+  let unpadded = Sigma_code.encode ~pad:false ~rel:"r" ~arity:1 d in
+  check cslist "unpadded string" [ "one"; "zero"; "one" ] (String_db.decode ~k:1 unpadded)
+
+let test_sigma_code_binary () =
+  let d = Helpers.db "e(a, b). min(a). succ(a, b). max(b)." in
+  let sdb = Sigma_code.encode ~rel:"e" ~arity:2 d in
+  (* tuples in lex order: (a,a) (a,b) (b,a) (b,b); only (a,b) is in e *)
+  check cslist "characteristic string" [ "zero"; "one"; "zero"; "zero" ]
+    (String_db.decode ~k:2 sdb)
+
+let test_sigma_code_is_semipositive () =
+  List.iter
+    (fun pad ->
+      let sigma = Sigma_code.theory ~pad ~rel:"r" ~arity:1 () in
+      check cbool "semipositive" true (Guarded_datalog.Stratify.is_semipositive sigma))
+    [ false; true ]
+
+(* --- Theorem 5: Σ_succ and the EVEN query ------------------------------- *)
+
+let test_sigma_succ_weakly_guarded_stratified () =
+  let sigma = Succ_order.theory () in
+  check cbool "stratified" true (Guarded_datalog.Stratify.is_stratified sigma);
+  check cbool "weakly guarded" true (Classify.is_weakly_guarded sigma)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let test_sigma_succ_enumerates_orders () =
+  List.iter
+    (fun n ->
+      let facts = List.init n (fun i -> Atom.make "elem" [ Term.Const (Printf.sprintf "c%d" i) ]) in
+      let d = Database.of_atoms facts in
+      let orders, _ = Succ_order.good_orders d in
+      check cint (Fmt.str "%d! orderings on %d constants" n n) (factorial n) (List.length orders);
+      (* every good ordering is a permutation of the domain *)
+      List.iter
+        (fun (o : Succ_order.order) ->
+          check cint "full length" n (List.length o.Succ_order.sequence);
+          check cint "no repetition" n
+            (Term.Set.cardinal (Term.Set.of_list o.Succ_order.sequence)))
+        orders)
+    [ 1; 2; 3 ]
+
+let test_even_cardinality () =
+  let dbn n =
+    Database.of_atoms
+      (List.init n (fun i -> Atom.make "elem" [ Term.Const (Printf.sprintf "c%d" i) ]))
+  in
+  check cbool "1 odd" false (Succ_order.even_cardinality (dbn 1));
+  check cbool "2 even" true (Succ_order.even_cardinality (dbn 2));
+  check cbool "3 odd" false (Succ_order.even_cardinality (dbn 3));
+  check cbool "4 even" true (Succ_order.even_cardinality (dbn 4))
+
+let test_even_theory_shape () =
+  let sigma = Succ_order.even_cardinality_theory () in
+  check cbool "stratified" true (Guarded_datalog.Stratify.is_stratified sigma);
+  check cbool "weakly guarded" true (Classify.is_weakly_guarded sigma)
+
+(* --- the PTime baseline: semipositive Datalog --------------------------- *)
+
+let test_ptime_theory_is_datalog () =
+  let sigma = Ptime_encode.theory ~time:2 ~space:1 Turing.parity_machine in
+  check cbool "plain datalog" true (Theory.is_datalog sigma);
+  check cbool "semipositive" true (Guarded_datalog.Stratify.is_semipositive sigma)
+
+let test_ptime_simulation () =
+  List.iter
+    (fun word ->
+      let d, info = String_db.encode ~k:1 word in
+      let direct =
+        Turing.accepts Turing.parity_machine ~cells:info.String_db.cells word
+      in
+      (* |Dom|^2 time steps are ample for a single left-to-right scan *)
+      let via_datalog = Ptime_encode.accepts ~time:2 Turing.parity_machine d in
+      check cbool
+        (Fmt.str "ptime parity on [%s]" (String.concat "," word))
+        direct via_datalog)
+    [ []; [ "one" ]; [ "one"; "one" ]; [ "zero"; "one"; "zero" ]; [ "one"; "one"; "one" ] ]
+
+let test_ptime_time_budget_matters () =
+  (* With a single time tuple of degree 1 (|Dom| steps), the balanced
+     machine cannot finish its quadratic sweep on a longer word. *)
+  let word = [ "zero"; "zero"; "one"; "one" ] in
+  let d, _ = String_db.encode ~k:1 word in
+  check cbool "enough time accepts" true
+    (Ptime_encode.accepts ~time:2 Turing.balanced_machine d);
+  check cbool "too little time rejects" false
+    (Ptime_encode.accepts ~time:1 Turing.balanced_machine d)
+
+(* --- end-to-end capture composition ------------------------------------- *)
+
+let test_code_then_machine () =
+  (* Σ_code turns an ordered unary database into its characteristic
+     string; the parity machine then decides whether the relation has an
+     even number of "holes"... here: even number of ones = |r| even. *)
+  let d = Helpers.db "r(a). r(c). min(a). succ(a, b). succ(b, c). max(c)." in
+  let sdb = Sigma_code.encode ~rel:"r" ~arity:1 d in
+  match Tm_encode.accepts ~k:1 Turing.parity_machine sdb with
+  | Ok accepted -> check cbool "|r| = 2 is even" true accepted
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    Alcotest.test_case "parity machine" `Quick test_parity_machine;
+    Alcotest.test_case "balanced machine" `Quick test_balanced_machine;
+    Alcotest.test_case "counter machine is exponential" `Quick test_counter_machine_exponential;
+    Alcotest.test_case "determinism enforced" `Quick test_machine_determinism_check;
+    Alcotest.test_case "string db round trip" `Quick test_string_db_roundtrip;
+    Alcotest.test_case "string db degree 2" `Quick test_string_db_degree2;
+    Alcotest.test_case "string db validation" `Quick test_string_db_validate;
+    Alcotest.test_case "Thm 4: ΣM weakly guarded" `Quick test_tm_theory_weakly_guarded;
+    Alcotest.test_case "Thm 4: parity via chase" `Quick test_theorem4_parity;
+    Alcotest.test_case "Thm 4: balanced via chase" `Quick test_theorem4_balanced;
+    Alcotest.test_case "Thm 4: exponential run via chase" `Slow test_theorem4_counter;
+    Alcotest.test_case "Thm 4: degree-2 cells" `Quick test_theorem4_degree2;
+    Alcotest.test_case "lexicographic tuple order" `Quick test_lex_order;
+    Alcotest.test_case "Σ_code unary" `Quick test_sigma_code;
+    Alcotest.test_case "Σ_code binary" `Quick test_sigma_code_binary;
+    Alcotest.test_case "Σ_code semipositive" `Quick test_sigma_code_is_semipositive;
+    Alcotest.test_case "Σ_succ shape" `Quick test_sigma_succ_weakly_guarded_stratified;
+    Alcotest.test_case "Thm 5: Σ_succ enumerates n! orders" `Quick test_sigma_succ_enumerates_orders;
+    Alcotest.test_case "Thm 5: EVEN cardinality query" `Slow test_even_cardinality;
+    Alcotest.test_case "EVEN theory shape" `Quick test_even_theory_shape;
+    Alcotest.test_case "Σ_code + ΣM composition" `Quick test_code_then_machine;
+    Alcotest.test_case "PTime baseline is plain Datalog" `Quick test_ptime_theory_is_datalog;
+    Alcotest.test_case "PTime baseline simulates the machine" `Quick test_ptime_simulation;
+    Alcotest.test_case "PTime baseline time budget" `Quick test_ptime_time_budget_matters;
+  ]

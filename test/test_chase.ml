@@ -1,0 +1,255 @@
+(** Tests for the chase engine and the chase tree (Section 2, Section 4,
+    Figure 2, Proposition 2). *)
+
+open Guarded_core
+module Engine = Guarded_chase.Engine
+module Tree = Guarded_chase.Tree
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let outcome = Alcotest.testable
+    (fun ppf -> function Engine.Saturated -> Fmt.string ppf "saturated"
+                       | Engine.Bounded -> Fmt.string ppf "bounded")
+    ( = )
+
+(* --- engine --------------------------------------------------------- *)
+
+let test_figure2 () =
+  (* The chase of the running example derives Q(a1) and Q(a2). *)
+  let res = Engine.run (Helpers.publications_theory ()) (Helpers.publications_db ()) in
+  check outcome "saturates" Engine.Saturated res.outcome;
+  check cbool "q(a1)" true (Database.mem res.db (Helpers.atom "q(a1)"));
+  check cbool "q(a2)" true (Database.mem res.db (Helpers.atom "q(a2)"));
+  (* p1 and p2 each get a Keywords atom with two fresh nulls. *)
+  check cint "keywords facts" 2 (Database.rel_cardinal res.db ("keywords", 0, 3));
+  let nulls =
+    Database.fold
+      (fun a acc ->
+        List.fold_left
+          (fun acc t -> match t with Term.Null n -> Names.Sset.add (string_of_int n) acc | _ -> acc)
+          acc (Atom.terms a))
+      res.db Names.Sset.empty
+  in
+  check cint "four fresh nulls" 4 (Names.Sset.cardinal nulls)
+
+let test_oblivious_fires_once () =
+  (* The oblivious chase fires each trigger exactly once even when the
+     head is already satisfied. *)
+  let sigma = Helpers.theory "p(X) -> exists Y. r(X, Y)." in
+  let d = Helpers.db "p(a). r(a, b)." in
+  let res = Engine.run sigma d in
+  check cint "one derivation despite satisfied head" 1 res.derivations;
+  check cint "r has two facts" 2 (Database.rel_cardinal res.db ("r", 0, 2))
+
+let test_datalog_chase_terminates () =
+  let sigma = Helpers.theory "e(X, Y), tc(Y, Z) -> tc(X, Z). e(X, Y) -> tc(X, Y)." in
+  let d = Helpers.db "e(a, b). e(b, c). e(c, d)." in
+  let res = Engine.run sigma d in
+  check outcome "saturates" Engine.Saturated res.outcome;
+  check cint "transitive closure" 6 (Database.rel_cardinal res.db ("tc", 0, 2))
+
+let test_infinite_chase_bounded () =
+  let sigma = Helpers.wg_theory () in
+  let d = Helpers.db "node(a)." in
+  let res = Engine.run ~limits:{ max_derivations = 50; max_depth = None } sigma d in
+  check outcome "bounded" Engine.Bounded res.outcome;
+  (* depth bound instead *)
+  let res2 = Engine.run ~limits:{ max_derivations = 10_000; max_depth = Some 3 } sigma d in
+  check outcome "depth bounded" Engine.Bounded res2.outcome;
+  check cint "three nulls" 3 (Database.rel_cardinal res2.db ("next", 0, 2))
+
+let test_entailment_verdicts () =
+  let sigma = Helpers.example7_theory () in
+  let d = Helpers.example7_db () in
+  check cbool "proved" true (Engine.entails sigma d (Helpers.atom "d(k)") = Engine.Proved);
+  check cbool "disproved" true (Engine.entails sigma d (Helpers.atom "d(zzz)") = Engine.Disproved);
+  let inf = Helpers.wg_theory () in
+  let verdict =
+    Engine.entails
+      ~limits:{ max_derivations = 30; max_depth = None }
+      inf (Helpers.db "node(a).") (Helpers.atom "out(a, a)")
+  in
+  check cbool "unknown under bound" true (verdict = Engine.Unknown)
+
+let test_fact_rules () =
+  let sigma = Helpers.theory "-> r(c). r(X) -> s(X)." in
+  let res = Engine.run sigma (Database.create ()) in
+  check cbool "fact added" true (Database.mem res.db (Helpers.atom "r(c)"));
+  check cbool "derived" true (Database.mem res.db (Helpers.atom "s(c)"))
+
+let test_empty_theory () =
+  let d = Helpers.db "r(a)." in
+  let res = Engine.run (Theory.of_rules []) d in
+  check outcome "saturates immediately" Engine.Saturated res.outcome;
+  check cint "unchanged" 1 (Database.cardinal res.db)
+
+let test_negation_rejected () =
+  let sigma = Helpers.theory "r(X), not s(X) -> t(X)." in
+  match Engine.run sigma (Helpers.db "r(a).") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "plain chase accepted negation"
+
+let test_snapshot_negation () =
+  let sigma = Helpers.theory "r(X), not s(X) -> t(X)." in
+  let snap = Helpers.db "r(a). r(b). s(b)." in
+  let res = Engine.run ~negation:(Engine.Snapshot snap) sigma snap in
+  check cbool "t(a) derived" true (Database.mem res.db (Helpers.atom "t(a)"));
+  check cbool "t(b) blocked" false (Database.mem res.db (Helpers.atom "t(b)"))
+
+let test_snapshot_negation_new_nulls () =
+  (* Def. 23: a negated atom only holds on tuples over the snapshot's
+     terms, so fresh nulls never satisfy "not s". *)
+  let sigma =
+    Helpers.theory
+      {|
+    p(X) -> exists Y. r(X, Y).
+    r(X, Y), not s(Y) -> bad(X).
+  |}
+  in
+  let snap = Helpers.db "p(a)." in
+  let res = Engine.run ~negation:(Engine.Snapshot snap) sigma snap in
+  check cbool "no bad over fresh null" false (Database.mem res.db (Helpers.atom "bad(a)"))
+
+(* --- chase tree ----------------------------------------------------- *)
+
+let build_tree sigma d =
+  let norm = Normalize.normalize sigma in
+  let res = Engine.run norm d in
+  (norm, res, Tree.build norm d res)
+
+let test_tree_running_example () =
+  let sigma, _res, tree = build_tree (Helpers.publications_theory ()) (Helpers.publications_db ()) in
+  (match Tree.verify tree sigma (Helpers.publications_db ()) with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "violations: %s" (String.concat "; " vs));
+  (* Two keyword nodes hang off the root. *)
+  check cint "three nodes" 3 (Tree.node_count tree);
+  check cint "depth one" 1 (Tree.depth tree);
+  check cbool "root holds the database" true
+    (Atom.Set.mem (Helpers.atom "publication(p1)") (Tree.node_atoms (Tree.root tree)))
+
+let test_tree_p2_bound () =
+  let sigma, _res, tree = build_tree (Helpers.publications_theory ()) (Helpers.publications_db ()) in
+  let m = Theory.max_arity sigma in
+  List.iter
+    (fun n ->
+      if not (Tree.is_root n) then
+        check cbool "P2: node terms within arity" true
+          (Term.Set.cardinal (Tree.node_terms n) <= m))
+    (Tree.nodes tree)
+
+let test_tree_nested () =
+  (* Chains of existentials build deeper trees. *)
+  let sigma =
+    Helpers.theory
+      {|
+    a(X) -> exists Y. r(X, Y).
+    r(X, Y) -> exists Z. r(Y, Z).
+  |}
+  in
+  let d = Helpers.db "a(c)." in
+  let norm = Normalize.normalize sigma in
+  let res = Engine.run ~limits:{ max_derivations = 10_000; max_depth = Some 4 } norm d in
+  let tree = Tree.build norm d res in
+  check cbool "depth at least 3" true (Tree.depth tree >= 3);
+  match Tree.verify tree norm d with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "violations: %s" (String.concat "; " vs)
+
+let test_tree_c1_placement () =
+  (* An atom whose terms already live in a node is added there rather
+     than opening a new node (C1). *)
+  let sigma =
+    Helpers.theory
+      {|
+    a(X) -> exists Y, Z. r(X, Y, Z).
+    r(X, Y, Z) -> s(Y, Z).
+  |}
+  in
+  let d = Helpers.db "a(c)." in
+  let norm = Normalize.normalize sigma in
+  let res = Engine.run norm d in
+  let tree = Tree.build norm d res in
+  (* r-node and its s-atom share a node: at most root + one child. *)
+  check cint "s joins the r node" 2 (Tree.node_count tree)
+
+let test_tree_width () =
+  let _sigma, _res, tree = build_tree (Helpers.publications_theory ()) (Helpers.publications_db ()) in
+  (* width = max node terms - 1; the root holds the 8-constant database. *)
+  check cbool "width bounded by max(|terms D|+k, m)" true (Tree.width tree <= 8);
+  check cbool "width positive" true (Tree.width tree >= 2)
+
+(* --- restricted chase ------------------------------------------------ *)
+
+let test_restricted_skips_satisfied () =
+  let sigma = Helpers.theory "p(X) -> exists Y. r(X, Y)." in
+  let d = Helpers.db "p(a). r(a, b)." in
+  let res = Engine.run ~variant:Engine.Restricted sigma d in
+  check outcome "saturates" Engine.Saturated res.outcome;
+  check cint "no derivation: head already satisfied" 0 res.derivations;
+  check cint "r unchanged" 1 (Database.rel_cardinal res.db ("r", 0, 2))
+
+let test_restricted_terminates_where_oblivious_diverges () =
+  (* Everyone has a parent; parents are persons. The oblivious chase
+     keeps firing on an already-satisfied database, while the restricted
+     chase recognizes the cyclic witness and stops immediately. *)
+  let sigma =
+    Helpers.theory
+      {|
+    person(X) -> exists Y. parent(X, Y).
+    parent(X, Y) -> person(Y).
+  |}
+  in
+  (* with a cyclic database the restricted chase has nothing to do *)
+  let d = Helpers.db "person(a). parent(a, a)." in
+  let res = Engine.run ~variant:Engine.Restricted sigma d in
+  check outcome "restricted saturates" Engine.Saturated res.outcome;
+  check cint "nothing added" 2 (Database.cardinal res.db);
+  let res_obl =
+    Engine.run ~limits:{ max_derivations = 20; max_depth = None } sigma d
+  in
+  check outcome "oblivious still fires" Engine.Bounded res_obl.outcome
+
+let test_restricted_same_answers () =
+  (* Both chase variants yield universal models: identical certain
+     answers on the running example. *)
+  let sigma = Helpers.publications_theory () in
+  let d = Helpers.publications_db () in
+  let a_obl, o1 = Engine.answers sigma d ~query:"q" in
+  let res = Engine.run ~variant:Engine.Restricted sigma d in
+  check outcome "restricted saturates" Engine.Saturated res.outcome;
+  check cbool "oblivious saturated" true (o1 = Engine.Saturated);
+  let a_res =
+    Database.fold
+      (fun a acc ->
+        if Atom.rel a = "q" && List.for_all Term.is_const (Atom.terms a) then Atom.args a :: acc
+        else acc)
+      res.db []
+  in
+  Helpers.check_answers "same answers" a_obl a_res;
+  check cbool "restricted derives no more than oblivious" true
+    (res.derivations <= (Engine.run sigma d).derivations)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 2: running example chase" `Quick test_figure2;
+    Alcotest.test_case "oblivious chase fires once" `Quick test_oblivious_fires_once;
+    Alcotest.test_case "datalog chase terminates" `Quick test_datalog_chase_terminates;
+    Alcotest.test_case "infinite chase is bounded" `Quick test_infinite_chase_bounded;
+    Alcotest.test_case "entailment verdicts" `Quick test_entailment_verdicts;
+    Alcotest.test_case "fact rules" `Quick test_fact_rules;
+    Alcotest.test_case "empty theory" `Quick test_empty_theory;
+    Alcotest.test_case "plain chase rejects negation" `Quick test_negation_rejected;
+    Alcotest.test_case "snapshot negation" `Quick test_snapshot_negation;
+    Alcotest.test_case "snapshot negation vs fresh nulls" `Quick test_snapshot_negation_new_nulls;
+    Alcotest.test_case "chase tree on running example" `Quick test_tree_running_example;
+    Alcotest.test_case "chase tree P2 bound" `Quick test_tree_p2_bound;
+    Alcotest.test_case "chase tree nesting" `Quick test_tree_nested;
+    Alcotest.test_case "chase tree C1 placement" `Quick test_tree_c1_placement;
+    Alcotest.test_case "chase tree width" `Quick test_tree_width;
+    Alcotest.test_case "restricted chase skips satisfied" `Quick test_restricted_skips_satisfied;
+    Alcotest.test_case "restricted chase termination" `Quick test_restricted_terminates_where_oblivious_diverges;
+    Alcotest.test_case "restricted chase same answers" `Quick test_restricted_same_answers;
+  ]

@@ -1,0 +1,208 @@
+(** Tests for the guardedness analysis (Definitions 1-3, Figure 1). *)
+
+open Guarded_core
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let lang = Alcotest.testable (fun ppf l -> Fmt.string ppf (Classify.language_name l)) ( = )
+
+let test_affected_positions () =
+  let sigma =
+    Helpers.theory "a(X) -> exists Y. r(X, Y). r(X, Y) -> s(Y, X)."
+  in
+  let ap = Classify.affected_positions sigma in
+  (* (r,1) holds the existential; it propagates through the second rule
+     into (s,0). (r,0) and (s,1) carry only database terms. *)
+  check cbool "(r,1) affected" true (Classify.Pos_set.mem (("r", 0, 2), 1) ap);
+  check cbool "(r,0) not affected" false (Classify.Pos_set.mem (("r", 0, 2), 0) ap);
+  check cbool "(s,0) affected" true (Classify.Pos_set.mem (("s", 0, 2), 0) ap);
+  check cbool "(s,1) not affected" false (Classify.Pos_set.mem (("s", 0, 2), 1) ap)
+
+let test_unsafe_vars () =
+  let sigma =
+    Helpers.theory "a(X) -> exists Y. r(X, Y). r(X, Y), r(Z, Y) -> s(Y, X)."
+  in
+  let ap = Classify.affected_positions sigma in
+  let r2 = List.nth (Theory.rules sigma) 1 in
+  let unsafe = Classify.unsafe_vars ~ap r2 in
+  check (Alcotest.list Alcotest.string) "only Y is unsafe" [ "Y" ] (Names.Sset.elements unsafe)
+
+let test_guarded_detection () =
+  check cbool "guard exists" true
+    (Classify.is_guarded_rule (Helpers.rule "r(X, Y, Z), s(X, Y) -> t(X)."));
+  check cbool "no guard" false
+    (Classify.is_guarded_rule (Helpers.rule "r(X, Y), s(Y, Z) -> t(X)."));
+  check cbool "empty body guarded (fact)" true (Classify.is_guarded_rule (Helpers.rule "-> r(c)."));
+  check cbool "existential guarded" true
+    (Classify.is_guarded_rule (Helpers.rule "r(X, Y) -> exists Z. t(X, Y, Z)."))
+
+let test_frontier_guarded_detection () =
+  (* Non-guarded but frontier-guarded: the frontier {X} sits in r(X,Y). *)
+  let r = Helpers.rule "r(X, Y), s(Y, Z) -> t(X)." in
+  check cbool "frontier-guarded" true (Classify.is_frontier_guarded_rule r);
+  (* Frontier split over two atoms: not frontier-guarded. *)
+  let r2 = Helpers.rule "r(X, Y), s(Y, Z) -> t(X, Z)." in
+  check cbool "split frontier" false (Classify.is_frontier_guarded_rule r2)
+
+let test_classify_languages () =
+  check lang "datalog" Classify.Datalog
+    (Classify.classify (Helpers.theory "e(X, Y), e(Y, Z) -> tc(X, Z)."));
+  check lang "guarded" Classify.Guarded (Classify.classify (Helpers.example7_theory ()));
+  check lang "frontier-guarded" Classify.Frontier_guarded
+    (Classify.classify (Helpers.publications_theory ()));
+  check lang "weakly guarded" Classify.Weakly_guarded
+    (Classify.classify (Helpers.wg_theory ()))
+
+let test_nearly_guarded () =
+  (* A guarded existential part plus a Datalog rule whose variables all
+     live in non-affected positions: nearly guarded but not guarded. *)
+  let sigma =
+    Helpers.theory
+      {|
+    a(X) -> exists Y. r(X, Y).
+    e(X, Y), e(Y, Z) -> e(X, Z).
+  |}
+  in
+  check cbool "nearly guarded" true (Classify.is_nearly_guarded sigma);
+  check cbool "not guarded" false (Classify.is_guarded sigma);
+  check lang "classified nearly guarded" Classify.Nearly_guarded (Classify.classify sigma)
+
+let test_weakly_guarded () =
+  let sigma = Helpers.wg_theory () in
+  check cbool "weakly guarded" true (Classify.is_weakly_guarded sigma);
+  check cbool "not nearly guarded" false (Classify.is_nearly_guarded sigma);
+  (* Dropping the guard atom of w2 breaks weak guardedness... *)
+  let broken =
+    Helpers.theory
+      {|
+    node(X) -> exists Y. wrap(X, Y).
+    wrap(X, Y), wrap(Z, Y) -> link(X, Z).
+  |}
+  in
+  (* Y is unsafe and occurs in both wrap atoms; each contains Y, so the
+     rule is still weakly guarded — but making two unsafe variables
+     share no atom is not: *)
+  check cbool "two wraps still WG" true (Classify.is_weakly_guarded broken);
+  let really_broken =
+    Helpers.theory
+      {|
+    node(X) -> exists Y. wrap(X, Y).
+    wrap(X, Y), wrap(Y2, Z) -> wrap(Y, Y2).
+  |}
+  in
+  check cbool "unguarded unsafe pair" false (Classify.is_weakly_guarded really_broken)
+
+let test_hierarchy_inclusions () =
+  (* Figure 1's syntactic inclusions on a batch of theories. *)
+  let theories =
+    [
+      Helpers.publications_theory ();
+      Helpers.example7_theory ();
+      Helpers.wg_theory ();
+      Helpers.small_fg_theory ();
+      Helpers.theory "e(X, Y), e(Y, Z) -> tc(X, Z).";
+    ]
+  in
+  List.iter
+    (fun sigma ->
+      if Classify.is_guarded sigma then
+        check cbool "guarded => weakly guarded" true (Classify.is_weakly_guarded sigma);
+      if Classify.is_guarded sigma then
+        check cbool "guarded => frontier-guarded" true (Classify.is_frontier_guarded sigma);
+      if Classify.is_guarded sigma then
+        check cbool "guarded => nearly guarded" true (Classify.is_nearly_guarded sigma);
+      if Classify.is_frontier_guarded sigma then
+        check cbool "fg => nearly fg" true (Classify.is_nearly_frontier_guarded sigma);
+      if Classify.is_frontier_guarded sigma then
+        check cbool "fg => weakly fg" true (Classify.is_weakly_frontier_guarded sigma);
+      if Classify.is_nearly_guarded sigma then
+        check cbool "ng => nfg" true (Classify.is_nearly_frontier_guarded sigma);
+      if Classify.is_weakly_guarded sigma then
+        check cbool "wg => wfg" true (Classify.is_weakly_frontier_guarded sigma);
+      if Theory.is_datalog sigma then
+        check cbool "datalog => nearly guarded" true (Classify.is_nearly_guarded sigma))
+    theories
+
+let test_proper () =
+  let sigma = Helpers.theory "a(X) -> exists Y. r(X, Y). r(X, Y) -> s(Y, X)." in
+  (* (r,1) and (s,0) affected: r has its affected position second — not
+     a prefix — so the theory is not proper. *)
+  check cbool "not proper" false (Classify.is_proper sigma);
+  let sigma2 = Helpers.theory "a(X) -> exists Y. r(Y, X). r(Y, X) -> s(Y, X)." in
+  check cbool "proper" true (Classify.is_proper sigma2)
+
+let test_frontier_guard_choice () =
+  let r = Helpers.rule "r(X, Y), s(Y, Z) -> t(Y)." in
+  match Classify.frontier_guard r with
+  | Some a -> check cbool "guard contains frontier" true (List.mem "Y" (Atom.arg_vars a))
+  | None -> Alcotest.fail "frontier guard expected"
+
+let test_transitive_closure_not_fg () =
+  (* The paper's canonical separation: transitive closure is Datalog but
+     no frontier-guarded theory expresses it (Section 3). Syntactically,
+     the recursion rule is not frontier-guarded. *)
+  let tc_rule = Helpers.rule "tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  check cbool "tc rule not frontier-guarded" false (Classify.is_frontier_guarded_rule tc_rule);
+  check cbool "tc rule is datalog" true (Rule.is_datalog tc_rule)
+
+let test_acdom_makes_safe () =
+  (* Adding ACDom atoms turns unsafe variables safe (Def. 13's device). *)
+  let sigma =
+    Helpers.theory
+      {|
+    a(X) -> exists Y. r(X, Y).
+    r(X, Y), ACDom(Y) -> s(Y, X).
+  |}
+  in
+  let ap = Classify.affected_positions sigma in
+  let r2 = List.nth (Theory.rules sigma) 1 in
+  check cint "no unsafe vars" 0 (Names.Sset.cardinal (Classify.unsafe_vars ~ap r2));
+  check cbool "nearly guarded" true (Classify.is_nearly_guarded sigma)
+
+let test_weak_acyclicity () =
+  check cbool "publications weakly acyclic" true
+    (Acyclicity.is_weakly_acyclic (Helpers.publications_theory ()));
+  check cbool "datalog trivially WA" true
+    (Acyclicity.is_weakly_acyclic (Helpers.theory "e(X, Y), e(Y, Z) -> e(X, Z)."));
+  let genealogy =
+    Helpers.theory "person(X) -> exists Y. parent(X, Y). parent(X, Y) -> person(Y)."
+  in
+  check cbool "genealogy not WA" false (Acyclicity.is_weakly_acyclic genealogy);
+  check cbool "has a special edge" true (Acyclicity.special_edges genealogy <> []);
+  check cbool "wg chain not WA" false (Acyclicity.is_weakly_acyclic (Helpers.wg_theory ()));
+  (* a special edge without a cycle back stays WA *)
+  let one_shot = Helpers.theory "a(X) -> exists Y. r(X, Y). r(X, Y) -> done_(X)." in
+  check cbool "one-shot invention WA" true (Acyclicity.is_weakly_acyclic one_shot);
+  (* WA yet oblivious-divergent: the restricted chase terminates, the
+     oblivious one re-fires on its own nulls. *)
+  let self = Helpers.theory "t(X, Y) -> exists Z. t(Z, Y)." in
+  check cbool "self-refresh is WA" true (Acyclicity.is_weakly_acyclic self);
+  let d = Helpers.db "t(a, b)." in
+  let restricted =
+    Guarded_chase.Engine.run ~variant:Guarded_chase.Engine.Restricted self d
+  in
+  check cbool "restricted saturates" true
+    (restricted.outcome = Guarded_chase.Engine.Saturated);
+  let oblivious =
+    Guarded_chase.Engine.run ~limits:{ max_derivations = 20; max_depth = None } self d
+  in
+  check cbool "oblivious diverges" true (oblivious.outcome = Guarded_chase.Engine.Bounded)
+
+let suite =
+  [
+    Alcotest.test_case "affected positions" `Quick test_affected_positions;
+    Alcotest.test_case "unsafe variables" `Quick test_unsafe_vars;
+    Alcotest.test_case "guarded rules" `Quick test_guarded_detection;
+    Alcotest.test_case "frontier-guarded rules" `Quick test_frontier_guarded_detection;
+    Alcotest.test_case "language classification" `Quick test_classify_languages;
+    Alcotest.test_case "nearly guarded" `Quick test_nearly_guarded;
+    Alcotest.test_case "weakly guarded" `Quick test_weakly_guarded;
+    Alcotest.test_case "Figure 1 inclusions" `Quick test_hierarchy_inclusions;
+    Alcotest.test_case "proper theories" `Quick test_proper;
+    Alcotest.test_case "frontier guard choice" `Quick test_frontier_guard_choice;
+    Alcotest.test_case "transitive closure not FG" `Quick test_transitive_closure_not_fg;
+    Alcotest.test_case "ACDom makes variables safe" `Quick test_acdom_makes_safe;
+    Alcotest.test_case "weak acyclicity" `Quick test_weak_acyclicity;
+  ]

@@ -1,0 +1,310 @@
+(** Unit tests for the core data structures: terms, atoms, literals,
+    substitutions, rules, theories, parsing and printing. *)
+
+open Guarded_core
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstring = Alcotest.string
+
+(* --- terms ---------------------------------------------------------- *)
+
+let test_term_compare () =
+  check cbool "const < null" true (Term.compare (Const "z") (Null 0) < 0);
+  check cbool "null < var" true (Term.compare (Null 5) (Var "a") < 0);
+  check cbool "const order" true (Term.compare (Const "a") (Const "b") < 0);
+  check cbool "equal" true (Term.equal (Null 3) (Null 3));
+  check cbool "not equal" false (Term.equal (Var "x") (Const "x"))
+
+let test_term_predicates () =
+  check cbool "is_const" true (Term.is_const (Const "c"));
+  check cbool "is_null" true (Term.is_null (Null 1));
+  check cbool "is_var" true (Term.is_var (Var "x"));
+  check cbool "ground const" true (Term.is_ground (Const "c"));
+  check cbool "ground null" true (Term.is_ground (Null 0));
+  check cbool "var not ground" false (Term.is_ground (Var "x"))
+
+let test_term_pp () =
+  check cstring "const" "c" (Term.to_string (Const "c"));
+  check cstring "null" "_n4" (Term.to_string (Null 4));
+  check cstring "var" "?x" (Term.to_string (Var "x"))
+
+(* --- atoms ---------------------------------------------------------- *)
+
+let test_atom_basics () =
+  let a = Atom.make "r" [ Term.Var "x"; Term.Const "c" ] in
+  check cint "arity" 2 (Atom.arity a);
+  check (Alcotest.list cstring) "vars" [ "x" ] (Atom.vars a);
+  check (Alcotest.list cstring) "constants" [ "c" ] (Atom.constants a);
+  check cbool "not ground" false (Atom.is_ground a);
+  check cbool "ground" true (Atom.is_ground (Atom.make "r" [ Term.Const "a"; Term.Null 0 ]))
+
+let test_atom_annotation () =
+  let a = Atom.make ~ann:[ Term.Var "u" ] "r" [ Term.Var "x" ] in
+  check cstring "pp" "r[?u](?x)" (Atom.to_string a);
+  check (Alcotest.list cstring) "all vars include annotation" [ "u"; "x" ]
+    (List.sort compare (Atom.vars a));
+  check (Alcotest.list cstring) "arg vars exclude annotation" [ "x" ] (Atom.arg_vars a);
+  check cbool "distinct rel keys" true (Atom.rel_key a <> Atom.rel_key (Atom.make "r" [ Term.Var "x" ]))
+
+let test_atom_map_terms () =
+  let a = Atom.make ~ann:[ Term.Var "u" ] "r" [ Term.Var "x" ] in
+  let a' = Atom.map_terms (fun _ -> Term.Const "k") a in
+  check cstring "mapped" "r[k](k)" (Atom.to_string a')
+
+(* --- substitutions -------------------------------------------------- *)
+
+let test_subst_apply () =
+  let s = Subst.of_list [ ("x", Term.Const "a"); ("y", Term.Null 7) ] in
+  let a = Atom.make "r" [ Term.Var "x"; Term.Var "y"; Term.Var "z" ] in
+  check cstring "apply" "r(a, _n7, ?z)" (Atom.to_string (Subst.apply_atom s a))
+
+let test_subst_compose () =
+  let s1 = Subst.of_list [ ("x", Term.Var "y") ] in
+  let s2 = Subst.of_list [ ("y", Term.Const "c") ] in
+  let s = Subst.compose s1 s2 in
+  check cstring "x goes through" "c" (Term.to_string (Subst.apply_term s (Term.Var "x")));
+  check cstring "y direct" "c" (Term.to_string (Subst.apply_term s (Term.Var "y")))
+
+let test_subst_match_atom () =
+  let pat = Atom.make "r" [ Term.Var "x"; Term.Var "x"; Term.Const "c" ] in
+  let good = Atom.make "r" [ Term.Const "a"; Term.Const "a"; Term.Const "c" ] in
+  let bad = Atom.make "r" [ Term.Const "a"; Term.Const "b"; Term.Const "c" ] in
+  check cbool "match ok" true (Subst.match_atom Subst.empty pat good <> None);
+  check cbool "repetition enforced" true (Subst.match_atom Subst.empty pat bad = None);
+  let wrong_const = Atom.make "r" [ Term.Const "a"; Term.Const "a"; Term.Const "d" ] in
+  check cbool "constant enforced" true (Subst.match_atom Subst.empty pat wrong_const = None)
+
+(* --- rules ---------------------------------------------------------- *)
+
+let test_rule_vars () =
+  let r = Helpers.rule "r(X, Y), s(Y, Z) -> exists W. t(Z, W)." in
+  check (Alcotest.list cstring) "uvars" [ "X"; "Y"; "Z" ] (Names.Sset.elements (Rule.uvars r));
+  check (Alcotest.list cstring) "evars" [ "W" ] (Names.Sset.elements (Rule.evars r));
+  check (Alcotest.list cstring) "frontier" [ "Z" ] (Names.Sset.elements (Rule.fvars r));
+  check cbool "not datalog" false (Rule.is_datalog r)
+
+let test_rule_safety () =
+  let bad () = Helpers.rule "r(X) -> s(X, Y)." in
+  Alcotest.check_raises "unsafe head var" (Rule.Ill_formed "unsafe rule: frontier variable Y not in a positive body atom")
+    (fun () -> ignore (bad ()));
+  let bad_evar () = Helpers.rule "r(X) -> exists X. s(X)." in
+  (match bad_evar () with
+  | exception Rule.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "existential variable in body accepted")
+
+let test_rule_neg_safety () =
+  match Helpers.rule "r(X), not s(Y) -> t(X)." with
+  | exception Rule.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "unsafe negation accepted"
+
+let test_rule_apply () =
+  let r = Helpers.rule "r(X, Y) -> exists Z. t(Y, Z)." in
+  let s = Subst.of_list [ ("X", Term.Const "a"); ("Y", Term.Const "b") ] in
+  let r' = Rule.apply s r in
+  check cstring "applied" "r(a, b) -> exists ?Z. t(b, ?Z)" (Rule.to_string r');
+  (* capture avoidance: substituting Y := Z must rename the existential Z *)
+  let s2 = Subst.of_list [ ("Y", Term.Var "Z") ] in
+  let r2 = Rule.apply s2 r in
+  check cbool "no capture" false (Names.Sset.mem "Z" (Rule.fvars r2) && Names.Sset.mem "Z" (Rule.evars r2))
+
+let test_rule_canonicalize () =
+  let r1 = Helpers.rule "r(A, B), s(B, C) -> t(C)." in
+  let r2 = Helpers.rule "r(X, Y), s(Y, Z) -> t(Z)." in
+  check cstring "canonical forms equal"
+    (Rule.to_string (Rule.canonicalize r1))
+    (Rule.to_string (Rule.canonicalize r2));
+  let r3 = Helpers.rule "r(A, B), s(B, C) -> t(B)." in
+  check cbool "different rules differ" true
+    (Rule.to_string (Rule.canonicalize r1) <> Rule.to_string (Rule.canonicalize r3))
+
+let test_rule_rename_apart () =
+  let g = Names.gensym "fresh" in
+  let r = Helpers.rule "r(X, Y) -> exists Z. t(Y, Z)." in
+  let r' = Rule.rename_apart g r in
+  check cbool "variables disjoint" true
+    (Names.Sset.is_empty (Names.Sset.inter (Rule.vars r) (Rule.vars r')));
+  check cstring "same canonical form"
+    (Rule.to_string (Rule.canonicalize r))
+    (Rule.to_string (Rule.canonicalize r'))
+
+(* --- theory --------------------------------------------------------- *)
+
+let test_theory_signature () =
+  let sigma = Helpers.publications_theory () in
+  check cint "rules" 4 (Theory.size sigma);
+  check cint "max arity" 3 (Theory.max_arity sigma);
+  check cbool "has keywords/3" true
+    (Theory.Rel_set.mem ("keywords", 0, 3) (Theory.relations sigma));
+  check cbool "not datalog" false (Theory.is_datalog sigma);
+  check cint "max vars per rule" 5 (Theory.max_vars_per_rule sigma)
+
+let test_theory_edb () =
+  let sigma = Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  check cbool "e is edb" true (Theory.Rel_set.mem ("e", 0, 2) (Theory.edb_relations sigma));
+  check cbool "tc is idb" false (Theory.Rel_set.mem ("tc", 0, 2) (Theory.edb_relations sigma))
+
+let test_theory_dedup () =
+  let sigma =
+    Helpers.theory "r(X, Y) -> s(X). r(A, B) -> s(A). r(X, Y) -> s(Y)."
+  in
+  check cint "variants collapse" 2 (Theory.size (Theory.dedup sigma))
+
+(* --- parser round trips --------------------------------------------- *)
+
+let test_parser_roundtrip () =
+  let texts =
+    [
+      "r(X, Y), s(Y) -> exists Z. t(X, Z).";
+      "-> r(c).";
+      "true -> r(c).";
+      "r(X), not s(X) -> t(X).";
+      "r[A, B](X) -> s[A](X).";
+      "r(X) -> q().";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let r = Helpers.rule text in
+      let r' = Helpers.rule (Rule.to_string r ^ ".") in
+      check cstring (Fmt.str "round trip %s" text)
+        (Rule.to_string (Rule.canonicalize r))
+        (Rule.to_string (Rule.canonicalize r')))
+    texts
+
+let test_parser_errors () =
+  let bad = [ "r(X -> s(X)."; "r(X) - s(X)."; "r(X) -> s(X)"; "'unterminated" ] in
+  List.iter
+    (fun text ->
+      match Helpers.rule text with
+      | exception Parser.Parse_error _ -> ()
+      | exception Rule.Ill_formed _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    bad
+
+let test_parser_database () =
+  let d = Helpers.db "r(a, b). s(_n3). t()." in
+  check cint "three facts" 3 (Database.cardinal d);
+  check cbool "null parsed" true (Database.mem d (Atom.make "s" [ Term.Null 3 ]));
+  (match Helpers.db "r(X)." with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "non-ground database accepted")
+
+let test_parser_datalog_style () =
+  (* "head :- body." and bare facts parse to the same rules *)
+  let r1 = Helpers.rule "tc(X, Z) :- tc(X, Y), e(Y, Z)." in
+  let r2 = Helpers.rule "tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  check cstring "same rule"
+    (Rule.to_string (Rule.canonicalize r2))
+    (Rule.to_string (Rule.canonicalize r1));
+  let fact = Helpers.rule "r(c)." in
+  check cstring "bare fact" "true -> r(c)" (Rule.to_string fact);
+  let neg = Helpers.rule "ok(X) :- node(X), not bad(X)." in
+  check cbool "negation in :- body" true (List.length (Rule.neg_body_atoms neg) = 1);
+  (match Helpers.rule "r(X) :- s(X) -> t(X)." with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "mixed syntaxes accepted")
+
+let test_parser_quoted () =
+  let a = Helpers.atom "r('hello world', X)" in
+  check (Alcotest.list cstring) "quoted constant" [ "hello world" ] (Atom.constants a)
+
+(* --- database ------------------------------------------------------- *)
+
+let test_database_ops () =
+  let d = Database.create () in
+  let a = Atom.make "r" [ Term.Const "a"; Term.Const "b" ] in
+  check cbool "add new" true (Database.add d a);
+  check cbool "add duplicate" false (Database.add d a);
+  check cint "cardinal" 1 (Database.cardinal d);
+  check cbool "mem" true (Database.mem d a);
+  let copy = Database.copy d in
+  ignore (Database.add copy (Atom.make "s" [ Term.Const "c" ]));
+  check cint "copy isolated" 1 (Database.cardinal d);
+  check cbool "equal reflexive" true (Database.equal d d);
+  check cbool "not equal" false (Database.equal d copy)
+
+let test_database_candidates () =
+  let d = Helpers.db "r(a, b). r(a, c). r(b, c). s(a)." in
+  let pattern = Atom.make "r" [ Term.Const "a"; Term.Var "x" ] in
+  check cint "indexed lookup" 2 (List.length (Database.candidates d pattern));
+  let pattern_all = Atom.make "r" [ Term.Var "x"; Term.Var "y" ] in
+  check cint "full relation" 3 (List.length (Database.candidates d pattern_all))
+
+let test_database_acdom () =
+  let d = Helpers.db "r(a, b). s(c)." in
+  Database.materialize_acdom d;
+  check cint "three ACDom facts" 3
+    (Database.rel_cardinal d (Database.acdom_rel, 0, 1));
+  (* re-materializing is idempotent and ACDom terms are not in the
+     active domain themselves *)
+  Database.materialize_acdom d;
+  check cint "idempotent" 3 (Database.rel_cardinal d (Database.acdom_rel, 0, 1))
+
+let test_database_non_ground_rejected () =
+  let d = Database.create () in
+  match Database.add d (Atom.make "r" [ Term.Var "x" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-ground atom accepted"
+
+(* --- homomorphisms -------------------------------------------------- *)
+
+let test_homomorphism_all () =
+  let d = Helpers.db "e(a, b). e(b, c). e(c, a)." in
+  let body = [ Helpers.atom "e(X, Y)"; Helpers.atom "e(Y, Z)" ] in
+  check cint "paths of length 2" 3 (List.length (Homomorphism.all body d));
+  let triangle = [ Helpers.atom "e(X, Y)"; Helpers.atom "e(Y, Z)"; Helpers.atom "e(Z, X)" ] in
+  check cint "triangles" 3 (List.length (Homomorphism.all triangle d))
+
+let test_homomorphism_constants () =
+  let d = Helpers.db "e(a, b). e(b, c)." in
+  let body = [ Helpers.atom "e(a, X)" ] in
+  check cint "constant anchored" 1 (List.length (Homomorphism.all body d))
+
+let test_homomorphism_empty_body () =
+  let d = Helpers.db "e(a, b)." in
+  check cint "empty body has one hom" 1 (List.length (Homomorphism.all [] d))
+
+let test_homomorphism_negative () =
+  let d = Helpers.db "e(a, b). e(b, c). mark(b)." in
+  let lits =
+    [ Literal.Pos (Helpers.atom "e(X, Y)"); Literal.Neg (Helpers.atom "mark(X)") ]
+  in
+  let homs = Homomorphism.all_literals lits d in
+  check cint "negation filters" 1 (List.length homs)
+
+let suite =
+  [
+    Alcotest.test_case "term compare" `Quick test_term_compare;
+    Alcotest.test_case "term predicates" `Quick test_term_predicates;
+    Alcotest.test_case "term printing" `Quick test_term_pp;
+    Alcotest.test_case "atom basics" `Quick test_atom_basics;
+    Alcotest.test_case "atom annotation" `Quick test_atom_annotation;
+    Alcotest.test_case "atom map_terms" `Quick test_atom_map_terms;
+    Alcotest.test_case "subst apply" `Quick test_subst_apply;
+    Alcotest.test_case "subst compose" `Quick test_subst_compose;
+    Alcotest.test_case "subst match_atom" `Quick test_subst_match_atom;
+    Alcotest.test_case "rule variable sets" `Quick test_rule_vars;
+    Alcotest.test_case "rule safety" `Quick test_rule_safety;
+    Alcotest.test_case "rule negation safety" `Quick test_rule_neg_safety;
+    Alcotest.test_case "rule apply" `Quick test_rule_apply;
+    Alcotest.test_case "rule canonicalize" `Quick test_rule_canonicalize;
+    Alcotest.test_case "rule rename apart" `Quick test_rule_rename_apart;
+    Alcotest.test_case "theory signature" `Quick test_theory_signature;
+    Alcotest.test_case "theory edb split" `Quick test_theory_edb;
+    Alcotest.test_case "theory dedup" `Quick test_theory_dedup;
+    Alcotest.test_case "parser round trips" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser database" `Quick test_parser_database;
+    Alcotest.test_case "parser quoted constants" `Quick test_parser_quoted;
+    Alcotest.test_case "parser datalog style" `Quick test_parser_datalog_style;
+    Alcotest.test_case "database operations" `Quick test_database_ops;
+    Alcotest.test_case "database candidates" `Quick test_database_candidates;
+    Alcotest.test_case "database ACDom" `Quick test_database_acdom;
+    Alcotest.test_case "database rejects non-ground" `Quick test_database_non_ground_rejected;
+    Alcotest.test_case "homomorphism enumeration" `Quick test_homomorphism_all;
+    Alcotest.test_case "homomorphism with constants" `Quick test_homomorphism_constants;
+    Alcotest.test_case "homomorphism empty body" `Quick test_homomorphism_empty_body;
+    Alcotest.test_case "homomorphism negative literals" `Quick test_homomorphism_negative;
+  ]

@@ -1,0 +1,170 @@
+(** Tests for conjunctive query answering over rule-enriched databases
+    (Section 7). *)
+
+open Guarded_core
+module Cq = Guarded_cq.Cq
+module Answer = Guarded_cq.Answer
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+
+let test_cq_parse () =
+  let q, head_rel = Cq.of_string "r(X, Z), s(Z, Y) -> q(X, Y)." in
+  check (Alcotest.list Alcotest.string) "answer vars" [ "X"; "Y" ] q.Cq.answer_vars;
+  check Alcotest.string "head relation" "q" head_rel;
+  check Alcotest.int "two body atoms" 2 (List.length q.Cq.body)
+
+let test_cq_rule_is_wfg () =
+  (* The ACDom-guarded query rule is weakly frontier-guarded in any
+     enriched theory (Section 7). *)
+  let q, _ = Cq.of_string "e(X, Y), e(Y, Z) -> q(X, Z)." in
+  let rule = Cq.to_rule q ~query_rel:"q" in
+  let sigma = Theory.of_rules (Theory.rules (Helpers.publications_theory ()) @ [ rule ]) in
+  check cbool "combined theory WFG" true (Classify.is_weakly_frontier_guarded sigma)
+
+let test_cq_over_datalog () =
+  let sigma = Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  let d = Helpers.db "e(a, b). e(b, c)." in
+  let q, _ = Cq.of_string "tc(X, Y), tc(Y, Z) -> q(X, Z)." in
+  Helpers.check_answers "two-hop tc" (Helpers.tuples "a,c")
+    (Answer.certain_answers sigma q d)
+
+let test_cq_matches_nulls () =
+  (* Certain answers may be witnessed by labeled nulls: the existential
+     keywords of p1 satisfy the query without appearing in the answer. *)
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let q, _ = Cq.of_string "keywords(P, K1, K2), hasTopic(P, K1) -> q(P)." in
+  Helpers.check_answers "null witnesses" (Helpers.tuples "p1") (Answer.certain_answers sigma q d);
+  (* the chase-based oracle agrees *)
+  let via_chase, outcome = Answer.answers_via_chase sigma q d in
+  check cbool "chase saturated" true (outcome = Guarded_chase.Engine.Saturated);
+  Helpers.check_answers "oracle agrees" (Helpers.tuples "p1") via_chase
+
+let test_cq_boolean () =
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let q = Cq.make [ Helpers.atom "scientific(T)" ] ~answer_vars:[] in
+  check cbool "boolean query holds" true (Answer.certain sigma q d);
+  let q2 = Cq.make [ Helpers.atom "citedIn(X, Y)" ] ~answer_vars:[] in
+  check cbool "boolean query fails" false (Answer.certain sigma q2 d)
+
+let test_cq_over_wg () =
+  (* A conjunctive query over a weakly guarded theory goes through the
+     five-step procedure of Section 7: out(n, b) is witnessed by a null
+     n, and the certain answer projects the constant side. *)
+  let sigma = Helpers.wg_theory () in
+  let d = Helpers.db "node(a). anchor(b)." in
+  let q, _ = Cq.of_string "out(X, Y) -> q(Y)." in
+  Helpers.check_answers "out witnessed by a null" (Helpers.tuples "b")
+    (Answer.certain_answers sigma q d)
+
+let test_cq_answer_vars_constants_only () =
+  let sigma = Helpers.theory "p(X) -> exists Y. r(X, Y)." in
+  let d = Helpers.db "p(a)." in
+  let q, _ = Cq.of_string "r(X, Y) -> q(X, Y)." in
+  (* Y is only ever a null, so there is no certain answer. *)
+  Helpers.check_answers "no certain tuple" [] (Answer.certain_answers sigma q d)
+
+(* --- cores and containment ---------------------------------------------- *)
+
+let test_core_collapses_redundant_atoms () =
+  let q, _ = Cq.of_string "e(X, Y), e(X, Z) -> q(X)." in
+  let c = Guarded_cq.Minimize.core q in
+  check Alcotest.int "one atom survives" 1 (List.length c.Cq.body);
+  check cbool "equivalent to the original" true (Guarded_cq.Minimize.equivalent q c)
+
+let test_core_keeps_necessary_atoms () =
+  (* a path of length 2 does not retract onto a single edge *)
+  let q, _ = Cq.of_string "e(X, Y), e(Y, Z) -> q(X, Z)." in
+  let c = Guarded_cq.Minimize.core q in
+  check Alcotest.int "nothing dropped" 2 (List.length c.Cq.body);
+  (* ... but with a free endpoint the triangle-free shape matters: *)
+  let q2, _ = Cq.of_string "e(X, Y), e(X, Y2), e(Y2, Z) -> q(X)." in
+  let c2 = Guarded_cq.Minimize.core q2 in
+  check Alcotest.int "redundant first edge dropped" 2 (List.length c2.Cq.body)
+
+let test_containment () =
+  let path2, _ = Cq.of_string "e(X, Y), e(Y, Z) -> q(X)." in
+  let edge, _ = Cq.of_string "e(X, Y) -> q(X)." in
+  (* any 2-path answer starts an edge *)
+  check cbool "path2 ⊆ edge" true (Guarded_cq.Minimize.contained_in path2 edge);
+  check cbool "edge ⊄ path2" false (Guarded_cq.Minimize.contained_in edge path2);
+  let self_loop, _ = Cq.of_string "e(X, X) -> q(X)." in
+  check cbool "loop ⊆ path2" true (Guarded_cq.Minimize.contained_in self_loop path2);
+  check cbool "path2 ⊄ loop" false (Guarded_cq.Minimize.contained_in path2 self_loop)
+
+let test_containment_constants () =
+  let q1, _ = Cq.of_string "e(X, c) -> q(X)." in
+  let q2, _ = Cq.of_string "e(X, Y) -> q(X)." in
+  check cbool "constant query contained in general" true (Guarded_cq.Minimize.contained_in q1 q2);
+  check cbool "general not contained in constant" false (Guarded_cq.Minimize.contained_in q2 q1)
+
+let test_core_preserves_answers () =
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let q, _ = Cq.of_string "keywords(P, K1, K2), hasTopic(P, K1), hasTopic(P, K3) -> q(P)." in
+  let c = Guarded_cq.Minimize.core q in
+  check cbool "core is smaller" true (List.length c.Cq.body < List.length q.Cq.body);
+  Helpers.check_answers "same certain answers"
+    (Answer.certain_answers sigma q d)
+    (Answer.certain_answers sigma c d)
+
+(* --- unions of conjunctive queries --------------------------------------- *)
+
+let test_ucq_parse_and_answer () =
+  let sigma = Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  let d = Helpers.db "e(a, b). e(b, c). isolated(z)." in
+  let u, rel = Guarded_cq.Ucq.of_string "tc(X, c) -> q(X). ; isolated(X) -> q(X)." in
+  check Alcotest.string "head relation" "q" rel;
+  Helpers.check_answers "union of answers" (Helpers.tuples "a; b; z")
+    (Guarded_cq.Ucq.certain_answers sigma u d)
+
+let test_ucq_containment () =
+  let edge, _ = Guarded_cq.Ucq.of_string "e(X, Y) -> q(X)." in
+  let both, _ = Guarded_cq.Ucq.of_string "e(X, Y) -> q(X). ; f(X, Y) -> q(X)." in
+  check cbool "single ⊆ union" true (Guarded_cq.Ucq.contained_in edge both);
+  check cbool "union ⊄ single" false (Guarded_cq.Ucq.contained_in both edge);
+  (* a disjunct subsumed by another collapses under containment *)
+  let path, _ = Guarded_cq.Ucq.of_string "e(X, Y), e(Y, Z) -> q(X). ; e(X, Y) -> q(X)." in
+  check cbool "path∪edge ≡ edge" true (Guarded_cq.Ucq.equivalent path edge)
+
+let test_ucq_minimize () =
+  let u, _ =
+    Guarded_cq.Ucq.of_string
+      "e(X, Y), e(X, Y2) -> q(X). ; e(X, Y) -> q(X). ; e(X, X) -> q(X)."
+  in
+  let m = Guarded_cq.Ucq.minimize u in
+  (* the first disjunct cores to the second, which subsumes both it and
+     the self-loop disjunct *)
+  check Alcotest.int "one disjunct survives" 1 (List.length m.Guarded_cq.Ucq.disjuncts)
+
+let test_ucq_over_ontology () =
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let u, _ =
+    Guarded_cq.Ucq.of_string
+      "scientific(T), hasTopic(P, T), hasAuthor(P, A) -> q(A). ; absentRel(A) -> q(A)."
+  in
+  Helpers.check_answers "ontology union" (Helpers.tuples "a1; a2")
+    (Guarded_cq.Ucq.certain_answers sigma u d)
+
+let suite =
+  [
+    Alcotest.test_case "cq parsing" `Quick test_cq_parse;
+    Alcotest.test_case "query rule is WFG" `Quick test_cq_rule_is_wfg;
+    Alcotest.test_case "cq over datalog" `Quick test_cq_over_datalog;
+    Alcotest.test_case "cq matched by nulls" `Quick test_cq_matches_nulls;
+    Alcotest.test_case "boolean cqs" `Quick test_cq_boolean;
+    Alcotest.test_case "cq over weakly guarded rules" `Quick test_cq_over_wg;
+    Alcotest.test_case "answers are constant tuples" `Quick test_cq_answer_vars_constants_only;
+    Alcotest.test_case "core drops redundant atoms" `Quick test_core_collapses_redundant_atoms;
+    Alcotest.test_case "core keeps necessary atoms" `Quick test_core_keeps_necessary_atoms;
+    Alcotest.test_case "homomorphic containment" `Quick test_containment;
+    Alcotest.test_case "containment with constants" `Quick test_containment_constants;
+    Alcotest.test_case "core preserves certain answers" `Quick test_core_preserves_answers;
+    Alcotest.test_case "ucq parsing and answers" `Quick test_ucq_parse_and_answer;
+    Alcotest.test_case "ucq containment" `Quick test_ucq_containment;
+    Alcotest.test_case "ucq minimization" `Quick test_ucq_minimize;
+    Alcotest.test_case "ucq over the ontology" `Quick test_ucq_over_ontology;
+  ]

@@ -1,0 +1,187 @@
+(** Tests for the Datalog engine: semi-naive evaluation, stratification,
+    the stratified chase (Def. 23), and partial grounding (Section 7). *)
+
+open Guarded_core
+module Seminaive = Guarded_datalog.Seminaive
+module Stratify = Guarded_datalog.Stratify
+module Stratified = Guarded_datalog.Stratified
+module Grounding = Guarded_datalog.Grounding
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let test_transitive_closure () =
+  let sigma = Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  let d = Helpers.db "e(a, b). e(b, c). e(c, d)." in
+  let result = Seminaive.eval sigma d in
+  check cint "six tc facts" 6 (Database.rel_cardinal result ("tc", 0, 2));
+  check cbool "tc(a,d)" true (Database.mem result (Helpers.atom "tc(a, d)"))
+
+let test_seminaive_matches_chase () =
+  let sigma =
+    Helpers.theory
+      {|
+    e(X, Y) -> tc(X, Y).
+    tc(X, Y), tc(Y, Z) -> tc(X, Z).
+    tc(X, X) -> cyclic(X).
+  |}
+  in
+  let d = Helpers.db "e(a, b). e(b, c). e(c, a). e(d, d)." in
+  let via_seminaive = Seminaive.eval sigma d in
+  let via_chase = (Guarded_chase.Engine.run sigma d).db in
+  check cbool "same fixpoint" true (Database.equal via_seminaive via_chase)
+
+let test_facts_and_constants () =
+  let sigma = Helpers.theory "-> r(c). r(X), p(X, d) -> s(X)." in
+  let d = Helpers.db "p(c, d)." in
+  let result = Seminaive.eval sigma d in
+  check cbool "s(c)" true (Database.mem result (Helpers.atom "s(c)"))
+
+let test_acdom_materialized () =
+  let sigma = Helpers.theory "ACDom(X) -> dom(X)." in
+  let d = Helpers.db "r(a, b)." in
+  let result = Seminaive.eval sigma d in
+  check cint "two dom facts" 2 (Database.rel_cardinal result ("dom", 0, 1))
+
+let test_rejects_existential () =
+  let sigma = Helpers.theory "p(X) -> exists Y. r(X, Y)." in
+  match Seminaive.eval sigma (Helpers.db "p(a).") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "seminaive accepted an existential rule"
+
+let test_semipositive () =
+  let sigma = Helpers.theory "node(X), not red(X) -> green(X)." in
+  let d = Helpers.db "node(a). node(b). red(a)." in
+  let result = Seminaive.eval sigma d in
+  check cbool "green(b)" true (Database.mem result (Helpers.atom "green(b)"));
+  check cbool "no green(a)" false (Database.mem result (Helpers.atom "green(a)"))
+
+let test_rejects_non_semipositive () =
+  let sigma = Helpers.theory "node(X), not odd(X) -> even(X). node(X), not even(X) -> odd(X)." in
+  match Seminaive.eval sigma (Helpers.db "node(a).") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "seminaive accepted non-semipositive negation"
+
+(* --- stratification ------------------------------------------------- *)
+
+let test_strata_order () =
+  let sigma =
+    Helpers.theory
+      {|
+    e(X, Y) -> tc(X, Y).
+    tc(X, Y), e(Y, Z) -> tc(X, Z).
+    node(X), node(Y), not tc(X, Y) -> unreachable(X, Y).
+  |}
+  in
+  let strata = Stratify.strata sigma in
+  check cint "two strata" 2 (List.length strata);
+  check cbool "is stratified" true (Stratify.is_stratified sigma);
+  (* the tc rules come first *)
+  let first = List.hd strata in
+  check cint "first stratum has the tc rules" 2 (Theory.size first)
+
+let test_unstratifiable () =
+  let sigma = Helpers.theory "p(X), not q(X) -> q(X)." in
+  check cbool "unstratifiable" false (Stratify.is_stratified sigma);
+  match Stratify.strata sigma with
+  | exception Stratify.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "negative self-loop stratified"
+
+let test_even_odd_stratified () =
+  (* Classic: even/odd over a successor chain, two negation levels. *)
+  let sigma =
+    Helpers.theory
+      {|
+    first(X) -> even(X).
+    even(X), next(X, Y) -> odd(Y).
+    odd(X), next(X, Y) -> even(Y).
+    last(X), even(X) -> evenLength().
+    node(X), not even(X) -> notEven(X).
+  |}
+  in
+  check cbool "stratified" true (Stratify.is_stratified sigma);
+  let d =
+    Helpers.db
+      "first(n1). next(n1, n2). next(n2, n3). last(n3). node(n1). node(n2). node(n3)."
+  in
+  let res = Stratified.chase sigma d in
+  check cbool "n3 even" true (Database.mem res.db (Helpers.atom "even(n3)"));
+  check cbool "evenLength" true (Database.mem res.db (Helpers.atom "evenLength()"));
+  check cbool "notEven(n2)" true (Database.mem res.db (Helpers.atom "notEven(n2)"))
+
+let test_stratified_with_existentials () =
+  (* A stratum with value invention feeding a negated relation. *)
+  let sigma =
+    Helpers.theory
+      {|
+    person(X) -> exists Y. parent(X, Y).
+    parent(X, Y) -> hasParent(X).
+    person(X), not hasParent(X) -> orphan(X).
+  |}
+  in
+  check cbool "stratified" true (Stratify.is_stratified sigma);
+  let d = Helpers.db "person(a)." in
+  let res = Stratified.chase sigma d in
+  (* Every person gets an invented parent before the negation stratum. *)
+  check cbool "no orphan" false (Database.mem res.db (Helpers.atom "orphan(a)"))
+
+let test_stratified_semantics_snapshot () =
+  (* Negation sees the previous stratum, not the current derivations. *)
+  let sigma =
+    Helpers.theory
+      {|
+    a(X) -> p(X).
+    b(X), not p(X) -> q(X).
+    q(X) -> p(X).
+  |}
+  in
+  (* p is derived in the last stratum from q as well; stratification
+     places "not p" after ALL p-rules, so q(b) must not fire. *)
+  check cbool "unstratifiable (p depends on q depends on not p)" false
+    (Stratify.is_stratified sigma)
+
+(* --- partial grounding ---------------------------------------------- *)
+
+let test_partial_ground () =
+  let sigma = Helpers.wg_theory () in
+  let d = Helpers.db "node(a). anchor(b)." in
+  let grounded = Grounding.partial_ground sigma d in
+  check cbool "result is guarded" true (Classify.is_guarded grounded);
+  (* the safe variables of w1 and w4 range over the 2-constant domain *)
+  check cbool "more rules than input" true (Theory.size grounded > Theory.size sigma)
+
+let test_partial_ground_preserves_answers () =
+  let sigma = Helpers.wg_theory () in
+  let d = Helpers.db "node(a). anchor(b)." in
+  let grounded = Grounding.partial_ground sigma d in
+  let limits = { Guarded_chase.Engine.max_derivations = 2_000; max_depth = Some 3 } in
+  let a1, _ = Guarded_chase.Engine.answers ~limits sigma d ~query:"gen" in
+  let a2, _ = Guarded_chase.Engine.answers ~limits grounded d ~query:"gen" in
+  Helpers.check_answers "same bounded answers" a1 a2
+
+let test_partial_ground_budget () =
+  let sigma = Helpers.theory "p(X1), p(X2), p(X3), p(X4), p(X5) -> q(X1)." in
+  let d = Helpers.db "p(a). p(b). p(c). p(d). p(e). p(f). p(g). p(h). p(i). p(j)." in
+  match Grounding.partial_ground ~max_rules:100 sigma d with
+  | exception Grounding.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "budget not enforced"
+
+let suite =
+  [
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "seminaive = chase on datalog" `Quick test_seminaive_matches_chase;
+    Alcotest.test_case "fact rules and constants" `Quick test_facts_and_constants;
+    Alcotest.test_case "ACDom materialization" `Quick test_acdom_materialized;
+    Alcotest.test_case "rejects existential rules" `Quick test_rejects_existential;
+    Alcotest.test_case "semipositive negation" `Quick test_semipositive;
+    Alcotest.test_case "rejects non-semipositive" `Quick test_rejects_non_semipositive;
+    Alcotest.test_case "strata computation" `Quick test_strata_order;
+    Alcotest.test_case "unstratifiable detection" `Quick test_unstratifiable;
+    Alcotest.test_case "even/odd stratified program" `Quick test_even_odd_stratified;
+    Alcotest.test_case "stratified with existentials" `Quick test_stratified_with_existentials;
+    Alcotest.test_case "negation through recursion rejected" `Quick test_stratified_semantics_snapshot;
+    Alcotest.test_case "partial grounding is guarded" `Quick test_partial_ground;
+    Alcotest.test_case "partial grounding preserves answers" `Quick test_partial_ground_preserves_answers;
+    Alcotest.test_case "partial grounding budget" `Quick test_partial_ground_budget;
+  ]

@@ -1,0 +1,129 @@
+(** White-box tests for the expansion internals: placements, guard
+    atoms, the decreasing measure, and closure statistics. *)
+
+open Guarded_core
+module Rewritings = Guarded_translate.Rewritings
+module Expansion = Guarded_translate.Expansion
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let test_placements_count () =
+  (* injective placements of n variables into r slots: r!/(r-n)! *)
+  List.iter
+    (fun (needed, arity) ->
+      let n = List.length needed in
+      let expected = if n > arity then 0 else factorial arity / factorial (arity - n) in
+      check cint
+        (Fmt.str "placements of %d into %d" n arity)
+        expected
+        (List.length (Rewritings.placements needed arity)))
+    [
+      ([ "A" ], 1);
+      ([ "A" ], 3);
+      ([ "A"; "B" ], 2);
+      ([ "A"; "B" ], 3);
+      ([ "A"; "B"; "C" ], 3);
+      ([ "A"; "B"; "C" ], 2);
+      ([], 2);
+    ]
+
+let test_placements_cover () =
+  (* every placement contains every needed variable exactly once *)
+  List.iter
+    (fun terms ->
+      let vars =
+        List.filter_map (function Term.Var v -> Some v | _ -> None) terms
+      in
+      check cbool "A present" true (List.mem "A" vars);
+      check cbool "B present" true (List.mem "B" vars);
+      check cint "no duplicates" (List.length (List.sort_uniq compare vars)) (List.length vars))
+    (Rewritings.placements [ "A"; "B" ] 4)
+
+let test_guard_atoms () =
+  let guards =
+    Rewritings.guard_atoms
+      ~relations:[ ("r", 0, 2); ("t", 0, 3); ("u", 0, 1) ]
+      ~needed_args:[ "A"; "B" ] ~needed_ann:[]
+  in
+  (* r: 2 placements; t: 6; u: none (arity too small) *)
+  check cint "eight guards" 8 (List.length guards);
+  List.iter
+    (fun g ->
+      check cbool "guard covers the needed variables" true
+        (Names.Sset.subset (Names.Sset.of_list [ "A"; "B" ]) (Atom.arg_var_set g)))
+    guards
+
+let test_guard_atoms_annotated () =
+  let guards =
+    Rewritings.guard_atoms
+      ~relations:[ ("r", 1, 1) ]
+      ~needed_args:[ "A" ] ~needed_ann:[ "U" ]
+  in
+  check cint "one placement each side" 1 (List.length guards);
+  let g = List.hd guards in
+  check cbool "annotation carries U" true
+    (List.exists (function Term.Var "U" -> true | _ -> false) (Atom.ann g))
+
+let test_guard_atoms_skip_acdom () =
+  let guards =
+    Rewritings.guard_atoms
+      ~relations:[ (Database.acdom_rel, 0, 1) ]
+      ~needed_args:[ "A" ] ~needed_ann:[]
+  in
+  check cint "ACDom never guards" 0 (List.length guards)
+
+let test_measure () =
+  (* variables outside the fixed frontier guard *)
+  let r = Helpers.rule "r(X, Y), s(Y, Z), t(Z, W) -> p(X)." in
+  (* frontier {X}: fg = r(X, Y); outside = {Z, W} *)
+  check cint "measure 2" 2 (Expansion.measure r);
+  let guarded = Helpers.rule "big(X, Y, Z) -> p(X)." in
+  check cint "guarded rule measure 0" 0 (Expansion.measure guarded)
+
+let test_expansion_stats () =
+  let sigma = Normalize.normalize (Helpers.small_fg_theory ()) in
+  let ex, stats = Expansion.expand ~max_rules:10_000 sigma in
+  check cint "stats match output" (Theory.size ex) stats.Expansion.output_rules;
+  check cbool "input preserved" true (stats.Expansion.input_rules <= stats.Expansion.output_rules);
+  (* the original rules are all present in the expansion *)
+  List.iter
+    (fun r ->
+      check cbool "original rule kept" true
+        (List.exists
+           (fun r' -> Rule.to_string (Rule.canonicalize r') = Rule.to_string (Rule.canonicalize r))
+           (Theory.rules ex)))
+    (Theory.rules sigma)
+
+let test_expansion_idempotent_names () =
+  (* Running the expansion twice on the same input produces the same
+     number of rules: the closure is deterministic. *)
+  let sigma = Normalize.normalize (Helpers.small_fg_theory ()) in
+  let _, s1 = Expansion.expand ~max_rules:10_000 sigma in
+  let _, s2 = Expansion.expand ~max_rules:10_000 sigma in
+  check cint "deterministic size" s1.Expansion.output_rules s2.Expansion.output_rules;
+  check cint "deterministic aux count" s1.Expansion.aux_relations s2.Expansion.aux_relations
+
+let test_all_guards_superset () =
+  (* the paper-literal enumeration can only produce more rules *)
+  let sigma = Normalize.normalize (Helpers.small_fg_theory ()) in
+  let _, s_node = Expansion.expand ~guards:`Node_relations sigma in
+  let _, s_all = Expansion.expand ~guards:`All_relations sigma in
+  check cbool "all-relations is larger" true
+    (s_all.Expansion.output_rules >= s_node.Expansion.output_rules)
+
+let suite =
+  [
+    Alcotest.test_case "placement counts" `Quick test_placements_count;
+    Alcotest.test_case "placements cover needed vars" `Quick test_placements_cover;
+    Alcotest.test_case "guard atom enumeration" `Quick test_guard_atoms;
+    Alcotest.test_case "annotated guards" `Quick test_guard_atoms_annotated;
+    Alcotest.test_case "ACDom never guards" `Quick test_guard_atoms_skip_acdom;
+    Alcotest.test_case "decreasing measure" `Quick test_measure;
+    Alcotest.test_case "expansion statistics" `Quick test_expansion_stats;
+    Alcotest.test_case "expansion is deterministic" `Quick test_expansion_idempotent_names;
+    Alcotest.test_case "guard ablation is a superset" `Quick test_all_guards_superset;
+  ]

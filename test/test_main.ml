@@ -1,0 +1,20 @@
+(** Test runner: one Alcotest suite per library plus the property-based
+    suite. *)
+
+let () =
+  Helpers.run_alcotest "guarded"
+    [
+      ("core", Test_core.suite);
+      ("classify", Test_classify.suite);
+      ("normalize", Test_normalize.suite);
+      ("chase", Test_chase.suite);
+      ("datalog", Test_datalog.suite);
+      ("magic", Test_magic.suite);
+      ("provenance", Test_provenance.suite);
+      ("translate", Test_translate.suite);
+      ("expansion-internals", Test_expansion_internals.suite);
+      ("cq", Test_cq.suite);
+      ("capture", Test_capture.suite);
+      ("robustness", Test_robustness.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,130 @@
+(** Tests for normalization (Definition 4, Proposition 1). *)
+
+open Guarded_core
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+
+let normalized_answers sigma d ~query =
+  Helpers.chase_answers (Normalize.normalize sigma) d ~query
+
+let test_is_normal () =
+  check cbool "already normal" true (Normalize.is_normal (Helpers.example7_theory ()));
+  check cbool "multi-head not normal" false
+    (Normalize.is_normal (Helpers.theory "r(X) -> s(X), t(X)."));
+  check cbool "constant in body not normal" false
+    (Normalize.is_normal (Helpers.theory "r(X, c) -> s(X)."));
+  check cbool "fact rule is normal" true (Normalize.is_normal (Helpers.theory "-> r(c)."));
+  check cbool "non-guarded existential not normal" false
+    (Normalize.is_normal (Helpers.theory "r(X, Y), s(Y, Z) -> exists W. t(X, W)."))
+
+let test_normalize_idempotent_shape () =
+  let sigma = Helpers.publications_theory () in
+  let n1 = Normalize.normalize sigma in
+  check cbool "normal after one pass" true (Normalize.is_normal n1)
+
+let test_head_split_datalog () =
+  let sigma = Helpers.theory "r(X, Y) -> s(X), t(Y)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  let d = Helpers.db "r(a, b)." in
+  Helpers.check_answers "s preserved" (Helpers.tuples "a") (normalized_answers sigma d ~query:"s");
+  Helpers.check_answers "t preserved" (Helpers.tuples "b") (normalized_answers sigma d ~query:"t")
+
+let test_head_split_existential () =
+  let sigma = Helpers.theory "p(X) -> exists Y. r(X, Y), s(Y)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  let d = Helpers.db "p(a)." in
+  (* the invented value satisfies both conjuncts *)
+  let sigma2 = Helpers.theory "r(X, Y), s(Y) -> witness(X)." in
+  let combined = Theory.of_rules (Theory.rules norm @ Theory.rules sigma2) in
+  Helpers.check_answers "joint witness" (Helpers.tuples "a")
+    (Helpers.chase_answers combined d ~query:"witness")
+
+let test_guard_existential () =
+  let sigma = Helpers.theory "r(X, Y), s(Y, Z) -> exists W. t(X, W)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  List.iter
+    (fun r ->
+      if not (Rule.is_datalog r) then
+        check cbool "existential rules guarded" true (Classify.is_guarded_rule r))
+    (Theory.rules norm);
+  let d = Helpers.db "r(a, b). s(b, c)." in
+  let probe = Helpers.theory "t(X, W) -> got(X)." in
+  let combined = Theory.of_rules (Theory.rules norm @ Theory.rules probe) in
+  Helpers.check_answers "t created" (Helpers.tuples "a")
+    (Helpers.chase_answers combined d ~query:"got")
+
+let test_constant_elimination_body () =
+  let sigma = Helpers.theory "r(X, c) -> s(X)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  let d = Helpers.db "r(a, c). r(b, d)." in
+  Helpers.check_answers "only the c-tuple fires" (Helpers.tuples "a")
+    (normalized_answers sigma d ~query:"s")
+
+let test_constant_elimination_head () =
+  let sigma = Helpers.theory "r(X) -> s(X, c)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  let d = Helpers.db "r(a)." in
+  Helpers.check_answers "head constant restored" (Helpers.tuples "a,c")
+    (normalized_answers sigma d ~query:"s")
+
+let test_constant_in_existential_head () =
+  let sigma = Helpers.theory "r(X) -> exists Y. s(X, c, Y)." in
+  let norm = Normalize.normalize sigma in
+  check cbool "normal" true (Normalize.is_normal norm);
+  let probe = Helpers.theory "s(X, Z, Y) -> flat(X, Z)." in
+  let combined = Theory.of_rules (Theory.rules norm @ Theory.rules probe) in
+  Helpers.check_answers "existential head with constant" (Helpers.tuples "a,c")
+    (Helpers.chase_answers combined (Helpers.db "r(a).") ~query:"flat")
+
+let test_repeated_variable_in_specialized_atom () =
+  (* Specializing r(X, X, c) must keep the repetition constraint. *)
+  let sigma = Helpers.theory "r(X, X, c) -> s(X)." in
+  let d = Helpers.db "r(a, a, c). r(a, b, c). r(b, b, d)." in
+  Helpers.check_answers "repetition preserved" (Helpers.tuples "a")
+    (normalized_answers sigma d ~query:"s")
+
+let test_language_preservation () =
+  (* Prop. 1 (c): normalization preserves the weakly/nearly languages. *)
+  let cases =
+    [
+      (Helpers.publications_theory (), Classify.Nearly_frontier_guarded);
+      (Helpers.wg_theory (), Classify.Weakly_guarded);
+      (Helpers.example7_theory (), Classify.Nearly_guarded);
+    ]
+  in
+  List.iter
+    (fun (sigma, at_most) ->
+      let norm = Normalize.normalize sigma in
+      check cbool
+        (Fmt.str "normalized theory stays within %s" (Classify.language_name at_most))
+        true
+        (Classify.in_language norm at_most))
+    cases
+
+let test_answers_preserved_running_example () =
+  let sigma = Helpers.publications_theory () in
+  let d = Helpers.publications_db () in
+  Helpers.check_answers "q preserved"
+    (Helpers.chase_answers sigma d ~query:"q")
+    (normalized_answers sigma d ~query:"q")
+
+let suite =
+  [
+    Alcotest.test_case "is_normal" `Quick test_is_normal;
+    Alcotest.test_case "normalize yields normal form" `Quick test_normalize_idempotent_shape;
+    Alcotest.test_case "datalog head split" `Quick test_head_split_datalog;
+    Alcotest.test_case "existential head split" `Quick test_head_split_existential;
+    Alcotest.test_case "existential rules get guards" `Quick test_guard_existential;
+    Alcotest.test_case "body constants eliminated" `Quick test_constant_elimination_body;
+    Alcotest.test_case "head constants eliminated" `Quick test_constant_elimination_head;
+    Alcotest.test_case "constants in existential heads" `Quick test_constant_in_existential_head;
+    Alcotest.test_case "repeated variables preserved" `Quick test_repeated_variable_in_specialized_atom;
+    Alcotest.test_case "Prop 1(c): language preserved" `Quick test_language_preservation;
+    Alcotest.test_case "Prop 1(b): answers preserved" `Quick test_answers_preserved_running_example;
+  ]

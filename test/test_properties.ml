@@ -1,0 +1,382 @@
+(** Property-based tests (QCheck): random guarded / frontier-guarded
+    theories and databases, with the saturating chase as the semantic
+    oracle for every translation. *)
+
+open Guarded_core
+
+(* ------------------------------------------------------------------ *)
+(* Generators (shared library: guarded.gen)                            *)
+
+open Guarded_gen.Generator
+
+let signature = Guarded_gen.Generator.signature
+let gen_atom_over = Guarded_gen.Generator.gen_atom_over
+
+(* The chase oracle; discards the sample when it does not saturate. *)
+let oracle_limits = { Guarded_chase.Engine.max_derivations = 3_000; max_depth = Some 4 }
+
+let saturating_answers sigma d ~query =
+  match Guarded_chase.Engine.answers ~limits:oracle_limits sigma d ~query with
+  | ans, Guarded_chase.Engine.Saturated -> Some ans
+  | _, Guarded_chase.Engine.Bounded -> None
+
+let queries = List.map fst signature
+
+let same_answers sigma d answers_of =
+  List.for_all
+    (fun query ->
+      match saturating_answers sigma d ~query with
+      | None -> true (* discard non-saturating samples *)
+      | Some expected -> (
+        match answers_of ~query with
+        | None -> true
+        | Some got -> Helpers.sort_answers expected = Helpers.sort_answers got))
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let count = 60
+
+let prop_generated_guarded_is_guarded =
+  QCheck.Test.make ~count ~name:"generated guarded theories are guarded" arbitrary_guarded
+    Classify.is_guarded
+
+let prop_generated_fg_is_fg =
+  QCheck.Test.make ~count ~name:"generated FG theories are frontier-guarded" arbitrary_fg
+    Classify.is_frontier_guarded
+
+let prop_normalize_preserves =
+  QCheck.Test.make ~count ~name:"normalization preserves answers" (arbitrary_pair arbitrary_fg)
+    (fun (sigma, d) ->
+      let norm = Normalize.normalize sigma in
+      same_answers sigma d (fun ~query -> saturating_answers norm d ~query))
+
+let prop_normalize_is_normal =
+  QCheck.Test.make ~count ~name:"normalization reaches normal form" arbitrary_fg (fun sigma ->
+      Normalize.is_normal (Normalize.normalize sigma))
+
+let prop_dat_equals_chase =
+  QCheck.Test.make ~count ~name:"Thm 3: dat(Σ) = chase on guarded theories"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, d) ->
+      match Guarded_translate.Saturate.dat ~max_rules:30_000 sigma with
+      | dat, _ ->
+        same_answers sigma d (fun ~query ->
+            Some (Guarded_datalog.Seminaive.answers dat d ~query))
+      | exception Guarded_translate.Saturate.Budget_exceeded _ -> QCheck.assume_fail ())
+
+let prop_rew_fg_nearly_guarded =
+  QCheck.Test.make ~count:30 ~name:"Prop 3: rew(Σ) nearly guarded" arbitrary_fg (fun sigma ->
+      let norm = Normalize.normalize sigma in
+      if not (Classify.is_frontier_guarded norm) then QCheck.assume_fail ()
+      else
+        match Guarded_translate.Rewrite_fg.rew_frontier_guarded ~max_rules:30_000 norm with
+        | rew, _ -> Classify.is_nearly_guarded rew
+        | exception Guarded_translate.Expansion.Budget_exceeded _ -> QCheck.assume_fail ())
+
+let prop_thm1_preserves_answers =
+  QCheck.Test.make ~count:30 ~name:"Thm 1: rew(Σ) preserves answers"
+    (arbitrary_pair arbitrary_fg) (fun (sigma, d) ->
+      let norm = Normalize.normalize sigma in
+      if not (Classify.is_frontier_guarded norm) then QCheck.assume_fail ()
+      else
+        match Guarded_translate.Rewrite_fg.rew_frontier_guarded ~max_rules:30_000 norm with
+        | rew, _ ->
+          let d' = Database.copy d in
+          Database.materialize_acdom d';
+          same_answers sigma d (fun ~query -> saturating_answers rew d' ~query)
+        | exception Guarded_translate.Expansion.Budget_exceeded _ -> QCheck.assume_fail ())
+
+let prop_pipeline_to_datalog =
+  QCheck.Test.make ~count:30 ~name:"pipeline: to_datalog preserves answers"
+    (arbitrary_pair arbitrary_fg) (fun (sigma, d) ->
+      match Guarded_translate.Pipeline.to_datalog sigma with
+      | tr ->
+        same_answers sigma d (fun ~query ->
+            Some (Guarded_datalog.Seminaive.answers tr.Guarded_translate.Pipeline.datalog d ~query))
+      | exception Guarded_translate.Pipeline.Not_datalog_expressible _ -> QCheck.assume_fail ()
+      | exception Guarded_translate.Expansion.Budget_exceeded _ -> QCheck.assume_fail ()
+      | exception Guarded_translate.Saturate.Budget_exceeded _ -> QCheck.assume_fail ())
+
+let prop_chase_tree_wellformed =
+  QCheck.Test.make ~count ~name:"Prop 2: chase trees verify P1-P3"
+    (arbitrary_pair arbitrary_fg) (fun (sigma, d) ->
+      let norm = Normalize.normalize sigma in
+      if not (Classify.is_frontier_guarded norm) then QCheck.assume_fail ()
+      else begin
+        let res = Guarded_chase.Engine.run ~limits:oracle_limits norm d in
+        match res.outcome with
+        | Guarded_chase.Engine.Bounded -> QCheck.assume_fail ()
+        | Guarded_chase.Engine.Saturated -> (
+          let tree = Guarded_chase.Tree.build norm d res in
+          match Guarded_chase.Tree.verify tree norm d with Ok () -> true | Error _ -> false)
+      end)
+
+let prop_seminaive_equals_chase =
+  QCheck.Test.make ~count ~name:"seminaive = chase on datalog"
+    (arbitrary_pair arbitrary_fg) (fun (sigma, d) ->
+      let datalog = Theory.of_rules (List.filter Rule.is_datalog (Theory.rules sigma)) in
+      let via_sn = Guarded_datalog.Seminaive.eval datalog d in
+      let via_chase = (Guarded_chase.Engine.run datalog d).db in
+      Database.equal via_sn via_chase)
+
+let prop_rule_canonicalization_invariant =
+  QCheck.Test.make ~count:100 ~name:"canonicalization is renaming-invariant"
+    arbitrary_guarded (fun sigma ->
+      let g = Names.gensym "qc" in
+      List.for_all
+        (fun r ->
+          let r' = Rule.rename_apart g r in
+          Rule.to_string (Rule.canonicalize r) = Rule.to_string (Rule.canonicalize r'))
+        (Theory.rules sigma))
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"printer/parser round trip" arbitrary_guarded (fun sigma ->
+      List.for_all
+        (fun r ->
+          let r' = Parser.rule_of_string (Rule.to_string r ^ ".") in
+          Rule.to_string (Rule.canonicalize r) = Rule.to_string (Rule.canonicalize r'))
+        (Theory.rules sigma))
+
+let prop_homomorphisms_are_homomorphisms =
+  QCheck.Test.make ~count ~name:"homomorphism search is sound"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, d) ->
+      List.for_all
+        (fun r ->
+          let body = Rule.body_atoms r in
+          List.for_all
+            (fun subst ->
+              List.for_all (fun a -> Database.mem d (Subst.apply_atom subst a)) body)
+            (Homomorphism.all body d))
+        (Theory.rules sigma))
+
+let prop_acdom_elimination =
+  QCheck.Test.make ~count:40 ~name:"Prop 5: ACDom elimination preserves answers"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, d) ->
+      (* enrich each rule with an ACDom atom on one variable *)
+      let enriched =
+        Theory.of_rules
+          (List.map
+             (fun r ->
+               match Names.Sset.choose_opt (Rule.uvars r) with
+               | Some v ->
+                 Rule.make_pos
+                   ~evars:(Names.Sset.elements (Rule.evars r))
+                   (Rule.body_atoms r @ [ Atom.make Database.acdom_rel [ Term.Var v ] ])
+                   (Rule.head r)
+               | None -> r)
+             (Theory.rules sigma))
+      in
+      let star = Guarded_translate.Acdom.axiomatize enriched in
+      let d_ac = Database.copy d in
+      Database.materialize_acdom d_ac;
+      (* Def. 15 covers the relations of Σ; query those only (a database
+         relation outside Σ has no starred copy). *)
+      let sigma_queries =
+        List.filter
+          (fun q ->
+            Theory.Rel_set.exists
+              (fun (name, _, _) -> String.equal name q)
+              (Theory.relations enriched))
+          queries
+      in
+      List.for_all
+        (fun query ->
+          match saturating_answers enriched d_ac ~query with
+          | None -> true
+          | Some expected -> (
+            match saturating_answers star d ~query:(Guarded_translate.Acdom.star_query query) with
+            | None -> true
+            | Some got -> Helpers.sort_answers expected = Helpers.sort_answers got))
+        sigma_queries)
+
+let prop_string_db_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"string database round trip"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) (oneofl [ "one"; "zero" ])))
+    (fun word ->
+      let d, info = Guarded_capture.String_db.encode ~k:1 word in
+      let decoded = Guarded_capture.String_db.decode ~k:1 d in
+      List.length decoded = info.Guarded_capture.String_db.cells
+      && List.for_all2
+           (fun w d -> String.equal w d)
+           word
+           (List.filteri (fun i _ -> i < List.length word) decoded))
+
+(* Random positive Datalog programs over the signature: every rule's
+   head variables come from its body. *)
+let gen_datalog_rule =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool) >>= fun body ->
+    let body_vars =
+      List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+    in
+    if Names.Sset.is_empty body_vars then
+      oneofl signature >|= fun (name, arity) ->
+      Rule.make_pos body [ Atom.make name (List.init arity (fun _ -> Term.Const "a")) ]
+    else
+      oneofl (Names.Sset.elements body_vars) >>= fun v ->
+      oneofl signature >|= fun (name, arity) ->
+      Rule.make_pos body [ Atom.make name (List.init arity (fun _ -> Term.Var v)) ])
+
+let arbitrary_datalog =
+  QCheck.make ~print:Theory.to_string
+    QCheck.Gen.(list_size (int_range 1 4) gen_datalog_rule >|= Theory.of_rules)
+
+let prop_weak_acyclicity_terminates =
+  QCheck.Test.make ~count:60 ~name:"weak acyclicity implies restricted-chase termination"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, d) ->
+      if not (Acyclicity.is_weakly_acyclic sigma) then QCheck.assume_fail ()
+      else begin
+        let res =
+          Guarded_chase.Engine.run
+            ~limits:{ max_derivations = 50_000; max_depth = None }
+            ~variant:Guarded_chase.Engine.Restricted sigma d
+        in
+        res.outcome = Guarded_chase.Engine.Saturated
+      end)
+
+let prop_magic_equals_seminaive =
+  QCheck.Test.make ~count:80 ~name:"magic sets = seminaive on the query"
+    (arbitrary_pair arbitrary_datalog) (fun (sigma, d) ->
+      List.for_all
+        (fun (rel, arity) ->
+          let pattern =
+            List.init arity (fun i ->
+                (* randomly-ish bind the first argument on binary+ relations *)
+                if i = 0 && arity > 1 then Term.Const "a" else Term.Var (Fmt.str "Q%d" i))
+          in
+          let q = { Guarded_datalog.Magic.q_rel = rel; q_pattern = pattern } in
+          let via_magic = Guarded_datalog.Magic.answers sigma q d in
+          let full = Guarded_datalog.Seminaive.eval sigma d in
+          let expected =
+            Database.candidates full (Atom.make rel pattern)
+            |> List.filter_map (fun fact ->
+                   match Subst.match_atom Subst.empty (Atom.make rel pattern) fact with
+                   | Some _ -> Some (Atom.args fact)
+                   | None -> None)
+            |> Helpers.sort_answers
+          in
+          expected = Helpers.sort_answers via_magic)
+        signature)
+
+let prop_subsumption_preserves =
+  QCheck.Test.make ~count:60 ~name:"subsumption reduction preserves the fixpoint"
+    (arbitrary_pair arbitrary_datalog) (fun (sigma, d) ->
+      let reduced = Guarded_translate.Subsumption.reduce sigma in
+      Theory.size reduced <= Theory.size sigma
+      && Database.equal
+           (Guarded_datalog.Seminaive.eval sigma d)
+           (Guarded_datalog.Seminaive.eval reduced d))
+
+let prop_restricted_chase_agrees =
+  QCheck.Test.make ~count:50 ~name:"restricted chase = oblivious chase answers"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, d) ->
+      let obl = Guarded_chase.Engine.run ~limits:oracle_limits sigma d in
+      let res =
+        Guarded_chase.Engine.run ~limits:oracle_limits
+          ~variant:Guarded_chase.Engine.Restricted sigma d
+      in
+      match (obl.outcome, res.outcome) with
+      | Guarded_chase.Engine.Saturated, Guarded_chase.Engine.Saturated ->
+        List.for_all
+          (fun (rel, _) ->
+            let tuples db' =
+              Database.fold
+                (fun a acc ->
+                  if Atom.rel a = rel && List.for_all Term.is_const (Atom.terms a) then
+                    Atom.args a :: acc
+                  else acc)
+                db' []
+              |> Helpers.sort_answers
+            in
+            tuples obl.db = tuples res.db)
+          signature
+        && res.derivations <= obl.derivations
+      | _ -> QCheck.assume_fail ())
+
+let gen_cq =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool) >>= fun body ->
+    let body_vars =
+      List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+    in
+    if Names.Sset.is_empty body_vars then return (Guarded_cq.Cq.make body ~answer_vars:[])
+    else
+      oneofl (Names.Sset.elements body_vars) >|= fun v ->
+      Guarded_cq.Cq.make body ~answer_vars:[ v ])
+
+let arbitrary_cq = QCheck.make ~print:(Fmt.to_to_string Guarded_cq.Cq.pp) gen_cq
+
+let prop_core_equivalent =
+  QCheck.Test.make ~count:100 ~name:"CQ core is equivalent and no larger" arbitrary_cq
+    (fun q ->
+      let c = Guarded_cq.Minimize.core q in
+      List.length c.Guarded_cq.Cq.body <= List.length q.Guarded_cq.Cq.body
+      && Guarded_cq.Minimize.equivalent q c)
+
+let prop_containment_reflexive =
+  QCheck.Test.make ~count:100 ~name:"CQ containment is reflexive" arbitrary_cq (fun q ->
+      Guarded_cq.Minimize.contained_in q q)
+
+let prop_core_same_answers =
+  QCheck.Test.make ~count:60 ~name:"CQ core has the same answers"
+    (QCheck.pair arbitrary_cq arbitrary_db) (fun (q, d) ->
+      let c = Guarded_cq.Minimize.core q in
+      let eval query =
+        let tuples = ref [] in
+        Homomorphism.iter_pos query.Guarded_cq.Cq.body d (fun subst ->
+            let tuple =
+              List.map
+                (fun v ->
+                  match Subst.find_opt v subst with Some t -> t | None -> Term.Const "?")
+                query.Guarded_cq.Cq.answer_vars
+            in
+            tuples := tuple :: !tuples);
+        Helpers.sort_answers !tuples
+      in
+      eval q = eval c)
+
+let prop_tm_simulation =
+  QCheck.Test.make ~count:25 ~name:"Thm 4: chase simulation agrees with the machine"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 5) (oneofl [ "one"; "zero" ])))
+    (fun word ->
+      let d, info = Guarded_capture.String_db.encode ~k:1 word in
+      let direct =
+        Guarded_capture.Turing.accepts Guarded_capture.Turing.parity_machine
+          ~cells:info.Guarded_capture.String_db.cells word
+      in
+      match Guarded_capture.Tm_encode.accepts ~k:1 Guarded_capture.Turing.parity_machine d with
+      | Ok via_chase -> direct = via_chase
+      | Error _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generated_guarded_is_guarded;
+      prop_generated_fg_is_fg;
+      prop_normalize_preserves;
+      prop_normalize_is_normal;
+      prop_dat_equals_chase;
+      prop_rew_fg_nearly_guarded;
+      prop_thm1_preserves_answers;
+      prop_pipeline_to_datalog;
+      prop_chase_tree_wellformed;
+      prop_seminaive_equals_chase;
+      prop_rule_canonicalization_invariant;
+      prop_parser_roundtrip;
+      prop_homomorphisms_are_homomorphisms;
+      prop_acdom_elimination;
+      prop_string_db_roundtrip;
+      prop_tm_simulation;
+      prop_weak_acyclicity_terminates;
+      prop_magic_equals_seminaive;
+      prop_restricted_chase_agrees;
+      prop_subsumption_preserves;
+      prop_core_equivalent;
+      prop_containment_reflexive;
+      prop_core_same_answers;
+    ]

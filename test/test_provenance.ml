@@ -1,0 +1,94 @@
+(** Tests for why-provenance and proof trees. *)
+
+open Guarded_core
+module Provenance = Guarded_datalog.Provenance
+module Seminaive = Guarded_datalog.Seminaive
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let tc_program () =
+  Helpers.theory "@base e(X, Y) -> tc(X, Y). @step tc(X, Y), e(Y, Z) -> tc(X, Z)."
+
+let test_same_fixpoint () =
+  let sigma = tc_program () in
+  let d = Helpers.db "e(a, b). e(b, c). e(c, d)." in
+  let prov = Provenance.eval sigma d in
+  check cbool "fixpoints agree" true (Database.equal prov.Provenance.result (Seminaive.eval sigma d))
+
+let test_explain_chain () =
+  let sigma = tc_program () in
+  let d = Helpers.db "e(a, b). e(b, c). e(c, d)." in
+  let prov = Provenance.eval sigma d in
+  match Provenance.explain prov (Helpers.atom "tc(a, d)") with
+  | None -> Alcotest.fail "tc(a,d) not provable"
+  | Some proof ->
+    check cbool "root is the fact" true
+      (Atom.equal (Provenance.proof_fact proof) (Helpers.atom "tc(a, d)"));
+    (* the proof bottoms out in the three input edges *)
+    let support = Provenance.support proof in
+    check cint "three supporting edges" 3 (List.length support);
+    List.iter
+      (fun a -> check Alcotest.string "edges only" "e" (Atom.rel a))
+      support;
+    check cbool "depth matches the chain" true (Provenance.proof_depth proof >= 3)
+
+let test_explain_input_fact () =
+  let sigma = tc_program () in
+  let d = Helpers.db "e(a, b)." in
+  let prov = Provenance.eval sigma d in
+  (match Provenance.explain prov (Helpers.atom "e(a, b)") with
+  | Some (Provenance.Given _) -> ()
+  | _ -> Alcotest.fail "input fact should be Given");
+  check cbool "absent fact unexplained" true
+    (Provenance.explain prov (Helpers.atom "e(z, z)") = None)
+
+let test_explain_translated_program () =
+  (* Unfold an answer of the compiled ontology down to input facts,
+     through the translation's auxiliary relations. *)
+  let tr = Guarded_translate.Pipeline.to_datalog (Helpers.small_fg_theory ()) in
+  let d = Database.copy (Helpers.small_fg_db ()) in
+  Database.materialize_acdom d;
+  let prov = Provenance.eval tr.Guarded_translate.Pipeline.datalog d in
+  match Provenance.explain prov (Helpers.atom "q(a1)") with
+  | None -> Alcotest.fail "q(a1) not provable in the translated program"
+  | Some proof ->
+    let support = Provenance.support proof in
+    (* every supporting fact is an input fact (or materialized ACDom) *)
+    List.iter
+      (fun a -> check cbool "support is input" true (Database.mem d a))
+      support;
+    check cbool "non-trivial proof" true (Provenance.proof_size proof > 2)
+
+let test_proofs_are_wellfounded () =
+  (* cyclic data: first derivations still yield finite proofs *)
+  let sigma = tc_program () in
+  let d = Helpers.db "e(a, b). e(b, a)." in
+  let prov = Provenance.eval sigma d in
+  Database.iter
+    (fun fact ->
+      if Atom.rel fact = "tc" then
+        match Provenance.explain prov fact with
+        | Some proof -> check cbool "finite proof" true (Provenance.proof_size proof < 100)
+        | None -> Alcotest.failf "no proof for %s" (Atom.to_string fact))
+    prov.Provenance.result
+
+let test_rule_labels_in_proofs () =
+  let sigma = tc_program () in
+  let d = Helpers.db "e(a, b). e(b, c)." in
+  let prov = Provenance.eval sigma d in
+  match Provenance.explain prov (Helpers.atom "tc(a, c)") with
+  | Some (Provenance.Derived (_, rule, _)) ->
+    check (Alcotest.option Alcotest.string) "labelled rule" (Some "step") (Rule.label rule)
+  | _ -> Alcotest.fail "expected a derived proof"
+
+let suite =
+  [
+    Alcotest.test_case "same fixpoint as seminaive" `Quick test_same_fixpoint;
+    Alcotest.test_case "explain a chain" `Quick test_explain_chain;
+    Alcotest.test_case "input facts are Given" `Quick test_explain_input_fact;
+    Alcotest.test_case "explain a translated program" `Quick test_explain_translated_program;
+    Alcotest.test_case "proofs are well-founded" `Quick test_proofs_are_wellfounded;
+    Alcotest.test_case "rule labels surface" `Quick test_rule_labels_in_proofs;
+  ]

