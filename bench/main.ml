@@ -7,8 +7,14 @@
     rows. A final Bechamel pass micro-times one representative operation
     per experiment.
 
-    Usage: dune exec bench/main.exe [-- SECTION...]
-    Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup micro *)
+    Usage: dune exec bench/main.exe [-- [--json FILE] SECTION...]
+    Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup micro
+
+    With [--json FILE] the run additionally records, per section, the
+    wall-clock seconds and every printed table with its timing columns
+    stripped (so two runs of the same tree produce identical result
+    rows), and writes them as JSON. The committed BENCH_N.json files
+    are such recordings; EXPERIMENTS.md describes the workflow. *)
 
 open Guarded_core
 module Engine = Guarded_chase.Engine
@@ -26,6 +32,98 @@ module Capture = Guarded_capture
 let section id title =
   Fmt.pr "@.=== %s — %s ===@." (String.uppercase_ascii id) title
 
+(* ------------------------------------------------------------------ *)
+(* JSON recording (--json FILE)                                        *)
+
+type json_section = {
+  js_id : string;
+  mutable js_seconds : float;
+  mutable js_tables : (string list * string list list) list;  (** reversed *)
+}
+
+let json_enabled = ref false
+let json_sections : json_section list ref = ref []
+let json_current : json_section option ref = ref None
+
+let json_begin_section id =
+  if !json_enabled then begin
+    let js = { js_id = id; js_seconds = 0.; js_tables = [] } in
+    json_sections := js :: !json_sections;
+    json_current := Some js
+  end
+
+(* Timing columns are stripped from the recorded rows: everything else a
+   section prints is deterministic, so baselines can be diffed on result
+   rows while the [seconds] field carries the perf trajectory. *)
+let is_timing_column h =
+  let h = String.lowercase_ascii h in
+  let contains sub =
+    let n = String.length sub and m = String.length h in
+    let rec go i = i + n <= m && (String.sub h i n = sub || go (i + 1)) in
+    go 0
+  in
+  contains "time" || contains "\xc2\xb5s" (* µs *)
+
+(* A printed duration, e.g. "222.2ms": some tables label their timing
+   columns by what is timed ("pipeline", "chase") rather than "time". *)
+let is_timing_cell s =
+  String.length s > 2
+  && (match s.[0] with '0' .. '9' -> true | _ -> false)
+  && String.sub s (String.length s - 2) 2 = "ms"
+
+let json_record_table header rows =
+  match !json_current with
+  | None -> ()
+  | Some js ->
+    let keep =
+      List.mapi
+        (fun i h ->
+          (not (is_timing_column h))
+          && not (rows <> [] && List.for_all (fun row -> is_timing_cell (List.nth row i)) rows))
+        header
+    in
+    let filter row = List.filteri (fun i _ -> List.nth keep i) row in
+    js.js_tables <- (filter header, List.map filter rows) :: js.js_tables
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_write file =
+  let oc = open_out file in
+  let pr fmt = Printf.fprintf oc fmt in
+  let str_list l = String.concat ", " (List.map (fun s -> "\"" ^ json_escape s ^ "\"") l) in
+  pr "{\n  \"generated_by\": \"bench/main.exe --json\",\n  \"sections\": [";
+  List.iteri
+    (fun i js ->
+      if i > 0 then pr ",";
+      pr "\n    {\n      \"id\": \"%s\",\n      \"seconds\": %.6f,\n      \"tables\": ["
+        (json_escape js.js_id) js.js_seconds;
+      List.iteri
+        (fun j (header, rows) ->
+          if j > 0 then pr ",";
+          pr "\n        {\n          \"header\": [%s],\n          \"rows\": [" (str_list header);
+          List.iteri
+            (fun k row ->
+              if k > 0 then pr ",";
+              pr "\n            [%s]" (str_list row))
+            rows;
+          pr "\n          ]\n        }")
+        (List.rev js.js_tables);
+      pr "\n      ]\n    }")
+    (List.rev !json_sections);
+  pr "\n  ]\n}\n";
+  close_out oc
+
 let table header rows =
   let widths =
     List.fold_left
@@ -40,7 +138,8 @@ let table header rows =
   print_row header;
   Fmt.pr "|%s|@."
     (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
-  List.iter print_row rows
+  List.iter print_row rows;
+  json_record_table header rows
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -192,7 +291,7 @@ let fig2 () =
           ok;
           ms t;
         ])
-      [ 2; 4; 8; 16; 32; 64 ]
+      [ 2; 4; 8; 16; 32; 64; 128; 256 ]
   in
   table
     [ "n pubs"; "|D|"; "derivations"; "|chase|"; "answers"; "tree nodes"; "width"; "P1-P3"; "time" ]
@@ -718,15 +817,33 @@ let all_sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst all_sections
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_json acc = function
+    | "--json" :: file :: rest ->
+      json_enabled := true;
+      (Some file, List.rev_append acc rest)
+    | "--json" :: [] -> failwith "bench: --json expects a file argument"
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
   in
+  let json_file, requested = split_json [] args in
+  let requested = if requested = [] then List.map fst all_sections else requested in
   List.iter
     (fun id ->
       match List.assoc_opt id all_sections with
-      | Some f -> f ()
-      | None -> Fmt.epr "unknown section %S (known: %s)@." id
-                  (String.concat " " (List.map fst all_sections)))
-    requested
+      | Some f ->
+        json_begin_section id;
+        (* Isolate sections from each other's garbage: a section's time
+           should not depend on which sections ran before it. *)
+        Gc.full_major ();
+        let (), t = time f in
+        (match !json_current with Some js -> js.js_seconds <- t | None -> ())
+      | None ->
+        Fmt.epr "unknown section %S (known: %s)@." id
+          (String.concat " " (List.map fst all_sections)))
+    requested;
+  match json_file with
+  | Some file ->
+    json_write file;
+    Fmt.pr "@.wrote %s (%d sections)@." file (List.length !json_sections)
+  | None -> ()

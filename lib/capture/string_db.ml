@@ -74,14 +74,14 @@ let decode ~k db =
   let first = find_unique k cell_first in
   let next_of cell =
     let pattern = Atom.make cell_next (cell @ List.init k (fun i -> Term.Var (Printf.sprintf "n%d" i))) in
-    let matching =
-      List.filter
-        (fun fact -> Subst.match_atom Subst.empty pattern fact <> None)
-        (Database.candidates db pattern)
-    in
-    match matching with
-    | [] -> None
-    | fact :: _ -> Some (List.filteri (fun i _ -> i >= k) (Atom.args fact))
+    let found = ref None in
+    Database.iter_candidates db pattern (fun fact ->
+        match !found with
+        | Some _ -> ()
+        | None ->
+          if Subst.match_atom Subst.empty pattern fact <> None then
+            found := Some (List.filteri (fun i _ -> i >= k) (Atom.args fact)));
+    !found
   in
   let symbol_of cell =
     let syms =

@@ -70,13 +70,14 @@ let good_orders ?limits (db : Database.t) : order list * Guarded_chase.Engine.ou
       res.db []
   in
   let succ_of u x =
+    (* both bound positions are index-intersected by iter_candidates *)
     let pattern = Atom.make "succ" [ x; Term.Var "Y"; u ] in
-    List.filter_map
-      (fun fact ->
+    let acc = ref [] in
+    Database.iter_candidates res.db pattern (fun fact ->
         match Atom.args fact with
-        | [ x'; y; u' ] when Term.equal x' x && Term.equal u' u -> Some y
-        | _ -> None)
-      (Database.candidates res.db pattern)
+        | [ x'; y; u' ] when Term.equal x' x && Term.equal u' u -> acc := y :: !acc
+        | _ -> ());
+    !acc
   in
   let min_of u =
     Database.fold

@@ -59,18 +59,15 @@ let check_positive sigma =
     (Theory.rules sigma)
 
 (* Key identifying a trigger: the rule index and the canonical image of
-   its universal variables. *)
-let trigger_key idx r subst =
-  let uvars = Names.Sset.elements (Rule.uvars r) in
+   its universal variables, as interned term ids (no string building in
+   the hot trigger-dedup path). *)
+let trigger_key idx uvars subst =
   let img =
     List.map
-      (fun v ->
-        match Subst.find_opt v subst with
-        | Some t -> Term.to_string t
-        | None -> "?")
+      (fun v -> match Subst.find_opt v subst with Some t -> Term.id t | None -> -1)
       uvars
   in
-  string_of_int idx ^ "|" ^ String.concat "," img
+  (idx, img)
 
 (* Chase variants: the oblivious chase of the paper fires every trigger
    once; the restricted (standard) chase skips a trigger whose head is
@@ -111,7 +108,7 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
         (Rule.neg_body_atoms r)
   in
   let db = Database.copy db0 in
-  let fired : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let fired : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
   let null_depth : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let next_null =
     ref
@@ -131,10 +128,32 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
   let derivations = ref 0 in
   let truncated = ref false in
   let rules = Array.of_list (Theory.rules sigma) in
-  (* Fire one trigger; returns true if the database grew. *)
+  (* Per-rule precomputation for trigger enumeration: the universal
+     variables (for trigger keys) and, for every body position, the
+     anchor atom with the rest of the body — hoisted out of the
+     per-fact delta loops. *)
+  let rule_uvars = Array.map (fun r -> Names.Sset.elements (Rule.uvars r)) rules in
+  let rule_anchors =
+    Array.map
+      (fun r ->
+        let body = Rule.body_atoms r in
+        (body, List.mapi (fun i a -> (a, List.filteri (fun j _ -> j <> i) body)) body))
+      rules
+  in
+  (* Fire one trigger; returns true if the database grew. Null nesting
+     depths are only tracked when a depth bound is set — without one the
+     body image would be hash-consed per fire just to be discarded. *)
+  let track_depth = limits.max_depth <> None in
   let fire r subst =
-    let body_img = List.map (Subst.apply_atom subst) (Rule.body_atoms r) in
-    let depth = List.fold_left (fun d a -> List.fold_left (fun d t -> max d (term_depth t)) d (Atom.terms a)) 0 body_img in
+    let depth =
+      if not track_depth then 0
+      else
+        List.fold_left
+          (fun d a ->
+            let a' = Subst.apply_atom subst a in
+            List.fold_left (fun d t -> max d (term_depth t)) d (Atom.terms a'))
+          0 (Rule.body_atoms r)
+    in
     let within_depth =
       match limits.max_depth with None -> true | Some k -> depth < k
     in
@@ -174,7 +193,7 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
   in
   let consider idx r new_trigger subst =
     if !derivations < limits.max_derivations then begin
-      let key = trigger_key idx r subst in
+      let key = trigger_key idx rule_uvars.(idx) subst in
       if (not (Hashtbl.mem fired key)) && negatives_hold r subst then begin
         Hashtbl.add fired key ();
         if not (head_satisfied r subst) then begin
@@ -190,25 +209,22 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
     Array.iteri
       (fun idx r ->
         if !derivations < limits.max_derivations then begin
-          let body = Rule.body_atoms r in
+          let body, anchors = rule_anchors.(idx) in
           match delta with
           | None ->
             (* first round: full enumeration *)
             Homomorphism.iter_pos body db (consider idx r new_trigger)
           | Some delta ->
-            List.iteri
-              (fun i anchor ->
+            List.iter
+              (fun (anchor, rest) ->
                 if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
-                  List.iter
-                    (fun fact ->
+                  Database.iter_candidates delta anchor (fun fact ->
                       match Subst.match_atom Subst.empty anchor fact with
                       | None -> ()
                       | Some subst ->
-                        let rest = List.filteri (fun j _ -> j <> i) body in
                         Homomorphism.iter_pos ~init:subst rest db
-                          (consider idx r new_trigger))
-                    (Database.candidates delta anchor))
-              body
+                          (consider idx r new_trigger)))
+              anchors
         end
         else truncated := true)
       rules;
@@ -257,12 +273,4 @@ let entails ?limits sigma db atom =
    when the run saturates, complete. *)
 let answers ?limits sigma db ~query =
   let res = run ?limits sigma db in
-  let tuples =
-    Database.fold
-      (fun a acc ->
-        if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
-          Atom.args a :: acc
-        else acc)
-      res.db []
-  in
-  (List.sort_uniq (List.compare Term.compare) tuples, res.outcome)
+  (Database.constant_tuples res.db query, res.outcome)

@@ -7,7 +7,14 @@
     the maximal relation arity. The placement follows (C1)/(C2): an atom
     whose terms already live together in some node goes to the unique
     minimal such node, otherwise it opens a new child under the minimal
-    node covering the image of the fired rule's frontier. *)
+    node covering the image of the fired rule's frontier.
+
+    A term-to-holders index (keyed on interned terms) backs the
+    C-minimality queries: the nodes containing a term set are found by
+    filtering the — typically short — holder list of one of its terms
+    instead of scanning every node of the tree, and the (P3) and
+    connectedness checks walk the index once instead of crossing all
+    terms with all nodes. *)
 
 open Guarded_core
 
@@ -23,6 +30,8 @@ type t = {
   root : node;
   mutable nodes : node list;  (** all nodes, most recent first *)
   mutable next_id : int;
+  holders : node list ref Term.Tbl.t;
+      (** term -> nodes whose term set contains it, most recent first *)
 }
 
 let root t = t.root
@@ -37,19 +46,39 @@ let is_root n = n.parent = None
 
 let atom_terms a = Term.Set.of_list (Atom.terms a)
 
-let add_atom_to_node n a =
+let register t n term =
+  match Term.Tbl.find_opt t.holders term with
+  | Some r -> r := n :: !r
+  | None -> Term.Tbl.add t.holders term (ref [ n ])
+
+let holders_of t term =
+  match Term.Tbl.find_opt t.holders term with Some r -> !r | None -> []
+
+(* Add [a] to [n], indexing the terms new to [n]. *)
+let add_atom_to_node t n a =
   n.atoms <- Atom.Set.add a n.atoms;
-  n.terms <- Term.Set.union n.terms (atom_terms a)
+  List.iter
+    (fun term ->
+      if not (Term.Set.mem term n.terms) then begin
+        n.terms <- Term.Set.add term n.terms;
+        register t n term
+      end)
+    (Atom.terms a)
 
 let create_root atoms =
   let root =
     { id = 0; parent = None; atoms = Atom.Set.empty; terms = Term.Set.empty; children = [] }
   in
-  List.iter (add_atom_to_node root) atoms;
-  { root; nodes = [ root ]; next_id = 1 }
+  let t = { root; nodes = [ root ]; next_id = 1; holders = Term.Tbl.create 256 } in
+  List.iter (add_atom_to_node t root) atoms;
+  t
 
-(* All nodes of the tree that contain the term set [c]. *)
-let nodes_containing t c = List.filter (fun n -> Term.Set.subset c n.terms) t.nodes
+(* All nodes of the tree that contain the term set [c]: filter the
+   holders of one term of [c] (every containing node is among them). *)
+let nodes_containing t c =
+  match Term.Set.choose_opt c with
+  | None -> t.nodes
+  | Some term -> List.filter (fun n -> Term.Set.subset c n.terms) (holders_of t term)
 
 (* The C-minimal nodes: containing [c], with no parent containing [c].
    Proposition 2 (P3) promises at most one; we expose the list so the
@@ -85,6 +114,7 @@ let new_child t parent atom =
   t.next_id <- t.next_id + 1;
   parent.children <- n :: parent.children;
   t.nodes <- n :: t.nodes;
+  Term.Set.iter (fun term -> register t n term) n.terms;
   n
 
 (* Insert one chase consequence [atom] derived by [rule] under body
@@ -92,7 +122,7 @@ let new_child t parent atom =
 let insert t rule assignment atom =
   let c = atom_terms atom in
   match minimal_node t c with
-  | Some n -> add_atom_to_node n atom
+  | Some n -> add_atom_to_node t n atom
   | None ->
     let frontier_img =
       Names.Sset.fold
@@ -132,6 +162,7 @@ let depth t =
   let rec go n = 1 + List.fold_left (fun acc c -> max acc (go c)) (-1) n.children in
   go t.root
 
+
 (* --- Proposition 2 checks ------------------------------------------------ *)
 
 type violation = string
@@ -155,40 +186,37 @@ let check_p2 t sigma : violation list =
       else Some (Fmt.str "P2 violated: node %d has %d terms > arity bound %d" n.id (Term.Set.cardinal n.terms) m))
     t.nodes
 
+(* Per-term minimal holders: the nodes containing [term] whose parent
+   does not — one pass over the holders index instead of crossing every
+   term with every node. *)
+let term_roots term holders =
+  List.filter
+    (fun n ->
+      match n.parent with
+      | None -> true
+      | Some p -> not (Term.Set.mem term p.terms))
+    holders
+
 (* (P3): for each node's term set, the minimal node is unique. We check
-   uniqueness for every singleton {t} and every node term set. *)
+   uniqueness for every singleton {t} (the index domain is exactly the
+   terms occurring in some node). *)
 let check_p3 t : violation list =
-  let all_terms =
-    List.fold_left (fun acc n -> Term.Set.union acc n.terms) Term.Set.empty t.nodes
-  in
-  Term.Set.fold
-    (fun term acc ->
-      match minimal_nodes t (Term.Set.singleton term) with
+  Term.Tbl.fold
+    (fun term r acc ->
+      match term_roots term !r with
       | [] | [ _ ] -> acc
       | l -> Fmt.str "P3 violated: term %a has %d minimal nodes" Term.pp term (List.length l) :: acc)
-    all_terms []
+    t.holders []
 
 (* Connectedness of the decomposition: nodes containing a term form a
    connected subtree (equivalent to P3 for singletons, checked directly). *)
 let check_connected t : violation list =
-  let all_terms =
-    List.fold_left (fun acc n -> Term.Set.union acc n.terms) Term.Set.empty t.nodes
-  in
-  Term.Set.fold
-    (fun term acc ->
-      let holders = List.filter (fun n -> Term.Set.mem term n.terms) t.nodes in
+  Term.Tbl.fold
+    (fun term r acc ->
       (* Each holder except one must have a holder parent. *)
-      let roots =
-        List.filter
-          (fun n ->
-            match n.parent with
-            | None -> true
-            | Some p -> not (Term.Set.mem term p.terms))
-          holders
-      in
-      if List.length roots <= 1 then acc
+      if List.length (term_roots term !r) <= 1 then acc
       else Fmt.str "connectedness violated for term %a" Term.pp term :: acc)
-    all_terms []
+    t.holders []
 
 let verify t sigma db : (unit, violation list) result
     =

@@ -5,25 +5,93 @@
     part of the relation name; they are used by the weakly-frontier-guarded
     to weakly-guarded translation (Section 5.2) to park the terms sitting
     in non-affected positions. Two atoms denote the same relation exactly
-    when their name, annotation arity and argument arity agree. *)
+    when their name, annotation arity and argument arity agree.
+
+    Atoms are hash-consed: {!make} interns every term and returns the
+    unique allocation for each structurally distinct atom, so {!equal}
+    is physical equality and {!hash} / {!id} are stored integers. The
+    join engine ({!Database}, {!Homomorphism}) relies on this: its
+    indexes and fact tables never rehash structural values. *)
 
 type t = {
   rel : string;
   ann : Term.t list;  (** annotation terms; [[]] for ordinary atoms *)
   args : Term.t list;
+  rel_id : int;  (** interned {!rel_key} *)
+  term_ids : int array;  (** {!Term.id}s of [ann @ args], by position *)
+  id : int;  (** unique per structurally distinct atom *)
+  hash : int;
 }
 
-let make ?(ann = []) rel args = { rel; ann; args }
+(* Relation identity: name together with the two arities. *)
+type rel_key = string * int * int
+
+(* ------------------------------------------------------------------ *)
+(* Relation-key interning                                              *)
+
+let rel_key_tbl : (rel_key, int) Hashtbl.t = Hashtbl.create 64
+let rel_key_rev : (int, rel_key) Hashtbl.t = Hashtbl.create 64
+let next_rel_id = ref 0
+
+let rel_key_id (key : rel_key) =
+  match Hashtbl.find_opt rel_key_tbl key with
+  | Some i -> i
+  | None ->
+    let i = !next_rel_id in
+    incr next_rel_id;
+    Hashtbl.add rel_key_tbl key i;
+    Hashtbl.add rel_key_rev i key;
+    i
+
+let rel_key_of_id i = Hashtbl.find rel_key_rev i
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+
+module Cons_key = struct
+  type t = int * int array  (* rel_id, term ids *)
+
+  let equal (r1, a1) (r2, a2) = r1 = r2 && a1 = a2
+
+  let hash (r, a) =
+    let h = Array.fold_left (fun h i -> (h * 31) + i) r a in
+    h land max_int
+end
+
+module Cons_tbl = Hashtbl.Make (Cons_key)
+
+let cons_tbl : t Cons_tbl.t = Cons_tbl.create 4096
+let next_atom_id = ref 0
+
+let make ?(ann = []) rel args =
+  let ann = List.map Term.intern ann in
+  let args = List.map Term.intern args in
+  let n_ann = List.length ann in
+  let n_args = List.length args in
+  let rel_id = rel_key_id (rel, n_ann, n_args) in
+  let term_ids = Array.make (n_ann + n_args) 0 in
+  List.iteri (fun i t -> term_ids.(i) <- Term.id t) ann;
+  List.iteri (fun i t -> term_ids.(n_ann + i) <- Term.id t) args;
+  let key = (rel_id, term_ids) in
+  match Cons_tbl.find_opt cons_tbl key with
+  | Some a -> a
+  | None ->
+    let id = !next_atom_id in
+    incr next_atom_id;
+    let a = { rel; ann; args; rel_id; term_ids; id; hash = Cons_key.hash key } in
+    Cons_tbl.add cons_tbl key a;
+    a
 
 let rel a = a.rel
 let ann a = a.ann
 let args a = a.args
 let arity a = List.length a.args
 
-(* Relation identity: name together with the two arities. *)
-type rel_key = string * int * int
-
 let rel_key a : rel_key = (a.rel, List.length a.ann, List.length a.args)
+let rel_id a = a.rel_id
+let id a = a.id
+let hash a = a.hash
+let term_ids a = a.term_ids
 
 let terms a = a.ann @ a.args
 
@@ -47,16 +115,35 @@ let constants a =
 
 let is_ground a = List.for_all Term.is_ground (terms a)
 
+(* Total order: structural, for deterministic sorted output. Consistent
+   with [equal] because hash-consing makes structural and physical
+   equality coincide. *)
 let compare a b =
-  let c = String.compare a.rel b.rel in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let c = List.compare Term.compare a.ann b.ann in
-    if c <> 0 then c else List.compare Term.compare a.args b.args
+    let c = String.compare a.rel b.rel in
+    if c <> 0 then c
+    else
+      let c = List.compare Term.compare a.ann b.ann in
+      if c <> 0 then c else List.compare Term.compare a.args b.args
 
-let equal a b = compare a b = 0
+let equal a b = a == b
 
-let map_terms f a = { a with ann = List.map f a.ann; args = List.map f a.args }
+(* Identity fast path: an atom's stored terms are the canonical interned
+   representatives, so when [f] fixes every one of them the atom itself
+   is already the canonical result — skip the intern lookups entirely.
+   Substitution application (the bulk caller) mostly leaves atoms
+   untouched. *)
+let map_terms f a =
+  let same = ref true in
+  let map1 t =
+    let t' = f t in
+    if t' != t then same := false;
+    t'
+  in
+  let ann = List.map map1 a.ann in
+  let args = List.map map1 a.args in
+  if !same then a else make ~ann a.rel args
 
 let pp ppf a =
   match a.ann with
@@ -77,3 +164,10 @@ module Ord = struct
 end
 
 module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash a = a.hash
+end)

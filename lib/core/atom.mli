@@ -11,7 +11,14 @@ type t = private {
   rel : string;
   ann : Term.t list;  (** annotation terms; [[]] for ordinary atoms *)
   args : Term.t list;
+  rel_id : int;  (** interned {!rel_key}; equal iff the relations agree *)
+  term_ids : int array;  (** {!Term.id}s of [ann @ args] — do not mutate *)
+  id : int;  (** unique per structurally distinct atom *)
+  hash : int;  (** stored hash, never recomputed *)
 }
+(** Atoms are hash-consed: {!make} returns the unique allocation for
+    each structurally distinct atom, with interned terms. {!equal} is
+    physical equality; {!hash}/{!id} are stored integers. *)
 
 val make : ?ann:Term.t list -> string -> Term.t list -> t
 
@@ -26,6 +33,26 @@ type rel_key = string * int * int
 (** Relation identity: name, annotation arity, argument arity. *)
 
 val rel_key : t -> rel_key
+
+val rel_id : t -> int
+(** Interned relation key: [rel_id a = rel_id b] iff
+    [rel_key a = rel_key b]. The database indexes key on this. *)
+
+val rel_key_id : rel_key -> int
+(** Interns a relation key directly (allocating an id if unseen). *)
+
+val rel_key_of_id : int -> rel_key
+(** Inverse of {!rel_key_id}. @raise Not_found on an unallocated id. *)
+
+val id : t -> int
+(** Unique dense id of this (hash-consed) atom. *)
+
+val hash : t -> int
+(** Stored hash — constant-time, no structural traversal. *)
+
+val term_ids : t -> int array
+(** Per-position {!Term.id}s of [ann @ args]. Internal to the join
+    engine; callers must not mutate the array. *)
 
 val terms : t -> Term.t list
 (** All terms: annotation followed by arguments. *)
@@ -48,7 +75,11 @@ val constants : t -> string list
 val is_ground : t -> bool
 
 val compare : t -> t -> int
+(** Structural total order (for deterministic sorted output);
+    consistent with {!equal} thanks to hash-consing. *)
+
 val equal : t -> t -> bool
+(** Physical equality — valid because atoms are hash-consed. *)
 
 val map_terms : (Term.t -> Term.t) -> t -> t
 (** Applies the function to annotation and argument terms alike. *)
@@ -57,3 +88,7 @@ val pp : t Fmt.t
 val to_string : t -> string
 
 module Set : Set.S with type elt = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed on atoms with physical equality and the stored
+    hash: lookups never traverse the atom. *)

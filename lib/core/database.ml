@@ -5,55 +5,104 @@
     homomorphism search and semi-naive evaluation can select candidate
     facts for partially bound atoms without scanning whole relations.
 
+    Since atoms are hash-consed ({!Atom.make}), all tables here are
+    keyed on stored integers: the relation index on {!Atom.rel_id}, the
+    positional index on (rel_id, position, {!Term.id}) triples, and the
+    fact tables on physical atoms with stored hashes. Buckets are
+    append-only vectors (facts are never removed), so iteration over the
+    length snapshotted at entry is safe while rule firing appends new
+    facts — exactly the semantics the old materialize-a-list code had,
+    without allocating a candidate list per search node.
+
     The distinguished unary relation {!acdom_rel} ("ACDom" in the paper)
     holds exactly the terms of the active domain; {!materialize_acdom}
     populates it from the current non-ACDom facts. *)
 
+(* Append-only fact bucket: a vector for ordered, snapshot-safe
+   iteration plus an id-hashed table for O(1) membership. *)
+type bucket = {
+  tbl : unit Atom.Tbl.t;
+  mutable arr : Atom.t array;
+  mutable len : int;
+}
+
+let bucket_create n = { tbl = Atom.Tbl.create n; arr = [||]; len = 0 }
+
+let bucket_add b a =
+  Atom.Tbl.replace b.tbl a ();
+  if b.len = Array.length b.arr then begin
+    let arr = Array.make (max 8 (2 * b.len)) a in
+    Array.blit b.arr 0 arr 0 b.len;
+    b.arr <- arr
+  end;
+  b.arr.(b.len) <- a;
+  b.len <- b.len + 1
+
+let bucket_mem b a = Atom.Tbl.mem b.tbl a
+
+(* Safe under concurrent [bucket_add]: only the entries present at call
+   time are visited. *)
+let bucket_iter f b =
+  let n = b.len in
+  for i = 0 to n - 1 do
+    f b.arr.(i)
+  done
+
+module Int_tbl = Hashtbl.Make (Int)
+
+(* (rel_id, position, term_id) keys of the positional index. *)
+module Pos_tbl = Hashtbl.Make (struct
+  type t = int * int * int
+
+  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
+  let hash (a, b, c) = (((a * 0x01000193) lxor b) * 0x01000193 lxor c) land max_int
+end)
+
 type t = {
-  by_rel : (Atom.rel_key, (Atom.t, unit) Hashtbl.t) Hashtbl.t;
-  by_pos : (Atom.rel_key * int * Term.t, (Atom.t, unit) Hashtbl.t) Hashtbl.t;
+  by_rel : bucket Int_tbl.t;  (** rel_id -> facts of the relation *)
+  by_pos : bucket Pos_tbl.t;  (** (rel_id, pos, term_id) -> facts *)
   mutable count : int;
 }
 
 let acdom_rel = "ACDom"
 
-let create () = { by_rel = Hashtbl.create 64; by_pos = Hashtbl.create 256; count = 0 }
+let create () = { by_rel = Int_tbl.create 64; by_pos = Pos_tbl.create 256; count = 0 }
 
 let cardinal db = db.count
 
 let mem db atom =
-  match Hashtbl.find_opt db.by_rel (Atom.rel_key atom) with
+  match Int_tbl.find_opt db.by_rel (Atom.rel_id atom) with
   | None -> false
-  | Some tbl -> Hashtbl.mem tbl atom
+  | Some b -> bucket_mem b atom
 
 let add db atom =
   if not (Atom.is_ground atom) then
     invalid_arg (Fmt.str "Database.add: non-ground atom %a" Atom.pp atom);
   if mem db atom then false
   else begin
-    let key = Atom.rel_key atom in
-    let tbl =
-      match Hashtbl.find_opt db.by_rel key with
-      | Some tbl -> tbl
+    let rel_id = Atom.rel_id atom in
+    let b =
+      match Int_tbl.find_opt db.by_rel rel_id with
+      | Some b -> b
       | None ->
-        let tbl = Hashtbl.create 32 in
-        Hashtbl.add db.by_rel key tbl;
-        tbl
+        let b = bucket_create 32 in
+        Int_tbl.add db.by_rel rel_id b;
+        b
     in
-    Hashtbl.replace tbl atom ();
-    List.iteri
-      (fun i t ->
-        let pkey = (key, i, t) in
-        let ptbl =
-          match Hashtbl.find_opt db.by_pos pkey with
-          | Some ptbl -> ptbl
-          | None ->
-            let ptbl = Hashtbl.create 8 in
-            Hashtbl.add db.by_pos pkey ptbl;
-            ptbl
-        in
-        Hashtbl.replace ptbl atom ())
-      (Atom.terms atom);
+    bucket_add b atom;
+    let ids = Atom.term_ids atom in
+    for i = 0 to Array.length ids - 1 do
+      let pkey = (rel_id, i, ids.(i)) in
+      let pb =
+        match Pos_tbl.find_opt db.by_pos pkey with
+        | Some pb -> pb
+        | None ->
+          let pb = bucket_create 8 in
+          Pos_tbl.add db.by_pos pkey pb;
+          pb
+      in
+      bucket_add pb atom
+    done;
     db.count <- db.count + 1;
     true
   end
@@ -65,7 +114,7 @@ let of_atoms atoms =
   add_all db atoms;
   db
 
-let iter f db = Hashtbl.iter (fun _ tbl -> Hashtbl.iter (fun a () -> f a) tbl) db.by_rel
+let iter f db = Int_tbl.iter (fun _ b -> bucket_iter f b) db.by_rel
 
 let fold f db acc =
   let r = ref acc in
@@ -79,29 +128,110 @@ let copy db =
   iter (fun a -> ignore (add db' a)) db;
   db'
 
+let rel_bucket db key = Int_tbl.find_opt db.by_rel (Atom.rel_key_id key)
+
 let facts_of_rel db key =
-  match Hashtbl.find_opt db.by_rel key with
+  match rel_bucket db key with
   | None -> []
-  | Some tbl -> Hashtbl.fold (fun a () acc -> a :: acc) tbl []
+  | Some b ->
+    let acc = ref [] in
+    bucket_iter (fun a -> acc := a :: !acc) b;
+    !acc
 
-let rel_cardinal db key =
-  match Hashtbl.find_opt db.by_rel key with None -> 0 | Some tbl -> Hashtbl.length tbl
+let rel_cardinal db key = match rel_bucket db key with None -> 0 | Some b -> b.len
 
-(* Candidate facts that can match [pattern] (whose terms may contain
-   variables): if some position of the pattern is ground, use the
-   positional index, otherwise return the whole relation. *)
-let candidates db pattern =
-  let key = Atom.rel_key pattern in
-  let rec first_ground i = function
-    | [] -> None
-    | t :: rest -> if Term.is_ground t then Some (i, t) else first_ground (i + 1) rest
+(* ------------------------------------------------------------------ *)
+(* Candidate selection.
+
+   The backtracking join scores and enumerates patterns under a partial
+   substitution. Building the substituted atom per search node would
+   hash-cons a fresh atom for every scored candidate; instead the
+   [_under] variants resolve the pattern's terms on the fly: positions
+   that are ground in the pattern read their stored {!Atom.term_ids}
+   entry, and substituted variables cost one {!Term.id} lookup. No atom
+   or list is allocated. *)
+
+(* Visit every position of [pattern] under [subst] with (index, id or
+   -1 when unbound). Annotation slots precede arguments, matching the
+   positional index layout. *)
+let iter_bound_ids subst pattern f =
+  let ids = Atom.term_ids pattern in
+  let visit i t =
+    match t with
+    | Term.Const _ | Term.Null _ -> f i ids.(i)
+    | Term.Var v -> (
+      match Subst.find_opt v subst with
+      | Some t' when Term.is_ground t' -> f i (Term.id t')
+      | Some _ | None -> f i (-1))
   in
-  match first_ground 0 (Atom.terms pattern) with
-  | Some (i, t) -> (
-    match Hashtbl.find_opt db.by_pos (key, i, t) with
-    | None -> []
-    | Some ptbl -> Hashtbl.fold (fun a () acc -> a :: acc) ptbl [])
-  | None -> facts_of_rel db key
+  let i = ref 0 in
+  List.iter
+    (fun t ->
+      visit !i t;
+      incr i)
+    (Atom.ann pattern);
+  List.iter
+    (fun t ->
+      visit !i t;
+      incr i)
+    (Atom.args pattern)
+
+(* {!candidate_count} of the pattern under a substitution, without
+   building the substituted atom. *)
+let candidate_count_under db subst pattern =
+  let rel_id = Atom.rel_id pattern in
+  let best = ref (-1) in
+  iter_bound_ids subst pattern (fun i tid ->
+      if tid >= 0 then begin
+        let n =
+          match Pos_tbl.find_opt db.by_pos (rel_id, i, tid) with None -> 0 | Some b -> b.len
+        in
+        if !best < 0 || n < !best then best := n
+      end);
+  if !best >= 0 then !best
+  else match Int_tbl.find_opt db.by_rel rel_id with None -> 0 | Some b -> b.len
+
+(* {!iter_candidates} of the pattern under a substitution; the caller
+   confirms candidates with [Subst.match_atom subst pattern]. *)
+let iter_candidates_under db subst pattern f =
+  let rel_id = Atom.rel_id pattern in
+  let empty = ref false in
+  let buckets = ref [] in
+  iter_bound_ids subst pattern (fun i tid ->
+      if (not !empty) && tid >= 0 then
+        match Pos_tbl.find_opt db.by_pos (rel_id, i, tid) with
+        | None -> empty := true
+        | Some b -> buckets := b :: !buckets);
+  if not !empty then
+    match !buckets with
+    | [] -> (
+      match Int_tbl.find_opt db.by_rel rel_id with
+      | None -> ()
+      | Some b -> bucket_iter f b)
+    | [ b ] -> bucket_iter f b
+    | bs ->
+      let smallest, others =
+        List.fold_left
+          (fun (sm, others) b ->
+            if b.len < sm.len then (b, sm :: others) else (sm, b :: others))
+          (List.hd bs, [])
+          (List.tl bs)
+      in
+      bucket_iter
+        (fun a -> if List.for_all (fun b -> bucket_mem b a) others then f a)
+        smallest
+
+(* Substitution-free views: the estimator, streaming enumeration and
+   list materialization for an already-substituted pattern. *)
+let candidate_count db pattern = candidate_count_under db Subst.empty pattern
+let iter_candidates db pattern f = iter_candidates_under db Subst.empty pattern f
+
+let candidates db pattern =
+  let acc = ref [] in
+  iter_candidates db pattern (fun a -> acc := a :: !acc);
+  !acc
+
+(* ------------------------------------------------------------------ *)
 
 (* Active domain: every term occurring in a non-ACDom fact. *)
 let active_domain db =
@@ -117,7 +247,9 @@ let materialize_acdom db =
     (active_domain db)
 
 (* Relations present in the database. *)
-let relations db = Hashtbl.fold (fun key _ acc -> key :: acc) db.by_rel []
+let relations db = Int_tbl.fold (fun rel_id _ acc -> Atom.rel_key_of_id rel_id :: acc) db.by_rel []
+
+let relation_ids db = Int_tbl.fold (fun rel_id _ acc -> rel_id :: acc) db.by_rel []
 
 let restrict db keep =
   let db' = create () in
@@ -127,6 +259,32 @@ let restrict db keep =
 (* Set equality of the stored facts. *)
 let equal db1 db2 =
   cardinal db1 = cardinal db2 && fold (fun a ok -> ok && mem db2 a) db1 true
+
+(* ------------------------------------------------------------------ *)
+(* Answer extraction                                                   *)
+
+module Tuple_set = Set.Make (struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end)
+
+(* Sorted, deduplicated constant argument tuples of every relation
+   named [name] (any arity): folds the relation buckets directly into a
+   set — no intermediate fact list, no quadratic [sort_uniq]. *)
+let constant_tuples db name =
+  Int_tbl.fold
+    (fun rel_id b acc ->
+      let n, _, _ = Atom.rel_key_of_id rel_id in
+      if String.equal n name then
+        Atom.Tbl.fold
+          (fun a () acc ->
+            if List.for_all Term.is_const (Atom.terms a) then Tuple_set.add (Atom.args a) acc
+            else acc)
+          b.tbl acc
+      else acc)
+    db.by_rel Tuple_set.empty
+  |> Tuple_set.elements
 
 let pp ppf db =
   let facts = List.sort Atom.compare (to_list db) in

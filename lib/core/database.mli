@@ -3,7 +3,11 @@
     A database is a finite set of atoms over constants and labeled
     nulls, indexed per relation and per (position, term) pair so that
     homomorphism search and semi-naive evaluation can select candidate
-    facts for partially bound atoms without scanning whole relations. *)
+    facts for partially bound atoms without scanning whole relations.
+    All indexes are keyed on the stored integer ids of hash-consed
+    atoms and interned terms; buckets are append-only, so candidate
+    iteration is safe while rule firing adds new facts (the facts added
+    mid-iteration are not visited). *)
 
 type t
 
@@ -30,10 +34,39 @@ val copy : t -> t
 val facts_of_rel : t -> Atom.rel_key -> Atom.t list
 val rel_cardinal : t -> Atom.rel_key -> int
 
+val candidate_count : t -> Atom.t -> int
+(** [candidate_count db pattern] is the number of facts the best single
+    positional index narrows [pattern] down to: the minimum bucket size
+    over every bound (ground) position, or the relation cardinality when
+    no position is bound. An upper bound on the number of true matches,
+    computed without touching any fact — the join planner's estimator. *)
+
+val iter_candidates : t -> Atom.t -> (Atom.t -> unit) -> unit
+(** [iter_candidates db pattern f] calls [f] on a superset of the facts
+    matching [pattern]: it walks the smallest bound position's index
+    bucket, intersecting with the other bound positions' buckets by
+    membership, without building an intermediate list. Facts added to
+    [db] during the iteration are not visited. *)
+
 val candidates : t -> Atom.t -> Atom.t list
-(** Facts that can match the given pattern atom (whose terms may contain
-    variables): uses the positional index on the first ground position,
-    falling back to the whole relation. A superset of the true matches. *)
+(** {!iter_candidates} materialized as a list. A superset of the true
+    matches; prefer {!iter_candidates} on hot paths. *)
+
+val candidate_count_under : t -> Subst.t -> Atom.t -> int
+(** {!candidate_count} of the pattern under a substitution, without
+    building the substituted atom: pattern-ground positions read their
+    stored term ids, substituted variables cost one {!Term.id} lookup.
+    The join planner's inner-loop estimator. *)
+
+val iter_candidates_under : t -> Subst.t -> Atom.t -> (Atom.t -> unit) -> unit
+(** {!iter_candidates} of the pattern under a substitution — again
+    without building the substituted atom. The caller confirms each
+    candidate with [Subst.match_atom subst pattern]. *)
+
+val constant_tuples : t -> string -> Term.t list list
+(** [constant_tuples db name]: the argument tuples of every all-constant
+    fact of a relation named [name] (any arity), sorted and
+    deduplicated — folds the relation index directly into a set. *)
 
 val active_domain : t -> Term.Set.t
 (** Every term occurring in a non-ACDom fact. *)
@@ -42,6 +75,10 @@ val materialize_acdom : t -> unit
 (** Adds ACDom(t) for every term of the current active domain. *)
 
 val relations : t -> Atom.rel_key list
+
+val relation_ids : t -> int list
+(** The {!Atom.rel_id}s present, for id-keyed rule indexing. *)
+
 val restrict : t -> (Atom.t -> bool) -> t
 val equal : t -> t -> bool
 

@@ -2,48 +2,52 @@
 
     A homomorphism maps variables to database terms such that every
     positive atom has an image among the facts; constants are fixed.
-    The search is a backtracking join that at each step materializes the
-    candidate facts of every remaining atom under the current partial
-    substitution and expands the atom with the fewest candidates.
+    The search is a backtracking join: at each step the remaining atoms
+    are scored with {!Database.candidate_count} — an index-only
+    cardinality estimate that touches no fact and builds no list — and
+    the atom with the fewest candidates is expanded by streaming its
+    (index-intersected) candidates with {!Database.iter_candidates}.
     Negative literals are evaluated last, as absence checks (their
     variables are bound by then thanks to rule safety). *)
 
 (* Enumerate all extensions of [init] mapping every atom of [atoms] into
-   [db]; calls [k] on each complete homomorphism. *)
+   [db]; calls [k] on each complete homomorphism. The substituted atoms
+   are never built: candidate selection resolves the pattern under the
+   substitution on the fly, and [Subst.match_atom] unifies the raw
+   pattern against each candidate, extending the substitution. *)
 let iter_pos ?(init = Subst.empty) atoms db k =
   let rec go subst remaining =
     match remaining with
     | [] -> k subst
+    | [ atom ] ->
+      (* single remaining atom: no scoring needed *)
+      Database.iter_candidates_under db subst atom (fun fact ->
+          match Subst.match_atom subst atom fact with
+          | None -> ()
+          | Some subst' -> k subst')
     | _ ->
-      (* Pick the remaining atom with the fewest candidate facts. *)
-      let scored =
-        List.map
-          (fun a ->
-            let bound = Subst.apply_atom subst a in
-            let cands = Database.candidates db bound in
-            (a, bound, cands, List.length cands))
-          remaining
-      in
-      let best =
-        List.fold_left
-          (fun acc x ->
-            match acc with
-            | None -> Some x
-            | Some (_, _, _, n) ->
-              let _, _, _, n' = x in
-              if n' < n then Some x else acc)
-          None scored
-      in
-      ( match best with
+      (* Expand the remaining atom with the smallest candidate estimate
+         (first wins ties, matching the previous materializing code). *)
+      let best = ref None in
+      List.iter
+        (fun a ->
+          let n = Database.candidate_count_under db subst a in
+          match !best with
+          | Some (_, m) when m <= n -> ()
+          | _ -> best := Some (a, n))
+        remaining;
+      ( match !best with
       | None -> ()
-      | Some (atom, bound, cands, _) ->
+      | Some (_, 0) -> ()  (* some atom has no candidates: dead branch *)
+      | Some (atom, _) ->
+        (* Physical inequality suffices: atoms are hash-consed, so a
+           duplicate of [atom] in [remaining] is the same allocation and
+           dropping it too is sound (conjunction is idempotent). *)
         let rest = List.filter (fun a -> a != atom) remaining in
-        List.iter
-          (fun fact ->
-            match Subst.match_atom subst bound fact with
+        Database.iter_candidates_under db subst atom (fun fact ->
+            match Subst.match_atom subst atom fact with
             | None -> ()
-            | Some subst' -> go subst' rest)
-          cands )
+            | Some subst' -> go subst' rest) )
   in
   go init atoms
 

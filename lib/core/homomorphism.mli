@@ -3,7 +3,9 @@
     A homomorphism maps variables to database terms so that every
     positive atom has an image among the facts; constants are fixed.
     The search is a backtracking join expanding the atom with the fewest
-    candidate facts first. *)
+    candidate facts first, scored by the index-only estimator
+    {!Database.candidate_count} and enumerated by streaming
+    {!Database.iter_candidates} (no candidate lists are built). *)
 
 val iter_pos : ?init:Subst.t -> Atom.t list -> Database.t -> (Subst.t -> unit) -> unit
 (** Enumerates all extensions of [init] mapping every atom into the

@@ -166,6 +166,23 @@ let compare r1 r2 =
 
 let equal r1 r2 = compare r1 r2 = 0
 
+(* Cheap structural identity, valid within one process: the hash-consed
+   ids of the rule's atoms (negative literals flip the sign) plus the
+   existential variable names. Equal keys iff the rules are structurally
+   equal up to the label — combine with {!canonicalize} for equality up
+   to variable renaming. Hashing and comparing these int lists is far
+   cheaper than printing the rule. *)
+type structural_key = int list * int list * string list
+
+let structural_key r =
+  ( List.map
+      (fun l ->
+        let id = Atom.id (Literal.atom l) in
+        if Literal.is_neg l then -id - 1 else id)
+      r.body,
+    List.map Atom.id r.head,
+    Names.Sset.elements r.evars )
+
 (* Canonical form up to variable renaming, used to deduplicate rules in
    the closures ex(Σ) and Ξ(Σ). Variables are distinguished by iterated
    color refinement over their occurrence structure (a 1-WL pass over
@@ -173,77 +190,87 @@ let equal r1 r2 = compare r1 r2 = 0
    occurrence in the color-sorted atom list. Equal canonical forms imply
    the rules are variants of each other; variables a refinement round
    cannot separate are either automorphic (any tie-break yields the same
-   string) or — rarely — genuinely different, in which case a duplicate
-   may survive, which is harmless for soundness and termination. *)
+   form) or — rarely — genuinely different, in which case a duplicate
+   may survive, which is harmless for soundness and termination.
+
+   The refinement works on integers throughout: variable colors are
+   small ints, ground terms are colored by their interned {!Term.id}
+   and relations by {!Atom.rel_id} (both process-stable, so variant
+   rules agree on them), and occurrence contexts are int lists compared
+   structurally. This keeps canonicalization — the inner loop of the
+   closure dedup — free of string building. *)
 let canonicalize r =
   let occurrences =
-    (* (tag, atom, literal-or-head marker) in a stable order *)
-    List.mapi (fun i l -> ((if Literal.is_neg l then "~" else "b"), i, Literal.atom l)) r.body
-    @ List.mapi (fun i a -> ("h", i, a)) r.head
+    (* (tag, atom) with tags distinguishing positive/negative/head *)
+    List.map (fun l -> ((if Literal.is_neg l then 1 else 0), Literal.atom l)) r.body
+    @ List.map (fun a -> (2, a)) r.head
   in
-  let color : (string, string) Hashtbl.t = Hashtbl.create 16 in
-  Names.Sset.iter
-    (fun v -> Hashtbl.replace color v (if Names.Sset.mem v r.evars then "E" else "U"))
-    (vars r);
+  let var_arr = Array.of_list (Names.Sset.elements (vars r)) in
+  let nvars = Array.length var_arr in
+  let var_idx : (string, int) Hashtbl.t = Hashtbl.create (2 * (nvars + 1)) in
+  Array.iteri (fun i v -> Hashtbl.replace var_idx v i) var_arr;
+  let color = Array.make (max 1 nvars) 0 in
+  Array.iteri (fun i v -> if Names.Sset.mem v r.evars then color.(i) <- 1) var_arr;
+  (* Term colors in a single int space: variables map to even numbers
+     via their current color, ground terms to odd numbers via their
+     interned id. *)
   let term_color = function
-    | Term.Var v -> "v:" ^ (match Hashtbl.find_opt color v with Some c -> c | None -> "?")
-    | Term.Const c -> "c:" ^ c
-    | Term.Null n -> "n:" ^ string_of_int n
+    | Term.Var v -> 2 * color.(Hashtbl.find var_idx v)
+    | (Term.Const _ | Term.Null _) as t -> (2 * Term.id t) + 1
   in
   (* One refinement round: each variable's new color is its old color
-     plus the sorted multiset of its colored occurrence contexts. *)
+     plus the sorted multiset of its colored occurrence contexts.
+     Returns the number of color classes. *)
   let refine () =
-    let contexts : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+    let contexts = Array.make (max 1 nvars) [] in
     List.iter
-      (fun (tag, _, a) ->
-        let sig_ = tag ^ "|" ^ Atom.rel a ^ "|" ^ String.concat "," (List.map term_color (Atom.terms a)) in
+      (fun (tag, a) ->
+        let sig_ = tag :: Atom.rel_id a :: List.map term_color (Atom.terms a) in
         List.iteri
           (fun pos t ->
             match t with
             | Term.Var v ->
-              let prev = match Hashtbl.find_opt contexts v with Some l -> l | None -> [] in
-              Hashtbl.replace contexts v ((sig_ ^ "@" ^ string_of_int pos) :: prev)
+              let i = Hashtbl.find var_idx v in
+              contexts.(i) <- (pos :: sig_) :: contexts.(i)
             | Term.Const _ | Term.Null _ -> ())
           (Atom.terms a))
       occurrences;
-    (* compress the (old color, contexts) pairs into fresh color ids *)
+    (* compress the (old color, contexts) pairs into fresh color ids,
+       numbered in sorted key order so the result is renaming-invariant *)
     let keys =
-      Names.Sset.fold
-        (fun v acc ->
-          let ctx = match Hashtbl.find_opt contexts v with Some l -> l | None -> [] in
-          let key =
-            (match Hashtbl.find_opt color v with Some c -> c | None -> "?")
-            ^ "||" ^ String.concat ";" (List.sort String.compare ctx)
-          in
-          (v, key) :: acc)
-        (vars r) []
+      Array.init nvars (fun i ->
+          (color.(i), List.sort Stdlib.compare contexts.(i)))
     in
-    let ids = Hashtbl.create 16 in
-    List.iter
-      (fun (_, key) -> if not (Hashtbl.mem ids key) then Hashtbl.replace ids key ())
-      keys;
-    let sorted_keys = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) ids []) in
-    let id_of = Hashtbl.create 16 in
-    List.iteri (fun i k -> Hashtbl.replace id_of k (Printf.sprintf "c%d" i)) sorted_keys;
-    List.iter (fun (v, key) -> Hashtbl.replace color v (Hashtbl.find id_of key)) keys
+    let sorted = List.sort_uniq Stdlib.compare (Array.to_list keys) in
+    let id_of = Hashtbl.create (2 * (nvars + 1)) in
+    List.iteri (fun c k -> Hashtbl.replace id_of k c) sorted;
+    Array.iteri (fun i k -> color.(i) <- Hashtbl.find id_of k) keys;
+    List.length sorted
   in
-  let nvars = Names.Sset.cardinal (vars r) in
-  for _ = 1 to min 4 (max 1 nvars) do
-    refine ()
-  done;
-  (* Sort atoms by their colored rendering, then rename variables by
-     first occurrence in that order. *)
-  let colored_key a = Atom.rel a ^ "(" ^ String.concat "," (List.map term_color (Atom.terms a)) ^ ")" in
+  (* Refinement only ever splits classes, so an unchanged class count
+     means a fixed point: stop early. The stopping rule depends only on
+     renaming-invariant data, so variants still canonicalize alike. *)
+  let rec refine_until prev rounds =
+    if rounds < min 4 (max 1 nvars) then begin
+      let n = refine () in
+      if n > prev then refine_until n (rounds + 1)
+    end
+  in
+  refine_until 0 0;
+  (* Sort atoms by their colored shape, then rename variables by first
+     occurrence in that order. *)
+  let colored_key a = (Atom.rel_id a, List.map term_color (Atom.terms a)) in
   let body_sorted =
-    List.stable_sort
-      (fun l1 l2 ->
-        Stdlib.compare
-          (Literal.is_neg l1, colored_key (Literal.atom l1))
-          (Literal.is_neg l2, colored_key (Literal.atom l2)))
-      r.body
+    List.map snd
+      (List.stable_sort
+         (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2)
+         (List.map (fun l -> ((Literal.is_neg l, colored_key (Literal.atom l)), l)) r.body))
   in
   let head_sorted =
-    List.stable_sort (fun a1 a2 -> String.compare (colored_key a1) (colored_key a2)) r.head
+    List.map snd
+      (List.stable_sort
+         (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2)
+         (List.map (fun a -> (colored_key a, a)) r.head))
   in
   let counter = ref 0 in
   let mapping = Hashtbl.create 16 in

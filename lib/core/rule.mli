@@ -63,6 +63,14 @@ val rename_apart : Names.gensym -> t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+type structural_key = int list * int list * string list
+
+val structural_key : t -> structural_key
+(** A process-stable structural identity built from hash-consed atom
+    ids: equal keys iff the rules are structurally equal up to the
+    label. [structural_key (canonicalize r)] is the cheap dedup key for
+    rule closures — hashing int lists instead of printed rules. *)
+
 val canonicalize : t -> t
 (** A canonical variant up to variable renaming, used to deduplicate
     rules in the closures ex(Σ) and Ξ(Σ). Equal canonical forms imply

@@ -43,18 +43,29 @@ let unify_term (s : t) t target =
     | Some t' -> if Term.equal t' target then Some s else None
     | None -> Some (add v target s))
 
-(* Match an atom with variables against a (ground) atom, extending [s]. *)
+(* Match an atom with variables against a (ground) atom, extending [s].
+   Relations are compared by interned id and the terms walked pairwise
+   (hash-consing guarantees equal arities for equal rel ids), so the hot
+   join loop never rebuilds term lists or compares structurally. *)
 let match_atom (s : t) pattern target =
-  if Atom.rel_key pattern <> Atom.rel_key target then None
+  if Atom.rel_id pattern <> Atom.rel_id target then None
+  else if pattern == target then Some s
   else
-    let rec go s pats tgts =
+    let rec go2 s pats tgts =
       match (pats, tgts) with
       | [], [] -> Some s
+      | p :: pats, t :: tgts -> (
+        match unify_term s p t with None -> None | Some s -> go2 s pats tgts)
+      | [], _ :: _ | _ :: _, [] -> None
+    in
+    let rec go s pann tann =
+      match (pann, tann) with
+      | [], [] -> go2 s (Atom.args pattern) (Atom.args target)
       | p :: pats, t :: tgts -> (
         match unify_term s p t with None -> None | Some s -> go s pats tgts)
       | [], _ :: _ | _ :: _, [] -> None
     in
-    go s (Atom.terms pattern) (Atom.terms target)
+    go s (Atom.ann pattern) (Atom.ann target)
 
 let pp ppf (s : t) =
   let pp_binding ppf (v, t) = Fmt.pf ppf "%s -> %a" v Term.pp t in

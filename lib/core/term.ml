@@ -10,16 +10,44 @@ type t =
   | Var of string
 
 let compare a b =
-  match (a, b) with
-  | Const x, Const y -> String.compare x y
-  | Const _, (Null _ | Var _) -> -1
-  | Null _, Const _ -> 1
-  | Null x, Null y -> Int.compare x y
-  | Null _, Var _ -> -1
-  | Var _, (Const _ | Null _) -> 1
-  | Var x, Var y -> String.compare x y
+  if a == b then 0
+  else
+    match (a, b) with
+    | Const x, Const y -> String.compare x y
+    | Const _, (Null _ | Var _) -> -1
+    | Null _, Const _ -> 1
+    | Null x, Null y -> Int.compare x y
+    | Null _, Var _ -> -1
+    | Var _, (Const _ | Null _) -> 1
+    | Var x, Var y -> String.compare x y
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Interning.
+
+   Every term can be mapped to a canonical representative carrying a
+   dense integer id. Ids are structural: two structurally equal terms
+   always receive the same id, whether or not they are the same
+   allocation. [Atom.make] routes all its terms through [intern], so
+   terms stored in databases are physically unique and both the [==]
+   fast path of [equal] and the id-keyed indexes of [Database] apply. *)
+
+let intern_tbl : (t, t * int) Hashtbl.t = Hashtbl.create 4096
+let next_id = ref 0
+
+let intern_pair t =
+  match Hashtbl.find_opt intern_tbl t with
+  | Some p -> p
+  | None ->
+    let id = !next_id in
+    incr next_id;
+    let p = (t, id) in
+    Hashtbl.add intern_tbl t p;
+    p
+
+let intern t = fst (intern_pair t)
+let id t = snd (intern_pair t)
 
 let is_const = function Const _ -> true | Null _ | Var _ -> false
 let is_null = function Null _ -> true | Const _ | Var _ -> false
@@ -43,3 +71,10 @@ end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = id
+end)

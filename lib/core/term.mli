@@ -14,6 +14,19 @@ val compare : t -> t -> int
 (** Total order: constants before nulls before variables. *)
 
 val equal : t -> t -> bool
+(** Structural equality, with a physical-equality fast path that fires
+    for interned terms (everything that went through {!Atom.make}). *)
+
+val intern : t -> t
+(** Canonical representative of a term: structurally equal terms intern
+    to the same allocation. *)
+
+val id : t -> int
+(** [id t] is a dense non-negative integer identifying [t] up to
+    structural equality; it is stable for the lifetime of the process.
+    The per-(relation, position, term) indexes of {!Database} and the
+    trigger keys of the chase are keyed on these ids instead of
+    rehashing structural values. *)
 
 val is_const : t -> bool
 val is_null : t -> bool
@@ -31,3 +44,7 @@ val to_string : t -> string
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed on terms, hashing via {!id} (one memo-table
+    lookup, no structural hashing of the term). *)

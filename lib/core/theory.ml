@@ -53,7 +53,7 @@ let dedup (sigma : t) : t =
   let seen = Hashtbl.create 64 in
   List.filter
     (fun r ->
-      let key = Rule.to_string (Rule.canonicalize r) in
+      let key = Rule.structural_key (Rule.canonicalize r) in
       if Hashtbl.mem seen key then false
       else begin
         Hashtbl.add seen key ();

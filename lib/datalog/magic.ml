@@ -151,16 +151,22 @@ let transform (sigma : Theory.t) (query : query) : Theory.t * string =
 (* Evaluation                                                          *)
 
 (* Answers to [query] over [db]: evaluate the magic program and read the
-   tuples of the adorned query relation matching the pattern. *)
+   tuples of the adorned query relation matching the pattern, folding
+   straight into a sorted set via the positional indexes. *)
 let answers (sigma : Theory.t) (query : query) (db : Database.t) : Term.t list list =
   let program, out_rel = transform sigma query in
   let result =
     if Theory.size program = 0 then db else Seminaive.eval program db
   in
   let pattern = Atom.make out_rel query.q_pattern in
-  Database.candidates result pattern
-  |> List.filter_map (fun fact ->
-         match Subst.match_atom Subst.empty pattern fact with
-         | Some _ -> Some (Atom.args fact)
-         | None -> None)
-  |> List.sort_uniq (List.compare Term.compare)
+  let module Tuples = Set.Make (struct
+    type t = Term.t list
+
+    let compare = List.compare Term.compare
+  end) in
+  let acc = ref Tuples.empty in
+  Database.iter_candidates result pattern (fun fact ->
+      match Subst.match_atom Subst.empty pattern fact with
+      | Some _ -> acc := Tuples.add (Atom.args fact) !acc
+      | None -> ());
+  Tuples.elements !acc

@@ -49,29 +49,31 @@ let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) : t =
     end
   in
   let rules = Theory.rules sigma in
+  (* anchor/rest pairs per rule, hoisted out of the delta loops *)
+  let anchored =
+    List.map
+      (fun r ->
+        let body = Rule.body_atoms r in
+        (r, body, List.mapi (fun i a -> (a, List.filteri (fun j _ -> j <> i) body)) body))
+      rules
+  in
   let delta = Database.create () in
-  List.iter
-    (fun r -> Homomorphism.iter_pos (Rule.body_atoms r) db (fun s -> fire r s delta))
-    rules;
+  List.iter (fun (r, body, _) -> Homomorphism.iter_pos body db (fun s -> fire r s delta)) anchored;
   let current = ref delta in
   while Database.cardinal !current > 0 do
     let next = Database.create () in
     List.iter
-      (fun r ->
-        let body = Rule.body_atoms r in
-        List.iteri
-          (fun i anchor ->
+      (fun (r, _, anchors) ->
+        List.iter
+          (fun (anchor, rest) ->
             if Database.rel_cardinal !current (Atom.rel_key anchor) > 0 then
-              List.iter
-                (fun fact ->
+              Database.iter_candidates !current anchor (fun fact ->
                   match Subst.match_atom Subst.empty anchor fact with
                   | None -> ()
                   | Some subst ->
-                    let rest = List.filteri (fun j _ -> j <> i) body in
-                    Homomorphism.iter_pos ~init:subst rest db (fun s -> fire r s next))
-                (Database.candidates !current anchor))
-          body)
-      rules;
+                    Homomorphism.iter_pos ~init:subst rest db (fun s -> fire r s next)))
+          anchors)
+      anchored;
     current := next
   done;
   { result = db; why }

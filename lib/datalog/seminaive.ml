@@ -3,10 +3,13 @@
     Standard differential fixpoint: a first naive round evaluates every
     rule against the input database; afterwards a rule only re-fires on
     joins that use at least one fact derived in the previous round.
-    Negation must be semipositive (negated relations are never derived),
-    which is what the per-stratum evaluation of stratified theories
-    needs; negative literals are then absence checks against facts that
-    are static throughout the fixpoint. *)
+    A precomputed relation→rules index keeps each round linear in the
+    rules actually affected: only rules whose body mentions a relation
+    present in the current delta are revisited. Negation must be
+    semipositive (negated relations are never derived), which is what
+    the per-stratum evaluation of stratified theories needs; negative
+    literals are then absence checks against facts that are static
+    throughout the fixpoint. *)
 
 open Guarded_core
 
@@ -20,61 +23,96 @@ let check_datalog sigma =
 let mentions_acdom sigma =
   Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
 
-(* Fire [rule] for every homomorphism of its body that maps the selected
+(* A rule prepared for delta evaluation: for every positive body
+   position, the anchor atom paired with the remaining body atoms — the
+   rest list is computed once here, not per candidate fact. *)
+type prepared = {
+  p_rule : Rule.t;
+  p_negs : Atom.t list;
+  p_anchors : (Atom.t * Atom.t list) list;
+  p_body : Atom.t list;
+}
+
+let prepare rule =
+  let body = Rule.body_atoms rule in
+  {
+    p_rule = rule;
+    p_negs = Rule.neg_body_atoms rule;
+    p_anchors = List.mapi (fun i a -> (a, List.filteri (fun j _ -> j <> i) body)) body;
+    p_body = body;
+  }
+
+(* The delta rule index: relation id -> indexes of the prepared rules
+   whose positive body mentions it. A round touches only the union of
+   the entries for the delta's relations. *)
+let rule_index (prepared : prepared array) =
+  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx p ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun a ->
+          let rid = Atom.rel_id a in
+          if not (Hashtbl.mem seen rid) then begin
+            Hashtbl.add seen rid ();
+            match Hashtbl.find_opt tbl rid with
+            | Some l -> l := idx :: !l
+            | None -> Hashtbl.add tbl rid (ref [ idx ])
+          end)
+        p.p_body)
+    prepared;
+  tbl
+
+(* Rules affected by [delta], in rule order, each at most once. *)
+let affected_rules index (prepared : prepared array) delta =
+  let marked = Array.make (Array.length prepared) false in
+  List.iter
+    (fun rid ->
+      match Hashtbl.find_opt index rid with
+      | None -> ()
+      | Some l -> List.iter (fun idx -> marked.(idx) <- true) !l)
+    (Database.relation_ids delta);
+  marked
+
+let negs_ok db negs subst =
+  List.for_all
+    (fun a ->
+      let a' = Subst.apply_atom subst a in
+      if not (Atom.is_ground a') then
+        invalid_arg (Fmt.str "Seminaive.eval: unsafe negative literal %a" Atom.pp a');
+      not (Database.mem db a'))
+    negs
+
+(* Fire [p] for every homomorphism of its body that maps the selected
    body atom into [delta] and the others into [db]; add head instances to
    [db] and to [acc_delta]. *)
-let fire_with_delta rule db delta acc_delta =
-  let body = Rule.body_atoms rule in
-  let negs = Rule.neg_body_atoms rule in
+let fire_with_delta p db delta acc_delta =
   let fire subst =
-    let ok =
-      List.for_all
-        (fun a ->
-          let a' = Subst.apply_atom subst a in
-          if not (Atom.is_ground a') then
-            invalid_arg (Fmt.str "Seminaive.eval: unsafe negative literal %a" Atom.pp a');
-          not (Database.mem db a'))
-        negs
-    in
-    if ok then
+    if negs_ok db p.p_negs subst then
       List.iter
         (fun h ->
           let fact = Subst.apply_atom subst h in
           if Database.add db fact then ignore (Database.add acc_delta fact))
-        (Rule.head rule)
+        (Rule.head p.p_rule)
   in
   (* One pass per body-atom position anchored in the delta. *)
-  List.iteri
-    (fun i anchor ->
+  List.iter
+    (fun (anchor, rest) ->
       if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
-        List.iter
-          (fun fact ->
+        Database.iter_candidates delta anchor (fun fact ->
             match Subst.match_atom Subst.empty anchor fact with
             | None -> ()
-            | Some subst ->
-              let rest = List.filteri (fun j _ -> j <> i) body in
-              Homomorphism.iter_pos ~init:subst rest db fire)
-          (Database.candidates delta anchor))
-    body
+            | Some subst -> Homomorphism.iter_pos ~init:subst rest db fire))
+    p.p_anchors
 
-let fire_naive rule db acc_delta =
-  let negs = Rule.neg_body_atoms rule in
-  Homomorphism.iter_pos (Rule.body_atoms rule) db (fun subst ->
-      let ok =
-        List.for_all
-          (fun a ->
-            let a' = Subst.apply_atom subst a in
-            if not (Atom.is_ground a') then
-              invalid_arg (Fmt.str "Seminaive.eval: unsafe negative literal %a" Atom.pp a');
-            not (Database.mem db a'))
-          negs
-      in
-      if ok then
+let fire_naive p db acc_delta =
+  Homomorphism.iter_pos p.p_body db (fun subst ->
+      if negs_ok db p.p_negs subst then
         List.iter
           (fun h ->
             let fact = Subst.apply_atom subst h in
             if Database.add db fact then ignore (Database.add acc_delta fact))
-          (Rule.head rule))
+          (Rule.head p.p_rule))
 
 (* Evaluate [sigma] over [db0] and return the fixpoint (input included).
    When the program mentions the built-in ACDom relation, it is
@@ -85,23 +123,18 @@ let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) =
     invalid_arg "Seminaive.eval: program is not semipositive; use Stratified.chase";
   let db = Database.copy db0 in
   if acdom && mentions_acdom sigma then Database.materialize_acdom db;
-  let rules = Theory.rules sigma in
+  let prepared = Array.of_list (List.map prepare (Theory.rules sigma)) in
+  let index = rule_index prepared in
   let delta = Database.create () in
-  List.iter (fun r -> fire_naive r db delta) rules;
+  Array.iter (fun p -> fire_naive p db delta) prepared;
   let current = ref delta in
   while Database.cardinal !current > 0 do
     let next = Database.create () in
-    List.iter (fun r -> fire_with_delta r db !current next) rules;
+    let marked = affected_rules index prepared !current in
+    Array.iteri (fun idx p -> if marked.(idx) then fire_with_delta p db !current next) prepared;
     current := next
   done;
   db
 
 let answers (sigma : Theory.t) (db : Database.t) ~query =
-  let result = eval sigma db in
-  Database.fold
-    (fun a acc ->
-      if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
-        Atom.args a :: acc
-      else acc)
-    result []
-  |> List.sort_uniq (List.compare Term.compare)
+  Database.constant_tuples (eval sigma db) query

@@ -1,8 +1,10 @@
 (** Semi-naive bottom-up evaluation of Datalog programs.
 
-    Standard differential fixpoint; negation must be semipositive
-    (negated relations are never derived), which is what per-stratum
-    evaluation of stratified theories needs. *)
+    Standard differential fixpoint with a delta rule index: a round
+    only re-fires the rules whose body mentions a relation present in
+    the current delta. Negation must be semipositive (negated relations
+    are never derived), which is what per-stratum evaluation of
+    stratified theories needs. *)
 
 open Guarded_core
 
@@ -20,3 +22,5 @@ val eval : ?acdom:bool -> Theory.t -> Database.t -> Database.t
     negation. *)
 
 val answers : Theory.t -> Database.t -> query:string -> Term.t list list
+(** Sorted, deduplicated constant tuples of the [query] relation in the
+    fixpoint (folded into a set directly — no intermediate fact list). *)

@@ -56,12 +56,4 @@ let entails ?limits sigma db atom =
 
 let answers ?limits sigma db ~query =
   let res = chase ?limits sigma db in
-  let tuples =
-    Database.fold
-      (fun a acc ->
-        if String.equal (Atom.rel a) query && List.for_all Term.is_const (Atom.terms a) then
-          Atom.args a :: acc
-        else acc)
-      res.db []
-  in
-  (List.sort_uniq (List.compare Term.compare) tuples, res.outcome)
+  (Database.constant_tuples res.db query, res.outcome)

@@ -103,6 +103,46 @@ let gen_datalog_rule =
 let gen_datalog_theory =
   QCheck.Gen.(list_size (int_range 1 4) gen_datalog_rule >|= Theory.of_rules)
 
+(* Semipositive Datalog: negation only over extensional relations. Heads
+   are confined to [idb_relations] and negative literals to the rest of
+   the signature, so negated relations are never derived — by
+   construction, whatever the random draw. *)
+let idb_relations = [ ("p", 1); ("r", 2); ("t", 3) ]
+let edb_relations = List.filter (fun rel -> not (List.mem rel idb_relations)) signature
+
+let gen_semipositive_rule =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun width ->
+    let pool = List.filteri (fun i _ -> i < width) variables in
+    list_size (int_range 1 3) (gen_atom_over pool) >>= fun body ->
+    let body_vars =
+      List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+    in
+    let gen_neg =
+      if Names.Sset.is_empty body_vars then return []
+      else
+        frequency
+          [
+            (3, return []);
+            ( 2,
+              oneofl edb_relations >>= fun (name, arity) ->
+              list_repeat arity (oneofl (Names.Sset.elements body_vars)) >|= fun vs ->
+              [ Literal.Neg (Atom.make name (List.map (fun v -> Term.Var v) vs)) ] );
+          ]
+    in
+    gen_neg >>= fun neg ->
+    let lits = List.map (fun a -> Literal.Pos a) body @ neg in
+    if Names.Sset.is_empty body_vars then
+      oneofl idb_relations >|= fun (name, arity) ->
+      Rule.make lits [ Atom.make name (List.init arity (fun _ -> Term.Const "a")) ]
+    else
+      oneofl (Names.Sset.elements body_vars) >>= fun v ->
+      oneofl idb_relations >|= fun (name, arity) ->
+      Rule.make lits [ Atom.make name (List.init arity (fun _ -> Term.Var v)) ])
+
+let gen_semipositive_theory =
+  QCheck.Gen.(list_size (int_range 1 4) gen_semipositive_rule >|= Theory.of_rules)
+
 (* A conjunctive query with at most one answer variable. *)
 let gen_cq_body =
   QCheck.Gen.(
@@ -118,6 +158,7 @@ let arbitrary_db = QCheck.make ~print:(Fmt.to_to_string Database.pp) (gen_db ())
 let arbitrary_guarded = QCheck.make ~print:Theory.to_string gen_guarded_theory
 let arbitrary_fg = QCheck.make ~print:Theory.to_string gen_fg_theory
 let arbitrary_datalog = QCheck.make ~print:Theory.to_string gen_datalog_theory
+let arbitrary_semipositive = QCheck.make ~print:Theory.to_string gen_semipositive_theory
 
 let arbitrary_pair arb_t =
   QCheck.make

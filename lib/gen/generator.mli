@@ -22,12 +22,19 @@ val gen_fg_rule : Rule.t QCheck.Gen.t
 val gen_fg_theory : Theory.t QCheck.Gen.t
 val gen_datalog_rule : Rule.t QCheck.Gen.t
 val gen_datalog_theory : Theory.t QCheck.Gen.t
+
+val gen_semipositive_rule : Rule.t QCheck.Gen.t
+(** Datalog with negation confined to extensional relations (never
+    derived by a head), i.e. semipositive by construction. *)
+
+val gen_semipositive_theory : Theory.t QCheck.Gen.t
 val gen_cq_body : Atom.t list QCheck.Gen.t
 
 val arbitrary_db : Database.t QCheck.arbitrary
 val arbitrary_guarded : Theory.t QCheck.arbitrary
 val arbitrary_fg : Theory.t QCheck.arbitrary
 val arbitrary_datalog : Theory.t QCheck.arbitrary
+val arbitrary_semipositive : Theory.t QCheck.arbitrary
 
 val arbitrary_pair :
   Theory.t QCheck.arbitrary -> (Theory.t * Database.t) QCheck.arbitrary

@@ -66,8 +66,12 @@ let expand ?(max_rules = 20_000) ?(guards = `Node_relations) (sigma : Theory.t) 
   let k =
     List.fold_left (fun acc (_, _, arity) -> max acc arity) 0 (Theory.relation_list sigma)
   in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let names : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* Renaming-sensitive pre-filter: rewritings re-derive many literally
+     identical rules (hash-consing makes their atom ids coincide), and a
+     raw-key hit skips the canonicalization below entirely. *)
+  let raw_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let names : (Rewritings.content_key, string) Hashtbl.t = Hashtbl.create 256 in
   let result = ref [] in
   let count = ref 0 in
   let processed = ref 0 in
@@ -78,14 +82,18 @@ let expand ?(max_rules = 20_000) ?(guards = `Node_relations) (sigma : Theory.t) 
   (* [bound] is the strict upper bound on the measure of rules that may
      still be rewritten (the paper's variable-projection argument). *)
   let add ~bound r =
-    let key = Rule.to_string (Rule.canonicalize r) in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
-      incr count;
-      if !count > max_rules then
-        raise (Budget_exceeded (Fmt.str "ex(Σ) exceeded %d rules" max_rules));
-      result := r :: !result;
-      if needs_processing r && measure r < bound then Queue.add r queue
+    let raw = Rule.structural_key r in
+    if not (Hashtbl.mem raw_seen raw) then begin
+      Hashtbl.add raw_seen raw ();
+      let key = Rule.structural_key (Rule.canonicalize r) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr count;
+        if !count > max_rules then
+          raise (Budget_exceeded (Fmt.str "ex(Σ) exceeded %d rules" max_rules));
+        result := r :: !result;
+        if needs_processing r && measure r < bound then Queue.add r queue
+      end
     end
   in
   List.iter (fun r -> add ~bound:max_int r) (Theory.rules sigma);

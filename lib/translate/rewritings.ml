@@ -19,15 +19,30 @@
 
 open Guarded_core
 
-let pad_gensym = Names.gensym "gp"
-
 (* All injective placements of [needed] into [arity] slots; the other
-   slots are filled by fresh pad variables. Returns a list of term
-   lists. *)
-let placements needed arity =
+   slots are filled by pad variables named deterministically from the
+   slot index, skipping any name in [avoid] (callers pass every
+   variable of the rule under construction, so a pad — unlike the
+   globally fresh gensym pads this replaces — can never capture a rule
+   variable, including pads inherited from earlier rewriting rounds).
+   Determinism matters: re-deriving the same guard yields the
+   hash-consed same atom, so the closure's raw dedup catches the repeat
+   before paying for canonicalization. Returns a list of term lists. *)
+let placements ?(pad = "!p") ?(avoid = Names.Sset.empty) needed arity =
   let n = List.length needed in
   if n > arity then []
   else begin
+    let avoid = List.fold_left (fun acc v -> Names.Sset.add v acc) avoid needed in
+    let pads = Array.make (max 1 arity) "" in
+    let next = ref 0 in
+    for i = 0 to arity - 1 do
+      let rec pick () =
+        let name = Printf.sprintf "%s%d" pad !next in
+        incr next;
+        if Names.Sset.mem name avoid then pick () else name
+      in
+      pads.(i) <- pick ()
+    done;
     let rec choose slots vars =
       match vars with
       | [] -> [ List.map (fun _ -> None) slots ]
@@ -48,22 +63,31 @@ let placements needed arity =
     let slots = List.init arity (fun _ -> ()) in
     choose slots needed
     |> List.map
-         (List.map (function
-           | Some v -> Term.Var v
-           | None -> Term.Var (Names.fresh pad_gensym)))
+         (List.mapi (fun i slot ->
+              match slot with
+              | Some v -> Term.Var v
+              | None -> Term.Var pads.(i)))
   end
 
 (* Guard atoms over the candidate relations: [needed_args] are placed
-   injectively into argument slots, [needed_ann] into annotation slots. *)
-let guard_atoms ~relations ~needed_args ~needed_ann =
+   injectively into argument slots, [needed_ann] into annotation slots.
+   [avoid] holds every variable of the rule the guard will join. *)
+let guard_atoms ?(avoid = Names.Sset.empty) ~relations ~needed_args ~needed_ann () =
+  let avoid =
+    List.fold_left (fun acc v -> Names.Sset.add v acc) avoid (needed_args @ needed_ann)
+  in
   List.concat_map
     (fun (name, ann_len, arity) ->
       if String.equal name Database.acdom_rel then []
       else
         List.concat_map
           (fun args ->
-            List.map (fun ann -> Atom.make ~ann name args) (placements needed_ann ann_len))
-          (placements needed_args arity))
+            (* distinct pad namespaces: an annotation pad sharing a name
+               with an argument pad would wrongly equate the two slots *)
+            List.map
+              (fun ann -> Atom.make ~ann name args)
+              (placements ~pad:"!a" ~avoid needed_ann ann_len))
+          (placements ~avoid needed_args arity))
     relations
 
 let arg_vars_of atoms =
@@ -88,13 +112,15 @@ let the_head rule =
    any rules and selections) whose H would have literally the same
    definition share the relation, which keeps the closure small and is
    sound: the shared relation has the same extension in every chase. *)
-let content_key kind defining_body keep ann =
+type content_key = string * Rule.structural_key
+
+let content_key kind defining_body keep ann : content_key =
   (* The keep tuple rides in the body as a pseudo atom so that the rule
      safety check cannot object to keep variables absent from the
      defining body (possible for head-only variables). *)
   let h = Atom.make ~ann "$H" (List.map (fun v -> Term.Var v) keep) in
   let pseudo = Rule.make_pos (h :: defining_body) [ h ] in
-  kind ^ "|" ^ Rule.to_string (Rule.canonicalize pseudo)
+  (kind, Rule.structural_key (Rule.canonicalize pseudo))
 
 (* rc-rewriting of [rule] w.r.t. [mu] (Def. 10). Returns [] if the
    variable-projection condition fails, otherwise the rule σ'' together
@@ -124,10 +150,15 @@ let rc ~relations ~name_of rule (mu : Selection.t) =
         Names.Sset.elements
           (Names.Sset.diff (ann_vars_of [ h_atom ]) (ann_vars_of mu_cov))
       in
+      let avoid =
+        List.fold_left
+          (fun acc a -> Names.Sset.union acc (Atom.var_set a))
+          Names.Sset.empty (h_atom :: mu_cov)
+      in
       let sigma1s =
         List.map
           (fun guard -> Rule.make_pos (guard :: mu_cov) [ h_atom ])
-          (guard_atoms ~relations ~needed_args ~needed_ann)
+          (guard_atoms ~avoid ~relations ~needed_args ~needed_ann ())
       in
       (* If no relation can host the guard, H is underivable and the
          whole rewriting is inert: contribute nothing. *)
@@ -159,14 +190,19 @@ let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
       in
       (* σ' fires on database constants (it is ACDom-guarded in rew),
          so its guard may be any relation of Σ. *)
+      let avoid_s1 =
+        List.fold_left
+          (fun acc a -> Names.Sset.union acc (Atom.var_set a))
+          Names.Sset.empty (h_atom :: mu_rem)
+      in
       let sigma1s =
         List.concat_map
           (fun z ->
             List.map
               (fun guard -> Rule.make_pos (guard :: mu_rem) [ h_atom ])
-              (guard_atoms ~relations:all_relations
+              (guard_atoms ~avoid:avoid_s1 ~relations:all_relations
                  ~needed_args:(Names.Sset.elements (Names.Sset.add z keep_set))
-                 ~needed_ann:needed_ann_s1))
+                 ~needed_ann:needed_ann_s1 ()))
           z_candidates
       in
       let mu_head = Subst.apply_atom mu head in
@@ -177,11 +213,17 @@ let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
       in
       (* σ'' matches inside a chase-tree node, whose terms all occur in
          the node-creating atom: an existential-head guard suffices. *)
+      let avoid_s2 =
+        List.fold_left
+          (fun acc a -> Names.Sset.union acc (Atom.var_set a))
+          Names.Sset.empty (mu_head :: h_atom :: mu_cov)
+      in
       let sigma2s =
         List.map
           (fun guard ->
             Rule.make_pos ?label:(Rule.label rule) (guard :: h_atom :: mu_cov) [ mu_head ])
-          (guard_atoms ~relations:node_relations ~needed_args:needed_args_s2 ~needed_ann:[])
+          (guard_atoms ~avoid:avoid_s2 ~relations:node_relations
+             ~needed_args:needed_args_s2 ~needed_ann:[] ())
       in
       (* Either half missing makes the rewriting inert: skip it. *)
       if sigma1s = [] || sigma2s = [] then [] else sigma1s @ sigma2s

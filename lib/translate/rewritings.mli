@@ -12,19 +12,32 @@
 
 open Guarded_core
 
-val placements : string list -> int -> Term.t list list
+val placements :
+  ?pad:string -> ?avoid:Names.Sset.t -> string list -> int -> Term.t list list
 (** All injective placements of the given variables into that many
-    slots, fresh pads elsewhere. *)
+    slots, deterministic slot-indexed pad variables elsewhere ([pad] is
+    the name prefix, default ["!p"]; names in [avoid] — callers pass
+    the variables of the rule under construction — are skipped, so pads
+    capture nothing). Deterministic pads make re-derived guards
+    hash-cons to the same atoms, which lets closure dedup skip
+    canonicalization on repeats. *)
 
 val guard_atoms :
+  ?avoid:Names.Sset.t ->
   relations:Atom.rel_key list ->
   needed_args:string list ->
   needed_ann:string list ->
+  unit ->
   Atom.t list
+
+type content_key = string * Rule.structural_key
+(** Identity of a rewriting's fresh relation H: the rewriting kind
+    together with the canonical structural key of H's definition. Kept
+    as ints (hash-consed atom ids) rather than a printed rule. *)
 
 val rc :
   relations:Atom.rel_key list ->
-  name_of:(string -> string) ->
+  name_of:(content_key -> string) ->
   Rule.t ->
   Selection.t ->
   Rule.t list
@@ -36,7 +49,7 @@ val rc :
 val rnc :
   node_relations:Atom.rel_key list ->
   all_relations:Atom.rel_key list ->
-  name_of:(string -> string) ->
+  name_of:(content_key -> string) ->
   Rule.t ->
   Selection.t ->
   Rule.t list

@@ -165,7 +165,7 @@ let resolve r d =
       (splits matchable)
   end
 
-let canonical_key r = Rule.to_string (Rule.canonicalize r)
+let canonical_key r = Rule.structural_key (Rule.canonicalize r)
 
 (* Ξ(Σ): the closure of Σ under the three inference rules. *)
 let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
@@ -173,7 +173,7 @@ let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
     (fun r ->
       if not (Rule.is_positive r) then invalid_arg "Saturate.closure: negation not supported")
     (Theory.rules sigma);
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 1024 in
   let all = ref [] in
   let datalog = ref [] in
   let count = ref 0 in
@@ -402,7 +402,7 @@ let object_key body head =
      canonical fingerprint). *)
   let h = Atom.Set.elements head in
   let pseudo = Rule.make_pos (body @ h) (if h = [] then body else h) in
-  Rule.to_string (Rule.canonicalize pseudo)
+  Rule.structural_key (Rule.canonicalize pseudo)
 
 (* dat(Σ) for a guarded (or any positive existential) theory, computed
    consequence-driven. *)
@@ -413,9 +413,20 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
     (Theory.rules sigma);
   let datalog0, existential = List.partition Rule.is_datalog (Theory.rules sigma) in
   (* Datalog resolution partners: the original Datalog rules plus the
-     projections emitted so far, deduplicated canonically. *)
-  let partners = ref datalog0 in
-  let partner_seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+     projections emitted so far, deduplicated canonically. Each partner
+     carries one variable-renamed copy made at registration: resolution
+     needs the partner variable-disjoint from the object, and renaming
+     in the inner loop would re-intern every atom of every partner for
+     every object pass. The cached copy is reused whenever its variables
+     miss the object (the common case — its names are private gensyms);
+     a fresh rename happens only after a collision, i.e. when the object
+     absorbed this partner's variables in an earlier resolution. *)
+  let mk_partner d =
+    let renamed = Rule.rename_apart resolve_gensym d in
+    (d, renamed, Rule.vars renamed)
+  in
+  let partners = ref (List.map mk_partner datalog0) in
+  let partner_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 256 in
   List.iter (fun d -> Hashtbl.replace partner_seen (canonical_key d) ()) datalog0;
   let budget = ref (max_rules - List.length datalog0) in
   (* The rule budget does not bound the unification search inside
@@ -434,14 +445,14 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
       Hashtbl.replace partner_seen key ();
       decr budget;
       if !budget < 0 then raise (Budget_exceeded (Fmt.str "dat(Σ) exceeded %d rules" max_rules));
-      partners := r :: !partners;
+      partners := mk_partner r :: !partners;
       projections := r :: !projections;
       true
     end
     else false
   in
   let objects : obj list ref = ref [] in
-  let object_seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let object_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 256 in
   let spawn body head evars =
     let body = dedup_atoms body in
     let key = object_key body head in
@@ -471,17 +482,19 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
   in
   (* A Datalog partner is relevant to an object only if one of its body
      relations occurs in a head atom carrying an existential variable —
-     otherwise no resolution can anchor. *)
-  let relevant obj d =
-    let evar_rels =
-      Atom.Set.fold
-        (fun a acc ->
-          if List.exists (fun v -> Names.Sset.mem v obj.o_evars) (Atom.vars a) then
-            Theory.Rel_set.add (Atom.rel_key a) acc
-          else acc)
-        obj.o_head Theory.Rel_set.empty
-    in
-    List.exists (fun a -> Theory.Rel_set.mem (Atom.rel_key a) evar_rels) (Rule.body_atoms d)
+     otherwise no resolution can anchor. The relation set depends only
+     on the object, so it is computed once per pass over the partners,
+     not once per partner. *)
+  let evar_rels obj =
+    Atom.Set.fold
+      (fun a acc ->
+        if List.exists (fun v -> Names.Sset.mem v obj.o_evars) (Atom.vars a) then
+          Theory.Rel_set.add (Atom.rel_key a) acc
+        else acc)
+      obj.o_head Theory.Rel_set.empty
+  in
+  let relevant rels d =
+    List.exists (fun a -> Theory.Rel_set.mem (Atom.rel_key a) rels) (Rule.body_atoms d)
   in
   (* Global fixpoint: saturate every object against the current partner
      set; new projections or spawned objects trigger another pass. *)
@@ -495,11 +508,20 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
         let local = ref true in
         while !local do
           local := false;
+          let rels = evar_rels obj in
           List.iter
-            (fun d ->
-              if relevant obj d then begin
+            (fun (d0, d_renamed, d_vars) ->
+              if relevant rels d0 then begin
                 spend (1 + Atom.Set.cardinal obj.o_head);
-                let d = Rule.rename_apart resolve_gensym d in
+                let d =
+                  if
+                    Names.Sset.exists
+                      (fun v ->
+                        Names.Sset.mem v obj.o_univ || Names.Sset.mem v obj.o_evars)
+                      d_vars
+                  then Rule.rename_apart resolve_gensym d0
+                  else d_renamed
+                in
                 let resolutions, overflow = resolve_object obj d in
                 spend (List.length resolutions);
                 if overflow then overflowed := true;

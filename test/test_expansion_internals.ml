@@ -47,7 +47,7 @@ let test_guard_atoms () =
   let guards =
     Rewritings.guard_atoms
       ~relations:[ ("r", 0, 2); ("t", 0, 3); ("u", 0, 1) ]
-      ~needed_args:[ "A"; "B" ] ~needed_ann:[]
+      ~needed_args:[ "A"; "B" ] ~needed_ann:[] ()
   in
   (* r: 2 placements; t: 6; u: none (arity too small) *)
   check cint "eight guards" 8 (List.length guards);
@@ -61,7 +61,7 @@ let test_guard_atoms_annotated () =
   let guards =
     Rewritings.guard_atoms
       ~relations:[ ("r", 1, 1) ]
-      ~needed_args:[ "A" ] ~needed_ann:[ "U" ]
+      ~needed_args:[ "A" ] ~needed_ann:[ "U" ] ()
   in
   check cint "one placement each side" 1 (List.length guards);
   let g = List.hd guards in
@@ -72,7 +72,7 @@ let test_guard_atoms_skip_acdom () =
   let guards =
     Rewritings.guard_atoms
       ~relations:[ (Database.acdom_rel, 0, 1) ]
-      ~needed_args:[ "A" ] ~needed_ann:[]
+      ~needed_args:[ "A" ] ~needed_ann:[] ()
   in
   check cint "ACDom never guards" 0 (List.length guards)
 

@@ -16,5 +16,6 @@ let () =
       ("cq", Test_cq.suite);
       ("capture", Test_capture.suite);
       ("robustness", Test_robustness.suite);
+      ("join-engine", Test_join_engine.suite);
       ("properties", Test_properties.suite);
     ]
