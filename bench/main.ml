@@ -7,14 +7,23 @@
     rows. A final Bechamel pass micro-times one representative operation
     per experiment.
 
-    Usage: dune exec bench/main.exe [-- [--json FILE] SECTION...]
+    Usage: dune exec bench/main.exe [-- [--json FILE] [--domains SPEC] SECTION...]
     Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup micro
 
     With [--json FILE] the run additionally records, per section, the
     wall-clock seconds and every printed table with its timing columns
     stripped (so two runs of the same tree produce identical result
     rows), and writes them as JSON. The committed BENCH_N.json files
-    are such recordings; EXPERIMENTS.md describes the workflow. *)
+    are such recordings; EXPERIMENTS.md describes the workflow.
+
+    With [--domains SPEC] (comma-separated counts, e.g. [--domains 1,4])
+    the requested sections run once per count, each against a
+    {!Guarded_par.Pool} of that many domains wired into the fixpoint
+    sections (fig2, thm1, thm2, thm5, micro's chase). The first count
+    keeps the plain section ids — its result rows stay diffable against
+    sequential baselines, since the recorded rows are null-free — and
+    later counts record under [id@dN]. Without the flag every section
+    runs the unchanged sequential schedule. *)
 
 open Guarded_core
 module Engine = Guarded_chase.Engine
@@ -25,6 +34,13 @@ module Rewrite_fg = Guarded_translate.Rewrite_fg
 module Annotate = Guarded_translate.Annotate
 module Pipeline = Guarded_translate.Pipeline
 module Capture = Guarded_capture
+module Pool = Guarded_par.Pool
+
+(* The pool the fixpoint sections evaluate against; [None] (the
+   default) keeps every section on the sequential schedule. Set by the
+   [--domains] sweep in the driver. *)
+let current_pool : Pool.t option ref = ref None
+let current_domains : int option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Small table printer                                                 *)
@@ -37,6 +53,7 @@ let section id title =
 
 type json_section = {
   js_id : string;
+  js_domains : int option;  (** pool size; [None] = sequential schedule *)
   mutable js_seconds : float;
   mutable js_tables : (string list * string list list) list;  (** reversed *)
 }
@@ -47,7 +64,9 @@ let json_current : json_section option ref = ref None
 
 let json_begin_section id =
   if !json_enabled then begin
-    let js = { js_id = id; js_seconds = 0.; js_tables = [] } in
+    let js =
+      { js_id = id; js_domains = !current_domains; js_seconds = 0.; js_tables = [] }
+    in
     json_sections := js :: !json_sections;
     json_current := Some js
   end
@@ -106,8 +125,11 @@ let json_write file =
   List.iteri
     (fun i js ->
       if i > 0 then pr ",";
-      pr "\n    {\n      \"id\": \"%s\",\n      \"seconds\": %.6f,\n      \"tables\": ["
-        (json_escape js.js_id) js.js_seconds;
+      pr "\n    {\n      \"id\": \"%s\",\n" (json_escape js.js_id);
+      (match js.js_domains with
+      | Some d -> pr "      \"domains\": %d,\n" d
+      | None -> ());
+      pr "      \"seconds\": %.6f,\n      \"tables\": [" js.js_seconds;
       List.iteri
         (fun j (header, rows) ->
           if j > 0 then pr ",";
@@ -276,10 +298,12 @@ let fig2 () =
     List.map
       (fun n ->
         let db = publications_db n in
-        let (res : Engine.result), t = time (fun () -> Engine.run norm db) in
+        let (res : Engine.result), t =
+          time (fun () -> Engine.run ?pool:!current_pool norm db)
+        in
         let tree = Tree.build norm db res in
         let ok = match Tree.verify tree norm db with Ok () -> "ok" | Error _ -> "VIOLATED" in
-        let answers, _ = Engine.answers norm db ~query:"q" in
+        let answers, _ = Engine.answers ?pool:!current_pool norm db ~query:"q" in
         [
           string_of_int n;
           string_of_int (Database.cardinal db);
@@ -338,7 +362,9 @@ let thm1 () =
         let db' = Database.copy db in
         Database.materialize_acdom db';
         let got, _ =
-          Engine.answers ~limits:{ max_derivations = 300_000; max_depth = None } ng db' ~query:"q"
+          Engine.answers
+            ~limits:{ max_derivations = 300_000; max_depth = None }
+            ?pool:!current_pool ng db' ~query:"q"
         in
         [
           string_of_int m;
@@ -373,8 +399,9 @@ let thm2 () =
         let db' = Database.copy db in
         Database.materialize_acdom db';
         let got, _ =
-          Engine.answers ~limits:{ max_derivations = 100_000; max_depth = None }
-            r.Annotate.theory db' ~query
+          Engine.answers
+            ~limits:{ max_derivations = 100_000; max_depth = None }
+            ?pool:!current_pool r.Annotate.theory db' ~query
         in
         [
           name;
@@ -558,8 +585,12 @@ let thm5 () =
           Database.of_atoms
             (List.init n (fun i -> Atom.make "elem" [ Term.Const (Fmt.str "c%d" i) ]))
         in
-        let (orders, _), t = time (fun () -> Capture.Succ_order.good_orders db) in
-        let even, t2 = time (fun () -> Capture.Succ_order.even_cardinality db) in
+        let (orders, _), t =
+          time (fun () -> Capture.Succ_order.good_orders ?pool:!current_pool db)
+        in
+        let even, t2 =
+          time (fun () -> Capture.Succ_order.even_cardinality ?pool:!current_pool db)
+        in
         [
           string_of_int n;
           string_of_int (List.length orders);
@@ -757,7 +788,8 @@ let micro () =
   let tests =
     [
       Test.make ~name:"fig1-classify" (Staged.stage (fun () -> Classify.classify sigma_p));
-      Test.make ~name:"fig2-chase" (Staged.stage (fun () -> Engine.run norm_p db8));
+      Test.make ~name:"fig2-chase"
+        (Staged.stage (fun () -> Engine.run ?pool:!current_pool norm_p db8));
       Test.make ~name:"fig3-closure"
         (Staged.stage (fun () -> Saturate.closure ~max_rules:10_000 ex7));
       Test.make ~name:"thm1-rew-fg"
@@ -772,7 +804,20 @@ let micro () =
       Test.make ~name:"thm4-tm-chase"
         (Staged.stage (fun () -> Capture.Tm_encode.accepts ~k:1 Capture.Turing.parity_machine tm_db));
       Test.make ~name:"thm5-orders"
-        (Staged.stage (fun () -> Capture.Succ_order.good_orders elem3));
+        (Staged.stage (fun () -> Capture.Succ_order.good_orders ?pool:!current_pool elem3));
+      Test.make ~name:"datalog-seminaive"
+        (Staged.stage
+           (let tc =
+              Parser.theory_of_string
+                "e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z)."
+            in
+            let chain =
+              Database.of_atoms
+                (List.init 64 (fun i ->
+                     Atom.make "e"
+                       [ Term.Const (Fmt.str "n%d" i); Term.Const (Fmt.str "n%d" (i + 1)) ]))
+            in
+            fun () -> Seminaive.eval ?pool:!current_pool tc chain));
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -816,23 +861,20 @@ let all_sections =
     ("micro", micro);
   ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let rec split_json acc = function
-    | "--json" :: file :: rest ->
-      json_enabled := true;
-      (Some file, List.rev_append acc rest)
-    | "--json" :: [] -> failwith "bench: --json expects a file argument"
-    | a :: rest -> split_json (a :: acc) rest
-    | [] -> (None, List.rev acc)
-  in
-  let json_file, requested = split_json [] args in
-  let requested = if requested = [] then List.map fst all_sections else requested in
+let parse_domains spec =
+  List.map
+    (fun s ->
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> failwith (Fmt.str "bench: --domains expects positive counts, got %S" s))
+    (String.split_on_char ',' spec)
+
+let run_sections ~suffix requested =
   List.iter
     (fun id ->
       match List.assoc_opt id all_sections with
       | Some f ->
-        json_begin_section id;
+        json_begin_section (id ^ suffix);
         (* Isolate sections from each other's garbage: a section's time
            should not depend on which sections ran before it. *)
         Gc.full_major ();
@@ -841,7 +883,38 @@ let () =
       | None ->
         Fmt.epr "unknown section %S (known: %s)@." id
           (String.concat " " (List.map fst all_sections)))
-    requested;
+    requested
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_flags json domains acc = function
+    | "--json" :: file :: rest ->
+      json_enabled := true;
+      split_flags (Some file) domains acc rest
+    | "--json" :: [] -> failwith "bench: --json expects a file argument"
+    | "--domains" :: spec :: rest -> split_flags json (Some (parse_domains spec)) acc rest
+    | "--domains" :: [] -> failwith "bench: --domains expects counts, e.g. 1,4"
+    | a :: rest -> split_flags json domains (a :: acc) rest
+    | [] -> (json, domains, List.rev acc)
+  in
+  let json_file, domains, requested = split_flags None None [] args in
+  let requested = if requested = [] then List.map fst all_sections else requested in
+  (match domains with
+  | None -> run_sections ~suffix:"" requested
+  | Some counts ->
+    List.iteri
+      (fun i n ->
+        let pool = Pool.create ~domains:n () in
+        current_pool := Some pool;
+        current_domains := Some n;
+        Fmt.pr "@.### domains = %d ###@." n;
+        (* The first count keeps the plain section ids so its recording
+           stays diffable against sequential baselines. *)
+        run_sections ~suffix:(if i = 0 then "" else Fmt.str "@d%d" n) requested;
+        current_pool := None;
+        current_domains := None;
+        Pool.shutdown pool)
+      counts);
   match json_file with
   | Some file ->
     json_write file;

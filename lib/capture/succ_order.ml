@@ -60,10 +60,10 @@ let default_limits n =
   { Guarded_chase.Engine.max_derivations = 2_000_000; max_depth = Some (n + 1) }
 
 (* Run the stratified chase and extract every good ordering. *)
-let good_orders ?limits (db : Database.t) : order list * Guarded_chase.Engine.outcome =
+let good_orders ?limits ?pool (db : Database.t) : order list * Guarded_chase.Engine.outcome =
   let n = Term.Set.cardinal (Database.active_domain db) in
   let limits = match limits with Some l -> l | None -> default_limits n in
-  let res = Guarded_datalog.Stratified.chase ~limits (theory ()) db in
+  let res = Guarded_datalog.Stratified.chase ~limits ?pool (theory ()) db in
   let goods =
     Database.fold
       (fun a acc -> if String.equal (Atom.rel a) "good" then Atom.args a @ acc else acc)
@@ -120,8 +120,8 @@ let even_text =
 let even_cardinality_theory () =
   Theory.of_rules (Theory.rules (theory ()) @ Theory.rules (Parser.theory_of_string even_text))
 
-let even_cardinality ?limits db =
+let even_cardinality ?limits ?pool db =
   let n = Term.Set.cardinal (Database.active_domain db) in
   let limits = match limits with Some l -> l | None -> default_limits n in
-  let res = Guarded_datalog.Stratified.chase ~limits (even_cardinality_theory ()) db in
+  let res = Guarded_datalog.Stratified.chase ~limits ?pool (even_cardinality_theory ()) db in
   Database.mem res.db (Atom.make "evenCard" [])

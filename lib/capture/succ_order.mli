@@ -19,6 +19,7 @@ val default_limits : int -> Guarded_chase.Engine.limits
 
 val good_orders :
   ?limits:Guarded_chase.Engine.limits ->
+  ?pool:Guarded_par.Pool.t ->
   Database.t ->
   order list * Guarded_chase.Engine.outcome
 (** All good orderings — exactly the |adom|! permutations. *)
@@ -27,4 +28,5 @@ val even_cardinality_theory : unit -> Theory.t
 (** Σ_succ plus the parity walk: derives evenCard() iff |adom(D)| is
     even — the paper's witness that stratified negation is needed. *)
 
-val even_cardinality : ?limits:Guarded_chase.Engine.limits -> Database.t -> bool
+val even_cardinality :
+  ?limits:Guarded_chase.Engine.limits -> ?pool:Guarded_par.Pool.t -> Database.t -> bool

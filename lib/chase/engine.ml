@@ -79,7 +79,7 @@ type variant =
   | Oblivious
   | Restricted
 
-let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
+let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?pool
     (sigma : Theory.t) (db0 : Database.t) =
   let snapshot_terms, snapshot =
     match negation with
@@ -230,6 +230,64 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
       rules;
     !new_trigger
   in
+  (* Parallel rounds: trigger *enumeration* fans out over the pool —
+     each work unit (a whole rule in the first round, a (rule, anchor)
+     pair in delta rounds) collects its body homomorphisms against the
+     database as it stood at the round barrier into a private buffer —
+     while *application* stays sequential, replaying the buffers in
+     canonical (rule, anchor, enumeration) order through [consider].
+     Null ids are allocated during application only, so labeled-null
+     invention is deterministic: a round's trigger list is a function
+     of (db, delta) and the canonical order alone, independent of the
+     domain count and of scheduling. Relative to the sequential
+     schedule, a trigger whose body uses a fact added earlier in the
+     same round fires one round later (it re-enters through the delta),
+     so null ids may differ from the no-pool run by a renaming — the
+     chase results are isomorphic, with identical derivation counts and
+     constant answers. *)
+  let enumerate_unit (idx, anchor_opt, delta) =
+    let acc = ref [] in
+    (match anchor_opt with
+    | None ->
+      let body, _ = rule_anchors.(idx) in
+      Homomorphism.iter_pos body db (fun subst -> acc := subst :: !acc)
+    | Some (anchor, rest) ->
+      Database.iter_candidates delta anchor (fun fact ->
+          match Subst.match_atom Subst.empty anchor fact with
+          | None -> ()
+          | Some subst -> Homomorphism.iter_pos ~init:subst rest db (fun s -> acc := s :: !acc)));
+    (idx, List.rev !acc)
+  in
+  let fire_round_parallel pool ~delta =
+    let new_trigger = ref false in
+    let units =
+      match delta with
+      | None -> Array.init (Array.length rules) (fun idx -> (idx, None, db))
+      | Some delta ->
+        let acc = ref [] in
+        Array.iteri
+          (fun idx _ ->
+            let _, anchors = rule_anchors.(idx) in
+            List.iter
+              (fun (anchor, rest) ->
+                if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
+                  acc := (idx, Some (anchor, rest), delta) :: !acc)
+              anchors)
+          rules;
+        Array.of_list (List.rev !acc)
+    in
+    let buffers = Guarded_par.Pool.parallel_map (Some pool) enumerate_unit units in
+    Array.iter
+      (fun (idx, substs) ->
+        List.iter (fun subst -> consider idx rules.(idx) new_trigger subst) substs)
+      buffers;
+    !new_trigger
+  in
+  let fire_round ~delta =
+    match pool with
+    | None -> fire_round ~delta
+    | Some pool -> fire_round_parallel pool ~delta
+  in
   let rec rounds ~delta seen_steps =
     if !derivations >= limits.max_derivations then truncated := true
     else begin
@@ -263,14 +321,14 @@ type verdict =
   | Disproved
   | Unknown  (** the bounded chase neither derived the atom nor saturated *)
 
-let entails ?limits sigma db atom =
+let entails ?limits ?pool sigma db atom =
   if not (Atom.is_ground atom) then invalid_arg "Chase.entails: atom must be ground";
-  let res = run ?limits sigma db in
+  let res = run ?limits ?pool sigma db in
   if Database.mem res.db atom then Proved
   else match res.outcome with Saturated -> Disproved | Bounded -> Unknown
 
 (* ans((Σ, Q), D): constant tuples ~c with Q(~c) in the chase. Sound and,
    when the run saturates, complete. *)
-let answers ?limits sigma db ~query =
-  let res = run ?limits sigma db in
+let answers ?limits ?pool sigma db ~query =
+  let res = run ?limits ?pool sigma db in
   (Database.constant_tuples res.db query, res.outcome)

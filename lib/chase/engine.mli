@@ -54,16 +54,39 @@ type variant =
   | Restricted
 
 val run :
-  ?limits:limits -> ?negation:negation -> ?variant:variant -> Theory.t -> Database.t -> result
+  ?limits:limits ->
+  ?negation:negation ->
+  ?variant:variant ->
+  ?pool:Guarded_par.Pool.t ->
+  Theory.t ->
+  Database.t ->
+  result
+(** With [?pool], each round's trigger enumeration is partitioned over
+    the pool's domains against the round-barrier snapshot of the
+    database, while trigger application (dedup, negation check, null
+    invention, fact insertion) replays sequentially in canonical order
+    — so labeled-null allocation and the derivation order are
+    deterministic: identical for every domain count and across repeated
+    runs. Relative to the default sequential schedule the chase result
+    can differ by a renaming of nulls (a trigger using a fact added
+    earlier in the same round fires one round later), with the same
+    derivation count, fact count and constant answers on saturated
+    runs. [None] (default) keeps the sequential schedule unchanged. *)
 
 type verdict =
   | Proved
   | Disproved
   | Unknown  (** the bounded chase neither derived the atom nor saturated *)
 
-val entails : ?limits:limits -> Theory.t -> Database.t -> Atom.t -> verdict
+val entails :
+  ?limits:limits -> ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> Atom.t -> verdict
 
 val answers :
-  ?limits:limits -> Theory.t -> Database.t -> query:string -> Term.t list list * outcome
+  ?limits:limits ->
+  ?pool:Guarded_par.Pool.t ->
+  Theory.t ->
+  Database.t ->
+  query:string ->
+  Term.t list list * outcome
 (** ans((Σ, Q), D): constant tuples with Q(~c) in the chase; complete
     exactly when the run saturates. *)

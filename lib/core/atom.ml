@@ -27,23 +27,55 @@ type t = {
 type rel_key = string * int * int
 
 (* ------------------------------------------------------------------ *)
-(* Relation-key interning                                              *)
+(* Relation-key interning.
 
+   Domain-safe with the same two-level scheme as [Term]: the global
+   tables are the id-assignment authority, guarded by one mutex, and
+   each domain memoizes lookups in a private cache so the fast path is
+   lock-free. [rel_key_of_id] stays on the global table (it is called
+   per relation, not per fact) under the mutex. *)
+
+let rel_mutex = Mutex.create ()
 let rel_key_tbl : (rel_key, int) Hashtbl.t = Hashtbl.create 64
 let rel_key_rev : (int, rel_key) Hashtbl.t = Hashtbl.create 64
 let next_rel_id = ref 0
 
+let rel_key_id_global (key : rel_key) =
+  Mutex.lock rel_mutex;
+  let i =
+    match Hashtbl.find_opt rel_key_tbl key with
+    | Some i -> i
+    | None ->
+      let i = !next_rel_id in
+      incr next_rel_id;
+      Hashtbl.add rel_key_tbl key i;
+      Hashtbl.add rel_key_rev i key;
+      i
+  in
+  Mutex.unlock rel_mutex;
+  i
+
+let rel_key_local : (rel_key, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
 let rel_key_id (key : rel_key) =
-  match Hashtbl.find_opt rel_key_tbl key with
+  let cache = Domain.DLS.get rel_key_local in
+  match Hashtbl.find_opt cache key with
   | Some i -> i
   | None ->
-    let i = !next_rel_id in
-    incr next_rel_id;
-    Hashtbl.add rel_key_tbl key i;
-    Hashtbl.add rel_key_rev i key;
+    let i = rel_key_id_global key in
+    Hashtbl.add cache key i;
     i
 
-let rel_key_of_id i = Hashtbl.find rel_key_rev i
+let rel_key_of_id i =
+  Mutex.lock rel_mutex;
+  match Hashtbl.find_opt rel_key_rev i with
+  | Some key ->
+    Mutex.unlock rel_mutex;
+    key
+  | None ->
+    Mutex.unlock rel_mutex;
+    raise Not_found
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing                                                        *)
@@ -60,8 +92,36 @@ end
 
 module Cons_tbl = Hashtbl.Make (Cons_key)
 
+(* Domain-safe hash-consing, same two-level scheme as the term and
+   relation-key tables: the mutex-guarded global table assigns the
+   unique allocation (and id) per structurally distinct atom; a
+   domain-local cache makes repeat lookups lock-free. Parallel
+   evaluation hash-conses freely (every derived head fact goes through
+   [make]), so both levels matter: the global mutex for correctness of
+   concurrent first-time interning, the local cache to keep the
+   sequential fast path and the per-domain inner loops lock-free. *)
+
+let cons_mutex = Mutex.create ()
 let cons_tbl : t Cons_tbl.t = Cons_tbl.create 4096
 let next_atom_id = ref 0
+
+let cons_global key ~mk =
+  Mutex.lock cons_mutex;
+  let a =
+    match Cons_tbl.find_opt cons_tbl key with
+    | Some a -> a
+    | None ->
+      let id = !next_atom_id in
+      incr next_atom_id;
+      let a = mk id in
+      Cons_tbl.add cons_tbl key a;
+      a
+  in
+  Mutex.unlock cons_mutex;
+  a
+
+let cons_local : t Cons_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Cons_tbl.create 1024)
 
 let make ?(ann = []) rel args =
   let ann = List.map Term.intern ann in
@@ -73,13 +133,15 @@ let make ?(ann = []) rel args =
   List.iteri (fun i t -> term_ids.(i) <- Term.id t) ann;
   List.iteri (fun i t -> term_ids.(n_ann + i) <- Term.id t) args;
   let key = (rel_id, term_ids) in
-  match Cons_tbl.find_opt cons_tbl key with
+  let cache = Domain.DLS.get cons_local in
+  match Cons_tbl.find_opt cache key with
   | Some a -> a
   | None ->
-    let id = !next_atom_id in
-    incr next_atom_id;
-    let a = { rel; ann; args; rel_id; term_ids; id; hash = Cons_key.hash key } in
-    Cons_tbl.add cons_tbl key a;
+    let a =
+      cons_global key ~mk:(fun id ->
+          { rel; ann; args; rel_id; term_ids; id; hash = Cons_key.hash key })
+    in
+    Cons_tbl.add cache key a;
     a
 
 let rel a = a.rel

@@ -18,7 +18,15 @@ type t = private {
 }
 (** Atoms are hash-consed: {!make} returns the unique allocation for
     each structurally distinct atom, with interned terms. {!equal} is
-    physical equality; {!hash}/{!id} are stored integers. *)
+    physical equality; {!hash}/{!id} are stored integers.
+
+    Hash-consing is domain-safe with the same two-level scheme as
+    {!Term.intern}: mutex-guarded global tables (the authority for
+    allocations, [rel_id]s and [id]s) fronted by per-domain
+    [Domain.DLS] read caches, keeping the repeated-[make] fast path
+    lock-free while every domain sees the same physical atom. As with
+    terms, [id] assignment order varies with evaluation history, so
+    reproducible orders must use {!compare} or pure structure. *)
 
 val make : ?ann:Term.t list -> string -> Term.t list -> t
 

@@ -31,19 +31,47 @@ let equal a b = a == b || compare a b = 0
    always receive the same id, whether or not they are the same
    allocation. [Atom.make] routes all its terms through [intern], so
    terms stored in databases are physically unique and both the [==]
-   fast path of [equal] and the id-keyed indexes of [Database] apply. *)
+   fast path of [equal] and the id-keyed indexes of [Database] apply.
 
-let intern_tbl : (t, t * int) Hashtbl.t = Hashtbl.create 4096
+   Domain safety: a single global table guarded by a mutex is the
+   authority for id assignment, and each domain keeps a private read
+   cache in domain-local storage. The hot path — looking up a term that
+   this domain has already seen — touches only the private cache and
+   takes no lock; a miss consults the global table under the mutex and
+   memoizes the result locally. Caches only ever store what the global
+   table assigned, so every domain agrees on the canonical
+   representative (hence [==] remains valid across domains) and on the
+   id. *)
+
+let intern_mutex = Mutex.create ()
+let global_tbl : (t, t * int) Hashtbl.t = Hashtbl.create 4096
 let next_id = ref 0
 
+let intern_global t =
+  Mutex.lock intern_mutex;
+  let p =
+    match Hashtbl.find_opt global_tbl t with
+    | Some p -> p
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      let p = (t, id) in
+      Hashtbl.add global_tbl t p;
+      p
+  in
+  Mutex.unlock intern_mutex;
+  p
+
+let local_tbl : (t, t * int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let intern_pair t =
-  match Hashtbl.find_opt intern_tbl t with
+  let cache = Domain.DLS.get local_tbl in
+  match Hashtbl.find_opt cache t with
   | Some p -> p
   | None ->
-    let id = !next_id in
-    incr next_id;
-    let p = (t, id) in
-    Hashtbl.add intern_tbl t p;
+    let p = intern_global t in
+    Hashtbl.add cache t p;
     p
 
 let intern t = fst (intern_pair t)

@@ -19,14 +19,23 @@ val equal : t -> t -> bool
 
 val intern : t -> t
 (** Canonical representative of a term: structurally equal terms intern
-    to the same allocation. *)
+    to the same allocation.
+
+    Domain-safe: a mutex-guarded global table is the single authority
+    for representatives and ids, and each domain keeps a lock-free
+    [Domain.DLS] read cache of global results — so all domains agree
+    on one physical representative (physical equality stays valid
+    across domains) and the fast path takes no lock. *)
 
 val id : t -> int
 (** [id t] is a dense non-negative integer identifying [t] up to
     structural equality; it is stable for the lifetime of the process.
     The per-(relation, position, term) indexes of {!Database} and the
     trigger keys of the chase are keyed on these ids instead of
-    rehashing structural values. *)
+    rehashing structural values. Note that the id {e assignment order}
+    depends on evaluation history (and, with a pool, on the domain
+    interleaving): ids must not leak into reproducibility-sensitive
+    orders — sort by {!compare}, or key on pure structure, instead. *)
 
 val is_const : t -> bool
 val is_null : t -> bool

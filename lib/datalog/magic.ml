@@ -153,10 +153,10 @@ let transform (sigma : Theory.t) (query : query) : Theory.t * string =
 (* Answers to [query] over [db]: evaluate the magic program and read the
    tuples of the adorned query relation matching the pattern, folding
    straight into a sorted set via the positional indexes. *)
-let answers (sigma : Theory.t) (query : query) (db : Database.t) : Term.t list list =
+let answers ?pool (sigma : Theory.t) (query : query) (db : Database.t) : Term.t list list =
   let program, out_rel = transform sigma query in
   let result =
-    if Theory.size program = 0 then db else Seminaive.eval program db
+    if Theory.size program = 0 then db else Seminaive.eval ?pool program db
   in
   let pattern = Atom.make out_rel query.q_pattern in
   let module Tuples = Set.Make (struct

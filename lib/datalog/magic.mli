@@ -26,7 +26,8 @@ val transform : Theory.t -> query -> Theory.t * string
     @raise Unsupported on negation, existential rules or multi-atom
     heads. *)
 
-val answers : Theory.t -> query -> Database.t -> Term.t list list
-(** Evaluate the magic program with {!Seminaive.eval} and read the
-    tuples matching the pattern. Agrees with plain evaluation restricted
-    to the query. *)
+val answers :
+  ?pool:Guarded_par.Pool.t -> Theory.t -> query -> Database.t -> Term.t list list
+(** Evaluate the magic program with {!Seminaive.eval} (forwarding
+    [?pool]) and read the tuples matching the pattern. Agrees with
+    plain evaluation restricted to the query. *)

@@ -114,10 +114,88 @@ let fire_naive p db acc_delta =
             if Database.add db fact then ignore (Database.add acc_delta fact))
           (Rule.head p.p_rule))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel rounds.
+
+   The pool variant runs the same differential fixpoint with one
+   change: within a round, firings match against an immutable snapshot
+   of the database (the state at the round barrier) instead of seeing
+   facts added earlier in the same round. Each work unit — a (rule,
+   anchor) pair for delta rounds, a whole rule for the first naive
+   round — collects its derived head instances into a private buffer;
+   at the barrier the buffers are merged sequentially in canonical
+   (rule, anchor, enumeration) order, deduplicating through
+   [Database.add]. A fact derived mid-round re-enters through the next
+   delta, so the fixpoint is the same set the sequential schedule
+   reaches, and the round contents are a function of (db, delta) alone
+   — independent of the domain count and of scheduling. *)
+
+(* Derived head instances of [p] anchored in [delta] at [anchor], in
+   enumeration order. Reads [db]/[delta] only; never mutates. *)
+let collect_with_delta p db delta (anchor, rest) =
+  let acc = ref [] in
+  Database.iter_candidates delta anchor (fun fact ->
+      match Subst.match_atom Subst.empty anchor fact with
+      | None -> ()
+      | Some subst ->
+        Homomorphism.iter_pos ~init:subst rest db (fun subst ->
+            if negs_ok db p.p_negs subst then
+              List.iter
+                (fun h -> acc := Subst.apply_atom subst h :: !acc)
+                (Rule.head p.p_rule)));
+  List.rev !acc
+
+let collect_naive p db =
+  let acc = ref [] in
+  Homomorphism.iter_pos p.p_body db (fun subst ->
+      if negs_ok db p.p_negs subst then
+        List.iter (fun h -> acc := Subst.apply_atom subst h :: !acc) (Rule.head p.p_rule));
+  List.rev !acc
+
+(* Merge the per-unit buffers into [db] in canonical order; new facts
+   also land in [delta]. *)
+let merge_buffers db delta buffers =
+  Array.iter
+    (fun facts ->
+      List.iter (fun fact -> if Database.add db fact then ignore (Database.add delta fact)) facts)
+    buffers
+
+let eval_rounds_parallel pool prepared index db =
+  let delta = Database.create () in
+  let buffers = Guarded_par.Pool.parallel_map (Some pool) (fun p -> collect_naive p db) prepared in
+  merge_buffers db delta buffers;
+  let current = ref delta in
+  while Database.cardinal !current > 0 do
+    let delta = !current in
+    let marked = affected_rules index prepared delta in
+    let units = ref [] in
+    Array.iteri
+      (fun idx p ->
+        if marked.(idx) then
+          List.iter
+            (fun ((anchor, _) as unit) ->
+              if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
+                units := (p, unit) :: !units)
+            p.p_anchors)
+      prepared;
+    let units = Array.of_list (List.rev !units) in
+    let buffers =
+      Guarded_par.Pool.parallel_map (Some pool)
+        (fun (p, unit) -> collect_with_delta p db delta unit)
+        units
+    in
+    let next = Database.create () in
+    merge_buffers db next buffers;
+    current := next
+  done
+
 (* Evaluate [sigma] over [db0] and return the fixpoint (input included).
    When the program mentions the built-in ACDom relation, it is
-   materialized from the input's active domain first. *)
-let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) =
+   materialized from the input's active domain first. Passing [?pool]
+   distributes each round's firings over the pool's domains; the
+   resulting fixpoint is identical (the fact set is unique), and the
+   default [None] keeps the sequential schedule byte-for-byte. *)
+let eval ?(acdom = true) ?pool (sigma : Theory.t) (db0 : Database.t) =
   check_datalog sigma;
   if not (Stratify.is_semipositive sigma) then
     invalid_arg "Seminaive.eval: program is not semipositive; use Stratified.chase";
@@ -125,16 +203,19 @@ let eval ?(acdom = true) (sigma : Theory.t) (db0 : Database.t) =
   if acdom && mentions_acdom sigma then Database.materialize_acdom db;
   let prepared = Array.of_list (List.map prepare (Theory.rules sigma)) in
   let index = rule_index prepared in
-  let delta = Database.create () in
-  Array.iter (fun p -> fire_naive p db delta) prepared;
-  let current = ref delta in
-  while Database.cardinal !current > 0 do
-    let next = Database.create () in
-    let marked = affected_rules index prepared !current in
-    Array.iteri (fun idx p -> if marked.(idx) then fire_with_delta p db !current next) prepared;
-    current := next
-  done;
+  (match pool with
+  | Some pool -> eval_rounds_parallel pool prepared index db
+  | None ->
+    let delta = Database.create () in
+    Array.iter (fun p -> fire_naive p db delta) prepared;
+    let current = ref delta in
+    while Database.cardinal !current > 0 do
+      let next = Database.create () in
+      let marked = affected_rules index prepared !current in
+      Array.iteri (fun idx p -> if marked.(idx) then fire_with_delta p db !current next) prepared;
+      current := next
+    done);
   db
 
-let answers (sigma : Theory.t) (db : Database.t) ~query =
-  Database.constant_tuples (eval sigma db) query
+let answers ?pool (sigma : Theory.t) (db : Database.t) ~query =
+  Database.constant_tuples (eval ?pool sigma db) query

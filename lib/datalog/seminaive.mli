@@ -13,14 +13,20 @@ val check_datalog : Theory.t -> unit
 
 val mentions_acdom : Theory.t -> bool
 
-val eval : ?acdom:bool -> Theory.t -> Database.t -> Database.t
+val eval :
+  ?acdom:bool -> ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> Database.t
 (** [eval sigma db] returns the fixpoint (input included). When the
     program mentions the built-in ACDom relation and [acdom] is true
     (default), ACDom is materialized from the input's active domain
-    first.
+    first. With [?pool], each round's firings are partitioned over the
+    pool's domains against an immutable snapshot of the database, with
+    a canonical-order merge at the round barrier: the resulting fact
+    set is identical to the sequential run for every domain count.
+    Without [?pool] (default) the sequential schedule is unchanged.
     @raise Invalid_argument on existential rules or non-semipositive
     negation. *)
 
-val answers : Theory.t -> Database.t -> query:string -> Term.t list list
+val answers :
+  ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> query:string -> Term.t list list
 (** Sorted, deduplicated constant tuples of the [query] relation in the
     fixpoint (folded into a set directly — no intermediate fact list). *)

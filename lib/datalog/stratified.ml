@@ -19,7 +19,8 @@ type result = {
 let mentions_acdom sigma =
   Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
 
-let chase ?(limits = Guarded_chase.Engine.default_limits) (sigma : Theory.t) (db0 : Database.t) =
+let chase ?(limits = Guarded_chase.Engine.default_limits) ?pool (sigma : Theory.t)
+    (db0 : Database.t) =
   let strata = Stratify.strata sigma in
   let db = Database.copy db0 in
   if mentions_acdom sigma then Database.materialize_acdom db;
@@ -32,11 +33,11 @@ let chase ?(limits = Guarded_chase.Engine.default_limits) (sigma : Theory.t) (db
         (* Datalog strata terminate; negated relations are static within
            the stratum, so evaluating absence against the evolving
            database coincides with the snapshot semantics. *)
-        current := Seminaive.eval ~acdom:false stratum snapshot
+        current := Seminaive.eval ~acdom:false ?pool stratum snapshot
       else begin
         let res =
           Guarded_chase.Engine.run ~limits
-            ~negation:(Guarded_chase.Engine.Snapshot snapshot) stratum snapshot
+            ~negation:(Guarded_chase.Engine.Snapshot snapshot) ?pool stratum snapshot
         in
         (match res.outcome with
         | Guarded_chase.Engine.Bounded -> outcome := Guarded_chase.Engine.Bounded
@@ -46,14 +47,14 @@ let chase ?(limits = Guarded_chase.Engine.default_limits) (sigma : Theory.t) (db
     strata;
   { db = !current; outcome = !outcome; strata_count = List.length strata }
 
-let entails ?limits sigma db atom =
-  let res = chase ?limits sigma db in
+let entails ?limits ?pool sigma db atom =
+  let res = chase ?limits ?pool sigma db in
   if Database.mem res.db atom then Guarded_chase.Engine.Proved
   else
     match res.outcome with
     | Guarded_chase.Engine.Saturated -> Guarded_chase.Engine.Disproved
     | Guarded_chase.Engine.Bounded -> Guarded_chase.Engine.Unknown
 
-let answers ?limits sigma db ~query =
-  let res = chase ?limits sigma db in
+let answers ?limits ?pool sigma db ~query =
+  let res = chase ?limits ?pool sigma db in
   (Database.constant_tuples res.db query, res.outcome)

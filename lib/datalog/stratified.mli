@@ -14,10 +14,19 @@ type result = {
 }
 
 val chase :
-  ?limits:Guarded_chase.Engine.limits -> Theory.t -> Database.t -> result
+  ?limits:Guarded_chase.Engine.limits ->
+  ?pool:Guarded_par.Pool.t ->
+  Theory.t ->
+  Database.t ->
+  result
+(** [?pool] is forwarded to the per-stratum evaluations
+    ({!Seminaive.eval} for Datalog strata, {!Guarded_chase.Engine.run}
+    with snapshot negation otherwise); the default [None] keeps the
+    sequential schedules unchanged. *)
 
 val entails :
   ?limits:Guarded_chase.Engine.limits ->
+  ?pool:Guarded_par.Pool.t ->
   Theory.t ->
   Database.t ->
   Atom.t ->
@@ -25,6 +34,7 @@ val entails :
 
 val answers :
   ?limits:Guarded_chase.Engine.limits ->
+  ?pool:Guarded_par.Pool.t ->
   Theory.t ->
   Database.t ->
   query:string ->

@@ -1,0 +1,153 @@
+(** Domain pool: persistent workers, a mutex-guarded job queue, and
+    barrier-style map/iter combinators. See the interface for the
+    contract; the implementation notes below cover the memory-model
+    obligations.
+
+    Publication protocol: [parallel_map] hands each worker a closure
+    that pulls element indexes from an [Atomic] counter and writes
+    results into a shared array. The caller participates too, then
+    blocks on a per-call condition variable until the submitted tasks
+    have signalled completion; that mutex acquisition is the
+    happens-before edge making the workers' result writes visible to
+    the caller. Exceptions inside [f] are captured into an [Atomic]
+    cell (first one wins), drain the remaining work quickly, and are
+    re-raised at the barrier. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;  (** participants: workers + the calling domain *)
+  mutable workers : unit Domain.t array;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable stopped : bool;
+}
+
+(* Worker main loop: block until a task or shutdown arrives. Tasks are
+   exception-safe wrappers built by [parallel_map]; the catch-all is a
+   backstop so a rogue task cannot kill the domain. *)
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopped do
+    Condition.wait pool.has_work pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopped *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (try task () with _ -> ());
+    worker_loop pool
+  end
+
+(* Every pool ever created, shut down at exit: a worker blocked on
+   [has_work] would otherwise keep the runtime alive after the main
+   domain returns. *)
+let registry = ref []
+let registry_mutex = Mutex.create ()
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stopped then Mutex.unlock pool.mutex
+  else begin
+    pool.stopped <- true;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let () = at_exit (fun () -> List.iter shutdown !registry)
+
+let create ?domains () =
+  let size =
+    max 1 (match domains with Some n -> n | None -> recommended_domains ())
+  in
+  let pool =
+    {
+      size;
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      stopped = false;
+    }
+  in
+  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Mutex.lock registry_mutex;
+  registry := pool :: !registry;
+  Mutex.unlock registry_mutex;
+  pool
+
+let size pool = pool.size
+
+let parallel_map pool f arr =
+  let n = Array.length arr in
+  let sequential () = Array.map f arr in
+  match pool with
+  | None -> sequential ()
+  | Some pool when pool.size <= 1 || pool.stopped || n <= 1 -> sequential ()
+  | Some pool ->
+    let results = Array.make n None in
+    let error : exn option Atomic.t = Atomic.make None in
+    let next = Atomic.make 0 in
+    (* One participant's share: pull indexes until exhausted (or an
+       exception elsewhere drains the run). *)
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+      done
+    in
+    let helpers = min (pool.size - 1) (n - 1) in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref helpers in
+    let task () =
+      work ();
+      Mutex.lock done_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock pool.mutex;
+    for _ = 1 to helpers do
+      Queue.add task pool.queue
+    done;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    work ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+
+let parallel_iter_chunks pool n f =
+  if n > 0 then begin
+    let parts =
+      match pool with
+      | None -> 1
+      | Some pool -> max 1 (min pool.size n)
+    in
+    if parts = 1 then f 0 n
+    else begin
+      let base = n / parts and rem = n mod parts in
+      let bounds =
+        Array.init parts (fun k ->
+            let lo = (k * base) + min k rem in
+            let hi = lo + base + if k < rem then 1 else 0 in
+            (lo, hi))
+      in
+      ignore (parallel_map pool (fun (lo, hi) -> f lo hi) bounds)
+    end
+  end

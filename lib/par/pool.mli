@@ -1,0 +1,56 @@
+(** A reusable pool of worker domains for data-parallel evaluation.
+
+    The pool owns [size - 1] spawned domains (the calling domain is the
+    remaining participant) that block on a job queue between parallel
+    sections, so repeated rounds of a fixpoint reuse the same domains
+    instead of paying a spawn per round. All combinators are barriers:
+    they return only once every chunk has been processed, with a
+    happens-before edge between the workers' writes and the caller's
+    reads of the results.
+
+    Callers thread a [t option] through evaluation entry points
+    ([?pool] parameters); [None] selects the sequential code path with
+    zero behavioral change. Work submitted to the pool must only read
+    shared structures (databases, rules) and write to chunk-private
+    buffers — the interning tables of {!Guarded_core.Term} and
+    {!Guarded_core.Atom} are domain-safe, everything else is the
+    caller's responsibility. Combinators may be nested: an inner
+    parallel section executed by a busy pool degrades to the calling
+    domain doing all chunks itself, so no deadlock arises. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] participants
+    ([domains - 1] worker domains). Defaults to
+    [Domain.recommended_domain_count ()]; values [< 1] are clamped to 1
+    (a pool of 1 runs everything on the calling domain but still takes
+    the parallel code paths, which is what determinism tests compare
+    against). Pools are registered for [at_exit] shutdown, so leaking
+    one cannot hang process exit. *)
+
+val size : t -> int
+(** Number of participants (worker domains + the caller). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], re-exported so callers need
+    no direct [Domain] dependency. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent; using the pool
+    afterwards runs all work on the calling domain. *)
+
+val parallel_map : t option -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] with the elements
+    processed concurrently by the pool's participants (dynamic
+    single-element scheduling, so uneven chunks balance). The result
+    array is in input order regardless of scheduling. [None], a pool of
+    1, and arrays of length [<= 1] run sequentially in the caller. If
+    any [f] raises, remaining elements may be skipped and the first
+    exception observed is re-raised in the caller. *)
+
+val parallel_iter_chunks : t option -> int -> (int -> int -> unit) -> unit
+(** [parallel_iter_chunks pool n f] splits the index range [0..n-1]
+    into at most [size pool] contiguous chunks and calls [f lo hi]
+    (with [hi] exclusive) on each, concurrently. [f] must write only to
+    per-chunk state. *)

@@ -175,7 +175,10 @@ let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
     (Theory.rules sigma);
   let seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 1024 in
   let all = ref [] in
+  (* The two resolution-partner classes, accumulated as rules arrive so
+     neither pop re-filters the whole closure. *)
   let datalog = ref [] in
+  let existential = ref [] in
   let count = ref 0 in
   let resolutions = ref 0 in
   let queue = Queue.create () in
@@ -187,7 +190,8 @@ let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
       if !count > max_rules then
         raise (Budget_exceeded (Fmt.str "Ξ(Σ) exceeded %d rules" max_rules));
       all := r :: !all;
-      if Rule.is_datalog r then datalog := r :: !datalog;
+      if Rule.is_datalog r then datalog := r :: !datalog
+      else existential := r :: !existential;
       Queue.add r queue
     end
   in
@@ -201,7 +205,7 @@ let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
        later additions re-examine the pairs from their own turn. *)
     incr resolutions;
     let datalog_snapshot = !datalog in
-    let existential_snapshot = List.filter (fun r' -> not (Rule.is_datalog r')) !all in
+    let existential_snapshot = !existential in
     if not (Rule.is_datalog r) then
       List.iter (fun d -> List.iter add (resolve r d)) datalog_snapshot
     else List.iter (fun r' -> List.iter add (resolve r' r)) existential_snapshot
@@ -270,9 +274,8 @@ let unify_terms ~is_pattern ~is_univ subst t1 t2 =
     match (t1, t2) with
     | Term.Var v, t when is_pattern v -> Some (Subst.add v t subst)
     | t, Term.Var v when is_pattern v -> Some (Subst.add v t subst)
-    | Term.Var v1, (Term.Var v2 as t) when is_univ v1 && is_univ v2 ->
-      ignore v2;
-      Some (Subst.add v1 t subst)
+    | Term.Var v1, Term.Var v2 when is_univ v1 && is_univ v2 ->
+      Some (Subst.add v1 t2 subst)
     | _ -> None
 
 let unify_atoms ~is_pattern ~is_univ subst pattern target =
@@ -289,12 +292,37 @@ let unify_atoms ~is_pattern ~is_univ subst pattern target =
     in
     go subst (Atom.terms pattern) (Atom.terms target)
 
-let resolution_key res =
-  Fmt.str "%a|%a|%a" Subst.pp res.res_theta
-    (Fmt.list ~sep:(Fmt.any ";") Atom.pp)
-    (List.sort Atom.compare res.res_invented)
-    (Fmt.list ~sep:(Fmt.any ";") Atom.pp)
-    (List.sort Atom.compare res.res_delta)
+(* Structural resolution identity: the θ bindings (sorted by variable,
+   courtesy of [Subst.bindings]) together with the sorted invented and
+   delta atom lists. Replaces a [Fmt.str]-printed string key — string
+   formatting in the inner resolution loop was measurable overhead and
+   allocation churn. Hashing goes through the pure term structure
+   (never [Term.id]/[Atom.id], whose assignment order depends on
+   evaluation history), so table iteration order — and with it the
+   saturation trace — is reproducible across runs. *)
+module Res_key = struct
+  type t = (string * Term.t) list * Atom.t list * Atom.t list
+
+  (* [Atom.equal] is physical equality, valid by hash-consing. *)
+  let equal (th1, i1, d1) (th2, i2, d2) =
+    List.equal
+      (fun (v1, t1) (v2, t2) -> String.equal v1 v2 && Term.equal t1 t2)
+      th1 th2
+    && List.equal Atom.equal i1 i2
+    && List.equal Atom.equal d1 d2
+
+  let atom_repr a = (Atom.rel a, Atom.ann a, Atom.args a)
+
+  let hash (theta, invented, delta) =
+    Hashtbl.hash (theta, List.map atom_repr invented, List.map atom_repr delta)
+end
+
+module Res_tbl = Hashtbl.Make (Res_key)
+
+let resolution_key res : Res_key.t =
+  ( Subst.bindings res.res_theta,
+    List.sort Atom.compare res.res_invented,
+    List.sort Atom.compare res.res_delta )
 
 (* All resolutions of the Datalog rule [d] (renamed apart already) into
    [obj]. The search is anchored: one body atom of [d] is first unified
@@ -315,10 +343,10 @@ let resolve_object ?(max_results = 4_000) obj d =
   in
   let all_targets = head_atoms @ obj.o_body in
   let body = Rule.body_atoms d in
-  let results : (string, resolution) Hashtbl.t = Hashtbl.create 16 in
+  let results : resolution Res_tbl.t = Res_tbl.create 16 in
   let overflow = ref false in
   let finish subst invented =
-    if Hashtbl.length results < max_results then begin
+    if Res_tbl.length results < max_results then begin
       let resolve_atom a = Atom.map_terms (deref subst) a in
       let theta =
         Names.Sset.fold
@@ -335,7 +363,7 @@ let resolve_object ?(max_results = 4_000) obj d =
           res_delta = List.map resolve_atom (Rule.head d);
         }
       in
-      Hashtbl.replace results (resolution_key res) res
+      Res_tbl.replace results (resolution_key res) res
     end
     else overflow := true
   in
@@ -394,7 +422,7 @@ let resolve_object ?(max_results = 4_000) obj d =
               go subst [] (List.filteri (fun j _ -> j <> i) body))
         evar_heads)
     body;
-  (Hashtbl.fold (fun _ r acc -> r :: acc) results [], !overflow)
+  (Res_tbl.fold (fun _ r acc -> r :: acc) results [], !overflow)
 
 let object_key body head =
   (* Head atoms ride along in the body so that the safety check cannot

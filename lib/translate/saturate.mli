@@ -44,7 +44,24 @@ val dat_via_closure : ?max_rules:int -> Theory.t -> Theory.t * stats
 
 val dat : ?max_rules:int -> Theory.t -> Theory.t * stats
 (** Consequence-driven dat(Σ) for a guarded (or any positive) theory:
-    same certain answers as Σ on every database (Thm. 3). *)
+    same certain answers as Σ on every database (Thm. 3).
+
+    Invariant (three variable sorts). Every variable taking part in a
+    resolution belongs to exactly one of three disjoint sorts, and the
+    internal unifier treats them asymmetrically:
+    - {e pattern} variables — the renamed-apart Datalog partner's own
+      variables — bind freely to any term;
+    - {e universal} variables of the object under saturation (the
+      variables of its body α) may merge only with each other,
+      implementing Fig. 3's g : vars(α) → vars(α);
+    - {e existential} variables of the object are rigid: they are never
+      substituted, and may only absorb pattern variables — a resolution
+      must chain through such a witness to be admissible (the
+      consequence-driven condition).
+    Partners are renamed apart before unification, so the sorts are
+    disjoint by construction; a variable violating this (e.g. a partner
+    sharing a name with the object after a collision) forces a fresh
+    renaming first. *)
 
 val dat_nearly_guarded : ?max_rules:int -> Theory.t -> Theory.t * stats
 (** Prop. 6: dat(Σg) ∪ Σd for a nearly guarded theory. *)

@@ -18,4 +18,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("join-engine", Test_join_engine.suite);
       ("properties", Test_properties.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,128 @@
+(** Properties of the domain-parallel evaluation paths: for every
+    domain count the parallel semi-naive fixpoint must compute exactly
+    the sequential fact set, and the parallel chase must be fully
+    deterministic — same labeled-null ids, same steps, same tree shape
+    — across domain counts and across repeated runs. *)
+
+open Guarded_core
+open Guarded_gen.Generator
+module Pool = Guarded_par.Pool
+module Engine = Guarded_chase.Engine
+module Tree = Guarded_chase.Tree
+module Seminaive = Guarded_datalog.Seminaive
+module Stratified = Guarded_datalog.Stratified
+
+(* One pool per tested domain count, shared across all cases (spawning
+   domains per case would dominate the suite's runtime). Pools register
+   an at_exit shutdown, so no explicit teardown is needed. A pool of 1
+   exercises the parallel code path — snapshot rounds, buffer merge —
+   on the calling domain alone, which is exactly what the determinism
+   comparison wants as its base case. *)
+let pools = lazy (List.map (fun n -> Pool.create ~domains:n ()) [ 1; 2; 4 ])
+
+let prop_parallel_seminaive_equals_sequential =
+  QCheck.Test.make ~count:60 ~name:"parallel_seminaive_equals_sequential"
+    (arbitrary_pair arbitrary_semipositive) (fun (sigma, db) ->
+      let reference = Seminaive.eval sigma db in
+      List.for_all
+        (fun pool -> Database.equal (Seminaive.eval ~pool sigma db) reference)
+        (Lazy.force pools))
+
+(* A chase run compressed to everything determinism must fix: the
+   derivation count, the exact fact set (nulls with their ids included,
+   via the sorted printed facts), and the per-step rule labels with the
+   added atoms in order. *)
+let chase_fingerprint (res : Engine.result) =
+  ( res.Engine.derivations,
+    Fmt.str "%a" Database.pp res.Engine.db,
+    List.map
+      (fun (s : Engine.step) ->
+        (Rule.to_string s.Engine.rule, List.map Atom.to_string s.Engine.added))
+      res.Engine.steps )
+
+let chase_limits = { Engine.max_derivations = 1_500; max_depth = Some 3 }
+
+let prop_parallel_chase_deterministic =
+  QCheck.Test.make ~count:40 ~name:"parallel_chase_deterministic"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, db) ->
+      let sigma = Normalize.normalize sigma in
+      let runs =
+        List.concat_map
+          (fun pool ->
+            [
+              Engine.run ~limits:chase_limits ~pool sigma db;
+              Engine.run ~limits:chase_limits ~pool sigma db;
+            ])
+          (Lazy.force pools)
+      in
+      match runs with
+      | [] -> true
+      | first :: rest ->
+        let fp = chase_fingerprint first in
+        List.for_all (fun r -> chase_fingerprint r = fp) rest)
+
+(* Tree placement must not depend on the domain count either: the same
+   steps must build the same chase tree. *)
+let prop_parallel_chase_tree_shape =
+  QCheck.Test.make ~count:25 ~name:"parallel chase: tree shape is domain-count invariant"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, db) ->
+      let sigma = Normalize.normalize sigma in
+      let shapes =
+        List.map
+          (fun pool ->
+            let res = Engine.run ~limits:chase_limits ~pool sigma db in
+            let tree = Tree.build sigma db res in
+            (Tree.node_count tree, Tree.width tree))
+          (Lazy.force pools)
+      in
+      match shapes with [] -> true | s :: rest -> List.for_all (( = ) s) rest)
+
+(* Against the sequential schedule the parallel chase may only differ
+   by a renaming of nulls: on saturated runs the sizes and the
+   constant answers agree. *)
+let prop_parallel_chase_isomorphic_to_sequential =
+  QCheck.Test.make ~count:40 ~name:"parallel chase ~ sequential chase (sizes, answers)"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, db) ->
+      let sigma = Normalize.normalize sigma in
+      let seq = Engine.run ~limits:chase_limits sigma db in
+      List.for_all
+        (fun pool ->
+          let par = Engine.run ~limits:chase_limits ~pool sigma db in
+          match (seq.Engine.outcome, par.Engine.outcome) with
+          | Engine.Saturated, Engine.Saturated ->
+            seq.Engine.derivations = par.Engine.derivations
+            && Database.cardinal seq.Engine.db = Database.cardinal par.Engine.db
+            && List.for_all
+                 (fun (rel, _) ->
+                   Database.constant_tuples seq.Engine.db rel
+                   = Database.constant_tuples par.Engine.db rel)
+                 signature
+          | Engine.Bounded, _ | _, Engine.Bounded ->
+            (* Truncation cuts by derivation order, which legitimately
+               differs between the schedules. *)
+            true)
+        (Lazy.force pools))
+
+(* The stratified chase (Datalog strata on the semi-naive engine,
+   existential strata on the chase engine) with a pool agrees with the
+   sequential evaluation on constant answers. *)
+let prop_parallel_stratified_answers =
+  QCheck.Test.make ~count:30 ~name:"parallel stratified chase: same constant answers"
+    (arbitrary_pair arbitrary_semipositive) (fun (sigma, db) ->
+      let answers pool =
+        List.map
+          (fun (rel, _) -> fst (Stratified.answers ?pool sigma db ~query:rel))
+          signature
+      in
+      let reference = answers None in
+      List.for_all (fun pool -> answers (Some pool) = reference) (Lazy.force pools))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_parallel_seminaive_equals_sequential;
+      prop_parallel_chase_deterministic;
+      prop_parallel_chase_tree_shape;
+      prop_parallel_chase_isomorphic_to_sequential;
+      prop_parallel_stratified_answers;
+    ]
