@@ -8,7 +8,8 @@
     per experiment.
 
     Usage: dune exec bench/main.exe [-- [--json FILE] [--domains SPEC] SECTION...]
-    Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup micro
+    Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup ablation
+    sat micro
 
     With [--json FILE] the run additionally records, per section, the
     wall-clock seconds and every printed table with its timing columns
@@ -19,8 +20,11 @@
     With [--domains SPEC] (comma-separated counts, e.g. [--domains 1,4])
     the requested sections run once per count, each against a
     {!Guarded_par.Pool} of that many domains wired into the fixpoint
-    sections (fig2, thm1, thm2, thm5, micro's chase). The first count
-    keeps the plain section ids — its result rows stay diffable against
+    sections (fig2, thm1, thm2, thm5, sat, micro's chase). Each count
+    runs in a fresh child process (the driver re-executes itself per
+    leg and splices the child recordings) so hash-cons-table and heap
+    growth from one leg cannot tax the next. The first count keeps the
+    plain section ids — its result rows stay diffable against
     sequential baselines, since the recorded rows are null-free — and
     later counts record under [id@dN]. Without the flag every section
     runs the unchanged sequential schedule. *)
@@ -31,6 +35,7 @@ module Tree = Guarded_chase.Tree
 module Seminaive = Guarded_datalog.Seminaive
 module Saturate = Guarded_translate.Saturate
 module Rewrite_fg = Guarded_translate.Rewrite_fg
+module Subsumption = Guarded_translate.Subsumption
 module Annotate = Guarded_translate.Annotate
 module Pipeline = Guarded_translate.Pipeline
 module Capture = Guarded_capture
@@ -766,6 +771,113 @@ let ablation () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* sat: the indexed given-clause closure vs the reference loop         *)
+
+let sat () =
+  section "sat" "indexed given-clause saturation vs the reference loop";
+  let canon_set sigma =
+    List.sort_uniq String.compare
+      (List.map (fun r -> Rule.to_string (Rule.canonicalize r)) (Theory.rules sigma))
+  in
+  (* Named inputs: Example 7 and the guarded family. The "agree" column
+     re-checks in place that the indexed loop builds the reference
+     closure (as a canonical rule set) on every input it is timed on. *)
+  Fmt.pr "@.Ξ(Σ): indexed closure vs reference (plus subsume mode):@.";
+  let inputs =
+    ("ex7", Parser.theory_of_string Workloads.example7_text)
+    :: List.map (fun w -> (Fmt.str "family-%d" w, guarded_family w)) [ 1; 2; 3 ]
+  in
+  let rows =
+    List.map
+      (fun (name, sigma) ->
+        let (xi, st), t_idx =
+          time (fun () -> Saturate.closure ?pool:!current_pool ~max_rules:100_000 sigma)
+        in
+        let (xi_ref, _), t_ref =
+          time (fun () -> Saturate.closure_reference ~max_rules:100_000 sigma)
+        in
+        let (_, st_sub), t_sub =
+          time (fun () ->
+              Saturate.closure ?pool:!current_pool ~max_rules:100_000 ~subsume:true sigma)
+        in
+        let agree = canon_set xi = canon_set xi_ref in
+        [
+          name;
+          string_of_int st.Saturate.closure_rules;
+          string_of_int st.Saturate.datalog_rules;
+          ms t_idx;
+          ms t_ref;
+          (if agree then "yes" else "NO");
+          string_of_int st_sub.Saturate.closure_rules;
+          ms t_sub;
+        ])
+      inputs
+  in
+  table
+    [ "input"; "|Ξ|"; "datalog"; "indexed"; "reference"; "agree"; "|Ξ| live"; "subsume" ]
+    rows;
+  (* Generated guarded theories, fixed seed: the indexed loop must
+     agree with the reference on every instance (budget overflows must
+     hit both). Cumulative times compare the loops across the batch. *)
+  Fmt.pr "@.Ξ(Σ) on generated guarded theories (seed 42):@.";
+  let rand = Random.State.make [| 42 |] in
+  let theories =
+    List.map Normalize.normalize
+      (QCheck.Gen.generate ~n:30 ~rand Guarded_gen.Generator.gen_guarded_theory)
+  in
+  let budget = 2_000 in
+  let run f sigma = try Some (f sigma) with Saturate.Budget_exceeded _ -> None in
+  let agreements = ref 0 and mismatches = ref 0 and overflows = ref 0 in
+  let total_rules = ref 0 in
+  let _, t_idx =
+    time (fun () ->
+        List.iter
+          (fun sigma ->
+            match run (Saturate.closure ?pool:!current_pool ~max_rules:budget) sigma with
+            | Some (_, st) -> total_rules := !total_rules + st.Saturate.closure_rules
+            | None -> incr overflows)
+          theories)
+  in
+  let _, t_ref =
+    time (fun () ->
+        List.iter
+          (fun sigma ->
+            let indexed = run (Saturate.closure ~max_rules:budget) sigma in
+            let reference = run (Saturate.closure_reference ~max_rules:budget) sigma in
+            match (indexed, reference) with
+            | Some (xi, _), Some (xi_ref, _) ->
+              if canon_set xi = canon_set xi_ref then incr agreements else incr mismatches
+            | None, None -> incr agreements
+            | Some _, None | None, Some _ -> incr mismatches)
+          theories)
+  in
+  table
+    [ "theories"; "agree"; "mismatch"; "overflow"; "Σ|Ξ|"; "indexed"; "indexed+reference" ]
+    [
+      [
+        string_of_int (List.length theories);
+        string_of_int !agreements;
+        string_of_int !mismatches;
+        string_of_int !overflows;
+        string_of_int !total_rules;
+        ms t_idx;
+        ms t_ref;
+      ];
+    ];
+  (* Subsumption.reduce on the closures: the indexed reducer's cost and
+     effect at closure sizes. *)
+  Fmt.pr "@.Subsumption.reduce on Ξ(Σ):@.";
+  let rows =
+    List.map
+      (fun (name, sigma) ->
+        let xi, _ = Saturate.closure ~max_rules:100_000 sigma in
+        let reduced, t_red = time (fun () -> Subsumption.reduce xi) in
+        [ name; string_of_int (Theory.size xi); string_of_int (Theory.size reduced); ms t_red ])
+      inputs
+  in
+  table [ "input"; "|Ξ|"; "|reduce(Ξ)|"; "time" ] rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per experiment                       *)
 
 let micro () =
@@ -821,7 +933,10 @@ let micro () =
     ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  (* Modest sampling budget: the section's wall time is almost entirely
+     quota * tests, and regression tracking needs the section cheap
+     enough to sweep across domain counts. *)
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.15) ~kde:None () in
   let grouped = Test.make_grouped ~name:"guarded" ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let ols =
@@ -858,6 +973,7 @@ let all_sections =
     ("thm5", thm5);
     ("blowup", blowup);
     ("ablation", ablation);
+    ("sat", sat);
     ("micro", micro);
   ]
 
@@ -885,38 +1001,119 @@ let run_sections ~suffix requested =
           (String.concat " " (List.map fst all_sections)))
     requested
 
+(* One leg of a multi-count sweep, run with [n] domains and section ids
+   suffixed by [suffix]. *)
+let run_leg ~n ~suffix requested =
+  let pool = Pool.create ~domains:n () in
+  current_pool := Some pool;
+  current_domains := Some n;
+  run_sections ~suffix requested;
+  current_pool := None;
+  current_domains := None;
+  Pool.shutdown pool
+
+(* Spawn this very executable for one leg of the sweep (inheriting the
+   console), with [--leg] marking it a child. Sweep legs get a fresh
+   process each: global state accumulated by earlier legs — the
+   hash-cons tables most of all, which every gensym-heavy rewriting
+   grows — otherwise taxes later legs, and the recorded seconds would
+   measure leg order instead of domain count. *)
+let spawn_leg ~n ~suffix ~json_file requested =
+  let args =
+    [ Sys.executable_name; "--domains"; string_of_int n; "--leg"; suffix ]
+    @ (match json_file with Some f -> [ "--json"; f ] | None -> [])
+    @ requested
+  in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> failwith (Fmt.str "bench: the leg for %d domains failed" n)
+
+(* Merge the children's recordings: each file is our own emitter's
+   output, so the section objects can be spliced textually — everything
+   between ["sections": \[] and the closing ["\n  ]\n}\n"]. *)
+let json_merge ~into files =
+  let read_all file =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let sections_text file =
+    let s = read_all file in
+    let marker = "\"sections\": [" in
+    let rec find i =
+      if i + String.length marker > String.length s then
+        failwith (Fmt.str "bench: %s is not a bench recording" file)
+      else if String.sub s i (String.length marker) = marker then i + String.length marker
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let tail = "\n  ]\n}\n" in
+    String.sub s start (String.length s - start - String.length tail)
+  in
+  let parts = List.filter (fun p -> String.trim p <> "") (List.map sections_text files) in
+  let oc = open_out into in
+  Printf.fprintf oc "{\n  \"generated_by\": \"bench/main.exe --json\",\n  \"sections\": [%s\n  ]\n}\n"
+    (String.concat "," parts);
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec split_flags json domains acc = function
+  let rec split_flags json domains leg acc = function
     | "--json" :: file :: rest ->
       json_enabled := true;
-      split_flags (Some file) domains acc rest
+      split_flags (Some file) domains leg acc rest
     | "--json" :: [] -> failwith "bench: --json expects a file argument"
-    | "--domains" :: spec :: rest -> split_flags json (Some (parse_domains spec)) acc rest
+    | "--domains" :: spec :: rest ->
+      split_flags json (Some (parse_domains spec)) leg acc rest
     | "--domains" :: [] -> failwith "bench: --domains expects counts, e.g. 1,4"
-    | a :: rest -> split_flags json domains (a :: acc) rest
-    | [] -> (json, domains, List.rev acc)
+    | "--leg" :: suffix :: rest -> split_flags json domains (Some suffix) acc rest
+    | "--leg" :: [] -> failwith "bench: --leg expects a suffix (internal flag)"
+    | a :: rest -> split_flags json domains leg (a :: acc) rest
+    | [] -> (json, domains, leg, List.rev acc)
   in
-  let json_file, domains, requested = split_flags None None [] args in
+  let json_file, domains, leg, requested = split_flags None None None [] args in
   let requested = if requested = [] then List.map fst all_sections else requested in
-  (match domains with
-  | None -> run_sections ~suffix:"" requested
-  | Some counts ->
-    List.iteri
-      (fun i n ->
-        let pool = Pool.create ~domains:n () in
-        current_pool := Some pool;
-        current_domains := Some n;
+  match (domains, leg) with
+  | None, _ -> (
+    run_sections ~suffix:"" requested;
+    match json_file with
+    | Some file ->
+      json_write file;
+      Fmt.pr "@.wrote %s (%d sections)@." file (List.length !json_sections)
+    | None -> ())
+  | Some [ n ], Some suffix -> (
+    (* Child leg of a sweep. *)
+    run_leg ~n ~suffix requested;
+    match json_file with Some file -> json_write file | None -> ())
+  | Some _, Some _ -> failwith "bench: --leg expects exactly one domain count"
+  | Some counts, None ->
+    (* The first count keeps the plain section ids so its recording
+       stays diffable against sequential baselines. *)
+    let legs =
+      List.mapi
+        (fun i n ->
+          let suffix = if i = 0 then "" else Fmt.str "@d%d" n in
+          let child_json =
+            Option.map (fun _ -> Filename.temp_file "bench_leg" ".json") json_file
+          in
+          (n, suffix, child_json))
+        counts
+    in
+    List.iter
+      (fun (n, suffix, child_json) ->
         Fmt.pr "@.### domains = %d ###@." n;
-        (* The first count keeps the plain section ids so its recording
-           stays diffable against sequential baselines. *)
-        run_sections ~suffix:(if i = 0 then "" else Fmt.str "@d%d" n) requested;
-        current_pool := None;
-        current_domains := None;
-        Pool.shutdown pool)
-      counts);
-  match json_file with
-  | Some file ->
-    json_write file;
-    Fmt.pr "@.wrote %s (%d sections)@." file (List.length !json_sections)
-  | None -> ()
+        Fmt.pr "@?";
+        spawn_leg ~n ~suffix ~json_file:child_json requested)
+      legs;
+    (match json_file with
+    | Some file ->
+      let files = List.filter_map (fun (_, _, f) -> f) legs in
+      json_merge ~into:file files;
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+      Fmt.pr "@.wrote %s (%d legs)@." file (List.length legs)
+    | None -> ())

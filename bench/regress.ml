@@ -1,0 +1,141 @@
+(** Bench regression gate: compare two [--json] recordings.
+
+    [regress.exe BASE CURRENT [--max-ratio R] [--slack S]] reads the
+    per-section [seconds] of both files and fails (exit 1) when any
+    section present in both satisfies [cur > R * base + S]. The slack
+    absorbs the constant noise floor of short sections (and of shared
+    CI runners); the ratio catches the real regressions — an indexed
+    loop degrading to a scan, a pool fanning out below its profitable
+    size. Sections only present on one side are reported and ignored,
+    so baselines need not be regenerated to add a section.
+
+    The recordings are written by {!Bench_main}'s own emitter and
+    parsed here with a hand-rolled scanner (the project deliberately
+    has no JSON dependency): each section object carries an ["id"]
+    string followed by a ["seconds"] number, and no other key of a
+    section object uses either name, so pairing the occurrences in
+    order reconstructs the table. *)
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file file =
+  match open_in_bin file with
+  | exception Sys_error e -> fail "regress: cannot open %s: %s" file e
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+(* [index_from_opt]-style search for a literal substring. *)
+let find_sub text pat from =
+  let n = String.length text and plen = String.length pat in
+  let rec go i =
+    if i + plen > n then None
+    else if String.sub text i plen = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Scan [text] for "key": occurrences and return what follows each, as
+   raw token text up to the next delimiter. *)
+let scan_key text key =
+  let pat = Fmt.str "\"%s\":" key in
+  let plen = String.length pat and n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match find_sub text pat !i with
+    | None -> continue := false
+    | Some j ->
+      let k = ref (j + plen) in
+      while !k < n && (text.[!k] = ' ' || text.[!k] = '\n') do incr k done;
+      let stop = ref !k in
+      if !k < n && text.[!k] = '"' then begin
+        incr stop;
+        while !stop < n && text.[!stop] <> '"' do incr stop done;
+        out := (j, String.sub text (!k + 1) (!stop - !k - 1)) :: !out
+      end
+      else begin
+        while
+          !stop < n
+          && (match text.[!stop] with
+             | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        out := (j, String.sub text !k (!stop - !k)) :: !out
+      end;
+      i := j + plen
+  done;
+  List.rev !out
+
+(* Pair every "id" with the first following "seconds": both appear
+   exactly once per section object, in that order. *)
+let sections_of_file file =
+  let text = read_file file in
+  let ids = scan_key text "id" in
+  let seconds = scan_key text "seconds" in
+  let rec pair ids seconds acc =
+    match ids with
+    | [] -> List.rev acc
+    | (pos, id) :: ids_rest -> (
+      match List.find_opt (fun (p, _) -> p > pos) seconds with
+      | None -> fail "regress: %s: section %S has no seconds field" file id
+      | Some (p, v) -> (
+        match float_of_string_opt v with
+        | None -> fail "regress: %s: unreadable seconds %S for section %S" file v id
+        | Some f ->
+          pair ids_rest (List.filter (fun (p', _) -> p' <> p) seconds) ((id, f) :: acc)))
+  in
+  pair ids seconds []
+
+let () =
+  let files = ref [] in
+  let max_ratio = ref 2.0 in
+  let slack = ref 0.25 in
+  let rec parse = function
+    | [] -> ()
+    | "--max-ratio" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some r when r > 0. -> max_ratio := r
+      | _ -> fail "regress: --max-ratio expects a positive number, got %S" v);
+      parse rest
+    | "--slack" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s >= 0. -> slack := s
+      | _ -> fail "regress: --slack expects a non-negative number, got %S" v);
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ base_file; cur_file ] ->
+    let base = sections_of_file base_file in
+    let cur = sections_of_file cur_file in
+    let failed = ref false in
+    List.iter
+      (fun (id, b) ->
+        match List.assoc_opt id cur with
+        | None -> Fmt.pr "skip   %-16s (not in %s)@." id cur_file
+        | Some c ->
+          let bound = (!max_ratio *. b) +. !slack in
+          if c > bound then begin
+            failed := true;
+            Fmt.pr "FAIL   %-16s %.3fs -> %.3fs (limit %.3fs = %g x %.3fs + %gs)@." id b c
+              bound !max_ratio b !slack
+          end
+          else Fmt.pr "ok     %-16s %.3fs -> %.3fs@." id b c)
+      base;
+    List.iter
+      (fun (id, _) ->
+        if not (List.mem_assoc id base) then
+          Fmt.pr "new    %-16s (not in %s)@." id base_file)
+      cur;
+    if !failed then exit 1
+  | _ ->
+    fail "usage: regress.exe BASE.json CURRENT.json [--max-ratio R] [--slack S]"

@@ -276,7 +276,15 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?
           rules;
         Array.of_list (List.rev !acc)
     in
-    let buffers = Guarded_par.Pool.parallel_map (Some pool) enumerate_unit units in
+    (* Unit count is the dispatch width, not the work: gate the fan-out
+       on the facts this round's units will actually scan. *)
+    let work =
+      match delta with
+      | None -> Database.cardinal db
+      | Some delta -> Database.cardinal delta
+    in
+    let min_work = if work >= Guarded_par.Pool.min_work pool then 1 else max_int in
+    let buffers = Guarded_par.Pool.parallel_map ~min_work (Some pool) enumerate_unit units in
     Array.iter
       (fun (idx, substs) ->
         List.iter (fun subst -> consider idx rules.(idx) new_trigger subst) substs)

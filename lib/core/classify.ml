@@ -34,44 +34,106 @@ let positions_of_var atoms x =
       |> snd)
     Pos_set.empty atoms
 
-(* Affected positions of a theory: least fixpoint of Def. 2. *)
+(* All variable positions of [atoms] in one pass: variable name to the
+   set of argument positions it occupies. The per-variable scans this
+   replaces were quadratic in the rule size and dominated theory-level
+   classification of large translated theories. *)
+let positions_map atoms =
+  let tbl : (string, Pos_set.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let key = Atom.rel_key a in
+      List.iteri
+        (fun i t ->
+          match t with
+          | Term.Var v ->
+            let prev = Option.value ~default:Pos_set.empty (Hashtbl.find_opt tbl v) in
+            Hashtbl.replace tbl v (Pos_set.add (key, i) prev)
+          | Term.Const _ | Term.Null _ -> ())
+        (Atom.args a))
+    atoms;
+  tbl
+
+(* Affected positions of a theory: least fixpoint of Def. 2.
+
+   The fixpoint runs over int-encoded positions — the interned relation
+   id shifted past the argument index — so the inner subset checks
+   compare machine integers instead of relation-name tuples; the result
+   is decoded into the public [Pos_set] once at the end. Position maps
+   of every rule are computed once, outside the iteration. *)
+module Int_set = Set.Make (Int)
+
+let pos_shift = 16 (* argument index lives in the low bits *)
+
+let positions_map_int atoms =
+  let tbl : (string, Int_set.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let rel = Atom.rel_id a in
+      List.iteri
+        (fun i t ->
+          match t with
+          | Term.Var v ->
+            let prev = Option.value ~default:Int_set.empty (Hashtbl.find_opt tbl v) in
+            Hashtbl.replace tbl v (Int_set.add ((rel lsl pos_shift) lor i) prev)
+          | Term.Const _ | Term.Null _ -> ())
+        (Atom.args a))
+    atoms;
+  tbl
+
 let affected_positions (sigma : Theory.t) =
-  let start =
-    List.fold_left
-      (fun acc r ->
-        Names.Sset.fold
-          (fun y acc -> Pos_set.union acc (positions_of_var (Rule.head r) y))
-          (Rule.evars r) acc)
-      Pos_set.empty (Theory.rules sigma)
+  (* Propagation candidates, computed once: a universal variable can
+     push positions into [ap] only if it occurs in both body and head
+     argument positions, so only those (body, head) position-set pairs
+     survive into the iterated step. *)
+  let start = ref Int_set.empty in
+  let candidates =
+    List.concat_map
+      (fun r ->
+        let body_pos = positions_map_int (Rule.body_atoms r) in
+        let head_pos = positions_map_int (Rule.head r) in
+        Names.Sset.iter
+          (fun y ->
+            match Hashtbl.find_opt head_pos y with
+            | Some ps -> start := Int_set.union !start ps
+            | None -> ())
+          (Rule.evars r);
+        Hashtbl.fold
+          (fun x body_ps acc ->
+            if Names.Sset.mem x (Rule.evars r) then acc
+            else
+              match Hashtbl.find_opt head_pos x with
+              | Some head_ps -> (body_ps, head_ps) :: acc
+              | None -> acc)
+          body_pos [])
+      (Theory.rules sigma)
   in
   let step ap =
     List.fold_left
-      (fun ap r ->
-        let body = Rule.body_atoms r in
-        Names.Sset.fold
-          (fun x ap ->
-            let body_pos = positions_of_var body x in
-            if (not (Pos_set.is_empty body_pos)) && Pos_set.subset body_pos ap then
-              Pos_set.union ap (positions_of_var (Rule.head r) x)
-            else ap)
-          (Rule.uvars r) ap)
-      ap (Theory.rules sigma)
+      (fun ap (body_ps, head_ps) ->
+        if Int_set.subset body_ps ap then Int_set.union ap head_ps else ap)
+      ap candidates
   in
   let rec fix ap =
     let ap' = step ap in
-    if Pos_set.cardinal ap' = Pos_set.cardinal ap then ap else fix ap'
+    if Int_set.cardinal ap' = Int_set.cardinal ap then ap else fix ap'
   in
-  fix start
+  let start = !start in
+  Int_set.fold
+    (fun code acc ->
+      Pos_set.add (Atom.rel_key_of_id (code lsr pos_shift), code land ((1 lsl pos_shift) - 1)) acc)
+    (fix start) Pos_set.empty
 
 (* Variables of [r] that are unsafe w.r.t. the affected positions [ap]:
    they occur in argument positions and all those occurrences are
    affected. Variables living only in annotations are safe. *)
 let unsafe_vars ~ap r =
-  let body = Rule.body_atoms r in
+  let body_pos = positions_map (Rule.body_atoms r) in
   Names.Sset.filter
     (fun x ->
-      let body_pos = positions_of_var body x in
-      (not (Pos_set.is_empty body_pos)) && Pos_set.subset body_pos ap)
+      match Hashtbl.find_opt body_pos x with
+      | Some ps -> Pos_set.subset ps ap
+      | None -> false)
     (Rule.uvars r)
 
 (* A body atom of [r] covering the variable set [vs], if any. When [vs]

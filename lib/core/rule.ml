@@ -97,6 +97,19 @@ let make ?label ?(evars = []) body head =
 let make_pos ?label ?evars body head =
   make ?label ?evars (List.map (fun a -> Literal.Pos a) body) head
 
+(* Trusted positive-body constructor: skips the safety checks of {!make}
+   for callers that guarantee them structurally (e.g. bulk rule
+   generation where the guard atom contains every variable by
+   construction). The checks cost several set folds per rule, which
+   dominates tight rewriting loops. *)
+let make_pos_unchecked ?label ?(evars = []) body head =
+  {
+    label;
+    body = List.map (fun a -> Literal.Pos a) body;
+    head;
+    evars = Names.Sset.of_list evars;
+  }
+
 let with_label label r = { r with label = Some label }
 
 (* Apply a substitution to a rule. The substitution must not mention the
@@ -183,6 +196,53 @@ let structural_key r =
     List.map Atom.id r.head,
     Names.Sset.elements r.evars )
 
+(* Renaming-invariant keys with a stored hash. The payload is an int
+   array encoding the rule's atoms in canonical (color-sorted) order
+   with variables numbered by first occurrence, so two rules get equal
+   keys iff they are variants of each other (up to the usual 1-WL
+   caveat, see {!canonicalize}). Probing a hash table keyed on these is
+   the O(1) dedup at the heart of the closure loops. *)
+module Key = struct
+  type t = { arr : int array; h : int }
+
+  let make arr =
+    let h = ref 0 in
+    Array.iter (fun c -> h := (!h * 31) + c) arr;
+    { arr; h = !h land max_int }
+
+  let equal k1 k2 = k1.h = k2.h && k1.arr = k2.arr
+  let hash k = k.h
+
+  let compare k1 k2 =
+    let c = Int.compare k1.h k2.h in
+    if c <> 0 then c else Stdlib.compare k1.arr k2.arr
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end
+
+(* Renaming-*sensitive* key from hash-consed atom ids: a much cheaper
+   prefilter than {!canonical_key} for streams of rules that mostly
+   repeat verbatim (same variable names) before differing by renaming. *)
+let raw_key r =
+  let buf = ref [] in
+  List.iter
+    (fun l ->
+      let id = Atom.id (Literal.atom l) in
+      buf := (if Literal.is_neg l then (2 * id) + 1 else 2 * id) :: !buf)
+    r.body;
+  buf := -1 :: !buf;
+  List.iter (fun a -> buf := (2 * Atom.id a) :: !buf) r.head;
+  buf := -2 :: !buf;
+  Names.Sset.iter
+    (fun v -> buf := (2 * Term.id (Term.intern (Term.Var v))) + 1 :: !buf)
+    r.evars;
+  Key.make (Array.of_list (List.rev !buf))
+
 (* Canonical form up to variable renaming, used to deduplicate rules in
    the closures ex(Σ) and Ξ(Σ). Variables are distinguished by iterated
    color refinement over their occurrence structure (a 1-WL pass over
@@ -199,53 +259,104 @@ let structural_key r =
    rules agree on them), and occurrence contexts are int lists compared
    structurally. This keeps canonicalization — the inner loop of the
    closure dedup — free of string building. *)
-let canonicalize r =
+let canonical_core r =
   let occurrences =
     (* (tag, atom) with tags distinguishing positive/negative/head *)
     List.map (fun l -> ((if Literal.is_neg l then 1 else 0), Literal.atom l)) r.body
     @ List.map (fun a -> (2, a)) r.head
   in
-  let var_arr = Array.of_list (Names.Sset.elements (vars r)) in
-  let nvars = Array.length var_arr in
-  let var_idx : (string, int) Hashtbl.t = Hashtbl.create (2 * (nvars + 1)) in
-  Array.iteri (fun i v -> Hashtbl.replace var_idx v i) var_arr;
+  let atoms_arr = Array.of_list occurrences in
+  let natoms = Array.length atoms_arr in
+  (* Resolve every term to an int code once — variable names hit the
+     string table here and never again: code >= 0 is a dense variable
+     index (first-occurrence order), code < 0 encodes a ground term as
+     [-id - 1]. All later passes are pure int work. *)
+  let var_idx : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let var_names = ref [] in
+  let codes =
+    Array.map
+      (fun (_, a) ->
+        let ts = Atom.terms a in
+        let arr = Array.make (List.length ts) 0 in
+        List.iteri
+          (fun pos t ->
+            arr.(pos) <-
+              (match t with
+              | Term.Var v -> (
+                match Hashtbl.find_opt var_idx v with
+                | Some i -> i
+                | None ->
+                  let i = Hashtbl.length var_idx in
+                  Hashtbl.add var_idx v i;
+                  var_names := v :: !var_names;
+                  i)
+              | (Term.Const _ | Term.Null _) as t -> -Term.id t - 1))
+          ts;
+        arr)
+      atoms_arr
+  in
+  let nvars = Hashtbl.length var_idx in
+  let var_name = Array.make (max 1 nvars) "" in
+  List.iteri (fun k v -> var_name.(nvars - 1 - k) <- v) !var_names;
   let color = Array.make (max 1 nvars) 0 in
-  Array.iteri (fun i v -> if Names.Sset.mem v r.evars then color.(i) <- 1) var_arr;
+  Array.iteri (fun i v -> if Names.Sset.mem v r.evars then color.(i) <- 1) var_name;
   (* Term colors in a single int space: variables map to even numbers
      via their current color, ground terms to odd numbers via their
      interned id. *)
-  let term_color = function
-    | Term.Var v -> 2 * color.(Hashtbl.find var_idx v)
-    | (Term.Const _ | Term.Null _) as t -> (2 * Term.id t) + 1
+  let term_color c = if c >= 0 then 2 * color.(c) else (2 * (-c - 1)) + 1 in
+  let var_occs = Array.make (max 1 nvars) [] in
+  Array.iteri
+    (fun ai arr ->
+      Array.iteri
+        (fun pos c -> if c >= 0 then var_occs.(c) <- (ai, pos) :: var_occs.(c))
+        arr)
+    codes;
+  let width = 1 + Array.fold_left (fun acc ts -> max acc (Array.length ts)) 0 codes in
+  let cmp_ints = List.compare Int.compare in
+  (* Sort-based compression: assign dense ids to an array of int-list
+     keys, numbered in sorted key order (renaming-invariant), without
+     intermediate hash tables. [out.(i)] receives the id of [keys.(i)];
+     returns the number of distinct keys. *)
+  let compress keys out =
+    let n = Array.length keys in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun i j -> cmp_ints keys.(i) keys.(j)) order;
+    let count = ref 0 in
+    let prev = ref None in
+    Array.iter
+      (fun i ->
+        (match !prev with
+        | Some k when cmp_ints keys.(i) k = 0 -> ()
+        | Some _ | None ->
+          incr count;
+          prev := Some keys.(i));
+        out.(i) <- !count - 1)
+      order;
+    !count
   in
   (* One refinement round: each variable's new color is its old color
      plus the sorted multiset of its colored occurrence contexts.
-     Returns the number of color classes. *)
+     Contexts are packed into single ints — atom signatures (tag, rel,
+     term colors) are interned to dense ids in sorted-signature order,
+     and a context is [sig id * width + position] — so the per-variable
+     keys are flat int lists, never nested structures. Every
+     intermediate is renaming-invariant. Returns the class count. *)
   let refine () =
-    let contexts = Array.make (max 1 nvars) [] in
-    List.iter
-      (fun (tag, a) ->
-        let sig_ = tag :: Atom.rel_id a :: List.map term_color (Atom.terms a) in
-        List.iteri
-          (fun pos t ->
-            match t with
-            | Term.Var v ->
-              let i = Hashtbl.find var_idx v in
-              contexts.(i) <- (pos :: sig_) :: contexts.(i)
-            | Term.Const _ | Term.Null _ -> ())
-          (Atom.terms a))
-      occurrences;
-    (* compress the (old color, contexts) pairs into fresh color ids,
-       numbered in sorted key order so the result is renaming-invariant *)
+    let sigs =
+      Array.init natoms (fun ai ->
+          let tag, a = atoms_arr.(ai) in
+          tag :: Atom.rel_id a
+          :: Array.fold_right (fun c acc -> term_color c :: acc) codes.(ai) [])
+    in
+    let atom_sig = Array.make (max 1 natoms) 0 in
+    ignore (compress sigs atom_sig);
     let keys =
       Array.init nvars (fun i ->
-          (color.(i), List.sort Stdlib.compare contexts.(i)))
+          color.(i)
+          :: List.sort Int.compare
+               (List.map (fun (ai, pos) -> (atom_sig.(ai) * width) + pos) var_occs.(i)))
     in
-    let sorted = List.sort_uniq Stdlib.compare (Array.to_list keys) in
-    let id_of = Hashtbl.create (2 * (nvars + 1)) in
-    List.iteri (fun c k -> Hashtbl.replace id_of k c) sorted;
-    Array.iteri (fun i k -> color.(i) <- Hashtbl.find id_of k) keys;
-    List.length sorted
+    compress keys color
   in
   (* Refinement only ever splits classes, so an unchanged class count
      means a fixed point: stop early. The stopping rule depends only on
@@ -257,21 +368,60 @@ let canonicalize r =
     end
   in
   refine_until 0 0;
-  (* Sort atoms by their colored shape, then rename variables by first
-     occurrence in that order. *)
-  let colored_key a = (Atom.rel_id a, List.map term_color (Atom.terms a)) in
+  (* Sort atoms by their colored shape: body atoms by (sign, relation,
+     colors) — stable, preserving input order on ties — head atoms by
+     (relation, colors). *)
+  let colored ai = Array.map term_color codes.(ai) in
+  let cmp_colored a1 c1 a2 c2 =
+    let c = Int.compare (Atom.rel_id a1) (Atom.rel_id a2) in
+    if c <> 0 then c
+    else begin
+      let n1 = Array.length c1 and n2 = Array.length c2 in
+      let rec go i =
+        if i >= n1 || i >= n2 then Int.compare n1 n2
+        else
+          let c = Int.compare c1.(i) c2.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
+  in
+  let nbody = List.length r.body in
+  let sort_idx lo n cmp =
+    let order = Array.init n (fun k -> lo + k) in
+    (* stable: ties broken by original index *)
+    Array.sort
+      (fun i j ->
+        let c = cmp i j in
+        if c <> 0 then c else Int.compare i j)
+      order;
+    order
+  in
+  let colors_of = Array.init natoms colored in
+  let body_order =
+    sort_idx 0 nbody (fun i j ->
+        let ti, ai = atoms_arr.(i) and tj, aj = atoms_arr.(j) in
+        let c = Int.compare ti tj in
+        if c <> 0 then c else cmp_colored ai colors_of.(i) aj colors_of.(j))
+  in
+  let head_order =
+    sort_idx nbody (natoms - nbody) (fun i j ->
+        let _, ai = atoms_arr.(i) and _, aj = atoms_arr.(j) in
+        cmp_colored ai colors_of.(i) aj colors_of.(j))
+  in
+  (atoms_arr, codes, nvars, var_name, body_order, head_order)
+
+let canonicalize r =
+  let atoms_arr, _, _, _, body_order, head_order = canonical_core r in
   let body_sorted =
-    List.map snd
-      (List.stable_sort
-         (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2)
-         (List.map (fun l -> ((Literal.is_neg l, colored_key (Literal.atom l)), l)) r.body))
+    Array.to_list
+      (Array.map
+         (fun i ->
+           let tag, a = atoms_arr.(i) in
+           if tag = 1 then Literal.Neg a else Literal.Pos a)
+         body_order)
   in
-  let head_sorted =
-    List.map snd
-      (List.stable_sort
-         (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2)
-         (List.map (fun a -> (colored_key a, a)) r.head))
-  in
+  let head_sorted = Array.to_list (Array.map (fun i -> snd atoms_arr.(i)) head_order) in
   let counter = ref 0 in
   let mapping = Hashtbl.create 16 in
   let rename_var v =
@@ -298,6 +448,63 @@ let canonicalize r =
   let renamed = { label = None; body; head; evars } in
   (* A final plain sort for a stable printed form. *)
   { renamed with body = List.sort Literal.compare renamed.body; head = List.sort Atom.compare renamed.head }
+
+(* The canonical key encodes each atom as an int vector — sign tag,
+   relation id, then variables as 2 x first-occurrence index (in the
+   color-sorted order, mirroring the v0, v1, ... renaming) and ground
+   terms as 2 x interned id + 1 — so deduplication never builds renamed
+   atoms, strings, or string sets. The vectors are re-sorted before
+   flattening, matching the final plain sort of {!canonicalize}: the
+   key compares atom *multisets* of the renamed form, so it
+   discriminates exactly like [structural_key o canonicalize]. *)
+let canonical_key r =
+  let atoms_arr, codes, nvars, var_name, body_order, head_order = canonical_core r in
+  let num = Array.make (max 1 nvars) (-1) in
+  let next = ref 0 in
+  let code_out c =
+    if c >= 0 then begin
+      if num.(c) < 0 then begin
+        num.(c) <- !next;
+        incr next
+      end;
+      2 * num.(c)
+    end
+    else (2 * (-c - 1)) + 1
+  in
+  let atom_vec i =
+    let tag, a = atoms_arr.(i) in
+    tag :: Atom.rel_id a
+    :: Array.fold_right (fun c acc -> code_out c :: acc) codes.(i) []
+  in
+  (* Numbering must follow the canonical traversal order, so build the
+     vectors in sorted order before the final multiset re-sort. *)
+  let body_vecs = Array.to_list (Array.map atom_vec body_order) in
+  let head_vecs = Array.to_list (Array.map atom_vec head_order) in
+  let evar_codes =
+    List.sort Int.compare
+      (Names.Sset.fold
+         (fun v acc ->
+           (* existential variables occur in the head, so they are numbered *)
+           let rec find i = if var_name.(i) = v then i else find (i + 1) in
+           num.(find 0) :: acc)
+         r.evars [])
+  in
+  let buf = ref [] in
+  let push c = buf := c :: !buf in
+  List.iter
+    (fun vec ->
+      push (-3);
+      List.iter push vec)
+    (List.sort Stdlib.compare body_vecs);
+  push (-1);
+  List.iter
+    (fun vec ->
+      push (-3);
+      List.iter push vec)
+    (List.sort Stdlib.compare head_vecs);
+  push (-2);
+  List.iter push evar_codes;
+  Key.make (Array.of_list (List.rev !buf))
 
 let pp ppf r =
   let pp_evars ppf evars =

@@ -15,6 +15,11 @@ val make : ?label:string -> ?evars:string list -> Literal.t list -> Atom.t list 
 val make_pos : ?label:string -> ?evars:string list -> Atom.t list -> Atom.t list -> t
 (** Positive-body convenience constructor. *)
 
+val make_pos_unchecked : ?label:string -> ?evars:string list -> Atom.t list -> Atom.t list -> t
+(** Trusted positive-body constructor: skips {!make}'s safety checks.
+    Only for callers whose construction guarantees the invariants (e.g.
+    guard-variant generation where the guard contains every variable). *)
+
 val body : t -> Literal.t list
 val head : t -> Atom.t list
 val label : t -> string option
@@ -70,6 +75,33 @@ val structural_key : t -> structural_key
     ids: equal keys iff the rules are structurally equal up to the
     label. [structural_key (canonicalize r)] is the cheap dedup key for
     rule closures — hashing int lists instead of printed rules. *)
+
+(** Flat int-array keys with a stored hash, for O(1) rule dedup. *)
+module Key : sig
+  type t
+
+  val make : int array -> t
+  (** Key over a caller-built code array; callers are responsible for
+      feeding arrays whose equality captures the identity they intend
+      (see {!raw_key} and {!canonical_key} for the rule encodings). *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val compare : t -> t -> int
+
+  (** Hash tables keyed on rule keys. *)
+  module Tbl : Hashtbl.S with type key = t
+end
+
+val canonical_key : t -> Key.t
+(** A renaming-invariant key: equal on two rules iff their
+    {!canonicalize} forms coincide, computed without building renamed
+    atoms or strings. The label is ignored. *)
+
+val raw_key : t -> Key.t
+(** A renaming-{e sensitive} structural key from hash-consed atom ids —
+    a cheap prefilter in front of {!canonical_key} for rule streams
+    that mostly repeat verbatim. The label is ignored. *)
 
 val canonicalize : t -> t
 (** A canonical variant up to variable renaming, used to deduplicate

@@ -50,13 +50,13 @@ let max_vars_per_rule (sigma : t) =
 
 (* Deduplicate rules up to variable renaming (canonical forms). *)
 let dedup (sigma : t) : t =
-  let seen = Hashtbl.create 64 in
+  let seen = Rule.Key.Tbl.create 64 in
   List.filter
     (fun r ->
-      let key = Rule.structural_key (Rule.canonicalize r) in
-      if Hashtbl.mem seen key then false
+      let key = Rule.canonical_key r in
+      if Rule.Key.Tbl.mem seen key then false
       else begin
-        Hashtbl.add seen key ();
+        Rule.Key.Tbl.add seen key ();
         true
       end)
     sigma

@@ -160,9 +160,24 @@ let merge_buffers db delta buffers =
       List.iter (fun fact -> if Database.add db fact then ignore (Database.add delta fact)) facts)
     buffers
 
+(* The dispatch width of a round is its rule-anchor unit count, but the
+   work is proportional to the facts those units will scan: a round
+   over a tiny delta is pure pool overhead however many units it has.
+   The pool's element threshold is therefore re-read as a fact
+   threshold here — rounds below it run their units sequentially
+   ([~min_work:1] then forces the dispatch for the rounds above it). *)
+let round_min_work pool work =
+  if work >= Guarded_par.Pool.min_work pool then 1 else max_int
+
 let eval_rounds_parallel pool prepared index db =
   let delta = Database.create () in
-  let buffers = Guarded_par.Pool.parallel_map (Some pool) (fun p -> collect_naive p db) prepared in
+  let buffers =
+    Guarded_par.Pool.parallel_map
+      ~min_work:(round_min_work pool (Database.cardinal db))
+      (Some pool)
+      (fun p -> collect_naive p db)
+      prepared
+  in
   merge_buffers db delta buffers;
   let current = ref delta in
   while Database.cardinal !current > 0 do
@@ -180,7 +195,9 @@ let eval_rounds_parallel pool prepared index db =
       prepared;
     let units = Array.of_list (List.rev !units) in
     let buffers =
-      Guarded_par.Pool.parallel_map (Some pool)
+      Guarded_par.Pool.parallel_map
+        ~min_work:(round_min_work pool (Database.cardinal delta))
+        (Some pool)
         (fun (p, unit) -> collect_with_delta p db delta unit)
         units
     in

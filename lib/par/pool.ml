@@ -17,7 +17,9 @@ type task = unit -> unit
 
 type t = {
   size : int;  (** participants: workers + the calling domain *)
+  min_work : int;  (** below this many elements, run sequentially *)
   mutable workers : unit Domain.t array;
+  mutable started : bool;  (** workers spawned (lazily, on first dispatch) *)
   queue : task Queue.t;
   mutex : Mutex.t;
   has_work : Condition.t;
@@ -61,34 +63,68 @@ let shutdown pool =
 
 let () = at_exit (fun () -> List.iter shutdown !registry)
 
-let create ?domains () =
-  let size =
+let default_min_work = 32
+
+let create ?domains ?(min_work = default_min_work) ?(oversubscribe = false) () =
+  let requested =
     max 1 (match domains with Some n -> n | None -> recommended_domains ())
+  in
+  (* More domains than cores is a strict loss: domains are heavyweight,
+     and every minor collection is a rendezvous across all of them, so
+     an oversubscribed pool slows even the code that never dispatches
+     to it. Clamp to the hardware unless the caller insists (tests do,
+     to exercise multi-domain scheduling on any machine). *)
+  let size =
+    if oversubscribe then requested else min requested (recommended_domains ())
   in
   let pool =
     {
       size;
+      min_work = max 1 min_work;
       workers = [||];
+      started = false;
       queue = Queue.create ();
       mutex = Mutex.create ();
       has_work = Condition.create ();
       stopped = false;
     }
   in
-  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   Mutex.lock registry_mutex;
   registry := pool :: !registry;
   Mutex.unlock registry_mutex;
   pool
 
-let size pool = pool.size
+(* Worker domains are spawned on the first dispatch that actually fans
+   out, not at [create]: idle domains are not free — every minor
+   collection is a stop-the-world rendezvous across all domains — so a
+   pool whose batches all fall under the fan-out threshold must cost
+   exactly nothing. Called with [pool.mutex] held. *)
+let ensure_workers pool =
+  if (not pool.started) && not pool.stopped then begin
+    pool.started <- true;
+    pool.workers <-
+      Array.init (pool.size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool))
+  end
 
-let parallel_map pool f arr =
+let size pool = pool.size
+let min_work pool = pool.min_work
+
+(* Fan-out threshold: the per-call override wins, else the pool's. The
+   queue/condvar round trip costs more than a batch of small elements,
+   so tiny batches stay on the calling domain — on few-core boxes this
+   is what keeps pooled runs from regressing below sequential ones. *)
+let effective_min_work min_work pool =
+  match min_work with Some m -> max 1 m | None -> pool.min_work
+
+let parallel_map ?min_work pool f arr =
   let n = Array.length arr in
   let sequential () = Array.map f arr in
   match pool with
   | None -> sequential ()
-  | Some pool when pool.size <= 1 || pool.stopped || n <= 1 -> sequential ()
+  | Some pool
+    when pool.size <= 1 || pool.stopped || n <= 1
+         || n < effective_min_work min_work pool ->
+    sequential ()
   | Some pool ->
     let results = Array.make n None in
     let error : exn option Atomic.t = Atomic.make None in
@@ -118,6 +154,7 @@ let parallel_map pool f arr =
       Mutex.unlock done_mutex
     in
     Mutex.lock pool.mutex;
+    ensure_workers pool;
     for _ = 1 to helpers do
       Queue.add task pool.queue
     done;
@@ -132,11 +169,12 @@ let parallel_map pool f arr =
     (match Atomic.get error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
 
-let parallel_iter_chunks pool n f =
+let parallel_iter_chunks ?min_work pool n f =
   if n > 0 then begin
     let parts =
       match pool with
       | None -> 1
+      | Some pool when n < effective_min_work min_work pool -> 1
       | Some pool -> max 1 (min pool.size n)
     in
     if parts = 1 then f 0 n
@@ -148,6 +186,8 @@ let parallel_iter_chunks pool n f =
             let hi = lo + base + if k < rem then 1 else 0 in
             (lo, hi))
       in
-      ignore (parallel_map pool (fun (lo, hi) -> f lo hi) bounds)
+      (* The bounds array has only [parts] elements; the threshold was
+         already applied to [n], so don't re-apply it here. *)
+      ignore (parallel_map ~min_work:1 pool (fun (lo, hi) -> f lo hi) bounds)
     end
   end

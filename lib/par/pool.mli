@@ -20,17 +20,41 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** [create ~domains ()] spawns a pool of [domains] participants
-    ([domains - 1] worker domains). Defaults to
+val create : ?domains:int -> ?min_work:int -> ?oversubscribe:bool -> unit -> t
+(** [create ~domains ()] makes a pool of [domains] participants
+    ([domains - 1] worker domains, spawned lazily on the first dispatch
+    that actually fans out — idle domains still cost stop-the-world
+    collection rendezvous, so an unused pool costs nothing). Defaults to
     [Domain.recommended_domain_count ()]; values [< 1] are clamped to 1
     (a pool of 1 runs everything on the calling domain but still takes
     the parallel code paths, which is what determinism tests compare
     against). Pools are registered for [at_exit] shutdown, so leaking
-    one cannot hang process exit. *)
+    one cannot hang process exit.
+
+    [domains] is clamped to [recommended_domains ()] unless
+    [oversubscribe] is set: running more domains than cores is a strict
+    loss in OCaml 5 — each one joins every stop-the-world minor
+    collection, slowing even code that never dispatches to the pool —
+    so only tests (which must exercise multi-domain scheduling on
+    whatever machine CI provides) opt out of the clamp.
+
+    [min_work] (default 32, clamped to [>= 1]) is the pool's fan-out
+    threshold: parallel sections over fewer elements run sequentially
+    on the calling domain. Dispatching a handful of elements costs more
+    in queue and condition-variable traffic than it buys — on machines
+    with few cores it made pooled fixpoints measurably slower than
+    sequential ones — and since the combinators are deterministic
+    either way, the threshold changes no observable result. Set
+    [~min_work:1] to force the parallel path (tests do). *)
 
 val size : t -> int
 (** Number of participants (worker domains + the caller). *)
+
+val min_work : t -> int
+(** The pool's fan-out threshold. Fixpoint engines whose dispatch width
+    (rule-anchor units) is not their work measure consult this
+    directly — e.g. gating a round on its delta cardinality — and then
+    force the dispatch with [~min_work:1]. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], re-exported so callers need
@@ -40,17 +64,21 @@ val shutdown : t -> unit
 (** Stops and joins the worker domains. Idempotent; using the pool
     afterwards runs all work on the calling domain. *)
 
-val parallel_map : t option -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map : ?min_work:int -> t option -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr] with the elements
     processed concurrently by the pool's participants (dynamic
     single-element scheduling, so uneven chunks balance). The result
     array is in input order regardless of scheduling. [None], a pool of
-    1, and arrays of length [<= 1] run sequentially in the caller. If
-    any [f] raises, remaining elements may be skipped and the first
-    exception observed is re-raised in the caller. *)
+    1, arrays of length [<= 1], and arrays shorter than the fan-out
+    threshold ([min_work] if given, else the pool's) run sequentially
+    in the caller. If any [f] raises, remaining elements may be skipped
+    and the first exception observed is re-raised in the caller. *)
 
-val parallel_iter_chunks : t option -> int -> (int -> int -> unit) -> unit
+val parallel_iter_chunks :
+  ?min_work:int -> t option -> int -> (int -> int -> unit) -> unit
 (** [parallel_iter_chunks pool n f] splits the index range [0..n-1]
     into at most [size pool] contiguous chunks and calls [f lo hi]
-    (with [hi] exclusive) on each, concurrently. [f] must write only to
-    per-chunk state. *)
+    (with [hi] exclusive) on each, concurrently; ranges shorter than
+    the fan-out threshold ([min_work] if given, else the pool's) run as
+    a single [f 0 n] in the caller. [f] must write only to per-chunk
+    state. *)

@@ -66,12 +66,14 @@ let expand ?(max_rules = 20_000) ?(guards = `Node_relations) (sigma : Theory.t) 
   let k =
     List.fold_left (fun acc (_, _, arity) -> max acc arity) 0 (Theory.relation_list sigma)
   in
-  let seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 1024 in
   (* Renaming-sensitive pre-filter: rewritings re-derive many literally
      identical rules (hash-consing makes their atom ids coincide), and a
      raw-key hit skips the canonicalization below entirely. *)
-  let raw_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let raw_seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 4096 in
   let names : (Rewritings.content_key, string) Hashtbl.t = Hashtbl.create 256 in
+  let memo = Rewritings.guard_memo () in
+  let families = Rewritings.family_memo () in
   let result = ref [] in
   let count = ref 0 in
   let processed = ref 0 in
@@ -82,12 +84,12 @@ let expand ?(max_rules = 20_000) ?(guards = `Node_relations) (sigma : Theory.t) 
   (* [bound] is the strict upper bound on the measure of rules that may
      still be rewritten (the paper's variable-projection argument). *)
   let add ~bound r =
-    let raw = Rule.structural_key r in
-    if not (Hashtbl.mem raw_seen raw) then begin
-      Hashtbl.add raw_seen raw ();
-      let key = Rule.structural_key (Rule.canonicalize r) in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
+    let raw = Rule.raw_key r in
+    if not (Rule.Key.Tbl.mem raw_seen raw) then begin
+      Rule.Key.Tbl.add raw_seen raw ();
+      let key = Rule.canonical_key r in
+      if not (Rule.Key.Tbl.mem seen key) then begin
+        Rule.Key.Tbl.add seen key ();
         incr count;
         if !count > max_rules then
           raise (Budget_exceeded (Fmt.str "ex(Σ) exceeded %d rules" max_rules));
@@ -115,17 +117,24 @@ let expand ?(max_rules = 20_000) ?(guards = `Node_relations) (sigma : Theory.t) 
       (fun mu ->
         (* The proof of Thm. 1 applies an rnc-rewriting when the image
            of the frontier guard lies in the node (so fg is covered) and
-           an rc-rewriting otherwise. *)
+           an rc-rewriting otherwise. The cov/non-cov partition is
+           computed once here and shared with the rewriting. *)
+        let cov = Selection.covered rule mu in
+        let non_cov = Selection.non_covered ~cov rule mu in
         let fg_covered =
           match fg with
           | None -> false
-          | Some fg -> List.exists (Atom.equal fg) (Selection.covered rule mu)
+          | Some fg -> List.exists (Atom.equal fg) cov
         in
-        if fg_covered then
-          List.iter (add ~bound)
-            (Rewritings.rnc ~node_relations ~all_relations ~name_of rule mu)
-        else
-          List.iter (add ~bound) (Rewritings.rc ~relations:node_relations ~name_of rule mu))
+        let out =
+          if fg_covered then
+            Rewritings.rnc ~memo ~families ~cov ~non_cov ~node_relations ~all_relations
+              ~name_of rule mu
+          else
+            Rewritings.rc ~memo ~families ~cov ~non_cov ~relations:node_relations ~name_of
+              rule mu
+        in
+        List.iter (add ~bound) out)
       selections
   done;
   ( Theory.of_rules (List.rev !result),

@@ -27,3 +27,4 @@ val expand :
     (default) restricts rc-σ′ / rnc-σ″ guards to existential-head
     relations as justified by the chase-tree argument; [`All_relations]
     is the paper-literal enumeration, kept for the ablation bench. *)
+

@@ -90,6 +90,72 @@ let guard_atoms ?(avoid = Names.Sset.empty) ~relations ~needed_args ~needed_ann 
           (placements ~avoid needed_args arity))
     relations
 
+(* Memoized guard enumeration. A guard set is a function of the needed
+   variables, the candidate relations (identified by the caller-chosen
+   tag — callers keep tags consistent with relation lists within one
+   memo's lifetime) and the pad-namespace names of [avoid]: only names
+   starting with ['!'] can collide with the deterministic ["!p<i>"] /
+   ["!a<i>"] pads, so all other [avoid] entries cannot influence the
+   output. Guard enumeration dominates bulk rewriting, and across the
+   selections of an expansion the same key recurs constantly. *)
+type guard_memo = (int * string list * string list * string list, Atom.t list) Hashtbl.t
+
+let guard_memo () : guard_memo = Hashtbl.create 256
+
+(* Per-H guard-family memo: the σ' guard variants of a rewriting are
+   determined, up to renaming, by the content key of H (the guard set is
+   enumerated equivariantly from μ(cov) resp. μ(rem) and keep, which the
+   key captures canonically). Once the family of a given H name has been
+   emitted, re-deriving it from a renamed occurrence can only produce
+   canonical duplicates, so the rewriting may skip it — and when the
+   first occurrence had no guards, every occurrence is inert. The table
+   maps H name to that emptiness verdict. *)
+type family_memo = {
+  fam_s1 : (string, bool) Hashtbl.t;  (* H name -> σ' family non-empty *)
+  fam_s2 : bool Rule.Key.Tbl.t;  (* key of H::μ(cov) ⇒ μ(head) -> σ'' family non-empty *)
+  fam_ck : (string * Rule.Key.t) Rule.Key.Tbl.t;  (* raw ids -> content key *)
+  fam_k2 : Rule.Key.t Rule.Key.Tbl.t;  (* raw ids -> σ'' family key *)
+}
+
+let family_memo () : family_memo =
+  {
+    fam_s1 = Hashtbl.create 64;
+    fam_s2 = Rule.Key.Tbl.create 64;
+    fam_ck = Rule.Key.Tbl.create 256;
+    fam_k2 = Rule.Key.Tbl.create 256;
+  }
+
+(* Renaming-sensitive identity of a (tagged) atom list plus variable
+   tuple plus annotation tuple, from interned ids: a cheap pre-key for
+   memoizing the canonicalizations below, hit whenever a rewriting
+   re-derives literally the same content (hash-consing makes the ids
+   coincide). *)
+let raw_of ~tag atoms vars anns =
+  let buf = ref [ tag ] in
+  List.iter (fun a -> buf := Atom.id a :: !buf) atoms;
+  buf := -1 :: !buf;
+  List.iter (fun v -> buf := Term.id (Term.intern (Term.Var v)) :: !buf) vars;
+  buf := -2 :: !buf;
+  List.iter (fun t -> buf := Term.id (Term.intern t) :: !buf) anns;
+  Rule.Key.make (Array.of_list (List.rev !buf))
+
+let guard_atoms_memo ?memo ~rel_tag ~avoid ~relations ~needed_args ~needed_ann () =
+  match memo with
+  | None -> guard_atoms ~avoid ~relations ~needed_args ~needed_ann ()
+  | Some (tbl : guard_memo) ->
+    let pads =
+      Names.Sset.fold
+        (fun v acc -> if String.length v > 0 && v.[0] = '!' then v :: acc else acc)
+        avoid []
+    in
+    let key = (rel_tag, needed_args, needed_ann, pads) in
+    (match Hashtbl.find_opt tbl key with
+    | Some atoms -> atoms
+    | None ->
+      let atoms = guard_atoms ~avoid ~relations ~needed_args ~needed_ann () in
+      Hashtbl.add tbl key atoms;
+      atoms)
+
 let arg_vars_of atoms =
   List.fold_left (fun acc a -> Names.Sset.union acc (Atom.arg_var_set a)) Names.Sset.empty atoms
 
@@ -112,35 +178,52 @@ let the_head rule =
    any rules and selections) whose H would have literally the same
    definition share the relation, which keeps the closure small and is
    sound: the shared relation has the same extension in every chase. *)
-type content_key = string * Rule.structural_key
+type content_key = string * Rule.Key.t
 
 let content_key kind defining_body keep ann : content_key =
-  (* The keep tuple rides in the body as a pseudo atom so that the rule
-     safety check cannot object to keep variables absent from the
-     defining body (possible for head-only variables). *)
+  (* The keep tuple rides in the body as a pseudo atom, so the key sees
+     keep variables even when they are absent from the defining body
+     (possible for head-only variables). *)
   let h = Atom.make ~ann "$H" (List.map (fun v -> Term.Var v) keep) in
-  let pseudo = Rule.make_pos (h :: defining_body) [ h ] in
-  (kind, Rule.structural_key (Rule.canonicalize pseudo))
+  let pseudo = Rule.make_pos_unchecked (h :: defining_body) [ h ] in
+  (kind, Rule.canonical_key pseudo)
+
+let content_key_memo ?families ~tag kind defining_body keep ann =
+  match families with
+  | None -> content_key kind defining_body keep ann
+  | Some fam -> (
+    let raw = raw_of ~tag defining_body keep ann in
+    match Rule.Key.Tbl.find_opt fam.fam_ck raw with
+    | Some ck -> ck
+    | None ->
+      let ck = content_key kind defining_body keep ann in
+      Rule.Key.Tbl.add fam.fam_ck raw ck;
+      ck)
 
 (* rc-rewriting of [rule] w.r.t. [mu] (Def. 10). Returns [] if the
    variable-projection condition fails, otherwise the rule σ'' together
    with all guard variants of σ'. The fresh head relation name is
    obtained from [name_of], a memoized gensym keyed by content. *)
-let rc ~relations ~name_of rule (mu : Selection.t) =
-  let cov = Selection.covered rule mu in
+let rc ?memo ?families ?cov ?non_cov ~relations ~name_of rule (mu : Selection.t) =
+  let cov = match cov with Some c -> c | None -> Selection.covered rule mu in
   if cov = [] then []
   else begin
     let mu_cov = Selection.apply mu cov in
-    let keep = Selection.keep ~include_head:true rule mu in
+    let keep = Selection.keep ~include_head:true ?non_cov rule mu in
     let keep_set = Names.Sset.of_list keep in
     let projected = Names.Sset.diff (arg_vars_of mu_cov) keep_set in
     (* (b) variable projection: μ(cov) must lose at least one variable. *)
     if Names.Sset.is_empty projected then []
     else begin
       let head = the_head rule in
-      let h_name = name_of (content_key "rc" mu_cov keep (Atom.ann head)) in
+      let h_name =
+        name_of (content_key_memo ?families ~tag:0 "rc" mu_cov keep (Atom.ann head))
+      in
       let h_atom = Atom.make ~ann:(Atom.ann head) h_name (List.map (fun v -> Term.Var v) keep) in
-      let remainder = Selection.apply mu (Selection.non_covered rule mu) in
+      let remainder =
+        let nc = match non_cov with Some nc -> nc | None -> Selection.non_covered ~cov rule mu in
+        Selection.apply mu nc
+      in
       let sigma2 =
         Rule.make_pos ?label:(Rule.label rule) (h_atom :: remainder)
           [ Subst.apply_atom mu head ]
@@ -155,27 +238,42 @@ let rc ~relations ~name_of rule (mu : Selection.t) =
           (fun acc a -> Names.Sset.union acc (Atom.var_set a))
           Names.Sset.empty (h_atom :: mu_cov)
       in
-      let sigma1s =
+      (* Guard variants are safe by construction — the guard hosts every
+         needed argument and annotation variable injectively — so the
+         bulk constructor may skip the per-rule safety folds. *)
+      let emit_sigma1s () =
         List.map
-          (fun guard -> Rule.make_pos (guard :: mu_cov) [ h_atom ])
-          (guard_atoms ~avoid ~relations ~needed_args ~needed_ann ())
+          (fun guard -> Rule.make_pos_unchecked (guard :: mu_cov) [ h_atom ])
+          (guard_atoms_memo ?memo ~rel_tag:0 ~avoid ~relations ~needed_args ~needed_ann ())
       in
       (* If no relation can host the guard, H is underivable and the
          whole rewriting is inert: contribute nothing. *)
-      if sigma1s = [] then [] else sigma2 :: sigma1s
+      match families with
+      | None ->
+        let sigma1s = emit_sigma1s () in
+        if sigma1s = [] then [] else sigma2 :: sigma1s
+      | Some (fam : family_memo) -> (
+        match Hashtbl.find_opt fam.fam_s1 h_name with
+        | Some false -> []
+        | Some true -> [ sigma2 ]
+        | None ->
+          let sigma1s = emit_sigma1s () in
+          Hashtbl.add fam.fam_s1 h_name (sigma1s <> []);
+          if sigma1s = [] then [] else sigma2 :: sigma1s)
     end
   end
 
 (* rnc-rewriting of [rule] w.r.t. [mu] (Def. 11). Returns all guard
    variants of σ' and σ''. *)
-let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
-  let cov = Selection.covered rule mu in
-  let non_cov = Selection.non_covered rule mu in
+let rnc ?memo ?families ?cov ?non_cov ~node_relations ~all_relations ~name_of rule
+    (mu : Selection.t) =
+  let cov = match cov with Some c -> c | None -> Selection.covered rule mu in
+  let non_cov = match non_cov with Some nc -> nc | None -> Selection.non_covered ~cov rule mu in
   if non_cov = [] then []
   else begin
     let mu_rem = Selection.apply mu non_cov in
     let mu_cov = Selection.apply mu cov in
-    let keep = Selection.keep ~include_head:false rule mu in
+    let keep = Selection.keep ~include_head:false ~non_cov rule mu in
     let keep_set = Names.Sset.of_list keep in
     (* (b) variable projection: some variable of μ(body \ cov) is placed
        in the guard but not kept. *)
@@ -183,7 +281,9 @@ let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
     if z_candidates = [] then []
     else begin
       let head = the_head rule in
-      let h_name = name_of (content_key "rnc" mu_rem keep (Atom.ann head)) in
+      let h_name =
+        name_of (content_key_memo ?families ~tag:1 "rnc" mu_rem keep (Atom.ann head))
+      in
       let h_atom = Atom.make ~ann:(Atom.ann head) h_name (List.map (fun v -> Term.Var v) keep) in
       let needed_ann_s1 =
         Names.Sset.elements (Names.Sset.diff (ann_vars_of [ h_atom ]) (ann_vars_of mu_rem))
@@ -195,12 +295,14 @@ let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
           (fun acc a -> Names.Sset.union acc (Atom.var_set a))
           Names.Sset.empty (h_atom :: mu_rem)
       in
-      let sigma1s =
+      (* Safe by construction: the guard hosts keep ∪ {z} and the missing
+         annotation variables, the rest of H's variables occur in μ(rem). *)
+      let emit_sigma1s () =
         List.concat_map
           (fun z ->
             List.map
-              (fun guard -> Rule.make_pos (guard :: mu_rem) [ h_atom ])
-              (guard_atoms ~avoid:avoid_s1 ~relations:all_relations
+              (fun guard -> Rule.make_pos_unchecked (guard :: mu_rem) [ h_atom ])
+              (guard_atoms_memo ?memo ~rel_tag:1 ~avoid:avoid_s1 ~relations:all_relations
                  ~needed_args:(Names.Sset.elements (Names.Sset.add z keep_set))
                  ~needed_ann:needed_ann_s1 ()))
           z_candidates
@@ -218,14 +320,59 @@ let rnc ~node_relations ~all_relations ~name_of rule (mu : Selection.t) =
           (fun acc a -> Names.Sset.union acc (Atom.var_set a))
           Names.Sset.empty (mu_head :: h_atom :: mu_cov)
       in
-      let sigma2s =
+      let emit_sigma2s () =
         List.map
           (fun guard ->
             Rule.make_pos ?label:(Rule.label rule) (guard :: h_atom :: mu_cov) [ mu_head ])
-          (guard_atoms ~avoid:avoid_s2 ~relations:node_relations
+          (guard_atoms_memo ?memo ~rel_tag:2 ~avoid:avoid_s2 ~relations:node_relations
              ~needed_args:needed_args_s2 ~needed_ann:[] ())
       in
       (* Either half missing makes the rewriting inert: skip it. *)
-      if sigma1s = [] || sigma2s = [] then [] else sigma1s @ sigma2s
+      match families with
+      | None ->
+        let sigma1s = emit_sigma1s () in
+        let sigma2s = emit_sigma2s () in
+        if sigma1s = [] || sigma2s = [] then [] else sigma1s @ sigma2s
+      | Some (fam : family_memo) ->
+        (* σ'' is memoized by the canonical key of H(keep)::μ(cov) ⇒
+           μ(head): the key pins H positionally (its relation name is
+           part of it), so key-equal occurrences enumerate σ'' families
+           that are renamings of each other — canonical duplicates for
+           the closure. The σ' verdict is consulted only when σ'' is
+           non-empty, and vice versa the σ'' verdict is shared across
+           occurrences of the same key, whose σ' verdict coincides (the
+           key determines the H name): no half-emitted rewriting can
+           result. *)
+        let key2 =
+          let raw = raw_of ~tag:2 (mu_head :: h_atom :: mu_cov) [] [] in
+          match Rule.Key.Tbl.find_opt fam.fam_k2 raw with
+          | Some k -> k
+          | None ->
+            let k =
+              Rule.canonical_key (Rule.make_pos_unchecked (h_atom :: mu_cov) [ mu_head ])
+            in
+            Rule.Key.Tbl.add fam.fam_k2 raw k;
+            k
+        in
+        let sigma2s, s2_nonempty =
+          match Rule.Key.Tbl.find_opt fam.fam_s2 key2 with
+          | Some b -> ([], b)
+          | None ->
+            let s2 = emit_sigma2s () in
+            Rule.Key.Tbl.add fam.fam_s2 key2 (s2 <> []);
+            (s2, s2 <> [])
+        in
+        if not s2_nonempty then []
+        else begin
+          let sigma1s, s1_nonempty =
+            match Hashtbl.find_opt fam.fam_s1 h_name with
+            | Some b -> ([], b)
+            | None ->
+              let s1 = emit_sigma1s () in
+              Hashtbl.add fam.fam_s1 h_name (s1 <> []);
+              (s1, s1 <> [])
+          in
+          if not s1_nonempty then [] else sigma1s @ sigma2s
+        end
     end
   end

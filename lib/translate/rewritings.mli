@@ -30,12 +30,33 @@ val guard_atoms :
   unit ->
   Atom.t list
 
-type content_key = string * Rule.structural_key
+type content_key = string * Rule.Key.t
 (** Identity of a rewriting's fresh relation H: the rewriting kind
-    together with the canonical structural key of H's definition. Kept
-    as ints (hash-consed atom ids) rather than a printed rule. *)
+    together with the renaming-invariant canonical key of H's
+    definition. Kept as ints rather than a printed rule. *)
+
+type guard_memo
+(** Memo for guard enumeration across the rewritings of one expansion.
+    Callers must use tag-consistent relation lists for its lifetime
+    (rc/rnc already do: one memo per [Expansion.expand]). *)
+
+val guard_memo : unit -> guard_memo
+
+type family_memo
+(** Per-H-name memo recording whether a rewriting's σ' guard family was
+    non-empty when first emitted. Content-equal rewritings produce guard
+    families that are renamings of each other, so after the first
+    emission for a given H the family is skipped (the closure would
+    deduplicate every member anyway) and an empty verdict makes every
+    re-occurrence inert, as in the unmemoized computation. *)
+
+val family_memo : unit -> family_memo
 
 val rc :
+  ?memo:guard_memo ->
+  ?families:family_memo ->
+  ?cov:Atom.t list ->
+  ?non_cov:Atom.t list ->
   relations:Atom.rel_key list ->
   name_of:(content_key -> string) ->
   Rule.t ->
@@ -47,6 +68,10 @@ val rc :
     guard exists. *)
 
 val rnc :
+  ?memo:guard_memo ->
+  ?families:family_memo ->
+  ?cov:Atom.t list ->
+  ?non_cov:Atom.t list ->
   node_relations:Atom.rel_key list ->
   all_relations:Atom.rel_key list ->
   name_of:(content_key -> string) ->

@@ -16,9 +16,21 @@
     bodies are kept as sets. All derived rules stay guarded when the
     input is guarded, and no inference introduces variables, relations or
     constants, which bounds the closure as in the paper's counting
-    argument; [max_rules] is a safety budget on top. *)
+    argument; [max_rules] is a safety budget on top.
+
+    {!closure} runs an indexed given-clause loop: committed rules carry
+    a commit sequence number and live in relation-signature indexes
+    (Datalog rules by body relation, existential rules by head
+    relation), so resolution partners are retrieved by lookup instead
+    of scanning the closure, each unordered pair is combined exactly
+    once (by the later rule, against partners with smaller sequence
+    numbers), and candidate generation for a whole round can fan out
+    over a {!Guarded_par.Pool} while the commit phase stays sequential
+    and deterministic. {!closure_reference} keeps the seed's
+    snapshot-based loop as an independent oracle. *)
 
 open Guarded_core
+module Pool = Guarded_par.Pool
 
 exception Budget_exceeded of string
 
@@ -84,7 +96,13 @@ let rec splits = function
       (splits rest)
 
 (* (resolve): combine [r] (α → β) with the Datalog rule [d]
-   (γ1 ∧ γ2 → δ). [d] is renamed apart first.
+   (γ1 ∧ γ2 → δ). [d] is renamed apart first, with [gensym]: the fresh
+   names never reach the produced rules (h and its extensions bind
+   every partner variable into [r]'s variables — Datalog safety puts
+   vars(δ) inside vars(γ1 ∧ γ2)), they only keep the partner
+   variable-disjoint during matching. The indexed closure hands each
+   generation task a private gensym because {!Names.gensym} state is
+   not domain-safe.
 
    Consequence-driven restriction: the inference is only useful when it
    chains through an existential witness — [r] must have existential
@@ -96,10 +114,10 @@ let rec splits = function
    consequence-driven references (EL, Horn-SHIQ) achieve. *)
 let resolve_gensym = Names.gensym "rv"
 
-let resolve r d =
+let resolve_with gensym r d =
   if (not (Rule.is_datalog d)) || Rule.is_datalog r then []
   else begin
-    let d = Rule.rename_apart resolve_gensym d in
+    let d = Rule.rename_apart gensym d in
     let alpha = Rule.body_atoms r in
     let beta = Rule.head r in
     let alpha_vars = Names.Sset.elements (Rule.uvars r) in
@@ -165,14 +183,176 @@ let resolve r d =
       (splits matchable)
   end
 
-let canonical_key r = Rule.structural_key (Rule.canonicalize r)
+let resolve r d = resolve_with resolve_gensym r d
 
-(* Ξ(Σ): the closure of Σ under the three inference rules. *)
-let closure ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
+(* ------------------------------------------------------------------ *)
+(* Ξ(Σ): indexed given-clause closure                                  *)
+
+(* A committed rule of the closure. The sequence number is its commit
+   rank; resolution combines a rule only with partners of smaller rank,
+   so every unordered (existential, Datalog) pair is generated exactly
+   once — by whichever member committed later. *)
+type entry = {
+  en_rule : Rule.t;
+  en_seq : int;
+  en_datalog : bool;
+  en_head_rels : int list;  (** sorted distinct head relation ids *)
+  en_body_rels : int list;  (** sorted distinct body relation ids *)
+  mutable en_dead : bool;  (** subsumed by a live rule (subsume mode) *)
+  en_target : Subsumption.target option;  (** prepared once, subsume mode *)
+}
+
+let rel_ids atoms = List.sort_uniq Int.compare (List.map Atom.rel_id atoms)
+
+let tbl_push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+(* Partners from [index] under any of [rels], deduplicated and in
+   ascending commit order. *)
+let gather index rels =
+  List.concat_map
+    (fun rel -> match Hashtbl.find_opt index rel with Some l -> !l | None -> [])
+    rels
+  |> List.sort_uniq (fun e1 e2 -> Int.compare e1.en_seq e2.en_seq)
+
+let closure ?pool ?(max_rules = 10_000) ?(subsume = false) (sigma : Theory.t) :
+    Theory.t * stats =
   List.iter
     (fun r ->
       if not (Rule.is_positive r) then invalid_arg "Saturate.closure: negation not supported")
     (Theory.rules sigma);
+  (* Canonical dedup: a renaming-sensitive raw key (hash-consed atom
+     ids) filters literal re-derivations before the canonical key is
+     computed. *)
+  let raw_seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 4096 in
+  let seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 1024 in
+  let entries = ref [] in
+  (* reverse commit order *)
+  let count = ref 0 in
+  let resolutions = ref 0 in
+  let queue : entry Queue.t = Queue.create () in
+  let dat_by_body_rel : (int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+  let exist_by_head_rel : (int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* Subsume mode: live single-head Datalog rules by head relation, the
+     candidate sets of both subsumption directions. *)
+  let sub_by_head_rel : (int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+  let commit r =
+    let raw = Rule.raw_key r in
+    if not (Rule.Key.Tbl.mem raw_seen raw) then begin
+      Rule.Key.Tbl.add raw_seen raw ();
+      let key = Rule.canonical_key r in
+      if not (Rule.Key.Tbl.mem seen key) then begin
+        Rule.Key.Tbl.add seen key ();
+        incr count;
+        if !count > max_rules then
+          raise (Budget_exceeded (Fmt.str "Ξ(Σ) exceeded %d rules" max_rules));
+        let datalog = Rule.is_datalog r in
+        let e =
+          {
+            en_rule = r;
+            en_seq = !count;
+            en_datalog = datalog;
+            en_head_rels = rel_ids (Rule.head r);
+            en_body_rels = rel_ids (Rule.body_atoms r);
+            en_dead = false;
+            en_target = (if subsume then Subsumption.prepare r else None);
+          }
+        in
+        entries := e :: !entries;
+        if datalog then List.iter (fun rel -> tbl_push dat_by_body_rel rel e) e.en_body_rels
+        else List.iter (fun rel -> tbl_push exist_by_head_rel rel e) e.en_head_rels;
+        (* Forward/backward subsumption inside the loop. Subsumed rules
+           are only marked: they stay in the calculus (as given clauses
+           and partners), so the closure's inference structure — and
+           with it the Datalog fixpoint of the output — is exactly that
+           of the unpruned run; the marks just drop redundant rules
+           from the emitted theory. *)
+        (match e.en_target with
+        | Some tg ->
+          let head_rel = Atom.rel_id (List.hd (Rule.head r)) in
+          let peers =
+            match Hashtbl.find_opt sub_by_head_rel head_rel with
+            | Some l -> List.rev !l (* ascending commit order *)
+            | None -> []
+          in
+          if
+            List.exists
+              (fun e' ->
+                (not e'.en_dead)
+                && Subsumption.rel_ids_subset e'.en_body_rels e.en_body_rels
+                && Subsumption.subsumes_prepared e'.en_rule tg)
+              peers
+          then e.en_dead <- true
+          else
+            List.iter
+              (fun e' ->
+                if
+                  (not e'.en_dead)
+                  && Subsumption.rel_ids_subset e.en_body_rels e'.en_body_rels
+                then
+                  match e'.en_target with
+                  | Some tg' when Subsumption.subsumes_prepared r tg' -> e'.en_dead <- true
+                  | Some _ | None -> ())
+              peers;
+          tbl_push sub_by_head_rel head_rel e
+        | None -> ());
+        Queue.add e queue
+      end
+    end
+  in
+  (* Candidate generation for one given clause: pure apart from
+     hash-cons interning (domain-safe), so a round's batch may run on a
+     pool. Indexes are only mutated by the sequential commit phase. *)
+  let process e =
+    let r = e.en_rule in
+    let gensym = Names.gensym (Fmt.str "rv!%d!" e.en_seq) in
+    let resolved =
+      if e.en_datalog then
+        List.concat_map
+          (fun e' -> if e'.en_seq < e.en_seq then resolve_with gensym e'.en_rule r else [])
+          (gather exist_by_head_rel e.en_body_rels)
+      else
+        List.concat_map
+          (fun e' -> if e'.en_seq < e.en_seq then resolve_with gensym r e'.en_rule else [])
+          (gather dat_by_body_rel e.en_head_rels)
+    in
+    project r @ unify r @ resolved
+  in
+  List.iter commit (Theory.rules sigma);
+  while not (Queue.is_empty queue) do
+    let batch = Array.of_seq (Queue.to_seq queue) in
+    Queue.clear queue;
+    resolutions := !resolutions + Array.length batch;
+    (* Generate in parallel, commit sequentially in batch order: the
+       output rule sequence is independent of the pool (and of whether
+       one is supplied at all). *)
+    let candidates = Pool.parallel_map pool process batch in
+    Array.iter (fun cs -> List.iter commit cs) candidates
+  done;
+  let live = List.filter (fun e -> not e.en_dead) (List.rev !entries) in
+  let datalog_rules = List.length (List.filter (fun e -> e.en_datalog) live) in
+  ( Theory.of_rules (List.map (fun e -> e.en_rule) live),
+    {
+      input_rules = Theory.size sigma;
+      closure_rules = List.length live;
+      datalog_rules;
+      resolutions = !resolutions;
+    } )
+
+(* The seed's snapshot-based closure, kept verbatim as an independent
+   oracle for the indexed loop (tests compare the two as canonical rule
+   sets). Dedup uses the printed structural key of the canonicalized
+   rule — deliberately not {!Rule.canonical_key} — so the oracle shares
+   no fingerprinting code with {!closure}. *)
+let closure_reference ?(max_rules = 10_000) (sigma : Theory.t) : Theory.t * stats =
+  List.iter
+    (fun r ->
+      if not (Rule.is_positive r) then
+        invalid_arg "Saturate.closure_reference: negation not supported")
+    (Theory.rules sigma);
+  let canonical_key r = Rule.structural_key (Rule.canonicalize r) in
   let seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 1024 in
   let all = ref [] in
   (* The two resolution-partner classes, accumulated as rules arrive so
@@ -425,12 +605,28 @@ let resolve_object ?(max_results = 4_000) obj d =
   (Res_tbl.fold (fun _ r acc -> r :: acc) results [], !overflow)
 
 let object_key body head =
-  (* Head atoms ride along in the body so that the safety check cannot
-     object to existential variables (the key only needs to be a
-     canonical fingerprint). *)
+  (* Head atoms ride along in the body so that the key needs no safety
+     check on existential variables (it is only a canonical
+     fingerprint). *)
   let h = Atom.Set.elements head in
-  let pseudo = Rule.make_pos (body @ h) (if h = [] then body else h) in
-  Rule.structural_key (Rule.canonicalize pseudo)
+  let pseudo = Rule.make_pos_unchecked (body @ h) (if h = [] then body else h) in
+  Rule.canonical_key pseudo
+
+(* A registered Datalog resolution partner: the original Datalog rules
+   plus the projections emitted so far, deduplicated canonically. Each
+   carries one variable-renamed copy made at registration: resolution
+   needs the partner variable-disjoint from the object, and renaming in
+   the inner loop would re-intern every atom of every partner for every
+   object pass. The cached copy is reused whenever its variables miss
+   the object (the common case — its names are private gensyms); a
+   fresh rename happens only after a collision, i.e. when the object
+   absorbed this partner's variables in an earlier resolution. *)
+type partner = {
+  p_seq : int;  (** registration rank: iteration stays in this order *)
+  p_rule : Rule.t;
+  p_renamed : Rule.t;
+  p_vars : Names.Sset.t;  (** variables of the renamed copy *)
+}
 
 (* dat(Σ) for a guarded (or any positive existential) theory, computed
    consequence-driven. *)
@@ -440,22 +636,24 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
       if not (Rule.is_positive r) then invalid_arg "Saturate.dat: negation not supported")
     (Theory.rules sigma);
   let datalog0, existential = List.partition Rule.is_datalog (Theory.rules sigma) in
-  (* Datalog resolution partners: the original Datalog rules plus the
-     projections emitted so far, deduplicated canonically. Each partner
-     carries one variable-renamed copy made at registration: resolution
-     needs the partner variable-disjoint from the object, and renaming
-     in the inner loop would re-intern every atom of every partner for
-     every object pass. The cached copy is reused whenever its variables
-     miss the object (the common case — its names are private gensyms);
-     a fresh rename happens only after a collision, i.e. when the object
-     absorbed this partner's variables in an earlier resolution. *)
-  let mk_partner d =
+  (* Partners are indexed by body relation id: an object retrieves the
+     rules that can anchor into its head by relation lookup instead of
+     scanning (and re-filtering) the whole partner list on every local
+     saturation pass. *)
+  let partners_by_rel : (int, partner list ref) Hashtbl.t = Hashtbl.create 64 in
+  let partner_count = ref 0 in
+  let register_partner d =
+    incr partner_count;
     let renamed = Rule.rename_apart resolve_gensym d in
-    (d, renamed, Rule.vars renamed)
+    let p = { p_seq = !partner_count; p_rule = d; p_renamed = renamed; p_vars = Rule.vars renamed } in
+    List.iter (fun rel -> tbl_push partners_by_rel rel p) (rel_ids (Rule.body_atoms d))
   in
-  let partners = ref (List.map mk_partner datalog0) in
-  let partner_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 256 in
-  List.iter (fun d -> Hashtbl.replace partner_seen (canonical_key d) ()) datalog0;
+  let partner_seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 256 in
+  List.iter
+    (fun d ->
+      Rule.Key.Tbl.replace partner_seen (Rule.canonical_key d) ();
+      register_partner d)
+    datalog0;
   let budget = ref (max_rules - List.length datalog0) in
   (* The rule budget does not bound the unification search inside
      resolutions (heads can grow large while producing few new rules),
@@ -468,24 +666,24 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
   in
   let projections = ref [] in
   let add_partner r =
-    let key = canonical_key r in
-    if not (Hashtbl.mem partner_seen key) then begin
-      Hashtbl.replace partner_seen key ();
+    let key = Rule.canonical_key r in
+    if not (Rule.Key.Tbl.mem partner_seen key) then begin
+      Rule.Key.Tbl.replace partner_seen key ();
       decr budget;
       if !budget < 0 then raise (Budget_exceeded (Fmt.str "dat(Σ) exceeded %d rules" max_rules));
-      partners := mk_partner r :: !partners;
+      register_partner r;
       projections := r :: !projections;
       true
     end
     else false
   in
   let objects : obj list ref = ref [] in
-  let object_seen : (Rule.structural_key, unit) Hashtbl.t = Hashtbl.create 256 in
+  let object_seen : unit Rule.Key.Tbl.t = Rule.Key.Tbl.create 256 in
   let spawn body head evars =
     let body = dedup_atoms body in
     let key = object_key body head in
-    if not (Hashtbl.mem object_seen key) then begin
-      Hashtbl.replace object_seen key ();
+    if not (Rule.Key.Tbl.mem object_seen key) then begin
+      Rule.Key.Tbl.replace object_seen key ();
       decr budget;
       if !budget < 0 then raise (Budget_exceeded (Fmt.str "dat(Σ) exceeded %d rules" max_rules));
       let univ =
@@ -510,19 +708,21 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
   in
   (* A Datalog partner is relevant to an object only if one of its body
      relations occurs in a head atom carrying an existential variable —
-     otherwise no resolution can anchor. The relation set depends only
-     on the object, so it is computed once per pass over the partners,
-     not once per partner. *)
+     otherwise no resolution can anchor. Those relation ids key the
+     partner index. *)
   let evar_rels obj =
-    Atom.Set.fold
-      (fun a acc ->
-        if List.exists (fun v -> Names.Sset.mem v obj.o_evars) (Atom.vars a) then
-          Theory.Rel_set.add (Atom.rel_key a) acc
-        else acc)
-      obj.o_head Theory.Rel_set.empty
+    rel_ids
+      (Atom.Set.fold
+         (fun a acc ->
+           if List.exists (fun v -> Names.Sset.mem v obj.o_evars) (Atom.vars a) then a :: acc
+           else acc)
+         obj.o_head [])
   in
-  let relevant rels d =
-    List.exists (fun a -> Theory.Rel_set.mem (Atom.rel_key a) rels) (Rule.body_atoms d)
+  let gather_partners rels =
+    List.concat_map
+      (fun rel -> match Hashtbl.find_opt partners_by_rel rel with Some l -> !l | None -> [])
+      rels
+    |> List.sort_uniq (fun p1 p2 -> Int.compare p1.p_seq p2.p_seq)
   in
   (* Global fixpoint: saturate every object against the current partner
      set; new projections or spawned objects trigger another pass. *)
@@ -536,53 +736,50 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
         let local = ref true in
         while !local do
           local := false;
-          let rels = evar_rels obj in
           List.iter
-            (fun (d0, d_renamed, d_vars) ->
-              if relevant rels d0 then begin
-                spend (1 + Atom.Set.cardinal obj.o_head);
-                let d =
-                  if
-                    Names.Sset.exists
-                      (fun v ->
-                        Names.Sset.mem v obj.o_univ || Names.Sset.mem v obj.o_evars)
-                      d_vars
-                  then Rule.rename_apart resolve_gensym d0
-                  else d_renamed
-                in
-                let resolutions, overflow = resolve_object obj d in
-                spend (List.length resolutions);
-                if overflow then overflowed := true;
-                List.iter
-                  (fun res ->
-                    let in_place =
-                      Subst.is_empty res.res_theta
-                      && List.for_all
-                           (fun a -> List.exists (Atom.equal a) obj.o_body)
-                           res.res_invented
+            (fun { p_rule = d0; p_renamed = d_renamed; p_vars = d_vars; _ } ->
+              spend (1 + Atom.Set.cardinal obj.o_head);
+              let d =
+                if
+                  Names.Sset.exists
+                    (fun v ->
+                      Names.Sset.mem v obj.o_univ || Names.Sset.mem v obj.o_evars)
+                    d_vars
+                then Rule.rename_apart resolve_gensym d0
+                else d_renamed
+              in
+              let resolutions, overflow = resolve_object obj d in
+              spend (List.length resolutions);
+              if overflow then overflowed := true;
+              List.iter
+                (fun res ->
+                  let in_place =
+                    Subst.is_empty res.res_theta
+                    && List.for_all
+                         (fun a -> List.exists (Atom.equal a) obj.o_body)
+                         res.res_invented
+                  in
+                  if in_place then begin
+                    let fresh =
+                      List.filter (fun a -> not (Atom.Set.mem a obj.o_head)) res.res_delta
                     in
-                    if in_place then begin
-                      let fresh =
-                        List.filter (fun a -> not (Atom.Set.mem a obj.o_head)) res.res_delta
-                      in
-                      if fresh <> [] then begin
-                        obj.o_head <- Atom.Set.union obj.o_head (Atom.Set.of_list fresh);
-                        local := true;
-                        changed := true
-                      end
+                    if fresh <> [] then begin
+                      obj.o_head <- Atom.Set.union obj.o_head (Atom.Set.of_list fresh);
+                      local := true;
+                      changed := true
                     end
-                    else begin
-                      let g = res.res_theta in
-                      spawn
-                        (Subst.apply_atoms g obj.o_body @ res.res_invented)
-                        (Atom.Set.union
-                           (Atom.Set.of_list (Subst.apply_atoms g (Atom.Set.elements obj.o_head)))
-                           (Atom.Set.of_list res.res_delta))
-                        obj.o_evars
-                    end)
-                  resolutions
-              end)
-            !partners
+                  end
+                  else begin
+                    let g = res.res_theta in
+                    spawn
+                      (Subst.apply_atoms g obj.o_body @ res.res_invented)
+                      (Atom.Set.union
+                         (Atom.Set.of_list (Subst.apply_atoms g (Atom.Set.elements obj.o_head)))
+                         (Atom.Set.of_list res.res_delta))
+                      obj.o_evars
+                  end)
+                resolutions)
+            (gather_partners (evar_rels obj))
         done;
         if project_object obj then changed := true)
       object_snapshot;
@@ -598,6 +795,7 @@ let dat ?(max_rules = 200_000) (sigma : Theory.t) : Theory.t * stats =
       datalog_rules = Theory.size datalog_rules;
       resolutions = List.length !objects;
     } )
+
 (* Prop. 6: a nearly guarded theory translates to dat(Σg) ∪ Σd. *)
 let dat_nearly_guarded ?max_rules (sigma : Theory.t) : Theory.t * stats =
   let guarded_part, datalog_part =

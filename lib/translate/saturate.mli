@@ -5,8 +5,10 @@
     - {!closure} / {!dat_via_closure}: the calculus of Figure 3 taken
       literally (modulo the consequence-driven restrictions that skip
       inferences reconstructible at evaluation time) — every derived
-      rule is materialized. Right for small theories and for inspecting
-      derivations such as Example 7.
+      rule is materialized, by an indexed given-clause loop.
+      {!closure_reference} is the unindexed seed loop, kept as an
+      oracle. Right for small theories and for inspecting derivations
+      such as Example 7.
     - {!dat}: the consequence-driven formulation (EL / Horn-SHIQ style):
       one object per (body, head) state whose head grows in place;
       resolutions that need variable unifications or extra body atoms
@@ -36,8 +38,38 @@ val resolve : Rule.t -> Rule.t -> Rule.t list
 (** Fig. 3's second rule: resolve the Datalog second argument into the
     head of the first. *)
 
-val closure : ?max_rules:int -> Theory.t -> Theory.t * stats
-(** Ξ(Σ): the closure of Σ under the three inference rules. *)
+val closure :
+  ?pool:Guarded_par.Pool.t ->
+  ?max_rules:int ->
+  ?subsume:bool ->
+  Theory.t ->
+  Theory.t * stats
+(** Ξ(Σ): the closure of Σ under the three inference rules, computed by
+    an indexed given-clause loop. Committed rules live in
+    relation-signature indexes (Datalog rules by body relation,
+    existential rules by head relation), so each given clause retrieves
+    its resolution partners by lookup, and every unordered pair is
+    combined exactly once. Rules are deduplicated by
+    {!Rule.canonical_key} (renaming-invariant) behind a
+    renaming-sensitive {!Rule.raw_key} prefilter.
+
+    [pool] parallelizes candidate generation across each round's given
+    clauses; commits stay sequential in round order, so the resulting
+    theory and stats are identical with and without a pool.
+
+    [subsume] additionally runs forward/backward subsumption
+    ({!Subsumption}) over single-head Datalog rules at commit time.
+    Subsumed rules are excluded from the returned theory (and
+    [closure_rules] / [datalog_rules]) but still take part in the
+    saturation itself, so the output's Datalog fixpoint is exactly that
+    of the unpruned closure. Default [false] — the output then matches
+    {!closure_reference} as a canonical rule set. *)
+
+val closure_reference : ?max_rules:int -> Theory.t -> Theory.t * stats
+(** The seed's snapshot-based closure loop, kept verbatim as an
+    independent oracle: no indexes, no pool, dedup by printed structural
+    key of the canonicalized rule. Same closure as {!closure} (as a set
+    of rules up to renaming) — the test suite holds the two to that. *)
 
 val dat_via_closure : ?max_rules:int -> Theory.t -> Theory.t * stats
 (** The Datalog rules of Ξ(Σ) (Def. 19 verbatim). *)

@@ -25,10 +25,14 @@ let range_vars (mu : t) =
    Only positive rules reach this code path. *)
 let covered rule (mu : t) =
   let dom = domain mu in
-  List.filter (fun b -> Names.Sset.subset (Atom.arg_var_set b) dom) (Rule.body_atoms rule)
+  List.filter
+    (fun b -> List.for_all (fun v -> Names.Sset.mem v dom) (Atom.arg_vars b))
+    (Rule.body_atoms rule)
 
-let non_covered rule (mu : t) =
-  let cov = covered rule mu in
+(* [cov], when the caller already computed it, avoids re-deriving the
+   partition — the rewritings ask for it several times per selection. *)
+let non_covered ?cov rule (mu : t) =
+  let cov = match cov with Some c -> c | None -> covered rule mu in
   List.filter (fun b -> not (List.exists (Atom.equal b) cov)) (Rule.body_atoms rule)
 
 (* keep(σ, μ): the images μ(x) of domain variables x that occur in a
@@ -38,13 +42,14 @@ let non_covered rule (mu : t) =
    must travel through H); the rnc-rewriting must not include them
    (σ'' re-links them through μ(cov) itself — this is what the paper's
    Examples 5 and 6 compute, against the letter of Def. 9). *)
-let keep ?(include_head = false) rule (mu : t) =
+let keep ?(include_head = false) ?non_cov rule (mu : t) =
   let dom = domain mu in
+  let non_cov = match non_cov with Some nc -> nc | None -> non_covered rule mu in
   let outside =
     List.fold_left
       (fun acc a -> Names.Sset.union acc (Atom.var_set a))
       (if include_head then Rule.head_vars rule else Names.Sset.empty)
-      (non_covered rule mu)
+      non_cov
   in
   Names.Sset.fold
     (fun x acc ->

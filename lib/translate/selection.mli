@@ -19,9 +19,11 @@ val covered : Rule.t -> t -> Atom.t list
 (** cov(σ, μ): positive body atoms whose argument variables all lie in
     dom(μ) (Def. 8). *)
 
-val non_covered : Rule.t -> t -> Atom.t list
+val non_covered : ?cov:Atom.t list -> Rule.t -> t -> Atom.t list
+(** Complement of cov(σ, μ) in the body; pass [cov] when already
+    computed to skip re-deriving it. *)
 
-val keep : ?include_head:bool -> Rule.t -> t -> string list
+val keep : ?include_head:bool -> ?non_cov:Atom.t list -> Rule.t -> t -> string list
 (** keep(σ, μ): the images μ(x) of domain variables occurring in a
     non-covered atom — plus, when [include_head] (the rc case), in the
     head (Def. 9; see the implementation note on the rnc case and the

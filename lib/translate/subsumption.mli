@@ -4,10 +4,38 @@
 
 open Guarded_core
 
+val eligible : Rule.t -> bool
+(** Rules the subsumption test covers: positive single-head Datalog.
+    Everything else is conservatively incomparable. *)
+
+type target
+(** A rule in target (subsumee) position, frozen once: its variables
+    are turned into reserved constants and its body atoms indexed in a
+    {!Database}, so probing many candidate subsumers against it shares
+    all of that work. *)
+
+val prepare : Rule.t -> target option
+(** [None] exactly when the rule is not {!eligible}. *)
+
+val subsumes_prepared : Rule.t -> target -> bool
+(** [subsumes_prepared r1 tg]: does [r1] subsume the rule [tg] was
+    prepared from? *)
+
 val subsumes : Rule.t -> Rule.t -> bool
 (** [subsumes r1 r2]: deleting [r2] in the presence of [r1] preserves
     the fixpoint on every database. Positive single-head Datalog only
-    (conservatively false otherwise). *)
+    (conservatively false otherwise). [prepare] + [subsumes_prepared]
+    in one step; prepare the target yourself when testing one rule
+    against many candidates. *)
+
+val rel_ids_subset : int list -> int list -> bool
+(** Subset test on sorted distinct relation-id lists — the body-relation
+    prefilter ([rel_ids_subset (body rels of subsumer) (body rels of
+    target)] is necessary for subsumption), shared with the index in
+    {!Saturate.closure}. *)
 
 val reduce : Theory.t -> Theory.t
-(** Deduplicates, then removes every rule subsumed by a surviving one. *)
+(** Deduplicates, then removes every rule subsumed by a surviving one
+    (the earliest of mutually subsuming rules survives). Candidate
+    pairs are retrieved from a head-relation index with a
+    body-relation subset prefilter rather than scanned quadratically. *)

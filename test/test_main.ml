@@ -19,4 +19,5 @@ let () =
       ("join-engine", Test_join_engine.suite);
       ("properties", Test_properties.suite);
       ("par", Test_par.suite);
+      ("saturate", Test_saturate.suite);
     ]

@@ -17,8 +17,27 @@ module Stratified = Guarded_datalog.Stratified
    an at_exit shutdown, so no explicit teardown is needed. A pool of 1
    exercises the parallel code path — snapshot rounds, buffer merge —
    on the calling domain alone, which is exactly what the determinism
-   comparison wants as its base case. *)
-let pools = lazy (List.map (fun n -> Pool.create ~domains:n ()) [ 1; 2; 4 ])
+   comparison wants as its base case. [min_work 1] disables the fan-out
+   threshold: generated instances are small, and these tests exist to
+   exercise the parallel path, not the sequential fallback. *)
+let pools =
+  lazy
+    (List.map
+       (fun n -> Pool.create ~domains:n ~min_work:1 ~oversubscribe:true ())
+       [ 1; 2; 4 ])
+
+(* The default threshold must be semantically invisible: a pool whose
+   [min_work] exceeds every batch in the run (forcing the sequential
+   fallback everywhere) computes the same results as the threshold-free
+   pools above. *)
+let prop_min_work_fallback_invisible =
+  QCheck.Test.make ~count:30 ~name:"min_work fallback computes the same fixpoint"
+    (arbitrary_pair arbitrary_semipositive) (fun (sigma, db) ->
+      let reference = Seminaive.eval sigma db in
+      let lazy_pool = Pool.create ~domains:2 ~min_work:max_int () in
+      let ok = Database.equal (Seminaive.eval ~pool:lazy_pool sigma db) reference in
+      Pool.shutdown lazy_pool;
+      ok)
 
 let prop_parallel_seminaive_equals_sequential =
   QCheck.Test.make ~count:60 ~name:"parallel_seminaive_equals_sequential"
@@ -125,4 +144,5 @@ let suite =
       prop_parallel_chase_tree_shape;
       prop_parallel_chase_isomorphic_to_sequential;
       prop_parallel_stratified_answers;
+      prop_min_work_fallback_invisible;
     ]

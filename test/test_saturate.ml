@@ -1,0 +1,151 @@
+(** The indexed given-clause closure against its oracle.
+
+    {!Saturate.closure} and {!Saturate.closure_reference} share the
+    inference rules but nothing else — different loop (rounds vs FIFO
+    pops), different partner retrieval (relation-signature indexes vs
+    snapshots), different dedup fingerprints (canonical int keys vs
+    printed structural keys). On every theory they must agree as sets
+    of rules up to renaming, which is what these tests hold them to,
+    along with the pool- and subsumption-mode contracts of the indexed
+    loop. *)
+
+open Guarded_core
+open Guarded_gen.Generator
+module Saturate = Guarded_translate.Saturate
+module Subsumption = Guarded_translate.Subsumption
+module Pool = Guarded_par.Pool
+module Seminaive = Guarded_datalog.Seminaive
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let max_rules = 1_500
+
+(* The closure as a set of renaming-invariant fingerprints. Printed
+   canonicalized rules (not [Rule.canonical_key]) so the comparison
+   does not reuse the fingerprint the indexed loop dedups by. *)
+let canon_set sigma =
+  List.sort_uniq String.compare
+    (List.map (fun r -> Rule.to_string (Rule.canonicalize r)) (Theory.rules sigma))
+
+type outcome = Closure of Theory.t * Saturate.stats | Budget
+
+let run_closure f =
+  try
+    let t, st = f () in
+    Closure (t, st)
+  with Saturate.Budget_exceeded _ -> Budget
+
+(* Indexed closure = reference closure, as canonical rule sets and in
+   the stats both report; a budget overflow must hit both (they build
+   the same set, so the final count is shared). *)
+let prop_closure_matches_reference =
+  QCheck.Test.make ~count:40 ~name:"indexed closure = reference closure"
+    arbitrary_guarded (fun sigma ->
+      let sigma = Normalize.normalize sigma in
+      let indexed = run_closure (fun () -> Saturate.closure ~max_rules sigma) in
+      let reference = run_closure (fun () -> Saturate.closure_reference ~max_rules sigma) in
+      match (indexed, reference) with
+      | Budget, Budget -> true
+      | Closure (xi, st), Closure (xi_ref, st_ref) ->
+        canon_set xi = canon_set xi_ref
+        && st.Saturate.closure_rules = st_ref.Saturate.closure_rules
+        && st.Saturate.datalog_rules = st_ref.Saturate.datalog_rules
+      | Closure _, Budget | Budget, Closure _ -> false)
+
+(* Supplying a pool must not change anything observable: same rules in
+   the same order, same stats. *)
+let prop_closure_pool_deterministic =
+  QCheck.Test.make ~count:30 ~name:"pooled closure is bit-identical to sequential"
+    arbitrary_guarded (fun sigma ->
+      let sigma = Normalize.normalize sigma in
+      let pool = Pool.create ~domains:2 ~min_work:1 ~oversubscribe:true () in
+      let seq = run_closure (fun () -> Saturate.closure ~max_rules sigma) in
+      let par = run_closure (fun () -> Saturate.closure ~pool ~max_rules sigma) in
+      Pool.shutdown pool;
+      match (seq, par) with
+      | Budget, Budget -> true
+      | Closure (xi, st), Closure (xi_par, st_par) ->
+        List.equal
+          (fun r1 r2 -> Rule.to_string r1 = Rule.to_string r2)
+          (Theory.rules xi) (Theory.rules xi_par)
+        && st = st_par
+      | Closure _, Budget | Budget, Closure _ -> false)
+
+(* Subsume mode only drops rules, every dropped rule is subsumed by a
+   surviving one, and the Datalog part keeps the same fixpoint on every
+   generated database (subsumed rules derive nothing their subsumer
+   does not). *)
+let prop_closure_subsume_fixpoint =
+  QCheck.Test.make ~count:30 ~name:"subsume:true keeps the Datalog fixpoint"
+    (arbitrary_pair arbitrary_guarded) (fun (sigma, db) ->
+      let sigma = Normalize.normalize sigma in
+      let full = run_closure (fun () -> Saturate.closure ~max_rules sigma) in
+      let pruned = run_closure (fun () -> Saturate.closure ~max_rules ~subsume:true sigma) in
+      match (full, pruned) with
+      | Budget, Budget -> true
+      | Closure (xi, _), Closure (xi_sub, _) ->
+        let dat t = Theory.of_rules (List.filter Rule.is_datalog (Theory.rules t)) in
+        let set = canon_set xi and set_sub = canon_set xi_sub in
+        List.for_all (fun r -> List.mem r set) set_sub
+        && Database.equal (Seminaive.eval (dat xi) db) (Seminaive.eval (dat xi_sub) db)
+      | Closure _, Budget | Budget, Closure _ -> false)
+
+(* --- Example 7 units ------------------------------------------------- *)
+
+let example7_stats () =
+  let sigma = Helpers.example7_theory () in
+  let _, st = Saturate.closure ~max_rules:5_000 sigma in
+  let _, st_ref = Saturate.closure_reference ~max_rules:5_000 sigma in
+  (st, st_ref)
+
+let test_example7_stats_agree () =
+  let st, st_ref = example7_stats () in
+  check cint "closure_rules" st_ref.Saturate.closure_rules st.Saturate.closure_rules;
+  check cint "datalog_rules" st_ref.Saturate.datalog_rules st.Saturate.datalog_rules;
+  check cint "input_rules" st_ref.Saturate.input_rules st.Saturate.input_rules
+
+let test_example7_subsume_sound () =
+  let sigma = Helpers.example7_theory () in
+  let xi, st = Saturate.closure ~max_rules:5_000 sigma in
+  let xi_sub, st_sub = Saturate.closure ~max_rules:5_000 ~subsume:true sigma in
+  check cbool "no more rules than unpruned" true
+    (st_sub.Saturate.closure_rules <= st.Saturate.closure_rules);
+  (* Every dropped Datalog rule is subsumed by some kept rule. *)
+  let kept = Theory.rules xi_sub in
+  let dropped =
+    let kept_set = canon_set xi_sub in
+    List.filter
+      (fun r -> not (List.mem (Rule.to_string (Rule.canonicalize r)) kept_set))
+      (Theory.rules xi)
+  in
+  List.iter
+    (fun r ->
+      check cbool
+        (Fmt.str "dropped rule is subsumed: %a" Rule.pp r)
+        true
+        (List.exists (fun k -> Subsumption.subsumes k r) kept))
+    dropped
+
+let test_reduce_idempotent () =
+  let sigma = Helpers.example7_theory () in
+  let xi, _ = Saturate.closure ~max_rules:5_000 sigma in
+  let once = Subsumption.reduce xi in
+  let twice = Subsumption.reduce once in
+  check cint "reduce is idempotent" (Theory.size once) (Theory.size twice)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_closure_matches_reference;
+      prop_closure_pool_deterministic;
+      prop_closure_subsume_fixpoint;
+    ]
+  @ [
+      Alcotest.test_case "Example 7: indexed stats = reference stats" `Quick
+        test_example7_stats_agree;
+      Alcotest.test_case "Example 7: subsume mode is sound" `Quick
+        test_example7_subsume_sound;
+      Alcotest.test_case "reduce is idempotent on Ξ(Σ)" `Quick test_reduce_idempotent;
+    ]
