@@ -9,7 +9,7 @@
 
     Usage: dune exec bench/main.exe [-- [--json FILE] [--domains SPEC] SECTION...]
     Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup ablation
-    sat micro
+    sat incr micro
 
     With [--json FILE] the run additionally records, per section, the
     wall-clock seconds and every printed table with its timing columns
@@ -20,7 +20,7 @@
     With [--domains SPEC] (comma-separated counts, e.g. [--domains 1,4])
     the requested sections run once per count, each against a
     {!Guarded_par.Pool} of that many domains wired into the fixpoint
-    sections (fig2, thm1, thm2, thm5, sat, micro's chase). Each count
+    sections (fig2, thm1, thm2, thm5, sat, incr, micro's chase). Each count
     runs in a fresh child process (the driver re-executes itself per
     leg and splices the child recordings) so hash-cons-table and heap
     growth from one leg cannot tax the next. The first count keeps the
@@ -878,6 +878,112 @@ let sat () =
   table [ "input"; "|Ξ|"; "|reduce(Ξ)|"; "time" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* incr: incremental maintenance vs from-scratch re-evaluation         *)
+
+let incr () =
+  section "incr" "incremental maintenance: update batches vs from-scratch";
+  let atom fmt = Fmt.kstr Parser.atom_of_string fmt in
+  (* Each workload assigns every entity index a fixed group of EDB
+     facts. Batch [b] of a schedule retires entities [b*dels ..] and
+     enrolls fresh ones past the initial population — deterministic,
+     non-overlapping, and each batch touches well under 10% of the
+     EDB. The delete share of the churn sweeps 0/50/100%. *)
+  let ex7_entity i = [ atom "a(c%d)" i; atom "c(c%d)" i ] in
+  let thm1_entity i =
+    [
+      atom "publication(p%d)" i;
+      atom "hasAuthor(p%d, auth%d)" i i;
+      atom "hasTopic(p%d, t)" i;
+    ]
+  in
+  let workloads =
+    [
+      ( "ex7 dat(Σ)",
+        (let dat, _ = Saturate.dat (Parser.theory_of_string Workloads.example7_text) in
+         dat),
+        ex7_entity,
+        2000 );
+      ( "thm1 fg-family",
+        (Pipeline.to_datalog (fg_family 2)).Pipeline.datalog,
+        thm1_entity,
+        600 );
+    ]
+  in
+  let batches = 6 in
+  let rows =
+    List.concat_map
+      (fun (name, sigma, entity, n) ->
+        List.map
+          (fun del_pct ->
+            let edb = Database.create () in
+            for i = 0 to n - 1 do
+              List.iter (fun a -> ignore (Database.add edb a)) (entity i)
+            done;
+            let edb_size = Database.cardinal edb in
+            let churn = max 1 (n / 100) in
+            let dels = churn * del_pct / 100 in
+            let inss = churn - dels in
+            let batch b =
+              Guarded_incr.Delta.of_lists
+                ~additions:
+                  (List.concat_map entity (List.init inss (fun j -> n + (b * inss) + j)))
+                ~deletions:(List.concat_map entity (List.init dels (fun j -> (b * dels) + j)))
+            in
+            let m, t_mat =
+              time (fun () -> Guarded_incr.Incr.materialize ?pool:!current_pool sigma edb)
+            in
+            let idb_size = Database.cardinal (Guarded_incr.Incr.db m) - edb_size in
+            let _, t_incr =
+              time (fun () ->
+                  for b = 0 to batches - 1 do
+                    ignore (Guarded_incr.Incr.apply m (batch b))
+                  done)
+            in
+            (* The from-scratch oracle replays the same schedule,
+               re-running the full fixpoint after every batch — the
+               serving cost without the subsystem. *)
+            let reference = Database.copy edb in
+            let final, t_scratch =
+              time (fun () ->
+                  let last = ref reference in
+                  for b = 0 to batches - 1 do
+                    let d = batch b in
+                    List.iter
+                      (fun a -> ignore (Database.remove reference a))
+                      d.Guarded_incr.Delta.deletions;
+                    List.iter
+                      (fun a -> ignore (Database.add reference a))
+                      d.Guarded_incr.Delta.additions;
+                    last := Seminaive.eval ?pool:!current_pool sigma reference
+                  done;
+                  !last)
+            in
+            let agree = Database.equal (Guarded_incr.Incr.db m) final in
+            [
+              name;
+              string_of_int (Theory.size sigma);
+              string_of_int edb_size;
+              string_of_int idb_size;
+              string_of_int (Guarded_incr.Delta.size (batch 0));
+              Fmt.str "%d%%" del_pct;
+              string_of_int batches;
+              (if agree then "agree" else "MISMATCH");
+              ms t_mat;
+              ms t_incr;
+              ms t_scratch;
+              Fmt.str "%.1fx" (t_scratch /. Float.max t_incr 1e-9);
+            ])
+          [ 0; 50; 100 ])
+      workloads
+  in
+  table
+    [
+      "workload"; "rules"; "|EDB|"; "|IDB|"; "batch facts"; "deletes"; "batches"; "agree";
+      "materialize time"; "incr time"; "scratch time"; "speedup (timed)";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per experiment                       *)
 
 let micro () =
@@ -974,6 +1080,7 @@ let all_sections =
     ("blowup", blowup);
     ("ablation", ablation);
     ("sat", sat);
+    ("incr", incr);
     ("micro", micro);
   ]
 

@@ -273,9 +273,229 @@ let cq_cmd =
     (Cmd.info "cq" ~doc:"Certain answers of a conjunctive query (Section 7).")
     Term.(const run $ theory_arg $ db_arg $ cq_arg)
 
+(* --- serve / update ------------------------------------------------------ *)
+
+(* The serving path: translate once, materialize, maintain under update
+   batches (lib/incr). A theory that is already stratified Datalog is
+   served as-is; anything else goes through the Thm. 1/5 translation. *)
+let serving_program budget_n sigma =
+  if Theory.is_datalog sigma && Guarded_datalog.Stratify.is_stratified sigma then begin
+    Fmt.epr "program: stratified Datalog, served as-is (%d rules)@." (Theory.size sigma);
+    sigma
+  end
+  else begin
+    let budget =
+      {
+        Guarded_translate.Pipeline.max_expansion_rules = budget_n;
+        max_saturation_rules = budget_n;
+        max_ground_rules = budget_n;
+      }
+    in
+    match Guarded_translate.Pipeline.to_datalog ~budget sigma with
+    | tr ->
+      Fmt.epr "program: %s theory translated to %d Datalog rules@."
+        (Classify.language_name tr.Guarded_translate.Pipeline.source_language)
+        (Theory.size tr.Guarded_translate.Pipeline.datalog);
+      tr.Guarded_translate.Pipeline.datalog
+    | exception Guarded_translate.Pipeline.Not_datalog_expressible l ->
+      Fmt.epr
+        "this %s theory has no Datalog rewriting (Section 8) and cannot be served \
+         incrementally@."
+        (Classify.language_name l);
+      exit 4
+  end
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel maintenance rounds (1 = sequential).")
+
+let make_pool n = if n <= 1 then None else Some (Guarded_par.Pool.create ~domains:n ())
+
+let timed f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+let print_tuples rel tuples =
+  List.iter
+    (fun tuple ->
+      Fmt.pr "%s(%a)@." rel (Fmt.list ~sep:(Fmt.any ", ") Guarded_core.Term.pp) tuple)
+    tuples
+
+let print_apply_result (res : Guarded_incr.Incr.apply_result) dt =
+  Fmt.pr "applied: +%d -%d facts%s (%.3f ms)@." res.Guarded_incr.Incr.res_added
+    res.Guarded_incr.Incr.res_removed
+    (if res.Guarded_incr.Incr.res_fallback_strata > 0 then
+       Fmt.str " [%d strata recomputed]" res.Guarded_incr.Incr.res_fallback_strata
+     else "")
+    (dt *. 1000.)
+
+(* One query line of the serve REPL: "? REL" prints the relation's
+   tuples; "? body -> q(X)." answers a CQ (";"-separated disjuncts form
+   a UCQ) directly against the materialization. *)
+let serve_query m text =
+  let text = String.trim text in
+  if String.contains text '>' then begin
+    let ucq, _ = Guarded_cq.Ucq.of_string text in
+    let tuples =
+      List.concat_map
+        (fun (q : Guarded_cq.Cq.t) ->
+          Guarded_incr.Incr.cq_answers m ~body:q.Guarded_cq.Cq.body
+            ~answer_vars:q.Guarded_cq.Cq.answer_vars)
+        ucq.Guarded_cq.Ucq.disjuncts
+    in
+    let tuples = List.sort_uniq (List.compare Guarded_core.Term.compare) tuples in
+    List.iter
+      (fun tuple -> Fmt.pr "(%a)@." (Fmt.list ~sep:(Fmt.any ", ") Guarded_core.Term.pp) tuple)
+      tuples
+  end
+  else print_tuples text (Guarded_incr.Incr.answers m ~query:text)
+
+let serve_cmd =
+  let run theory_path db_path budget_n domains =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let db = load_db db_path in
+        let program = serving_program budget_n sigma in
+        let pool = make_pool domains in
+        let m, dt = timed (fun () -> Guarded_incr.Incr.materialize ?pool program db) in
+        Fmt.epr "materialized: %d facts from %d EDB facts (%.3f ms)@."
+          (Database.cardinal (Guarded_incr.Incr.db m))
+          (Database.cardinal (Guarded_incr.Incr.edb m))
+          (dt *. 1000.);
+        Fmt.epr "commands: +fact.  -fact.  commit  ? REL  ? body -> q(X).  quit@.";
+        let pending = ref Guarded_incr.Delta.empty in
+        let quit = ref false in
+        while not !quit do
+          match In_channel.input_line stdin with
+          | None -> quit := true
+          | Some line -> (
+            let line = String.trim line in
+            try
+              if line = "quit" || line = "exit" then quit := true
+              else if line = "commit" then begin
+                let delta = !pending in
+                pending := Guarded_incr.Delta.empty;
+                let res, dt = timed (fun () -> Guarded_incr.Incr.apply m delta) in
+                print_apply_result res dt
+              end
+              else if line <> "" && line.[0] = '?' then
+                serve_query m (String.sub line 1 (String.length line - 1))
+              else
+                match Guarded_incr.Delta.parse_line line with
+                | Some a, _ -> pending := Guarded_incr.Delta.add_fact !pending a
+                | _, Some a -> pending := Guarded_incr.Delta.remove_fact !pending a
+                | None, None -> ()
+            with
+            | Failure msg | Invalid_argument msg -> Fmt.epr "error: %s@." msg
+            | Parser.Parse_error msg -> Fmt.epr "parse error: %s@." msg)
+        done)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Materialize the translated program over DATABASE and serve queries under updates \
+          (interactive)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Translates THEORY to Datalog once (Thms. 1/5 — the rewriting is \
+              database-independent), materializes it over DATABASE, then reads commands from \
+              standard input: $(b,+fact.) and $(b,-fact.) stage insertions and deletions, \
+              $(b,commit) applies the staged batch incrementally (counting on nonrecursive \
+              strata, delete/rederive on recursive ones) and prints net changes with timing, \
+              $(b,? REL) prints a relation's tuples, $(b,? body -> q(X).) answers a \
+              conjunctive query ($(b,;)-separated disjuncts form a union), and $(b,quit) \
+              exits.";
+         ])
+    Term.(const run $ theory_arg $ db_arg $ budget_arg $ domains_arg)
+
+let update_cmd =
+  let updates_arg =
+    Arg.(
+      value
+      & pos 2 (some file) None
+      & info [] ~docv:"UPDATES"
+          ~doc:"Update file: +fact./-fact. lines; blank lines separate batches. Defaults to \
+                standard input.")
+  in
+  let query_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"REL" ~doc:"Print this relation's tuples after the last batch.")
+  in
+  let run theory_path db_path updates_path query budget_n domains =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let db = load_db db_path in
+        let program = serving_program budget_n sigma in
+        let pool = make_pool domains in
+        let m, dt = timed (fun () -> Guarded_incr.Incr.materialize ?pool program db) in
+        Fmt.epr "materialized: %d facts (%.3f ms)@."
+          (Database.cardinal (Guarded_incr.Incr.db m))
+          (dt *. 1000.);
+        let text =
+          match updates_path with
+          | Some path -> read_file path
+          | None -> In_channel.input_all stdin
+        in
+        (* Blank-line-separated batches; comment lines stay attached to
+           their batch. *)
+        let batches =
+          String.split_on_char '\n' text
+          |> List.fold_left
+               (fun (cur, done_) line ->
+                 if String.trim line = "" then
+                   if cur = [] then ([], done_) else ([], List.rev cur :: done_)
+                 else (line :: cur, done_))
+               ([], [])
+          |> fun (cur, done_) ->
+          List.rev (if cur = [] then done_ else List.rev cur :: done_)
+        in
+        List.iteri
+          (fun i lines ->
+            let delta = Guarded_incr.Delta.of_string (String.concat "\n" lines) in
+            let res, dt = timed (fun () -> Guarded_incr.Incr.apply m delta) in
+            Fmt.pr "batch %d (%d ops): " (i + 1) (Guarded_incr.Delta.size delta);
+            print_apply_result res dt)
+          batches;
+        match query with
+        | None -> ()
+        | Some rel -> print_tuples rel (Guarded_incr.Incr.answers m ~query:rel))
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply blank-line-separated update batches to a served materialization, with \
+             per-batch timing."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Materializes THEORY over DATABASE like $(b,guarded serve), then applies the \
+              batches of UPDATES (or standard input): one $(b,+fact.) or $(b,-fact.) per \
+              line, blank lines between batches, $(b,#)/$(b,%) comments ignored. Each batch \
+              reports its net fact changes and wall-clock time; $(b,--query) prints a \
+              relation after the final batch.";
+         ])
+    Term.(
+      const run $ theory_arg $ db_arg $ updates_arg $ query_opt_arg $ budget_arg $ domains_arg)
+
 let () =
   let doc = "guarded existential rule languages (PODS 2014) — translations and query answering" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "guarded" ~version:"1.0.0" ~doc)
-          [ classify_cmd; normalize_cmd; translate_cmd; chase_cmd; answer_cmd; cq_cmd ]))
+          [
+            classify_cmd;
+            normalize_cmd;
+            translate_cmd;
+            chase_cmd;
+            answer_cmd;
+            cq_cmd;
+            serve_cmd;
+            update_cmd;
+          ]))

@@ -9,19 +9,29 @@
     keyed on stored integers: the relation index on {!Atom.rel_id}, the
     positional index on (rel_id, position, {!Term.id}) triples, and the
     fact tables on physical atoms with stored hashes. Buckets are
-    append-only vectors (facts are never removed), so iteration over the
-    length snapshotted at entry is safe while rule firing appends new
-    facts — exactly the semantics the old materialize-a-list code had,
-    without allocating a candidate list per search node.
+    vectors for ordered iteration plus an id-hashed index from fact to
+    vector slot: additions append (so iteration over the length
+    snapshotted at entry is safe while rule firing appends new facts),
+    removals swap the victim's slot with the last entry, keeping every
+    per-relation and per-position bucket — and hence the
+    {!candidate_count} estimates, which are bucket lengths — exact under
+    interleaved {!add}/{!remove}. Removing facts during a candidate
+    iteration is not supported (the incremental-maintenance cascades
+    enumerate first and remove after the round's enumeration finishes).
+
+    For rollback, every database carries a monotone mutation {!epoch};
+    with {!enable_journal} the inverse of each mutation is also logged,
+    and {!rollback} replays the log back to an earlier epoch.
 
     The distinguished unary relation {!acdom_rel} ("ACDom" in the paper)
     holds exactly the terms of the active domain; {!materialize_acdom}
     populates it from the current non-ACDom facts. *)
 
-(* Append-only fact bucket: a vector for ordered, snapshot-safe
-   iteration plus an id-hashed table for O(1) membership. *)
+(* Fact bucket: a vector for ordered iteration plus an id-hashed table
+   mapping each fact to its vector slot, for O(1) membership and O(1)
+   swap-removal. *)
 type bucket = {
-  tbl : unit Atom.Tbl.t;
+  tbl : int Atom.Tbl.t;  (** fact -> index in [arr] *)
   mutable arr : Atom.t array;
   mutable len : int;
 }
@@ -29,7 +39,7 @@ type bucket = {
 let bucket_create n = { tbl = Atom.Tbl.create n; arr = [||]; len = 0 }
 
 let bucket_add b a =
-  Atom.Tbl.replace b.tbl a ();
+  Atom.Tbl.replace b.tbl a b.len;
   if b.len = Array.length b.arr then begin
     let arr = Array.make (max 8 (2 * b.len)) a in
     Array.blit b.arr 0 arr 0 b.len;
@@ -40,8 +50,23 @@ let bucket_add b a =
 
 let bucket_mem b a = Atom.Tbl.mem b.tbl a
 
+(* Swap-remove: the last entry takes the victim's slot. O(1); the
+   bucket's iteration order is not stable across removals. *)
+let bucket_remove b a =
+  match Atom.Tbl.find_opt b.tbl a with
+  | None -> ()
+  | Some i ->
+    Atom.Tbl.remove b.tbl a;
+    let last = b.len - 1 in
+    if i < last then begin
+      let moved = b.arr.(last) in
+      b.arr.(i) <- moved;
+      Atom.Tbl.replace b.tbl moved i
+    end;
+    b.len <- last
+
 (* Safe under concurrent [bucket_add]: only the entries present at call
-   time are visited. *)
+   time are visited. Not safe under [bucket_remove]. *)
 let bucket_iter f b =
   let n = b.len in
   for i = 0 to n - 1 do
@@ -58,15 +83,31 @@ module Pos_tbl = Hashtbl.Make (struct
   let hash (a, b, c) = (((a * 0x01000193) lxor b) * 0x01000193 lxor c) land max_int
 end)
 
+(* Journal entry: the inverse operation that undoes a mutation. *)
+type mutation = Undo_add of Atom.t | Undo_remove of Atom.t
+
 type t = {
   by_rel : bucket Int_tbl.t;  (** rel_id -> facts of the relation *)
   by_pos : bucket Pos_tbl.t;  (** (rel_id, pos, term_id) -> facts *)
   mutable count : int;
+  mutable epoch : int;  (** monotone mutation counter *)
+  mutable journaling : bool;
+  mutable journal : mutation list;  (** inverse ops, newest first *)
 }
+
+type epoch = int
 
 let acdom_rel = "ACDom"
 
-let create () = { by_rel = Int_tbl.create 64; by_pos = Pos_tbl.create 256; count = 0 }
+let create () =
+  {
+    by_rel = Int_tbl.create 64;
+    by_pos = Pos_tbl.create 256;
+    count = 0;
+    epoch = 0;
+    journaling = false;
+    journal = [];
+  }
 
 let cardinal db = db.count
 
@@ -75,37 +116,85 @@ let mem db atom =
   | None -> false
   | Some b -> bucket_mem b atom
 
+(* Index maintenance shared by [add] and journal replay: no journaling,
+   no epoch bump. *)
+let add_unlogged db atom =
+  let rel_id = Atom.rel_id atom in
+  let b =
+    match Int_tbl.find_opt db.by_rel rel_id with
+    | Some b -> b
+    | None ->
+      let b = bucket_create 32 in
+      Int_tbl.add db.by_rel rel_id b;
+      b
+  in
+  bucket_add b atom;
+  let ids = Atom.term_ids atom in
+  for i = 0 to Array.length ids - 1 do
+    let pkey = (rel_id, i, ids.(i)) in
+    let pb =
+      match Pos_tbl.find_opt db.by_pos pkey with
+      | Some pb -> pb
+      | None ->
+        let pb = bucket_create 8 in
+        Pos_tbl.add db.by_pos pkey pb;
+        pb
+    in
+    bucket_add pb atom
+  done;
+  db.count <- db.count + 1
+
+let remove_unlogged db atom =
+  let rel_id = Atom.rel_id atom in
+  (match Int_tbl.find_opt db.by_rel rel_id with
+  | None -> ()
+  | Some b -> bucket_remove b atom);
+  let ids = Atom.term_ids atom in
+  for i = 0 to Array.length ids - 1 do
+    match Pos_tbl.find_opt db.by_pos (rel_id, i, ids.(i)) with
+    | None -> ()
+    | Some pb -> bucket_remove pb atom
+  done;
+  db.count <- db.count - 1
+
 let add db atom =
   if not (Atom.is_ground atom) then
     invalid_arg (Fmt.str "Database.add: non-ground atom %a" Atom.pp atom);
   if mem db atom then false
   else begin
-    let rel_id = Atom.rel_id atom in
-    let b =
-      match Int_tbl.find_opt db.by_rel rel_id with
-      | Some b -> b
-      | None ->
-        let b = bucket_create 32 in
-        Int_tbl.add db.by_rel rel_id b;
-        b
-    in
-    bucket_add b atom;
-    let ids = Atom.term_ids atom in
-    for i = 0 to Array.length ids - 1 do
-      let pkey = (rel_id, i, ids.(i)) in
-      let pb =
-        match Pos_tbl.find_opt db.by_pos pkey with
-        | Some pb -> pb
-        | None ->
-          let pb = bucket_create 8 in
-          Pos_tbl.add db.by_pos pkey pb;
-          pb
-      in
-      bucket_add pb atom
-    done;
-    db.count <- db.count + 1;
+    add_unlogged db atom;
+    db.epoch <- db.epoch + 1;
+    if db.journaling then db.journal <- Undo_add atom :: db.journal;
     true
   end
+
+let remove db atom =
+  if not (mem db atom) then false
+  else begin
+    remove_unlogged db atom;
+    db.epoch <- db.epoch + 1;
+    if db.journaling then db.journal <- Undo_remove atom :: db.journal;
+    true
+  end
+
+let epoch db = db.epoch
+
+let enable_journal db = db.journaling <- true
+
+let rollback db target =
+  if target > db.epoch then invalid_arg "Database.rollback: epoch is in the future";
+  if target < db.epoch && not db.journaling then
+    invalid_arg "Database.rollback: journaling was not enabled";
+  while db.epoch > target do
+    match db.journal with
+    | [] -> invalid_arg "Database.rollback: journal does not reach back to epoch"
+    | u :: rest ->
+      (match u with
+      | Undo_add a -> remove_unlogged db a
+      | Undo_remove a -> add_unlogged db a);
+      db.journal <- rest;
+      db.epoch <- db.epoch - 1
+  done
 
 let add_all db atoms = List.iter (fun a -> ignore (add db a)) atoms
 
@@ -278,7 +367,7 @@ let constant_tuples db name =
       let n, _, _ = Atom.rel_key_of_id rel_id in
       if String.equal n name then
         Atom.Tbl.fold
-          (fun a () acc ->
+          (fun a _ acc ->
             if List.for_all Term.is_const (Atom.terms a) then Tuple_set.add (Atom.args a) acc
             else acc)
           b.tbl acc

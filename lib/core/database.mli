@@ -5,9 +5,12 @@
     homomorphism search and semi-naive evaluation can select candidate
     facts for partially bound atoms without scanning whole relations.
     All indexes are keyed on the stored integer ids of hash-consed
-    atoms and interned terms; buckets are append-only, so candidate
-    iteration is safe while rule firing adds new facts (the facts added
-    mid-iteration are not visited). *)
+    atoms and interned terms. Additions append to the index buckets, so
+    candidate iteration is safe while rule firing adds new facts (the
+    facts added mid-iteration are not visited); removals ({!remove})
+    swap-delete from every bucket in O(1) per index entry, keeping the
+    {!candidate_count} estimates exact, but must not run during a
+    candidate iteration. *)
 
 type t
 
@@ -23,6 +26,30 @@ val add : t -> Atom.t -> bool
 
 val add_all : t -> Atom.t list -> unit
 val of_atoms : Atom.t list -> t
+
+val remove : t -> Atom.t -> bool
+(** [remove db a] deletes the fact [a] from the store and every
+    per-relation and per-position index bucket; returns [false] when it
+    was not present. Must not be called while a candidate iteration
+    over [db] is in progress. *)
+
+type epoch
+(** A point in a database's mutation history; see {!epoch}/{!rollback}. *)
+
+val epoch : t -> epoch
+(** The current epoch: a monotone counter bumped by every effective
+    {!add} or {!remove}. *)
+
+val enable_journal : t -> unit
+(** Start logging inverse operations so that later mutations can be
+    undone with {!rollback}. Off by default (and in {!copy}ies);
+    journaling costs one list cell per mutation. *)
+
+val rollback : t -> epoch -> unit
+(** [rollback db e] undoes every mutation made after epoch [e], newest
+    first, restoring the exact fact set held at [e].
+    @raise Invalid_argument if [e] is in the future or the journal does
+    not reach back to [e] (journaling off or enabled after [e]). *)
 
 val mem : t -> Atom.t -> bool
 val cardinal : t -> int

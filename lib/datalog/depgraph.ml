@@ -95,6 +95,57 @@ let recursive_relations (g : t) : Rel_set.t =
       | many -> List.fold_left (fun acc k -> Rel_set.add k acc) acc many)
     Rel_set.empty (sccs g)
 
+(* Does the program derive any recursive relation? Decides the
+   maintenance strategy per stratum: counting suffices for nonrecursive
+   strata, recursive ones need delete/rederive. *)
+let is_recursive (sigma : Theory.t) : bool =
+  let g = of_theory sigma in
+  let rec_rels = recursive_relations g in
+  List.exists
+    (fun r ->
+      List.exists (fun h -> Rel_set.mem (Atom.rel_key h) rec_rels) (Rule.head r))
+    (Theory.rules sigma)
+
+(* The partition used to refine a stratum for incremental maintenance:
+   SCCs of the dependency graph with each rule's head relations tied
+   together (a multi-head rule derives its heads in one instance, so a
+   rule must never straddle two components). The tie edges only merge
+   components of the plain graph, so the condensation stays acyclic and
+   the dependencies-first order of [sccs] carries over: every body
+   relation of a component is derived in the same or an earlier one. *)
+let rule_components (sigma : Theory.t) : Theory.t list =
+  let g = of_theory sigma in
+  let succs =
+    List.fold_left
+      (fun succs r ->
+        match List.sort_uniq compare (List.map Atom.rel_key (Rule.head r)) with
+        | [] | [ _ ] -> succs
+        | heads ->
+          List.fold_left
+            (fun succs h ->
+              List.fold_left
+                (fun succs h' ->
+                  if h = h' then succs
+                  else Rel_map.add h (Rel_set.add h' (find_set h succs)) succs)
+                succs heads)
+            succs heads)
+      g.succs (Theory.rules sigma)
+  in
+  let comps = sccs { g with succs } in
+  let comp_of = Hashtbl.create 16 in
+  List.iteri (fun i comp -> List.iter (fun k -> Hashtbl.replace comp_of k i) comp) comps;
+  let buckets = Array.make (max 1 (List.length comps)) [] in
+  List.iter
+    (fun r ->
+      match Rule.head r with
+      | [] -> ()
+      | h :: _ ->
+        let i = Hashtbl.find comp_of (Atom.rel_key h) in
+        buckets.(i) <- r :: buckets.(i))
+    (Theory.rules sigma);
+  Array.to_list buckets
+  |> List.filter_map (function [] -> None | rs -> Some (Theory.of_rules (List.rev rs)))
+
 (* Relations on which [targets] transitively depend (targets included). *)
 let reachable_from (g : t) (targets : Rel_set.t) : Rel_set.t =
   let rec go frontier seen =

@@ -23,6 +23,20 @@ val sccs : t -> Atom.rel_key list list
 
 val recursive_relations : t -> Rel_set.t
 
+val is_recursive : Theory.t -> bool
+(** Does the program derive any recursive relation? Decides the
+    per-stratum maintenance strategy (counting vs delete/rederive). *)
+
+val rule_components : Theory.t -> Theory.t list
+(** Partition a program's rules into evaluation components,
+    dependencies first: the SCC condensation of the dependency graph
+    with each rule's head relations identified (a multi-head rule
+    derives its heads together, so its heads share a component). Every
+    body relation of a component is derived in the same or an earlier
+    component; concatenating the components gives back the program.
+    Refines a (negation) stratum so recursion-sensitive maintenance
+    pays only for the genuinely recursive components. *)
+
 val reachable_from : t -> Rel_set.t -> Rel_set.t
 (** Relations on which the targets transitively depend (inclusive) —
     the query-relevant part of a program. *)

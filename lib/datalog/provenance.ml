@@ -125,3 +125,63 @@ let support proof =
     | Derived (_, _, children) -> List.fold_left go acc children
   in
   Atom.Set.elements (go Atom.Set.empty proof)
+
+(* ------------------------------------------------------------------ *)
+(* One-step support sets.
+
+   DRed's rederivation step asks: is this overdeleted fact still
+   derivable in one step from the facts that survived? These helpers
+   answer it by matching each rule's head atoms against the fact and
+   extending the binding over the rule body in [db]. Unlike {!explain},
+   no fixpoint is computed — [db] is taken as-is. *)
+
+(* Visit every (rule, instantiated positive body) pair deriving [fact]
+   in one step from [db]: some head atom matches [fact], the positive
+   body embeds into [db] under that binding, and the negative literals
+   are absent. Raises [exn] from [yield] for early exit. *)
+let iter_one_step (sigma : Theory.t) (db : Database.t) (fact : Atom.t) yield =
+  List.iteri
+    (fun rule_idx rule ->
+      let body = Rule.body_atoms rule in
+      let negs = Rule.neg_body_atoms rule in
+      List.iter
+        (fun h ->
+          match Subst.match_atom Subst.empty h fact with
+          | None -> ()
+          | Some init ->
+            Homomorphism.iter_pos ~init body db (fun subst ->
+                let negs_ok =
+                  List.for_all
+                    (fun a -> not (Database.mem db (Subst.apply_atom subst a)))
+                    negs
+                in
+                if negs_ok then
+                  yield rule_idx rule (List.map (Subst.apply_atom subst) body)))
+        (Rule.head rule))
+    (Theory.rules sigma)
+
+(* The one-step support sets of [fact] over [db]: every (rule,
+   premises) pair that derives it, deduplicated (a fact matched by two
+   head atoms of the same rule under the same body instance counts
+   once). *)
+let one_step_supports (sigma : Theory.t) (db : Database.t) (fact : Atom.t) =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  iter_one_step sigma db fact (fun rule_idx rule premises ->
+      let key = (rule_idx, List.map Atom.id premises) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        acc := (rule, premises) :: !acc
+      end);
+  List.rev !acc
+
+exception Found_one_step
+
+(* Early-exit variant: is [fact] derivable in one step from [db]? The
+   membership test DRed's rederivation loop runs per overdeleted
+   fact. *)
+let derivable_one_step (sigma : Theory.t) (db : Database.t) (fact : Atom.t) =
+  try
+    iter_one_step sigma db fact (fun _ _ _ -> raise Found_one_step);
+    false
+  with Found_one_step -> true

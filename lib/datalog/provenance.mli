@@ -31,3 +31,14 @@ val pp_proof : proof Fmt.t
 
 val support : proof -> Atom.t list
 (** The input facts the proof rests on. *)
+
+val one_step_supports : Theory.t -> Database.t -> Atom.t -> (Rule.t * Atom.t list) list
+(** [one_step_supports sigma db fact]: every (rule, instantiated
+    positive body) pair deriving [fact] in a single step from [db] —
+    some head atom matches [fact], the body embeds into [db], the
+    negative literals are absent. Deduplicated per rule and premise
+    instance; no fixpoint is computed, [db] is taken as-is. *)
+
+val derivable_one_step : Theory.t -> Database.t -> Atom.t -> bool
+(** Early-exit membership form of {!one_step_supports} — the
+    rederivation test of DRed maintenance. *)

@@ -236,3 +236,143 @@ let eval ?(acdom = true) ?pool (sigma : Theory.t) (db0 : Database.t) =
 
 let answers ?pool (sigma : Theory.t) (db : Database.t) ~query =
   Database.constant_tuples (eval ?pool sigma db) query
+
+(* ------------------------------------------------------------------ *)
+(* Reusable engine.
+
+   Incremental maintenance (lib/incr) evaluates the same program over a
+   long-lived database many times; the prepared rules and the delta rule
+   index are input-independent, so they are built once into an [engine]
+   and reused across update batches. The engine also exposes the
+   building blocks counting and DRed maintenance need: in-place delta
+   insertion and ground-instance enumeration (full and seeded). *)
+
+type engine = {
+  e_prepared : prepared array;
+  e_index : (int, int list ref) Hashtbl.t;
+  e_theory : Theory.t;
+}
+
+let engine (sigma : Theory.t) =
+  check_datalog sigma;
+  if not (Stratify.is_semipositive sigma) then
+    invalid_arg "Seminaive.engine: program is not semipositive";
+  let prepared = Array.of_list (List.map prepare (Theory.rules sigma)) in
+  { e_prepared = prepared; e_index = rule_index prepared; e_theory = sigma }
+
+let engine_theory e = e.e_theory
+
+(* Insert [facts] into [db] in place and run delta rounds to the new
+   fixpoint. Returns every fact that was actually added (effective
+   seeds and derived facts), in addition order. The rounds are the same
+   differential schedule as {!eval}; with [?pool] they use the
+   snapshot-and-merge parallel rounds, so the resulting set is
+   identical for every domain count. *)
+let delta_insert ?pool (e : engine) (db : Database.t) (facts : Atom.t list) =
+  let added = ref [] in
+  let delta = Database.create () in
+  List.iter
+    (fun f ->
+      if Database.add db f then begin
+        ignore (Database.add delta f);
+        added := f :: !added
+      end)
+    facts;
+  let current = ref delta in
+  while Database.cardinal !current > 0 do
+    let delta = !current in
+    let next = Database.create () in
+    let marked = affected_rules e.e_index e.e_prepared delta in
+    (match pool with
+    | None ->
+      Array.iteri
+        (fun idx p -> if marked.(idx) then fire_with_delta p db delta next)
+        e.e_prepared
+    | Some pool ->
+      let units = ref [] in
+      Array.iteri
+        (fun idx p ->
+          if marked.(idx) then
+            List.iter
+              (fun ((anchor, _) as unit) ->
+                if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
+                  units := (p, unit) :: !units)
+              p.p_anchors)
+        e.e_prepared;
+      let units = Array.of_list (List.rev !units) in
+      let buffers =
+        Guarded_par.Pool.parallel_map
+          ~min_work:(round_min_work pool (Database.cardinal delta))
+          (Some pool)
+          (fun (p, unit) -> collect_with_delta p db delta unit)
+          units
+      in
+      merge_buffers db next buffers);
+    Database.iter (fun f -> added := f :: !added) next;
+    current := next
+  done;
+  List.rev !added
+
+(* ------------------------------------------------------------------ *)
+(* Ground-instance enumeration.
+
+   An {e instance} of a rule is a homomorphism of its positive body into
+   the database whose negative literals are absent: the unit of support
+   counting. The callback receives the rule's index in [Theory.rules],
+   the instantiated positive body (premises, in rule order) and the
+   instantiated head atoms. *)
+
+(* Every instance of every rule over [db], each exactly once (the
+   premise list determines the homomorphism for safe rules). *)
+let iter_instances (e : engine) (db : Database.t) f =
+  Array.iteri
+    (fun idx p ->
+      Homomorphism.iter_pos p.p_body db (fun subst ->
+          if negs_ok db p.p_negs subst then
+            let premises = List.map (Subst.apply_atom subst) p.p_body in
+            let heads = List.map (Subst.apply_atom subst) (Rule.head p.p_rule) in
+            f idx premises heads))
+    e.e_prepared
+
+(* Instances with at least one premise matched in [seed] (the anchor)
+   and the remaining premises matched in [db]; negative literals are
+   checked against [db]. An instance with k premises in [seed] is
+   visited once per such premise position — callers deduplicate (e.g.
+   keyed on rule index + premise atom ids). With [?pool] the anchored
+   units are enumerated in parallel into buffers and the callback runs
+   sequentially in canonical unit order. *)
+let iter_seeded_instances ?pool (e : engine) ~(seed : Database.t) ~(db : Database.t) f =
+  let marked = affected_rules e.e_index e.e_prepared seed in
+  let units = ref [] in
+  Array.iteri
+    (fun idx p ->
+      if marked.(idx) then
+        List.iter
+          (fun ((anchor, _) as unit) ->
+            if Database.rel_cardinal seed (Atom.rel_key anchor) > 0 then
+              units := (idx, p, unit) :: !units)
+          p.p_anchors)
+    e.e_prepared;
+  let units = Array.of_list (List.rev !units) in
+  let collect (idx, p, (anchor, rest)) =
+    let acc = ref [] in
+    Database.iter_candidates seed anchor (fun fact ->
+        match Subst.match_atom Subst.empty anchor fact with
+        | None -> ()
+        | Some subst ->
+          Homomorphism.iter_pos ~init:subst rest db (fun subst ->
+              if negs_ok db p.p_negs subst then
+                let premises = List.map (Subst.apply_atom subst) p.p_body in
+                let heads = List.map (Subst.apply_atom subst) (Rule.head p.p_rule) in
+                acc := (idx, premises, heads) :: !acc));
+    List.rev !acc
+  in
+  let buffers =
+    match pool with
+    | None -> Array.map collect units
+    | Some pool ->
+      Guarded_par.Pool.parallel_map
+        ~min_work:(round_min_work pool (Database.cardinal seed))
+        (Some pool) collect units
+  in
+  Array.iter (List.iter (fun (idx, premises, heads) -> f idx premises heads)) buffers

@@ -30,3 +30,50 @@ val answers :
   ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> query:string -> Term.t list list
 (** Sorted, deduplicated constant tuples of the [query] relation in the
     fixpoint (folded into a set directly — no intermediate fact list). *)
+
+(** {1 Reusable engine}
+
+    Incremental maintenance evaluates the same program over a
+    long-lived database many times. The prepared rules and the delta
+    rule index are input-independent; an {!engine} builds them once. *)
+
+type engine
+
+val engine : Theory.t -> engine
+(** @raise Invalid_argument on existential rules or non-semipositive
+    negation. *)
+
+val engine_theory : engine -> Theory.t
+
+val delta_insert :
+  ?pool:Guarded_par.Pool.t -> engine -> Database.t -> Atom.t list -> Atom.t list
+(** [delta_insert e db facts] inserts [facts] into [db] {e in place} and
+    runs semi-naive delta rounds to the new fixpoint. Returns every
+    fact actually added — the effective seeds plus all newly derived
+    facts, in addition order. ACDom is not materialized here; callers
+    owning ACDom maintenance pass the relevant ACDom deltas in
+    [facts]. *)
+
+val iter_instances : engine -> Database.t -> (int -> Atom.t list -> Atom.t list -> unit) -> unit
+(** [iter_instances e db f] enumerates every ground {e instance} of
+    every rule over [db] — a homomorphism of the positive body with all
+    negative literals absent — calling [f rule_idx premises heads] with
+    the rule's index in [Theory.rules], the instantiated positive body
+    (rule order) and the instantiated head atoms. Each instance is
+    visited exactly once. The unit of support counting. *)
+
+val iter_seeded_instances :
+  ?pool:Guarded_par.Pool.t ->
+  engine ->
+  seed:Database.t ->
+  db:Database.t ->
+  (int -> Atom.t list -> Atom.t list -> unit) ->
+  unit
+(** Like {!iter_instances}, but restricted to instances with at least
+    one premise matched in [seed]; the remaining premises and the
+    negative literals are checked against [db]. An instance with [k]
+    premises in [seed] is visited once per such premise position —
+    callers deduplicate (e.g. on rule index + premise ids). With
+    [?pool] the anchored units run in parallel into buffers and [f] is
+    invoked sequentially in canonical unit order, so the visit sequence
+    is independent of the domain count. *)

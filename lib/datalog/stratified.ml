@@ -16,14 +16,11 @@ type result = {
   strata_count : int;
 }
 
-let mentions_acdom sigma =
-  Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
-
 let chase ?(limits = Guarded_chase.Engine.default_limits) ?pool (sigma : Theory.t)
     (db0 : Database.t) =
   let strata = Stratify.strata sigma in
   let db = Database.copy db0 in
-  if mentions_acdom sigma then Database.materialize_acdom db;
+  if Seminaive.mentions_acdom sigma then Database.materialize_acdom db;
   let outcome = ref Guarded_chase.Engine.Saturated in
   let current = ref db in
   List.iter

@@ -1,0 +1,69 @@
+(** Update batches against an EDB: see the interface for the format. *)
+
+open Guarded_core
+
+type t = {
+  additions : Atom.t list;
+  deletions : Atom.t list;
+}
+
+let empty = { additions = []; deletions = [] }
+let is_empty d = d.additions = [] && d.deletions = []
+
+let check_ground what a =
+  if not (Atom.is_ground a) then
+    invalid_arg (Fmt.str "Delta.%s: non-ground atom %a" what Atom.pp a)
+
+let add_fact d a =
+  check_ground "add_fact" a;
+  { d with additions = d.additions @ [ a ] }
+
+let remove_fact d a =
+  check_ground "remove_fact" a;
+  { d with deletions = d.deletions @ [ a ] }
+
+let of_lists ~additions ~deletions =
+  List.iter (check_ground "of_lists") additions;
+  List.iter (check_ground "of_lists") deletions;
+  { additions; deletions }
+
+let size d = List.length d.additions + List.length d.deletions
+
+(* Strip an optional trailing dot before handing the fact text to the
+   atom parser (facts in theory files end in dots; bare atoms do not). *)
+let parse_fact s =
+  let s = String.trim s in
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '.' then String.sub s 0 (n - 1) else s
+  in
+  Parser.atom_of_string s
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' || line.[0] = '%' then (None, None)
+  else
+    match line.[0] with
+    | '+' -> (Some (parse_fact (String.sub line 1 (String.length line - 1))), None)
+    | '-' -> (None, Some (parse_fact (String.sub line 1 (String.length line - 1))))
+    | _ -> failwith (Fmt.str "Delta.parse_line: expected +fact or -fact, got %S" line)
+
+let of_string s =
+  let additions = ref [] and deletions = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         match parse_line line with
+         | Some a, _ -> additions := a :: !additions
+         | _, Some a -> deletions := a :: !deletions
+         | None, None -> ());
+  { additions = List.rev !additions; deletions = List.rev !deletions }
+
+let pp ppf d =
+  let line sign ppf a = Fmt.pf ppf "%c%a." sign Atom.pp a in
+  Fmt.pf ppf "@[<v>%a%a%a@]"
+    (Fmt.list ~sep:Fmt.cut (line '+'))
+    d.additions
+    (fun ppf () -> if d.additions <> [] && d.deletions <> [] then Fmt.cut ppf ())
+    ()
+    (Fmt.list ~sep:Fmt.cut (line '-'))
+    d.deletions

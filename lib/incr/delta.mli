@@ -1,0 +1,40 @@
+(** Update batches: fact insertions and deletions against an EDB.
+
+    A delta is applied with batch semantics — the new EDB is
+    [(EDB \ deletions) ∪ additions]; a fact listed on both sides ends
+    up present. The textual format is one signed fact per line,
+    ["+p(a,b)."] to insert and ["-p(a,b)."] to delete (the trailing dot
+    is optional); blank lines and lines starting with [#] or [%] are
+    ignored. *)
+
+open Guarded_core
+
+type t = {
+  additions : Atom.t list;  (** in submission order *)
+  deletions : Atom.t list;  (** in submission order *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+val add_fact : t -> Atom.t -> t
+(** Queue an insertion. @raise Invalid_argument on a non-ground atom. *)
+
+val remove_fact : t -> Atom.t -> t
+(** Queue a deletion. @raise Invalid_argument on a non-ground atom. *)
+
+val of_lists : additions:Atom.t list -> deletions:Atom.t list -> t
+
+val size : t -> int
+(** Queued insertions plus queued deletions. *)
+
+val parse_line : string -> Atom.t option * Atom.t option
+(** [parse_line s] reads one [+fact]/[-fact] line; returns the atom in
+    the first (addition) or second (deletion) slot, or [(None, None)]
+    on a blank or comment line.
+    @raise Failure on anything else. *)
+
+val of_string : string -> t
+(** Parse a batch, one signed fact per line. *)
+
+val pp : t Fmt.t

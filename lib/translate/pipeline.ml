@@ -117,6 +117,12 @@ let answer ?(budget = default_budget) (sigma : Theory.t) db ~query =
   | exception (Expansion.Budget_exceeded _ | Saturate.Budget_exceeded _) ->
     answer_via_chase (Normalize.normalize sigma) db ~query
 
+(* Answer through an already-computed translation — the serving path:
+   translate once ({!to_datalog}), then evaluate the same Datalog
+   program over many databases (or many versions of one database). *)
+let answer_translated ?pool (tr : translation) db ~query =
+  Guarded_datalog.Seminaive.answers ?pool tr.datalog db ~query
+
 (* Ground-atom entailment through the same pipelines. *)
 let entails ?budget (sigma : Theory.t) db atom =
   if not (Atom.is_ground atom) then invalid_arg "Pipeline.entails: atom must be ground";

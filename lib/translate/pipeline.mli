@@ -44,4 +44,16 @@ val answer : ?budget:budget -> Theory.t -> Database.t -> query:string -> Term.t 
     @raise Answering_incomplete when neither route can give an exact
     answer within the limits. *)
 
+val answer_translated :
+  ?pool:Guarded_par.Pool.t ->
+  translation ->
+  Database.t ->
+  query:string ->
+  Term.t list list
+(** Certain answers through an already-computed {!translation} — the
+    serving path of Thms. 1/5: the Datalog rewriting is
+    database-independent, so one [to_datalog] result answers over any
+    database (and is what [guarded serve] materializes
+    incrementally). *)
+
 val entails : ?budget:budget -> Theory.t -> Database.t -> Atom.t -> bool

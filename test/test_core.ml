@@ -242,6 +242,99 @@ let test_database_acdom () =
   Database.materialize_acdom d;
   check cint "idempotent" 3 (Database.rel_cardinal d (Database.acdom_rel, 0, 1))
 
+(* Interleaved add/remove must keep every index consistent: candidate
+   streams never yield removed facts, estimates track the true bucket
+   sizes, and re-adding after removal behaves like a fresh add. *)
+let test_database_remove () =
+  let d = Helpers.db "r(a, b). r(a, c). r(b, c). s(a)." in
+  let rab = Helpers.atom "r(a, b)" in
+  check cbool "remove present" true (Database.remove d rab);
+  check cbool "remove again" false (Database.remove d rab);
+  check cbool "remove absent" false (Database.remove d (Helpers.atom "r(z, z)"));
+  check cint "cardinal" 3 (Database.cardinal d);
+  check cbool "mem gone" false (Database.mem d rab);
+  let pattern = Atom.make "r" [ Term.Const "a"; Term.Var "x" ] in
+  check cint "positional bucket shrank" 1 (Database.candidate_count d pattern);
+  check cint "candidates shrank" 1 (List.length (Database.candidates d pattern));
+  (* swap-removal moved another fact into the hole: iteration must see
+     exactly the remaining facts, no stale entry, no omission *)
+  let seen = ref [] in
+  Database.iter (fun a -> seen := Atom.to_string a :: !seen) d;
+  check (Alcotest.list cstring) "iteration after removal"
+    [ "r(a, c)"; "r(b, c)"; "s(a)" ]
+    (List.sort String.compare !seen);
+  check cbool "re-add" true (Database.add d rab);
+  check cint "positional bucket restored" 2 (Database.candidate_count d pattern)
+
+(* A randomized interleaving of adds and removes, cross-checked against
+   a reference set: candidate streams must coincide with a full scan at
+   every step. *)
+let test_database_add_remove_interleaved () =
+  let d = Database.create () in
+  let reference = Hashtbl.create 64 in
+  let rng = Random.State.make [| 0x1ceb00da |] in
+  let consts = [| "a"; "b"; "c" |] in
+  let random_fact () =
+    Atom.make "r"
+      [
+        Term.Const consts.(Random.State.int rng 3);
+        Term.Const consts.(Random.State.int rng 3);
+      ]
+  in
+  for _ = 1 to 500 do
+    let a = random_fact () in
+    if Random.State.bool rng then begin
+      check cbool "add agrees" (not (Hashtbl.mem reference a)) (Database.add d a);
+      Hashtbl.replace reference a ()
+    end
+    else begin
+      check cbool "remove agrees" (Hashtbl.mem reference a) (Database.remove d a);
+      Hashtbl.remove reference a
+    end;
+    check cint "cardinal agrees" (Hashtbl.length reference) (Database.cardinal d);
+    (* every candidate stream yields exactly the live matching facts *)
+    Array.iter
+      (fun c ->
+        let pattern = Atom.make "r" [ Term.Const c; Term.Var "x" ] in
+        let streamed = ref [] in
+        Database.iter_candidates d pattern (fun a -> streamed := a :: !streamed);
+        let expected =
+          Hashtbl.fold
+            (fun a () acc ->
+              match Atom.args a with
+              | Term.Const c0 :: _ when String.equal c0 c -> a :: acc
+              | _ -> acc)
+            reference []
+        in
+        check cint "stream size" (List.length expected) (List.length !streamed);
+        List.iter
+          (fun a -> check cbool "stream is live" true (Hashtbl.mem reference a))
+          !streamed)
+      consts
+  done
+
+let test_database_epoch_rollback () =
+  let d = Helpers.db "r(a, b). s(a)." in
+  Database.enable_journal d;
+  let e0 = Database.epoch d in
+  ignore (Database.add d (Helpers.atom "r(b, c)"));
+  ignore (Database.remove d (Helpers.atom "s(a)"));
+  let e1 = Database.epoch d in
+  ignore (Database.add d (Helpers.atom "s(b)"));
+  Database.rollback d e1;
+  check cbool "rollback to e1: s(b) undone" false (Database.mem d (Helpers.atom "s(b)"));
+  check cbool "rollback to e1: r(b, c) kept" true (Database.mem d (Helpers.atom "r(b, c)"));
+  Database.rollback d e0;
+  check cbool "rollback to e0: r(b, c) undone" false (Database.mem d (Helpers.atom "r(b, c)"));
+  check cbool "rollback to e0: s(a) restored" true (Database.mem d (Helpers.atom "s(a)"));
+  check cint "rollback to e0: original facts" 2 (Database.cardinal d);
+  (* a no-op mutation does not advance the epoch *)
+  ignore (Database.add d (Helpers.atom "s(a)"));
+  check cbool "duplicate add keeps epoch" true (Database.epoch d = e0);
+  match Database.rollback d e1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rollback into the future accepted"
+
 let test_database_non_ground_rejected () =
   let d = Database.create () in
   match Database.add d (Atom.make "r" [ Term.Var "x" ]) with
@@ -302,6 +395,9 @@ let suite =
     Alcotest.test_case "database operations" `Quick test_database_ops;
     Alcotest.test_case "database candidates" `Quick test_database_candidates;
     Alcotest.test_case "database ACDom" `Quick test_database_acdom;
+    Alcotest.test_case "database removal" `Quick test_database_remove;
+    Alcotest.test_case "database add/remove interleaved" `Quick test_database_add_remove_interleaved;
+    Alcotest.test_case "database epoch rollback" `Quick test_database_epoch_rollback;
     Alcotest.test_case "database rejects non-ground" `Quick test_database_non_ground_rejected;
     Alcotest.test_case "homomorphism enumeration" `Quick test_homomorphism_all;
     Alcotest.test_case "homomorphism with constants" `Quick test_homomorphism_constants;

@@ -20,4 +20,5 @@ let () =
       ("properties", Test_properties.suite);
       ("par", Test_par.suite);
       ("saturate", Test_saturate.suite);
+      ("incr", Test_incr.suite);
     ]

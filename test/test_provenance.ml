@@ -7,6 +7,7 @@ module Seminaive = Guarded_datalog.Seminaive
 let check = Alcotest.check
 let cbool = Alcotest.bool
 let cint = Alcotest.int
+let cstring = Alcotest.string
 
 let tc_program () =
   Helpers.theory "@base e(X, Y) -> tc(X, Y). @step tc(X, Y), e(Y, Z) -> tc(X, Z)."
@@ -83,6 +84,54 @@ let test_rule_labels_in_proofs () =
     check (Alcotest.option Alcotest.string) "labelled rule" (Some "step") (Rule.label rule)
   | _ -> Alcotest.fail "expected a derived proof"
 
+(* --- one-step support sets (what DRed's rederivation leans on) ------ *)
+
+let test_one_step_supports () =
+  let sigma = tc_program () in
+  let d = Seminaive.eval sigma (Helpers.db "e(a, b). e(b, c). e(c, d).") in
+  (* tc(a, c) has exactly one derivation: @step over tc(a,b), e(b,c). *)
+  (match Provenance.one_step_supports sigma d (Helpers.atom "tc(a, c)") with
+  | [ (rule, premises) ] ->
+    check (Alcotest.option Alcotest.string) "rule" (Some "step") (Rule.label rule);
+    check (Alcotest.list cstring) "premises" [ "tc(a, b)"; "e(b, c)" ]
+      (List.map Atom.to_string premises)
+  | supports -> Alcotest.failf "expected one support, got %d" (List.length supports));
+  (* tc(a, b) is supported by @base alone; the base edge has none. *)
+  (match Provenance.one_step_supports sigma d (Helpers.atom "tc(a, b)") with
+  | [ (rule, [ premise ]) ] ->
+    check (Alcotest.option Alcotest.string) "base rule" (Some "base") (Rule.label rule);
+    check cstring "edge premise" "e(a, b)" (Atom.to_string premise)
+  | _ -> Alcotest.fail "expected the base-rule support");
+  check cbool "input fact underivable" true
+    (Provenance.one_step_supports sigma d (Helpers.atom "e(a, b)") = []);
+  check cbool "absent fact underivable" true
+    (Provenance.one_step_supports sigma d (Helpers.atom "tc(d, a)") = [])
+
+let test_one_step_multiple_supports () =
+  let sigma = tc_program () in
+  let d = Seminaive.eval sigma (Helpers.db "e(a, b). e(b, d). e(a, c). e(c, d). e(d, f).") in
+  (* tc(a, d) via b and via c: two distinct premise instances. *)
+  check cint "two supports" 2
+    (List.length (Provenance.one_step_supports sigma d (Helpers.atom "tc(a, d)")))
+
+let test_derivable_one_step () =
+  let sigma = tc_program () in
+  let full = Seminaive.eval sigma (Helpers.db "e(a, b). e(b, c).") in
+  check cbool "derivable" true (Provenance.derivable_one_step sigma full (Helpers.atom "tc(a, c)"));
+  check cbool "input not derivable" false
+    (Provenance.derivable_one_step sigma full (Helpers.atom "e(a, b)"));
+  (* after its only premise chain is gone, it is not derivable *)
+  ignore (Database.remove full (Helpers.atom "tc(a, b)"));
+  check cbool "support gone" false
+    (Provenance.derivable_one_step sigma full (Helpers.atom "tc(a, c)"))
+
+let test_one_step_respects_negation () =
+  let sigma = Helpers.theory "s(X), not e(X, X) -> p(X)." in
+  let d = Helpers.db "s(a). s(b). e(a, a)." in
+  check cbool "blocked by negation" false
+    (Provenance.derivable_one_step sigma d (Helpers.atom "p(a)"));
+  check cbool "negation absent" true (Provenance.derivable_one_step sigma d (Helpers.atom "p(b)"))
+
 let suite =
   [
     Alcotest.test_case "same fixpoint as seminaive" `Quick test_same_fixpoint;
@@ -91,4 +140,8 @@ let suite =
     Alcotest.test_case "explain a translated program" `Quick test_explain_translated_program;
     Alcotest.test_case "proofs are well-founded" `Quick test_proofs_are_wellfounded;
     Alcotest.test_case "rule labels surface" `Quick test_rule_labels_in_proofs;
+    Alcotest.test_case "one-step supports" `Quick test_one_step_supports;
+    Alcotest.test_case "one-step multiple supports" `Quick test_one_step_multiple_supports;
+    Alcotest.test_case "one-step derivability" `Quick test_derivable_one_step;
+    Alcotest.test_case "one-step respects negation" `Quick test_one_step_respects_negation;
   ]
