@@ -9,7 +9,7 @@
 
     Usage: dune exec bench/main.exe [-- [--json FILE] [--domains SPEC] SECTION...]
     Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup ablation
-    sat incr micro
+    sat incr serve micro
 
     With [--json FILE] the run additionally records, per section, the
     wall-clock seconds and every printed table with its timing columns
@@ -984,6 +984,129 @@ let incr () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* serve: the network server under concurrent clients                  *)
+
+(* Each client connection runs its own thread against a real Unix
+   socket: a burst of relation queries, then disjoint update batches
+   through the single-writer commit queue. The sweep varies the client
+   count; the recorded (deterministic) cells are the final epoch, EDB
+   and answer counts — every timing lives in stripped columns. *)
+let serve () =
+  section "serve" "network serving: concurrent clients over one materialization";
+  let atom fmt = Fmt.kstr Parser.atom_of_string fmt in
+  let ex7_entity i = [ atom "a(c%d)" i; atom "c(c%d)" i ] in
+  let thm1_entity i =
+    [
+      atom "publication(p%d)" i;
+      atom "hasAuthor(p%d, auth%d)" i i;
+      atom "hasTopic(p%d, t)" i;
+    ]
+  in
+  let workloads =
+    [
+      ( "ex7 dat(Σ)",
+        (let dat, _ = Saturate.dat (Parser.theory_of_string Workloads.example7_text) in
+         dat),
+        ex7_entity,
+        "d",
+        2000 );
+      ( "thm1 fg-family",
+        (Pipeline.to_datalog (fg_family 2)).Pipeline.datalog,
+        thm1_entity,
+        "q",
+        600 );
+    ]
+  in
+  let queries = 50 and batches = 3 and adds = 10 and dels = 5 in
+  let module State = Guarded_server.State in
+  let module Server = Guarded_server.Server in
+  let module Client = Guarded_server.Client in
+  let rows =
+    List.concat_map
+      (fun (name, sigma, entity, query_rel, n) ->
+        List.map
+          (fun clients ->
+            let edb = Database.create () in
+            for i = 0 to n - 1 do
+              List.iter (fun a -> ignore (Database.add edb a)) (entity i)
+            done;
+            let edb_size = Database.cardinal edb in
+            let state = State.create ?pool:!current_pool sigma edb in
+            let sock = Filename.temp_file "guarded_bench" ".sock" in
+            Sys.remove sock;
+            let srv = Server.listen state (Server.Unix_socket sock) in
+            (* Client [k]'s batch [b]: enroll fresh entities past the
+               initial population, retire initial ones — all ranges
+               disjoint across clients and batches, so the final EDB
+               does not depend on the commit interleaving. *)
+            let batch k b =
+              Guarded_incr.Delta.of_lists
+                ~additions:
+                  (List.concat_map entity
+                     (List.init adds (fun j -> n + (((k * batches) + b) * adds) + j)))
+                ~deletions:
+                  (List.concat_map entity
+                     (List.init dels (fun j -> (((k * batches) + b) * dels) + j)))
+            in
+            let client k () =
+              let c = Client.connect (Server.address srv) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  for b = 0 to batches - 1 do
+                    for _ = 1 to queries / batches do
+                      ignore (Client.query c query_rel)
+                    done;
+                    match Client.commit c (batch k b) with
+                    | Ok _ -> ()
+                    | Error m -> failwith m
+                  done;
+                  for _ = 1 to queries mod batches do
+                    ignore (Client.query c query_rel)
+                  done)
+            in
+            let _, t_wall =
+              time (fun () ->
+                  let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+                  List.iter Thread.join threads)
+            in
+            let final_answers =
+              let c = Client.connect (Server.address srv) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () -> List.length (Client.query c query_rel))
+            in
+            let stats = State.stats state ~connections:0 ~total_connections:0 in
+            Server.stop srv;
+            let qps = float_of_int (clients * queries) /. Float.max t_wall 1e-9 in
+            [
+              name;
+              string_of_int (Theory.size sigma);
+              string_of_int edb_size;
+              string_of_int clients;
+              string_of_int queries;
+              string_of_int batches;
+              string_of_int stats.Guarded_server.Wire.s_epoch;
+              string_of_int stats.Guarded_server.Wire.s_edb_facts;
+              string_of_int final_answers;
+              ms t_wall;
+              Fmt.str "%.0f" qps;
+              string_of_int stats.Guarded_server.Wire.s_query_p50_us;
+              string_of_int stats.Guarded_server.Wire.s_commit_p50_us;
+              string_of_int stats.Guarded_server.Wire.s_commit_p95_us;
+            ])
+          [ 1; 2; 4 ])
+      workloads
+  in
+  table
+    [
+      "workload"; "rules"; "|EDB|"; "clients"; "queries/client"; "batches/client"; "epoch";
+      "final |EDB|"; "answers"; "wall time"; "qps (timed)"; "query p50 µs"; "commit p50 µs";
+      "commit p95 µs";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per experiment                       *)
 
 let micro () =
@@ -1081,6 +1204,7 @@ let all_sections =
     ("ablation", ablation);
     ("sat", sat);
     ("incr", incr);
+    ("serve", serve);
     ("micro", micro);
   ]
 

@@ -276,34 +276,26 @@ let cq_cmd =
 (* --- serve / update ------------------------------------------------------ *)
 
 (* The serving path: translate once, materialize, maintain under update
-   batches (lib/incr). A theory that is already stratified Datalog is
-   served as-is; anything else goes through the Thm. 1/5 translation. *)
+   batches (lib/incr). The translate-or-pass-through decision lives in
+   Pipeline.serving_program so the network server shares it. *)
 let serving_program budget_n sigma =
-  if Theory.is_datalog sigma && Guarded_datalog.Stratify.is_stratified sigma then begin
-    Fmt.epr "program: stratified Datalog, served as-is (%d rules)@." (Theory.size sigma);
-    sigma
-  end
-  else begin
-    let budget =
-      {
-        Guarded_translate.Pipeline.max_expansion_rules = budget_n;
-        max_saturation_rules = budget_n;
-        max_ground_rules = budget_n;
-      }
-    in
-    match Guarded_translate.Pipeline.to_datalog ~budget sigma with
-    | tr ->
-      Fmt.epr "program: %s theory translated to %d Datalog rules@."
-        (Classify.language_name tr.Guarded_translate.Pipeline.source_language)
-        (Theory.size tr.Guarded_translate.Pipeline.datalog);
-      tr.Guarded_translate.Pipeline.datalog
-    | exception Guarded_translate.Pipeline.Not_datalog_expressible l ->
-      Fmt.epr
-        "this %s theory has no Datalog rewriting (Section 8) and cannot be served \
-         incrementally@."
-        (Classify.language_name l);
-      exit 4
-  end
+  let budget =
+    {
+      Guarded_translate.Pipeline.max_expansion_rules = budget_n;
+      max_saturation_rules = budget_n;
+      max_ground_rules = budget_n;
+    }
+  in
+  match Guarded_translate.Pipeline.serving_program ~budget sigma with
+  | served ->
+    Fmt.epr "program: %s@." served.Guarded_translate.Pipeline.served_note;
+    served.Guarded_translate.Pipeline.served_program
+  | exception Guarded_translate.Pipeline.Not_datalog_expressible l ->
+    Fmt.epr
+      "this %s theory has no Datalog rewriting (Section 8) and cannot be served \
+       incrementally@."
+      (Classify.language_name l);
+    exit 4
 
 let domains_arg =
   Arg.(
@@ -443,22 +435,21 @@ let update_cmd =
           | Some path -> read_file path
           | None -> In_channel.input_all stdin
         in
-        (* Blank-line-separated batches; comment lines stay attached to
-           their batch. *)
+        (* The whole file is validated before anything is applied: a
+           malformed line rejects the submission as a unit with its
+           line number, never aborting between batches. *)
         let batches =
-          String.split_on_char '\n' text
-          |> List.fold_left
-               (fun (cur, done_) line ->
-                 if String.trim line = "" then
-                   if cur = [] then ([], done_) else ([], List.rev cur :: done_)
-                 else (line :: cur, done_))
-               ([], [])
-          |> fun (cur, done_) ->
-          List.rev (if cur = [] then done_ else List.rev cur :: done_)
+          match Guarded_incr.Delta.batches_of_string text with
+          | batches -> batches
+          | exception Guarded_incr.Delta.Malformed { line; msg } ->
+            Fmt.epr "%s, line %d: %s@."
+              (match updates_path with Some p -> p | None -> "<stdin>")
+              line msg;
+            Fmt.epr "no batch applied@.";
+            exit 2
         in
         List.iteri
-          (fun i lines ->
-            let delta = Guarded_incr.Delta.of_string (String.concat "\n" lines) in
+          (fun i delta ->
             let res, dt = timed (fun () -> Guarded_incr.Incr.apply m delta) in
             Fmt.pr "batch %d (%d ops): " (i + 1) (Guarded_incr.Delta.size delta);
             print_apply_result res dt)
@@ -484,6 +475,173 @@ let update_cmd =
     Term.(
       const run $ theory_arg $ db_arg $ updates_arg $ query_opt_arg $ budget_arg $ domains_arg)
 
+(* --- listen / client ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on (connect to) a Unix-domain socket.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP host.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Serve on (connect to) TCP HOST:PORT.")
+
+let resolve_address socket host port =
+  match (socket, port) with
+  | Some path, _ -> Guarded_server.Server.Unix_socket path
+  | None, Some p -> Guarded_server.Server.Tcp (host, p)
+  | None, None ->
+    Fmt.epr "error: give --socket PATH or --port PORT@.";
+    exit 2
+
+let listen_cmd =
+  let db_opt_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"DATABASE"
+          ~doc:"Database file. Optional when --snapshot names an existing snapshot.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot file: loaded for a warm start when it exists, written on shutdown and \
+             on the SNAPSHOT command.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Commit queue bound; full queues block submitters (backpressure).")
+  in
+  let run theory_path db_path socket host port snapshot queue_capacity budget_n domains =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let addr = resolve_address socket host port in
+        let program = serving_program budget_n sigma in
+        let pool = make_pool domains in
+        let state =
+          match snapshot with
+          | Some path when Sys.file_exists path -> (
+            match Guarded_server.Snapshot.load_for ?pool path program with
+            | m ->
+              Fmt.epr "warm start: %d facts restored from %s@."
+                (Database.cardinal (Guarded_incr.Incr.db m))
+                path;
+              Guarded_server.State.of_materialization ~queue_capacity m
+            | exception Guarded_server.Snapshot.Corrupt msg ->
+              Fmt.epr "snapshot rejected: %s@." msg;
+              exit 2)
+          | _ -> (
+            match db_path with
+            | None ->
+              Fmt.epr "error: no DATABASE and no existing snapshot to start from@.";
+              exit 2
+            | Some path ->
+              let db = load_db path in
+              let m, dt = timed (fun () -> Guarded_incr.Incr.materialize ?pool program db) in
+              Fmt.epr "materialized: %d facts from %d EDB facts (%.3f ms)@."
+                (Database.cardinal (Guarded_incr.Incr.db m))
+                (Database.cardinal (Guarded_incr.Incr.edb m))
+                (dt *. 1000.);
+              Guarded_server.State.of_materialization ~queue_capacity m)
+        in
+        let srv =
+          Guarded_server.Server.listen ?snapshot ~log:(Fmt.epr "%s@.") state addr
+        in
+        let stop_requested = ref false in
+        let request_stop _ = stop_requested := true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        while not !stop_requested do
+          Thread.delay 0.1
+        done;
+        Guarded_server.Server.stop srv)
+  in
+  Cmd.v
+    (Cmd.info "listen"
+       ~doc:"Serve the translated materialization to network clients."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Translates THEORY once, materializes it over DATABASE (or restores a \
+              $(b,--snapshot) for a warm start without re-running any fixpoint) and serves \
+              the wire protocol on a Unix socket or TCP port: one thread per connection, \
+              concurrent readers over the last committed epoch, a single writer applying \
+              update batches incrementally. SIGINT/SIGTERM shut down gracefully, saving the \
+              snapshot when one is configured.";
+         ])
+    Term.(
+      const run $ theory_arg $ db_opt_arg $ socket_arg $ host_arg $ port_arg $ snapshot_arg
+      $ queue_arg $ budget_arg $ domains_arg)
+
+let client_cmd =
+  let exec_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "exec" ] ~docv:"CMD"
+          ~doc:"Protocol command to send (repeatable); without it, read commands from \
+                standard input.")
+  in
+  let run socket host port cmds =
+    handle_errors (fun () ->
+        let addr = resolve_address socket host port in
+        let c =
+          try Guarded_server.Client.connect addr
+          with Unix.Unix_error (e, _, _) ->
+            Fmt.epr "connect failed: %s@." (Unix.error_message e);
+            exit 1
+        in
+        let failures = ref 0 in
+        let send line =
+          let line = String.trim line in
+          if line <> "" && line.[0] <> '#' && line.[0] <> '%' then begin
+            let resp = Guarded_server.Client.request_line c line in
+            (match resp with Guarded_server.Wire.Failed _ -> incr failures | _ -> ());
+            Fmt.pr "%s@." (Guarded_server.Wire.print_response resp)
+          end
+        in
+        (try
+           if cmds <> [] then List.iter send cmds
+           else
+             let quit = ref false in
+             while not !quit do
+               match In_channel.input_line stdin with
+               | None -> quit := true
+               | Some line ->
+                 let t = String.lowercase_ascii (String.trim line) in
+                 if t = "quit" || t = "exit" then quit := true else send line
+             done
+         with Guarded_server.Wire.Protocol_error msg ->
+           Fmt.epr "protocol error: %s@." msg;
+           Guarded_server.Client.close c;
+           exit 1);
+        Guarded_server.Client.close c;
+        if !failures > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send protocol commands to a running guarded listen server."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Connects to $(b,--socket) or $(b,--host)/$(b,--port) and sends each $(b,-e) \
+              command (or each standard-input line) as one request, printing the reply. \
+              Exits nonzero when any reply is an ERROR.";
+         ])
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ exec_arg)
+
 let () =
   let doc = "guarded existential rule languages (PODS 2014) — translations and query answering" in
   exit
@@ -498,4 +656,6 @@ let () =
             cq_cmd;
             serve_cmd;
             update_cmd;
+            listen_cmd;
+            client_cmd;
           ]))

@@ -219,6 +219,16 @@ let pp ppf a =
 
 let to_string = Fmt.to_to_string pp
 
+let pp_quoted ppf a =
+  match a.ann with
+  | [] -> Fmt.pf ppf "%s(%a)" a.rel (Names.pp_comma_list Term.pp_quoted) a.args
+  | ann ->
+    Fmt.pf ppf "%s[%a](%a)" a.rel
+      (Names.pp_comma_list Term.pp_quoted)
+      ann
+      (Names.pp_comma_list Term.pp_quoted)
+      a.args
+
 module Ord = struct
   type nonrec t = t
 

@@ -95,6 +95,11 @@ val map_terms : (Term.t -> Term.t) -> t -> t
 val pp : t Fmt.t
 val to_string : t -> string
 
+val pp_quoted : t Fmt.t
+(** {!pp} with {!Term.pp_quoted} for the terms: constants that would not
+    parse back bare are quoted, so the printed atom round-trips through
+    {!Parser.atom_of_string}. *)
+
 module Set : Set.S with type elt = t
 
 module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,182 @@
+(** Binary codecs: length-prefixed encodings of the core datatypes; see
+    the interface for the format conventions. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+type source = { data : string; mutable pos : int }
+
+let source_of_string data = { data; pos = 0 }
+let pos s = s.pos
+let at_end s = s.pos >= String.length s.data
+let expect_end s = if not (at_end s) then corrupt "%d trailing bytes" (String.length s.data - s.pos)
+
+let read_byte s =
+  if s.pos >= String.length s.data then corrupt "truncated input at byte %d" s.pos
+  else begin
+    let c = Char.code s.data.[s.pos] in
+    s.pos <- s.pos + 1;
+    c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Codec.write_varint: negative value";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_varint s =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint too long at byte %d" s.pos
+    else begin
+      let b = read_byte s in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    end
+  in
+  let n = go 0 0 in
+  if n < 0 then corrupt "varint overflow at byte %d" s.pos else n
+
+let write_string buf str =
+  write_varint buf (String.length str);
+  Buffer.add_string buf str
+
+let read_string s =
+  let n = read_varint s in
+  if s.pos + n > String.length s.data then
+    corrupt "truncated string (%d bytes declared) at byte %d" n s.pos
+  else begin
+    let str = String.sub s.data s.pos n in
+    s.pos <- s.pos + n;
+    str
+  end
+
+let write_list buf write_elt l =
+  write_varint buf (List.length l);
+  List.iter (write_elt buf) l
+
+let read_list s read_elt =
+  let n = read_varint s in
+  List.init n (fun _ -> read_elt s)
+
+(* ------------------------------------------------------------------ *)
+(* Logical values                                                      *)
+
+let write_term buf = function
+  | Term.Const c ->
+    Buffer.add_char buf '\000';
+    write_string buf c
+  | Term.Null k ->
+    Buffer.add_char buf '\001';
+    write_varint buf k
+  | Term.Var v ->
+    Buffer.add_char buf '\002';
+    write_string buf v
+
+let read_term s =
+  match read_byte s with
+  | 0 -> Term.Const (read_string s)
+  | 1 -> Term.Null (read_varint s)
+  | 2 -> Term.Var (read_string s)
+  | t -> corrupt "unknown term tag %d at byte %d" t (s.pos - 1)
+
+let write_atom buf a =
+  write_string buf (Atom.rel a);
+  write_list buf write_term (Atom.ann a);
+  write_list buf write_term (Atom.args a)
+
+let read_atom s =
+  let rel = read_string s in
+  let ann = read_list s read_term in
+  let args = read_list s read_term in
+  Atom.make ~ann rel args
+
+let write_literal buf = function
+  | Literal.Pos a ->
+    Buffer.add_char buf '\000';
+    write_atom buf a
+  | Literal.Neg a ->
+    Buffer.add_char buf '\001';
+    write_atom buf a
+
+let read_literal s =
+  match read_byte s with
+  | 0 -> Literal.Pos (read_atom s)
+  | 1 -> Literal.Neg (read_atom s)
+  | t -> corrupt "unknown literal tag %d at byte %d" t (s.pos - 1)
+
+let write_rule buf r =
+  (match Rule.label r with
+  | None -> Buffer.add_char buf '\000'
+  | Some l ->
+    Buffer.add_char buf '\001';
+    write_string buf l);
+  write_list buf write_string (Names.Sset.elements (Rule.evars r));
+  write_list buf write_literal (Rule.body r);
+  write_list buf write_atom (Rule.head r)
+
+let read_rule s =
+  let label =
+    match read_byte s with
+    | 0 -> None
+    | 1 -> Some (read_string s)
+    | t -> corrupt "unknown label tag %d at byte %d" t (s.pos - 1)
+  in
+  let evars = read_list s read_string in
+  let body = read_list s read_literal in
+  let head = read_list s read_atom in
+  match Rule.make ?label ~evars body head with
+  | r -> r
+  | exception Rule.Ill_formed m -> corrupt "ill-formed rule: %s" m
+
+let write_theory buf sigma = write_list buf write_rule (Theory.rules sigma)
+let read_theory s = Theory.of_rules (read_list s read_rule)
+
+let write_database buf db =
+  let facts = List.sort Atom.compare (Database.to_list db) in
+  write_list buf write_atom facts
+
+let read_database s =
+  let n = read_varint s in
+  let db = Database.create () in
+  for _ = 1 to n do
+    let a = read_atom s in
+    match Database.add db a with
+    | true -> ()
+    | false -> corrupt "duplicate fact %a" Atom.pp a
+    | exception Invalid_argument m -> corrupt "bad fact: %s" m
+  done;
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Integrity                                                           *)
+
+let fnv1a str =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    str;
+  !h
+
+let write_int64 buf x =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xffL)))
+  done
+
+let read_int64 s =
+  let x = ref 0L in
+  for i = 0 to 7 do
+    x := Int64.logor !x (Int64.shift_left (Int64.of_int (read_byte s)) (8 * i))
+  done;
+  !x

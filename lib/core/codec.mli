@@ -1,0 +1,73 @@
+(** Binary codecs for terms, atoms, rules, theories and databases.
+
+    The encoding is length-prefixed throughout: integers are unsigned
+    LEB128 varints, strings are a varint length followed by the bytes,
+    lists are a varint count followed by the elements, and every
+    structured value starts with a tag byte. Encoders append to a
+    {!Buffer.t}; decoders consume a {!source} cursor over an immutable
+    string and raise {!Corrupt} — never an unchecked exception — on
+    truncated or malformed input, so callers (snapshot loading above
+    all) can reject damaged files with a clean error.
+
+    Nothing here is process-specific: hash-cons ids never leak into the
+    byte stream, so a value decodes identically in any process. *)
+
+exception Corrupt of string
+
+type source
+(** A read cursor over an encoded string. *)
+
+val source_of_string : string -> source
+
+val pos : source -> int
+(** Bytes consumed so far. *)
+
+val at_end : source -> bool
+
+val expect_end : source -> unit
+(** @raise Corrupt when trailing bytes remain. *)
+
+(** {1 Primitives} *)
+
+val write_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128. @raise Invalid_argument on a negative value. *)
+
+val read_varint : source -> int
+
+val write_string : Buffer.t -> string -> unit
+val read_string : source -> string
+
+val write_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val read_list : source -> (source -> 'a) -> 'a list
+
+(** {1 Logical values} *)
+
+val write_term : Buffer.t -> Term.t -> unit
+val read_term : source -> Term.t
+
+val write_atom : Buffer.t -> Atom.t -> unit
+val read_atom : source -> Atom.t
+
+val write_rule : Buffer.t -> Rule.t -> unit
+
+val read_rule : source -> Rule.t
+(** @raise Corrupt also when the decoded parts violate the rule
+    invariants ({!Rule.Ill_formed}). *)
+
+val write_theory : Buffer.t -> Theory.t -> unit
+val read_theory : source -> Theory.t
+
+val write_database : Buffer.t -> Database.t -> unit
+(** Facts are written in {!Atom.compare} order, so equal databases
+    encode to equal bytes regardless of insertion history. *)
+
+val read_database : source -> Database.t
+(** @raise Corrupt also on a non-ground or duplicate fact. *)
+
+(** {1 Integrity} *)
+
+val fnv1a : string -> int64
+(** The 64-bit FNV-1a hash of a string — the snapshot files' checksum. *)
+
+val write_int64 : Buffer.t -> int64 -> unit
+val read_int64 : source -> int64

@@ -91,6 +91,35 @@ let pp ppf = function
 
 let to_string = Fmt.to_to_string pp
 
+(* A constant spelling survives printing bare iff the tokenizer reads it
+   back as one identifier and [term_of_ident] maps that identifier to the
+   same constant: every character from the identifier alphabet, a first
+   character that does not start a variable, and not the [_nK] null
+   notation. *)
+let const_needs_quoting c =
+  let ident_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = '?'
+  in
+  let all_ident = String.for_all ident_char c in
+  let n = String.length c in
+  n = 0
+  || (not all_ident)
+  || c.[0] = '?'
+  || (c.[0] >= 'A' && c.[0] <= 'Z')
+  || (n > 2 && c.[0] = '_' && c.[1] = 'n'
+      && Option.is_some (int_of_string_opt (String.sub c 2 (n - 2))))
+
+let pp_quoted ppf = function
+  | Const c when const_needs_quoting c ->
+    (* The lexer has no escape sequence, so a constant containing a
+       quote cannot be written at all; print it quoted anyway rather
+       than silently bare. *)
+    Fmt.pf ppf "'%s'" c
+  | t -> pp ppf t
+
 module Ord = struct
   type nonrec t = t
 

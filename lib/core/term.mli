@@ -49,6 +49,17 @@ val pp : t Fmt.t
 (** Prints constants bare, nulls as [_nK], variables as [?x]; the
     output is accepted back by {!Parser}. *)
 
+val pp_quoted : t Fmt.t
+(** Like {!pp}, but wraps a constant in ['quotes'] whenever its bare
+    spelling would not parse back to itself (empty, non-identifier
+    characters, a capitalized or [?]-leading name, or the [_nK] null
+    notation). [parse ∘ print] is the identity for every constant not
+    containing a quote character — the wire protocol and update-batch
+    printers use this. *)
+
+val const_needs_quoting : string -> bool
+(** Whether {!pp_quoted} would quote this constant spelling. *)
+
 val to_string : t -> string
 
 module Set : Set.S with type elt = t

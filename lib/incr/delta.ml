@@ -58,8 +58,38 @@ let of_string s =
          | None, None -> ());
   { additions = List.rev !additions; deletions = List.rev !deletions }
 
+exception Malformed of { line : int; msg : string }
+
+(* Parse a whole update file in one pass, attributing every error to its
+   1-based line, before anything is applied: a malformed line must fail
+   the submission as a unit, not abort it halfway through. Blank lines
+   separate batches; comments stay attached to their batch. *)
+let batches_of_string s =
+  let finish cur = { additions = List.rev cur.additions; deletions = List.rev cur.deletions } in
+  let cur = ref empty and batches = ref [] in
+  let flush () =
+    if not (is_empty !cur) then begin
+      batches := finish !cur :: !batches;
+      cur := empty
+    end
+  in
+  List.iteri
+    (fun i line ->
+      if String.trim line = "" then flush ()
+      else
+        match parse_line line with
+        | Some a, _ -> cur := { !cur with additions = a :: !cur.additions }
+        | _, Some a -> cur := { !cur with deletions = a :: !cur.deletions }
+        | None, None -> ()
+        | exception (Failure msg | Invalid_argument msg) ->
+          raise (Malformed { line = i + 1; msg })
+        | exception Parser.Parse_error msg -> raise (Malformed { line = i + 1; msg }))
+    (String.split_on_char '\n' s);
+  flush ();
+  List.rev !batches
+
 let pp ppf d =
-  let line sign ppf a = Fmt.pf ppf "%c%a." sign Atom.pp a in
+  let line sign ppf a = Fmt.pf ppf "%c%a." sign Atom.pp_quoted a in
   Fmt.pf ppf "@[<v>%a%a%a@]"
     (Fmt.list ~sep:Fmt.cut (line '+'))
     d.additions

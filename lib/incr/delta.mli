@@ -37,4 +37,18 @@ val parse_line : string -> Atom.t option * Atom.t option
 val of_string : string -> t
 (** Parse a batch, one signed fact per line. *)
 
+exception Malformed of { line : int; msg : string }
+(** A line of an update file that is neither a signed fact, a comment
+    nor blank; [line] is 1-based. *)
+
+val batches_of_string : string -> t list
+(** Parse a whole update file into its blank-line-separated batches.
+    The entire text is validated before any batch is returned, so a
+    malformed line rejects the submission as a unit instead of aborting
+    between batches.
+    @raise Malformed with the offending line number. *)
+
 val pp : t Fmt.t
+(** Prints the batch in its own textual form, quoting constants as
+    needed ({!Guarded_core.Atom.pp_quoted}), so [of_string ∘ print] is
+    the identity. *)

@@ -392,7 +392,9 @@ let build_strata ?pool (sigma : Theory.t) (base : Database.t) =
          st)
   |> Array.of_list
 
-let materialize ?pool (sigma : Theory.t) (db0 : Database.t) =
+(* The EDB-derived parts of the state — the base database and the
+   ACDom bookkeeping — shared by [materialize] and [restore]. *)
+let make_shell ?pool (sigma : Theory.t) (db0 : Database.t) =
   Seminaive.check_datalog sigma;
   if not (Stratify.is_stratified sigma) then
     invalid_arg "Incr.materialize: program is not stratified";
@@ -421,9 +423,83 @@ let materialize ?pool (sigma : Theory.t) (db0 : Database.t) =
     acdom;
     acdom_counts;
     acdom_explicit;
-    strata = build_strata ?pool sigma base;
+    strata = [||];
     pool;
   }
+
+let materialize ?pool (sigma : Theory.t) (db0 : Database.t) =
+  let t = make_shell ?pool sigma db0 in
+  { t with strata = build_strata ?pool sigma t.base }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot support: the cached state as plain data                    *)
+
+type stratum_dump = {
+  sd_new : Atom.t list;  (** output facts beyond the stratum's input *)
+  sd_counts : (Atom.t * int) list;  (** derivation counts; [] on DRed strata *)
+}
+
+type dump = {
+  d_edb : Database.t;
+  d_strata : stratum_dump list;
+}
+
+let dump t =
+  let strata =
+    Array.to_list t.strata
+    |> List.map (fun st ->
+           let sd_new =
+             Database.fold
+               (fun f l -> if Database.mem st.st_in f then l else f :: l)
+               st.st_out []
+             |> List.sort Atom.compare
+           in
+           let sd_counts =
+             Atom.Tbl.fold (fun f n l -> (f, n) :: l) st.st_counts []
+             |> List.sort (fun (a, _) (b, _) -> Atom.compare a b)
+           in
+           { sd_new; sd_counts })
+  in
+  { d_edb = Database.copy t.edb; d_strata = strata }
+
+(* Rebuild a materialization from dumped state without re-running any
+   fixpoint: the strata are re-derived from the program (they are a
+   function of it), their outputs replayed from the dump, and the
+   ACDom/base bookkeeping recomputed from the EDB exactly as
+   [materialize] does. Trusts the dump to be the program's fixpoint —
+   integrity is the snapshot layer's checksum's job. *)
+let restore ?pool (sigma : Theory.t) (d : dump) =
+  let t = make_shell ?pool sigma d.d_edb in
+  let theories = Stratify.strata sigma |> List.concat_map Depgraph.rule_components in
+  if List.length theories <> List.length d.d_strata then
+    invalid_arg
+      (Fmt.str "Incr.restore: dump has %d strata, the program needs %d"
+         (List.length d.d_strata) (List.length theories));
+  let prev = ref t.base in
+  let strata =
+    List.map2
+      (fun th sd ->
+        let st_in = !prev in
+        let st_out = Database.copy st_in in
+        List.iter (fun f -> ignore (Database.add st_out f)) sd.sd_new;
+        let st =
+          {
+            st_theory = th;
+            st_engine = Seminaive.engine th;
+            st_recursive = Depgraph.is_recursive th;
+            st_negated = negated_relations th;
+            st_counts = Atom.Tbl.create 256;
+            st_in;
+            st_out;
+          }
+        in
+        List.iter (fun (f, n) -> Atom.Tbl.replace st.st_counts f n) sd.sd_counts;
+        prev := st_out;
+        st)
+      theories d.d_strata
+    |> Array.of_list
+  in
+  { t with strata }
 
 (* ------------------------------------------------------------------ *)
 (* Updates                                                             *)

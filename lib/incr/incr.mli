@@ -51,6 +51,38 @@ val apply : t -> Delta.t -> apply_result
     stratum as net deltas (a fact deleted and rederived in the same
     batch reports as unchanged). *)
 
+(** {2 Snapshot support}
+
+    A {!dump} is the cached state as plain data — enough to rebuild the
+    materialization with {!restore} without re-running any fixpoint.
+    {!Guarded_server.Snapshot} persists dumps in a versioned binary
+    format. *)
+
+type stratum_dump = {
+  sd_new : Atom.t list;
+      (** the stratum's output facts beyond its input, sorted *)
+  sd_counts : (Atom.t * int) list;
+      (** derivation counts (counting strata; [[]] on DRed strata), sorted *)
+}
+
+type dump = {
+  d_edb : Database.t;
+  d_strata : stratum_dump list;
+}
+
+val dump : t -> dump
+(** The current cached state as data. The databases are copied; the
+    dump does not alias the live materialization. *)
+
+val restore : ?pool:Guarded_par.Pool.t -> Theory.t -> dump -> t
+(** Rebuild a materialization from a dump of the same program,
+    recomputing only the EDB-derived bookkeeping (ACDom counts, rule
+    engines) — no fixpoint runs. The dumped facts are trusted to be the
+    program's fixpoint; use the snapshot layer's checksums to guard
+    integrity.
+    @raise Invalid_argument when the dump's stratum count does not
+    match the program's. *)
+
 val refresh : t -> unit
 (** Recompute every stratum from scratch over the current EDB,
     rebuilding all cached support state. The maintained result is

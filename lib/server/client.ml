@@ -1,0 +1,88 @@
+module Delta = Guarded_incr.Delta
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect_fd fd = { fd; open_ = true }
+
+let connect_unix path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd fd
+
+let connect = function
+  | Server.Unix_socket path -> connect_unix path
+  | Server.Tcp (host, port) -> connect_tcp host port
+
+let request c req =
+  Wire.write_frame c.fd (Wire.print_request req);
+  match Wire.read_frame c.fd with
+  | None -> raise (Wire.Protocol_error "server closed the connection mid-request")
+  | Some payload -> (
+    match Wire.parse_response payload with
+    | Ok resp -> resp
+    | Error msg -> raise (Wire.Protocol_error ("ill-formed reply: " ^ msg)))
+
+let request_line c line =
+  match Wire.parse_request line with
+  | Error msg -> Wire.Failed msg
+  | Ok req -> request c req
+
+let query c rel =
+  match request c (Wire.Query { rel; pattern = None }) with
+  | Wire.Answers tuples -> tuples
+  | Wire.Failed msg -> failwith msg
+  | _ -> raise (Wire.Protocol_error "expected ANSWERS")
+
+let commit c (delta : Delta.t) =
+  let stage req =
+    match request c req with
+    | Wire.Ok -> Ok ()
+    | Wire.Failed msg -> Error msg
+    | _ -> raise (Wire.Protocol_error "expected OK")
+  in
+  let rec stage_all = function
+    | [] -> Ok ()
+    | req :: rest -> ( match stage req with Ok () -> stage_all rest | Error _ as e -> e)
+  in
+  let reqs =
+    List.map (fun a -> Wire.Add a) delta.Delta.additions
+    @ List.map (fun a -> Wire.Remove a) delta.Delta.deletions
+  in
+  match stage_all reqs with
+  | Error _ as e -> e
+  | Ok () -> (
+    match request c Wire.Commit with
+    | Wire.Committed { added; removed; epoch } -> Ok (added, removed, epoch)
+    | Wire.Failed msg -> Error msg
+    | _ -> raise (Wire.Protocol_error "expected COMMITTED"))
+
+let stats c =
+  match request c Wire.Stats with
+  | Wire.Stats_reply s -> s
+  | Wire.Failed msg -> failwith msg
+  | _ -> raise (Wire.Protocol_error "expected STATS")
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    (try
+       Wire.write_frame c.fd (Wire.print_request Wire.Quit);
+       ignore (Wire.read_frame c.fd)
+     with Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

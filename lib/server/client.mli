@@ -1,0 +1,40 @@
+(** Blocking client for the serving protocol — the substrate of
+    [guarded client] and the test suites' oracle harness. *)
+
+open Guarded_core
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket at the path. *)
+
+val connect_tcp : string -> int -> t
+(** Connect to [host:port]. *)
+
+val connect : Server.address -> t
+(** Connect to whatever {!Server.address} the server reports — handy
+    against a [Tcp (_, 0)] server, whose real port is only known after
+    binding. *)
+
+val request : t -> Wire.request -> Wire.response
+(** One round trip. @raise Wire.Protocol_error on a broken or
+    ill-formed reply, including an unexpected EOF. *)
+
+val request_line : t -> string -> Wire.response
+(** Parse one protocol line locally and send it — what the interactive
+    [guarded client] REPL does per input line. Malformed input becomes a
+    local [Failed] response without touching the wire. *)
+
+val query : t -> string -> Term.t list list
+(** [query c rel]: the relation's answer tuples.
+    @raise Failure when the server replies [ERROR]. *)
+
+val commit : t -> Guarded_incr.Delta.t -> (int * int * int, string) result
+(** Stage every line of the batch, then [COMMIT]; returns
+    [(added, removed, epoch)]. *)
+
+val stats : t -> Wire.stats
+(** @raise Failure when the server replies [ERROR]. *)
+
+val close : t -> unit
+(** Sends [QUIT] (best effort) and closes the socket. Idempotent. *)

@@ -1,0 +1,247 @@
+(** Socket acceptor and per-connection request loops. *)
+
+open Guarded_core
+module Incr = Guarded_incr.Incr
+module Delta = Guarded_incr.Delta
+
+type address = Unix_socket of string | Tcp of string * int
+
+type t = {
+  state : State.t;
+  snapshot_path : string option;
+  log : string -> unit;
+  listener : Unix.file_descr;
+  bound : address;
+  mutex : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable total_connections : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let address t = t.bound
+
+let connections t =
+  Mutex.lock t.mutex;
+  let n = List.length t.conns in
+  Mutex.unlock t.mutex;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+
+(* [? REL(pattern)]: stream index candidates, confirm each against the
+   pattern, keep the matched argument tuples. Constants-only, like
+   [Incr.answers]. *)
+let pattern_answers incr rel pattern =
+  let pat = Atom.make rel pattern in
+  let db = Incr.db incr in
+  let out = ref [] in
+  Database.iter_candidates db pat (fun fact ->
+      if Atom.ann fact = [] then
+        match Subst.match_atom Subst.empty pat fact with
+        | Some _ when List.for_all (function Term.Const _ -> true | _ -> false) (Atom.args fact)
+          ->
+          out := Atom.args fact :: !out
+        | _ -> ());
+  List.sort_uniq (List.compare Term.compare) !out
+
+let eval_query state (req : Wire.request) : Wire.response =
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    State.with_read state (fun incr ->
+        match req with
+        | Wire.Query { rel; pattern = None } -> Wire.Answers (Incr.answers incr ~query:rel)
+        | Wire.Query { rel; pattern = Some pat } -> Wire.Answers (pattern_answers incr rel pat)
+        | Wire.Cq (ucq, _) ->
+          let tuples =
+            List.concat_map
+              (fun (cq : Guarded_cq.Cq.t) ->
+                Incr.cq_answers incr ~body:cq.body ~answer_vars:cq.answer_vars)
+              ucq.Guarded_cq.Ucq.disjuncts
+          in
+          Wire.Answers (List.sort_uniq (List.compare Term.compare) tuples)
+        | _ -> assert false)
+  in
+  State.note_query state (Unix.gettimeofday () -. t0);
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection loop                                                 *)
+
+(* Staged updates live on the connection: +/- accumulate here and only
+   COMMIT submits them to the single writer. *)
+type session = { mutable staged : Delta.t }
+
+let save_snapshot t path =
+  let sigma, dump =
+    State.with_read t.state (fun incr -> (Incr.program incr, Incr.dump incr))
+  in
+  Snapshot.save ~path sigma dump;
+  t.log (Fmt.str "snapshot saved to %s (%d EDB facts)" path (Database.cardinal dump.Incr.d_edb))
+
+let handle_request t session (req : Wire.request) : Wire.response * bool =
+  match req with
+  | Wire.Query _ | Wire.Cq _ -> (eval_query t.state req, true)
+  | Wire.Add a ->
+    session.staged <- Delta.add_fact session.staged a;
+    (Wire.Ok, true)
+  | Wire.Remove a ->
+    session.staged <- Delta.remove_fact session.staged a;
+    (Wire.Ok, true)
+  | Wire.Commit ->
+    let delta = session.staged in
+    session.staged <- Delta.empty;
+    (match State.commit t.state delta with
+    | Ok r -> (Wire.Committed { added = r.cr_added; removed = r.cr_removed; epoch = r.cr_epoch }, true)
+    | Error msg -> (Wire.Failed msg, true))
+  | Wire.Stats ->
+    Mutex.lock t.mutex;
+    let conns = List.length t.conns and total = t.total_connections in
+    Mutex.unlock t.mutex;
+    (Wire.Stats_reply (State.stats t.state ~connections:conns ~total_connections:total), true)
+  | Wire.Snapshot path -> (
+    match (path, t.snapshot_path) with
+    | None, None -> (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
+    | Some p, _ | None, Some p -> (
+      match save_snapshot t p with
+      | () -> (Wire.Ok, true)
+      | exception Sys_error m -> (Wire.Failed m, true)))
+  | Wire.Quit -> (Wire.Bye, false)
+
+let connection_loop t fd =
+  let session = { staged = Delta.empty } in
+  let rec loop () =
+    match Wire.read_frame fd with
+    | None -> ()
+    | Some payload ->
+      let resp, keep_going =
+        match Wire.parse_request payload with
+        | Error msg -> (Wire.Failed msg, true)
+        | Ok req -> (
+          try handle_request t session req
+          with Invalid_argument m | Failure m -> (Wire.Failed m, true))
+      in
+      Wire.write_frame fd (Wire.print_response resp);
+      if keep_going then loop ()
+  in
+  (try loop () with
+  | Wire.Protocol_error m -> t.log (Fmt.str "connection dropped: %s" m)
+  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ()
+  | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.mutex;
+  t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns;
+  Mutex.unlock t.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor                                                            *)
+
+(* The acceptor polls with a timeout instead of blocking in [accept]:
+   on Linux, closing a listener does not wake a thread already blocked
+   in accept(2), so a blocking acceptor would survive [stop] and the
+   join would hang. [select] returns immediately when a connection is
+   pending; the timeout only bounds how long [stop] waits. *)
+let accept_loop t =
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Unix.select [ t.listener ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ ->
+          Mutex.lock t.mutex;
+          if t.stopping then begin
+            Mutex.unlock t.mutex;
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          end
+          else begin
+            t.total_connections <- t.total_connections + 1;
+            let th = Thread.create (fun () -> connection_loop t fd) () in
+            t.conns <- (fd, th) :: t.conns;
+            Mutex.unlock t.mutex
+          end;
+          loop ()
+        | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED | EINTR), _, _) -> loop ())
+      | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> loop ()
+  in
+  loop ()
+
+let bind_listener = function
+  | Unix_socket path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.bind fd (ADDR_UNIX path);
+    (fd, Unix_socket path)
+  | Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd (ADDR_INET (addr, port));
+    let bound_port =
+      match Unix.getsockname fd with ADDR_INET (_, p) -> p | ADDR_UNIX _ -> port
+    in
+    (fd, Tcp (host, bound_port))
+
+let listen ?snapshot ?(log = fun _ -> ()) state addr =
+  (* A client vanishing mid-reply must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener, bound = bind_listener addr in
+  Unix.listen listener 64;
+  let t =
+    {
+      state;
+      snapshot_path = snapshot;
+      log;
+      listener;
+      bound;
+      mutex = Mutex.create ();
+      conns = [];
+      total_connections = 0;
+      stopping = false;
+      stopped = false;
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create accept_loop t);
+  let pp_addr = function
+    | Unix_socket p -> Fmt.str "unix:%s" p
+    | Tcp (h, p) -> Fmt.str "tcp:%s:%d" h p
+  in
+  log (Fmt.str "listening on %s" (pp_addr bound));
+  t
+
+let stop t =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex
+  end
+  else begin
+    t.stopping <- true;
+    t.stopped <- true;
+    let conns = t.conns in
+    Mutex.unlock t.mutex;
+    (* Closing the listener unblocks [accept]. *)
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.acceptor;
+    (* Shut connections down so blocked reads return EOF, then join. *)
+    List.iter
+      (fun (fd, _) -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (match t.snapshot_path with
+    | Some path -> (
+      try save_snapshot t path
+      with Sys_error m -> t.log (Fmt.str "snapshot at shutdown failed: %s" m))
+    | None -> ());
+    State.shutdown t.state;
+    (match t.bound with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    t.log "server stopped"
+  end

@@ -1,0 +1,36 @@
+(** The network reasoning server: socket acceptor and connection
+    threads over a {!State.t}.
+
+    One thread per connection; queries run concurrently under
+    {!State.with_read}, staged [+fact.]/[-fact.] lines become a
+    {!Guarded_incr.Delta.t} applied on [COMMIT] through the state's
+    single writer. {!stop} closes the listener, shuts every live
+    connection down and joins all threads — a graceful shutdown that
+    leaves no half-written frames. *)
+
+type address =
+  | Unix_socket of string  (** path; unlinked on [listen] and [stop] *)
+  | Tcp of string * int  (** host, port; port [0] picks a free one *)
+
+type t
+
+val listen :
+  ?snapshot:string ->
+  ?log:(string -> unit) ->
+  State.t ->
+  address ->
+  t
+(** Binds, starts the acceptor thread, returns immediately. [snapshot]
+    is the default path for the [SNAPSHOT] command (with no argument)
+    and is written once more during {!stop}. [log] receives one line
+    per lifecycle event (default: drop). *)
+
+val address : t -> address
+(** The bound address — with [Tcp (_, 0)], the actual port. *)
+
+val connections : t -> int
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, close live connections, join
+    all threads, fail pending commits, save the snapshot if configured.
+    Idempotent; safe to call from a signal-triggered context. *)

@@ -1,0 +1,47 @@
+(** Versioned binary persistence of a served materialization.
+
+    A snapshot file carries the program, the EDB and the per-stratum
+    cached state of a {!Guarded_incr.Incr.t}
+    ({!Guarded_incr.Incr.dump}), so [guarded listen --snapshot FILE]
+    restarts warm: the materialization is rebuilt without re-running
+    any fixpoint.
+
+    File layout (all multi-byte values in {!Guarded_core.Codec}'s
+    encodings):
+
+    {v
+      "GRDSNAP1"             8-byte magic, the trailing digit is the
+                             format version
+      varint                 body length in bytes
+      body                   theory, EDB, stratum dumps
+      int64 (little-endian)  FNV-1a checksum of the body bytes
+    v}
+
+    Loading verifies the magic, the version, the body length and the
+    checksum before decoding; any mismatch — including truncation and
+    trailing garbage — raises {!Corrupt} with a description, never a
+    decoding exception. Saving writes a temporary file in the target's
+    directory and renames it into place, so a crash mid-save never
+    clobbers the previous snapshot. *)
+
+open Guarded_core
+
+exception Corrupt of string
+(** The file is not a readable snapshot (bad magic, unsupported
+    version, checksum mismatch, truncation, malformed body). *)
+
+val save : path:string -> Theory.t -> Guarded_incr.Incr.dump -> unit
+(** Atomically writes [path]. @raise Sys_error on I/O failure. *)
+
+val load :
+  ?pool:Guarded_par.Pool.t -> string -> Theory.t * Guarded_incr.Incr.t
+(** Reads, verifies and decodes the file, then rebuilds the
+    materialization with {!Guarded_incr.Incr.restore}.
+    @raise Corrupt on a damaged or foreign file.
+    @raise Sys_error when the file cannot be read. *)
+
+val load_for :
+  ?pool:Guarded_par.Pool.t -> string -> Theory.t -> Guarded_incr.Incr.t
+(** {!load}, but additionally checks the stored program equals the one
+    being served — a snapshot of a different program is rejected as
+    {!Corrupt} rather than served with wrong answers. *)

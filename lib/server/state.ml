@@ -1,0 +1,262 @@
+(** Shared serving state: see the interface for the discipline. *)
+
+open Guarded_core
+module Incr = Guarded_incr.Incr
+module Delta = Guarded_incr.Delta
+
+type commit_result = {
+  cr_added : int;
+  cr_removed : int;
+  cr_epoch : int;
+}
+
+(* A submitted batch and the cell its submitter waits on. *)
+type pending = {
+  p_delta : Delta.t;
+  mutable p_result : (commit_result, string) result option;
+}
+
+(* Latency reservoir: the last [cap] samples, plus a running count.
+   Percentiles sort a copy on demand — STATS is rare, samples are
+   hot. *)
+type reservoir = {
+  samples : float array;
+  mutable filled : int;  (** valid prefix length *)
+  mutable next : int;  (** ring cursor *)
+  mutable count : int;  (** lifetime samples *)
+}
+
+let reservoir cap = { samples = Array.make cap 0.; filled = 0; next = 0; count = 0 }
+
+let reservoir_add r v =
+  r.samples.(r.next) <- v;
+  r.next <- (r.next + 1) mod Array.length r.samples;
+  r.filled <- min (r.filled + 1) (Array.length r.samples);
+  r.count <- r.count + 1
+
+(* The p-th percentile of the retained samples, in microseconds. *)
+let reservoir_percentile r p =
+  if r.filled = 0 then 0
+  else begin
+    let a = Array.sub r.samples 0 r.filled in
+    Array.sort Float.compare a;
+    let idx = min (r.filled - 1) (int_of_float (p *. float_of_int r.filled)) in
+    int_of_float (a.(idx) *. 1e6)
+  end
+
+type t = {
+  incr : Incr.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  (* Readers-writer lock state: connection threads read, the writer
+     thread is the only mutator. The writer takes priority — queries
+     are short, and a steady query stream must not starve commits. *)
+  mutable readers : int;
+  mutable writer_active : bool;
+  mutable writer_waiting : bool;
+  (* Bounded commit queue. *)
+  queue : pending Queue.t;
+  capacity : int;
+  mutable epoch : int;
+  mutable stopping : bool;
+  mutable writer : Thread.t option;
+  (* Metrics (all under [mutex]). *)
+  mutable queries : int;
+  query_lat : reservoir;
+  commit_lat : reservoir;
+}
+
+let program t = Incr.program t.incr
+let epoch t = t.epoch
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let queue_capacity t = t.capacity
+
+(* ------------------------------------------------------------------ *)
+(* Readers-writer lock                                                 *)
+
+let read_lock t =
+  Mutex.lock t.mutex;
+  while t.writer_active || t.writer_waiting do
+    Condition.wait t.cond t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let read_unlock t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) (fun () -> f t.incr)
+
+(* Both called with [t.mutex] held. *)
+let write_lock_locked t =
+  t.writer_waiting <- true;
+  while t.readers > 0 || t.writer_active do
+    Condition.wait t.cond t.mutex
+  done;
+  t.writer_waiting <- false;
+  t.writer_active <- true
+
+let write_unlock_locked t =
+  t.writer_active <- false;
+  Condition.broadcast t.cond
+
+(* ------------------------------------------------------------------ *)
+(* The writer thread                                                   *)
+
+(* Apply one batch under the exclusive lock. The incremental paths of
+   [Incr.apply] mutate the EDB before the stratum cascades, so when a
+   cascade dies the EDB already reflects the batch: [Incr.refresh]
+   recomputes every stratum from it, restoring the invariants with the
+   batch applied. Only if even that fails is the error surfaced with
+   the state possibly stale. *)
+let apply_one t (p : pending) =
+  Mutex.lock t.mutex;
+  write_lock_locked t;
+  Mutex.unlock t.mutex;
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match Incr.apply t.incr p.p_delta with
+    | res -> Stdlib.Ok { cr_added = res.Incr.res_added; cr_removed = res.Incr.res_removed; cr_epoch = 0 }
+    | exception e -> (
+      let msg = Printexc.to_string e in
+      match Incr.refresh t.incr with
+      | () -> Error (Fmt.str "batch applied by fallback recompute after: %s" msg)
+      | exception e2 ->
+        Error (Fmt.str "batch failed: %s (recovery also failed: %s)" msg (Printexc.to_string e2)))
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mutex;
+  t.epoch <- t.epoch + 1;
+  reservoir_add t.commit_lat dt;
+  p.p_result <-
+    Some (match result with Stdlib.Ok r -> Stdlib.Ok { r with cr_epoch = t.epoch } | Error _ as e -> e);
+  write_unlock_locked t;
+  Mutex.unlock t.mutex
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some p ->
+      Condition.broadcast t.cond;
+      (* a queue slot freed: unblock a backpressured submitter *)
+      Mutex.unlock t.mutex;
+      apply_one t p;
+      loop ()
+    | None ->
+      (* stopping with an empty queue *)
+      Mutex.unlock t.mutex
+  in
+  loop ()
+
+let commit t delta =
+  let p = { p_delta = delta; p_result = None } in
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.capacity && not t.stopping do
+    Condition.wait t.cond t.mutex
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    Error "server is shutting down"
+  end
+  else begin
+    Queue.add p t.queue;
+    Condition.broadcast t.cond;
+    while p.p_result = None && not (t.stopping && Queue.is_empty t.queue && not t.writer_active) do
+      Condition.wait t.cond t.mutex
+    done;
+    let r =
+      match p.p_result with Some r -> r | None -> Error "server is shutting down"
+    in
+    Mutex.unlock t.mutex;
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction, metrics, shutdown                                     *)
+
+let make ?(queue_capacity = 64) incr =
+  let t =
+    {
+      incr;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      readers = 0;
+      writer_active = false;
+      writer_waiting = false;
+      queue = Queue.create ();
+      capacity = max 1 queue_capacity;
+      epoch = 0;
+      stopping = false;
+      writer = None;
+      queries = 0;
+      query_lat = reservoir 1024;
+      commit_lat = reservoir 1024;
+    }
+  in
+  t.writer <- Some (Thread.create writer_loop t);
+  t
+
+let of_materialization ?queue_capacity incr = make ?queue_capacity incr
+
+let create ?pool ?queue_capacity sigma db = make ?queue_capacity (Incr.materialize ?pool sigma db)
+
+let note_query t dt =
+  Mutex.lock t.mutex;
+  t.queries <- t.queries + 1;
+  reservoir_add t.query_lat dt;
+  Mutex.unlock t.mutex
+
+let stats t ~connections ~total_connections =
+  (* Cardinalities are read under the shared lock (the writer may be
+     mid-batch), counters under the mutex. *)
+  let facts, edb_facts =
+    with_read t (fun incr -> (Database.cardinal (Incr.db incr), Database.cardinal (Incr.edb incr)))
+  in
+  Mutex.lock t.mutex;
+  let s =
+    {
+      Wire.s_epoch = t.epoch;
+      s_facts = facts;
+      s_edb_facts = edb_facts;
+      s_queries = t.queries;
+      s_batches = t.commit_lat.count;
+      s_queue_depth = Queue.length t.queue;
+      s_connections = connections;
+      s_total_connections = total_connections;
+      s_query_p50_us = reservoir_percentile t.query_lat 0.50;
+      s_query_p95_us = reservoir_percentile t.query_lat 0.95;
+      s_commit_p50_us = reservoir_percentile t.commit_lat 0.50;
+      s_commit_p95_us = reservoir_percentile t.commit_lat 0.95;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* Fail whatever is still queued; the writer exits once empty. *)
+    Queue.iter (fun p -> p.p_result <- Some (Error "server is shutting down")) t.queue;
+    Queue.clear t.queue;
+    Condition.broadcast t.cond
+  end;
+  let w = t.writer in
+  t.writer <- None;
+  Mutex.unlock t.mutex;
+  Option.iter Thread.join w

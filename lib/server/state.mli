@@ -1,0 +1,74 @@
+(** Shared serving state: a materialization behind single-writer /
+    multi-reader discipline.
+
+    A {!t} wraps a {!Guarded_incr.Incr.t} so that many connection
+    threads can answer queries while update batches commit:
+
+    - {b Readers} take a shared lock ({!with_read}) and always observe
+      the last committed epoch — the writer holds the lock exclusively
+      for the whole batch, so no reader ever sees a half-applied
+      commit.
+    - {b One writer}: a dedicated thread owns all mutations. {!commit}
+      enqueues the batch on a bounded queue (admission control — when
+      the queue is full the submitting connection blocks, which is the
+      backpressure signal) and waits for the writer to apply it.
+    - {b Atomicity}: a batch whose incremental application dies halfway
+      is recovered by a from-scratch stratum recompute
+      ({!Guarded_incr.Incr.refresh}) over the already-updated EDB
+      before any reader reacquires the lock, so the committed-epoch
+      invariant survives even failed fast paths.
+
+    All latency/throughput counters served by the [STATS] command live
+    here too. *)
+
+open Guarded_core
+
+type t
+
+val create :
+  ?pool:Guarded_par.Pool.t -> ?queue_capacity:int -> Theory.t -> Database.t -> t
+(** Materializes the program over the database and starts the writer
+    thread. [queue_capacity] (default 64, clamped to [>= 1]) bounds the
+    commit queue. *)
+
+val of_materialization : ?queue_capacity:int -> Guarded_incr.Incr.t -> t
+(** Wraps an existing materialization — the warm-restart path: the
+    snapshot layer rebuilds the {!Guarded_incr.Incr.t} and serving
+    starts without re-running any fixpoint. *)
+
+val program : t -> Theory.t
+
+val epoch : t -> int
+(** Committed batches since startup. *)
+
+val with_read : t -> (Guarded_incr.Incr.t -> 'a) -> 'a
+(** Runs the callback holding the shared lock: the materialization is
+    the last committed epoch and cannot change underneath. The callback
+    must not mutate it, and must not call {!commit} (lock-ordering). *)
+
+type commit_result = {
+  cr_added : int;
+  cr_removed : int;
+  cr_epoch : int;  (** the epoch this batch created *)
+}
+
+val commit : t -> Guarded_incr.Delta.t -> (commit_result, string) result
+(** Submits one batch and blocks until the writer applied it. Blocks
+    earlier when the commit queue is full (backpressure). [Error]
+    carries the reason when the batch could not be applied cleanly;
+    the state is still consistent afterwards. *)
+
+val queue_depth : t -> int
+val queue_capacity : t -> int
+
+val note_query : t -> float -> unit
+(** Record one served query and its latency in seconds; feeds the
+    [STATS] percentiles. *)
+
+val stats : t -> connections:int -> total_connections:int -> Wire.stats
+(** A consistent counter snapshot, with the caller's connection gauges
+    spliced in. *)
+
+val shutdown : t -> unit
+(** Drains nothing: pending commits are failed with an error, the
+    writer thread is joined. Idempotent. *)

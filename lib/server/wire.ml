@@ -1,0 +1,306 @@
+(** Wire protocol: textual request/response forms and frame I/O. See
+    the interface for the grammar. *)
+
+open Guarded_core
+
+type request =
+  | Query of { rel : string; pattern : Term.t list option }
+  | Cq of Guarded_cq.Ucq.t * string
+  | Add of Atom.t
+  | Remove of Atom.t
+  | Commit
+  | Stats
+  | Snapshot of string option
+  | Quit
+
+type stats = {
+  s_epoch : int;
+  s_facts : int;
+  s_edb_facts : int;
+  s_queries : int;
+  s_batches : int;
+  s_queue_depth : int;
+  s_connections : int;
+  s_total_connections : int;
+  s_query_p50_us : int;
+  s_query_p95_us : int;
+  s_commit_p50_us : int;
+  s_commit_p95_us : int;
+}
+
+type response =
+  | Ok
+  | Answers of Term.t list list
+  | Committed of { added : int; removed : int; epoch : int }
+  | Stats_reply of stats
+  | Failed of string
+  | Bye
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let pp_terms = Names.pp_comma_list Term.pp_quoted
+
+let pp_cq ppf ((q : Guarded_cq.Cq.t), rel) =
+  Fmt.pf ppf "%a -> %s(%a)."
+    (Names.pp_comma_list Atom.pp_quoted)
+    q.Guarded_cq.Cq.body rel
+    (Names.pp_comma_list (fun ppf v -> Fmt.pf ppf "?%s" v))
+    q.Guarded_cq.Cq.answer_vars
+
+let print_request = function
+  | Query { rel; pattern = None } -> Fmt.str "? %s" rel
+  | Query { rel; pattern = Some ts } -> Fmt.str "? %s(%a)" rel pp_terms ts
+  | Cq (u, rel) ->
+    Fmt.str "?? %a"
+      (Fmt.list ~sep:(Fmt.any " ; ") pp_cq)
+      (List.map (fun q -> (q, rel)) u.Guarded_cq.Ucq.disjuncts)
+  | Add a -> Fmt.str "+%a." Atom.pp_quoted a
+  | Remove a -> Fmt.str "-%a." Atom.pp_quoted a
+  | Commit -> "COMMIT"
+  | Stats -> "STATS"
+  | Snapshot None -> "SNAPSHOT"
+  | Snapshot (Some path) -> "SNAPSHOT " ^ path
+  | Quit -> "QUIT"
+
+let pp_tuple ppf tuple = Fmt.pf ppf "(%a)" pp_terms tuple
+
+(* The STATS payload, one "key value" line per field; parse_response
+   relies on this exact key set and order being reproduced. *)
+let stats_fields =
+  [
+    ("epoch", (fun s -> s.s_epoch), fun s v -> { s with s_epoch = v });
+    ("facts", (fun s -> s.s_facts), fun s v -> { s with s_facts = v });
+    ("edb_facts", (fun s -> s.s_edb_facts), fun s v -> { s with s_edb_facts = v });
+    ("queries", (fun s -> s.s_queries), fun s v -> { s with s_queries = v });
+    ("batches", (fun s -> s.s_batches), fun s v -> { s with s_batches = v });
+    ("queue_depth", (fun s -> s.s_queue_depth), fun s v -> { s with s_queue_depth = v });
+    ("connections", (fun s -> s.s_connections), fun s v -> { s with s_connections = v });
+    ( "total_connections",
+      (fun s -> s.s_total_connections),
+      fun s v -> { s with s_total_connections = v } );
+    ("query_p50_us", (fun s -> s.s_query_p50_us), fun s v -> { s with s_query_p50_us = v });
+    ("query_p95_us", (fun s -> s.s_query_p95_us), fun s v -> { s with s_query_p95_us = v });
+    ("commit_p50_us", (fun s -> s.s_commit_p50_us), fun s v -> { s with s_commit_p50_us = v });
+    ("commit_p95_us", (fun s -> s.s_commit_p95_us), fun s v -> { s with s_commit_p95_us = v });
+  ]
+
+let zero_stats =
+  {
+    s_epoch = 0;
+    s_facts = 0;
+    s_edb_facts = 0;
+    s_queries = 0;
+    s_batches = 0;
+    s_queue_depth = 0;
+    s_connections = 0;
+    s_total_connections = 0;
+    s_query_p50_us = 0;
+    s_query_p95_us = 0;
+    s_commit_p50_us = 0;
+    s_commit_p95_us = 0;
+  }
+
+let sanitize_line msg =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let print_response = function
+  | Ok -> "OK"
+  | Answers tuples ->
+    Fmt.str "@[<v>ANSWERS %d%a@]" (List.length tuples)
+      (Fmt.list ~sep:Fmt.nop (fun ppf t -> Fmt.pf ppf "@,%a" pp_tuple t))
+      tuples
+  | Committed { added; removed; epoch } -> Fmt.str "COMMITTED +%d -%d @%d" added removed epoch
+  | Stats_reply s ->
+    Fmt.str "@[<v>STATS%a@]"
+      (Fmt.list ~sep:Fmt.nop (fun ppf (key, get, _) -> Fmt.pf ppf "@,%s %d" key (get s)))
+      stats_fields
+  | Failed msg -> "ERROR " ^ sanitize_line msg
+  | Bye -> "BYE"
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let ( let* ) r f = Result.bind r f
+
+(* Run a parser that signals failures by exception, converting them to
+   [Error] so a malformed request can never kill a connection. *)
+let guard what f =
+  match f () with
+  | v -> Stdlib.Ok v
+  | exception Parser.Parse_error m -> Error (Fmt.str "%s: %s" what m)
+  | exception (Invalid_argument m | Failure m) -> Error (Fmt.str "%s: %s" what m)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '?'
+
+let is_ident s = s <> "" && String.for_all is_ident_char s
+
+(* Strip one optional trailing dot (facts conventionally end in one). *)
+let strip_dot s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '.' then String.trim (String.sub s 0 (n - 1)) else s
+
+let parse_fact what text =
+  let* a = guard what (fun () -> Parser.atom_of_string (strip_dot text)) in
+  if Atom.is_ground a then Stdlib.Ok a else Error (Fmt.str "%s: fact %a is not ground" what Atom.pp a)
+
+let parse_query text =
+  let text = String.trim text in
+  if String.contains text '(' then
+    let* a = guard "query" (fun () -> Parser.atom_of_string (strip_dot text)) in
+    if Atom.ann a <> [] then Error "query: annotated relations are not servable"
+    else Stdlib.Ok (Query { rel = Atom.rel a; pattern = Some (Atom.args a) })
+  else if is_ident text then Stdlib.Ok (Query { rel = text; pattern = None })
+  else Error (Fmt.str "query: expected a relation name, got %S" text)
+
+let parse_cq text =
+  let* (u, rel) = guard "cq" (fun () -> Guarded_cq.Ucq.of_string text) in
+  Stdlib.Ok (Cq (u, rel))
+
+(* The first whitespace-separated word, uppercased, and the rest. *)
+let split_keyword line =
+  match String.index_opt line ' ' with
+  | None -> (String.uppercase_ascii line, "")
+  | Some i ->
+    ( String.uppercase_ascii (String.sub line 0 i),
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_request payload =
+  let line = String.trim payload in
+  if line = "" then Error "empty request"
+  else if String.length line >= 2 && String.sub line 0 2 = "??" then
+    parse_cq (String.sub line 2 (String.length line - 2))
+  else if line.[0] = '?' then parse_query (String.sub line 1 (String.length line - 1))
+  else if line.[0] = '+' then
+    let* a = parse_fact "add" (String.sub line 1 (String.length line - 1)) in
+    Stdlib.Ok (Add a)
+  else if line.[0] = '-' then
+    let* a = parse_fact "remove" (String.sub line 1 (String.length line - 1)) in
+    Stdlib.Ok (Remove a)
+  else
+    match split_keyword line with
+    | "COMMIT", "" -> Stdlib.Ok Commit
+    | "STATS", "" -> Stdlib.Ok Stats
+    | "QUIT", "" | "EXIT", "" -> Stdlib.Ok Quit
+    | "SNAPSHOT", "" -> Stdlib.Ok (Snapshot None)
+    | "SNAPSHOT", path -> Stdlib.Ok (Snapshot (Some path))
+    | kw, _ -> Error (Fmt.str "unknown request %S" kw)
+
+(* A tuple line "(t1, ..., tk)" parses by dressing it up as an atom. *)
+let parse_tuple line =
+  let* a = guard "tuple" (fun () -> Parser.atom_of_string ("tuple" ^ String.trim line)) in
+  Stdlib.Ok (Atom.args a)
+
+let rec map_result f = function
+  | [] -> Stdlib.Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Stdlib.Ok (y :: ys)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> Stdlib.Ok n
+  | None -> Error (Fmt.str "%s: expected an integer, got %S" what s)
+
+let parse_stats lines =
+  let* s =
+    List.fold_left
+      (fun acc line ->
+        let* s = acc in
+        match String.index_opt line ' ' with
+        | None -> Error (Fmt.str "stats: malformed line %S" line)
+        | Some i ->
+          let key = String.sub line 0 i in
+          let* v = parse_int "stats" (String.sub line (i + 1) (String.length line - i - 1)) in
+          (match List.find_opt (fun (k, _, _) -> String.equal k key) stats_fields with
+          | Some (_, _, set) -> Stdlib.Ok (set s v)
+          | None -> Error (Fmt.str "stats: unknown key %S" key)))
+      (Stdlib.Ok zero_stats) lines
+  in
+  Stdlib.Ok (Stats_reply s)
+
+let parse_response payload =
+  match String.split_on_char '\n' payload with
+  | [] -> Error "empty response"
+  | first :: rest -> (
+    match split_keyword (String.trim first) with
+    | "OK", "" -> Stdlib.Ok Ok
+    | "BYE", "" -> Stdlib.Ok Bye
+    | "ERROR", msg -> Stdlib.Ok (Failed msg)
+    | "ANSWERS", n ->
+      let* n = parse_int "answers" n in
+      if n <> List.length rest then
+        Error (Fmt.str "answers: %d tuples declared, %d present" n (List.length rest))
+      else
+        let* tuples = map_result parse_tuple rest in
+        Stdlib.Ok (Answers tuples)
+    | "COMMITTED", detail -> (
+      match String.split_on_char ' ' detail with
+      | [ a; r; e ]
+        when String.length a > 0 && a.[0] = '+' && String.length r > 0 && r.[0] = '-'
+             && String.length e > 0 && e.[0] = '@' ->
+        let* added = parse_int "committed" (String.sub a 1 (String.length a - 1)) in
+        let* removed = parse_int "committed" (String.sub r 1 (String.length r - 1)) in
+        let* epoch = parse_int "committed" (String.sub e 1 (String.length e - 1)) in
+        Stdlib.Ok (Committed { added; removed; epoch })
+      | _ -> Error (Fmt.str "committed: malformed detail %S" detail))
+    | "STATS", "" -> parse_stats rest
+    | kw, _ -> Error (Fmt.str "unknown response %S" kw))
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+exception Protocol_error of string
+
+let max_frame = 64 * 1024 * 1024
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then raise (Protocol_error (Fmt.str "frame of %d bytes exceeds the limit" n));
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_uint8 buf 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 buf 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 buf 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 buf 3 (n land 0xff);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* Read exactly [len] bytes; [None] on EOF before the first byte when
+   [at_start], a protocol error on EOF mid-value. *)
+let read_exactly fd len ~at_start =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Some buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 ->
+        if off = 0 && at_start then None
+        else raise (Protocol_error (Fmt.str "truncated frame: EOF after %d of %d bytes" off len))
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exactly fd 4 ~at_start:true with
+  | None -> None
+  | Some hdr ->
+    let n =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    if n > max_frame then
+      raise (Protocol_error (Fmt.str "declared frame of %d bytes exceeds the limit" n));
+    (match read_exactly fd n ~at_start:false with
+    | Some payload -> Some (Bytes.to_string payload)
+    | None -> assert false)

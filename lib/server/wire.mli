@@ -1,0 +1,91 @@
+(** The serving wire protocol: framing, requests, responses.
+
+    Messages travel as length-prefixed frames — a 4-byte big-endian
+    payload length followed by the payload — whose payload is a line of
+    the textual command language (responses may span several lines
+    inside one frame):
+
+    {v
+      request  ::= "? " REL [ "(" terms ")" ]        relation query
+                 | "?? " cq (";" cq)*                conjunctive query (UCQ)
+                 | "+" fact "."                      stage an insertion
+                 | "-" fact "."                      stage a deletion
+                 | "COMMIT"                          apply the staged batch
+                 | "STATS"                           counters and latencies
+                 | "SNAPSHOT" [ " " path ]           persist a snapshot
+                 | "QUIT"                            close the connection
+      response ::= "OK"
+                 | "ANSWERS " n NL tuple*            one "(t1, ..., tk)" per line
+                 | "COMMITTED +" a " -" r " @" epoch
+                 | "STATS" NL (key " " value)*
+                 | "ERROR " message
+                 | "BYE"
+    v}
+
+    Keywords are accepted case-insensitively; printers emit the
+    canonical uppercase spelling and quote constants as needed
+    ({!Guarded_core.Term.pp_quoted}), so [parse ∘ print] is the
+    identity on every representable message — the property the test
+    suite checks on generated batches and queries. *)
+
+open Guarded_core
+
+type request =
+  | Query of { rel : string; pattern : Term.t list option }
+      (** [? REL] lists a relation's constant tuples; [? REL(t1, ...)]
+          restricts to facts matching the pattern (variables are
+          wildcards). *)
+  | Cq of Guarded_cq.Ucq.t * string
+      (** [?? body -> q(X).] — ";"-separated disjuncts form a union;
+          the string is the head relation name (kept for printing). *)
+  | Add of Atom.t
+  | Remove of Atom.t
+  | Commit
+  | Stats
+  | Snapshot of string option
+  | Quit
+
+type stats = {
+  s_epoch : int;  (** committed batches since startup *)
+  s_facts : int;  (** materialization cardinality *)
+  s_edb_facts : int;
+  s_queries : int;  (** queries served (aggregate) *)
+  s_batches : int;  (** batches committed (aggregate) *)
+  s_queue_depth : int;  (** commit queue occupancy *)
+  s_connections : int;  (** currently open connections *)
+  s_total_connections : int;
+  s_query_p50_us : int;  (** query latency percentiles, microseconds *)
+  s_query_p95_us : int;
+  s_commit_p50_us : int;  (** commit latency percentiles, microseconds *)
+  s_commit_p95_us : int;
+}
+
+type response =
+  | Ok
+  | Answers of Term.t list list
+  | Committed of { added : int; removed : int; epoch : int }
+  | Stats_reply of stats
+  | Failed of string
+  | Bye
+
+val print_request : request -> string
+val parse_request : string -> (request, string) result
+
+val print_response : response -> string
+val parse_response : string -> (response, string) result
+
+(** {1 Framing} *)
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Upper bound on a frame payload (64 MiB); larger declared lengths
+    raise {!Protocol_error} rather than attempting the allocation. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Writes the length prefix and payload; handles short writes. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Reads one frame; [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on a truncated frame or an oversized
+    length. *)

@@ -66,6 +66,32 @@ let to_datalog ?(budget = default_budget) (sigma : Theory.t) : translation =
   in
   { datalog; source_language = lang; normalized }
 
+type served = {
+  served_program : Theory.t;
+  served_note : string;
+}
+
+(* The serving path shared by [guarded serve]/[guarded update] and the
+   network server: translate once, serve as-is when the input is
+   already stratified Datalog, else go through the Thm. 1/5 pipeline.
+   One definition, so the CLI and the server cannot drift. *)
+let serving_program ?budget (sigma : Theory.t) : served =
+  if Theory.is_datalog sigma && Guarded_datalog.Stratify.is_stratified sigma then
+    {
+      served_program = sigma;
+      served_note = Fmt.str "stratified Datalog, served as-is (%d rules)" (Theory.size sigma);
+    }
+  else begin
+    let tr = to_datalog ?budget sigma in
+    {
+      served_program = tr.datalog;
+      served_note =
+        Fmt.str "%s theory translated to %d Datalog rules"
+          (Classify.language_name tr.source_language)
+          (Theory.size tr.datalog);
+    }
+  end
+
 (* Theorem 2: weakly frontier-guarded to weakly guarded. Theories that
    are already weakly guarded are returned unchanged. *)
 let to_weakly_guarded ?(budget = default_budget) (sigma : Theory.t) : Theory.t =

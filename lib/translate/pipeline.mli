@@ -25,6 +25,20 @@ val to_datalog : ?budget:budget -> Theory.t -> translation
     @raise Not_datalog_expressible for weakly (frontier-)guarded input
     (ExpTime-complete data complexity, Section 8). *)
 
+type served = {
+  served_program : Theory.t;  (** the stratified Datalog program to serve *)
+  served_note : string;  (** one-line provenance, for startup logs *)
+}
+
+val serving_program : ?budget:budget -> Theory.t -> served
+(** The serving path of [guarded serve]/[guarded update] and the
+    network server ({!Guarded_server}): a theory that is already
+    stratified Datalog is served as-is; anything else goes through
+    {!to_datalog} (Thms. 1/5 — the rewriting is database-independent,
+    so one translation serves every database and update).
+    @raise Not_datalog_expressible for the ExpTime-complete
+    languages. *)
+
 val to_weakly_guarded : ?budget:budget -> Theory.t -> Theory.t
 (** Theorem 2: normalizes and, if needed, rewrites a weakly
     frontier-guarded theory into a weakly guarded one. *)

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI smoke for the network server: start `guarded listen` on a Unix
+# socket, drive it with ~50 relation/pattern/CQ queries plus an update
+# batch through `guarded client`, verify the answers move, snapshot,
+# and shut the server down cleanly with SIGTERM.
+#
+# Usage: scripts/server_smoke.sh [DOMAINS]
+set -euo pipefail
+
+# 0 means "the sequential CI leg": serve without a pool (--domains 1).
+DOMAINS="${1:-1}"
+[ "$DOMAINS" = 0 ] && DOMAINS=1
+# The prebuilt binary: two dune exec instances (the backgrounded
+# server and the client calls) would contend on dune's lock.
+GUARDED="${GUARDED:-./_build/default/bin/guarded.exe}"
+WORK="$(mktemp -d)"
+SOCK="$WORK/serve.sock"
+SNAP="$WORK/serve.snap"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/path.rules" <<'EOF'
+e(X, Y) -> path(X, Y).
+e(X, Z), path(Z, Y) -> path(X, Y).
+EOF
+cat > "$WORK/path.db" <<'EOF'
+e(a, b).
+e(b, c).
+e(c, d).
+EOF
+
+$GUARDED listen "$WORK/path.rules" "$WORK/path.db" \
+  --socket "$SOCK" --snapshot "$SNAP" --domains "$DOMAINS" \
+  2> "$WORK/listen.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.2
+done
+[ -S "$SOCK" ] || { echo "server did not come up"; cat "$WORK/listen.log"; exit 1; }
+
+# ~50 queries across the protocol's query forms.
+for _ in $(seq 1 16); do
+  $GUARDED client --socket "$SOCK" \
+    -e "? path" \
+    -e "? path(a, ?X)" \
+    -e "?? path(X, Y), path(Y, Z) -> two(X, Z)." \
+    > /dev/null
+done
+
+# Before the update: 6 paths over the 3-edge chain.
+BEFORE=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
+[ "$BEFORE" = "ANSWERS 6" ] || { echo "expected ANSWERS 6, got: $BEFORE"; exit 1; }
+
+# An update batch: extend the chain, retire the first edge.
+$GUARDED client --socket "$SOCK" \
+  --exec="+e(d, e)." --exec="-e(a, b)." --exec=COMMIT --exec=STATS > "$WORK/commit.out"
+grep -q "^COMMITTED" "$WORK/commit.out" || { echo "commit failed"; cat "$WORK/commit.out"; exit 1; }
+
+AFTER=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
+[ "$AFTER" = "ANSWERS 6" ] || { echo "expected ANSWERS 6 after update, got: $AFTER"; exit 1; }
+$GUARDED client --socket "$SOCK" -e "? path(a, ?X)" | head -1 | grep -qx "ANSWERS 0" \
+  || { echo "deleted edge still answers"; exit 1; }
+
+# Persist, then graceful shutdown on SIGTERM.
+$GUARDED client --socket "$SOCK" -e "SNAPSHOT" | grep -qx "OK" || { echo "snapshot failed"; exit 1; }
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server did not stop on SIGTERM"; cat "$WORK/listen.log"; exit 1
+fi
+grep -q "server stopped" "$WORK/listen.log" || { echo "no clean shutdown logged"; cat "$WORK/listen.log"; exit 1; }
+[ -f "$SNAP" ] || { echo "snapshot file missing"; exit 1; }
+
+# Warm restart from the snapshot (no DATABASE argument) serves the
+# updated state.
+$GUARDED listen "$WORK/path.rules" --socket "$SOCK" --snapshot "$SNAP" \
+  2>> "$WORK/listen.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.2
+done
+WARM=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
+[ "$WARM" = "ANSWERS 6" ] || { echo "warm restart: expected ANSWERS 6, got: $WARM"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "server smoke: OK (domains=$DOMAINS)"

@@ -21,4 +21,5 @@ let () =
       ("par", Test_par.suite);
       ("saturate", Test_saturate.suite);
       ("incr", Test_incr.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,485 @@
+(** The network serving subsystem (lib/server) and its substrate: wire
+    protocol round-trips (including constants that need quoting), the
+    binary codec and snapshot files (corruption must be rejected, warm
+    restarts must equal cold materialization), the update-file batch
+    parser, and the concurrency oracle — many client threads querying
+    and committing against one {!Guarded_server.State.t} must leave
+    exactly the state of replaying the batches sequentially in the
+    order the writer applied them. *)
+
+open Guarded_core
+open Guarded_gen.Generator
+module Delta = Guarded_incr.Delta
+module Incr = Guarded_incr.Incr
+module Seminaive = Guarded_datalog.Seminaive
+module Pool = Guarded_par.Pool
+module Wire = Guarded_server.Wire
+module State = Guarded_server.State
+module Server = Guarded_server.Server
+module Client = Guarded_server.Client
+module Snapshot = Guarded_server.Snapshot
+
+let theory = Helpers.theory
+let db = Helpers.db
+let atom = Helpers.atom
+let check_db = Alcotest.check (Alcotest.testable Database.pp Database.equal)
+
+(* Constants whose bare spelling would not reparse: the printers must
+   quote every one of these. *)
+let awkward_constants = [ "Hello"; "a b"; ""; "?x"; "_n3"; "p(q)"; "COMMIT" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol round-trips                                           *)
+
+let roundtrip_request r =
+  match Wire.parse_request (Wire.print_request r) with
+  | Ok r' -> Wire.print_request r' = Wire.print_request r
+  | Error _ -> false
+
+let roundtrip_response r =
+  match Wire.parse_response (Wire.print_response r) with
+  | Ok r' -> Wire.print_response r' = Wire.print_response r
+  | Error _ -> false
+
+let test_wire_requests () =
+  let awkward = List.map (fun c -> Term.Const c) awkward_constants in
+  let reqs =
+    [
+      Wire.Query { rel = "path"; pattern = None };
+      Wire.Query { rel = "path"; pattern = Some [ Term.Const "a"; Term.Var "X" ] };
+      Wire.Query { rel = "p"; pattern = Some awkward };
+      Wire.Add (Atom.make "p" awkward);
+      Wire.Remove (Atom.make "edge" [ Term.Const "New York"; Term.Const "b" ]);
+      Wire.Commit;
+      Wire.Stats;
+      Wire.Snapshot None;
+      Wire.Snapshot (Some "/tmp/some file.snap");
+      Wire.Quit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.print_request r) true (roundtrip_request r))
+    reqs;
+  (let u, rel = Guarded_cq.Ucq.of_string "path(X, Y), e(Y, Z) -> q(X, Z). ; e(X, 'A b') -> q(X, X)." in
+   Alcotest.(check bool) "ucq round-trips" true (roundtrip_request (Wire.Cq (u, rel))));
+  (* keyword case-insensitivity and the EXIT alias *)
+  Alcotest.(check bool) "commit lowercase" true (Wire.parse_request "commit" = Ok Wire.Commit);
+  Alcotest.(check bool) "exit alias" true (Wire.parse_request "EXIT" = Ok Wire.Quit);
+  (* rejects *)
+  let rejected s = Result.is_error (Wire.parse_request s) in
+  Alcotest.(check bool) "empty" true (rejected "");
+  Alcotest.(check bool) "garbage" true (rejected "FROBNICATE now");
+  Alcotest.(check bool) "non-ground add" true (rejected "+p(X).")
+
+let test_wire_responses () =
+  let resps =
+    [
+      Wire.Ok;
+      Wire.Bye;
+      Wire.Answers [];
+      Wire.Answers
+        [
+          [ Term.Const "a"; Term.Const "Hello" ];
+          List.map (fun c -> Term.Const c) awkward_constants;
+        ];
+      Wire.Committed { added = 3; removed = 1; epoch = 42 };
+      Wire.Failed "no such relation";
+      Wire.Stats_reply
+        {
+          Wire.s_epoch = 1;
+          s_facts = 2;
+          s_edb_facts = 3;
+          s_queries = 4;
+          s_batches = 5;
+          s_queue_depth = 6;
+          s_connections = 7;
+          s_total_connections = 8;
+          s_query_p50_us = 9;
+          s_query_p95_us = 10;
+          s_commit_p50_us = 11;
+          s_commit_p95_us = 12;
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (Wire.print_response r) true (roundtrip_response r))
+    resps;
+  (* a declared count that disagrees with the tuple lines is rejected *)
+  Alcotest.(check bool) "count mismatch" true
+    (Result.is_error (Wire.parse_response "ANSWERS 2\n(a)"))
+
+(* Random facts over the generator signature, sometimes with awkward
+   constants spliced in, must round-trip through the +/- request forms
+   and through Delta's own text form. *)
+let gen_awkward_fact =
+  QCheck.Gen.(
+    let* base = gen_fact in
+    let* aw = oneofl awkward_constants in
+    let* splice = bool in
+    if splice && Atom.args base <> [] then
+      return
+        (Atom.make (Atom.rel base)
+           (Term.Const aw :: List.tl (Atom.args base)))
+    else return base)
+
+let prop_wire_fact_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire: +fact/-fact round-trip"
+    (QCheck.make ~print:Atom.to_string gen_awkward_fact)
+    (fun a -> roundtrip_request (Wire.Add a) && roundtrip_request (Wire.Remove a))
+
+let gen_delta =
+  QCheck.Gen.(
+    pair (list_size (int_range 0 4) gen_awkward_fact) (list_size (int_range 0 4) gen_awkward_fact)
+    >|= fun (additions, deletions) -> Delta.of_lists ~additions ~deletions)
+
+let delta_equal (a : Delta.t) (b : Delta.t) =
+  List.equal Atom.equal a.Delta.additions b.Delta.additions
+  && List.equal Atom.equal a.Delta.deletions b.Delta.deletions
+
+let prop_delta_text_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"delta: of_string ∘ pp = id"
+    (QCheck.make ~print:(Fmt.to_to_string Delta.pp) gen_delta)
+    (fun d -> delta_equal d (Delta.of_string (Fmt.to_to_string Delta.pp d)))
+
+(* ------------------------------------------------------------------ *)
+(* Update files: whole-file validation with line numbers               *)
+
+let test_batches_of_string () =
+  let batches = Delta.batches_of_string "+p(a).\n-q(b, c)\n\n# note\n+r(d).\n\n\n+s(e)." in
+  Alcotest.(check int) "three batches" 3 (List.length batches);
+  Alcotest.(check bool) "first batch" true
+    (delta_equal (List.nth batches 0)
+       (Delta.of_lists ~additions:[ atom "p(a)" ] ~deletions:[ atom "q(b, c)" ]));
+  (match Delta.batches_of_string "+p(a).\n\n+q(b).\nwat\n+r(c)." with
+  | _ -> Alcotest.fail "malformed line accepted"
+  | exception Delta.Malformed { line; _ } -> Alcotest.(check int) "1-based line" 4 line);
+  (* a malformed line late in the file must reject earlier batches too *)
+  (match Delta.batches_of_string "+p(a).\n\nbroken" with
+  | _ -> Alcotest.fail "trailing malformed line accepted"
+  | exception Delta.Malformed { line; _ } -> Alcotest.(check int) "last line" 3 line);
+  Alcotest.(check int) "empty text: no batches" 0
+    (List.length (Delta.batches_of_string "\n# only a comment\n\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let test_codec_roundtrip () =
+  let sigma = theory "e(X, Y) -> path(X, Y). e(X, Z), path(Z, Y) -> path(X, Y). s(X), not path(X, X) -> acyclic(X). c(C) -> exists L. t(L, C)." in
+  let d = db "e(a, b). e(b, c). p('Hello', 'a b'). q('')." in
+  let buf = Buffer.create 256 in
+  Codec.write_theory buf sigma;
+  Codec.write_database buf d;
+  Codec.write_varint buf 0;
+  Codec.write_varint buf max_int;
+  let encoded = Buffer.contents buf in
+  let src = Codec.source_of_string encoded in
+  let sigma' = Codec.read_theory src in
+  let d' = Codec.read_database src in
+  Alcotest.(check int) "varint 0" 0 (Codec.read_varint src);
+  Alcotest.(check int) "varint max" max_int (Codec.read_varint src);
+  Codec.expect_end src;
+  Alcotest.(check bool) "theory round-trips" true
+    (List.equal Rule.equal (Theory.rules sigma) (Theory.rules sigma'));
+  check_db "database round-trips" d d';
+  (* every strict prefix must be rejected, never crash *)
+  for len = 0 to String.length encoded - 1 do
+    let src = Codec.source_of_string (String.sub encoded 0 len) in
+    match
+      let _ = Codec.read_theory src in
+      let _ = Codec.read_database src in
+      let _ = Codec.read_varint src in
+      let _ = Codec.read_varint src in
+      Codec.expect_end src
+    with
+    | () -> Alcotest.failf "prefix of %d bytes accepted" len
+    | exception Codec.Corrupt _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let with_tmp_file f =
+  let path = Filename.temp_file "guarded_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let path_sigma = "e(X, Y) -> path(X, Y). e(X, Y), path(Y, Z) -> path(X, Z)."
+
+let test_snapshot_roundtrip () =
+  with_tmp_file (fun path ->
+      let sigma = theory path_sigma in
+      let m = Incr.materialize sigma (db "e(a, b). e(b, c). e('Hello', 'a b').") in
+      ignore (Incr.apply m (Delta.of_lists ~additions:[ atom "e(c, d)" ] ~deletions:[]));
+      Snapshot.save ~path sigma (Incr.dump m);
+      (* warm restart equals the live materialization... *)
+      let sigma', warm = Snapshot.load path in
+      Alcotest.(check bool) "program restored" true
+        (List.equal Rule.equal (Theory.rules sigma) (Theory.rules sigma'));
+      check_db "warm db" (Incr.db m) (Incr.db warm);
+      check_db "warm edb" (Incr.edb m) (Incr.edb warm);
+      (* ...equals cold re-materialization from the same EDB... *)
+      let cold = Incr.materialize sigma (Incr.edb m) in
+      check_db "warm = cold" (Incr.db cold) (Incr.db warm);
+      (* ...and keeps maintaining correctly after the restart. *)
+      ignore (Incr.apply warm (Delta.of_lists ~additions:[] ~deletions:[ atom "e(b, c)" ]));
+      check_db "maintains after warm start"
+        (Seminaive.eval sigma (db "e(a, b). e(c, d). e('Hello', 'a b')."))
+        (Incr.db warm);
+      (* the guarded load rejects a snapshot of a different program *)
+      (match Snapshot.load_for path (theory "e(X, Y) -> path(X, Y).") with
+      | _ -> Alcotest.fail "foreign program accepted"
+      | exception Snapshot.Corrupt _ -> ()))
+
+let test_snapshot_corruption () =
+  with_tmp_file (fun path ->
+      let sigma = theory path_sigma in
+      let m = Incr.materialize sigma (db "e(a, b). e(b, c).") in
+      Snapshot.save ~path sigma (Incr.dump m);
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let reject name bytes =
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc;
+        match Snapshot.load path with
+        | _ -> Alcotest.failf "%s accepted" name
+        | exception Snapshot.Corrupt _ -> ()
+      in
+      reject "empty file" "";
+      reject "bad magic" ("XXXXXXXX" ^ String.sub raw 8 (String.length raw - 8));
+      reject "future version" ("GRDSNAP9" ^ String.sub raw 8 (String.length raw - 8));
+      reject "truncated" (String.sub raw 0 (String.length raw - 5));
+      reject "trailing garbage" (raw ^ "extra");
+      (let flipped = Bytes.of_string raw in
+       let i = String.length raw / 2 in
+       Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0xff));
+       reject "checksum catches a flipped byte" (Bytes.to_string flipped));
+      (* the pristine bytes still load *)
+      let oc = open_out_bin path in
+      output_string oc raw;
+      close_out oc;
+      let _, warm = Snapshot.load path in
+      check_db "pristine bytes load" (Incr.db m) (Incr.db warm))
+
+(* ------------------------------------------------------------------ *)
+(* State: commit results, errors, shutdown                             *)
+
+let test_state_basics () =
+  let st = State.create (theory path_sigma) (db "e(a, b).") in
+  Alcotest.(check int) "epoch 0" 0 (State.epoch st);
+  (match State.commit st (Delta.of_lists ~additions:[ atom "e(b, c)" ] ~deletions:[]) with
+  | Ok r ->
+    Alcotest.(check int) "epoch 1" 1 r.State.cr_epoch;
+    Alcotest.(check bool) "derived" true (r.State.cr_added >= 2)
+  | Error m -> Alcotest.fail m);
+  State.with_read st (fun m ->
+      Alcotest.(check bool) "path(a, c) served" true (Database.mem (Incr.db m) (atom "path(a, c)")));
+  State.shutdown st;
+  (match State.commit st (Delta.of_lists ~additions:[ atom "e(c, d)" ] ~deletions:[]) with
+  | Ok _ -> Alcotest.fail "commit accepted after shutdown"
+  | Error _ -> ());
+  (* idempotent *)
+  State.shutdown st
+
+(* ------------------------------------------------------------------ *)
+(* Socket smoke: a real server on a Unix socket                        *)
+
+let with_server ?snapshot sigma_text db_text f =
+  let sock = Filename.temp_file "guarded" ".sock" in
+  Sys.remove sock;
+  let st = State.create (theory sigma_text) (db db_text) in
+  let srv = Server.listen ?snapshot st (Server.Unix_socket sock) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let test_server_socket () =
+  with_server path_sigma "e(a, b). e(b, c)." (fun srv ->
+      let c = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          Alcotest.(check int) "three paths" 3 (List.length (Client.query c "path"));
+          (* a pattern query *)
+          (match Client.request c (Wire.Query { rel = "path"; pattern = Some [ Term.Const "a"; Term.Var "X" ] }) with
+          | Wire.Answers tuples -> Alcotest.(check int) "from a" 2 (List.length tuples)
+          | _ -> Alcotest.fail "expected answers");
+          (* an update batch through the protocol *)
+          (match Client.commit c (Delta.of_lists ~additions:[ atom "e(c, d)" ] ~deletions:[]) with
+          | Ok (added, _, epoch) ->
+            Alcotest.(check bool) "cascade" true (added >= 3);
+            Alcotest.(check int) "epoch" 1 epoch
+          | Error m -> Alcotest.fail m);
+          Alcotest.(check int) "six paths" 6 (List.length (Client.query c "path"));
+          (* errors are answers, not disconnects *)
+          (match Client.request_line c "? no_such_relation" with
+          | Wire.Answers [] -> ()
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "unexpected reply");
+          Alcotest.(check int) "still serving" 6 (List.length (Client.query c "path"));
+          let s = Client.stats c in
+          Alcotest.(check int) "one connection" 1 s.Wire.s_connections;
+          Alcotest.(check int) "one batch" 1 s.Wire.s_batches;
+          Alcotest.(check bool) "queries counted" true (s.Wire.s_queries >= 3)))
+
+let test_server_snapshot_command () =
+  with_tmp_file (fun snap ->
+      Sys.remove snap;
+      with_server ~snapshot:snap path_sigma "e(a, b)." (fun srv ->
+          let c = Client.connect (Server.address srv) in
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+              (match Client.commit c (Delta.of_lists ~additions:[ atom "e(b, c)" ] ~deletions:[]) with
+              | Ok _ -> ()
+              | Error m -> Alcotest.fail m);
+              (match Client.request c (Wire.Snapshot None) with
+              | Wire.Ok -> ()
+              | _ -> Alcotest.fail "snapshot command failed");
+              let _, warm = Snapshot.load snap in
+              Alcotest.(check bool) "snapshot has the committed fact" true
+                (Database.mem (Incr.db warm) (atom "path(a, c)")))))
+
+(* ------------------------------------------------------------------ *)
+(* The concurrency oracle: concurrent clients = some sequential order  *)
+
+(* Each client thread runs its schedule of batches, interleaving reads;
+   every commit reports the epoch the writer assigned. Replaying all
+   batches sorted by epoch against a fresh EDB must reproduce the final
+   EDB, and the final materialization must equal from-scratch
+   evaluation of that EDB — i.e. the concurrent history is equivalent
+   to a sequential one. *)
+let run_concurrent_case ?pool (sigma, db0, schedules) =
+  let st = State.create ?pool sigma db0 in
+  let applied = Mutex.create () in
+  let order = ref [] in
+  let failures = ref [] in
+  let client schedule =
+    List.iter
+      (fun d ->
+        (* a read between commits: consistent view under the lock *)
+        State.with_read st (fun m ->
+            let db = Incr.db m in
+            if Database.cardinal db < Database.cardinal (Incr.edb m) then
+              failwith "materialization smaller than its EDB");
+        match State.commit st d with
+        | Ok r ->
+          Mutex.lock applied;
+          order := (r.State.cr_epoch, d) :: !order;
+          Mutex.unlock applied
+        | Error m ->
+          Mutex.lock applied;
+          failures := m :: !failures;
+          Mutex.unlock applied)
+      schedule
+  in
+  let threads = List.map (fun s -> Thread.create client s) schedules in
+  List.iter Thread.join threads;
+  let final_db, final_edb =
+    State.with_read st (fun m -> (Database.copy (Incr.db m), Database.copy (Incr.edb m)))
+  in
+  State.shutdown st;
+  if !failures <> [] then false
+  else begin
+    let reference = Database.copy db0 in
+    List.iter
+      (fun (_, (d : Delta.t)) ->
+        List.iter (fun f -> ignore (Database.remove reference f)) d.Delta.deletions;
+        List.iter (fun f -> ignore (Database.add reference f)) d.Delta.additions)
+      (List.sort (fun (a, _) (b, _) -> compare a b) !order);
+    Database.equal final_edb reference
+    && Database.equal final_db (Seminaive.eval ?pool sigma reference)
+  end
+
+let gen_plain_delta =
+  QCheck.Gen.(
+    pair (list_size (int_range 0 3) gen_fact) (list_size (int_range 0 3) gen_fact)
+    >|= fun (additions, deletions) -> Delta.of_lists ~additions ~deletions)
+
+let gen_schedules =
+  QCheck.Gen.(list_size (int_range 2 3) (list_size (int_range 1 3) gen_plain_delta))
+
+let print_concurrent_case (sigma, d, schedules) =
+  Fmt.str "%s@.---@.%a@.---@.%a" (Theory.to_string sigma) Database.pp d
+    (Fmt.list ~sep:(Fmt.any "@.===@.") (Fmt.list ~sep:(Fmt.any "@.---@.") Delta.pp))
+    schedules
+
+let arbitrary_concurrent_case arb_theory =
+  QCheck.make ~print:print_concurrent_case
+    QCheck.Gen.(triple (QCheck.gen arb_theory) (gen_db ()) gen_schedules)
+
+let prop_concurrent_datalog =
+  QCheck.Test.make ~count:35 ~name:"concurrent clients = sequential replay (Datalog)"
+    (arbitrary_concurrent_case arbitrary_datalog) run_concurrent_case
+
+let prop_concurrent_semipositive =
+  QCheck.Test.make ~count:35 ~name:"concurrent clients = sequential replay (semipositive)"
+    (arbitrary_concurrent_case arbitrary_semipositive) run_concurrent_case
+
+let pool = lazy (Pool.create ~domains:2 ~min_work:1 ~oversubscribe:true ())
+
+let prop_concurrent_datalog_pool =
+  QCheck.Test.make ~count:20 ~name:"concurrent clients = sequential replay (Datalog, pool)"
+    (arbitrary_concurrent_case arbitrary_datalog) (fun case ->
+      run_concurrent_case ~pool:(Lazy.force pool) case)
+
+let prop_concurrent_semipositive_pool =
+  QCheck.Test.make ~count:20
+    ~name:"concurrent clients = sequential replay (semipositive, pool)"
+    (arbitrary_concurrent_case arbitrary_semipositive) (fun case ->
+      run_concurrent_case ~pool:(Lazy.force pool) case)
+
+(* The same oracle through real sockets: a smaller deterministic run
+   with several client connections hammering one server. *)
+let test_concurrent_sockets () =
+  with_server path_sigma "e(n0, n1)." (fun srv ->
+      let n_clients = 4 and n_rounds = 6 in
+      let errors = Mutex.create () in
+      let failed = ref [] in
+      let client k () =
+        let c = Client.connect (Server.address srv) in
+        Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+            for i = 1 to n_rounds do
+              ignore (Client.query c "path");
+              let a = atom (Fmt.str "e(n%d, n%d)" (k * 10 + i) ((k * 10 + i) + 1)) in
+              match Client.commit c (Delta.of_lists ~additions:[ a ] ~deletions:[]) with
+              | Ok _ -> ()
+              | Error m ->
+                Mutex.lock errors;
+                failed := m :: !failed;
+                Mutex.unlock errors
+            done)
+      in
+      let threads = List.init n_clients (fun k -> Thread.create (client k) ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no failed commits" [] !failed;
+      let c = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let s = Client.stats c in
+          Alcotest.(check int) "all batches committed" (n_clients * n_rounds) s.Wire.s_batches;
+          Alcotest.(check int) "epoch = batches" (n_clients * n_rounds) s.Wire.s_epoch;
+          (* 1 edge initially + one per committed batch, all disjoint *)
+          Alcotest.(check int) "edb facts" (1 + (n_clients * n_rounds)) s.Wire.s_edb_facts))
+
+let suite =
+  [
+    Alcotest.test_case "wire: request round-trips" `Quick test_wire_requests;
+    Alcotest.test_case "wire: response round-trips" `Quick test_wire_responses;
+    Alcotest.test_case "update files: batches + line numbers" `Quick test_batches_of_string;
+    Alcotest.test_case "codec: round-trip + truncation" `Quick test_codec_roundtrip;
+    Alcotest.test_case "snapshot: warm = cold" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot: corruption rejected" `Quick test_snapshot_corruption;
+    Alcotest.test_case "state: commit/read/shutdown" `Quick test_state_basics;
+    Alcotest.test_case "server: socket session" `Quick test_server_socket;
+    Alcotest.test_case "server: snapshot command" `Quick test_server_snapshot_command;
+    Alcotest.test_case "server: concurrent socket clients" `Quick test_concurrent_sockets;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_wire_fact_roundtrip;
+        prop_delta_text_roundtrip;
+        prop_concurrent_datalog;
+        prop_concurrent_semipositive;
+        prop_concurrent_datalog_pool;
+        prop_concurrent_semipositive_pool;
+      ]
