@@ -9,7 +9,7 @@
 
     Usage: dune exec bench/main.exe [-- [--json FILE] [--domains SPEC] SECTION...]
     Sections: fig1 fig2 fig3 thm1 thm2 thm3 sec7 thm4 thm5 blowup ablation
-    sat incr serve micro
+    sat incr serve joins micro
 
     With [--json FILE] the run additionally records, per section, the
     wall-clock seconds and every printed table with its timing columns
@@ -60,6 +60,8 @@ type json_section = {
   js_id : string;
   js_domains : int option;  (** pool size; [None] = sequential schedule *)
   mutable js_seconds : float;
+  mutable js_alloc_mb : float;  (** bytes allocated during the section, MB *)
+  mutable js_heap_mb : float;  (** top_heap_words after the section, MB *)
   mutable js_tables : (string list * string list list) list;  (** reversed *)
 }
 
@@ -70,7 +72,14 @@ let json_current : json_section option ref = ref None
 let json_begin_section id =
   if !json_enabled then begin
     let js =
-      { js_id = id; js_domains = !current_domains; js_seconds = 0.; js_tables = [] }
+      {
+        js_id = id;
+        js_domains = !current_domains;
+        js_seconds = 0.;
+        js_alloc_mb = 0.;
+        js_heap_mb = 0.;
+        js_tables = [];
+      }
     in
     json_sections := js :: !json_sections;
     json_current := Some js
@@ -134,7 +143,10 @@ let json_write file =
       (match js.js_domains with
       | Some d -> pr "      \"domains\": %d,\n" d
       | None -> ());
-      pr "      \"seconds\": %.6f,\n      \"tables\": [" js.js_seconds;
+      pr "      \"seconds\": %.6f,\n" js.js_seconds;
+      pr "      \"alloc_mb\": %.3f,\n" js.js_alloc_mb;
+      pr "      \"heap_mb\": %.3f,\n" js.js_heap_mb;
+      pr "      \"tables\": [";
       List.iteri
         (fun j (header, rows) ->
           if j > 0 then pr ",";
@@ -1107,6 +1119,115 @@ let serve () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* joins: the worst-case-optimal executor vs binary join plans         *)
+
+(* Deterministic edge relations: uniform pseudo-random graphs (an LCG,
+   fixed seed) and hub-skewed graphs (one node adjacent to everything,
+   plus a ring). The canonical cyclic bodies — triangles and 4-cycles —
+   are exactly where binary plans build intermediate results larger
+   than the output; on the skewed instances the intermediates are
+   quadratic in the hub degree while the output stays linear, so the
+   WCOJ path wins asymptotically. The planner column records what
+   [`Auto] picks; the fact counts are deterministic, the timings are
+   stripped from recordings. *)
+let joins () =
+  section "joins" "join engine: worst-case-optimal vs binary on cyclic bodies";
+  let edge db u v =
+    ignore
+      (Database.add db
+         (Atom.make "e" [ Term.Const (Fmt.str "n%d" u); Term.Const (Fmt.str "n%d" v) ]))
+  in
+  let uniform_db ~nodes ~edges =
+    let db = Database.create () in
+    let state = ref 1234567 in
+    let next () =
+      (* Park–Miller minimal standard LCG; deterministic across runs. *)
+      state := !state * 48271 mod 0x7FFFFFFF;
+      !state
+    in
+    let added = ref 0 in
+    while !added < edges do
+      let u = next () mod nodes and v = next () mod nodes in
+      if u <> v then
+        if
+          Database.add db
+            (Atom.make "e" [ Term.Const (Fmt.str "n%d" u); Term.Const (Fmt.str "n%d" v) ])
+        then added := !added + 1
+    done;
+    db
+  in
+  let hub_db ~nodes =
+    (* Node 0 is bidirectionally adjacent to every other node; the rest
+       form a directed ring. Binary plans joining through the hub touch
+       deg(hub)^2 pairs; the output is linear in [nodes]. *)
+    let db = Database.create () in
+    for i = 1 to nodes - 1 do
+      edge db 0 i;
+      edge db i 0;
+      edge db i (1 + (i mod (nodes - 1)))
+    done;
+    db
+  in
+  let queries shape =
+    [
+      ("triangle", "e(X, Y), e(Y, Z), e(X, Z) -> out(X).");
+      ("4-cycle", "e(X, Y), e(Y, Z), e(Z, W), e(W, X) -> out(X).");
+      ("path-3 (acyclic)", "e(X, Y), e(Y, Z), e(Z, W) -> out(X).");
+    ]
+    |> List.filter (fun (name, _) ->
+           (* The longer bodies have Θ(n²) homomorphisms on a hub graph —
+              every engine must enumerate them — so only the triangle
+              (linear output, quadratic binary intermediates) scales. *)
+           shape = "uniform" || name = "triangle")
+  in
+  let instances =
+    [
+      ("uniform", 100, uniform_db ~nodes:100 ~edges:600);
+      ("uniform", 200, uniform_db ~nodes:200 ~edges:1600);
+      ("uniform", 400, uniform_db ~nodes:400 ~edges:4000);
+      ("hub", 4000, hub_db ~nodes:4000);
+      ("hub", 8000, hub_db ~nodes:8000);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (shape, nodes, db) ->
+        let edges = Database.cardinal db in
+        List.map
+          (fun (name, rule_text) ->
+            let sigma = Parser.theory_of_string rule_text in
+            let body = Rule.body_atoms (List.hd (Theory.rules sigma)) in
+            let planner =
+              match Guarded_datalog.Planner.plan body with
+              | Guarded_datalog.Planner.Binary -> "binary"
+              | Guarded_datalog.Planner.Wcoj _ -> "wcoj"
+            in
+            let run join = Seminaive.eval ?pool:!current_pool ~join sigma db in
+            let out_binary, t_binary = time (fun () -> run `Binary) in
+            let out_wcoj, t_wcoj = time (fun () -> run `Wcoj) in
+            let agree = Database.equal out_binary out_wcoj in
+            let results = Database.cardinal out_binary - Database.cardinal db in
+            [
+              Fmt.str "%s %d/%d" shape nodes edges;
+              name;
+              planner;
+              string_of_int results;
+              (if agree then "agree" else "MISMATCH");
+              ms t_binary;
+              ms t_wcoj;
+              Fmt.str "%.1fx" (t_binary /. Float.max t_wcoj 1e-9);
+            ])
+          (queries shape))
+      instances
+  in
+  table
+    [
+      "graph"; "body"; "planner"; "results"; "agree"; "binary time"; "wcoj time";
+      "speedup (timed)";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per experiment                       *)
 
 let micro () =
@@ -1205,6 +1326,7 @@ let all_sections =
     ("sat", sat);
     ("incr", incr);
     ("serve", serve);
+    ("joins", joins);
     ("micro", micro);
   ]
 
@@ -1225,8 +1347,19 @@ let run_sections ~suffix requested =
         (* Isolate sections from each other's garbage: a section's time
            should not depend on which sections ran before it. *)
         Gc.full_major ();
+        let alloc0 = Gc.allocated_bytes () in
         let (), t = time f in
-        (match !json_current with Some js -> js.js_seconds <- t | None -> ())
+        let alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1e6 in
+        let heap_mb =
+          float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+          *. float_of_int (Sys.word_size / 8) /. 1e6
+        in
+        (match !json_current with
+        | Some js ->
+          js.js_seconds <- t;
+          js.js_alloc_mb <- alloc_mb;
+          js.js_heap_mb <- heap_mb
+        | None -> ())
       | None ->
         Fmt.epr "unknown section %S (known: %s)@." id
           (String.concat " " (List.map fst all_sections)))

@@ -1,20 +1,26 @@
 (** Bench regression gate: compare two [--json] recordings.
 
-    [regress.exe BASE CURRENT [--max-ratio R] [--slack S]] reads the
-    per-section [seconds] of both files and fails (exit 1) when any
-    section present in both satisfies [cur > R * base + S]. The slack
-    absorbs the constant noise floor of short sections (and of shared
-    CI runners); the ratio catches the real regressions — an indexed
-    loop degrading to a scan, a pool fanning out below its profitable
-    size. Sections only present on one side are reported and ignored,
-    so baselines need not be regenerated to add a section.
+    [regress.exe BASE CURRENT [--max-ratio R] [--slack S]
+    [--max-mem-ratio R] [--mem-slack MB]] reads the per-section
+    [seconds] — and, when present, the [alloc_mb] / [heap_mb] memory
+    metrics — of both files and fails (exit 1) when any section present
+    in both satisfies [cur > R * base + S] on wall-clock, or
+    [cur > R' * base + S'] on either memory metric. The slack absorbs
+    the constant noise floor of short sections (and of shared CI
+    runners); the ratio catches the real regressions — an indexed loop
+    degrading to a scan, a pool fanning out below its profitable size,
+    a join path starting to materialize quadratic intermediates.
+    Sections only present on one side are reported and ignored, and
+    memory metrics absent from a side (recordings made before the
+    metrics existed) are skipped per section, so baselines need not be
+    regenerated to add a section or a metric.
 
     The recordings are written by {!Bench_main}'s own emitter and
     parsed here with a hand-rolled scanner (the project deliberately
     has no JSON dependency): each section object carries an ["id"]
-    string followed by a ["seconds"] number, and no other key of a
-    section object uses either name, so pairing the occurrences in
-    order reconstructs the table. *)
+    string, and every other scanned key of that section appears between
+    that ["id"] and the next one, so slicing the text into per-["id"]
+    windows and scanning each window reconstructs the table. *)
 
 let fail fmt = Fmt.kstr (fun s -> prerr_endline s; exit 2) fmt
 
@@ -37,29 +43,29 @@ let find_sub text pat from =
   in
   go from
 
-(* Scan [text] for "key": occurrences and return what follows each, as
-   raw token text up to the next delimiter. *)
-let scan_key text key =
+(* Scan [text] for "key": occurrences between [from] (inclusive) and
+   [upto] (exclusive) and return what follows each, as raw token text
+   up to the next delimiter. *)
+let scan_key text ~from ~upto key =
   let pat = Fmt.str "\"%s\":" key in
-  let plen = String.length pat and n = String.length text in
+  let plen = String.length pat in
   let out = ref [] in
-  let i = ref 0 in
+  let i = ref from in
   let continue = ref true in
   while !continue do
     match find_sub text pat !i with
-    | None -> continue := false
-    | Some j ->
+    | Some j when j < upto ->
       let k = ref (j + plen) in
-      while !k < n && (text.[!k] = ' ' || text.[!k] = '\n') do incr k done;
+      while !k < upto && (text.[!k] = ' ' || text.[!k] = '\n') do incr k done;
       let stop = ref !k in
-      if !k < n && text.[!k] = '"' then begin
+      if !k < upto && text.[!k] = '"' then begin
         incr stop;
-        while !stop < n && text.[!stop] <> '"' do incr stop done;
+        while !stop < upto && text.[!stop] <> '"' do incr stop done;
         out := (j, String.sub text (!k + 1) (!stop - !k - 1)) :: !out
       end
       else begin
         while
-          !stop < n
+          !stop < upto
           && (match text.[!stop] with
              | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
              | _ -> false)
@@ -69,44 +75,69 @@ let scan_key text key =
         out := (j, String.sub text !k (!stop - !k)) :: !out
       end;
       i := j + plen
+    | _ -> continue := false
   done;
   List.rev !out
 
-(* Pair every "id" with the first following "seconds": both appear
-   exactly once per section object, in that order. *)
+type section = {
+  s_seconds : float;
+  s_alloc_mb : float option;  (** absent in pre-metric recordings *)
+  s_heap_mb : float option;
+}
+
+(* Slice the file into per-["id"] windows [id_pos, next_id_pos) and
+   scan each window for its metrics. [seconds] is required; the memory
+   metrics are optional (older baselines predate them). *)
 let sections_of_file file =
   let text = read_file file in
-  let ids = scan_key text "id" in
-  let seconds = scan_key text "seconds" in
-  let rec pair ids seconds acc =
-    match ids with
-    | [] -> List.rev acc
-    | (pos, id) :: ids_rest -> (
-      match List.find_opt (fun (p, _) -> p > pos) seconds with
-      | None -> fail "regress: %s: section %S has no seconds field" file id
-      | Some (p, v) -> (
-        match float_of_string_opt v with
-        | None -> fail "regress: %s: unreadable seconds %S for section %S" file v id
-        | Some f ->
-          pair ids_rest (List.filter (fun (p', _) -> p' <> p) seconds) ((id, f) :: acc)))
+  let n = String.length text in
+  let ids = scan_key text ~from:0 ~upto:n "id" in
+  let rec windows = function
+    | [] -> []
+    | (pos, id) :: rest ->
+      let upto = match rest with (next, _) :: _ -> next | [] -> n in
+      (pos, upto, id) :: windows rest
   in
-  pair ids seconds []
+  List.map
+    (fun (from, upto, id) ->
+      let number key =
+        match scan_key text ~from ~upto key with
+        | [] -> None
+        | (_, v) :: _ -> (
+          match float_of_string_opt v with
+          | Some f -> Some f
+          | None -> fail "regress: %s: unreadable %s %S for section %S" file key v id)
+      in
+      match number "seconds" with
+      | None -> fail "regress: %s: section %S has no seconds field" file id
+      | Some s ->
+        (id, { s_seconds = s; s_alloc_mb = number "alloc_mb"; s_heap_mb = number "heap_mb" }))
+    (windows ids)
 
 let () =
   let files = ref [] in
   let max_ratio = ref 2.0 in
   let slack = ref 0.25 in
+  let max_mem_ratio = ref 2.0 in
+  let mem_slack = ref 64.0 in
+  let float_arg name v set pred =
+    match float_of_string_opt v with
+    | Some f when pred f -> set f
+    | _ -> fail "regress: %s expects a suitable number, got %S" name v
+  in
   let rec parse = function
     | [] -> ()
     | "--max-ratio" :: v :: rest ->
-      (match float_of_string_opt v with
-      | Some r when r > 0. -> max_ratio := r
-      | _ -> fail "regress: --max-ratio expects a positive number, got %S" v);
+      float_arg "--max-ratio" v (fun f -> max_ratio := f) (fun f -> f > 0.);
       parse rest
     | "--slack" :: v :: rest ->
-      (match float_of_string_opt v with
-      | Some s when s >= 0. -> slack := s
-      | _ -> fail "regress: --slack expects a non-negative number, got %S" v);
+      float_arg "--slack" v (fun f -> slack := f) (fun f -> f >= 0.);
+      parse rest
+    | "--max-mem-ratio" :: v :: rest ->
+      float_arg "--max-mem-ratio" v (fun f -> max_mem_ratio := f) (fun f -> f > 0.);
+      parse rest
+    | "--mem-slack" :: v :: rest ->
+      float_arg "--mem-slack" v (fun f -> mem_slack := f) (fun f -> f >= 0.);
       parse rest
     | f :: rest ->
       files := f :: !files;
@@ -118,24 +149,37 @@ let () =
     let base = sections_of_file base_file in
     let cur = sections_of_file cur_file in
     let failed = ref false in
+    let gate id metric unit b c ~ratio ~slack =
+      let bound = (ratio *. b) +. slack in
+      if c > bound then begin
+        failed := true;
+        Fmt.pr "FAIL   %-12s %-8s %.3f%s -> %.3f%s (limit %.3f%s = %g x %.3f + %g)@." id
+          metric b unit c unit bound unit ratio b slack
+      end
+      else Fmt.pr "ok     %-12s %-8s %.3f%s -> %.3f%s@." id metric b unit c unit
+    in
     List.iter
       (fun (id, b) ->
         match List.assoc_opt id cur with
-        | None -> Fmt.pr "skip   %-16s (not in %s)@." id cur_file
+        | None -> Fmt.pr "skip   %-12s (not in %s)@." id cur_file
         | Some c ->
-          let bound = (!max_ratio *. b) +. !slack in
-          if c > bound then begin
-            failed := true;
-            Fmt.pr "FAIL   %-16s %.3fs -> %.3fs (limit %.3fs = %g x %.3fs + %gs)@." id b c
-              bound !max_ratio b !slack
-          end
-          else Fmt.pr "ok     %-16s %.3fs -> %.3fs@." id b c)
+          gate id "seconds" "s" b.s_seconds c.s_seconds ~ratio:!max_ratio ~slack:!slack;
+          let mem metric get =
+            match (get b, get c) with
+            | Some mb, Some mc ->
+              gate id metric "MB" mb mc ~ratio:!max_mem_ratio ~slack:!mem_slack
+            | _ -> Fmt.pr "skip   %-12s %-8s (metric missing on one side)@." id metric
+          in
+          mem "alloc_mb" (fun s -> s.s_alloc_mb);
+          mem "heap_mb" (fun s -> s.s_heap_mb))
       base;
     List.iter
       (fun (id, _) ->
         if not (List.mem_assoc id base) then
-          Fmt.pr "new    %-16s (not in %s)@." id base_file)
+          Fmt.pr "new    %-12s (not in %s)@." id base_file)
       cur;
     if !failed then exit 1
   | _ ->
-    fail "usage: regress.exe BASE.json CURRENT.json [--max-ratio R] [--slack S]"
+    fail
+      "usage: regress.exe BASE.json CURRENT.json [--max-ratio R] [--slack S] [--max-mem-ratio \
+       R] [--mem-slack MB]"

@@ -1,23 +1,30 @@
 (** Databases: mutable, indexed stores of ground atoms.
 
     A database is a finite set of atoms over constants and labeled nulls.
-    Facts are indexed per relation and per (position, term) pair so that
-    homomorphism search and semi-naive evaluation can select candidate
-    facts for partially bound atoms without scanning whole relations.
+    Facts are held columnar: each relation stores its facts as packed
+    int columns (one [int array] of {!Term.id}s per position) plus a
+    parallel row→fact array, and candidate selection for partially
+    bound atoms runs over {e sorted-run indexes} — per position, a
+    short list of {!Intrun} runs of (term id, row) pairs — instead of
+    hashtable buckets. Intersecting several bound positions walks the
+    most selective position's runs and confirms the others with direct
+    column reads, so the hot join path does binary searches and array
+    loads, no hashing and no per-candidate allocation.
 
-    Since atoms are hash-consed ({!Atom.make}), all tables here are
-    keyed on stored integers: the relation index on {!Atom.rel_id}, the
-    positional index on (rel_id, position, {!Term.id}) triples, and the
-    fact tables on physical atoms with stored hashes. Buckets are
-    vectors for ordered iteration plus an id-hashed index from fact to
-    vector slot: additions append (so iteration over the length
-    snapshotted at entry is safe while rule firing appends new facts),
-    removals swap the victim's slot with the last entry, keeping every
-    per-relation and per-position bucket — and hence the
-    {!candidate_count} estimates, which are bucket lengths — exact under
-    interleaved {!add}/{!remove}. Removing facts during a candidate
-    iteration is not supported (the incremental-maintenance cascades
-    enumerate first and remove after the round's enumeration finishes).
+    Indexes are maintained LSM-style: {!add} appends a row to the
+    columns in O(width) and leaves the indexes alone; the first lookup
+    that needs a position's index folds the pending rows into a new
+    sorted run and merges runs of similar size (lengths stay strictly
+    increasing, so a relation holds O(log n) runs and total merge work
+    is O(n log n)). A flush installs a fresh immutable snapshot through
+    an [Atomic.t] under a per-relation mutex, so concurrent readers —
+    the domain pool's parallel rounds read one shared database — either
+    see the old complete snapshot or the new one, never a torn state.
+    As before, additions made during a candidate iteration are not
+    visited (runs are snapshotted at lookup time), and {!remove} must
+    not run during an iteration: a removal swap-deletes the row out of
+    every column and bumps the relation version, invalidating all of
+    its runs (they rebuild lazily on next use).
 
     For rollback, every database carries a monotone mutation {!epoch};
     with {!enable_journal} the inverse of each mutation is also logged,
@@ -27,68 +34,40 @@
     holds exactly the terms of the active domain; {!materialize_acdom}
     populates it from the current non-ACDom facts. *)
 
-(* Fact bucket: a vector for ordered iteration plus an id-hashed table
-   mapping each fact to its vector slot, for O(1) membership and O(1)
-   swap-removal. *)
-type bucket = {
-  tbl : int Atom.Tbl.t;  (** fact -> index in [arr] *)
-  mutable arr : Atom.t array;
-  mutable len : int;
-}
-
-let bucket_create n = { tbl = Atom.Tbl.create n; arr = [||]; len = 0 }
-
-let bucket_add b a =
-  Atom.Tbl.replace b.tbl a b.len;
-  if b.len = Array.length b.arr then begin
-    let arr = Array.make (max 8 (2 * b.len)) a in
-    Array.blit b.arr 0 arr 0 b.len;
-    b.arr <- arr
-  end;
-  b.arr.(b.len) <- a;
-  b.len <- b.len + 1
-
-let bucket_mem b a = Atom.Tbl.mem b.tbl a
-
-(* Swap-remove: the last entry takes the victim's slot. O(1); the
-   bucket's iteration order is not stable across removals. *)
-let bucket_remove b a =
-  match Atom.Tbl.find_opt b.tbl a with
-  | None -> ()
-  | Some i ->
-    Atom.Tbl.remove b.tbl a;
-    let last = b.len - 1 in
-    if i < last then begin
-      let moved = b.arr.(last) in
-      b.arr.(i) <- moved;
-      Atom.Tbl.replace b.tbl moved i
-    end;
-    b.len <- last
-
-(* Safe under concurrent [bucket_add]: only the entries present at call
-   time are visited. Not safe under [bucket_remove]. *)
-let bucket_iter f b =
-  let n = b.len in
-  for i = 0 to n - 1 do
-    f b.arr.(i)
-  done
-
 module Int_tbl = Hashtbl.Make (Int)
 
-(* (rel_id, position, term_id) keys of the positional index. *)
-module Pos_tbl = Hashtbl.Make (struct
-  type t = int * int * int
+(* Immutable index snapshot for one column: the sorted runs (newest
+   first, strictly increasing lengths), how many rows they cover, and
+   the relation version they were built against. *)
+type ixstate = {
+  ix_runs : int array list;
+  ix_flushed : int;
+  ix_version : int;
+}
 
-  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
-  let hash (a, b, c) = (((a * 0x01000193) lxor b) * 0x01000193 lxor c) land max_int
-end)
+let empty_ix = { ix_runs = []; ix_flushed = 0; ix_version = 0 }
+
+(* Columnar store of one relation. [r_atoms]/[r_cols] share capacity;
+   rows [0, r_rows) are live. [r_version] counts removals: a removal
+   renumbers a row, so every run referencing rows is stale after it. *)
+type rel = {
+  r_id : int;  (** interned {!Atom.rel_id} *)
+  r_width : int;  (** term positions: annotation slots + arguments *)
+  r_ann : int;  (** of which annotation slots *)
+  mutable r_atoms : Atom.t array;
+  mutable r_cols : int array array;
+  mutable r_rows : int;
+  r_rowid : int Atom.Tbl.t;  (** fact -> row index *)
+  r_ix : ixstate Atomic.t array;  (** one per position *)
+  r_lock : Mutex.t;  (** serializes index flushes *)
+  mutable r_version : int;
+}
 
 (* Journal entry: the inverse operation that undoes a mutation. *)
 type mutation = Undo_add of Atom.t | Undo_remove of Atom.t
 
 type t = {
-  by_rel : bucket Int_tbl.t;  (** rel_id -> facts of the relation *)
-  by_pos : bucket Pos_tbl.t;  (** (rel_id, pos, term_id) -> facts *)
+  rels : rel Int_tbl.t;  (** rel_id -> columnar store *)
   mutable count : int;
   mutable epoch : int;  (** monotone mutation counter *)
   mutable journaling : bool;
@@ -100,61 +79,167 @@ type epoch = int
 let acdom_rel = "ACDom"
 
 let create () =
-  {
-    by_rel = Int_tbl.create 64;
-    by_pos = Pos_tbl.create 256;
-    count = 0;
-    epoch = 0;
-    journaling = false;
-    journal = [];
-  }
+  { rels = Int_tbl.create 64; count = 0; epoch = 0; journaling = false; journal = [] }
 
 let cardinal db = db.count
 
+let rel_of db rel_id = Int_tbl.find_opt db.rels rel_id
+
 let mem db atom =
-  match Int_tbl.find_opt db.by_rel (Atom.rel_id atom) with
+  match rel_of db (Atom.rel_id atom) with
   | None -> false
-  | Some b -> bucket_mem b atom
+  | Some r -> Atom.Tbl.mem r.r_rowid atom
+
+(* ------------------------------------------------------------------ *)
+(* Row storage                                                         *)
+
+let rel_create atom =
+  let width = Array.length (Atom.term_ids atom) in
+  {
+    r_id = Atom.rel_id atom;
+    r_width = width;
+    r_ann = List.length (Atom.ann atom);
+    r_atoms = [||];
+    r_cols = Array.init width (fun _ -> [||]);
+    r_rows = 0;
+    r_rowid = Atom.Tbl.create 32;
+    r_ix = Array.init width (fun _ -> Atomic.make empty_ix);
+    r_lock = Mutex.create ();
+    r_version = 0;
+  }
+
+let rel_grow r =
+  let cap = max 8 (2 * Array.length r.r_atoms) in
+  let atoms = Array.make cap r.r_atoms.(0) in
+  Array.blit r.r_atoms 0 atoms 0 r.r_rows;
+  r.r_atoms <- atoms;
+  for p = 0 to r.r_width - 1 do
+    let col = Array.make cap 0 in
+    Array.blit r.r_cols.(p) 0 col 0 r.r_rows;
+    r.r_cols.(p) <- col
+  done
+
+let rel_add r atom =
+  if r.r_rows = Array.length r.r_atoms then begin
+    if Array.length r.r_atoms = 0 then begin
+      r.r_atoms <- Array.make 8 atom;
+      r.r_cols <- Array.init r.r_width (fun _ -> Array.make 8 0)
+    end
+    else rel_grow r
+  end;
+  let row = r.r_rows in
+  r.r_atoms.(row) <- atom;
+  let ids = Atom.term_ids atom in
+  for p = 0 to r.r_width - 1 do
+    r.r_cols.(p).(row) <- ids.(p)
+  done;
+  Atom.Tbl.replace r.r_rowid atom row;
+  r.r_rows <- row + 1
+
+(* Swap-remove: the last row takes the victim's slot, in every column.
+   O(width); renumbers one row, so the sorted runs are all stale. *)
+let rel_remove r atom =
+  match Atom.Tbl.find_opt r.r_rowid atom with
+  | None -> false
+  | Some row ->
+    Atom.Tbl.remove r.r_rowid atom;
+    let last = r.r_rows - 1 in
+    if row < last then begin
+      let moved = r.r_atoms.(last) in
+      r.r_atoms.(row) <- moved;
+      for p = 0 to r.r_width - 1 do
+        r.r_cols.(p).(row) <- r.r_cols.(p).(last)
+      done;
+      Atom.Tbl.replace r.r_rowid moved row
+    end;
+    r.r_rows <- last;
+    r.r_version <- r.r_version + 1;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Sorted-run index maintenance                                        *)
+
+(* Fold the pending rows of position [p] into the run stack: sort the
+   tail into a new run, then merge while the new run is at least as
+   long as the head run — lengths stay strictly increasing, so a
+   column keeps O(log n) runs and amortizes its merges. *)
+let flush_locked r p st =
+  let base = if st.ix_version = r.r_version then st else empty_ix in
+  let col = r.r_cols.(p) in
+  let pending = r.r_rows - base.ix_flushed in
+  let run = Array.init pending (fun i ->
+      let row = base.ix_flushed + i in
+      Intrun.pack col.(row) row)
+  in
+  Intrun.sort run;
+  let rec push runs a =
+    match runs with
+    | b :: tl when Array.length a >= Array.length b -> push tl (Intrun.merge b a)
+    | _ -> a :: runs
+  in
+  { ix_runs = push base.ix_runs run; ix_flushed = r.r_rows; ix_version = r.r_version }
+
+(* The current complete index snapshot of position [p]: fast path is
+   one atomic load; a stale snapshot is rebuilt under the relation
+   lock, re-checking after acquisition (another domain may have
+   flushed first). *)
+let get_index r p =
+  let a = r.r_ix.(p) in
+  let st = Atomic.get a in
+  if st.ix_flushed = r.r_rows && st.ix_version = r.r_version then st
+  else begin
+    Mutex.lock r.r_lock;
+    let st = Atomic.get a in
+    let st =
+      if st.ix_flushed = r.r_rows && st.ix_version = r.r_version then st
+      else begin
+        let st' = flush_locked r p st in
+        Atomic.set a st';
+        st'
+      end
+    in
+    Mutex.unlock r.r_lock;
+    st
+  end
+
+let index_count r p v =
+  let st = get_index r p in
+  List.fold_left (fun acc run -> acc + Intrun.count_value run v) 0 st.ix_runs
+
+(* Iterate the rows with value [v] at position [p]. The snapshot is
+   captured once, so rows added mid-iteration are not visited. *)
+let index_iter_rows r p v f =
+  let st = get_index r p in
+  List.iter
+    (fun run ->
+      let lo, hi = Intrun.seg run v in
+      for i = lo to hi - 1 do
+        f (Intrun.row run.(i))
+      done)
+    st.ix_runs
+
+(* ------------------------------------------------------------------ *)
+(* Mutation, journaling, rollback                                      *)
 
 (* Index maintenance shared by [add] and journal replay: no journaling,
    no epoch bump. *)
 let add_unlogged db atom =
   let rel_id = Atom.rel_id atom in
-  let b =
-    match Int_tbl.find_opt db.by_rel rel_id with
-    | Some b -> b
+  let r =
+    match Int_tbl.find_opt db.rels rel_id with
+    | Some r -> r
     | None ->
-      let b = bucket_create 32 in
-      Int_tbl.add db.by_rel rel_id b;
-      b
+      let r = rel_create atom in
+      Int_tbl.add db.rels rel_id r;
+      r
   in
-  bucket_add b atom;
-  let ids = Atom.term_ids atom in
-  for i = 0 to Array.length ids - 1 do
-    let pkey = (rel_id, i, ids.(i)) in
-    let pb =
-      match Pos_tbl.find_opt db.by_pos pkey with
-      | Some pb -> pb
-      | None ->
-        let pb = bucket_create 8 in
-        Pos_tbl.add db.by_pos pkey pb;
-        pb
-    in
-    bucket_add pb atom
-  done;
+  rel_add r atom;
   db.count <- db.count + 1
 
 let remove_unlogged db atom =
-  let rel_id = Atom.rel_id atom in
-  (match Int_tbl.find_opt db.by_rel rel_id with
+  (match rel_of db (Atom.rel_id atom) with
   | None -> ()
-  | Some b -> bucket_remove b atom);
-  let ids = Atom.term_ids atom in
-  for i = 0 to Array.length ids - 1 do
-    match Pos_tbl.find_opt db.by_pos (rel_id, i, ids.(i)) with
-    | None -> ()
-    | Some pb -> bucket_remove pb atom
-  done;
+  | Some r -> ignore (rel_remove r atom));
   db.count <- db.count - 1
 
 let add db atom =
@@ -203,7 +288,16 @@ let of_atoms atoms =
   add_all db atoms;
   db
 
-let iter f db = Int_tbl.iter (fun _ b -> bucket_iter f b) db.by_rel
+(* Safe under concurrent [add]: only the rows present at call time are
+   visited ([r_atoms] slots below the snapshot never move except under
+   [remove], which is not allowed during iteration). *)
+let rel_iter f r =
+  let n = r.r_rows in
+  for i = 0 to n - 1 do
+    f r.r_atoms.(i)
+  done
+
+let iter f db = Int_tbl.iter (fun _ r -> rel_iter f r) db.rels
 
 let fold f db acc =
   let r = ref acc in
@@ -217,17 +311,16 @@ let copy db =
   iter (fun a -> ignore (add db' a)) db;
   db'
 
-let rel_bucket db key = Int_tbl.find_opt db.by_rel (Atom.rel_key_id key)
-
 let facts_of_rel db key =
-  match rel_bucket db key with
+  match rel_of db (Atom.rel_key_id key) with
   | None -> []
-  | Some b ->
+  | Some r ->
     let acc = ref [] in
-    bucket_iter (fun a -> acc := a :: !acc) b;
+    rel_iter (fun a -> acc := a :: !acc) r;
     !acc
 
-let rel_cardinal db key = match rel_bucket db key with None -> 0 | Some b -> b.len
+let rel_cardinal db key =
+  match rel_of db (Atom.rel_key_id key) with None -> 0 | Some r -> r.r_rows
 
 (* ------------------------------------------------------------------ *)
 (* Candidate selection.
@@ -242,7 +335,7 @@ let rel_cardinal db key = match rel_bucket db key with None -> 0 | Some b -> b.l
 
 (* Visit every position of [pattern] under [subst] with (index, id or
    -1 when unbound). Annotation slots precede arguments, matching the
-   positional index layout. *)
+   column layout. *)
 let iter_bound_ids subst pattern f =
   let ids = Atom.term_ids pattern in
   let visit i t =
@@ -268,47 +361,60 @@ let iter_bound_ids subst pattern f =
 (* {!candidate_count} of the pattern under a substitution, without
    building the substituted atom. *)
 let candidate_count_under db subst pattern =
-  let rel_id = Atom.rel_id pattern in
-  let best = ref (-1) in
-  iter_bound_ids subst pattern (fun i tid ->
-      if tid >= 0 then begin
-        let n =
-          match Pos_tbl.find_opt db.by_pos (rel_id, i, tid) with None -> 0 | Some b -> b.len
-        in
-        if !best < 0 || n < !best then best := n
-      end);
-  if !best >= 0 then !best
-  else match Int_tbl.find_opt db.by_rel rel_id with None -> 0 | Some b -> b.len
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> 0
+  | Some r ->
+    let best = ref (-1) in
+    iter_bound_ids subst pattern (fun p tid ->
+        if tid >= 0 then begin
+          let n = index_count r p tid in
+          if !best < 0 || n < !best then best := n
+        end);
+    if !best >= 0 then !best else r.r_rows
 
 (* {!iter_candidates} of the pattern under a substitution; the caller
-   confirms candidates with [Subst.match_atom subst pattern]. *)
+   confirms candidates with [Subst.match_atom subst pattern]. The most
+   selective bound position's runs drive the scan; the remaining bound
+   positions are confirmed with one column read each. *)
 let iter_candidates_under db subst pattern f =
-  let rel_id = Atom.rel_id pattern in
-  let empty = ref false in
-  let buckets = ref [] in
-  iter_bound_ids subst pattern (fun i tid ->
-      if (not !empty) && tid >= 0 then
-        match Pos_tbl.find_opt db.by_pos (rel_id, i, tid) with
-        | None -> empty := true
-        | Some b -> buckets := b :: !buckets);
-  if not !empty then
-    match !buckets with
-    | [] -> (
-      match Int_tbl.find_opt db.by_rel rel_id with
-      | None -> ()
-      | Some b -> bucket_iter f b)
-    | [ b ] -> bucket_iter f b
-    | bs ->
-      let smallest, others =
-        List.fold_left
-          (fun (sm, others) b ->
-            if b.len < sm.len then (b, sm :: others) else (sm, b :: others))
-          (List.hd bs, [])
-          (List.tl bs)
-      in
-      bucket_iter
-        (fun a -> if List.for_all (fun b -> bucket_mem b a) others then f a)
-        smallest
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> ()
+  | Some r ->
+    (* Collect the bound positions (at most width of them). *)
+    let bound_pos = Array.make r.r_width 0 in
+    let bound_id = Array.make r.r_width 0 in
+    let nbound = ref 0 in
+    iter_bound_ids subst pattern (fun p tid ->
+        if tid >= 0 then begin
+          bound_pos.(!nbound) <- p;
+          bound_id.(!nbound) <- tid;
+          incr nbound
+        end);
+    let nbound = !nbound in
+    if nbound = 0 then rel_iter f r
+    else begin
+      (* Most selective position wins (first wins ties). *)
+      let best = ref 0 and best_n = ref max_int in
+      let empty = ref false in
+      for i = 0 to nbound - 1 do
+        let n = index_count r bound_pos.(i) bound_id.(i) in
+        if n = 0 then empty := true;
+        if n < !best_n then begin
+          best := i;
+          best_n := n
+        end
+      done;
+      if not !empty then begin
+        let bi = !best in
+        let atoms = r.r_atoms and cols = r.r_cols in
+        index_iter_rows r bound_pos.(bi) bound_id.(bi) (fun row ->
+            let ok = ref true in
+            for i = 0 to nbound - 1 do
+              if i <> bi && cols.(bound_pos.(i)).(row) <> bound_id.(i) then ok := false
+            done;
+            if !ok then f atoms.(row))
+      end
+    end
 
 (* Substitution-free views: the estimator, streaming enumeration and
    list materialization for an already-substituted pattern. *)
@@ -319,6 +425,168 @@ let candidates db pattern =
   let acc = ref [] in
   iter_candidates db pattern (fun a -> acc := a :: !acc);
   !acc
+
+exception Found
+
+let exists_under db subst pattern =
+  (* Fully ground under [subst] with a long candidate segment: one
+     rowid-table probe instead of an index-segment scan (the segment can
+     be long even when the fact is absent — e.g. both bound values of
+     high degree, the quadratic trap of skewed instances). Short
+     segments scan: cheaper than building the substituted atom. *)
+  let ground = ref true in
+  iter_bound_ids subst pattern (fun _ tid -> if tid < 0 then ground := false);
+  if !ground && candidate_count_under db subst pattern > 16 then
+    mem db (Subst.apply_atom subst pattern)
+  else
+    match
+      iter_candidates_under db subst pattern (fun fact ->
+          match Subst.match_atom subst pattern fact with Some _ -> raise Found | None -> ())
+    with
+    | () -> false
+    | exception Found -> true
+
+(* ------------------------------------------------------------------ *)
+(* Distinct-value enumeration: the worst-case-optimal join's probes.   *)
+
+(* The term at column position [pos] of a stored fact. *)
+let term_at r atom pos =
+  if pos < r.r_ann then List.nth (Atom.ann atom) pos
+  else List.nth (Atom.args atom) (pos - r.r_ann)
+
+(* Positions of [pattern] holding the (unbound) variable [var]. *)
+let var_positions pattern var =
+  let ps = ref [] in
+  let i = ref 0 in
+  let visit t =
+    (match t with Term.Var v when String.equal v var -> ps := !i :: !ps | _ -> ());
+    incr i
+  in
+  List.iter visit (Atom.ann pattern);
+  List.iter visit (Atom.args pattern);
+  List.rev !ps
+
+(* The conditions under which [distinct_ids_under] produces an array,
+   checked without materializing anything: the WCOJ executor tests every
+   holder first, so one ineligible holder does not cost a full
+   distinct-value walk of the others. *)
+let fast_var_eligible db subst pattern ~var =
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> true
+  | Some _ -> (
+    match var_positions pattern var with
+    | [ _ ] when not (Subst.mem var subst) ->
+      let bound = ref false in
+      iter_bound_ids subst pattern (fun _ tid -> if tid >= 0 then bound := true);
+      not !bound
+    | _ -> false)
+
+let distinct_ids_under db subst pattern ~var =
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> Some [||]
+  | Some r -> (
+    match var_positions pattern var with
+    | [ p ] when not (Subst.mem var subst) ->
+      let bound = ref false in
+      iter_bound_ids subst pattern (fun _ tid -> if tid >= 0 then bound := true);
+      if !bound then None
+      else begin
+        let st = get_index r p in
+        let acc = ref [] and n = ref 0 in
+        Intrun.iter_distinct_values st.ix_runs (fun v _ ->
+            acc := v :: !acc;
+            incr n);
+        let out = Array.make !n 0 in
+        List.iteri (fun i v -> out.(!n - 1 - i) <- v) !acc;
+        Some out
+      end
+    | _ -> None)
+
+let iter_values_of_ids db pattern ~var ids f =
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> ()
+  | Some r -> (
+    match var_positions pattern var with
+    | p :: _ ->
+      let st = get_index r p in
+      Array.iter
+        (fun v ->
+          (* First witnessing row across the runs. *)
+          let witness = ref (-1) in
+          List.iter
+            (fun run ->
+              let lo, hi = Intrun.seg run v in
+              if lo < hi then
+                let row = Intrun.row run.(lo) in
+                if !witness < 0 || row < !witness then witness := row)
+            st.ix_runs;
+          if !witness >= 0 then f (term_at r r.r_atoms.(!witness) p))
+        ids
+    | [] -> ())
+
+let iter_var_values_under db subst pattern ~var f =
+  match rel_of db (Atom.rel_id pattern) with
+  | None -> ()
+  | Some r -> (
+    match var_positions pattern var with
+    | [] -> ()
+    | p0 :: rest_ps ->
+      let bound_pos = Array.make r.r_width 0 in
+      let bound_id = Array.make r.r_width 0 in
+      let nbound = ref 0 in
+      iter_bound_ids subst pattern (fun p tid ->
+          if tid >= 0 then begin
+            bound_pos.(!nbound) <- p;
+            bound_id.(!nbound) <- tid;
+            incr nbound
+          end);
+      let nbound = !nbound in
+      let cols = r.r_cols in
+      (* A row is consistent when every bound position matches and the
+         variable's positions all carry the same value. *)
+      let consistent row v =
+        let ok = ref true in
+        List.iter (fun p -> if cols.(p).(row) <> v then ok := false) rest_ps;
+        for i = 0 to nbound - 1 do
+          if cols.(bound_pos.(i)).(row) <> bound_id.(i) then ok := false
+        done;
+        !ok
+      in
+      if nbound = 0 && rest_ps = [] then begin
+        (* Pure column scan: the sorted runs enumerate the distinct
+           values directly, in ascending id order. *)
+        let st = get_index r p0 in
+        Intrun.iter_distinct_values st.ix_runs (fun _ row -> f (term_at r r.r_atoms.(row) p0))
+      end
+      else begin
+        (* Drive from the most selective bound position (or the whole
+           relation) and deduplicate values on the fly. *)
+        let seen = Int_tbl.create 16 in
+        let visit row =
+          let v = cols.(p0).(row) in
+          if consistent row v && not (Int_tbl.mem seen v) then begin
+            Int_tbl.add seen v ();
+            f (term_at r r.r_atoms.(row) p0)
+          end
+        in
+        if nbound = 0 then
+          for row = 0 to r.r_rows - 1 do
+            visit row
+          done
+        else begin
+          let best = ref 0 and best_n = ref max_int in
+          let empty = ref false in
+          for i = 0 to nbound - 1 do
+            let n = index_count r bound_pos.(i) bound_id.(i) in
+            if n = 0 then empty := true;
+            if n < !best_n then begin
+              best := i;
+              best_n := n
+            end
+          done;
+          if not !empty then index_iter_rows r bound_pos.(!best) bound_id.(!best) visit
+        end
+      end)
 
 (* ------------------------------------------------------------------ *)
 
@@ -336,9 +604,9 @@ let materialize_acdom db =
     (active_domain db)
 
 (* Relations present in the database. *)
-let relations db = Int_tbl.fold (fun rel_id _ acc -> Atom.rel_key_of_id rel_id :: acc) db.by_rel []
+let relations db = Int_tbl.fold (fun rel_id _ acc -> Atom.rel_key_of_id rel_id :: acc) db.rels []
 
-let relation_ids db = Int_tbl.fold (fun rel_id _ acc -> rel_id :: acc) db.by_rel []
+let relation_ids db = Int_tbl.fold (fun rel_id _ acc -> rel_id :: acc) db.rels []
 
 let restrict db keep =
   let db' = create () in
@@ -350,6 +618,45 @@ let equal db1 db2 =
   cardinal db1 = cardinal db2 && fold (fun a ok -> ok && mem db2 a) db1 true
 
 (* ------------------------------------------------------------------ *)
+(* Storage metrics                                                     *)
+
+type rel_stats = {
+  rs_rel : Atom.rel_key;
+  rs_rows : int;
+  rs_runs : int;
+  rs_bytes : int;  (** resident bytes of columns, row map and runs *)
+}
+
+let storage_stats db =
+  let word = Sys.word_size / 8 in
+  Int_tbl.fold
+    (fun rel_id r acc ->
+      let cap = Array.length r.r_atoms in
+      let runs = ref 0 and run_words = ref 0 in
+      Array.iter
+        (fun ix ->
+          let st = Atomic.get ix in
+          List.iter
+            (fun run ->
+              incr runs;
+              run_words := !run_words + Array.length run)
+            st.ix_runs)
+        r.r_ix;
+      let words =
+        (cap * (r.r_width + 1)) (* columns + row->fact array *)
+        + !run_words
+        + (2 * Atom.Tbl.length r.r_rowid) (* row map entries, approx. *)
+      in
+      {
+        rs_rel = Atom.rel_key_of_id rel_id;
+        rs_rows = r.r_rows;
+        rs_runs = !runs;
+        rs_bytes = words * word;
+      }
+      :: acc)
+    db.rels []
+
+(* ------------------------------------------------------------------ *)
 (* Answer extraction                                                   *)
 
 module Tuple_set = Set.Make (struct
@@ -359,20 +666,22 @@ module Tuple_set = Set.Make (struct
 end)
 
 (* Sorted, deduplicated constant argument tuples of every relation
-   named [name] (any arity): folds the relation buckets directly into a
+   named [name] (any arity): folds the relation stores directly into a
    set — no intermediate fact list, no quadratic [sort_uniq]. *)
 let constant_tuples db name =
   Int_tbl.fold
-    (fun rel_id b acc ->
+    (fun rel_id r acc ->
       let n, _, _ = Atom.rel_key_of_id rel_id in
-      if String.equal n name then
-        Atom.Tbl.fold
-          (fun a _ acc ->
-            if List.for_all Term.is_const (Atom.terms a) then Tuple_set.add (Atom.args a) acc
-            else acc)
-          b.tbl acc
+      if String.equal n name then begin
+        let acc = ref acc in
+        rel_iter
+          (fun a ->
+            if List.for_all Term.is_const (Atom.terms a) then acc := Tuple_set.add (Atom.args a) !acc)
+          r;
+        !acc
+      end
       else acc)
-    db.by_rel Tuple_set.empty
+    db.rels Tuple_set.empty
   |> Tuple_set.elements
 
 let pp ppf db =

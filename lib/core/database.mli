@@ -1,16 +1,18 @@
 (** Databases: mutable, indexed stores of ground atoms.
 
     A database is a finite set of atoms over constants and labeled
-    nulls, indexed per relation and per (position, term) pair so that
-    homomorphism search and semi-naive evaluation can select candidate
-    facts for partially bound atoms without scanning whole relations.
-    All indexes are keyed on the stored integer ids of hash-consed
-    atoms and interned terms. Additions append to the index buckets, so
-    candidate iteration is safe while rule firing adds new facts (the
-    facts added mid-iteration are not visited); removals ({!remove})
-    swap-delete from every bucket in O(1) per index entry, keeping the
-    {!candidate_count} estimates exact, but must not run during a
-    candidate iteration. *)
+    nulls. Each relation is stored columnar — packed int columns of
+    interned term ids plus a row→fact array — and candidate selection
+    for partially bound atoms runs over sorted-run indexes ({!Intrun})
+    maintained LSM-style per position, so the hot join path does binary
+    searches and direct column reads instead of hash probes. Additions
+    append rows without touching the indexes (the first lookup that
+    needs one folds pending rows in, merging runs of similar size);
+    candidate iteration snapshots the runs, so facts added mid-iteration
+    are not visited and concurrent readers are safe. Removals
+    ({!remove}) swap-delete a row out of every column in O(width) and
+    invalidate the relation's runs (rebuilt lazily), but must not run
+    during a candidate iteration. *)
 
 type t
 
@@ -90,6 +92,40 @@ val iter_candidates_under : t -> Subst.t -> Atom.t -> (Atom.t -> unit) -> unit
     without building the substituted atom. The caller confirms each
     candidate with [Subst.match_atom subst pattern]. *)
 
+val exists_under : t -> Subst.t -> Atom.t -> bool
+(** [exists_under db subst pattern]: does some stored fact match
+    [pattern] under [subst]? Exact (unlike the candidate superset);
+    the worst-case-optimal join's leaf check. *)
+
+val fast_var_eligible : t -> Subst.t -> Atom.t -> var:string -> bool
+(** Would {!distinct_ids_under} return [Some]? Constant-time (no
+    distinct-value walk); the WCOJ executor's gate for the leapfrog
+    path. *)
+
+val distinct_ids_under : t -> Subst.t -> Atom.t -> var:string -> int array option
+(** [distinct_ids_under db subst pattern ~var] is the sorted array of
+    distinct term ids appearing at [var]'s position in [pattern]'s
+    relation — but only in the fast case where [var] occurs at exactly
+    one position, is unbound, and no other position of the pattern is
+    bound; [None] otherwise. Read straight off the sorted runs; the
+    leapfrog intersection's input. *)
+
+val iter_values_of_ids : t -> Atom.t -> var:string -> int array -> (Term.t -> unit) -> unit
+(** [iter_values_of_ids db pattern ~var ids f] resolves each term id in
+    [ids] back to its {!Term.t} via a witnessing stored fact of
+    [pattern]'s relation at [var]'s first position, calling [f] per id
+    that has a witness. Companion to {!distinct_ids_under}. *)
+
+val iter_var_values_under : t -> Subst.t -> Atom.t -> var:string -> (Term.t -> unit) -> unit
+(** [iter_var_values_under db subst pattern ~var f] calls [f] once per
+    distinct term that [var] takes in the stored facts consistent with
+    [pattern] under [subst] ([var] must be unbound in [subst]). The
+    general value-enumeration probe of the worst-case-optimal join:
+    complete (every extendable value is emitted), duplicate-free, and
+    sound up to the same per-position approximation as
+    {!iter_candidates_under} — callers re-check full matches at the
+    leaves. *)
+
 val constant_tuples : t -> string -> Term.t list list
 (** [constant_tuples db name]: the argument tuples of every all-constant
     fact of a relation named [name] (any arity), sorted and
@@ -108,5 +144,17 @@ val relation_ids : t -> int list
 
 val restrict : t -> (Atom.t -> bool) -> t
 val equal : t -> t -> bool
+
+type rel_stats = {
+  rs_rel : Atom.rel_key;
+  rs_rows : int;  (** live rows *)
+  rs_runs : int;  (** sorted index runs currently materialized *)
+  rs_bytes : int;  (** approximate resident bytes of columns + indexes *)
+}
+
+val storage_stats : t -> rel_stats list
+(** Per-relation storage metrics of the columnar layout, for the server
+    STATS verb and diagnostics. Does not force index flushes: only runs
+    already materialized are counted. *)
 
 val pp : t Fmt.t

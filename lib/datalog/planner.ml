@@ -1,0 +1,127 @@
+(** Per-rule join planning: binary joins for acyclic bodies,
+    worst-case-optimal for cyclic ones.
+
+    The body of a rule induces a hypergraph whose vertices are the
+    body's variables and whose edges are the variable sets of its
+    atoms. When that hypergraph is α-acyclic, estimator-ordered binary
+    joins ({!Guarded_core.Homomorphism.iter_pos}) match the best known
+    bounds; when it is cyclic — triangles and denser shapes, which the
+    paper's [rew(Σ)] rewritings produce — any binary plan can build
+    intermediate results asymptotically larger than the output, and the
+    generic worst-case-optimal join ({!Wcoj.iter_pos}) is used instead.
+    Cyclicity is decided with the classical GYO reduction; the variable
+    elimination order for the WCOJ path is a greedy max-degree order
+    that keeps consecutive variables connected, so early bindings prune
+    later probes. *)
+
+open Guarded_core
+module Sset = Names.Sset
+
+type join_mode = [ `Auto | `Binary | `Wcoj ]
+
+type plan = Binary | Wcoj of string list
+
+(* GYO reduction: repeatedly (a) drop variables occurring in exactly
+   one edge, (b) drop edges contained in another edge. The hypergraph
+   is α-acyclic iff the reduction reaches the empty edge set. *)
+let is_cyclic atoms =
+  let edges = ref (List.filter_map
+      (fun a ->
+        let vs = Atom.var_set a in
+        if Sset.is_empty vs then None else Some vs)
+      atoms)
+  in
+  let changed = ref true in
+  while !changed && !edges <> [] do
+    changed := false;
+    (* (a) variables local to a single edge constrain nothing else. *)
+    let occ = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        Sset.iter
+          (fun v -> Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+          e)
+      !edges;
+    let es =
+      List.filter_map
+        (fun e ->
+          let e' = Sset.filter (fun v -> Hashtbl.find occ v > 1) e in
+          if Sset.cardinal e' < Sset.cardinal e then changed := true;
+          if Sset.is_empty e' then begin
+            changed := true;
+            None
+          end
+          else Some e')
+        !edges
+    in
+    (* (b) an edge contained in another is an ear. Equal edges keep one
+       representative: position breaks the tie. *)
+    let arr = Array.of_list es in
+    let dead = Array.make (Array.length arr) false in
+    Array.iteri
+      (fun i e ->
+        if not dead.(i) then
+          Array.iteri
+            (fun j e' ->
+              if i <> j && (not dead.(i)) && not dead.(j) then
+                if Sset.subset e e' && (Sset.cardinal e < Sset.cardinal e' || j < i) then begin
+                  dead.(i) <- true;
+                  changed := true
+                end)
+            arr)
+      arr;
+    let es = ref [] in
+    Array.iteri (fun i e -> if not dead.(i) then es := e :: !es) arr;
+    edges := List.rev !es
+  done;
+  !edges <> []
+
+(* Greedy connected max-degree elimination order over every body
+   variable: start at the variable shared by the most atoms, then
+   repeatedly take the highest-degree variable adjacent to the chosen
+   prefix (falling back to a fresh component when none is), so each
+   level of the WCOJ search is constrained by earlier bindings as soon
+   as possible. Ties break alphabetically for determinism. *)
+let var_order atoms =
+  let edges = List.map Atom.var_set atoms in
+  let degree = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Sset.iter
+        (fun v -> Hashtbl.replace degree v (1 + Option.value ~default:0 (Hashtbl.find_opt degree v)))
+        e)
+    edges;
+  let neighbors v =
+    List.fold_left (fun acc e -> if Sset.mem v e then Sset.union acc e else acc) Sset.empty edges
+  in
+  let all = List.fold_left Sset.union Sset.empty edges in
+  let better v = function
+    | None -> true
+    | Some best ->
+      let dv = Hashtbl.find degree v and db = Hashtbl.find degree best in
+      dv > db || (dv = db && String.compare v best < 0)
+  in
+  let rec go chosen frontier remaining acc =
+    if Sset.is_empty remaining then List.rev acc
+    else begin
+      let pool = Sset.inter frontier remaining in
+      let pool = if Sset.is_empty pool then remaining else pool in
+      let next = ref None in
+      Sset.iter (fun v -> if better v !next then next := Some v) pool;
+      let v = Option.get !next in
+      go (Sset.add v chosen)
+        (Sset.union frontier (neighbors v))
+        (Sset.remove v remaining) (v :: acc)
+    end
+  in
+  go Sset.empty Sset.empty all []
+
+(* Bodies of fewer than three atoms cannot be cyclic, so [`Auto] skips
+   the GYO reduction for them outright. *)
+let plan ?(join : join_mode = `Auto) atoms =
+  match join with
+  | `Binary -> Binary
+  | `Wcoj -> Wcoj (var_order atoms)
+  | `Auto ->
+    if List.compare_length_with atoms 3 >= 0 && is_cyclic atoms then Wcoj (var_order atoms)
+    else Binary

@@ -1,0 +1,28 @@
+(** Per-rule join planning: binary joins for acyclic bodies,
+    worst-case-optimal for cyclic ones (GYO reduction decides). *)
+
+open Guarded_core
+
+type join_mode = [ `Auto | `Binary | `Wcoj ]
+(** [`Auto] picks per body; the forced modes exist for the equivalence
+    tests and for benchmarking the two executors against each other. *)
+
+type plan =
+  | Binary  (** estimator-ordered binary joins ({!Homomorphism.iter_pos}) *)
+  | Wcoj of string list
+      (** generic worst-case-optimal join with the given variable
+          elimination order (every body variable, most constrained
+          first) *)
+
+val is_cyclic : Atom.t list -> bool
+(** Is the body hypergraph (vertices: variables, edges: the atoms'
+    variable sets) α-cyclic? Decided by the GYO ear reduction. *)
+
+val var_order : Atom.t list -> string list
+(** Greedy connected max-degree elimination order over the body's
+    variables; deterministic (alphabetical tie-break). *)
+
+val plan : ?join:join_mode -> Atom.t list -> plan
+(** The executor for one body: with [`Auto] (default), {!Wcoj} exactly
+    when the body has at least three atoms and {!is_cyclic} holds,
+    {!Binary} otherwise. *)

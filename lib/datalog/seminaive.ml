@@ -24,23 +24,38 @@ let mentions_acdom sigma =
   Theory.Rel_set.mem (Database.acdom_rel, 0, 1) (Theory.relations sigma)
 
 (* A rule prepared for delta evaluation: for every positive body
-   position, the anchor atom paired with the remaining body atoms — the
-   rest list is computed once here, not per candidate fact. *)
+   position, the anchor atom paired with the remaining body atoms and
+   the join plan for that rest — rest lists and plans are computed once
+   here, not per candidate fact. *)
 type prepared = {
   p_rule : Rule.t;
   p_negs : Atom.t list;
-  p_anchors : (Atom.t * Atom.t list) list;
+  p_anchors : (Atom.t * Atom.t list * Planner.plan) list;
   p_body : Atom.t list;
+  p_exec : Planner.plan;  (** plan for the full body (naive rounds) *)
 }
 
-let prepare rule =
+let prepare ?join rule =
   let body = Rule.body_atoms rule in
   {
     p_rule = rule;
     p_negs = Rule.neg_body_atoms rule;
-    p_anchors = List.mapi (fun i a -> (a, List.filteri (fun j _ -> j <> i) body)) body;
+    p_anchors =
+      List.mapi
+        (fun i a ->
+          let rest = List.filteri (fun j _ -> j <> i) body in
+          (a, rest, Planner.plan ?join rest))
+        body;
     p_body = body;
+    p_exec = Planner.plan ?join body;
   }
+
+(* Dispatch one body join on its plan: estimator-ordered binary joins
+   or the worst-case-optimal executor. *)
+let iter_join ?init plan atoms db k =
+  match (plan : Planner.plan) with
+  | Planner.Binary -> Homomorphism.iter_pos ?init atoms db k
+  | Planner.Wcoj order -> Wcoj.iter_pos ?init ~order atoms db k
 
 (* The delta rule index: relation id -> indexes of the prepared rules
    whose positive body mentions it. A round touches only the union of
@@ -97,16 +112,16 @@ let fire_with_delta p db delta acc_delta =
   in
   (* One pass per body-atom position anchored in the delta. *)
   List.iter
-    (fun (anchor, rest) ->
+    (fun (anchor, rest, plan) ->
       if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
         Database.iter_candidates delta anchor (fun fact ->
             match Subst.match_atom Subst.empty anchor fact with
             | None -> ()
-            | Some subst -> Homomorphism.iter_pos ~init:subst rest db fire))
+            | Some subst -> iter_join ~init:subst plan rest db fire))
     p.p_anchors
 
 let fire_naive p db acc_delta =
-  Homomorphism.iter_pos p.p_body db (fun subst ->
+  iter_join p.p_exec p.p_body db (fun subst ->
       if negs_ok db p.p_negs subst then
         List.iter
           (fun h ->
@@ -132,13 +147,13 @@ let fire_naive p db acc_delta =
 
 (* Derived head instances of [p] anchored in [delta] at [anchor], in
    enumeration order. Reads [db]/[delta] only; never mutates. *)
-let collect_with_delta p db delta (anchor, rest) =
+let collect_with_delta p db delta (anchor, rest, plan) =
   let acc = ref [] in
   Database.iter_candidates delta anchor (fun fact ->
       match Subst.match_atom Subst.empty anchor fact with
       | None -> ()
       | Some subst ->
-        Homomorphism.iter_pos ~init:subst rest db (fun subst ->
+        iter_join ~init:subst plan rest db (fun subst ->
             if negs_ok db p.p_negs subst then
               List.iter
                 (fun h -> acc := Subst.apply_atom subst h :: !acc)
@@ -147,7 +162,7 @@ let collect_with_delta p db delta (anchor, rest) =
 
 let collect_naive p db =
   let acc = ref [] in
-  Homomorphism.iter_pos p.p_body db (fun subst ->
+  iter_join p.p_exec p.p_body db (fun subst ->
       if negs_ok db p.p_negs subst then
         List.iter (fun h -> acc := Subst.apply_atom subst h :: !acc) (Rule.head p.p_rule));
   List.rev !acc
@@ -188,7 +203,7 @@ let eval_rounds_parallel pool prepared index db =
       (fun idx p ->
         if marked.(idx) then
           List.iter
-            (fun ((anchor, _) as unit) ->
+            (fun ((anchor, _, _) as unit) ->
               if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
                 units := (p, unit) :: !units)
             p.p_anchors)
@@ -212,13 +227,13 @@ let eval_rounds_parallel pool prepared index db =
    distributes each round's firings over the pool's domains; the
    resulting fixpoint is identical (the fact set is unique), and the
    default [None] keeps the sequential schedule byte-for-byte. *)
-let eval ?(acdom = true) ?pool (sigma : Theory.t) (db0 : Database.t) =
+let eval ?(acdom = true) ?pool ?join (sigma : Theory.t) (db0 : Database.t) =
   check_datalog sigma;
   if not (Stratify.is_semipositive sigma) then
     invalid_arg "Seminaive.eval: program is not semipositive; use Stratified.chase";
   let db = Database.copy db0 in
   if acdom && mentions_acdom sigma then Database.materialize_acdom db;
-  let prepared = Array.of_list (List.map prepare (Theory.rules sigma)) in
+  let prepared = Array.of_list (List.map (prepare ?join) (Theory.rules sigma)) in
   let index = rule_index prepared in
   (match pool with
   | Some pool -> eval_rounds_parallel pool prepared index db
@@ -253,11 +268,11 @@ type engine = {
   e_theory : Theory.t;
 }
 
-let engine (sigma : Theory.t) =
+let engine ?join (sigma : Theory.t) =
   check_datalog sigma;
   if not (Stratify.is_semipositive sigma) then
     invalid_arg "Seminaive.engine: program is not semipositive";
-  let prepared = Array.of_list (List.map prepare (Theory.rules sigma)) in
+  let prepared = Array.of_list (List.map (prepare ?join) (Theory.rules sigma)) in
   { e_prepared = prepared; e_index = rule_index prepared; e_theory = sigma }
 
 let engine_theory e = e.e_theory
@@ -294,7 +309,7 @@ let delta_insert ?pool (e : engine) (db : Database.t) (facts : Atom.t list) =
         (fun idx p ->
           if marked.(idx) then
             List.iter
-              (fun ((anchor, _) as unit) ->
+              (fun ((anchor, _, _) as unit) ->
                 if Database.rel_cardinal delta (Atom.rel_key anchor) > 0 then
                   units := (p, unit) :: !units)
               p.p_anchors)
@@ -327,7 +342,7 @@ let delta_insert ?pool (e : engine) (db : Database.t) (facts : Atom.t list) =
 let iter_instances (e : engine) (db : Database.t) f =
   Array.iteri
     (fun idx p ->
-      Homomorphism.iter_pos p.p_body db (fun subst ->
+      iter_join p.p_exec p.p_body db (fun subst ->
           if negs_ok db p.p_negs subst then
             let premises = List.map (Subst.apply_atom subst) p.p_body in
             let heads = List.map (Subst.apply_atom subst) (Rule.head p.p_rule) in
@@ -348,19 +363,19 @@ let iter_seeded_instances ?pool (e : engine) ~(seed : Database.t) ~(db : Databas
     (fun idx p ->
       if marked.(idx) then
         List.iter
-          (fun ((anchor, _) as unit) ->
+          (fun ((anchor, _, _) as unit) ->
             if Database.rel_cardinal seed (Atom.rel_key anchor) > 0 then
               units := (idx, p, unit) :: !units)
           p.p_anchors)
     e.e_prepared;
   let units = Array.of_list (List.rev !units) in
-  let collect (idx, p, (anchor, rest)) =
+  let collect (idx, p, (anchor, rest, plan)) =
     let acc = ref [] in
     Database.iter_candidates seed anchor (fun fact ->
         match Subst.match_atom Subst.empty anchor fact with
         | None -> ()
         | Some subst ->
-          Homomorphism.iter_pos ~init:subst rest db (fun subst ->
+          iter_join ~init:subst plan rest db (fun subst ->
               if negs_ok db p.p_negs subst then
                 let premises = List.map (Subst.apply_atom subst) p.p_body in
                 let heads = List.map (Subst.apply_atom subst) (Rule.head p.p_rule) in

@@ -14,7 +14,12 @@ val check_datalog : Theory.t -> unit
 val mentions_acdom : Theory.t -> bool
 
 val eval :
-  ?acdom:bool -> ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> Database.t
+  ?acdom:bool ->
+  ?pool:Guarded_par.Pool.t ->
+  ?join:Planner.join_mode ->
+  Theory.t ->
+  Database.t ->
+  Database.t
 (** [eval sigma db] returns the fixpoint (input included). When the
     program mentions the built-in ACDom relation and [acdom] is true
     (default), ACDom is materialized from the input's active domain
@@ -23,6 +28,10 @@ val eval :
     a canonical-order merge at the round barrier: the resulting fact
     set is identical to the sequential run for every domain count.
     Without [?pool] (default) the sequential schedule is unchanged.
+    [?join] selects the per-rule join executor ([`Auto], the default,
+    lets {!Planner.plan} pick worst-case-optimal joins for cyclic
+    bodies and binary joins otherwise; the forced modes are for tests
+    and benchmarks) — the fixpoint is the same set either way.
     @raise Invalid_argument on existential rules or non-semipositive
     negation. *)
 
@@ -39,9 +48,9 @@ val answers :
 
 type engine
 
-val engine : Theory.t -> engine
+val engine : ?join:Planner.join_mode -> Theory.t -> engine
 (** @raise Invalid_argument on existential rules or non-semipositive
-    negation. *)
+    negation. [?join] as in {!eval}. *)
 
 val engine_theory : engine -> Theory.t
 

@@ -1,0 +1,150 @@
+(** Generic worst-case-optimal join (NPRR / Leapfrog-Triejoin style).
+
+    The join enumerates one variable at a time, in a fixed elimination
+    [order]: at each level the candidate values for the variable are
+    the intersection, over every body atom containing it (its
+    {e holders}), of the values the stored facts admit. Two probe
+    strategies implement the intersection:
+
+    - {b leapfrog}: when every holder exposes the variable's column as
+      a sorted distinct-id set ({!Database.distinct_ids_under} — the
+      variable sits at a single position and no other position of the
+      holder is bound yet), the sets are intersected by galloping
+      ({!Intrun.inter}) and each surviving id resolved back to its term
+      through a witnessing fact. This is the asymptotically good path:
+      per level, work proportional to the smallest holder column.
+    - {b probe-and-prune}: otherwise the most selective holder
+      enumerates the distinct values consistent with the current
+      bindings ({!Database.iter_var_values_under}) and each value is
+      kept only if every other holder still has a non-empty candidate
+      segment for it (a binary search per holder).
+
+    Both strategies are complete and duplicate-free per level, and may
+    only over-approximate (per-position consistency, like the binary
+    path's candidate selection), so each full assignment is checked
+    exactly once against every atom with {!Database.exists_under}
+    before the callback fires: the enumeration is exactly the set of
+    homomorphisms of the body, each visited once. *)
+
+open Guarded_core
+
+(* Candidate seed count of atom [a] for the current bindings. *)
+let count db subst a = Database.candidate_count_under db subst a
+
+let iter_pos ?(init = Subst.empty) ~order atoms db k =
+  let atoms = Array.of_list atoms in
+  let n = Array.length atoms in
+  (* Holders of each order variable, precomputed once per call. *)
+  let levels =
+    List.map
+      (fun v ->
+        let hs = ref [] in
+        for i = n - 1 downto 0 do
+          if Names.Sset.mem v (Atom.var_set atoms.(i)) then hs := i :: !hs
+        done;
+        (v, !hs))
+      order
+  in
+  (* Per-atom count of distinct variables not yet bound, and whether the
+     atom has been verified against a stored fact. An atom is checked
+     exactly once — the moment its last variable gets bound — which both
+     prunes dead branches at the earliest exact point and leaves nothing
+     to re-verify per emitted homomorphism. Counters and flags are
+     mutated down a branch and restored on backtrack. *)
+  let unbound = Array.make n 0 in
+  let verified = Array.make n false in
+  let exception Dead in
+  match
+    for i = 0 to n - 1 do
+      unbound.(i) <-
+        Names.Sset.fold
+          (fun v c -> if Subst.mem v init then c else c + 1)
+          (Atom.var_set atoms.(i))
+          0;
+      if unbound.(i) = 0 then
+        if Database.exists_under db init atoms.(i) then verified.(i) <- true else raise Dead
+    done
+  with
+  | exception Dead -> ()
+  | () ->
+    let rec go subst = function
+      | [] ->
+        (* Leaf: only atoms with variables outside [order] remain. *)
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if (not verified.(i)) && !ok && not (Database.exists_under db subst atoms.(i)) then
+            ok := false
+        done;
+        if !ok then k subst
+      | (var, holders) :: rest ->
+        if Subst.mem var subst || holders = [] then go subst rest
+        else begin
+          (* Extend by [var := t]; returns with counters/flags intact. *)
+          let enter t ~prune =
+            let subst' = Subst.add var t subst in
+            List.iter (fun i -> unbound.(i) <- unbound.(i) - 1) holders;
+            let fresh = ref [] in
+            let ok = ref true in
+            List.iter
+              (fun i ->
+                if !ok && unbound.(i) = 0 then
+                  if Database.exists_under db subst' atoms.(i) then begin
+                    verified.(i) <- true;
+                    fresh := i :: !fresh
+                  end
+                  else ok := false)
+              holders;
+            (* Holders with variables still open: per-position pruning
+               (the probe path only — the leapfrog intersection already
+               guarantees column membership for every holder). *)
+            if !ok && prune then
+              ok :=
+                List.for_all
+                  (fun i -> unbound.(i) = 0 || verified.(i) || count db subst' atoms.(i) > 0)
+                  holders;
+            if !ok then go subst' rest;
+            List.iter (fun i -> verified.(i) <- false) !fresh;
+            List.iter (fun i -> unbound.(i) <- unbound.(i) + 1) holders
+          in
+          if
+            List.for_all (fun i -> Database.fast_var_eligible db subst atoms.(i) ~var) holders
+          then begin
+            (* Leapfrog: gallop the sorted distinct-id sets together. *)
+            let ids =
+              match
+                List.map
+                  (fun i ->
+                    Option.value ~default:[||]
+                      (Database.distinct_ids_under db subst atoms.(i) ~var))
+                  holders
+              with
+              | [] -> [||]
+              | x :: tl -> List.fold_left Intrun.inter x tl
+            in
+            if Array.length ids > 0 then
+              Database.iter_values_of_ids db atoms.(List.hd holders) ~var ids (fun t ->
+                  enter t ~prune:false)
+          end
+          else begin
+            (* Probe-and-prune from the most selective holder. *)
+            let seed = ref (List.hd holders) and seed_n = ref max_int in
+            List.iter
+              (fun i ->
+                let c = count db subst atoms.(i) in
+                if c < !seed_n then begin
+                  seed := i;
+                  seed_n := c
+                end)
+              holders;
+            if !seed_n > 0 then
+              Database.iter_var_values_under db subst atoms.(!seed) ~var (fun t ->
+                  enter t ~prune:true)
+          end
+        end
+    in
+    go init levels
+
+let all ?init ~order atoms db =
+  let acc = ref [] in
+  iter_pos ?init ~order atoms db (fun s -> acc := s :: !acc);
+  !acc

@@ -1,0 +1,19 @@
+(** Generic worst-case-optimal join: variable-at-a-time enumeration
+    with leapfrog intersection over the columnar store's sorted runs.
+    See the implementation header for the probe strategies; the
+    enumeration visits exactly the homomorphisms of the body, each
+    once, like {!Guarded_core.Homomorphism.iter_pos}. *)
+
+open Guarded_core
+
+val iter_pos : ?init:Subst.t -> order:string list -> Atom.t list -> Database.t -> (Subst.t -> unit) -> unit
+(** [iter_pos ~order atoms db k] calls [k] once per homomorphism of the
+    positive body [atoms] into [db] extending [init], binding the
+    body's variables in elimination order [order] (normally
+    {!Planner.var_order}; variables already bound by [init] are
+    skipped, variables outside [order] stay unbound as in the binary
+    path). Read-only on [db]; safe under the parallel rounds'
+    shared-snapshot contract. *)
+
+val all : ?init:Subst.t -> order:string list -> Atom.t list -> Database.t -> Subst.t list
+(** {!iter_pos} materialized, newest first. *)

@@ -57,6 +57,7 @@ open Guarded_datalog
 type stratum = {
   st_theory : Theory.t;
   st_engine : Seminaive.engine;
+  st_join : Planner.join_mode;  (** executor choice, for recomputation *)
   st_recursive : bool;  (** DRed when true, counting when false *)
   st_negated : Theory.Rel_set.t;  (** relations negated in this stratum *)
   st_counts : int Atom.Tbl.t;  (** derivation counts (counting strata) *)
@@ -258,7 +259,7 @@ let dred_insert ?pool st acc added_inputs =
    diff. *)
 
 let fallback_recompute ?pool st acc =
-  let fresh = Seminaive.eval ~acdom:false ?pool st.st_theory st.st_in in
+  let fresh = Seminaive.eval ~acdom:false ?pool ~join:st.st_join st.st_theory st.st_in in
   let stale =
     Database.fold (fun f l -> if Database.mem fresh f then l else f :: l) st.st_out []
   in
@@ -363,7 +364,7 @@ let negated_relations (sigma : Theory.t) =
         acc (Rule.neg_body_atoms r))
     Theory.Rel_set.empty (Theory.rules sigma)
 
-let build_strata ?pool (sigma : Theory.t) (base : Database.t) =
+let build_strata ?pool ?(join = `Auto) (sigma : Theory.t) (base : Database.t) =
   let prev = ref base in
   (* Refine each negation stratum into dependency components so the
      delete/rederive strategy (and the negation fallback) pays only for
@@ -375,11 +376,12 @@ let build_strata ?pool (sigma : Theory.t) (base : Database.t) =
   |> List.concat_map Depgraph.rule_components
   |> List.map (fun th ->
          let st_in = !prev in
-         let st_out = Seminaive.eval ~acdom:false ?pool th st_in in
+         let st_out = Seminaive.eval ~acdom:false ?pool ~join th st_in in
          let st =
            {
              st_theory = th;
-             st_engine = Seminaive.engine th;
+             st_engine = Seminaive.engine ~join th;
+             st_join = join;
              st_recursive = Depgraph.is_recursive th;
              st_negated = negated_relations th;
              st_counts = Atom.Tbl.create 256;
@@ -427,9 +429,9 @@ let make_shell ?pool (sigma : Theory.t) (db0 : Database.t) =
     pool;
   }
 
-let materialize ?pool (sigma : Theory.t) (db0 : Database.t) =
+let materialize ?pool ?join (sigma : Theory.t) (db0 : Database.t) =
   let t = make_shell ?pool sigma db0 in
-  { t with strata = build_strata ?pool sigma t.base }
+  { t with strata = build_strata ?pool ?join sigma t.base }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot support: the cached state as plain data                    *)
@@ -468,7 +470,7 @@ let dump t =
    ACDom/base bookkeeping recomputed from the EDB exactly as
    [materialize] does. Trusts the dump to be the program's fixpoint —
    integrity is the snapshot layer's checksum's job. *)
-let restore ?pool (sigma : Theory.t) (d : dump) =
+let restore ?pool ?(join = `Auto) (sigma : Theory.t) (d : dump) =
   let t = make_shell ?pool sigma d.d_edb in
   let theories = Stratify.strata sigma |> List.concat_map Depgraph.rule_components in
   if List.length theories <> List.length d.d_strata then
@@ -485,7 +487,8 @@ let restore ?pool (sigma : Theory.t) (d : dump) =
         let st =
           {
             st_theory = th;
-            st_engine = Seminaive.engine th;
+            st_engine = Seminaive.engine ~join th;
+            st_join = join;
             st_recursive = Depgraph.is_recursive th;
             st_negated = negated_relations th;
             st_counts = Atom.Tbl.create 256;
@@ -592,7 +595,12 @@ end)
 let cq_answers t ~body ~answer_vars =
   let database = db t in
   let acc = ref Tuple_set.empty in
-  Homomorphism.iter_pos body database (fun subst ->
+  let iter_body k =
+    match Planner.plan body with
+    | Planner.Binary -> Homomorphism.iter_pos body database k
+    | Planner.Wcoj order -> Wcoj.iter_pos ~order body database k
+  in
+  iter_body (fun subst ->
       let tuple =
         List.map
           (fun v -> match Subst.find_opt v subst with Some tm -> tm | None -> Term.Var v)

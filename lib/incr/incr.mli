@@ -16,13 +16,19 @@ open Guarded_core
 type t
 
 val materialize :
-  ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> t
+  ?pool:Guarded_par.Pool.t ->
+  ?join:Guarded_datalog.Planner.join_mode ->
+  Theory.t ->
+  Database.t ->
+  t
 (** [materialize sigma edb] evaluates the stratified Datalog program
     [sigma] over [edb] (materializing ACDom from the EDB's active
     domain when the program mentions it) and caches the per-stratum
     state needed to maintain the result under updates. The EDB is
     copied; the caller's database is not retained. [?pool] is stored
-    and used for the parallel rounds of every later {!apply}.
+    and used for the parallel rounds of every later {!apply}; [?join]
+    (default [`Auto]) selects the join executor for every stratum's
+    evaluation and maintenance, as in {!Guarded_datalog.Seminaive.eval}.
     @raise Invalid_argument on existential rules or unstratified
     negation. *)
 
@@ -74,7 +80,12 @@ val dump : t -> dump
 (** The current cached state as data. The databases are copied; the
     dump does not alias the live materialization. *)
 
-val restore : ?pool:Guarded_par.Pool.t -> Theory.t -> dump -> t
+val restore :
+  ?pool:Guarded_par.Pool.t ->
+  ?join:Guarded_datalog.Planner.join_mode ->
+  Theory.t ->
+  dump ->
+  t
 (** Rebuild a materialization from a dump of the same program,
     recomputing only the EDB-derived bookkeeping (ACDom counts, rule
     engines) — no fixpoint runs. The dumped facts are trusted to be the

@@ -224,8 +224,19 @@ let note_query t dt =
 let stats t ~connections ~total_connections =
   (* Cardinalities are read under the shared lock (the writer may be
      mid-batch), counters under the mutex. *)
-  let facts, edb_facts =
-    with_read t (fun incr -> (Database.cardinal (Incr.db incr), Database.cardinal (Incr.edb incr)))
+  let facts, edb_facts, relations, index_runs, storage_bytes =
+    with_read t (fun incr ->
+        let storage = Database.storage_stats (Incr.db incr) in
+        let runs, bytes =
+          List.fold_left
+            (fun (r, b) (st : Database.rel_stats) -> (r + st.rs_runs, b + st.rs_bytes))
+            (0, 0) storage
+        in
+        ( Database.cardinal (Incr.db incr),
+          Database.cardinal (Incr.edb incr),
+          List.length storage,
+          runs,
+          bytes ))
   in
   Mutex.lock t.mutex;
   let s =
@@ -242,6 +253,9 @@ let stats t ~connections ~total_connections =
       s_query_p95_us = reservoir_percentile t.query_lat 0.95;
       s_commit_p50_us = reservoir_percentile t.commit_lat 0.50;
       s_commit_p95_us = reservoir_percentile t.commit_lat 0.95;
+      s_relations = relations;
+      s_index_runs = index_runs;
+      s_storage_bytes = storage_bytes;
     }
   in
   Mutex.unlock t.mutex;

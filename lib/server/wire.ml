@@ -26,6 +26,9 @@ type stats = {
   s_query_p95_us : int;
   s_commit_p50_us : int;
   s_commit_p95_us : int;
+  s_relations : int;
+  s_index_runs : int;
+  s_storage_bytes : int;
 }
 
 type response =
@@ -83,6 +86,9 @@ let stats_fields =
     ("query_p95_us", (fun s -> s.s_query_p95_us), fun s v -> { s with s_query_p95_us = v });
     ("commit_p50_us", (fun s -> s.s_commit_p50_us), fun s v -> { s with s_commit_p50_us = v });
     ("commit_p95_us", (fun s -> s.s_commit_p95_us), fun s v -> { s with s_commit_p95_us = v });
+    ("relations", (fun s -> s.s_relations), fun s v -> { s with s_relations = v });
+    ("index_runs", (fun s -> s.s_index_runs), fun s v -> { s with s_index_runs = v });
+    ("storage_bytes", (fun s -> s.s_storage_bytes), fun s v -> { s with s_storage_bytes = v });
   ]
 
 let zero_stats =
@@ -99,6 +105,9 @@ let zero_stats =
     s_query_p95_us = 0;
     s_commit_p50_us = 0;
     s_commit_p95_us = 0;
+    s_relations = 0;
+    s_index_runs = 0;
+    s_storage_bytes = 0;
   }
 
 let sanitize_line msg =

@@ -58,6 +58,9 @@ type stats = {
   s_query_p95_us : int;
   s_commit_p50_us : int;  (** commit latency percentiles, microseconds *)
   s_commit_p95_us : int;
+  s_relations : int;  (** relations in the materialization's store *)
+  s_index_runs : int;  (** sorted index runs currently materialized *)
+  s_storage_bytes : int;  (** resident bytes of columns + indexes *)
 }
 
 type response =

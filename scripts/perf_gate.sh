@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Performance gate (ISSUE 6, satellite 6): build, run the join-engine
+# and column-store property suites, re-record the tracked bench
+# sections and fail if any of them regressed past the wall-clock or
+# memory limits of the committed baseline.
+#
+# Usage: scripts/perf_gate.sh [BASELINE.json]
+#
+# The baseline defaults to BENCH_6.json (the first recording that
+# carries the alloc_mb/heap_mb memory metrics; against older baselines
+# the memory gate skips per section). The recording is left in
+# current.json for inspection.
+set -euo pipefail
+
+BASELINE="${1:-BENCH_6.json}"
+[ -f "$BASELINE" ] || { echo "perf_gate: baseline $BASELINE not found"; exit 2; }
+
+dune build
+
+# The join engine's equivalence suites: WCOJ and binary executors vs
+# scan references, planner-choice invariance, sorted-run primitives vs
+# list references.
+dune exec test/test_main.exe -- test join-engine
+dune exec test/test_main.exe -- test colstore
+
+# Re-record the tracked sections (sequential and 2-domain legs, like
+# the committed baseline) and gate: >2x wall-clock plus 0.25s slack, or
+# >2x allocation/heap plus 64MB slack, on any section fails the build.
+dune exec bench/main.exe -- \
+  --json current.json --domains 1,2 fig2 thm1 thm2 thm5 sat incr serve joins micro
+dune exec bench/regress.exe -- "$BASELINE" current.json
+
+echo "perf gate: OK (baseline $BASELINE)"

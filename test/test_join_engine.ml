@@ -98,6 +98,53 @@ let prop_iter_pos_respects_init =
           let filtered = List.filter (fun s -> Subst.find_opt v s = Some t) all in
           canon_substs body bound = canon_substs body filtered))
 
+(* The worst-case-optimal executor enumerates exactly the same
+   homomorphisms as the scan reference, whatever elimination order the
+   planner picks. *)
+let prop_wcoj_matches_scan =
+  QCheck.Test.make ~count:300 ~name:"worst-case-optimal join = naive scan join"
+    arbitrary_body_db (fun (body, db) ->
+      let order = Guarded_datalog.Planner.var_order body in
+      canon_substs body (Guarded_datalog.Wcoj.all ~order body db)
+      = canon_substs body (reference_all body db))
+
+let prop_wcoj_respects_init =
+  QCheck.Test.make ~count:200 ~name:"wcoj under initial bindings = filtered join"
+    arbitrary_body_db (fun (body, db) ->
+      let order = Guarded_datalog.Planner.var_order body in
+      let all = Guarded_datalog.Wcoj.all ~order body db in
+      match all with
+      | [] -> true
+      | witness :: _ ->
+        (match Subst.bindings witness with
+        | [] -> true
+        | (v, t) :: _ ->
+          let init = Subst.add v t Subst.empty in
+          let bound = Guarded_datalog.Wcoj.all ~init ~order body db in
+          let filtered = List.filter (fun s -> Subst.find_opt v s = Some t) all in
+          canon_substs body bound = canon_substs body filtered))
+
+(* The planner's elimination order is a permutation of the body's
+   variables — nothing dropped, nothing invented. *)
+let prop_var_order_covers_vars =
+  QCheck.Test.make ~count:300 ~name:"planner variable order covers exactly the body variables"
+    arbitrary_body_db (fun (body, _) ->
+      let vars =
+        List.fold_left (fun acc a -> Names.Sset.union acc (Atom.var_set a)) Names.Sset.empty body
+      in
+      List.sort Stdlib.compare (Guarded_datalog.Planner.var_order body)
+      = Names.Sset.elements vars)
+
+(* The planner's executor choice never changes the fixpoint: forced
+   WCOJ, forced binary and the free [`Auto] decision all compute the
+   same database (ISSUE 6, satellite 4). *)
+let prop_join_mode_invariant =
+  QCheck.Test.make ~count:100 ~name:"fixpoint invariant under join executor choice"
+    (arbitrary_pair arbitrary_semipositive) (fun (sigma, d) ->
+      let binary = Guarded_datalog.Seminaive.eval ~join:`Binary sigma d in
+      Database.equal binary (Guarded_datalog.Seminaive.eval ~join:`Wcoj sigma d)
+      && Database.equal binary (Guarded_datalog.Seminaive.eval ~join:`Auto sigma d))
+
 let prop_seminaive_matches_naive =
   QCheck.Test.make ~count:100 ~name:"delta-indexed semi-naive fixpoint = naive fixpoint"
     (arbitrary_pair arbitrary_semipositive) (fun (sigma, d) ->
@@ -124,6 +171,10 @@ let suite =
     [
       prop_iter_pos_matches_scan;
       prop_iter_pos_respects_init;
+      prop_wcoj_matches_scan;
+      prop_wcoj_respects_init;
+      prop_var_order_covers_vars;
+      prop_join_mode_invariant;
       prop_seminaive_matches_naive;
       prop_semipositive_generator_is_semipositive;
     ]

@@ -5,6 +5,7 @@ let () =
   Helpers.run_alcotest "guarded"
     [
       ("core", Test_core.suite);
+      ("colstore", Test_colstore.suite);
       ("classify", Test_classify.suite);
       ("normalize", Test_normalize.suite);
       ("chase", Test_chase.suite);

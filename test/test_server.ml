@@ -99,6 +99,9 @@ let test_wire_responses () =
           s_query_p95_us = 10;
           s_commit_p50_us = 11;
           s_commit_p95_us = 12;
+          s_relations = 13;
+          s_index_runs = 14;
+          s_storage_bytes = 15;
         };
     ]
   in
