@@ -226,18 +226,10 @@ let answer_cmd =
           if use_magic then begin
             let tr = Guarded_translate.Pipeline.to_datalog ~budget sigma in
             let program = tr.Guarded_translate.Pipeline.datalog in
-            let arity =
-              Theory.Rel_set.fold
-                (fun (n, _, a) acc -> if String.equal n query then a else acc)
-                (Theory.relations program) 0
-            in
-            let pattern = List.init arity (fun i -> Guarded_core.Term.Var (Fmt.str "X%d" i)) in
             let db = Database.copy db in
             if Guarded_datalog.Seminaive.mentions_acdom program then
               Database.materialize_acdom db;
-            Guarded_datalog.Magic.answers program
-              { Guarded_datalog.Magic.q_rel = query; q_pattern = pattern }
-              db
+            Guarded_datalog.Magic.relation_answers program db ~rel:query
           end
           else Guarded_translate.Pipeline.answer ~budget sigma db ~query
         in
@@ -523,13 +515,40 @@ let listen_cmd =
       & info [ "queue-capacity" ] ~docv:"N"
           ~doc:"Commit queue bound; full queues block submitters (backpressure).")
   in
-  let run theory_path db_path socket host port snapshot queue_capacity budget_n domains =
+  let demand_arg =
+    Arg.(
+      value & flag
+      & info [ "demand" ]
+          ~doc:
+            "Demand-driven serving: skip the up-front materialization and answer each query \
+             by magic-set evaluation over the raw EDB, memoized in a subgoal cache that \
+             commits invalidate per dependency component. Incompatible with --snapshot \
+             (nothing is materialized to persist).")
+  in
+  let run theory_path db_path socket host port snapshot queue_capacity budget_n domains demand
+      =
     handle_errors (fun () ->
         let sigma = load_theory theory_path in
         let addr = resolve_address socket host port in
         let program = serving_program budget_n sigma in
         let pool = make_pool domains in
+        if demand && snapshot <> None then begin
+          Fmt.epr "error: --demand and --snapshot are incompatible@.";
+          exit 2
+        end;
         let state =
+          if demand then begin
+            match db_path with
+            | None ->
+              Fmt.epr "error: --demand needs a DATABASE@.";
+              exit 2
+            | Some path ->
+              let db = load_db path in
+              Fmt.epr "demand-driven: serving %d EDB facts, nothing materialized@."
+                (Database.cardinal db);
+              Guarded_server.State.create_demand ?pool ~queue_capacity program db
+          end
+          else
           match snapshot with
           | Some path when Sys.file_exists path -> (
             match Guarded_server.Snapshot.load_for ?pool path program with
@@ -578,12 +597,13 @@ let listen_cmd =
               $(b,--snapshot) for a warm start without re-running any fixpoint) and serves \
               the wire protocol on a Unix socket or TCP port: one thread per connection, \
               concurrent readers over the last committed epoch, a single writer applying \
-              update batches incrementally. SIGINT/SIGTERM shut down gracefully, saving the \
-              snapshot when one is configured.";
+              update batches incrementally. With $(b,--demand), nothing is materialized: \
+              queries evaluate their own subgoals on demand and cache them. SIGINT/SIGTERM \
+              shut down gracefully, saving the snapshot when one is configured.";
          ])
     Term.(
       const run $ theory_arg $ db_opt_arg $ socket_arg $ host_arg $ port_arg $ snapshot_arg
-      $ queue_arg $ budget_arg $ domains_arg)
+      $ queue_arg $ budget_arg $ domains_arg $ demand_arg)
 
 let client_cmd =
   let exec_arg =

@@ -71,9 +71,17 @@ let transform (sigma : Theory.t) (query : query) : Theory.t * string =
   check_supported sigma;
   let idb = Theory.head_relations sigma in
   let is_idb atom = Theory.Rel_set.mem (Atom.rel_key atom) idb in
-  let rules_for rel =
+  (* Arity-aware: a rule only derives the (rel, arity) pair of the
+     adornment being processed. Name-only matching used to pair a
+     query of one arity with the rules of a same-named relation of
+     another, and the adornment indexing then walked off the shorter
+     argument list. *)
+  let rules_for rel arity =
     List.filter
-      (fun r -> match Rule.head r with [ h ] -> String.equal (Atom.rel h) rel | _ -> false)
+      (fun r ->
+        match Rule.head r with
+        | [ h ] -> String.equal (Atom.rel h) rel && Atom.arity h = arity
+        | _ -> false)
       (Theory.rules sigma)
   in
   let output = ref [] in
@@ -90,7 +98,7 @@ let transform (sigma : Theory.t) (query : query) : Theory.t * string =
         (Rule.make_pos
            [ Atom.make (magic_name rel a) (bound_args a xs); Atom.make rel xs ]
            [ Atom.make (adorn_name rel a) xs ]);
-      List.iter (adorn_rule rel a) (rules_for rel)
+      List.iter (adorn_rule rel a) (rules_for rel (String.length a))
     end
   and adorn_rule rel (a : adornment) r =
     let head = List.hd (Rule.head r) in
@@ -133,8 +141,11 @@ let transform (sigma : Theory.t) (query : query) : Theory.t * string =
          (function Term.Const _ | Term.Null _ -> "b" | Term.Var _ -> "f")
          query.q_pattern)
   in
-  if not (Theory.Rel_set.exists (fun (n, _, _) -> String.equal n query.q_rel) idb) then
-    (* purely extensional query: nothing to transform *)
+  if not (Theory.Rel_set.mem (query.q_rel, 0, List.length query.q_pattern) idb) then
+    (* Purely extensional query: nothing to transform. Membership is by
+       full key (name, annotation, arity) — a query over [p/2] is
+       extensional even when the program derives [p/3], exactly as the
+       serving path reads same-named EDB facts directly. *)
     (Theory.of_rules [], query.q_rel)
   else begin
     process query.q_rel q_adornment;
@@ -170,3 +181,36 @@ let answers ?pool (sigma : Theory.t) (query : query) (db : Database.t) : Term.t 
       | Some _ -> acc := Tuples.add (Atom.args fact) !acc
       | None -> ());
   Tuples.elements !acc
+
+(* [? REL] without a pattern, offline: one all-free subgoal per arity
+   under which [rel] appears in the program or the data, answers
+   unioned. Mirrors the serving path, which reads a relation's
+   constant tuples by name across arities. *)
+let relation_answers ?pool (sigma : Theory.t) (db : Database.t) ~rel : Term.t list list =
+  let arities =
+    Theory.Rel_set.fold
+      (fun (n, ann, a) acc -> if String.equal n rel && ann = 0 then a :: acc else acc)
+      (Theory.relations sigma) []
+  in
+  let arities =
+    List.fold_left
+      (fun acc (st : Database.rel_stats) ->
+        let n, ann, a = st.Database.rs_rel in
+        if String.equal n rel && ann = 0 && st.Database.rs_rows > 0 then a :: acc else acc)
+      arities (Database.storage_stats db)
+  in
+  let module Tuples = Set.Make (struct
+    type t = Term.t list
+
+    let compare = List.compare Term.compare
+  end) in
+  List.sort_uniq Int.compare arities
+  |> List.fold_left
+       (fun acc arity ->
+         let pattern = List.init arity (fun i -> Term.Var (Printf.sprintf "qx%d" i)) in
+         List.fold_left
+           (fun acc t -> Tuples.add t acc)
+           acc
+           (answers ?pool sigma { q_rel = rel; q_pattern = pattern } db))
+       Tuples.empty
+  |> Tuples.elements

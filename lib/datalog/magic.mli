@@ -31,3 +31,11 @@ val answers :
 (** Evaluate the magic program with {!Seminaive.eval} (forwarding
     [?pool]) and read the tuples matching the pattern. Agrees with
     plain evaluation restricted to the query. *)
+
+val relation_answers :
+  ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> rel:string -> Term.t list list
+(** All tuples of [rel] — every arity the program or the data mentions,
+    all arguments free — unioned across the per-arity magic subgoals.
+    The offline analogue of the serving path's [? REL] queries (which
+    read {!Database.constant_tuples} off the materialization by name):
+    arities the program never derives answer straight from the data. *)

@@ -1,0 +1,257 @@
+(** Demand-driven query answering: magic-set subgoals over the raw EDB,
+    memoized in a component-invalidated {!Subgoal_cache}. See the
+    interface for the contract and DESIGN.md, "Demand-driven serving",
+    for the discipline. *)
+
+open Guarded_core
+open Guarded_datalog
+
+module Tuple_set = Set.Make (struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end)
+
+type apply_result = {
+  res_added : int;
+  res_removed : int;
+}
+
+type t = {
+  d_program : Theory.t;
+  d_strata : Theory.t list;  (** for the full-fixpoint fallback *)
+  d_edb : Database.t;  (** owned copy; mutated only by [apply] *)
+  d_pool : Guarded_par.Pool.t option;
+  d_cache : Subgoal_cache.t;
+  d_magic_ok : bool;
+      (** positive, single-head, unannotated: the magic fragment *)
+  d_acdom : bool;
+  d_idb : Theory.Rel_set.t;
+  (* Epoch-stamped memos, both read-shared: racing readers may compute
+     twice and whoever publishes last wins — every value published for
+     an epoch is equivalent. [apply] runs under the server's exclusive
+     lock, so a stamp can never be published for an epoch that has
+     already passed. *)
+  mutable d_base : (int * Database.t) option;  (** EDB ∪ ACDom *)
+  mutable d_full : (int * Database.t) option;  (** whole fixpoint *)
+}
+
+let create ?pool (sigma : Theory.t) (db0 : Database.t) =
+  Seminaive.check_datalog sigma;
+  if not (Stratify.is_stratified sigma) then
+    invalid_arg "Demand.create: program is not stratified";
+  let magic_ok =
+    List.for_all
+      (fun r ->
+        Rule.is_datalog r && Rule.is_positive r && List.length (Rule.head r) = 1)
+      (Theory.rules sigma)
+    && Theory.Rel_set.for_all (fun (_, ann, _) -> ann = 0) (Theory.relations sigma)
+  in
+  {
+    d_program = sigma;
+    d_strata = Stratify.strata sigma;
+    d_edb = Database.copy db0;
+    d_pool = pool;
+    d_cache = Subgoal_cache.create sigma;
+    d_magic_ok = magic_ok;
+    d_acdom = Seminaive.mentions_acdom sigma;
+    d_idb = Theory.head_relations sigma;
+    d_base = None;
+    d_full = None;
+  }
+
+let program t = t.d_program
+let pool t = t.d_pool
+let edb t = t.d_edb
+let cache_stats t = Subgoal_cache.stats t.d_cache
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation inputs                                                   *)
+
+(* The first stratum's input: the EDB plus the materialized active
+   domain when the program mentions ACDom — exactly what [Incr] calls
+   the base database. Shared read-only by concurrent queries. *)
+let base t =
+  if not t.d_acdom then t.d_edb
+  else begin
+    let epoch = Subgoal_cache.epoch t.d_cache in
+    match t.d_base with
+    | Some (e, db) when e = epoch -> db
+    | _ ->
+      let db = Database.copy t.d_edb in
+      Database.materialize_acdom db;
+      t.d_base <- Some (epoch, db);
+      db
+  end
+
+(* Fallback for programs outside the magic fragment: the whole
+   stratified fixpoint, computed on first demand and memoized until the
+   next effective commit. *)
+let full t =
+  let epoch = Subgoal_cache.epoch t.d_cache in
+  match t.d_full with
+  | Some (e, db) when e = epoch -> db
+  | _ ->
+    let db =
+      List.fold_left
+        (fun acc s -> Seminaive.eval ~acdom:false ?pool:t.d_pool s acc)
+        (base t) t.d_strata
+    in
+    t.d_full <- Some (epoch, db);
+    db
+
+let match_tuples db rel pattern =
+  let q = Atom.make rel pattern in
+  let acc = ref Tuple_set.empty in
+  Database.iter_candidates db q (fun fact ->
+      if Atom.ann fact = [] then
+        match Subst.match_atom Subst.empty q fact with
+        | Some _ -> acc := Tuple_set.add (Atom.args fact) !acc
+        | None -> ());
+  Tuple_set.elements !acc
+
+(* ------------------------------------------------------------------ *)
+(* Subgoals                                                            *)
+
+(* One demanded subgoal: the tuples of [rel] matching [pattern]
+   (constants bound, repeated variables equated) in the program's
+   fixpoint over the current EDB. Intensional subgoals go through the
+   cache; purely extensional ones are direct index scans and are not
+   worth a table entry. *)
+let subgoal t ~rel ~pattern =
+  let arity = List.length pattern in
+  let intensional = Theory.Rel_set.mem (rel, 0, arity) t.d_idb in
+  let acdom =
+    t.d_acdom && String.equal rel Database.acdom_rel && arity = 1
+  in
+  if not (intensional || acdom) then match_tuples t.d_edb rel pattern
+  else begin
+    let key = Subgoal_cache.key ~rel ~pattern in
+    match Subgoal_cache.find t.d_cache key with
+    | Some tuples -> tuples
+    | None ->
+      (* the epoch is read before evaluating: if a commit lands during
+         the evaluation, the store below is dropped as stale. *)
+      let epoch = Subgoal_cache.epoch t.d_cache in
+      let tuples =
+        if intensional && t.d_magic_ok then
+          Magic.answers ?pool:t.d_pool t.d_program
+            { Magic.q_rel = rel; q_pattern = pattern }
+            (base t)
+        else if intensional then match_tuples (full t) rel pattern
+        else match_tuples (base t) rel pattern
+      in
+      Subgoal_cache.store t.d_cache key ~epoch tuples;
+      tuples
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let pattern_answers t ~rel ~pattern =
+  subgoal t ~rel ~pattern |> List.filter (List.for_all Term.is_const)
+
+let answers t ~query =
+  if not t.d_magic_ok then Database.constant_tuples (full t) query
+  else begin
+    (* [Incr.answers] reads constant tuples by name across arities and
+       annotations; mirror that as EDB facts of the name plus one
+       all-free subgoal per arity the program derives. (Annotated
+       relations cannot be intensional here — the magic fragment
+       excludes them — so the EDB scan covers them.) *)
+    let acc =
+      List.fold_left
+        (fun acc tuple -> Tuple_set.add tuple acc)
+        Tuple_set.empty
+        (Database.constant_tuples t.d_edb query)
+    in
+    let acc =
+      if t.d_acdom && String.equal query Database.acdom_rel then
+        List.fold_left
+          (fun acc tuple -> Tuple_set.add tuple acc)
+          acc
+          (Database.constant_tuples (base t) query)
+      else acc
+    in
+    let arities =
+      Theory.Rel_set.fold
+        (fun (n, ann, a) acc -> if String.equal n query && ann = 0 then a :: acc else acc)
+        t.d_idb []
+      |> List.sort_uniq Int.compare
+    in
+    List.fold_left
+      (fun acc arity ->
+        let pattern = List.init arity (fun i -> Term.Var (Printf.sprintf "qx%d" i)) in
+        List.fold_left
+          (fun acc tuple ->
+            if List.for_all Term.is_const tuple then Tuple_set.add tuple acc else acc)
+          acc
+          (subgoal t ~rel:query ~pattern))
+      acc arities
+    |> Tuple_set.elements
+  end
+
+let cq_answers t ~body ~answer_vars =
+  (* Build a scratch database holding, per body atom, a superset of the
+     facts that atom can match — the demanded subgoal for intensional
+     atoms, the exact EDB relation otherwise — and run the same join
+     dispatch as the materialized path over it. Restricting each
+     relation to the union of its atoms' subgoals is sound: a fact
+     outside every subgoal matches no body atom. *)
+  let scratch = Database.create () in
+  List.iter
+    (fun atom ->
+      if Atom.ann atom <> [] then
+        (* annotated atoms are outside the magic fragment: their facts
+           come from the EDB (magic programs) or the full fixpoint. *)
+        List.iter
+          (fun f -> ignore (Database.add scratch f))
+          (Database.facts_of_rel
+             (if t.d_magic_ok then t.d_edb else full t)
+             (Atom.rel_key atom))
+      else
+        let rel = Atom.rel atom in
+        List.iter
+          (fun tuple -> ignore (Database.add scratch (Atom.make rel tuple)))
+          (subgoal t ~rel ~pattern:(Atom.args atom)))
+    body;
+  let acc = ref Tuple_set.empty in
+  let iter_body k =
+    match Planner.plan body with
+    | Planner.Binary -> Homomorphism.iter_pos body scratch k
+    | Planner.Wcoj order -> Wcoj.iter_pos ~order body scratch k
+  in
+  iter_body (fun subst ->
+      let tuple =
+        List.map
+          (fun v -> match Subst.find_opt v subst with Some tm -> tm | None -> Term.Var v)
+          answer_vars
+      in
+      if List.for_all Term.is_const tuple then acc := Tuple_set.add tuple !acc);
+  Tuple_set.elements !acc
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+let apply t (delta : Delta.t) =
+  let in_additions = Atom.Tbl.create 16 in
+  List.iter (fun f -> Atom.Tbl.replace in_additions f ()) delta.Delta.additions;
+  let added = ref 0 and removed = ref 0 in
+  let touched = ref [] in
+  List.iter
+    (fun f ->
+      if (not (Atom.Tbl.mem in_additions f)) && Database.remove t.d_edb f then begin
+        incr removed;
+        touched := Atom.rel_key f :: !touched
+      end)
+    delta.Delta.deletions;
+  List.iter
+    (fun f ->
+      if Database.add t.d_edb f then begin
+        incr added;
+        touched := Atom.rel_key f :: !touched
+      end)
+    delta.Delta.additions;
+  if !touched <> [] then
+    Subgoal_cache.invalidate t.d_cache (List.sort_uniq compare !touched);
+  { res_added = !added; res_removed = !removed }

@@ -1,0 +1,65 @@
+(** Demand-driven query answering over a stratified Datalog program.
+
+    The materialized serving mode ({!Incr}) computes the whole fixpoint
+    up front and maintains it under updates; a {!t} computes nothing up
+    front. Each query is rewritten with the generalized magic-set
+    transformation ({!Guarded_datalog.Magic}) and evaluated bottom-up
+    over the raw EDB, deriving only the facts the query demands; the
+    resulting answer sets are memoized in a {!Subgoal_cache} so hot
+    subgoals are table lookups and cold relations cost nothing.
+    {!apply} commits an update batch by mutating the EDB and evicting
+    exactly the cached subgoals whose dependency components the batch
+    touched.
+
+    Programs outside the magic fragment (negation, annotated relations)
+    fall back to evaluating the full stratified fixpoint on first
+    demand, memoized per epoch — correct, but with materialized-mode
+    costs. Queries agree with the materialized reference in either
+    case; the concurrency discipline is the server's: any number of
+    concurrent readers, {!apply} under exclusive access. *)
+
+open Guarded_core
+
+type t
+
+val create : ?pool:Guarded_par.Pool.t -> Theory.t -> Database.t -> t
+(** [create sigma edb] copies [edb] and prepares the cache and
+    dependency components; no evaluation happens. [?pool] is forwarded
+    to every demand evaluation.
+    @raise Invalid_argument on existential rules or unstratified
+    negation, as {!Incr.materialize}. *)
+
+val program : t -> Theory.t
+val pool : t -> Guarded_par.Pool.t option
+
+val edb : t -> Database.t
+(** The current raw EDB (updates applied). Read-only. *)
+
+type apply_result = {
+  res_added : int;  (** net facts that entered the EDB *)
+  res_removed : int;  (** net facts that left the EDB *)
+}
+
+val apply : t -> Delta.t -> apply_result
+(** Apply one batch: the EDB becomes [(EDB \ deletions) ∪ additions]
+    and the subgoal cache is invalidated for the components the
+    effective changes touch. No re-evaluation happens until the next
+    query demands it. *)
+
+val answers : t -> query:string -> Term.t list list
+(** Sorted constant tuples of the [query] relation, matching
+    {!Incr.answers} on the materialized reference: EDB facts of that
+    name (across arities and annotations) unioned with one all-free
+    demanded subgoal per arity the program derives. *)
+
+val pattern_answers : t -> rel:string -> pattern:Term.t list -> Term.t list list
+(** Sorted constant tuples of [rel] matching [pattern] (constants
+    bound, variables free, repeated variables equated) — one demanded
+    subgoal. *)
+
+val cq_answers : t -> body:Atom.t list -> answer_vars:string list -> Term.t list list
+(** Conjunctive-query answers as {!Incr.cq_answers}: each intensional
+    body atom becomes a demanded subgoal, the join runs over the union
+    of the subgoal answers and the relevant EDB relations. *)
+
+val cache_stats : t -> Subgoal_cache.stats

@@ -1,0 +1,181 @@
+(** Tabled subgoal answers with component-scoped invalidation: see the
+    interface for the discipline. *)
+
+open Guarded_core
+module Depgraph = Guarded_datalog.Depgraph
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+
+(* Variables canonicalized by first occurrence: the pattern's shape —
+   which positions are bound to which constants, which free positions
+   coincide — is the key, not the caller's variable names. *)
+let canonical_pattern pattern =
+  let seen : (string, Term.t) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun t ->
+      match t with
+      | Term.Const _ | Term.Null _ -> t
+      | Term.Var v -> (
+        match Hashtbl.find_opt seen v with
+        | Some c -> c
+        | None ->
+          let c = Term.Var (Printf.sprintf "_%d" (Hashtbl.length seen)) in
+          Hashtbl.add seen v c;
+          c))
+    pattern
+
+type key = string * int * Term.t list
+
+let key ~rel ~pattern = (rel, List.length pattern, canonical_pattern pattern)
+
+module Kmap = Map.Make (struct
+  type t = key
+
+  let compare (r1, a1, p1) (r2, a2, p2) =
+    match String.compare r1 r2 with
+    | 0 -> ( match Int.compare a1 a2 with 0 -> List.compare Term.compare p1 p2 | c -> c)
+    | c -> c
+end)
+
+(* ------------------------------------------------------------------ *)
+(* The cache                                                           *)
+
+type entry = {
+  e_tuples : Term.t list list;
+  e_deps : int list;  (** dependency component ids, sorted *)
+}
+
+type stats = {
+  sc_hits : int;
+  sc_misses : int;
+  sc_entries : int;
+  sc_evictions : int;
+}
+
+type t = {
+  graph : Depgraph.t;
+  mentions_acdom : bool;
+  (* Component ids: head relations are assigned at [create] from the
+     rule components; every other relation (extensional data, possibly
+     relations the program never mentions) gets a singleton component
+     allocated on first use. *)
+  comp_of_rel : (Atom.rel_key, int) Hashtbl.t;
+  mutable next_comp : int;
+  (* comp id -> epoch of its last invalidation (absent = never). *)
+  inval : (int, int) Hashtbl.t;
+  deps_memo : (Atom.rel_key, int list) Hashtbl.t;
+  mutable entries : entry Kmap.t;
+  mutable epoch : int;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let acdom_key : Atom.rel_key = (Database.acdom_rel, 0, 1)
+
+let create (program : Theory.t) =
+  let comp_of_rel = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun component ->
+      let id = !next in
+      incr next;
+      Theory.Rel_set.iter
+        (fun rk -> Hashtbl.replace comp_of_rel rk id)
+        (Theory.head_relations component))
+    (Depgraph.rule_components program);
+  {
+    graph = Depgraph.of_theory program;
+    mentions_acdom = Theory.Rel_set.mem acdom_key (Theory.relations program);
+    comp_of_rel;
+    next_comp = !next;
+    inval = Hashtbl.create 16;
+    deps_memo = Hashtbl.create 64;
+    entries = Kmap.empty;
+    epoch = 0;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Called with the mutex held. *)
+let comp_id t rk =
+  match Hashtbl.find_opt t.comp_of_rel rk with
+  | Some id -> id
+  | None ->
+    let id = t.next_comp in
+    t.next_comp <- id + 1;
+    Hashtbl.replace t.comp_of_rel rk id;
+    id
+
+(* The components a subgoal over [rk] transitively depends on
+   (inclusive). Fixed for the life of the cache: the program does not
+   change, only the data does. Called with the mutex held. *)
+let deps_of t rk =
+  match Hashtbl.find_opt t.deps_memo rk with
+  | Some deps -> deps
+  | None ->
+    let reachable = Depgraph.reachable_from t.graph (Theory.Rel_set.singleton rk) in
+    let deps =
+      Theory.Rel_set.fold (fun r acc -> comp_id t r :: acc) reachable []
+      |> List.sort_uniq Int.compare
+    in
+    Hashtbl.replace t.deps_memo rk deps;
+    deps
+
+let epoch t = locked t (fun () -> t.epoch)
+
+let find t key =
+  locked t (fun () ->
+      match Kmap.find_opt key t.entries with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        Some e.e_tuples
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let store t ((rel, arity, _) as key) ~epoch tuples =
+  locked t (fun () ->
+      let deps = deps_of t (rel, 0, arity) in
+      let stale =
+        List.exists
+          (fun c ->
+            match Hashtbl.find_opt t.inval c with Some e -> e > epoch | None -> false)
+          deps
+      in
+      if not stale then t.entries <- Kmap.add key { e_tuples = tuples; e_deps = deps } t.entries)
+
+let invalidate t touched =
+  locked t (fun () ->
+      t.epoch <- t.epoch + 1;
+      let comps = List.map (comp_id t) touched in
+      let comps =
+        if t.mentions_acdom && touched <> [] then comp_id t acdom_key :: comps else comps
+      in
+      let comps = List.sort_uniq Int.compare comps in
+      if comps <> [] then begin
+        List.iter (fun c -> Hashtbl.replace t.inval c t.epoch) comps;
+        let before = Kmap.cardinal t.entries in
+        t.entries <-
+          Kmap.filter
+            (fun _ e -> not (List.exists (fun c -> List.mem c comps) e.e_deps))
+            t.entries;
+        t.evictions <- t.evictions + (before - Kmap.cardinal t.entries)
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        sc_hits = t.hits;
+        sc_misses = t.misses;
+        sc_entries = Kmap.cardinal t.entries;
+        sc_evictions = t.evictions;
+      })

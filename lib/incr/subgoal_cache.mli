@@ -1,0 +1,71 @@
+(** Tabled subgoal answers for demand-driven serving, invalidated per
+    dependency component.
+
+    A cache entry memoizes the answers of one adorned subgoal — a
+    relation queried under a pattern whose constants are the bound
+    arguments — as computed by the magic-set rewriting over the current
+    EDB. Entries are keyed by relation, arity and the canonicalized
+    pattern (variables renamed by first occurrence, so [p(X, a, X)] and
+    [p(Y, a, Y)] share an entry while [p(X, a, Y)] does not).
+
+    {b Invalidation} is scoped by the program's evaluation components
+    ({!Guarded_datalog.Depgraph.rule_components}): at {!create} every
+    head relation is assigned its component, every other (extensional)
+    relation a singleton component of its own, and each entry records
+    the components its subgoal transitively depends on
+    ({!Guarded_datalog.Depgraph.reachable_from}). A committed batch
+    touching component [C] evicts exactly the entries that reach [C];
+    subgoals over untouched components survive the commit. A program
+    that mentions [ACDom] adds the active-domain component to every
+    commit's touched set, since any EDB change can move the active
+    domain.
+
+    {b Epoch discipline}: {!invalidate} advances the cache epoch and
+    stamps the touched components with it; {!store} records the epoch
+    the computation read and is dropped (not stored) when any of its
+    dependency components was invalidated after that epoch. A reader
+    that raced a commit can therefore never publish a stale answer set,
+    and {!find} only ever sees entries whose components are untouched
+    since they were computed. All operations take an internal mutex, so
+    concurrent readers may share one cache under the server's shared
+    lock. *)
+
+open Guarded_core
+
+type t
+
+type key
+(** Relation, arity and canonicalized pattern. *)
+
+val key : rel:string -> pattern:Term.t list -> key
+
+val create : Theory.t -> t
+(** Builds the component assignment and dependency graph of the
+    program; starts empty, at epoch 0. *)
+
+val epoch : t -> int
+(** Commits observed so far; the stamp a computation should pass to
+    {!store} is the value read {e before} evaluating. *)
+
+val find : t -> key -> Term.t list list option
+(** The memoized answers, or [None]. Counts a hit or a miss. *)
+
+val store : t -> key -> epoch:int -> Term.t list list -> unit
+(** Publish the answers computed at [epoch]. Silently dropped when a
+    dependency component of the subgoal was invalidated after [epoch] —
+    the computation raced a commit and may be stale. *)
+
+val invalidate : t -> Atom.rel_key list -> unit
+(** One committed batch touched the given relations: advance the
+    epoch and evict every entry whose dependency components intersect
+    the touched components (plus the [ACDom] component when the
+    program mentions it and the batch is non-empty). *)
+
+type stats = {
+  sc_hits : int;
+  sc_misses : int;
+  sc_entries : int;  (** currently resident *)
+  sc_evictions : int;  (** lifetime *)
+}
+
+val stats : t -> stats

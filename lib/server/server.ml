@@ -2,6 +2,7 @@
 
 open Guarded_core
 module Incr = Guarded_incr.Incr
+module Demand = Guarded_incr.Demand
 module Delta = Guarded_incr.Delta
 
 type address = Unix_socket of string | Tcp of string * int
@@ -50,17 +51,24 @@ let pattern_answers incr rel pattern =
 let eval_query state (req : Wire.request) : Wire.response =
   let t0 = Unix.gettimeofday () in
   let resp =
-    State.with_read state (fun incr ->
-        match req with
-        | Wire.Query { rel; pattern = None } -> Wire.Answers (Incr.answers incr ~query:rel)
-        | Wire.Query { rel; pattern = Some pat } -> Wire.Answers (pattern_answers incr rel pat)
-        | Wire.Cq (ucq, _) ->
-          let tuples =
-            List.concat_map
-              (fun (cq : Guarded_cq.Cq.t) ->
-                Incr.cq_answers incr ~body:cq.body ~answer_vars:cq.answer_vars)
-              ucq.Guarded_cq.Ucq.disjuncts
+    State.with_backend state (fun backend ->
+        match (req, backend) with
+        | Wire.Query { rel; pattern = None }, State.Materialized incr ->
+          Wire.Answers (Incr.answers incr ~query:rel)
+        | Wire.Query { rel; pattern = None }, State.Demand d ->
+          Wire.Answers (Demand.answers d ~query:rel)
+        | Wire.Query { rel; pattern = Some pat }, State.Materialized incr ->
+          Wire.Answers (pattern_answers incr rel pat)
+        | Wire.Query { rel; pattern = Some pat }, State.Demand d ->
+          Wire.Answers (Demand.pattern_answers d ~rel ~pattern:pat)
+        | Wire.Cq (ucq, _), _ ->
+          let cq_answers (cq : Guarded_cq.Cq.t) =
+            match backend with
+            | State.Materialized incr ->
+              Incr.cq_answers incr ~body:cq.body ~answer_vars:cq.answer_vars
+            | State.Demand d -> Demand.cq_answers d ~body:cq.body ~answer_vars:cq.answer_vars
           in
+          let tuples = List.concat_map cq_answers ucq.Guarded_cq.Ucq.disjuncts in
           Wire.Answers (List.sort_uniq (List.compare Term.compare) tuples)
         | _ -> assert false)
   in
@@ -102,12 +110,17 @@ let handle_request t session (req : Wire.request) : Wire.response * bool =
     Mutex.unlock t.mutex;
     (Wire.Stats_reply (State.stats t.state ~connections:conns ~total_connections:total), true)
   | Wire.Snapshot path -> (
-    match (path, t.snapshot_path) with
-    | None, None -> (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
-    | Some p, _ | None, Some p -> (
-      match save_snapshot t p with
-      | () -> (Wire.Ok, true)
-      | exception Sys_error m -> (Wire.Failed m, true)))
+    if State.demand_mode t.state then
+      (* Nothing is materialized, so there is no per-stratum dump to
+         persist; the EDB is the client's data, not ours to snapshot. *)
+      (Wire.Failed "snapshots are not available in demand mode", true)
+    else
+      match (path, t.snapshot_path) with
+      | None, None -> (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
+      | Some p, _ | None, Some p -> (
+        match save_snapshot t p with
+        | () -> (Wire.Ok, true)
+        | exception Sys_error m -> (Wire.Failed m, true)))
   | Wire.Quit -> (Wire.Bye, false)
 
 let connection_loop t fd =
@@ -235,10 +248,10 @@ let stop t =
       conns;
     List.iter (fun (_, th) -> Thread.join th) conns;
     (match t.snapshot_path with
-    | Some path -> (
+    | Some path when not (State.demand_mode t.state) -> (
       try save_snapshot t path
       with Sys_error m -> t.log (Fmt.str "snapshot at shutdown failed: %s" m))
-    | None -> ());
+    | Some _ | None -> ());
     State.shutdown t.state;
     (match t.bound with
     | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

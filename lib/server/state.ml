@@ -2,7 +2,12 @@
 
 open Guarded_core
 module Incr = Guarded_incr.Incr
+module Demand = Guarded_incr.Demand
 module Delta = Guarded_incr.Delta
+
+(* What answers queries: a maintained materialization, or the
+   demand-driven evaluator over the raw EDB. *)
+type backend = Materialized of Incr.t | Demand of Demand.t
 
 type commit_result = {
   cr_added : int;
@@ -45,7 +50,7 @@ let reservoir_percentile r p =
   end
 
 type t = {
-  incr : Incr.t;
+  backend : backend;
   mutex : Mutex.t;
   cond : Condition.t;
   (* Readers-writer lock state: connection threads read, the writer
@@ -66,7 +71,12 @@ type t = {
   commit_lat : reservoir;
 }
 
-let program t = Incr.program t.incr
+let program t =
+  match t.backend with
+  | Materialized incr -> Incr.program incr
+  | Demand d -> Demand.program d
+
+let demand_mode t = match t.backend with Materialized _ -> false | Demand _ -> true
 let epoch t = t.epoch
 
 let queue_depth t =
@@ -94,9 +104,14 @@ let read_unlock t =
   if t.readers = 0 then Condition.broadcast t.cond;
   Mutex.unlock t.mutex
 
-let with_read t f =
+let with_backend t f =
   read_lock t;
-  Fun.protect ~finally:(fun () -> read_unlock t) (fun () -> f t.incr)
+  Fun.protect ~finally:(fun () -> read_unlock t) (fun () -> f t.backend)
+
+let with_read t f =
+  with_backend t (function
+    | Materialized incr -> f incr
+    | Demand _ -> invalid_arg "State.with_read: server is in demand mode")
 
 (* Both called with [t.mutex] held. *)
 let write_lock_locked t =
@@ -126,14 +141,26 @@ let apply_one t (p : pending) =
   Mutex.unlock t.mutex;
   let t0 = Unix.gettimeofday () in
   let result =
-    match Incr.apply t.incr p.p_delta with
-    | res -> Stdlib.Ok { cr_added = res.Incr.res_added; cr_removed = res.Incr.res_removed; cr_epoch = 0 }
-    | exception e -> (
-      let msg = Printexc.to_string e in
-      match Incr.refresh t.incr with
-      | () -> Error (Fmt.str "batch applied by fallback recompute after: %s" msg)
-      | exception e2 ->
-        Error (Fmt.str "batch failed: %s (recovery also failed: %s)" msg (Printexc.to_string e2)))
+    match t.backend with
+    | Materialized incr -> (
+      match Incr.apply incr p.p_delta with
+      | res ->
+        Stdlib.Ok { cr_added = res.Incr.res_added; cr_removed = res.Incr.res_removed; cr_epoch = 0 }
+      | exception e -> (
+        let msg = Printexc.to_string e in
+        match Incr.refresh incr with
+        | () -> Error (Fmt.str "batch applied by fallback recompute after: %s" msg)
+        | exception e2 ->
+          Error
+            (Fmt.str "batch failed: %s (recovery also failed: %s)" msg (Printexc.to_string e2))))
+    | Demand d -> (
+      (* No derived state to corrupt: [Demand.apply] only mutates the
+         EDB and evicts cache entries, so there is no recovery path. *)
+      match Demand.apply d p.p_delta with
+      | res ->
+        Stdlib.Ok
+          { cr_added = res.Demand.res_added; cr_removed = res.Demand.res_removed; cr_epoch = 0 }
+      | exception e -> Error (Fmt.str "batch failed: %s" (Printexc.to_string e)))
   in
   let dt = Unix.gettimeofday () -. t0 in
   Mutex.lock t.mutex;
@@ -189,10 +216,10 @@ let commit t delta =
 (* ------------------------------------------------------------------ *)
 (* Construction, metrics, shutdown                                     *)
 
-let make ?(queue_capacity = 64) incr =
+let make ?(queue_capacity = 64) backend =
   let t =
     {
-      incr;
+      backend;
       mutex = Mutex.create ();
       cond = Condition.create ();
       readers = 0;
@@ -211,9 +238,13 @@ let make ?(queue_capacity = 64) incr =
   t.writer <- Some (Thread.create writer_loop t);
   t
 
-let of_materialization ?queue_capacity incr = make ?queue_capacity incr
+let of_materialization ?queue_capacity incr = make ?queue_capacity (Materialized incr)
 
-let create ?pool ?queue_capacity sigma db = make ?queue_capacity (Incr.materialize ?pool sigma db)
+let create ?pool ?queue_capacity sigma db =
+  make ?queue_capacity (Materialized (Incr.materialize ?pool sigma db))
+
+let create_demand ?pool ?queue_capacity sigma db =
+  make ?queue_capacity (Demand (Demand.create ?pool sigma db))
 
 let note_query t dt =
   Mutex.lock t.mutex;
@@ -223,21 +254,25 @@ let note_query t dt =
 
 let stats t ~connections ~total_connections =
   (* Cardinalities are read under the shared lock (the writer may be
-     mid-batch), counters under the mutex. *)
-  let facts, edb_facts, relations, index_runs, storage_bytes =
-    with_read t (fun incr ->
-        let storage = Database.storage_stats (Incr.db incr) in
+     mid-batch), counters under the mutex. In demand mode the resident
+     store is the raw EDB and [facts] counts it; the materialization
+     cardinality does not exist. *)
+  let facts, edb_facts, relations, index_runs, storage_bytes, cache =
+    with_backend t (fun backend ->
+        let db, edb, cache =
+          match backend with
+          | Materialized incr -> (Incr.db incr, Incr.edb incr, None)
+          | Demand d -> (Demand.edb d, Demand.edb d, Some (Demand.cache_stats d))
+        in
+        let storage = Database.storage_stats db in
         let runs, bytes =
           List.fold_left
             (fun (r, b) (st : Database.rel_stats) -> (r + st.rs_runs, b + st.rs_bytes))
             (0, 0) storage
         in
-        ( Database.cardinal (Incr.db incr),
-          Database.cardinal (Incr.edb incr),
-          List.length storage,
-          runs,
-          bytes ))
+        (Database.cardinal db, Database.cardinal edb, List.length storage, runs, bytes, cache))
   in
+  let heap_kb = (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / 1024 in
   Mutex.lock t.mutex;
   let s =
     {
@@ -256,6 +291,15 @@ let stats t ~connections ~total_connections =
       s_relations = relations;
       s_index_runs = index_runs;
       s_storage_bytes = storage_bytes;
+      s_cache_hits = (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_hits | None -> 0);
+      s_cache_misses =
+        (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_misses | None -> 0);
+      s_cache_entries =
+        (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_entries | None -> 0);
+      s_cache_evictions =
+        (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_evictions | None -> 0);
+      s_heap_kb = heap_kb;
+      s_demand = (match t.backend with Materialized _ -> 0 | Demand _ -> 1);
     }
   in
   Mutex.unlock t.mutex;

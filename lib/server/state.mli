@@ -1,8 +1,10 @@
-(** Shared serving state: a materialization behind single-writer /
+(** Shared serving state: a query backend behind single-writer /
     multi-reader discipline.
 
-    A {!t} wraps a {!Guarded_incr.Incr.t} so that many connection
-    threads can answer queries while update batches commit:
+    A {!t} wraps a {!backend} — a maintained materialization
+    ({!Guarded_incr.Incr.t}) or the demand-driven evaluator
+    ({!Guarded_incr.Demand.t}) — so that many connection threads can
+    answer queries while update batches commit:
 
     - {b Readers} take a shared lock ({!with_read}) and always observe
       the last committed epoch — the writer holds the lock exclusively
@@ -25,11 +27,24 @@ open Guarded_core
 
 type t
 
+type backend =
+  | Materialized of Guarded_incr.Incr.t
+  | Demand of Guarded_incr.Demand.t
+
 val create :
   ?pool:Guarded_par.Pool.t -> ?queue_capacity:int -> Theory.t -> Database.t -> t
 (** Materializes the program over the database and starts the writer
     thread. [queue_capacity] (default 64, clamped to [>= 1]) bounds the
     commit queue. *)
+
+val create_demand :
+  ?pool:Guarded_par.Pool.t -> ?queue_capacity:int -> Theory.t -> Database.t -> t
+(** Demand-driven serving: no fixpoint runs at startup; queries are
+    answered by magic-set evaluation over the raw EDB with a tabled
+    subgoal cache, commits invalidate the cache per dependency
+    component. Same locking discipline as {!create}. *)
+
+val demand_mode : t -> bool
 
 val of_materialization : ?queue_capacity:int -> Guarded_incr.Incr.t -> t
 (** Wraps an existing materialization — the warm-restart path: the
@@ -41,10 +56,16 @@ val program : t -> Theory.t
 val epoch : t -> int
 (** Committed batches since startup. *)
 
-val with_read : t -> (Guarded_incr.Incr.t -> 'a) -> 'a
-(** Runs the callback holding the shared lock: the materialization is
-    the last committed epoch and cannot change underneath. The callback
+val with_backend : t -> (backend -> 'a) -> 'a
+(** Runs the callback holding the shared lock: the backend is at the
+    last committed epoch and cannot change underneath. The callback
     must not mutate it, and must not call {!commit} (lock-ordering). *)
+
+val with_read : t -> (Guarded_incr.Incr.t -> 'a) -> 'a
+(** {!with_backend} restricted to materialized serving — the callers
+    that need the materialization itself (snapshots, direct database
+    access).
+    @raise Invalid_argument in demand mode. *)
 
 type commit_result = {
   cr_added : int;

@@ -29,6 +29,12 @@ type stats = {
   s_relations : int;
   s_index_runs : int;
   s_storage_bytes : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_cache_entries : int;
+  s_cache_evictions : int;
+  s_heap_kb : int;
+  s_demand : int;
 }
 
 type response =
@@ -89,6 +95,14 @@ let stats_fields =
     ("relations", (fun s -> s.s_relations), fun s v -> { s with s_relations = v });
     ("index_runs", (fun s -> s.s_index_runs), fun s v -> { s with s_index_runs = v });
     ("storage_bytes", (fun s -> s.s_storage_bytes), fun s v -> { s with s_storage_bytes = v });
+    ("cache_hits", (fun s -> s.s_cache_hits), fun s v -> { s with s_cache_hits = v });
+    ("cache_misses", (fun s -> s.s_cache_misses), fun s v -> { s with s_cache_misses = v });
+    ("cache_entries", (fun s -> s.s_cache_entries), fun s v -> { s with s_cache_entries = v });
+    ( "cache_evictions",
+      (fun s -> s.s_cache_evictions),
+      fun s v -> { s with s_cache_evictions = v } );
+    ("heap_kb", (fun s -> s.s_heap_kb), fun s v -> { s with s_heap_kb = v });
+    ("demand", (fun s -> s.s_demand), fun s v -> { s with s_demand = v });
   ]
 
 let zero_stats =
@@ -108,6 +122,12 @@ let zero_stats =
     s_relations = 0;
     s_index_runs = 0;
     s_storage_bytes = 0;
+    s_cache_hits = 0;
+    s_cache_misses = 0;
+    s_cache_entries = 0;
+    s_cache_evictions = 0;
+    s_heap_kb = 0;
+    s_demand = 0;
   }
 
 let sanitize_line msg =

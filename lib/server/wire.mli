@@ -22,6 +22,15 @@
                  | "BYE"
     v}
 
+    [STATS] keys include the demand-mode subgoal-cache counters —
+    [cache_hits], [cache_misses], [cache_entries] (currently resident)
+    and [cache_evictions] (lifetime) — plus [heap_kb] (the server
+    process's current major-heap size) and [demand] (1 when the server
+    answers queries demand-driven, 0 when it serves a materialization).
+    The cache counters are all zero in materialized mode; in demand
+    mode [cache_hits]/[cache_misses]/[cache_evictions] are monotone
+    across a connection's lifetime.
+
     Keywords are accepted case-insensitively; printers emit the
     canonical uppercase spelling and quote constants as needed
     ({!Guarded_core.Term.pp_quoted}), so [parse ∘ print] is the
@@ -61,6 +70,12 @@ type stats = {
   s_relations : int;  (** relations in the materialization's store *)
   s_index_runs : int;  (** sorted index runs currently materialized *)
   s_storage_bytes : int;  (** resident bytes of columns + indexes *)
+  s_cache_hits : int;  (** subgoal-cache hits (demand mode; aggregate) *)
+  s_cache_misses : int;  (** subgoal-cache misses (demand mode; aggregate) *)
+  s_cache_entries : int;  (** subgoals currently memoized *)
+  s_cache_evictions : int;  (** entries evicted by commits (aggregate) *)
+  s_heap_kb : int;  (** current major-heap size, kilobytes *)
+  s_demand : int;  (** 1 when serving demand-driven, else 0 *)
 }
 
 type response =

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Performance gate (ISSUE 6, satellite 6): build, run the join-engine
-# and column-store property suites, re-record the tracked bench
-# sections and fail if any of them regressed past the wall-clock or
-# memory limits of the committed baseline.
+# Performance gate (ISSUE 6, satellite 6; extended for ISSUE 7): build,
+# run the join-engine, column-store and demand-serving suites,
+# re-record the tracked bench sections and fail if any of them
+# regressed past the wall-clock or memory limits of the committed
+# baseline, or if the demand section's own acceptance checks (>=2x
+# lower resident heap than materialization, hot queries >=5x faster
+# than cold) stop holding.
 #
 # Usage: scripts/perf_gate.sh [BASELINE.json]
 #
-# The baseline defaults to BENCH_6.json (the first recording that
-# carries the alloc_mb/heap_mb memory metrics; against older baselines
-# the memory gate skips per section). The recording is left in
-# current.json for inspection.
+# The baseline defaults to BENCH_7.json (the first recording that
+# carries the demand section; against older baselines the new sections
+# are reported and ignored). The recording is left in current.json for
+# inspection.
 set -euo pipefail
 
-BASELINE="${1:-BENCH_6.json}"
+BASELINE="${1:-BENCH_7.json}"
 [ -f "$BASELINE" ] || { echo "perf_gate: baseline $BASELINE not found"; exit 2; }
 
 dune build
@@ -22,12 +25,27 @@ dune build
 # list references.
 dune exec test/test_main.exe -- test join-engine
 dune exec test/test_main.exe -- test colstore
+# The demand-serving oracle: 110 randomized schedules where the
+# demand backend must agree with the materialized one.
+dune exec test/test_main.exe -- test demand
 
 # Re-record the tracked sections (sequential and 2-domain legs, like
 # the committed baseline) and gate: >2x wall-clock plus 0.25s slack, or
 # >2x allocation/heap plus 64MB slack, on any section fails the build.
 dune exec bench/main.exe -- \
-  --json current.json --domains 1,2 fig2 thm1 thm2 thm5 sat incr serve joins micro
+  --json current.json --domains 1,2 fig2 thm1 thm2 thm5 sat incr serve demand joins micro \
+  | tee current.out
 dune exec bench/regress.exe -- "$BASELINE" current.json
+
+# The demand section prints one "demand ... check: ok (...)" line per
+# acceptance criterion and workload size; any FAILED line, or a
+# missing ok line, fails the gate.
+if grep -q "check: FAILED" current.out; then
+  echo "perf_gate: demand acceptance check failed"; exit 1
+fi
+grep -q "demand heap check.*: ok" current.out \
+  || { echo "perf_gate: demand heap check line missing"; exit 1; }
+grep -q "demand hot-query check.*: ok" current.out \
+  || { echo "perf_gate: demand hot-query check line missing"; exit 1; }
 
 echo "perf gate: OK (baseline $BASELINE)"

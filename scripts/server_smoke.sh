@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # CI smoke for the network server: start `guarded listen` on a Unix
 # socket, drive it with ~50 relation/pattern/CQ queries plus an update
-# batch through `guarded client`, verify the answers move, snapshot,
-# and shut the server down cleanly with SIGTERM.
+# batch through `guarded client`, check the STATS cache counters, and
+# shut the server down cleanly with SIGTERM. In materialized mode the
+# run also snapshots and warm-restarts; in demand mode (`--demand`)
+# snapshots are unavailable and the counters must move: repeat queries
+# are cache hits.
 #
-# Usage: scripts/server_smoke.sh [DOMAINS]
+# Usage: scripts/server_smoke.sh [DOMAINS] [materialized|demand]
 set -euo pipefail
 
 # 0 means "the sequential CI leg": serve without a pool (--domains 1).
 DOMAINS="${1:-1}"
 [ "$DOMAINS" = 0 ] && DOMAINS=1
+MODE="${2:-materialized}"
+case "$MODE" in
+  materialized|demand) ;;
+  *) echo "usage: server_smoke.sh [DOMAINS] [materialized|demand]"; exit 2 ;;
+esac
 # The prebuilt binary: two dune exec instances (the backgrounded
 # server and the client calls) would contend on dune's lock.
 GUARDED="${GUARDED:-./_build/default/bin/guarded.exe}"
@@ -28,9 +36,15 @@ e(b, c).
 e(c, d).
 EOF
 
-$GUARDED listen "$WORK/path.rules" "$WORK/path.db" \
-  --socket "$SOCK" --snapshot "$SNAP" --domains "$DOMAINS" \
-  2> "$WORK/listen.log" &
+if [ "$MODE" = demand ]; then
+  $GUARDED listen "$WORK/path.rules" "$WORK/path.db" \
+    --socket "$SOCK" --demand --domains "$DOMAINS" \
+    2> "$WORK/listen.log" &
+else
+  $GUARDED listen "$WORK/path.rules" "$WORK/path.db" \
+    --socket "$SOCK" --snapshot "$SNAP" --domains "$DOMAINS" \
+    2> "$WORK/listen.log" &
+fi
 SERVER_PID=$!
 
 for _ in $(seq 1 50); do
@@ -38,6 +52,48 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 [ -S "$SOCK" ] || { echo "server did not come up"; cat "$WORK/listen.log"; exit 1; }
+
+# STATS helpers: every cache counter key must be present (satellite 2
+# of ISSUE 7 documents them in the wire grammar), and the monotone
+# ones must never decrease across two identical queries.
+stat_of() { # stat_of FILE KEY
+  awk -v key="$2" '$1 == key { print $2; found = 1 } END { if (!found) exit 1 }' "$1"
+}
+take_stats() { # take_stats FILE
+  $GUARDED client --socket "$SOCK" -e STATS > "$1"
+  for key in cache_hits cache_misses cache_entries cache_evictions heap_kb demand; do
+    stat_of "$1" "$key" > /dev/null \
+      || { echo "STATS missing key $key"; cat "$1"; exit 1; }
+  done
+}
+
+take_stats "$WORK/stats0.out"
+WANT_DEMAND=0; [ "$MODE" = demand ] && WANT_DEMAND=1
+[ "$(stat_of "$WORK/stats0.out" demand)" = "$WANT_DEMAND" ] \
+  || { echo "STATS demand flag wrong for mode $MODE"; cat "$WORK/stats0.out"; exit 1; }
+
+# Two identical queries with STATS around them: counters stay monotone
+# in both modes; in demand mode the second query must hit the cache.
+$GUARDED client --socket "$SOCK" -e "? path" > /dev/null
+take_stats "$WORK/stats1.out"
+$GUARDED client --socket "$SOCK" -e "? path" > /dev/null
+take_stats "$WORK/stats2.out"
+for key in cache_hits cache_misses cache_evictions; do
+  V1=$(stat_of "$WORK/stats1.out" "$key")
+  V2=$(stat_of "$WORK/stats2.out" "$key")
+  [ "$V2" -ge "$V1" ] || { echo "$key not monotone: $V1 -> $V2"; exit 1; }
+done
+if [ "$MODE" = demand ]; then
+  H1=$(stat_of "$WORK/stats1.out" cache_hits)
+  H2=$(stat_of "$WORK/stats2.out" cache_hits)
+  [ "$H2" -gt "$H1" ] || { echo "repeat query did not hit the cache: $H1 -> $H2"; exit 1; }
+  [ "$(stat_of "$WORK/stats2.out" cache_entries)" -ge 1 ] \
+    || { echo "no cache entries after queries"; cat "$WORK/stats2.out"; exit 1; }
+else
+  # Materialized serving has no subgoal cache: counters stay zero.
+  [ "$(stat_of "$WORK/stats2.out" cache_hits)" = 0 ] \
+    || { echo "materialized mode reported cache hits"; cat "$WORK/stats2.out"; exit 1; }
+fi
 
 # ~50 queries across the protocol's query forms.
 for _ in $(seq 1 16); do
@@ -62,8 +118,22 @@ AFTER=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
 $GUARDED client --socket "$SOCK" -e "? path(a, ?X)" | head -1 | grep -qx "ANSWERS 0" \
   || { echo "deleted edge still answers"; exit 1; }
 
-# Persist, then graceful shutdown on SIGTERM.
-$GUARDED client --socket "$SOCK" -e "SNAPSHOT" | grep -qx "OK" || { echo "snapshot failed"; exit 1; }
+if [ "$MODE" = demand ]; then
+  # The commit invalidated path's component; snapshots are refused.
+  take_stats "$WORK/stats3.out"
+  [ "$(stat_of "$WORK/stats3.out" cache_evictions)" -ge 1 ] \
+    || { echo "commit did not evict cached subgoals"; cat "$WORK/stats3.out"; exit 1; }
+  # The client exits nonzero on an ERROR reply; what matters here is
+  # the refusal itself.
+  SNAP_REPLY=$($GUARDED client --socket "$SOCK" -e "SNAPSHOT" || true)
+  echo "$SNAP_REPLY" | head -1 | grep -q "^ERROR" \
+    || { echo "snapshot accepted in demand mode: $SNAP_REPLY"; exit 1; }
+else
+  # Persist, then check the snapshot below after shutdown.
+  $GUARDED client --socket "$SOCK" -e "SNAPSHOT" | grep -qx "OK" || { echo "snapshot failed"; exit 1; }
+fi
+
+# Graceful shutdown on SIGTERM.
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 50); do
   kill -0 "$SERVER_PID" 2>/dev/null || break
@@ -73,20 +143,23 @@ if kill -0 "$SERVER_PID" 2>/dev/null; then
   echo "server did not stop on SIGTERM"; cat "$WORK/listen.log"; exit 1
 fi
 grep -q "server stopped" "$WORK/listen.log" || { echo "no clean shutdown logged"; cat "$WORK/listen.log"; exit 1; }
-[ -f "$SNAP" ] || { echo "snapshot file missing"; exit 1; }
 
-# Warm restart from the snapshot (no DATABASE argument) serves the
-# updated state.
-$GUARDED listen "$WORK/path.rules" --socket "$SOCK" --snapshot "$SNAP" \
-  2>> "$WORK/listen.log" &
-SERVER_PID=$!
-for _ in $(seq 1 50); do
-  [ -S "$SOCK" ] && break
-  sleep 0.2
-done
-WARM=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
-[ "$WARM" = "ANSWERS 6" ] || { echo "warm restart: expected ANSWERS 6, got: $WARM"; exit 1; }
-kill -TERM "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+if [ "$MODE" = materialized ]; then
+  [ -f "$SNAP" ] || { echo "snapshot file missing"; exit 1; }
 
-echo "server smoke: OK (domains=$DOMAINS)"
+  # Warm restart from the snapshot (no DATABASE argument) serves the
+  # updated state.
+  $GUARDED listen "$WORK/path.rules" --socket "$SOCK" --snapshot "$SNAP" \
+    2>> "$WORK/listen.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.2
+  done
+  WARM=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
+  [ "$WARM" = "ANSWERS 6" ] || { echo "warm restart: expected ANSWERS 6, got: $WARM"; exit 1; }
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+fi
+
+echo "server smoke: OK (domains=$DOMAINS, mode=$MODE)"

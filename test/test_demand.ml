@@ -1,0 +1,279 @@
+(** Demand-driven serving (lib/incr/demand.ml + lib/incr/subgoal_cache.ml):
+    the subgoal cache's epoch and component discipline in isolation, the
+    demand backend against a real socket server, and the oracle — random
+    schedules of interleaved queries and commits against a demand-driven
+    server must answer exactly like the materialized reference, with and
+    without a worker pool, including schedules that hit the invalidation
+    path. *)
+
+open Guarded_core
+open Guarded_gen.Generator
+module Delta = Guarded_incr.Delta
+module Incr = Guarded_incr.Incr
+module Demand = Guarded_incr.Demand
+module Subgoal_cache = Guarded_incr.Subgoal_cache
+module Pool = Guarded_par.Pool
+module Wire = Guarded_server.Wire
+module State = Guarded_server.State
+module Server = Guarded_server.Server
+module Client = Guarded_server.Client
+
+let theory = Helpers.theory
+let db = Helpers.db
+let atom = Helpers.atom
+
+let sort_tuples = List.sort (List.compare Term.compare)
+
+(* ------------------------------------------------------------------ *)
+(* Subgoal cache in isolation                                          *)
+
+let test_cache_key_canonical () =
+  let cache = Subgoal_cache.create (theory "e(X, Y) -> tc(X, Y).") in
+  let k1 =
+    Subgoal_cache.key ~rel:"p" ~pattern:[ Term.Var "X"; Term.Const "a"; Term.Var "X" ]
+  in
+  let k2 =
+    Subgoal_cache.key ~rel:"p" ~pattern:[ Term.Var "Y"; Term.Const "a"; Term.Var "Y" ]
+  in
+  let k3 =
+    Subgoal_cache.key ~rel:"p" ~pattern:[ Term.Var "X"; Term.Const "a"; Term.Var "Y" ]
+  in
+  Subgoal_cache.store cache k1 ~epoch:(Subgoal_cache.epoch cache) [ [ Term.Const "t" ] ];
+  Alcotest.(check bool) "renamed pattern shares the entry" true
+    (Subgoal_cache.find cache k2 <> None);
+  Alcotest.(check bool) "distinct shape misses" true (Subgoal_cache.find cache k3 = None)
+
+let test_cache_epoch_discipline () =
+  let cache = Subgoal_cache.create (theory "e(X, Y) -> tc(X, Y).") in
+  let key = Subgoal_cache.key ~rel:"tc" ~pattern:[ Term.Var "X"; Term.Var "Y" ] in
+  let e0 = Subgoal_cache.epoch cache in
+  (* a commit lands while the subgoal is being evaluated *)
+  Subgoal_cache.invalidate cache [ ("e", 0, 2) ];
+  Subgoal_cache.store cache key ~epoch:e0 [ [ Term.Const "a"; Term.Const "b" ] ];
+  Alcotest.(check bool) "stale store dropped" true (Subgoal_cache.find cache key = None);
+  (* computed after the commit: lands *)
+  Subgoal_cache.store cache key ~epoch:(Subgoal_cache.epoch cache)
+    [ [ Term.Const "a"; Term.Const "b" ] ];
+  Alcotest.(check bool) "fresh store lands" true (Subgoal_cache.find cache key <> None)
+
+let test_component_scoped_invalidation () =
+  (* Two independent components: tc over e, sym over f. A commit
+     touching e must evict tc subgoals and leave sym subgoals hot. *)
+  let sigma =
+    theory
+      {|
+    e(X, Y) -> tc(X, Y). tc(X, Y), e(Y, Z) -> tc(X, Z).
+    f(X, Y) -> sym(X, Y). sym(X, Y) -> sym(Y, X).
+  |}
+  in
+  let d = Demand.create sigma (db "e(a, b). e(b, c). f(u, v).") in
+  Helpers.check_answers "tc cold" (Helpers.tuples "a, b; a, c; b, c") (Demand.answers d ~query:"tc");
+  Helpers.check_answers "sym cold" (Helpers.tuples "u, v; v, u") (Demand.answers d ~query:"sym");
+  let s0 = Demand.cache_stats d in
+  Alcotest.(check int) "two subgoals resident" 2 s0.Subgoal_cache.sc_entries;
+  ignore (Demand.apply d (Delta.of_lists ~additions:[ atom "e(c, d)" ] ~deletions:[]));
+  let s1 = Demand.cache_stats d in
+  Alcotest.(check int) "only tc evicted" 1 s1.Subgoal_cache.sc_evictions;
+  Alcotest.(check int) "sym survives" 1 s1.Subgoal_cache.sc_entries;
+  (* sym is a hit, tc recomputes over the new EDB *)
+  Helpers.check_answers "sym hot" (Helpers.tuples "u, v; v, u") (Demand.answers d ~query:"sym");
+  let s2 = Demand.cache_stats d in
+  Alcotest.(check int) "sym was a hit" (s1.Subgoal_cache.sc_hits + 1) s2.Subgoal_cache.sc_hits;
+  Helpers.check_answers "tc refreshed"
+    (Helpers.tuples "a, b; a, c; a, d; b, c; b, d; c, d")
+    (Demand.answers d ~query:"tc");
+  let s3 = Demand.cache_stats d in
+  Alcotest.(check int) "tc was a miss" (s2.Subgoal_cache.sc_misses + 1)
+    s3.Subgoal_cache.sc_misses
+
+(* ------------------------------------------------------------------ *)
+(* A demand-driven server over a real socket                           *)
+
+let path_sigma = "e(X, Y) -> path(X, Y). e(X, Y), path(Y, Z) -> path(X, Z)."
+
+let test_demand_server_socket () =
+  let sock = Filename.temp_file "guarded" ".sock" in
+  Sys.remove sock;
+  let st = State.create_demand (theory path_sigma) (db "e(a, b). e(b, c).") in
+  let srv = Server.listen st (Server.Unix_socket sock) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = Client.connect (Server.address srv) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check int) "three paths" 3 (List.length (Client.query c "path"));
+          (match
+             Client.request c
+               (Wire.Query { rel = "path"; pattern = Some [ Term.Const "a"; Term.Var "X" ] })
+           with
+          | Wire.Answers tuples -> Alcotest.(check int) "from a" 2 (List.length tuples)
+          | _ -> Alcotest.fail "expected answers");
+          let s1 = Client.stats c in
+          Alcotest.(check int) "demand flag" 1 s1.Wire.s_demand;
+          Alcotest.(check bool) "misses counted" true (s1.Wire.s_cache_misses > 0);
+          Alcotest.(check bool) "entries resident" true (s1.Wire.s_cache_entries > 0);
+          (* the same query again is a cache hit *)
+          Alcotest.(check int) "still three paths" 3 (List.length (Client.query c "path"));
+          let s2 = Client.stats c in
+          Alcotest.(check bool) "hit counted" true (s2.Wire.s_cache_hits > s1.Wire.s_cache_hits);
+          Alcotest.(check int) "no new miss" s1.Wire.s_cache_misses s2.Wire.s_cache_misses;
+          (* a commit invalidates; answers reflect the new EDB *)
+          (match Client.commit c (Delta.of_lists ~additions:[ atom "e(c, d)" ] ~deletions:[]) with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m);
+          Alcotest.(check int) "six paths" 6 (List.length (Client.query c "path"));
+          let s3 = Client.stats c in
+          Alcotest.(check bool) "evictions counted" true
+            (s3.Wire.s_cache_evictions > s2.Wire.s_cache_evictions);
+          (* snapshots are a materialized-mode feature *)
+          (match Client.request c (Wire.Snapshot (Some "/tmp/never-written.snap")) with
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "snapshot accepted in demand mode");
+          (* conjunctive queries go through the demand path too *)
+          (match Client.request_line c "?? path(X, Y), e(Y, Z) -> q(X, Z)." with
+          | Wire.Answers tuples ->
+            Alcotest.(check bool) "cq answers" true (List.length tuples > 0)
+          | _ -> Alcotest.fail "expected cq answers")))
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: demand-driven = materialized, under interleaved commits *)
+
+(* Every relation either side mentions, by name. *)
+let relation_names sigma database =
+  let names = Hashtbl.create 16 in
+  Theory.Rel_set.iter (fun (n, _, _) -> Hashtbl.replace names n ()) (Theory.relations sigma);
+  List.iter (fun (n, _, _) -> Hashtbl.replace names n ()) (Database.relations database);
+  Hashtbl.fold (fun n () acc -> n :: acc) names []
+
+(* The materialized reference for a pattern query, as the server
+   computes it. *)
+let reference_pattern_answers incr rel pattern =
+  let pat = Atom.make rel pattern in
+  let out = ref [] in
+  Database.iter_candidates (Incr.db incr) pat (fun fact ->
+      if Atom.ann fact = [] then
+        match Subst.match_atom Subst.empty pat fact with
+        | Some _ when List.for_all Term.is_const (Atom.args fact) ->
+          out := Atom.args fact :: !out
+        | _ -> ());
+  List.sort_uniq (List.compare Term.compare) !out
+
+(* One round of queries against both sides; false on any divergence.
+   Relation queries are compared both as sorted tuple lists and as
+   [Database.equal] fact sets; pattern and conjunctive queries as
+   sorted tuple lists. *)
+let agree_round demand reference =
+  let ok = ref true in
+  let rels = relation_names (Demand.program demand) (Incr.edb reference) in
+  List.iter
+    (fun rel ->
+      let d_ans = sort_tuples (Demand.answers demand ~query:rel) in
+      let r_ans = sort_tuples (Incr.answers reference ~query:rel) in
+      if d_ans <> r_ans then ok := false;
+      let as_db tuples = Database.of_atoms (List.map (fun tp -> Atom.make rel tp) tuples) in
+      if not (Database.equal (as_db d_ans) (as_db r_ans)) then ok := false)
+    rels;
+  (* pattern queries: each program relation, first argument bound to
+     each generator constant *)
+  Theory.Rel_set.iter
+    (fun (rel, ann, arity) ->
+      if ann = 0 && arity > 0 then
+        List.iteri
+          (fun i c ->
+            if i < 2 then begin
+              let pattern =
+                Term.Const c
+                :: List.init (arity - 1) (fun j -> Term.Var (Fmt.str "X%d" j))
+              in
+              let d_ans = sort_tuples (Demand.pattern_answers demand ~rel ~pattern) in
+              let r_ans = reference_pattern_answers reference rel pattern in
+              if d_ans <> r_ans then ok := false
+            end)
+          constants)
+    (Theory.relations (Demand.program demand));
+  (* conjunctive queries from the program's own rule bodies *)
+  List.iteri
+    (fun i r ->
+      if i < 2 then begin
+        let body = Rule.body_atoms r in
+        if body <> [] then begin
+          let answer_vars =
+            List.concat_map Atom.vars body |> List.sort_uniq String.compare |> fun vs ->
+            List.filteri (fun i _ -> i < 2) vs
+          in
+          let d_ans = sort_tuples (Demand.cq_answers demand ~body ~answer_vars) in
+          let r_ans = sort_tuples (Incr.cq_answers reference ~body ~answer_vars) in
+          if d_ans <> r_ans then ok := false
+        end
+      end)
+    (Theory.rules (Demand.program demand));
+  !ok
+
+let run_demand_case ?pool (sigma, db0, deltas) =
+  let st = State.create_demand ?pool sigma db0 in
+  let reference = Incr.materialize ?pool sigma db0 in
+  let ok = ref true in
+  let round () =
+    State.with_backend st (function
+      | State.Materialized _ -> ok := false
+      | State.Demand d -> if not (agree_round d reference) then ok := false)
+  in
+  round ();
+  List.iter
+    (fun delta ->
+      (match State.commit st delta with Ok _ -> () | Error _ -> ok := false);
+      ignore (Incr.apply reference delta);
+      round ())
+    deltas;
+  State.shutdown st;
+  !ok
+
+let gen_deltas =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (pair (list_size (int_range 0 3) gen_fact) (list_size (int_range 0 3) gen_fact)
+      >|= fun (additions, deletions) -> Delta.of_lists ~additions ~deletions))
+
+let print_demand_case (sigma, d, deltas) =
+  Fmt.str "%s@.---@.%a@.---@.%a" (Theory.to_string sigma) Database.pp d
+    (Fmt.list ~sep:(Fmt.any "@.---@.") Delta.pp)
+    deltas
+
+let arbitrary_demand_case arb_theory =
+  QCheck.make ~print:print_demand_case
+    QCheck.Gen.(triple (QCheck.gen arb_theory) (gen_db ()) gen_deltas)
+
+let pool = lazy (Pool.create ~domains:2 ~min_work:1 ~oversubscribe:true ())
+
+let prop_demand_datalog =
+  QCheck.Test.make ~count:30 ~name:"demand = materialized (Datalog)"
+    (arbitrary_demand_case arbitrary_datalog) run_demand_case
+
+let prop_demand_semipositive =
+  QCheck.Test.make ~count:30 ~name:"demand = materialized (semipositive)"
+    (arbitrary_demand_case arbitrary_semipositive) run_demand_case
+
+let prop_demand_datalog_pool =
+  QCheck.Test.make ~count:25 ~name:"demand = materialized (Datalog, pool)"
+    (arbitrary_demand_case arbitrary_datalog) (fun case ->
+      run_demand_case ~pool:(Lazy.force pool) case)
+
+let prop_demand_semipositive_pool =
+  QCheck.Test.make ~count:25 ~name:"demand = materialized (semipositive, pool)"
+    (arbitrary_demand_case arbitrary_semipositive) (fun case ->
+      run_demand_case ~pool:(Lazy.force pool) case)
+
+let suite =
+  [
+    Alcotest.test_case "cache: canonical keys" `Quick test_cache_key_canonical;
+    Alcotest.test_case "cache: epoch discipline" `Quick test_cache_epoch_discipline;
+    Alcotest.test_case "cache: component-scoped invalidation" `Quick
+      test_component_scoped_invalidation;
+    Alcotest.test_case "server: demand-driven socket session" `Quick test_demand_server_socket;
+    QCheck_alcotest.to_alcotest prop_demand_datalog;
+    QCheck_alcotest.to_alcotest prop_demand_semipositive;
+    QCheck_alcotest.to_alcotest prop_demand_datalog_pool;
+    QCheck_alcotest.to_alcotest prop_demand_semipositive_pool;
+  ]

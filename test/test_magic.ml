@@ -172,6 +172,34 @@ let test_magic_edb_query () =
   let query = Magic.query_of_atom (Helpers.atom "e(n0, X)") in
   check cint "edb query answered directly" 1 (List.length (Magic.answers sigma query db))
 
+let test_magic_edb_arity_mismatch () =
+  (* The program derives p/3 only; a query over p/2 is extensional and
+     reads the data. Name-based rule matching used to pair the p/2
+     adornment with the p/3 rules and walk off the pattern. *)
+  let sigma = Helpers.theory "e(X, Y), m(Z) -> p(X, Y, Z)." in
+  let db = Helpers.db "p(a, b). p(c, d). e(a, b). m(w)." in
+  let query = Magic.query_of_atom (Helpers.atom "p(a, X)") in
+  Helpers.check_answers "p/2 reads the data" (Helpers.tuples "a, b") (Magic.answers sigma query db);
+  (* and the p/3 query still goes through the rules *)
+  let q3 = Magic.query_of_atom (Helpers.atom "p(a, Y, Z)") in
+  Helpers.check_answers "p/3 derived" (Helpers.tuples "a, b, w") (Magic.answers sigma q3 db)
+
+let test_magic_relation_answers () =
+  (* [? REL] offline: both arities of a relation answer at once —
+     derived tuples through the magic subgoal, data-only arities
+     straight from the database — matching the serving path's
+     name-wide reads. *)
+  let sigma = Helpers.theory "e(X, Y), m(Z) -> p(X, Y, Z)." in
+  let db = Helpers.db "p(a, b). e(a, b). m(w)." in
+  Helpers.check_answers "union across arities"
+    (Helpers.tuples "a, b; a, b, w")
+    (Magic.relation_answers sigma db ~rel:"p");
+  (* a relation the program never mentions answers from the data *)
+  Helpers.check_answers "unknown relation"
+    (Helpers.tuples "a, b")
+    (Magic.relation_answers sigma db ~rel:"e");
+  Helpers.check_answers "absent relation" [] (Magic.relation_answers sigma db ~rel:"zzz")
+
 let suite =
   [
     Alcotest.test_case "dependency edges" `Quick test_depgraph_edges;
@@ -186,4 +214,6 @@ let suite =
     Alcotest.test_case "magic: translated theory" `Quick test_magic_on_translated_theory;
     Alcotest.test_case "magic: rejects negation" `Quick test_magic_rejects_negation;
     Alcotest.test_case "magic: extensional query" `Quick test_magic_edb_query;
+    Alcotest.test_case "magic: extensional arity mismatch" `Quick test_magic_edb_arity_mismatch;
+    Alcotest.test_case "magic: relation answers" `Quick test_magic_relation_answers;
   ]

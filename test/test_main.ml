@@ -23,4 +23,5 @@ let () =
       ("saturate", Test_saturate.suite);
       ("incr", Test_incr.suite);
       ("server", Test_server.suite);
+      ("demand", Test_demand.suite);
     ]

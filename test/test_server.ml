@@ -102,6 +102,12 @@ let test_wire_responses () =
           s_relations = 13;
           s_index_runs = 14;
           s_storage_bytes = 15;
+          s_cache_hits = 16;
+          s_cache_misses = 17;
+          s_cache_entries = 18;
+          s_cache_evictions = 19;
+          s_heap_kb = 20;
+          s_demand = 1;
         };
     ]
   in
