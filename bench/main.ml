@@ -1088,7 +1088,7 @@ let serve () =
                 ~finally:(fun () -> Client.close c)
                 (fun () -> List.length (Client.query c query_rel))
             in
-            let stats = State.stats state ~connections:0 ~total_connections:0 in
+            let stats = State.stats state ~connections:0 ~total_connections:0 () in
             Server.stop srv;
             let qps = float_of_int (clients * queries) /. Float.max t_wall 1e-9 in
             [
@@ -1116,10 +1116,205 @@ let serve () =
       "final |EDB|"; "answers"; "wall time"; "qps (timed)"; "query p50 µs"; "commit p50 µs";
       "commit p95 µs";
     ]
-    rows
+    rows;
+  (* --- light-client sweep: connection scalability ------------------ *)
+  (* Many short-lived light clients against one reactor: each runs a
+     few relation-query round trips over a tiny materialization, so
+     the sweep measures the event loop — poll set size, accept storms,
+     per-connection buffers — rather than query evaluation. The
+     acceptance check ([serve light-client check], grepped by
+     scripts/perf_gate.sh) demands the 1000-client leg completes with
+     zero failures. *)
+  let module Wire = Guarded_server.Wire in
+  let light_sigma = Parser.theory_of_string "e(X, Y) -> path(X, Y)." in
+  let light_edb = Database.create () in
+  for i = 0 to 63 do
+    ignore
+      (Database.add light_edb
+         (Atom.make "e" [ Term.Const (Fmt.str "u%d" i); Term.Const (Fmt.str "v%d" i) ]))
+  done;
+  let rounds = 8 in
+  let sweep_ok = ref true in
+  let held = ref 0 in
+  let light_rows =
+    List.map
+      (fun clients ->
+        ignore (Guarded_server.Evloop.raise_fd_limit ((2 * clients) + 512));
+        let state = State.create ?pool:!current_pool light_sigma (Database.copy light_edb) in
+        let sock = Filename.temp_file "guarded_bench" ".sock" in
+        Sys.remove sock;
+        let srv = Server.listen state (Server.Unix_socket sock) in
+        let lat = Array.make (clients * rounds) Float.nan in
+        let fmutex = Mutex.create () in
+        let failures = ref 0 in
+        let fail k =
+          ignore k;
+          Mutex.lock fmutex;
+          failures := !failures + 1;
+          Mutex.unlock fmutex
+        in
+        let client k () =
+          match Client.connect (Server.address srv) with
+          | exception _ ->
+            for _ = 1 to rounds do fail k done
+          | c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                for r = 0 to rounds - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  match Client.request c (Wire.Query { rel = "path"; pattern = None }) with
+                  | Wire.Answers l when List.length l = 64 ->
+                    lat.((k * rounds) + r) <- Unix.gettimeofday () -. t0
+                  | _ -> fail k
+                  | exception _ -> fail k
+                done)
+        in
+        let _, t_wall =
+          time (fun () ->
+              let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+              List.iter Thread.join threads)
+        in
+        let stalls, open_after =
+          let c = Client.connect (Server.address srv) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let s = Client.stats c in
+              (s.Wire.s_backpressure_stalls, s.Wire.s_connections_open))
+        in
+        Server.stop srv;
+        let samples =
+          Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list lat))
+        in
+        Array.sort Float.compare samples;
+        let pct p =
+          if Array.length samples = 0 then 0.
+          else
+            samples.(min (Array.length samples - 1)
+                       (int_of_float (p *. float_of_int (Array.length samples))))
+        in
+        sweep_ok := !sweep_ok && !failures = 0;
+        if !failures = 0 then held := max !held clients;
+        [
+          "light `? path`";
+          string_of_int clients;
+          string_of_int rounds;
+          string_of_int !failures;
+          string_of_int open_after;
+          string_of_int stalls;
+          ms t_wall;
+          Fmt.str "%.0f" (float_of_int (clients * rounds) /. Float.max t_wall 1e-9);
+          Fmt.str "%.0f" (pct 0.50 *. 1e6);
+          Fmt.str "%.0f" (pct 0.95 *. 1e6);
+        ])
+      [ 200; 600; 1000 ]
+  in
+  Fmt.pr "serve light-client check: %s (%d concurrent clients held)@."
+    (if !sweep_ok && !held >= 1000 then "ok" else "FAILED")
+    !held;
+  table
+    [
+      "workload"; "clients"; "round trips"; "failures"; "connections_open"; "stalls";
+      "wall time"; "rps (timed)"; "p50 µs (timed)"; "p95 µs (timed)";
+    ]
+    light_rows
 
 (* ------------------------------------------------------------------ *)
-(* demand: demand-driven serving vs full materialization               *)
+(* ingest: bulk LOAD blocks vs the +fact. text stream                  *)
+
+(* One client ships a 120k-fact EDB into a fresh server twice: once as
+   pipelined [+fact.] text frames (per-line parsing on the server),
+   once as binary [LOAD] blocks (codec decode, no text). Both stage
+   into the same session staging lists and COMMIT applies the same
+   delta, so the resulting EDBs must be equal — the recorded cells are
+   the deterministic counts and the agreement, the staging times live
+   in stripped columns, and the acceptance check demands LOAD beats
+   text by >= 5x. *)
+let ingest () =
+  section "ingest" "bulk EDB ingest: binary LOAD blocks vs +fact. text frames";
+  let module State = Guarded_server.State in
+  let module Server = Guarded_server.Server in
+  let module Client = Guarded_server.Client in
+  let module Wire = Guarded_server.Wire in
+  let module Incr = Guarded_incr.Incr in
+  ignore (Guarded_server.Evloop.raise_fd_limit 1024);
+  let sigma = Parser.theory_of_string "e(X, Y) -> path(X, Y)." in
+  let n = 120_000 in
+  let chunk = 8192 in
+  let facts =
+    List.init n (fun i ->
+        Atom.make "e" [ Term.Const (Fmt.str "x%d" i); Term.Const (Fmt.str "y%d" i) ])
+  in
+  let run use_load =
+    (* Level the field: earlier legs' garbage must not charge its major
+       slices to this leg's staging loop. *)
+    Gc.full_major ();
+    let edb = Database.create () in
+    ignore (Database.add edb (Parser.atom_of_string "e(seed_a, seed_b)"));
+    let state = State.create ?pool:!current_pool sigma edb in
+    let sock = Filename.temp_file "guarded_bench" ".sock" in
+    Sys.remove sock;
+    let srv = Server.listen state (Server.Unix_socket sock) in
+    let c = Client.connect (Server.address srv) in
+    let (), t_stage =
+      time (fun () ->
+          if use_load then begin
+            match Client.load ~chunk c facts with
+            | Ok m when m = n -> ()
+            | Ok m -> failwith (Fmt.str "ingest: staged %d of %d" m n)
+            | Error m -> failwith m
+          end
+          else
+            List.iter
+              (function
+                | Wire.Ok -> ()
+                | Wire.Failed m -> failwith m
+                | _ -> failwith "ingest: unexpected staging reply")
+              (Client.pipeline c (List.map (fun a -> Wire.Add a) facts)))
+    in
+    let res, t_commit = time (fun () -> Client.request c Wire.Commit) in
+    (match res with
+    | Wire.Committed _ -> ()
+    | Wire.Failed m -> failwith ("ingest: commit failed: " ^ m)
+    | _ -> failwith "ingest: expected COMMITTED");
+    let stats = Client.stats c in
+    Client.close c;
+    let edb_after = State.with_read state (fun m -> Database.copy (Incr.edb m)) in
+    Server.stop srv;
+    (t_stage, t_commit, stats.Wire.s_edb_facts, stats.Wire.s_load_facts, edb_after)
+  in
+  let t_text, tc_text, edb_text, lf_text, db_text = run false in
+  let t_load, tc_load, edb_load, lf_load, db_load = run true in
+  let agree = Database.equal db_text db_load in
+  let speedup = t_text /. Float.max t_load 1e-9 in
+  let ok = agree && speedup >= 5. && lf_load = n && lf_text = 0 in
+  Fmt.pr "ingest speedup check: %s (text %s vs LOAD %s, %.1fx >= 5x, %s)@."
+    (if ok then "ok" else "FAILED")
+    (ms t_text) (ms t_load) speedup
+    (if agree then "EDBs agree" else "EDB MISMATCH");
+  let row path frames t_stage t_commit edb_after load_facts =
+    [
+      path;
+      string_of_int n;
+      string_of_int frames;
+      string_of_int edb_after;
+      string_of_int load_facts;
+      (if agree then "agree" else "MISMATCH");
+      ms t_stage;
+      ms t_commit;
+      Fmt.str "%.0f" (float_of_int n /. Float.max t_stage 1e-9);
+    ]
+  in
+  table
+    [
+      "path"; "|facts|"; "frames"; "|EDB| after"; "load_facts"; "agree"; "stage time";
+      "commit time"; "staged facts/s (timed)";
+    ]
+    [
+      row "+fact. text" n t_text tc_text edb_text lf_text;
+      row "binary LOAD" ((n + chunk - 1) / chunk) t_load tc_load edb_load lf_load;
+    ]
 
 (* The thm1-family serving scenario that motivates ISSUE 7: a corpus
    partitioned into [layers] topic-disjoint citation graphs, each with
@@ -1439,6 +1634,7 @@ let all_sections =
     ("sat", sat);
     ("incr", incr);
     ("serve", serve);
+    ("ingest", ingest);
     ("demand", demand);
     ("joins", joins);
     ("micro", micro);

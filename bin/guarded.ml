@@ -525,8 +525,16 @@ let listen_cmd =
              commits invalidate per dependency component. Incompatible with --snapshot \
              (nothing is materialized to persist).")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker threads answering queries and applying commits off the event loop; the \
+             reactor itself never blocks on the state lock.")
+  in
   let run theory_path db_path socket host port snapshot queue_capacity budget_n domains demand
-      =
+      workers =
     handle_errors (fun () ->
         let sigma = load_theory theory_path in
         let addr = resolve_address socket host port in
@@ -575,7 +583,7 @@ let listen_cmd =
               Guarded_server.State.of_materialization ~queue_capacity m)
         in
         let srv =
-          Guarded_server.Server.listen ?snapshot ~log:(Fmt.epr "%s@.") state addr
+          Guarded_server.Server.listen ?snapshot ~log:(Fmt.epr "%s@.") ~workers state addr
         in
         let stop_requested = ref false in
         let request_stop _ = stop_requested := true in
@@ -603,7 +611,51 @@ let listen_cmd =
          ])
     Term.(
       const run $ theory_arg $ db_opt_arg $ socket_arg $ host_arg $ port_arg $ snapshot_arg
-      $ queue_arg $ budget_arg $ domains_arg $ demand_arg)
+      $ queue_arg $ budget_arg $ domains_arg $ demand_arg $ workers_arg)
+
+(* [--hammer N]: N concurrent light clients, a handful of STATS round
+   trips each — the smoke-scale version of the serve bench's sweep,
+   used by CI to prove the reactor holds 1000+ connections. *)
+let run_hammer addr n =
+  ignore (Guarded_server.Evloop.raise_fd_limit (n + 512));
+  let requests = 5 in
+  let lat = Array.make (n * requests) 0. in
+  let fail_mutex = Mutex.create () in
+  let failures = ref 0 in
+  let client k () =
+    match Guarded_server.Client.connect addr with
+    | exception _ ->
+      Mutex.lock fail_mutex;
+      failures := !failures + requests;
+      Mutex.unlock fail_mutex
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Guarded_server.Client.close c)
+        (fun () ->
+          for i = 0 to requests - 1 do
+            let t0 = Unix.gettimeofday () in
+            match Guarded_server.Client.request c Guarded_server.Wire.Stats with
+            | Guarded_server.Wire.Stats_reply _ ->
+              lat.((k * requests) + i) <- Unix.gettimeofday () -. t0
+            | _ | (exception _) ->
+              Mutex.lock fail_mutex;
+              incr failures;
+              Mutex.unlock fail_mutex
+          done)
+  in
+  let threads = List.init n (fun k -> Thread.create (client k) ()) in
+  List.iter Thread.join threads;
+  Array.sort Float.compare lat;
+  let pct p =
+    let valid = Array.length lat - !failures in
+    if valid <= 0 then 0.
+    else lat.(Array.length lat - valid + min (valid - 1) (int_of_float (p *. float_of_int valid)))
+  in
+  Fmt.pr "hammer: %d clients x %d requests, %d failures, p50 %.0f µs, p95 %.0f µs@." n requests
+    !failures
+    (pct 0.50 *. 1e6)
+    (pct 0.95 *. 1e6);
+  if !failures > 0 then exit 1
 
 let client_cmd =
   let exec_arg =
@@ -613,9 +665,21 @@ let client_cmd =
           ~doc:"Protocol command to send (repeatable); without it, read commands from \
                 standard input.")
   in
-  let run socket host port cmds =
+  let hammer_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hammer" ] ~docv:"N"
+          ~doc:
+            "Open N concurrent connections, send a few STATS round trips on each, report \
+             latency percentiles and exit — a load-smoke against a running server.")
+  in
+  let run socket host port cmds hammer =
     handle_errors (fun () ->
         let addr = resolve_address socket host port in
+        match hammer with
+        | Some n -> run_hammer addr n
+        | None ->
         let c =
           try Guarded_server.Client.connect addr
           with Unix.Unix_error (e, _, _) ->
@@ -658,9 +722,100 @@ let client_cmd =
            `P
              "Connects to $(b,--socket) or $(b,--host)/$(b,--port) and sends each $(b,-e) \
               command (or each standard-input line) as one request, printing the reply. \
-              Exits nonzero when any reply is an ERROR.";
+              Exits nonzero when any reply is an ERROR. With $(b,--hammer N), instead opens \
+              N concurrent connections and reports round-trip latency percentiles.";
          ])
-    Term.(const run $ socket_arg $ host_arg $ port_arg $ exec_arg)
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ exec_arg $ hammer_arg)
+
+let load_wire_cmd =
+  let db_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DATABASE" ~doc:"Fact file to ingest into the server's EDB.")
+  in
+  let text_flag =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"Stage one pipelined +fact. frame per fact instead of binary LOAD blocks — \
+                the slow path, kept for comparison.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 8192 & info [ "chunk" ] ~docv:"N" ~doc:"Facts per LOAD frame.")
+  in
+  let no_commit_flag =
+    Arg.(value & flag & info [ "no-commit" ] ~doc:"Stage only; skip the final COMMIT.")
+  in
+  let run db_path socket host port text chunk no_commit =
+    handle_errors (fun () ->
+        let facts = Database.to_list (load_db db_path) in
+        let n = List.length facts in
+        let addr = resolve_address socket host port in
+        let c =
+          try Guarded_server.Client.connect addr
+          with Unix.Unix_error (e, _, _) ->
+            Fmt.epr "connect failed: %s@." (Unix.error_message e);
+            exit 1
+        in
+        Fun.protect
+          ~finally:(fun () -> Guarded_server.Client.close c)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            (if text then begin
+               let bad =
+                 List.exists
+                   (function Guarded_server.Wire.Failed _ -> true | _ -> false)
+                   (Guarded_server.Client.pipeline c
+                      (List.map (fun a -> Guarded_server.Wire.Add a) facts))
+               in
+               if bad then begin
+                 Fmt.epr "staging failed@.";
+                 exit 1
+               end
+             end
+             else
+               match Guarded_server.Client.load ~chunk c facts with
+               | Ok m when m = n -> ()
+               | Ok m ->
+                 Fmt.epr "staged %d of %d facts@." m n;
+                 exit 1
+               | Error msg ->
+                 Fmt.epr "load failed: %s@." msg;
+                 exit 1);
+            let dt = Unix.gettimeofday () -. t0 in
+            Fmt.pr "staged %d facts in %.3f s (%.0f facts/s, %s)@." n dt
+              (float_of_int n /. Float.max dt 1e-9)
+              (if text then "text" else "binary");
+            if not no_commit then begin
+              let t1 = Unix.gettimeofday () in
+              match Guarded_server.Client.request c Guarded_server.Wire.Commit with
+              | Guarded_server.Wire.Committed { added; removed; epoch } ->
+                Fmt.pr "committed: +%d -%d @%d in %.3f s@." added removed epoch
+                  (Unix.gettimeofday () -. t1)
+              | Guarded_server.Wire.Failed msg ->
+                Fmt.epr "commit failed: %s@." msg;
+                exit 1
+              | _ ->
+                Fmt.epr "protocol error: expected COMMITTED@.";
+                exit 1
+            end))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Bulk-ingest a fact file into a running guarded listen server."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Parses DATABASE locally, ships its facts to the server as length-prefixed \
+              binary $(b,LOAD) frames (bypassing per-line text parsing on both sides), and \
+              commits the staged batch. $(b,--text) uses pipelined $(b,+fact.) frames \
+              instead, which is the baseline the serve benchmark compares against.";
+         ])
+    Term.(
+      const run $ db_pos $ socket_arg $ host_arg $ port_arg $ text_flag $ chunk_arg
+      $ no_commit_flag)
 
 let () =
   let doc = "guarded existential rule languages (PODS 2014) — translations and query answering" in
@@ -678,4 +833,5 @@ let () =
             update_cmd;
             listen_cmd;
             client_cmd;
+            load_wire_cmd;
           ]))

@@ -85,9 +85,17 @@ module Cons_key = struct
 
   let equal (r1, a1) (r2, a2) = r1 = r2 && a1 = a2
 
+  (* Multiply-xorshift per element. A plain [h * 31 + i] fold leaves
+     dense sequential term ids in an arithmetic progression, and
+     [Hashtbl] masks hashes with their low bits — bulk-interned facts
+     (ids 2i, 2i+1, ...) would collapse into a handful of buckets and
+     turn every hash-cons hit into a long chain scan. *)
   let hash (r, a) =
-    let h = Array.fold_left (fun h i -> (h * 31) + i) r a in
-    h land max_int
+    let mix h k =
+      let h = (h lxor k) * 0x9E3779B1 in
+      h lxor (h lsr 17)
+    in
+    Array.fold_left mix (mix 0x1000193 r) a land max_int
 end
 
 module Cons_tbl = Hashtbl.Make (Cons_key)

@@ -141,6 +141,14 @@ let read_rule s =
 let write_theory buf sigma = write_list buf write_rule (Theory.rules sigma)
 let read_theory s = Theory.of_rules (read_list s read_rule)
 
+let write_fact_block buf facts = List.iter (write_atom buf) facts
+
+let read_fact_block s n =
+  List.init n (fun _ ->
+      let a = read_atom s in
+      if not (Atom.is_ground a) then corrupt "non-ground fact %a in fact block" Atom.pp a;
+      a)
+
 let write_database buf db =
   let facts = List.sort Atom.compare (Database.to_list db) in
   write_list buf write_atom facts

@@ -57,6 +57,15 @@ val read_rule : source -> Rule.t
 val write_theory : Buffer.t -> Theory.t -> unit
 val read_theory : source -> Theory.t
 
+val write_fact_block : Buffer.t -> Atom.t list -> unit
+(** Appends the facts back to back, one {!write_atom} each, with no
+    count prefix — the bulk-ingest [LOAD] wire form, whose fact count
+    travels in the frame's header line instead. *)
+
+val read_fact_block : source -> int -> Atom.t list
+(** [read_fact_block src n] reads exactly [n] atoms in order.
+    @raise Corrupt also when a decoded atom is not a ground fact. *)
+
 val write_database : Buffer.t -> Database.t -> unit
 (** Facts are written in {!Atom.compare} order, so equal databases
     encode to equal bytes regardless of insertion history. *)

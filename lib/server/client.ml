@@ -1,35 +1,67 @@
+(** Pipelining client; see the interface for the buffering contract. *)
+
 module Delta = Guarded_incr.Delta
 
-type t = { fd : Unix.file_descr; mutable open_ : bool }
+type t = { fd : Unix.file_descr; out : Buffer.t; mutable open_ : bool }
 
-let connect_fd fd = { fd; open_ = true }
+let connect_fd fd = { fd; out = Buffer.create 4096; open_ = true }
 
-let connect_unix path =
-  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_UNIX path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  connect_fd fd
+(* A server mid-churn (or with a momentarily full accept backlog)
+   refuses transiently; a short retry loop keeps sweep drivers from
+   dying on what a second attempt would survive. *)
+let connect_sock ~domain addr =
+  let rec go attempts =
+    let fd = Unix.socket domain SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | EAGAIN | EWOULDBLOCK | EINTR | ETIMEDOUT), _, _)
+      when attempts > 1 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Unix.select [] [] [] 0.025);
+      go (attempts - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go 40
+
+let connect_unix path = connect_fd (connect_sock ~domain:PF_UNIX (ADDR_UNIX path))
 
 let connect_tcp host port =
   let addr =
     try (Unix.gethostbyname host).h_addr_list.(0)
     with Not_found -> Unix.inet_addr_of_string host
   in
-  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_INET (addr, port))
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  connect_fd fd
+  connect_fd (connect_sock ~domain:PF_INET (ADDR_INET (addr, port)))
 
 let connect = function
   | Server.Unix_socket path -> connect_unix path
   | Server.Tcp (host, port) -> connect_tcp host port
 
-let request c req =
-  Wire.write_frame c.fd (Wire.print_request req);
+(* ------------------------------------------------------------------ *)
+(* Buffered framing                                                    *)
+
+let add_frame buf payload =
+  let n = String.length payload in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf payload
+
+let send c req = add_frame c.out (Wire.print_request req)
+
+let flush c =
+  let s = Buffer.contents c.out in
+  Buffer.clear c.out;
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring c.fd s !pos (len - !pos)
+  done
+
+let recv c =
+  flush c;
   match Wire.read_frame c.fd with
   | None -> raise (Wire.Protocol_error "server closed the connection mid-request")
   | Some payload -> (
@@ -37,10 +69,33 @@ let request c req =
     | Ok resp -> resp
     | Error msg -> raise (Wire.Protocol_error ("ill-formed reply: " ^ msg)))
 
+let request c req =
+  send c req;
+  recv c
+
 let request_line c line =
   match Wire.parse_request line with
   | Error msg -> Wire.Failed msg
   | Ok req -> request c req
+
+let pipeline ?(window = 128) c reqs =
+  let window = max 1 window in
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let out = Array.make n Wire.Ok in
+  let sent = ref 0 and rcvd = ref 0 in
+  while !rcvd < n do
+    while !sent < n && !sent - !rcvd < window do
+      send c reqs.(!sent);
+      incr sent
+    done;
+    out.(!rcvd) <- recv c;
+    incr rcvd
+  done;
+  Array.to_list out
+
+(* ------------------------------------------------------------------ *)
+(* Conveniences                                                        *)
 
 let query c rel =
   match request c (Wire.Query { rel; pattern = None }) with
@@ -49,27 +104,43 @@ let query c rel =
   | _ -> raise (Wire.Protocol_error "expected ANSWERS")
 
 let commit c (delta : Delta.t) =
-  let stage req =
-    match request c req with
-    | Wire.Ok -> Ok ()
-    | Wire.Failed msg -> Error msg
-    | _ -> raise (Wire.Protocol_error "expected OK")
-  in
-  let rec stage_all = function
-    | [] -> Ok ()
-    | req :: rest -> ( match stage req with Ok () -> stage_all rest | Error _ as e -> e)
-  in
   let reqs =
     List.map (fun a -> Wire.Add a) delta.Delta.additions
     @ List.map (fun a -> Wire.Remove a) delta.Delta.deletions
   in
-  match stage_all reqs with
-  | Error _ as e -> e
-  | Ok () -> (
+  let failed =
+    List.find_map (function Wire.Failed msg -> Some msg | _ -> None) (pipeline c reqs)
+  in
+  match failed with
+  | Some msg -> Error msg
+  | None -> (
     match request c Wire.Commit with
     | Wire.Committed { added; removed; epoch } -> Ok (added, removed, epoch)
     | Wire.Failed msg -> Error msg
     | _ -> raise (Wire.Protocol_error "expected COMMITTED"))
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take k acc rest =
+      match (k, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | k, x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let head, tail = take n [] l in
+    head :: chunks n tail
+
+let load ?(chunk = 8192) c facts =
+  let chunk = max 1 chunk in
+  let resps = pipeline c (List.map Wire.load_of_facts (chunks chunk facts)) in
+  List.fold_left
+    (fun acc resp ->
+      match (acc, resp) with
+      | (Error _ as e), _ -> e
+      | Ok n, Wire.Loaded m -> Ok (n + m)
+      | Ok _, Wire.Failed msg -> Error msg
+      | Ok _, _ -> raise (Wire.Protocol_error "expected LOADED"))
+    (Ok 0) resps
 
 let stats c =
   match request c Wire.Stats with
@@ -81,7 +152,8 @@ let close c =
   if c.open_ then begin
     c.open_ <- false;
     (try
-       Wire.write_frame c.fd (Wire.print_request Wire.Quit);
+       send c Wire.Quit;
+       flush c;
        ignore (Wire.read_frame c.fd)
      with Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ());
     try Unix.close c.fd with Unix.Unix_error _ -> ()

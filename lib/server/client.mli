@@ -1,40 +1,72 @@
 (** Blocking client for the serving protocol — the substrate of
-    [guarded client] and the test suites' oracle harness. *)
+    [guarded client] and the test suites' oracle harness.
+
+    Requests buffer locally until {!flush} (or any read), so a burst of
+    {!send}s reaches the wire in one write. {!pipeline} keeps a bounded
+    window of requests in flight — the server answers strictly in
+    order, so responses pair up positionally — and {!load} ships an EDB
+    as chunked binary [LOAD] frames, the bulk-ingest fast path. *)
 
 open Guarded_core
 
 type t
 
 val connect_unix : string -> t
-(** Connect to a Unix-domain socket at the path. *)
+(** Connect to a Unix-domain socket at the path. Transient refusals
+    ([ECONNREFUSED]/[EAGAIN] from a full accept backlog) are retried
+    briefly before the error propagates. *)
 
 val connect_tcp : string -> int -> t
-(** Connect to [host:port]. *)
+(** Connect to [host:port], with the same transient-refusal retry. *)
 
 val connect : Server.address -> t
 (** Connect to whatever {!Server.address} the server reports — handy
     against a [Tcp (_, 0)] server, whose real port is only known after
     binding. *)
 
+val send : t -> Wire.request -> unit
+(** Queue one request frame in the local output buffer. *)
+
+val flush : t -> unit
+(** Write every queued frame to the socket. *)
+
+val recv : t -> Wire.response
+(** Flush, then read one response frame.
+    @raise Wire.Protocol_error on a broken or ill-formed reply,
+    including an unexpected EOF. *)
+
 val request : t -> Wire.request -> Wire.response
-(** One round trip. @raise Wire.Protocol_error on a broken or
-    ill-formed reply, including an unexpected EOF. *)
+(** One round trip: {!send}, {!flush}, {!recv}. *)
 
 val request_line : t -> string -> Wire.response
 (** Parse one protocol line locally and send it — what the interactive
     [guarded client] REPL does per input line. Malformed input becomes a
     local [Failed] response without touching the wire. *)
 
+val pipeline : ?window:int -> t -> Wire.request list -> Wire.response list
+(** [pipeline c reqs] sends the requests keeping up to [window]
+    (default 128) in flight and returns the responses positionally.
+    The window bounds both sides' buffering — a client that wrote
+    everything before reading anything could deadlock against the
+    server's output backpressure. *)
+
 val query : t -> string -> Term.t list list
 (** [query c rel]: the relation's answer tuples.
     @raise Failure when the server replies [ERROR]. *)
 
 val commit : t -> Guarded_incr.Delta.t -> (int * int * int, string) result
-(** Stage every line of the batch, then [COMMIT]; returns
+(** Stage every line of the batch (pipelined), then [COMMIT]; returns
     [(added, removed, epoch)]. *)
+
+val load : ?chunk:int -> t -> Atom.t list -> (int, string) result
+(** [load c facts] stages the facts through binary [LOAD] frames of
+    [chunk] facts each (default 8192), pipelined; returns the total
+    staged. Nothing is committed — follow with {!commit} or a [COMMIT]
+    request. *)
 
 val stats : t -> Wire.stats
 (** @raise Failure when the server replies [ERROR]. *)
 
 val close : t -> unit
-(** Sends [QUIT] (best effort) and closes the socket. Idempotent. *)
+(** Flushes, sends [QUIT] (best effort) and closes the socket.
+    Idempotent. *)

@@ -1,0 +1,17 @@
+(** poll(2) binding; see the interface. The event bits must stay in
+    sync with poll_stubs.c. *)
+
+let pollin = 1
+let pollout = 2
+
+external poll_stub : Unix.file_descr array -> int array -> int array -> int -> int
+  = "guarded_poll_stub"
+
+external raise_nofile_stub : int -> int = "guarded_raise_nofile_stub"
+
+let poll fds events revents timeout_ms =
+  if Array.length fds <> Array.length events || Array.length fds <> Array.length revents
+  then invalid_arg "Evloop.poll: array lengths differ";
+  poll_stub fds events revents timeout_ms
+
+let raise_fd_limit n = raise_nofile_stub n

@@ -1,0 +1,71 @@
+(** Growable byte queue; see the interface. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable head : int;  (** first unconsumed byte *)
+  mutable len : int;  (** unconsumed bytes *)
+}
+
+let create n = { buf = Bytes.create (max 16 n); head = 0; len = 0 }
+let length t = t.len
+
+(* Make room for [n] more bytes at the tail: compact to the front when
+   the dead prefix alone frees enough, grow (doubling) otherwise. *)
+let reserve t n =
+  let cap = Bytes.length t.buf in
+  if t.head + t.len + n > cap then
+    if t.len + n <= cap then begin
+      Bytes.blit t.buf t.head t.buf 0 t.len;
+      t.head <- 0
+    end
+    else begin
+      let cap' = ref (max 16 (2 * cap)) in
+      while t.len + n > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf t.head buf' 0 t.len;
+      t.buf <- buf';
+      t.head <- 0
+    end
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf (t.head + t.len) n;
+  t.len <- t.len + n
+
+let add_subbytes t b off n =
+  reserve t n;
+  Bytes.blit b off t.buf (t.head + t.len) n;
+  t.len <- t.len + n
+
+let peek_u32be t =
+  if t.len < 4 then None
+  else begin
+    let b i = Char.code (Bytes.get t.buf (t.head + i)) in
+    Some ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+  end
+
+let consume t n =
+  t.head <- t.head + n;
+  t.len <- t.len - n;
+  if t.len = 0 then t.head <- 0
+
+let take_string t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Iobuf.take_string: not enough buffered bytes";
+  let s = Bytes.sub_string t.buf (t.head + off) len in
+  consume t (off + len);
+  s
+
+let rec write t fd =
+  if t.len = 0 then 0
+  else
+    match Unix.write fd t.buf t.head t.len with
+    | 0 -> 0
+    | n ->
+      consume t n;
+      n + write t fd
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> 0
+    | exception Unix.Unix_error (EINTR, _, _) -> write t fd

@@ -1,0 +1,42 @@
+(** A growable byte queue for non-blocking connection I/O.
+
+    One {!t} sits on each side of a connection in the reactor: the read
+    buffer accumulates whatever [read(2)] delivered until whole frames
+    can be cut from the front (incremental frame parsing), and the
+    write buffer coalesces any number of queued responses into as few
+    [write(2)] calls as the socket accepts (batched wire writes with
+    backpressure measured by {!length}).
+
+    Bytes append at the tail and are consumed from the head; the
+    underlying buffer compacts lazily, so sustained streaming does not
+    grow it beyond the high-water mark of unconsumed bytes. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty queue with [n] bytes of initial capacity. *)
+
+val length : t -> int
+(** Unconsumed bytes currently queued. *)
+
+val add_string : t -> string -> unit
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+
+val peek_u32be : t -> int option
+(** The big-endian 32-bit value at the head, without consuming it;
+    [None] when fewer than 4 bytes are queued — the frame-header
+    probe. *)
+
+val take_string : t -> off:int -> len:int -> string
+(** [take_string t ~off ~len] copies bytes [off, off+len) (relative to
+    the head) out as a string and consumes the first [off + len] queued
+    bytes — cutting a frame's payload while discarding its header.
+    @raise Invalid_argument when fewer than [off + len] bytes are
+    queued. *)
+
+val write : t -> Unix.file_descr -> int
+(** Writes from the head until the queue empties or the descriptor
+    stops accepting ([EAGAIN]/[EWOULDBLOCK], which is not an error);
+    consumes and returns the number of bytes written. [EINTR] retries.
+    Any other [Unix.Unix_error] propagates — a vanished peer surfaces
+    here. *)

@@ -1,0 +1,106 @@
+/* poll(2) and RLIMIT_NOFILE bindings for the event-loop server core.
+ *
+ * OCaml's Unix.select rejects file descriptors >= FD_SETSIZE (1024 on
+ * Linux), which caps a select-driven reactor far below the 1k+
+ * concurrent connections the serving benchmarks drive.  poll(2) has no
+ * such limit, so the reactor waits here instead.  The stub copies the
+ * fd/event arrays into a C pollfd array, releases the OCaml runtime
+ * lock for the duration of the wait (the writer thread and the worker
+ * pool keep running), and writes the revents back after reacquiring
+ * it. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/unixsupport.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+/* Event bits shared with Evloop: keep in sync with evloop.ml. */
+#define GUARDED_POLLIN 1
+#define GUARDED_POLLOUT 2
+
+CAMLprim value guarded_poll_stub(value v_fds, value v_events, value v_revents,
+                                 value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  int n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int ret, i;
+
+  if (Wosize_val(v_events) != (uintnat)n || Wosize_val(v_revents) != (uintnat)n)
+    caml_invalid_argument("Evloop.poll: array lengths differ");
+
+  if (n > 0) {
+    pfds = malloc(sizeof(struct pollfd) * n);
+    if (pfds == NULL) caml_raise_out_of_memory();
+    for (i = 0; i < n; i++) {
+      int ev = Int_val(Field(v_events, i));
+      pfds[i].fd = Int_val(Field(v_fds, i));
+      pfds[i].events = ((ev & GUARDED_POLLIN) ? POLLIN : 0)
+                       | ((ev & GUARDED_POLLOUT) ? POLLOUT : 0);
+      pfds[i].revents = 0;
+    }
+  }
+
+  caml_release_runtime_system();
+  ret = poll(pfds, n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ret < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(0)); /* a signal; caller re-polls */
+    unix_error(err, "poll", Nothing);
+  }
+
+  for (i = 0; i < n; i++) {
+    /* HUP/ERR/NVAL surface as readability (and writability when
+       requested): the subsequent read/write reports the error, which
+       is how the reactor learns a peer vanished. */
+    int r = pfds[i].revents;
+    int out = 0;
+    if (r & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) out |= GUARDED_POLLIN;
+    if (r & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) out |= GUARDED_POLLOUT;
+    Field(v_revents, i) = Val_int(out);
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ret));
+}
+
+/* Raise the soft RLIMIT_NOFILE towards [v_want] (clamped to the hard
+ * limit) and return the resulting soft limit.  Sweeping to 1k+
+ * connections needs ~2n descriptors when the driving clients live in
+ * the same process, which overflows the conservative 1024 default of
+ * many distributions. */
+CAMLprim value guarded_raise_nofile_stub(value v_want)
+{
+  CAMLparam1(v_want);
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(v_want);
+
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    unix_error(errno, "getrlimit", Nothing);
+  if (rl.rlim_cur < want) {
+    rlim_t target = want;
+    if (rl.rlim_max != RLIM_INFINITY && target > rl.rlim_max)
+      target = rl.rlim_max;
+    if (target > rl.rlim_cur) {
+      rl.rlim_cur = target;
+      /* Best effort: a refusal leaves the old limit in place. */
+      (void)setrlimit(RLIMIT_NOFILE, &rl);
+      if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+        unix_error(errno, "getrlimit", Nothing);
+    }
+  }
+  if (rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur > (rlim_t)Max_long)
+    CAMLreturn(Val_long(Max_long));
+  CAMLreturn(Val_long((long)rl.rlim_cur));
+}

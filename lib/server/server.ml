@@ -1,4 +1,4 @@
-(** Socket acceptor and per-connection request loops. *)
+(** The poll(2)-driven reactor; see the interface for the design. *)
 
 open Guarded_core
 module Incr = Guarded_incr.Incr
@@ -7,30 +7,120 @@ module Delta = Guarded_incr.Delta
 
 type address = Unix_socket of string | Tcp of string * int
 
+(* Backpressure water marks on a connection's output buffer: reads
+   pause above [high_water] and resume once a flush drains the buffer
+   to [low_water]. *)
+let high_water = 1 lsl 20
+let low_water = 64 * 1024
+
+(* A connection may pipeline requests ahead of their answers; past
+   this many parsed-but-unanswered requests its reads pause too (the
+   output-side water marks cannot see requests whose responses do not
+   exist yet). *)
+let max_pending = 4096
+
+(* Staged updates live on the connection, as reversed lists: +/-
+   accumulate here in O(1) per fact, LOAD blocks are kept raw (staging
+   one is a pointer push, decoding waits for the COMMIT worker), and
+   only COMMIT materializes the {!Delta.t}. Only the reactor touches a
+   session while the connection is idle; only the owning worker while
+   it is busy. *)
+type session = {
+  mutable adds_rev : Atom.t list;
+  mutable dels_rev : Atom.t list;
+  mutable loads_rev : Wire.fact_block list;
+}
+
+(* Parsed input units, kept in arrival order so responses — including
+   parse errors — come back in the order the requests went in. [Bad]
+   answers with ERROR and keeps the connection; [Fatal] answers with
+   ERROR and closes it (oversized frame: the payload was never
+   buffered, so nothing after it can be framed again). *)
+type pitem =
+  | Req of Wire.request
+  | Bad of string
+  | Fatal of string
+
+type conn = {
+  cid : int;  (** table key — not the fd, which the kernel reuses *)
+  fd : Unix.file_descr;
+  rbuf : Iobuf.t;
+  wbuf : Iobuf.t;
+  pending : pitem Queue.t;
+  mutable busy : bool;  (** a worker owns the head request *)
+  mutable eof : bool;  (** no more input will be read *)
+  mutable closing : bool;  (** close once [wbuf] drains *)
+  mutable stalled : bool;  (** reads paused by backpressure *)
+  mutable closed : bool;
+  session : session;
+}
+
+(* Reactor-computed gauges frozen into a STATS job at dispatch time,
+   so the worker needs no access to the connection table. *)
+type gauges = {
+  g_connections : int;
+  g_total : int;
+  g_bytes_buffered : int;
+  g_stalls : int;
+  g_load_facts : int;
+}
+
+type job = { j_conn : conn; j_req : Wire.request; j_gauges : gauges option }
+
 type t = {
   state : State.t;
   snapshot_path : string option;
   log : string -> unit;
   listener : Unix.file_descr;
   bound : address;
-  mutex : Mutex.t;
-  mutable conns : (Unix.file_descr * Thread.t) list;
-  mutable total_connections : int;
-  mutable stopping : bool;
+  (* Self-pipe: workers and [stop] write a byte to interrupt the
+     reactor's poll — shutdown and completions never wait out a
+     timeout. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  (* Reactor-owned; no other thread touches these. *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_cid : int;
+  (* Reactor -> workers. *)
+  jobs : job Queue.t;
+  jobs_mutex : Mutex.t;
+  jobs_cond : Condition.t;
+  mutable jobs_stop : bool;
+  (* Workers -> reactor: (connection, response, keep-open). *)
+  completions : (conn * Wire.response * bool) Queue.t;
+  comp_mutex : Mutex.t;
+  (* Counters readable from any thread. *)
+  metrics_mutex : Mutex.t;
+  mutable m_connections_open : int;
+  mutable m_total_connections : int;
+  mutable m_backpressure_stalls : int;
+  mutable m_load_facts : int;
+  stopping : bool Atomic.t;
+  mutable reactor : Thread.t option;
+  mutable workers : Thread.t list;
+  stop_mutex : Mutex.t;
   mutable stopped : bool;
-  mutable acceptor : Thread.t option;
 }
 
 let address t = t.bound
 
 let connections t =
-  Mutex.lock t.mutex;
-  let n = List.length t.conns in
-  Mutex.unlock t.mutex;
+  Mutex.lock t.metrics_mutex;
+  let n = t.m_connections_open in
+  Mutex.unlock t.metrics_mutex;
   n
 
+let wake_byte = Bytes.make 1 '\001'
+
+(* Best effort: a full pipe already guarantees a pending wakeup, and a
+   closed one means the reactor is gone. *)
+let wake t =
+  match Unix.write t.wake_w wake_byte 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
 (* ------------------------------------------------------------------ *)
-(* Query evaluation                                                    *)
+(* Query evaluation (runs on worker threads)                           *)
 
 (* [? REL(pattern)]: stream index candidates, confirm each against the
    pattern, keep the matched argument tuples. Constants-only, like
@@ -75,13 +165,6 @@ let eval_query state (req : Wire.request) : Wire.response =
   State.note_query state (Unix.gettimeofday () -. t0);
   resp
 
-(* ------------------------------------------------------------------ *)
-(* Per-connection loop                                                 *)
-
-(* Staged updates live on the connection: +/- accumulate here and only
-   COMMIT submits them to the single writer. *)
-type session = { mutable staged : Delta.t }
-
 let save_snapshot t path =
   let sigma, dump =
     State.with_read t.state (fun incr -> (Incr.program incr, Incr.dump incr))
@@ -89,26 +172,56 @@ let save_snapshot t path =
   Snapshot.save ~path sigma dump;
   t.log (Fmt.str "snapshot saved to %s (%d EDB facts)" path (Database.cardinal dump.Incr.d_edb))
 
-let handle_request t session (req : Wire.request) : Wire.response * bool =
-  match req with
-  | Wire.Query _ | Wire.Cq _ -> (eval_query t.state req, true)
-  | Wire.Add a ->
-    session.staged <- Delta.add_fact session.staged a;
-    (Wire.Ok, true)
-  | Wire.Remove a ->
-    session.staged <- Delta.remove_fact session.staged a;
-    (Wire.Ok, true)
-  | Wire.Commit ->
-    let delta = session.staged in
-    session.staged <- Delta.empty;
-    (match State.commit t.state delta with
-    | Ok r -> (Wire.Committed { added = r.cr_added; removed = r.cr_removed; epoch = r.cr_epoch }, true)
-    | Error msg -> (Wire.Failed msg, true))
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+
+let run_job t (job : job) : Wire.response * bool =
+  match job.j_req with
+  | Wire.Query _ | Wire.Cq _ -> (eval_query t.state job.j_req, true)
+  | Wire.Commit -> (
+    (* The connection is [busy] for the whole job, so the session is
+       ours alone here. Staged LOAD blocks decode now, on this worker —
+       never on the reactor — and a corrupt block fails the COMMIT and
+       discards the whole staged batch. *)
+    let s = job.j_conn.session in
+    let additions = List.rev s.adds_rev
+    and deletions = List.rev s.dels_rev
+    and loads = List.rev s.loads_rev in
+    s.adds_rev <- [];
+    s.dels_rev <- [];
+    s.loads_rev <- [];
+    let decoded =
+      List.fold_left
+        (fun acc b ->
+          match acc with
+          | Error _ -> acc
+          | Ok fss -> (
+            match Wire.facts_of_load b with
+            | Ok fs -> Ok (fs :: fss)
+            | Error msg -> Error msg))
+        (Ok []) loads
+    in
+    match decoded with
+    | Error msg -> (Wire.Failed msg, true)
+    | Ok loaded_rev -> (
+      let additions = List.concat (additions :: List.rev loaded_rev) in
+      let delta = Delta.of_lists ~additions ~deletions in
+      match State.commit t.state delta with
+      | Ok r ->
+        (Wire.Committed { added = r.cr_added; removed = r.cr_removed; epoch = r.cr_epoch }, true)
+      | Error msg -> (Wire.Failed msg, true)))
   | Wire.Stats ->
-    Mutex.lock t.mutex;
-    let conns = List.length t.conns and total = t.total_connections in
-    Mutex.unlock t.mutex;
-    (Wire.Stats_reply (State.stats t.state ~connections:conns ~total_connections:total), true)
+    let g =
+      match job.j_gauges with
+      | Some g -> g
+      | None ->
+        { g_connections = 0; g_total = 0; g_bytes_buffered = 0; g_stalls = 0; g_load_facts = 0 }
+    in
+    ( Wire.Stats_reply
+        (State.stats t.state ~connections:g.g_connections ~total_connections:g.g_total
+           ~bytes_buffered:g.g_bytes_buffered ~backpressure_stalls:g.g_stalls
+           ~load_facts:g.g_load_facts ()),
+      true )
   | Wire.Snapshot path -> (
     if State.demand_mode t.state then
       (* Nothing is materialized, so there is no per-stratum dump to
@@ -116,71 +229,318 @@ let handle_request t session (req : Wire.request) : Wire.response * bool =
       (Wire.Failed "snapshots are not available in demand mode", true)
     else
       match (path, t.snapshot_path) with
-      | None, None -> (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
+      | None, None ->
+        (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
       | Some p, _ | None, Some p -> (
         match save_snapshot t p with
         | () -> (Wire.Ok, true)
         | exception Sys_error m -> (Wire.Failed m, true)))
-  | Wire.Quit -> (Wire.Bye, false)
+  | Wire.Add _ | Wire.Remove _ | Wire.Load _ | Wire.Quit ->
+    (* Handled inline by the reactor; never dispatched. *)
+    assert false
 
-let connection_loop t fd =
-  let session = { staged = Delta.empty } in
+let worker_loop t =
   let rec loop () =
-    match Wire.read_frame fd with
-    | None -> ()
-    | Some payload ->
-      let resp, keep_going =
-        match Wire.parse_request payload with
-        | Error msg -> (Wire.Failed msg, true)
-        | Ok req -> (
-          try handle_request t session req
-          with Invalid_argument m | Failure m -> (Wire.Failed m, true))
+    Mutex.lock t.jobs_mutex;
+    while Queue.is_empty t.jobs && not t.jobs_stop do
+      Condition.wait t.jobs_cond t.jobs_mutex
+    done;
+    match Queue.take_opt t.jobs with
+    | None -> Mutex.unlock t.jobs_mutex (* stopping with an empty queue *)
+    | Some job ->
+      Mutex.unlock t.jobs_mutex;
+      let resp, keep =
+        try run_job t job
+        with Invalid_argument m | Failure m -> (Wire.Failed m, true)
       in
-      Wire.write_frame fd (Wire.print_response resp);
-      if keep_going then loop ()
-  in
-  (try loop () with
-  | Wire.Protocol_error m -> t.log (Fmt.str "connection dropped: %s" m)
-  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ()
-  | Sys_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Mutex.lock t.mutex;
-  t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns;
-  Mutex.unlock t.mutex
-
-(* ------------------------------------------------------------------ *)
-(* Acceptor                                                            *)
-
-(* The acceptor polls with a timeout instead of blocking in [accept]:
-   on Linux, closing a listener does not wake a thread already blocked
-   in accept(2), so a blocking acceptor would survive [stop] and the
-   join would hang. [select] returns immediately when a connection is
-   pending; the timeout only bounds how long [stop] waits. *)
-let accept_loop t =
-  let rec loop () =
-    if t.stopping then ()
-    else
-      match Unix.select [ t.listener ] [] [] 0.2 with
-      | [], _, _ -> loop ()
-      | _ :: _, _, _ -> (
-        match Unix.accept t.listener with
-        | fd, _ ->
-          Mutex.lock t.mutex;
-          if t.stopping then begin
-            Mutex.unlock t.mutex;
-            (try Unix.close fd with Unix.Unix_error _ -> ())
-          end
-          else begin
-            t.total_connections <- t.total_connections + 1;
-            let th = Thread.create (fun () -> connection_loop t fd) () in
-            t.conns <- (fd, th) :: t.conns;
-            Mutex.unlock t.mutex
-          end;
-          loop ()
-        | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED | EINTR), _, _) -> loop ())
-      | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> loop ()
+      Mutex.lock t.comp_mutex;
+      Queue.add (job.j_conn, resp, keep) t.completions;
+      Mutex.unlock t.comp_mutex;
+      wake t;
+      loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Reactor: connection bookkeeping                                     *)
+
+let close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    Hashtbl.remove t.conns c.cid;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.metrics_mutex;
+    t.m_connections_open <- t.m_connections_open - 1;
+    Mutex.unlock t.metrics_mutex
+  end
+
+(* Append one framed response to the connection's write buffer; the
+   flush phase drains it once per tick, so pipelined responses share
+   write(2) calls. *)
+let enqueue_response c resp =
+  let payload = Wire.print_response resp in
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  Iobuf.add_subbytes c.wbuf hdr 0 4;
+  Iobuf.add_string c.wbuf payload
+
+let update_stall t c =
+  if (not c.stalled) && Iobuf.length c.wbuf > high_water then begin
+    c.stalled <- true;
+    Mutex.lock t.metrics_mutex;
+    t.m_backpressure_stalls <- t.m_backpressure_stalls + 1;
+    Mutex.unlock t.metrics_mutex
+  end
+  else if c.stalled && Iobuf.length c.wbuf <= low_water then c.stalled <- false
+
+let dispatch t c req =
+  let gauges =
+    match req with
+    | Wire.Stats ->
+      let bytes = Hashtbl.fold (fun _ c acc -> acc + Iobuf.length c.wbuf) t.conns 0 in
+      Mutex.lock t.metrics_mutex;
+      let g =
+        {
+          g_connections = t.m_connections_open;
+          g_total = t.m_total_connections;
+          g_bytes_buffered = bytes;
+          g_stalls = t.m_backpressure_stalls;
+          g_load_facts = t.m_load_facts;
+        }
+      in
+      Mutex.unlock t.metrics_mutex;
+      Some g
+    | _ -> None
+  in
+  Mutex.lock t.jobs_mutex;
+  Queue.add { j_conn = c; j_req = req; j_gauges = gauges } t.jobs;
+  Condition.signal t.jobs_cond;
+  Mutex.unlock t.jobs_mutex
+
+(* Drain the connection's pending queue in order: staging requests are
+   answered inline, anything touching the state goes to a worker —
+   which marks the connection busy until its completion comes back, so
+   per-connection response order is submission order. *)
+let process_ready t c =
+  let continue = ref true in
+  while !continue && (not c.busy) && (not c.closing) && not (Queue.is_empty c.pending) do
+    match Queue.pop c.pending with
+    | Bad msg -> enqueue_response c (Wire.Failed msg)
+    | Fatal msg ->
+      enqueue_response c (Wire.Failed msg);
+      c.closing <- true
+    | Req req -> (
+      match req with
+      | Wire.Add a ->
+        (* The parser only produces ground facts, so staging is a cons. *)
+        c.session.adds_rev <- a :: c.session.adds_rev;
+        enqueue_response c Wire.Ok
+      | Wire.Remove a ->
+        c.session.dels_rev <- a :: c.session.dels_rev;
+        enqueue_response c Wire.Ok
+      | Wire.Load b ->
+        (* Staging keeps the block raw; the COMMIT worker decodes it.
+           The count is the header's claim — a lying header surfaces as
+           a failed COMMIT, not a failed LOAD. *)
+        c.session.loads_rev <- b :: c.session.loads_rev;
+        Mutex.lock t.metrics_mutex;
+        t.m_load_facts <- t.m_load_facts + b.Wire.fb_count;
+        Mutex.unlock t.metrics_mutex;
+        enqueue_response c (Wire.Loaded b.Wire.fb_count)
+      | Wire.Quit ->
+        enqueue_response c Wire.Bye;
+        c.closing <- true
+      | Wire.Query _ | Wire.Cq _ | Wire.Commit | Wire.Stats | Wire.Snapshot _ ->
+        c.busy <- true;
+        dispatch t c req;
+        continue := false)
+  done
+
+(* Cut every complete frame off the front of the read buffer. An
+   oversized declared length is fatal: its payload is never buffered,
+   so the stream cannot be re-framed — answer ERROR (in order) and
+   stop reading. *)
+let cut_frames t c =
+  let continue = ref true in
+  while !continue do
+    match Iobuf.peek_u32be c.rbuf with
+    | None -> continue := false
+    | Some len ->
+      if len > Wire.max_frame then begin
+        Queue.add
+          (Fatal (Fmt.str "frame of %d bytes exceeds the %d-byte limit" len Wire.max_frame))
+          c.pending;
+        c.eof <- true;
+        continue := false
+      end
+      else if Iobuf.length c.rbuf >= 4 + len then begin
+        let payload = Iobuf.take_string c.rbuf ~off:4 ~len in
+        match Wire.parse_request payload with
+        | Ok req -> Queue.add (Req req) c.pending
+        | Error msg -> Queue.add (Bad msg) c.pending
+      end
+      else continue := false
+  done;
+  process_ready t c
+
+let handle_readable t c scratch =
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | 0 ->
+    c.eof <- true;
+    if Iobuf.length c.rbuf > 0 then begin
+      (* Bytes left that no longer form a frame: the peer died mid-send. *)
+      t.log "connection dropped: truncated frame";
+      close_conn t c
+    end
+  | n ->
+    Iobuf.add_subbytes c.rbuf scratch 0 n;
+    cut_frames t c
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t c
+
+let accept_ready t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listener with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd TCP_NODELAY true
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      let cid = t.next_cid in
+      t.next_cid <- cid + 1;
+      let c =
+        {
+          cid;
+          fd;
+          rbuf = Iobuf.create 4096;
+          wbuf = Iobuf.create 4096;
+          pending = Queue.create ();
+          busy = false;
+          eof = false;
+          closing = false;
+          stalled = false;
+          closed = false;
+          session = { adds_rev = []; dels_rev = []; loads_rev = [] };
+        }
+      in
+      Hashtbl.replace t.conns cid c;
+      Mutex.lock t.metrics_mutex;
+      t.m_total_connections <- t.m_total_connections + 1;
+      t.m_connections_open <- t.m_connections_open + 1;
+      Mutex.unlock t.metrics_mutex
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> continue := false
+    | exception Unix.Unix_error ((ECONNABORTED | EMFILE | ENFILE), _, _) -> continue := false
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reactor: the tick                                                   *)
+
+let drain_wake t scratch =
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.wake_r scratch 0 (Bytes.length scratch) with
+    | 0 -> continue := false
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> continue := false
+  done
+
+let drain_completions t =
+  Mutex.lock t.comp_mutex;
+  let comps = Queue.fold (fun acc x -> x :: acc) [] t.completions in
+  Queue.clear t.completions;
+  Mutex.unlock t.comp_mutex;
+  List.iter
+    (fun (c, resp, keep) ->
+      if not c.closed then begin
+        c.busy <- false;
+        enqueue_response c resp;
+        if not keep then c.closing <- true;
+        process_ready t c
+      end)
+    (List.rev comps)
+
+let conn_events c =
+  let want_read =
+    (not c.closing) && (not c.eof) && (not c.stalled) && Queue.length c.pending < max_pending
+  in
+  (if want_read then Evloop.pollin else 0) lor (if Iobuf.length c.wbuf > 0 then Evloop.pollout else 0)
+
+let tick t scratch =
+  let polled =
+    Hashtbl.fold
+      (fun _ c acc -> if conn_events c <> 0 then c :: acc else acc)
+      t.conns []
+  in
+  let n = 2 + List.length polled in
+  let fds = Array.make n t.wake_r in
+  let evs = Array.make n 0 in
+  let rvs = Array.make n 0 in
+  evs.(0) <- Evloop.pollin;
+  fds.(1) <- t.listener;
+  evs.(1) <- Evloop.pollin;
+  List.iteri
+    (fun i c ->
+      fds.(i + 2) <- c.fd;
+      evs.(i + 2) <- conn_events c)
+    polled;
+  ignore (Evloop.poll fds evs rvs (-1));
+  if Atomic.get t.stopping then ()
+  else begin
+    if rvs.(0) land Evloop.pollin <> 0 then drain_wake t scratch;
+    drain_completions t;
+    if rvs.(1) land Evloop.pollin <> 0 then accept_ready t;
+    List.iteri
+      (fun i c ->
+        if (not c.closed) && rvs.(i + 2) land Evloop.pollin <> 0 then
+          handle_readable t c scratch)
+      polled;
+    (* Flush phase: one write per connection with queued output, then
+       backpressure transitions and deferred closes. *)
+    let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    List.iter
+      (fun c ->
+        if not c.closed then begin
+          if Iobuf.length c.wbuf > 0 then begin
+            match Iobuf.write c.wbuf c.fd with
+            | _ -> ()
+            | exception Unix.Unix_error _ -> close_conn t c
+          end;
+          if not c.closed then begin
+            update_stall t c;
+            if
+              (not c.busy)
+              && Iobuf.length c.wbuf = 0
+              && (c.closing || (c.eof && Queue.is_empty c.pending))
+            then close_conn t c
+          end
+        end)
+      all
+  end
+
+let reactor_loop t =
+  let scratch = Bytes.create 65536 in
+  while not (Atomic.get t.stopping) do
+    tick t scratch
+  done;
+  (* Shutdown: drop every connection so blocked clients see EOF. *)
+  Hashtbl.iter
+    (fun _ c ->
+      c.closed <- true;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  Hashtbl.reset t.conns;
+  Mutex.lock t.metrics_mutex;
+  t.m_connections_open <- 0;
+  Mutex.unlock t.metrics_mutex;
+  try Unix.close t.listener with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
 
 let bind_listener = function
   | Unix_socket path ->
@@ -201,11 +561,16 @@ let bind_listener = function
     in
     (fd, Tcp (host, bound_port))
 
-let listen ?snapshot ?(log = fun _ -> ()) state addr =
+let listen ?snapshot ?(log = fun _ -> ()) ?(workers = 4) state addr =
   (* A client vanishing mid-reply must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  ignore (Evloop.raise_fd_limit 16384);
   let listener, bound = bind_listener addr in
-  Unix.listen listener 64;
+  Unix.listen listener 1024;
+  Unix.set_nonblock listener;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       state;
@@ -213,15 +578,30 @@ let listen ?snapshot ?(log = fun _ -> ()) state addr =
       log;
       listener;
       bound;
-      mutex = Mutex.create ();
-      conns = [];
-      total_connections = 0;
-      stopping = false;
+      wake_r;
+      wake_w;
+      conns = Hashtbl.create 64;
+      next_cid = 0;
+      jobs = Queue.create ();
+      jobs_mutex = Mutex.create ();
+      jobs_cond = Condition.create ();
+      jobs_stop = false;
+      completions = Queue.create ();
+      comp_mutex = Mutex.create ();
+      metrics_mutex = Mutex.create ();
+      m_connections_open = 0;
+      m_total_connections = 0;
+      m_backpressure_stalls = 0;
+      m_load_facts = 0;
+      stopping = Atomic.make false;
+      reactor = None;
+      workers = [];
+      stop_mutex = Mutex.create ();
       stopped = false;
-      acceptor = None;
     }
   in
-  t.acceptor <- Some (Thread.create accept_loop t);
+  t.reactor <- Some (Thread.create reactor_loop t);
+  t.workers <- List.init (max 1 workers) (fun _ -> Thread.create worker_loop t);
   let pp_addr = function
     | Unix_socket p -> Fmt.str "unix:%s" p
     | Tcp (h, p) -> Fmt.str "tcp:%s:%d" h p
@@ -230,23 +610,25 @@ let listen ?snapshot ?(log = fun _ -> ()) state addr =
   t
 
 let stop t =
-  Mutex.lock t.mutex;
-  if t.stopped then begin
-    Mutex.unlock t.mutex
-  end
+  Mutex.lock t.stop_mutex;
+  if t.stopped then Mutex.unlock t.stop_mutex
   else begin
-    t.stopping <- true;
     t.stopped <- true;
-    let conns = t.conns in
-    Mutex.unlock t.mutex;
-    (* Closing the listener unblocks [accept]. *)
-    (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    Option.iter Thread.join t.acceptor;
-    (* Shut connections down so blocked reads return EOF, then join. *)
-    List.iter
-      (fun (fd, _) -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns;
-    List.iter (fun (_, th) -> Thread.join th) conns;
+    Mutex.unlock t.stop_mutex;
+    Atomic.set t.stopping true;
+    wake t;
+    Option.iter Thread.join t.reactor;
+    t.reactor <- None;
+    Mutex.lock t.jobs_mutex;
+    t.jobs_stop <- true;
+    Condition.broadcast t.jobs_cond;
+    Mutex.unlock t.jobs_mutex;
+    (* Workers blocked in [State.commit] finish normally: the state's
+       writer thread lives until [State.shutdown] below. *)
+    List.iter Thread.join t.workers;
+    t.workers <- [];
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
     (match t.snapshot_path with
     | Some path when not (State.demand_mode t.state) -> (
       try save_snapshot t path

@@ -1,12 +1,29 @@
-(** The network reasoning server: socket acceptor and connection
-    threads over a {!State.t}.
+(** The network reasoning server: a single-threaded non-blocking
+    reactor over a {!State.t}.
 
-    One thread per connection; queries run concurrently under
-    {!State.with_read}, staged [+fact.]/[-fact.] lines become a
-    {!Guarded_incr.Delta.t} applied on [COMMIT] through the state's
-    single writer. {!stop} closes the listener, shuts every live
-    connection down and joins all threads — a graceful shutdown that
-    leaves no half-written frames. *)
+    One event-loop thread owns every connection descriptor: a
+    {!Evloop.poll}-driven loop reads whatever the sockets deliver into
+    per-connection {!Iobuf} read buffers, cuts complete frames
+    incrementally, and coalesces any number of responses into the
+    per-connection write buffer, flushed once per tick (batched wire
+    writes). A connection whose output buffer crosses the high-water
+    mark stops being read until it drains below the low-water mark
+    (backpressure), so a slow consumer cannot balloon the server's
+    memory.
+
+    Cheap requests — staging [+fact.]/[-fact.] lines, bulk [LOAD]
+    blocks, [QUIT] — are answered inline by the reactor. Anything that
+    takes the state's reader-writer lock or blocks on the commit queue
+    (queries, UCQs, [COMMIT], [STATS], [SNAPSHOT]) is handed to a small
+    worker pool so the reactor never blocks; each connection's requests
+    are still answered strictly in submission order (pipelining-safe).
+    The single-writer discipline is unchanged: commits flow through
+    {!State.commit} to the state's dedicated writer thread.
+
+    {!stop} wakes the reactor through its self-pipe — shutdown is
+    immediate, with no polling delay — closes the listener and every
+    connection, joins the workers, fails pending commits and saves the
+    snapshot if configured. *)
 
 type address =
   | Unix_socket of string  (** path; unlinked on [listen] and [stop] *)
@@ -17,13 +34,16 @@ type t
 val listen :
   ?snapshot:string ->
   ?log:(string -> unit) ->
+  ?workers:int ->
   State.t ->
   address ->
   t
-(** Binds, starts the acceptor thread, returns immediately. [snapshot]
-    is the default path for the [SNAPSHOT] command (with no argument)
-    and is written once more during {!stop}. [log] receives one line
-    per lifecycle event (default: drop). *)
+(** Binds, starts the reactor and [workers] request threads (default
+    4, clamped to [>= 1]), returns immediately. [snapshot] is the
+    default path for the [SNAPSHOT] command (with no argument) and is
+    written once more during {!stop}. [log] receives one line per
+    lifecycle event (default: drop); it may be called from the reactor
+    or a worker thread. *)
 
 val address : t -> address
 (** The bound address — with [Tcp (_, 0)], the actual port. *)
@@ -31,6 +51,7 @@ val address : t -> address
 val connections : t -> int
 
 val stop : t -> unit
-(** Graceful shutdown: stop accepting, close live connections, join
-    all threads, fail pending commits, save the snapshot if configured.
-    Idempotent; safe to call from a signal-triggered context. *)
+(** Graceful shutdown: wake the reactor, stop accepting, close live
+    connections, join reactor and workers, fail pending commits, save
+    the snapshot if configured. Idempotent; safe to call from a
+    signal-triggered context. *)

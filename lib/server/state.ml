@@ -252,7 +252,8 @@ let note_query t dt =
   reservoir_add t.query_lat dt;
   Mutex.unlock t.mutex
 
-let stats t ~connections ~total_connections =
+let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure_stalls = 0)
+    ?(load_facts = 0) () =
   (* Cardinalities are read under the shared lock (the writer may be
      mid-batch), counters under the mutex. In demand mode the resident
      store is the raw EDB and [facts] counts it; the materialization
@@ -284,6 +285,10 @@ let stats t ~connections ~total_connections =
       s_queue_depth = Queue.length t.queue;
       s_connections = connections;
       s_total_connections = total_connections;
+      s_connections_open = connections;
+      s_bytes_buffered = bytes_buffered;
+      s_backpressure_stalls = backpressure_stalls;
+      s_load_facts = load_facts;
       s_query_p50_us = reservoir_percentile t.query_lat 0.50;
       s_query_p95_us = reservoir_percentile t.query_lat 0.95;
       s_commit_p50_us = reservoir_percentile t.commit_lat 0.50;

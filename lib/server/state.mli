@@ -86,9 +86,18 @@ val note_query : t -> float -> unit
 (** Record one served query and its latency in seconds; feeds the
     [STATS] percentiles. *)
 
-val stats : t -> connections:int -> total_connections:int -> Wire.stats
+val stats :
+  t ->
+  connections:int ->
+  total_connections:int ->
+  ?bytes_buffered:int ->
+  ?backpressure_stalls:int ->
+  ?load_facts:int ->
+  unit ->
+  Wire.stats
 (** A consistent counter snapshot, with the caller's connection gauges
-    spliced in. *)
+    and event-loop counters spliced in (the reactor owns those; they
+    default to zero for callers without one). *)
 
 val shutdown : t -> unit
 (** Drains nothing: pending commits are failed with an error, the

@@ -3,11 +3,14 @@
 
 open Guarded_core
 
+type fact_block = { fb_count : int; fb_block : string }
+
 type request =
   | Query of { rel : string; pattern : Term.t list option }
   | Cq of Guarded_cq.Ucq.t * string
   | Add of Atom.t
   | Remove of Atom.t
+  | Load of fact_block
   | Commit
   | Stats
   | Snapshot of string option
@@ -22,6 +25,10 @@ type stats = {
   s_queue_depth : int;
   s_connections : int;
   s_total_connections : int;
+  s_connections_open : int;
+  s_bytes_buffered : int;
+  s_backpressure_stalls : int;
+  s_load_facts : int;
   s_query_p50_us : int;
   s_query_p95_us : int;
   s_commit_p50_us : int;
@@ -41,6 +48,7 @@ type response =
   | Ok
   | Answers of Term.t list list
   | Committed of { added : int; removed : int; epoch : int }
+  | Loaded of int
   | Stats_reply of stats
   | Failed of string
   | Bye
@@ -66,6 +74,10 @@ let print_request = function
       (List.map (fun q -> (q, rel)) u.Guarded_cq.Ucq.disjuncts)
   | Add a -> Fmt.str "+%a." Atom.pp_quoted a
   | Remove a -> Fmt.str "-%a." Atom.pp_quoted a
+  | Load b ->
+    (* A textual header line, then the binary Codec block — the whole
+       request still travels as one frame. *)
+    Fmt.str "LOAD %d\n" b.fb_count ^ b.fb_block
   | Commit -> "COMMIT"
   | Stats -> "STATS"
   | Snapshot None -> "SNAPSHOT"
@@ -88,6 +100,14 @@ let stats_fields =
     ( "total_connections",
       (fun s -> s.s_total_connections),
       fun s v -> { s with s_total_connections = v } );
+    ( "connections_open",
+      (fun s -> s.s_connections_open),
+      fun s v -> { s with s_connections_open = v } );
+    ("bytes_buffered", (fun s -> s.s_bytes_buffered), fun s v -> { s with s_bytes_buffered = v });
+    ( "backpressure_stalls",
+      (fun s -> s.s_backpressure_stalls),
+      fun s v -> { s with s_backpressure_stalls = v } );
+    ("load_facts", (fun s -> s.s_load_facts), fun s v -> { s with s_load_facts = v });
     ("query_p50_us", (fun s -> s.s_query_p50_us), fun s v -> { s with s_query_p50_us = v });
     ("query_p95_us", (fun s -> s.s_query_p95_us), fun s v -> { s with s_query_p95_us = v });
     ("commit_p50_us", (fun s -> s.s_commit_p50_us), fun s v -> { s with s_commit_p50_us = v });
@@ -115,6 +135,10 @@ let zero_stats =
     s_queue_depth = 0;
     s_connections = 0;
     s_total_connections = 0;
+    s_connections_open = 0;
+    s_bytes_buffered = 0;
+    s_backpressure_stalls = 0;
+    s_load_facts = 0;
     s_query_p50_us = 0;
     s_query_p95_us = 0;
     s_commit_p50_us = 0;
@@ -140,6 +164,7 @@ let print_response = function
       (Fmt.list ~sep:Fmt.nop (fun ppf t -> Fmt.pf ppf "@,%a" pp_tuple t))
       tuples
   | Committed { added; removed; epoch } -> Fmt.str "COMMITTED +%d -%d @%d" added removed epoch
+  | Loaded n -> Fmt.str "LOADED %d" n
   | Stats_reply s ->
     Fmt.str "@[<v>STATS%a@]"
       (Fmt.list ~sep:Fmt.nop (fun ppf (key, get, _) -> Fmt.pf ppf "@,%s %d" key (get s)))
@@ -196,7 +221,51 @@ let split_keyword line =
     ( String.uppercase_ascii (String.sub line 0 i),
       String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
 
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> Stdlib.Ok n
+  | None -> Error (Fmt.str "%s: expected an integer, got %S" what s)
+
+(* [LOAD <n>\n<codec fact block>]: the payload is binary past the
+   header line, so it must be dissected before any trimming. Only the
+   header is validated here — the block itself is decoded at COMMIT, in
+   a worker thread, so a multi-megabyte block never stalls the reactor
+   (see {!facts_of_load}). *)
+let parse_load payload =
+  match String.index_opt payload '\n' with
+  | None -> Error "load: expected LOAD <count>, a newline, then the binary fact block"
+  | Some nl -> (
+    let header = String.trim (String.sub payload 0 nl) in
+    let block = String.sub payload (nl + 1) (String.length payload - nl - 1) in
+    match split_keyword header with
+    | "LOAD", count ->
+      let* n = parse_int "load" count in
+      if n < 0 then Error "load: negative fact count"
+      else Stdlib.Ok (Load { fb_count = n; fb_block = block })
+    | kw, _ -> Error (Fmt.str "load: malformed header %S" kw))
+
+let load_of_facts facts =
+  let buf = Buffer.create (16 + (16 * List.length facts)) in
+  Codec.write_fact_block buf facts;
+  Load { fb_count = List.length facts; fb_block = Buffer.contents buf }
+
+let facts_of_load b =
+  let src = Codec.source_of_string b.fb_block in
+  match
+    let facts = Codec.read_fact_block src b.fb_count in
+    Codec.expect_end src;
+    facts
+  with
+  | facts -> Stdlib.Ok facts
+  | exception Codec.Corrupt m -> Error (Fmt.str "load: corrupt fact block: %s" m)
+
+let is_load payload =
+  String.length payload >= 5 && String.uppercase_ascii (String.sub payload 0 4) = "LOAD"
+  && (payload.[4] = ' ' || payload.[4] = '\n')
+
 let parse_request payload =
+  if is_load payload then parse_load payload
+  else
   let line = String.trim payload in
   if line = "" then Error "empty request"
   else if String.length line >= 2 && String.sub line 0 2 = "??" then
@@ -215,6 +284,7 @@ let parse_request payload =
     | "QUIT", "" | "EXIT", "" -> Stdlib.Ok Quit
     | "SNAPSHOT", "" -> Stdlib.Ok (Snapshot None)
     | "SNAPSHOT", path -> Stdlib.Ok (Snapshot (Some path))
+    | "LOAD", _ -> Error "load: expected LOAD <count>, a newline, then the binary fact block"
     | kw, _ -> Error (Fmt.str "unknown request %S" kw)
 
 (* A tuple line "(t1, ..., tk)" parses by dressing it up as an atom. *)
@@ -228,11 +298,6 @@ let rec map_result f = function
     let* y = f x in
     let* ys = map_result f rest in
     Stdlib.Ok (y :: ys)
-
-let parse_int what s =
-  match int_of_string_opt s with
-  | Some n -> Stdlib.Ok n
-  | None -> Error (Fmt.str "%s: expected an integer, got %S" what s)
 
 let parse_stats lines =
   let* s =
@@ -276,6 +341,9 @@ let parse_response payload =
         let* epoch = parse_int "committed" (String.sub e 1 (String.length e - 1)) in
         Stdlib.Ok (Committed { added; removed; epoch })
       | _ -> Error (Fmt.str "committed: malformed detail %S" detail))
+    | "LOADED", n ->
+      let* n = parse_int "loaded" n in
+      Stdlib.Ok (Loaded n)
     | "STATS", "" -> parse_stats rest
     | kw, _ -> Error (Fmt.str "unknown response %S" kw))
 

@@ -10,6 +10,7 @@
                  | "?? " cq (";" cq)*                conjunctive query (UCQ)
                  | "+" fact "."                      stage an insertion
                  | "-" fact "."                      stage a deletion
+                 | "LOAD " n NL factblock            stage n binary facts
                  | "COMMIT"                          apply the staged batch
                  | "STATS"                           counters and latencies
                  | "SNAPSHOT" [ " " path ]           persist a snapshot
@@ -17,10 +18,23 @@
       response ::= "OK"
                  | "ANSWERS " n NL tuple*            one "(t1, ..., tk)" per line
                  | "COMMITTED +" a " -" r " @" epoch
+                 | "LOADED " n                       facts staged by a LOAD
                  | "STATS" NL (key " " value)*
                  | "ERROR " message
                  | "BYE"
     v}
+
+    [LOAD] is the bulk-ingest fast path: its [factblock] is [n] ground
+    facts in {!Guarded_core.Codec.write_atom}'s binary encoding, back
+    to back with no count prefix (the count travels in the header
+    line), so a 100k-fact EDB stages without 100k lines of text
+    parsing. Only the header is validated on receipt — staging a block
+    is a copy, and decoding happens inside [COMMIT] (off the event
+    loop, in a worker thread). The staged facts join the connection's
+    pending batch exactly as that many [+fact.] lines would; a corrupt
+    or non-ground block therefore surfaces as an [ERROR] reply to the
+    [COMMIT], which discards the whole staged batch and leaves the
+    connection usable.
 
     [STATS] keys include the demand-mode subgoal-cache counters —
     [cache_hits], [cache_misses], [cache_entries] (currently resident)
@@ -31,6 +45,17 @@
     mode [cache_hits]/[cache_misses]/[cache_evictions] are monotone
     across a connection's lifetime.
 
+    The event-loop counters describe the reactor that owns every
+    connection: [connections_open] (gauge: descriptors currently
+    registered, equals [connections]), [bytes_buffered] (gauge: bytes
+    coalesced in output buffers across all connections, awaiting the
+    socket), [backpressure_stalls] (monotone: times a connection's
+    output buffer crossed the high-water mark and its reads were
+    paused until the buffer drained to the low-water mark) and
+    [load_facts] (monotone: facts staged through [LOAD] since
+    startup). [scripts/server_smoke.sh] asserts the presence of all
+    four and the monotonicity of the latter two.
+
     Keywords are accepted case-insensitively; printers emit the
     canonical uppercase spelling and quote constants as needed
     ({!Guarded_core.Term.pp_quoted}), so [parse ∘ print] is the
@@ -38,6 +63,11 @@
     suite checks on generated batches and queries. *)
 
 open Guarded_core
+
+type fact_block = { fb_count : int; fb_block : string }
+(** An undecoded [LOAD] payload: the declared fact count and the raw
+    binary block. Decoding is deferred to commit time — see
+    {!facts_of_load}. *)
 
 type request =
   | Query of { rel : string; pattern : Term.t list option }
@@ -49,6 +79,9 @@ type request =
           the string is the head relation name (kept for printing). *)
   | Add of Atom.t
   | Remove of Atom.t
+  | Load of fact_block
+      (** [LOAD n] — stage [n] ground facts delivered as a binary
+          {!Guarded_core.Codec.write_fact_block}; the bulk-ingest path. *)
   | Commit
   | Stats
   | Snapshot of string option
@@ -63,6 +96,10 @@ type stats = {
   s_queue_depth : int;  (** commit queue occupancy *)
   s_connections : int;  (** currently open connections *)
   s_total_connections : int;
+  s_connections_open : int;  (** reactor's open-descriptor gauge *)
+  s_bytes_buffered : int;  (** output bytes coalesced, awaiting sockets *)
+  s_backpressure_stalls : int;  (** high-water crossings (monotone) *)
+  s_load_facts : int;  (** facts staged via [LOAD] (monotone) *)
   s_query_p50_us : int;  (** query latency percentiles, microseconds *)
   s_query_p95_us : int;
   s_commit_p50_us : int;  (** commit latency percentiles, microseconds *)
@@ -82,12 +119,23 @@ type response =
   | Ok
   | Answers of Term.t list list
   | Committed of { added : int; removed : int; epoch : int }
+  | Loaded of int  (** facts staged by a [LOAD] *)
   | Stats_reply of stats
   | Failed of string
   | Bye
 
 val print_request : request -> string
 val parse_request : string -> (request, string) result
+
+val load_of_facts : Atom.t list -> request
+(** Encodes ground facts into a [Load] request (header count + binary
+    block). *)
+
+val facts_of_load : fact_block -> (Atom.t list, string) result
+(** Decodes a staged block back into its facts; [Error] on a truncated
+    or corrupt block, on trailing bytes, or on a non-ground fact. This
+    is the deferred half of [LOAD] — the server calls it from the
+    worker that executes the [COMMIT]. *)
 
 val print_response : response -> string
 val parse_response : string -> (response, string) result

@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Performance gate (ISSUE 6, satellite 6; extended for ISSUE 7): build,
-# run the join-engine, column-store and demand-serving suites,
-# re-record the tracked bench sections and fail if any of them
+# Performance gate (ISSUE 6, satellite 6; extended for ISSUEs 7 and 8):
+# build, run the join-engine, column-store, demand-serving and server
+# suites, re-record the tracked bench sections and fail if any of them
 # regressed past the wall-clock or memory limits of the committed
-# baseline, or if the demand section's own acceptance checks (>=2x
-# lower resident heap than materialization, hot queries >=5x faster
-# than cold) stop holding.
+# baseline, or if a section's own acceptance checks stop holding:
+#   - demand: >=2x lower resident heap than materialization, hot
+#     queries >=5x faster than cold;
+#   - serve: the light-client sweep sustains >=1000 concurrent
+#     connections with zero failures (p95 latency reported);
+#   - ingest: binary LOAD stages a >=100k-fact EDB >=5x faster than
+#     the equivalent +fact. text stream, with equal resulting EDBs.
 #
 # Usage: scripts/perf_gate.sh [BASELINE.json]
 #
-# The baseline defaults to BENCH_7.json (the first recording that
-# carries the demand section; against older baselines the new sections
+# The baseline defaults to BENCH_8.json (the first recording that
+# carries the ingest section; against older baselines the new sections
 # are reported and ignored). The recording is left in current.json for
 # inspection.
 set -euo pipefail
 
-BASELINE="${1:-BENCH_7.json}"
+BASELINE="${1:-BENCH_8.json}"
 [ -f "$BASELINE" ] || { echo "perf_gate: baseline $BASELINE not found"; exit 2; }
 
 dune build
@@ -28,24 +32,32 @@ dune exec test/test_main.exe -- test colstore
 # The demand-serving oracle: 110 randomized schedules where the
 # demand backend must agree with the materialized one.
 dune exec test/test_main.exe -- test demand
+# The server suite: framing, chunked-delivery invariance, LOAD = text
+# ingest equivalence, concurrency oracles.
+dune exec test/test_main.exe -- test server
 
 # Re-record the tracked sections (sequential and 2-domain legs, like
 # the committed baseline) and gate: >2x wall-clock plus 0.25s slack, or
 # >2x allocation/heap plus 64MB slack, on any section fails the build.
 dune exec bench/main.exe -- \
-  --json current.json --domains 1,2 fig2 thm1 thm2 thm5 sat incr serve demand joins micro \
+  --json current.json --domains 1,2 \
+  fig2 thm1 thm2 thm5 sat incr serve ingest demand joins micro \
   | tee current.out
 dune exec bench/regress.exe -- "$BASELINE" current.json
 
-# The demand section prints one "demand ... check: ok (...)" line per
-# acceptance criterion and workload size; any FAILED line, or a
-# missing ok line, fails the gate.
+# Each gated section prints one "<section> ... check: ok (...)" line
+# per acceptance criterion; any FAILED line, or a missing ok line,
+# fails the gate.
 if grep -q "check: FAILED" current.out; then
-  echo "perf_gate: demand acceptance check failed"; exit 1
+  echo "perf_gate: an acceptance check failed"; exit 1
 fi
 grep -q "demand heap check.*: ok" current.out \
   || { echo "perf_gate: demand heap check line missing"; exit 1; }
 grep -q "demand hot-query check.*: ok" current.out \
   || { echo "perf_gate: demand hot-query check line missing"; exit 1; }
+grep -q "serve light-client check: ok" current.out \
+  || { echo "perf_gate: serve light-client check line missing"; exit 1; }
+grep -q "ingest speedup check: ok" current.out \
+  || { echo "perf_gate: ingest speedup check line missing"; exit 1; }
 
 echo "perf gate: OK (baseline $BASELINE)"

@@ -53,15 +53,17 @@ for _ in $(seq 1 50); do
 done
 [ -S "$SOCK" ] || { echo "server did not come up"; cat "$WORK/listen.log"; exit 1; }
 
-# STATS helpers: every cache counter key must be present (satellite 2
-# of ISSUE 7 documents them in the wire grammar), and the monotone
-# ones must never decrease across two identical queries.
+# STATS helpers: every cache counter key (satellite 2 of ISSUE 7) and
+# every event-loop counter key (satellite 2 of ISSUE 8) must be
+# present, and the monotone ones must never decrease across two
+# identical queries.
 stat_of() { # stat_of FILE KEY
   awk -v key="$2" '$1 == key { print $2; found = 1 } END { if (!found) exit 1 }' "$1"
 }
 take_stats() { # take_stats FILE
   $GUARDED client --socket "$SOCK" -e STATS > "$1"
-  for key in cache_hits cache_misses cache_entries cache_evictions heap_kb demand; do
+  for key in cache_hits cache_misses cache_entries cache_evictions heap_kb demand \
+             connections_open bytes_buffered backpressure_stalls load_facts; do
     stat_of "$1" "$key" > /dev/null \
       || { echo "STATS missing key $key"; cat "$1"; exit 1; }
   done
@@ -78,7 +80,7 @@ $GUARDED client --socket "$SOCK" -e "? path" > /dev/null
 take_stats "$WORK/stats1.out"
 $GUARDED client --socket "$SOCK" -e "? path" > /dev/null
 take_stats "$WORK/stats2.out"
-for key in cache_hits cache_misses cache_evictions; do
+for key in cache_hits cache_misses cache_evictions backpressure_stalls load_facts; do
   V1=$(stat_of "$WORK/stats1.out" "$key")
   V2=$(stat_of "$WORK/stats2.out" "$key")
   [ "$V2" -ge "$V1" ] || { echo "$key not monotone: $V1 -> $V2"; exit 1; }
@@ -117,6 +119,22 @@ AFTER=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
 [ "$AFTER" = "ANSWERS 6" ] || { echo "expected ANSWERS 6 after update, got: $AFTER"; exit 1; }
 $GUARDED client --socket "$SOCK" -e "? path(a, ?X)" | head -1 | grep -qx "ANSWERS 0" \
   || { echo "deleted edge still answers"; exit 1; }
+
+# Bulk ingest over the binary LOAD path: 200 disjoint edges staged by
+# `guarded load` in one go, committed, and served; load_facts must
+# count them (it is monotone and was 0 until now).
+seq 1 200 | awk '{ printf "e(u%d, v%d).\n", $1, $1 }' > "$WORK/bulk.db"
+$GUARDED load "$WORK/bulk.db" --socket "$SOCK" --chunk 64 > "$WORK/load.out"
+grep -q "^staged 200 facts" "$WORK/load.out" \
+  || { echo "bulk load did not stage 200 facts"; cat "$WORK/load.out"; exit 1; }
+grep -q "^committed: +" "$WORK/load.out" \
+  || { echo "bulk load did not commit"; cat "$WORK/load.out"; exit 1; }
+BULK=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
+[ "$BULK" = "ANSWERS 206" ] \
+  || { echo "expected ANSWERS 206 after the bulk load, got: $BULK"; exit 1; }
+take_stats "$WORK/stats_load.out"
+[ "$(stat_of "$WORK/stats_load.out" load_facts)" -ge 200 ] \
+  || { echo "load_facts did not count the bulk load"; cat "$WORK/stats_load.out"; exit 1; }
 
 if [ "$MODE" = demand ]; then
   # The commit invalidated path's component; snapshots are refused.
@@ -157,7 +175,7 @@ if [ "$MODE" = materialized ]; then
     sleep 0.2
   done
   WARM=$($GUARDED client --socket "$SOCK" -e "? path" | head -1)
-  [ "$WARM" = "ANSWERS 6" ] || { echo "warm restart: expected ANSWERS 6, got: $WARM"; exit 1; }
+  [ "$WARM" = "ANSWERS 206" ] || { echo "warm restart: expected ANSWERS 206, got: $WARM"; exit 1; }
   kill -TERM "$SERVER_PID"
   wait "$SERVER_PID" 2>/dev/null || true
 fi

@@ -54,6 +54,8 @@ let test_wire_requests () =
       Wire.Stats;
       Wire.Snapshot None;
       Wire.Snapshot (Some "/tmp/some file.snap");
+      Wire.load_of_facts [];
+      Wire.load_of_facts [ Atom.make "p" awkward; atom "e(a, b)" ];
       Wire.Quit;
     ]
   in
@@ -70,7 +72,26 @@ let test_wire_requests () =
   let rejected s = Result.is_error (Wire.parse_request s) in
   Alcotest.(check bool) "empty" true (rejected "");
   Alcotest.(check bool) "garbage" true (rejected "FROBNICATE now");
-  Alcotest.(check bool) "non-ground add" true (rejected "+p(X).")
+  Alcotest.(check bool) "non-ground add" true (rejected "+p(X).");
+  (* LOAD needs a count and a newline; the block itself is validated
+     only when the COMMIT decodes it *)
+  Alcotest.(check bool) "bare LOAD" true (rejected "LOAD");
+  Alcotest.(check bool) "LOAD without a count" true (rejected "LOAD x\n");
+  Alcotest.(check bool) "LOAD with a negative count" true (rejected "LOAD -1\n");
+  (let decoded s =
+     match Wire.parse_request s with
+     | Ok (Wire.Load b) -> Wire.facts_of_load b
+     | Ok _ -> Error "parsed as a non-LOAD request"
+     | Error m -> Error m
+   in
+   Alcotest.(check bool) "truncated block decodes to Error" true
+     (Result.is_error (decoded "LOAD 2\n"));
+   Alcotest.(check bool) "non-ground block decodes to Error" true
+     (Result.is_error
+        (decoded (Wire.print_request (Wire.load_of_facts [ Atom.make "p" [ Term.Var "X" ] ]))));
+   Alcotest.(check bool) "well-formed block decodes" true
+     (decoded (Wire.print_request (Wire.load_of_facts [ atom "e(a, b)" ]))
+     = Ok [ atom "e(a, b)" ]))
 
 let test_wire_responses () =
   let resps =
@@ -84,6 +105,7 @@ let test_wire_responses () =
           List.map (fun c -> Term.Const c) awkward_constants;
         ];
       Wire.Committed { added = 3; removed = 1; epoch = 42 };
+      Wire.Loaded 12345;
       Wire.Failed "no such relation";
       Wire.Stats_reply
         {
@@ -95,6 +117,10 @@ let test_wire_responses () =
           s_queue_depth = 6;
           s_connections = 7;
           s_total_connections = 8;
+          s_connections_open = 7;
+          s_bytes_buffered = 21;
+          s_backpressure_stalls = 22;
+          s_load_facts = 23;
           s_query_p50_us = 9;
           s_query_p95_us = 10;
           s_commit_p50_us = 11;
@@ -470,6 +496,253 @@ let test_concurrent_sockets () =
           (* 1 edge initially + one per committed batch, all disjoint *)
           Alcotest.(check int) "edb facts" (1 + (n_clients * n_rounds)) s.Wire.s_edb_facts))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental framing: delivery chunking must be invisible            *)
+
+let raw_connect = function
+  | Server.Unix_socket path ->
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_UNIX path);
+    fd
+  | Server.Tcp (host, port) ->
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+    fd
+
+let frame payload =
+  let n = String.length payload in
+  let b = Buffer.create (4 + n) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Write the whole byte stream in the given chunk sizes (remainder as
+   one write), then collect every response frame until the server
+   closes — each session ends in QUIT, so EOF is the terminator. *)
+let deliver addr stream chunk_sizes =
+  let fd = raw_connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let pos = ref 0 and len = String.length stream in
+      let sizes = ref chunk_sizes in
+      while !pos < len do
+        let k =
+          match !sizes with
+          | [] -> len - !pos
+          | k :: tl ->
+            sizes := tl;
+            min k (len - !pos)
+        in
+        pos := !pos + Unix.write_substring fd stream !pos k
+      done;
+      let rec read_all acc =
+        match Wire.read_frame fd with
+        | None -> List.rev acc
+        | Some payload -> read_all (payload :: acc)
+      in
+      read_all [])
+
+let gen_session =
+  QCheck.Gen.(
+    list_size (int_range 0 6)
+      (frequency
+         [
+           (3, gen_fact >|= fun a -> Wire.Add a);
+           (2, gen_fact >|= fun a -> Wire.Remove a);
+           (2, gen_fact >|= fun a -> Wire.load_of_facts [ a; a ]);
+           (2, return (Wire.Query { rel = "path"; pattern = None }));
+           (1, return Wire.Commit);
+         ]))
+
+(* The reactor cuts frames incrementally off whatever read(2) returns,
+   so a session delivered one byte at a time — every frame header and
+   payload split across reads — must produce byte-identical responses
+   to whole-stream delivery, as must random-sized chunks. *)
+let prop_chunked_delivery =
+  QCheck.Test.make ~count:20 ~name:"server: chunked delivery = whole-stream delivery"
+    (QCheck.make
+       ~print:(fun (reqs, seed) ->
+         Fmt.str "seed %d:@.%a" seed
+           (Fmt.list ~sep:Fmt.cut (Fmt.of_to_string (fun r -> String.escaped (Wire.print_request r))))
+           reqs)
+       QCheck.Gen.(pair gen_session int))
+    (fun (reqs, seed) ->
+      let stream = String.concat "" (List.map (fun r -> frame (Wire.print_request r)) (reqs @ [ Wire.Quit ])) in
+      let run chunk_sizes =
+        with_server path_sigma "e(a, b)." (fun srv -> deliver (Server.address srv) stream chunk_sizes)
+      in
+      let whole = run [] in
+      let bytewise = run (List.init (String.length stream) (fun _ -> 1)) in
+      let rng = Random.State.make [| seed |] in
+      let chunked = run (List.init (String.length stream) (fun _ -> 1 + Random.State.int rng 9)) in
+      whole = bytewise && whole = chunked)
+
+(* A frame whose declared length exceeds the limit is answered with
+   ERROR and the connection closed — without taking the reactor (or
+   any other connection) down. A merely unparsable payload keeps the
+   connection. *)
+let test_frame_rejection () =
+  with_server path_sigma "e(a, b)." (fun srv ->
+      let addr = Server.address srv in
+      (* oversized declared length *)
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = Wire.max_frame + 1 in
+          let hdr =
+            String.init 4 (fun i -> Char.chr ((n lsr ((3 - i) * 8)) land 0xff))
+          in
+          ignore (Unix.write_substring fd hdr 0 4);
+          (match Wire.read_frame fd with
+          | Some payload -> (
+            match Wire.parse_response payload with
+            | Ok (Wire.Failed _) -> ()
+            | _ -> Alcotest.fail "expected ERROR for the oversized frame")
+          | None -> Alcotest.fail "no reply to the oversized frame");
+          Alcotest.(check bool) "connection closed" true (Wire.read_frame fd = None));
+      (* a malformed payload is an ERROR, not a disconnect *)
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          ignore
+            (Unix.write_substring fd (frame "FROBNICATE now") 0
+               (String.length (frame "FROBNICATE now")));
+          (match Wire.read_frame fd with
+          | Some payload -> (
+            match Wire.parse_response payload with
+            | Ok (Wire.Failed _) -> ()
+            | _ -> Alcotest.fail "expected ERROR for the malformed payload")
+          | None -> Alcotest.fail "connection dropped on a malformed payload");
+          ignore (Unix.write_substring fd (frame "? path") 0 (String.length (frame "? path")));
+          match Wire.read_frame fd with
+          | Some payload -> (
+            match Wire.parse_response payload with
+            | Ok (Wire.Answers tuples) ->
+              Alcotest.(check int) "still answering" 1 (List.length tuples)
+            | _ -> Alcotest.fail "expected ANSWERS after the ERROR")
+          | None -> Alcotest.fail "connection dropped after the ERROR");
+      (* a truncated frame at EOF is dropped quietly *)
+      let fd = raw_connect addr in
+      ignore (Unix.write_substring fd "\000\000" 0 2);
+      Unix.close fd;
+      (* ...and the reactor serves the next client as if nothing happened *)
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> Alcotest.(check int) "reactor unpoisoned" 1 (List.length (Client.query c "path"))))
+
+(* ------------------------------------------------------------------ *)
+(* LOAD = text ingest                                                  *)
+
+let with_state_server ?(demand = false) sigma_text db_text f =
+  let sock = Filename.temp_file "guarded" ".sock" in
+  Sys.remove sock;
+  let st = (if demand then State.create_demand else State.create) (theory sigma_text) (db db_text) in
+  let srv = Server.listen st (Server.Unix_socket sock) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f st srv)
+
+(* Staging a random fact list through chunked binary LOAD frames and
+   committing must leave exactly the database that the same facts
+   staged as [+fact.] lines leave. *)
+let run_load_equivalence facts =
+  let run use_load =
+    with_state_server path_sigma "e(a, b)." (fun st srv ->
+        let c = Client.connect (Server.address srv) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            (if use_load then begin
+               match Client.load ~chunk:7 c facts with
+               | Ok n ->
+                 if n <> List.length facts then
+                   QCheck.Test.fail_reportf "LOADED %d of %d facts" n (List.length facts)
+               | Error m -> QCheck.Test.fail_reportf "LOAD failed: %s" m
+             end
+             else
+               List.iter
+                 (function
+                   | Wire.Ok -> ()
+                   | Wire.Failed m -> QCheck.Test.fail_reportf "add failed: %s" m
+                   | _ -> QCheck.Test.fail_reportf "unexpected staging reply")
+                 (Client.pipeline c (List.map (fun a -> Wire.Add a) facts)));
+            ignore (Client.request c Wire.Commit));
+        State.with_read st (fun m -> (Database.copy (Incr.edb m), Database.copy (Incr.db m))))
+  in
+  let edb_text, db_text = run false in
+  let edb_load, db_load = run true in
+  Database.equal edb_text edb_load && Database.equal db_text db_load
+
+let prop_load_equals_text =
+  QCheck.Test.make ~count:20 ~name:"server: LOAD ingest = text ingest"
+    (QCheck.make
+       ~print:(Fmt.to_to_string (Fmt.list ~sep:Fmt.cut Atom.pp))
+       QCheck.Gen.(list_size (int_range 0 40) gen_fact))
+    run_load_equivalence
+
+(* The same equivalence through the demand-driven backend, where the
+   oracle is the served answer set instead of the materialization. *)
+let test_load_demand () =
+  let facts = List.init 50 (fun i -> atom (Fmt.str "e(m%d, m%d)" i (i + 1))) in
+  let answers use_load =
+    with_state_server ~demand:true path_sigma "e(a, b)." (fun _st srv ->
+        let c = Client.connect (Server.address srv) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            (if use_load then
+               match Client.load ~chunk:16 c facts with
+               | Ok 50 -> ()
+               | Ok n -> Alcotest.failf "LOADED %d of 50" n
+               | Error m -> Alcotest.fail m
+             else
+               List.iter
+                 (function Wire.Ok -> () | _ -> Alcotest.fail "staging failed")
+                 (Client.pipeline c (List.map (fun a -> Wire.Add a) facts)));
+            (match Client.request c Wire.Commit with
+            | Wire.Committed _ -> ()
+            | _ -> Alcotest.fail "commit failed");
+            List.sort compare (Client.query c "path")))
+  in
+  Alcotest.(check int) "same answer count" (List.length (answers false)) (List.length (answers true));
+  Alcotest.(check bool) "same answers" true (answers false = answers true)
+
+(* A LOAD block is decoded by the COMMIT worker: a lying header or a
+   corrupt block answers LOADED at staging time but fails the COMMIT,
+   discards the whole staged batch and leaves the connection usable. *)
+let test_load_corrupt_commit () =
+  with_state_server path_sigma "e(a, b)." (fun _st srv ->
+      let c = Client.connect (Server.address srv) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.request c (Wire.Add (atom "e(q1, q2)")) with
+          | Wire.Ok -> ()
+          | _ -> Alcotest.fail "staging a good fact failed");
+          (match Client.request c (Wire.Load { Wire.fb_count = 2; fb_block = "" }) with
+          | Wire.Loaded 2 -> ()
+          | _ -> Alcotest.fail "expected LOADED 2 for the lying header");
+          (match Client.request c Wire.Commit with
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "expected the COMMIT to reject the corrupt block");
+          Alcotest.(check int) "nothing was applied" 1 (List.length (Client.query c "path"));
+          (* the failed COMMIT discarded the whole batch, good Add included *)
+          (match Client.request c Wire.Commit with
+          | Wire.Committed { added = 0; removed = 0; _ } -> ()
+          | _ -> Alcotest.fail "expected an empty COMMIT after the discard");
+          (* a non-ground block is rejected the same way *)
+          (match Client.request c (Wire.load_of_facts [ Atom.make "p" [ Term.Var "X" ] ]) with
+          | Wire.Loaded 1 -> ()
+          | _ -> Alcotest.fail "expected LOADED 1 for the non-ground block");
+          match Client.request c Wire.Commit with
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "expected the COMMIT to reject the non-ground block"))
+
 let suite =
   [
     Alcotest.test_case "wire: request round-trips" `Quick test_wire_requests;
@@ -482,11 +755,16 @@ let suite =
     Alcotest.test_case "server: socket session" `Quick test_server_socket;
     Alcotest.test_case "server: snapshot command" `Quick test_server_snapshot_command;
     Alcotest.test_case "server: concurrent socket clients" `Quick test_concurrent_sockets;
+    Alcotest.test_case "server: frame rejection" `Quick test_frame_rejection;
+    Alcotest.test_case "server: LOAD = text ingest (demand)" `Quick test_load_demand;
+    Alcotest.test_case "server: corrupt LOAD fails the COMMIT" `Quick test_load_corrupt_commit;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_wire_fact_roundtrip;
         prop_delta_text_roundtrip;
+        prop_chunked_delivery;
+        prop_load_equals_text;
         prop_concurrent_datalog;
         prop_concurrent_semipositive;
         prop_concurrent_datalog_pool;
