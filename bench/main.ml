@@ -1218,7 +1218,199 @@ let serve () =
       "workload"; "clients"; "round trips"; "failures"; "connections_open"; "stalls";
       "wall time"; "rps (timed)"; "p50 µs (timed)"; "p95 µs (timed)";
     ]
-    light_rows
+    light_rows;
+  (* --- replica sweep: read scaling + replication lag ---------------- *)
+  (* One primary plus 0/1/2 read replicas under a read-heavy mix:
+     every write commits on the primary, reads round-robin across the
+     replicas (or hit the primary when there are none). Each replica's
+     server runs in its own domain — systhreads share their domain's
+     runtime lock, so in-domain replicas would fake the read scaling
+     this sweep exists to show. The acceptance check ([serve replica
+     check], grepped by scripts/perf_gate.sh) demands zero failures,
+     full drains (lag back to 0) and answer agreement between every
+     replica and the primary on all legs. *)
+  let module Replica = Guarded_repl.Replica in
+  let module Cluster = Guarded_repl.Cluster in
+  let repl_sigma = Parser.theory_of_string "e(X, Y) -> path(X, Y)." in
+  let repl_edb () =
+    let d = Database.create () in
+    for i = 0 to 63 do
+      ignore
+        (Database.add d
+           (Atom.make "e" [ Term.Const (Fmt.str "u%d" i); Term.Const (Fmt.str "v%d" i) ]))
+    done;
+    d
+  in
+  let clients = 4 and reads = 200 and rbatches = 2 and radds = 8 in
+  let repl_ok = ref true in
+  let repl_rows =
+    List.map
+      (fun replicas ->
+        let state = State.create repl_sigma (repl_edb ()) in
+        let sock = Filename.temp_file "guarded_bench" ".sock" in
+        Sys.remove sock;
+        let srv = Server.listen state (Server.Unix_socket sock) in
+        let primary = Server.address srv in
+        (* Each replica bootstraps from the primary's wire snapshot and
+           serves from its own domain; its address comes back through
+           an atomic slot, the stop order goes in through another. *)
+        let stop_flag = Atomic.make false in
+        let slots = Array.init replicas (fun _ -> Atomic.make None) in
+        let domains =
+          List.init replicas (fun i ->
+              Domain.spawn (fun () ->
+                  let rsock = Filename.temp_file "guarded_bench" ".sock" in
+                  Sys.remove rsock;
+                  match Replica.start ~primary (Server.Unix_socket rsock) with
+                  | Error msg -> failwith ("replica bootstrap: " ^ msg)
+                  | Ok rep ->
+                    Atomic.set slots.(i) (Some (Server.address (Replica.server rep)));
+                    while not (Atomic.get stop_flag) do
+                      Thread.delay 0.002
+                    done;
+                    Replica.stop rep))
+        in
+        let deadline = Unix.gettimeofday () +. 30. in
+        Array.iter
+          (fun slot ->
+            while Atomic.get slot = None && Unix.gettimeofday () < deadline do
+              Thread.delay 0.002
+            done)
+          slots;
+        let replica_addrs =
+          Array.to_list slots
+          |> List.filter_map Atomic.get
+        in
+        if List.length replica_addrs <> replicas then repl_ok := false;
+        let read_endpoints = if replica_addrs = [] then [ primary ] else replica_addrs in
+        let fmutex = Mutex.create () in
+        let failures = ref 0 in
+        let lat = Array.make (clients * reads) Float.nan in
+        let client k () =
+          let cl = Cluster.make read_endpoints in
+          let pc = Client.connect primary in
+          Fun.protect
+            ~finally:(fun () ->
+              Cluster.close cl;
+              Client.close pc)
+            (fun () ->
+              let batch b =
+                Guarded_incr.Delta.of_lists ~deletions:[]
+                  ~additions:
+                    (List.init radds (fun j ->
+                         let i = 64 + (((k * rbatches) + b) * radds) + j in
+                         Atom.make "e"
+                           [ Term.Const (Fmt.str "u%d" i); Term.Const (Fmt.str "v%d" i) ]))
+              in
+              for b = 0 to rbatches - 1 do
+                for r = 0 to (reads / rbatches) - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  match Cluster.read cl (Wire.Query { rel = "path"; pattern = None }) with
+                  | Wire.Answers _ ->
+                    lat.((k * reads) + (b * (reads / rbatches)) + r) <-
+                      Unix.gettimeofday () -. t0
+                  | _ ->
+                    Mutex.lock fmutex;
+                    failures := !failures + 1;
+                    Mutex.unlock fmutex
+                  | exception _ ->
+                    Mutex.lock fmutex;
+                    failures := !failures + 1;
+                    Mutex.unlock fmutex
+                done;
+                match Client.commit pc (batch b) with
+                | Ok _ -> ()
+                | Error _ | (exception _) ->
+                  Mutex.lock fmutex;
+                  failures := !failures + 1;
+                  Mutex.unlock fmutex
+              done)
+        in
+        let _, t_wall =
+          time (fun () ->
+              let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+              List.iter Thread.join threads)
+        in
+        let final_epoch = State.epoch state in
+        (* Drain over the wire — the replicas live in other domains;
+           their STATS lag key is the cross-domain-safe view. *)
+        let drain_one addr =
+          let c = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let deadline = Unix.gettimeofday () +. 30. in
+              let rec go () =
+                let s = Client.stats c in
+                if s.Wire.s_epoch >= final_epoch && s.Wire.s_replication_lag_epochs = 0 then
+                  true
+                else if Unix.gettimeofday () > deadline then false
+                else begin
+                  Thread.delay 0.002;
+                  go ()
+                end
+              in
+              go ())
+        in
+        let _, t_drain = time (fun () -> List.for_all drain_one replica_addrs) in
+        let drained = List.for_all drain_one replica_addrs in
+        let primary_answers =
+          let c = Client.connect primary in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () -> List.length (Client.query c "path"))
+        in
+        let agree =
+          List.for_all
+            (fun addr ->
+              let c = Client.connect addr in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () -> List.length (Client.query c "path") = primary_answers))
+            replica_addrs
+        in
+        Atomic.set stop_flag true;
+        List.iter Domain.join domains;
+        Server.stop srv;
+        let leg_ok = !failures = 0 && drained && agree in
+        repl_ok := !repl_ok && leg_ok;
+        let samples =
+          Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list lat))
+        in
+        Array.sort Float.compare samples;
+        let pct p =
+          if Array.length samples = 0 then 0.
+          else
+            samples.(min (Array.length samples - 1)
+                       (int_of_float (p *. float_of_int (Array.length samples))))
+        in
+        [
+          "replicated `? path`";
+          string_of_int replicas;
+          string_of_int clients;
+          string_of_int reads;
+          string_of_int rbatches;
+          string_of_int final_epoch;
+          string_of_int primary_answers;
+          string_of_int !failures;
+          (if drained then "yes" else "no");
+          (if agree then "yes" else "no");
+          ms t_wall;
+          Fmt.str "%.0f" (float_of_int (clients * reads) /. Float.max t_wall 1e-9);
+          Fmt.str "%.0f" (pct 0.50 *. 1e6);
+          Fmt.str "%.0f" (pct 0.95 *. 1e6);
+          ms t_drain;
+        ])
+      [ 0; 1; 2 ]
+  in
+  Fmt.pr "serve replica check: %s@." (if !repl_ok then "ok" else "FAILED");
+  table
+    [
+      "workload"; "replicas"; "clients"; "reads/client"; "batches/client"; "epoch";
+      "answers"; "failures"; "drained (lag=0)"; "agreement"; "wall time"; "reads/s (timed)";
+      "read p50 µs (timed)"; "read p95 µs (timed)"; "drain time";
+    ]
+    repl_rows
 
 (* ------------------------------------------------------------------ *)
 (* ingest: bulk LOAD blocks vs the +fact. text stream                  *)

@@ -533,8 +533,55 @@ let listen_cmd =
             "Worker threads answering queries and applying commits off the event loop; the \
              reactor itself never blocks on the state lock.")
   in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"ADDR"
+          ~doc:
+            "Serve as a read replica of the primary at ADDR (unix:PATH, tcp:HOST:PORT, \
+             HOST:PORT or a socket path): bootstrap from its wire snapshot (or, with a \
+             DATABASE, materialize locally and resume from its journal), replay its commit \
+             stream, refuse writes with a redirect. Incompatible with --demand and \
+             --snapshot.")
+  in
+  let auto_promote_arg =
+    Arg.(
+      value & flag
+      & info [ "auto-promote" ]
+          ~doc:
+            "With --follow: when the primary stays unreachable past the reconnect budget, \
+             promote this replica into a writable primary instead of stopping the stream.")
+  in
+  let run_replica ~primary ~auto_promote ?pool ~workers ~queue_capacity ~program ~db_path addr
+      =
+    let policy = { Guarded_repl.Failover.default_policy with auto_promote } in
+    let local = Option.map (fun p -> (program, load_db p)) db_path in
+    match
+      Guarded_repl.Replica.start ?pool ~log:(Fmt.epr "%s@.") ~workers ~queue_capacity ~policy
+        ?local ~primary addr
+    with
+    | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+    | Ok replica ->
+      let served = Guarded_server.State.program (Guarded_repl.Replica.state replica) in
+      if not (Guarded_server.Snapshot.theory_equal program served) then begin
+        Fmt.epr "error: the primary serves a different program than THEORY@.";
+        Guarded_repl.Replica.stop replica;
+        exit 2
+      end;
+      let stop_requested = ref false in
+      let request_stop _ = stop_requested := true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      while not !stop_requested do
+        Thread.delay 0.1
+      done;
+      Guarded_repl.Replica.stop replica
+  in
   let run theory_path db_path socket host port snapshot queue_capacity budget_n domains demand
-      workers =
+      workers follow auto_promote =
     handle_errors (fun () ->
         let sigma = load_theory theory_path in
         let addr = resolve_address socket host port in
@@ -544,6 +591,20 @@ let listen_cmd =
           Fmt.epr "error: --demand and --snapshot are incompatible@.";
           exit 2
         end;
+        match follow with
+        | Some primary_s -> (
+          if demand || snapshot <> None then begin
+            Fmt.epr "error: --follow is incompatible with --demand and --snapshot@.";
+            exit 2
+          end;
+          match Guarded_server.Server.address_of_string primary_s with
+          | Error msg ->
+            Fmt.epr "error: --follow: %s@." msg;
+            exit 2
+          | Ok primary ->
+            run_replica ~primary ~auto_promote ?pool ~workers ~queue_capacity ~program
+              ~db_path addr)
+        | None ->
         let state =
           if demand then begin
             match db_path with
@@ -606,12 +667,18 @@ let listen_cmd =
               the wire protocol on a Unix socket or TCP port: one thread per connection, \
               concurrent readers over the last committed epoch, a single writer applying \
               update batches incrementally. With $(b,--demand), nothing is materialized: \
-              queries evaluate their own subgoals on demand and cache them. SIGINT/SIGTERM \
-              shut down gracefully, saving the snapshot when one is configured.";
+              queries evaluate their own subgoals on demand and cache them. With \
+              $(b,--follow), this node serves as a read replica of another $(b,listen) \
+              process: it bootstraps from the primary's snapshot or journal, replays its \
+              commit stream and answers writes with a redirect; the $(b,PROMOTE) wire verb \
+              (or $(b,--auto-promote) after a lost primary) flips it into a writable \
+              primary. SIGINT/SIGTERM shut down gracefully, saving the snapshot when one \
+              is configured.";
          ])
     Term.(
       const run $ theory_arg $ db_opt_arg $ socket_arg $ host_arg $ port_arg $ snapshot_arg
-      $ queue_arg $ budget_arg $ domains_arg $ demand_arg $ workers_arg)
+      $ queue_arg $ budget_arg $ domains_arg $ demand_arg $ workers_arg $ follow_arg
+      $ auto_promote_arg)
 
 (* [--hammer N]: N concurrent light clients, a handful of STATS round
    trips each — the smoke-scale version of the serve bench's sweep,
@@ -674,26 +741,73 @@ let client_cmd =
             "Open N concurrent connections, send a few STATS round trips on each, report \
              latency percentiles and exit — a load-smoke against a running server.")
   in
-  let run socket host port cmds hammer =
+  let replica_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "replica" ] ~docv:"ADDR"
+          ~doc:
+            "A read replica's address (repeatable; unix:PATH, tcp:HOST:PORT, HOST:PORT or \
+             a socket path). Reads round-robin across the replicas and the primary; writes \
+             go to the primary, following redirects and probing for a promoted successor \
+             when it dies.")
+  in
+  let run socket host port cmds hammer replicas =
     handle_errors (fun () ->
         let addr = resolve_address socket host port in
         match hammer with
         | Some n -> run_hammer addr n
         | None ->
-        let c =
-          try Guarded_server.Client.connect addr
-          with Unix.Unix_error (e, _, _) ->
-            Fmt.epr "connect failed: %s@." (Unix.error_message e);
-            exit 1
+        let replica_addrs =
+          List.map
+            (fun s ->
+              match Guarded_server.Server.address_of_string s with
+              | Ok a -> a
+              | Error msg ->
+                Fmt.epr "error: --replica: %s@." msg;
+                exit 2)
+            replicas
+        in
+        let is_read : Guarded_server.Wire.request -> bool = function
+          | Query _ | Cq _ | Stats | Role -> true
+          | Add _ | Remove _ | Load _ | Commit | Snapshot _ | Follow _ | Promote | Quit ->
+            false
+        in
+        let route =
+          if replica_addrs = [] then begin
+            let c =
+              try Guarded_server.Client.connect addr
+              with Unix.Unix_error (e, _, _) ->
+                Fmt.epr "connect failed: %s@." (Unix.error_message e);
+                exit 1
+            in
+            `Single c
+          end
+          else `Cluster (Guarded_repl.Cluster.make (addr :: replica_addrs))
+        in
+        let request req =
+          match route with
+          | `Single c -> Guarded_server.Client.request c req
+          | `Cluster cl ->
+            if is_read req then Guarded_repl.Cluster.read cl req
+            else Guarded_repl.Cluster.write cl req
         in
         let failures = ref 0 in
         let send line =
           let line = String.trim line in
           if line <> "" && line.[0] <> '#' && line.[0] <> '%' then begin
-            let resp = Guarded_server.Client.request_line c line in
+            let resp =
+              match Guarded_server.Wire.parse_request line with
+              | Error msg -> Guarded_server.Wire.Failed msg
+              | Ok req -> request req
+            in
             (match resp with Guarded_server.Wire.Failed _ -> incr failures | _ -> ());
             Fmt.pr "%s@." (Guarded_server.Wire.print_response resp)
           end
+        in
+        let close () =
+          match route with
+          | `Single c -> Guarded_server.Client.close c
+          | `Cluster cl -> Guarded_repl.Cluster.close cl
         in
         (try
            if cmds <> [] then List.iter send cmds
@@ -706,11 +820,16 @@ let client_cmd =
                  let t = String.lowercase_ascii (String.trim line) in
                  if t = "quit" || t = "exit" then quit := true else send line
              done
-         with Guarded_server.Wire.Protocol_error msg ->
-           Fmt.epr "protocol error: %s@." msg;
-           Guarded_server.Client.close c;
-           exit 1);
-        Guarded_server.Client.close c;
+         with
+        | Guarded_server.Wire.Protocol_error msg ->
+          Fmt.epr "protocol error: %s@." msg;
+          close ();
+          exit 1
+        | Guarded_server.Client.Connection_lost msg ->
+          Fmt.epr "connection lost: %s@." msg;
+          close ();
+          exit 1);
+        close ();
         if !failures > 0 then exit 1)
   in
   Cmd.v
@@ -723,9 +842,11 @@ let client_cmd =
              "Connects to $(b,--socket) or $(b,--host)/$(b,--port) and sends each $(b,-e) \
               command (or each standard-input line) as one request, printing the reply. \
               Exits nonzero when any reply is an ERROR. With $(b,--hammer N), instead opens \
-              N concurrent connections and reports round-trip latency percentiles.";
+              N concurrent connections and reports round-trip latency percentiles. With \
+              $(b,--replica) endpoints, reads round-robin across the cluster and writes \
+              chase the primary through redirects and failovers.";
          ])
-    Term.(const run $ socket_arg $ host_arg $ port_arg $ exec_arg $ hammer_arg)
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ exec_arg $ hammer_arg $ replica_arg)
 
 let load_wire_cmd =
   let db_pos =

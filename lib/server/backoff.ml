@@ -1,0 +1,37 @@
+(** Bounded exponential backoff; see the interface. *)
+
+type t = { base : float; factor : float; max_delay : float; attempts : int }
+
+let default = { base = 0.025; factor = 2.0; max_delay = 1.0; attempts = 8 }
+
+let make ?(base = default.base) ?(factor = default.factor) ?(max_delay = default.max_delay)
+    ?(attempts = default.attempts) () =
+  {
+    base = Float.max 0. base;
+    factor = Float.max 1. factor;
+    max_delay = Float.max 0. max_delay;
+    attempts = max 1 attempts;
+  }
+
+let delay t i =
+  if i < 0 || i >= t.attempts then None
+  else if i = 0 then Some 0.
+  else Some (Float.min t.max_delay (t.base *. (t.factor ** float_of_int (i - 1))))
+
+let total_delay t =
+  let rec go i acc =
+    match delay t i with None -> acc | Some d -> go (i + 1) (acc +. d)
+  in
+  go 0 0.
+
+let retry t f =
+  let rec go i =
+    match delay t i with
+    | None -> assert false
+    | Some d ->
+      if d > 0. then Unix.sleepf d;
+      (match f () with
+      | Ok _ as ok -> ok
+      | Error _ as e -> if i + 1 >= t.attempts then e else go (i + 1))
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Bounded exponential backoff schedules.
+
+    A {!t} is a pure description — base delay, growth factor, cap, and
+    attempt budget — so retry policies are values that tests can
+    inspect without sleeping. {!delay} maps an attempt index to its
+    pre-attempt pause, [None] once the budget is exhausted; {!retry}
+    drives a fallible action through the schedule. *)
+
+type t = {
+  base : float;  (** seconds before the first retry *)
+  factor : float;  (** multiplicative growth per attempt *)
+  max_delay : float;  (** ceiling on any single pause, seconds *)
+  attempts : int;  (** total tries, including the first *)
+}
+
+val default : t
+(** 8 attempts: 25 ms doubling up to 1 s — a few seconds end to end,
+    enough to ride out a restart without hanging a caller for long. *)
+
+val make : ?base:float -> ?factor:float -> ?max_delay:float -> ?attempts:int -> unit -> t
+(** {!default} with fields overridden; [attempts] is clamped to
+    [>= 1], delays to [>= 0]. *)
+
+val delay : t -> int -> float option
+(** [delay t i]: the pause before try [i] (0-based). [Some 0.] for the
+    first try, [Some (min max_delay (base *. factor^(i-1)))] for
+    retries, [None] when [i >= attempts]. *)
+
+val total_delay : t -> float
+(** The worst-case seconds a full schedule sleeps. *)
+
+val retry : t -> (unit -> ('a, 'e) result) -> ('a, 'e) result
+(** Run the action through the schedule, sleeping each {!delay}
+    between tries, until it returns [Ok] or the budget is spent; the
+    last [Error] is returned. The action's exceptions propagate. *)

@@ -2,41 +2,75 @@
 
 module Delta = Guarded_incr.Delta
 
-type t = { fd : Unix.file_descr; out : Buffer.t; mutable open_ : bool }
+exception Connection_lost of string
 
-let connect_fd fd = { fd; out = Buffer.create 4096; open_ = true }
+type t = {
+  mutable fd : Unix.file_descr;
+  out : Buffer.t;
+  mutable open_ : bool;
+  addr : Server.address option;  (** where {!reconnect} re-dials *)
+}
+
+let connect_fd fd = { fd; out = Buffer.create 4096; open_ = true; addr = None }
+
+let sock_target = function
+  | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Server.Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+
+(* One connection attempt; the caller owns the retry policy. *)
+let dial addr =
+  let domain, sockaddr = sock_target addr in
+  let fd = Unix.socket domain SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 (* A server mid-churn (or with a momentarily full accept backlog)
    refuses transiently; a short retry loop keeps sweep drivers from
    dying on what a second attempt would survive. *)
-let connect_sock ~domain addr =
+let connect_sock addr =
   let rec go attempts =
-    let fd = Unix.socket domain SOCK_STREAM 0 in
-    match Unix.connect fd addr with
-    | () -> fd
+    match dial addr with
+    | fd -> fd
     | exception Unix.Unix_error ((ECONNREFUSED | EAGAIN | EWOULDBLOCK | EINTR | ETIMEDOUT), _, _)
       when attempts > 1 ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
       ignore (Unix.select [] [] [] 0.025);
       go (attempts - 1)
-    | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
   in
   go 40
 
-let connect_unix path = connect_fd (connect_sock ~domain:PF_UNIX (ADDR_UNIX path))
+let connect addr = { (connect_fd (connect_sock addr)) with addr = Some addr }
+let connect_unix path = connect (Server.Unix_socket path)
+let connect_tcp host port = connect (Server.Tcp (host, port))
+let address c = c.addr
 
-let connect_tcp host port =
-  let addr =
-    try (Unix.gethostbyname host).h_addr_list.(0)
-    with Not_found -> Unix.inet_addr_of_string host
-  in
-  connect_fd (connect_sock ~domain:PF_INET (ADDR_INET (addr, port)))
-
-let connect = function
-  | Server.Unix_socket path -> connect_unix path
-  | Server.Tcp (host, port) -> connect_tcp host port
+let reconnect ?(backoff = Backoff.default) c =
+  match c.addr with
+  | None -> raise (Connection_lost "reconnect: connection has no address")
+  | Some addr -> (
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Buffer.clear c.out;
+    c.open_ <- false;
+    let attempt () =
+      match dial addr with
+      | fd -> Ok fd
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    in
+    match Backoff.retry backoff attempt with
+    | Ok fd ->
+      c.fd <- fd;
+      c.open_ <- true
+    | Error msg ->
+      raise
+        (Connection_lost
+           (Fmt.str "reconnect to %s failed: %s" (Server.string_of_address addr) msg)))
 
 (* ------------------------------------------------------------------ *)
 (* Buffered framing                                                    *)
@@ -51,23 +85,40 @@ let add_frame buf payload =
 
 let send c req = add_frame c.out (Wire.print_request req)
 
+(* Transport failures surface as the typed {!Connection_lost}, never a
+   raw [Unix_error]/EOF leak: callers routing across a cluster switch
+   endpoints on exactly this exception. *)
 let flush c =
   let s = Buffer.contents c.out in
   Buffer.clear c.out;
   let len = String.length s in
   let pos = ref 0 in
-  while !pos < len do
-    pos := !pos + Unix.write_substring c.fd s !pos (len - !pos)
-  done
+  try
+    while !pos < len do
+      pos := !pos + Unix.write_substring c.fd s !pos (len - !pos)
+    done
+  with Unix.Unix_error (e, _, _) ->
+    c.open_ <- false;
+    raise (Connection_lost (Fmt.str "write failed: %s" (Unix.error_message e)))
 
 let recv c =
   flush c;
   match Wire.read_frame c.fd with
-  | None -> raise (Wire.Protocol_error "server closed the connection mid-request")
+  | None ->
+    c.open_ <- false;
+    raise (Connection_lost "server closed the connection")
   | Some payload -> (
     match Wire.parse_response payload with
     | Ok resp -> resp
     | Error msg -> raise (Wire.Protocol_error ("ill-formed reply: " ^ msg)))
+  | exception Wire.Protocol_error msg ->
+    (* A frame truncated mid-read is a dead transport, not a protocol
+       bug in the peer's payload. *)
+    c.open_ <- false;
+    raise (Connection_lost msg)
+  | exception Unix.Unix_error (e, _, _) ->
+    c.open_ <- false;
+    raise (Connection_lost (Fmt.str "read failed: %s" (Unix.error_message e)))
 
 let request c req =
   send c req;
@@ -148,13 +199,28 @@ let stats c =
   | Wire.Failed msg -> failwith msg
   | _ -> raise (Wire.Protocol_error "expected STATS")
 
+let shutdown c =
+  (* Only touch the descriptor while the connection is live: after a
+     failed [reconnect] the stored fd number is closed and may have
+     been reassigned by the kernel to an unrelated connection. *)
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
+
 let close c =
   if c.open_ then begin
     c.open_ <- false;
     (try
        send c Wire.Quit;
-       flush c;
+       let s = Buffer.contents c.out in
+       Buffer.clear c.out;
+       let len = String.length s in
+       let pos = ref 0 in
+       while !pos < len do
+         pos := !pos + Unix.write_substring c.fd s !pos (len - !pos)
+       done;
        ignore (Wire.read_frame c.fd)
-     with Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ());
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
-  end
+     with Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ())
+  end;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

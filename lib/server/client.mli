@@ -5,11 +5,23 @@
     {!send}s reaches the wire in one write. {!pipeline} keeps a bounded
     window of requests in flight — the server answers strictly in
     order, so responses pair up positionally — and {!load} ships an EDB
-    as chunked binary [LOAD] frames, the bulk-ingest fast path. *)
+    as chunked binary [LOAD] frames, the bulk-ingest fast path.
+
+    Transport failure is a typed condition, not a leaked [Unix_error]:
+    every send/receive path raises {!Connection_lost} when the peer
+    goes away, and {!reconnect} re-dials the remembered address under
+    a bounded {!Backoff} policy — the primitives cluster routing
+    ({!Cluster} in [guarded_repl]) is built from. *)
 
 open Guarded_core
 
 type t
+
+exception Connection_lost of string
+(** The transport died: the peer closed the connection, a read or
+    write failed at the socket level, or a frame was cut off mid-body.
+    Distinct from {!Wire.Protocol_error}, which means the peer spoke
+    but said something ill-formed. *)
 
 val connect_unix : string -> t
 (** Connect to a Unix-domain socket at the path. Transient refusals
@@ -24,6 +36,18 @@ val connect : Server.address -> t
     against a [Tcp (_, 0)] server, whose real port is only known after
     binding. *)
 
+val address : t -> Server.address option
+(** The address this connection dialled — [None] for a handle wrapped
+    around a raw descriptor, which {!reconnect} therefore refuses. *)
+
+val reconnect : ?backoff:Backoff.t -> t -> unit
+(** Drop the (possibly dead) socket and re-dial {!address}, retrying
+    under [backoff] (default {!Backoff.default}: 25 ms doubling to
+    1 s, 8 attempts). Pending buffered output is discarded — the
+    caller re-issues whatever was in flight.
+    @raise Connection_lost when every attempt fails or the handle has
+    no address. *)
+
 val send : t -> Wire.request -> unit
 (** Queue one request frame in the local output buffer. *)
 
@@ -32,8 +56,9 @@ val flush : t -> unit
 
 val recv : t -> Wire.response
 (** Flush, then read one response frame.
-    @raise Wire.Protocol_error on a broken or ill-formed reply,
-    including an unexpected EOF. *)
+    @raise Connection_lost on EOF, a socket-level failure or a frame
+    truncated mid-body.
+    @raise Wire.Protocol_error on an ill-formed reply payload. *)
 
 val request : t -> Wire.request -> Wire.response
 (** One round trip: {!send}, {!flush}, {!recv}. *)
@@ -66,6 +91,14 @@ val load : ?chunk:int -> t -> Atom.t list -> (int, string) result
 
 val stats : t -> Wire.stats
 (** @raise Failure when the server replies [ERROR]. *)
+
+val shutdown : t -> unit
+(** Half of {!close} that is safe from {e another} thread: shuts the
+    socket down both ways so a thread blocked in {!recv} wakes with
+    {!Connection_lost}. The descriptor itself stays valid until
+    {!close}. Idempotent; errors are swallowed; a no-op while the
+    connection is down (mid-{!reconnect} the stored descriptor number
+    may already belong to someone else). *)
 
 val close : t -> unit
 (** Flushes, sends [QUIT] (best effort) and closes the socket.

@@ -1,0 +1,66 @@
+(** Bounded epoch journal; see the interface for the contract. *)
+
+module Delta = Guarded_incr.Delta
+
+type record = { r_epoch : int; r_text : string }
+
+type t = {
+  mutex : Mutex.t;
+  q : record Queue.t;  (** oldest first, contiguous epochs *)
+  max_bytes : int;
+  mutable total : int;  (** sum of retained [r_text] lengths *)
+  mutable last : int;  (** highest retained epoch; meaningless when empty *)
+}
+
+let create ?(max_bytes = 16 * 1024 * 1024) () =
+  {
+    mutex = Mutex.create ();
+    q = Queue.create ();
+    max_bytes = max 4096 max_bytes;
+    total = 0;
+    last = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let clear_locked t =
+  Queue.clear t.q;
+  t.total <- 0
+
+let append t ~epoch delta =
+  let text = Fmt.to_to_string Delta.pp delta in
+  locked t (fun () ->
+      (* A non-contiguous append (snapshot install, epoch reset) would
+         make the retained run lie about coverage: drop it first. *)
+      if (not (Queue.is_empty t.q)) && t.last <> epoch - 1 then clear_locked t;
+      Queue.add { r_epoch = epoch; r_text = text } t.q;
+      t.last <- epoch;
+      t.total <- t.total + String.length text;
+      (* Evict from the old end, but always keep the newest record. *)
+      while t.total > t.max_bytes && Queue.length t.q > 1 do
+        let r = Queue.take t.q in
+        t.total <- t.total - String.length r.r_text
+      done)
+
+let since t k =
+  locked t (fun () ->
+      Queue.fold
+        (fun acc r -> if r.r_epoch > k then (r.r_epoch, r.r_text) :: acc else acc)
+        [] t.q
+      |> List.rev)
+
+let oldest t = locked t (fun () -> Option.map (fun r -> r.r_epoch) (Queue.peek_opt t.q))
+let latest t = locked t (fun () -> if Queue.is_empty t.q then None else Some t.last)
+
+let covers t ~since ~epoch =
+  since = epoch
+  ||
+  match (oldest t, latest t) with
+  | Some o, Some l -> o <= since + 1 && l = epoch
+  | _ -> false
+
+let bytes t = locked t (fun () -> t.total)
+let records t = locked t (fun () -> Queue.length t.q)
+let clear t = locked t (fun () -> clear_locked t)

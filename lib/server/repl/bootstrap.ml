@@ -1,0 +1,22 @@
+(** FOLLOW handshake; see the interface for the contract. *)
+
+module Client = Guarded_server.Client
+module Snapshot = Guarded_server.Snapshot
+module Wire = Guarded_server.Wire
+module Incr = Guarded_incr.Incr
+
+type base = Reuse of int | Image of int * Incr.t
+
+let handshake ?pool ?sigma ~since client =
+  match Client.request client (Wire.Follow since) with
+  | Wire.Following epoch -> Ok (Reuse epoch)
+  | Wire.Snap { sn_epoch; sn_bytes } -> (
+    match Snapshot.restore ?pool ~what:"<wire snapshot>" sn_bytes with
+    | snap_sigma, incr -> (
+      match sigma with
+      | Some s when not (Snapshot.theory_equal s snap_sigma) ->
+        Error "wire snapshot carries a different program than this replica serves"
+      | _ -> Ok (Image (sn_epoch, incr)))
+    | exception Snapshot.Corrupt msg -> Error msg)
+  | Wire.Failed msg -> Error msg
+  | _ -> Error "follow: unexpected reply (peer is not speaking the replication protocol)"

@@ -1,0 +1,39 @@
+(** The [FOLLOW] handshake: turning a connection to the primary into a
+    base state plus a resume epoch.
+
+    One call, three outcomes. [FOLLOW since] tells the primary the
+    highest epoch this node already holds ([-1] for "nothing"); the
+    primary answers either [FOLLOWING e] — its journal covers
+    [since+1 .. e], keep the current state and replay the stream — or
+    a [SNAP] frame carrying its full {!Guarded_server.Snapshot} image,
+    which is decoded, checked (magic, version, checksum, and program
+    equality when the caller already serves one) and rebuilt into a
+    materialization. Either way the journal stream that follows on the
+    same connection starts exactly one epoch past the returned base —
+    the decision is taken under the primary's read lock, so no epoch
+    can fall in the gap. *)
+
+open Guarded_core
+module Client = Guarded_server.Client
+
+type base =
+  | Reuse of int
+      (** the journal covers our state; the int is the primary's epoch
+          at handshake time (lag accounting), the stream resumes after
+          the [since] we sent *)
+  | Image of int * Guarded_incr.Incr.t
+      (** wire snapshot at the given epoch; install it and expect the
+          stream from the next epoch *)
+
+val handshake :
+  ?pool:Guarded_par.Pool.t ->
+  ?sigma:Theory.t ->
+  since:int ->
+  Client.t ->
+  (base, string) result
+(** Sends [FOLLOW since] and interprets the reply. [sigma], when
+    given, must equal the program inside a received snapshot
+    ({!Guarded_server.Snapshot.theory_equal}) — a primary serving a
+    different program is an error, not a silent divergence. A corrupt
+    or mismatched image, an [ERROR] reply and an off-protocol reply
+    all come back as [Error]; {!Client.Connection_lost} propagates. *)

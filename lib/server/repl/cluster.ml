@@ -1,0 +1,188 @@
+(** Endpoint routing; see the interface for the policy. *)
+
+module Backoff = Guarded_server.Backoff
+module Client = Guarded_server.Client
+module Server = Guarded_server.Server
+module Wire = Guarded_server.Wire
+
+type endpoint = {
+  ep_addr : Server.address;
+  mutable ep_conn : Client.t option;  (** dialled on first use *)
+  mutable ep_dead : bool;  (** last use raised [Connection_lost] *)
+}
+
+type t = {
+  mutable eps : endpoint array;
+  backoff : Backoff.t;
+  mutable primary_idx : int;
+  mutable cursor : int;  (** round-robin position for reads *)
+}
+
+let make ?(backoff = Backoff.make ~attempts:1 ()) addrs =
+  if addrs = [] then invalid_arg "Cluster.make: no endpoints";
+  {
+    eps =
+      Array.of_list
+        (List.map (fun a -> { ep_addr = a; ep_conn = None; ep_dead = false }) addrs);
+    backoff;
+    primary_idx = 0;
+    cursor = 0;
+  }
+
+let primary t = t.eps.(t.primary_idx).ep_addr
+
+(* Dial or revive an endpoint's connection; [Error] marks it dead. *)
+let conn_of t ep =
+  match ep.ep_conn with
+  | Some c when not ep.ep_dead -> Ok c
+  | Some c -> (
+    match Client.reconnect ~backoff:t.backoff c with
+    | () ->
+      ep.ep_dead <- false;
+      Ok c
+    | exception Client.Connection_lost msg -> Error msg)
+  | None -> (
+    match Client.connect ep.ep_addr with
+    | c ->
+      ep.ep_conn <- Some c;
+      Ok c
+    | exception Unix.Unix_error (e, _, _) ->
+      ep.ep_dead <- true;
+      Error (Unix.error_message e))
+
+(* Run [f] on the endpoint, translating a dropped connection into
+   [Error] and remembering the endpoint is dead. *)
+let on_endpoint t ep f =
+  match conn_of t ep with
+  | Error _ as e -> e
+  | Ok c -> (
+    match f c with
+    | v -> Ok v
+    | exception Client.Connection_lost msg ->
+      ep.ep_dead <- true;
+      Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Reads: round robin with fallback                                    *)
+
+let read t req =
+  let n = Array.length t.eps in
+  let rec go tries last_err =
+    if tries >= 2 * n then
+      raise (Client.Connection_lost ("cluster: no endpoint reachable: " ^ last_err))
+    else begin
+      let ep = t.eps.(t.cursor mod n) in
+      t.cursor <- (t.cursor + 1) mod n;
+      match on_endpoint t ep (fun c -> Client.request c req) with
+      | Ok resp -> resp
+      | Error msg -> go (tries + 1) msg
+    end
+  in
+  go 0 "no attempt made"
+
+let query t rel =
+  match read t (Wire.Query { rel; pattern = None }) with
+  | Wire.Answers tuples -> tuples
+  | Wire.Failed msg -> failwith msg
+  | _ -> raise (Wire.Protocol_error "expected ANSWERS")
+
+(* ------------------------------------------------------------------ *)
+(* Writes: primary routing                                             *)
+
+let redirect_suffix = ": this server is a read-only replica"
+
+let redirect_target msg =
+  let prefix = "redirect " in
+  let plen = String.length prefix and slen = String.length redirect_suffix in
+  let mlen = String.length msg in
+  if mlen > plen + slen && String.sub msg 0 plen = prefix && String.sub msg (mlen - slen) slen = redirect_suffix
+  then Some (String.sub msg plen (mlen - plen - slen))
+  else None
+
+let index_of_addr t addr =
+  let key = Server.string_of_address addr in
+  let found = ref None in
+  Array.iteri
+    (fun i ep -> if !found = None && Server.string_of_address ep.ep_addr = key then found := Some i)
+    t.eps;
+  !found
+
+(* A redirect names a primary we may not have in the ring yet. *)
+let aim_at t addr =
+  match index_of_addr t addr with
+  | Some i -> t.primary_idx <- i
+  | None ->
+    t.eps <- Array.append t.eps [| { ep_addr = addr; ep_conn = None; ep_dead = false } |];
+    t.primary_idx <- Array.length t.eps - 1
+
+(* Ask everyone who answers [ROLE] whether they are the primary now. *)
+let probe_primary t =
+  let found = ref None in
+  Array.iteri
+    (fun i ep ->
+      if !found = None then
+        match on_endpoint t ep (fun c -> Client.request c Wire.Role) with
+        | Ok (Wire.Role_reply { rr_primary = true; _ }) -> found := Some i
+        | Ok _ | Error _ -> ())
+    t.eps;
+  !found
+
+let max_hops = 4
+
+let rec route_write t hops ~on_conn ~dead_error =
+  if hops >= max_hops then Error dead_error
+  else
+    let ep = t.eps.(t.primary_idx) in
+    match on_endpoint t ep on_conn with
+    | Ok (`Done v) -> Ok v
+    | Ok (`Redirect msg) -> (
+      match Option.bind (redirect_target msg) (fun s ->
+                Result.to_option (Server.address_of_string s))
+      with
+      | Some addr ->
+        aim_at t addr;
+        route_write t (hops + 1) ~on_conn ~dead_error
+      | None -> Error msg)
+    | Error _ -> (
+      match probe_primary t with
+      | Some i ->
+        t.primary_idx <- i;
+        route_write t (hops + 1) ~on_conn ~dead_error
+      | None -> Error dead_error)
+
+let write t req =
+  let on_conn c =
+    match Client.request c req with
+    | Wire.Failed msg when redirect_target msg <> None -> `Redirect msg
+    | resp -> `Done resp
+  in
+  match
+    route_write t 0 ~on_conn
+      ~dead_error:"cluster: no writable primary reachable"
+  with
+  | Ok resp -> resp
+  | Error msg -> Wire.Failed msg
+
+let commit t delta =
+  let on_conn c =
+    match Client.commit c delta with
+    | Ok v -> `Done (Ok v)
+    | Error msg when redirect_target msg <> None -> `Redirect msg
+    | Error _ as e -> `Done e
+  in
+  match
+    route_write t 0 ~on_conn
+      ~dead_error:"cluster: no writable primary reachable"
+  with
+  | Ok result -> result
+  | Error msg -> Error msg
+
+let close t =
+  Array.iter
+    (fun ep ->
+      match ep.ep_conn with
+      | Some c ->
+        ep.ep_conn <- None;
+        (try Client.close c with Client.Connection_lost _ -> ())
+      | None -> ())
+    t.eps

@@ -1,0 +1,55 @@
+(** Cluster-aware request routing over a set of serving endpoints.
+
+    A {!t} holds one lazily-dialled {!Guarded_server.Client} per
+    endpoint and routes by request kind:
+
+    - {b Reads} round-robin across every endpoint (replicas serve
+      reads; the primary is just one more). An endpoint that raises
+      {!Guarded_server.Client.Connection_lost} is marked dead and the
+      next one is tried; dead endpoints are re-dialled under the
+      cluster's backoff on their next turn, so a restarted replica
+      rejoins the rotation by itself.
+    - {b Writes} go to the believed primary. A [redirect …: this
+      server is a read-only replica] error re-aims at the address the
+      replica names; a dead primary triggers a [ROLE] probe of every
+      endpoint to find whoever was promoted. Hops are bounded — a
+      cluster of confused replicas yields an error, not a loop.
+
+    Handles are {b not} thread-safe: give each client thread its own
+    (they are cheap — sockets open on first use). *)
+
+open Guarded_core
+module Client = Guarded_server.Client
+module Server = Guarded_server.Server
+module Wire = Guarded_server.Wire
+
+type t
+
+val make : ?backoff:Guarded_server.Backoff.t -> Server.address list -> t
+(** The first address is the presumed primary until a redirect or
+    probe says otherwise. [backoff] (default: a single immediate
+    attempt) paces re-dials of endpoints that went dead. The list must
+    be non-empty. @raise Invalid_argument on an empty list. *)
+
+val read : t -> Wire.request -> Wire.response
+(** Round-robin routing for read-only requests. Tries each endpoint at
+    most twice around the ring.
+    @raise Client.Connection_lost when no endpoint is reachable. *)
+
+val write : t -> Wire.request -> Wire.response
+(** Primary routing with redirect-following and [ROLE]-probe failover;
+    returns the last [ERROR] when no writable primary can be found. *)
+
+val query : t -> string -> Term.t list list
+(** Read-routed relation query. @raise Failure on an [ERROR] reply. *)
+
+val commit : t -> Guarded_incr.Delta.t -> (int * int * int, string) result
+(** Stage the batch and [COMMIT] on the primary (the staging area is
+    per-connection, so the whole batch retries as a unit after a
+    failover or redirect). Returns [(added, removed, epoch)]. *)
+
+val primary : t -> Server.address
+(** The endpoint writes currently aim at. *)
+
+val close : t -> unit
+(** Close every open connection. Idempotent. *)

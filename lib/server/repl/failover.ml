@@ -1,0 +1,34 @@
+(** Pure follower state machine; see the interface for the diagram. *)
+
+module Backoff = Guarded_server.Backoff
+
+type state = Streaming | Reconnecting of int | Promoted | Stopped
+type event = Connection_up | Connection_down | Retry_failed | Promote | Stop
+
+type policy = { retry : Backoff.t; auto_promote : bool }
+
+let default_policy = { retry = Backoff.default; auto_promote = false }
+
+let terminal = function Promoted | Stopped -> true | Streaming | Reconnecting _ -> false
+
+let exhausted policy = if policy.auto_promote then Promoted else Stopped
+
+let step policy state event =
+  match (state, event) with
+  | (Promoted | Stopped), _ -> state
+  | _, Stop -> Stopped
+  | _, Promote -> Promoted
+  | Streaming, Connection_down -> Reconnecting 0
+  | Streaming, (Connection_up | Retry_failed) -> Streaming
+  | Reconnecting _, Connection_up -> Streaming
+  | Reconnecting n, (Retry_failed | Connection_down) ->
+    (* attempt n just failed; [attempts] counts the dial tries the
+       budget allows, so spending them all ends the reconnect arc *)
+    let n = n + 1 in
+    if n >= policy.retry.Backoff.attempts then exhausted policy else Reconnecting n
+
+let pp ppf = function
+  | Streaming -> Fmt.string ppf "streaming"
+  | Reconnecting n -> Fmt.pf ppf "reconnecting(%d)" n
+  | Promoted -> Fmt.string ppf "promoted"
+  | Stopped -> Fmt.string ppf "stopped"

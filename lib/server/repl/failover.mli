@@ -1,0 +1,56 @@
+(** The follower lifecycle as a pure state machine.
+
+    The replica controller ({!Replica}) is threads, sockets and sleeps;
+    every decision it takes — keep streaming, retry, give up, take over
+    — lives here instead, as a total transition function over plain
+    data. Tests enumerate the whole behavior without opening a socket.
+
+    {v
+                 Connection_down                Retry_failed (budget left)
+      Streaming ----------------> Reconnecting ---------------.
+          ^                          |    ^___________________/
+          |       Connection_up      |
+          '--------------------------'    Retry_failed (budget spent)
+                                          --> Promoted   (auto_promote)
+                                          --> Stopped    (otherwise)
+    v}
+
+    [Promote] and [Stop] jump to their absorbing states from anywhere;
+    {!terminal} states ignore every further event. *)
+
+module Backoff = Guarded_server.Backoff
+
+type state =
+  | Streaming  (** connected, applying journal records *)
+  | Reconnecting of int
+      (** connection lost; the int counts failed re-dial attempts so
+          far (0 immediately after the loss) *)
+  | Promoted  (** this node took over as primary; following is over *)
+  | Stopped  (** following abandoned without taking over *)
+
+type event =
+  | Connection_up  (** a (re-)dial succeeded *)
+  | Connection_down  (** the stream died *)
+  | Retry_failed  (** one re-dial attempt failed *)
+  | Promote  (** external order to take over (operator or signal rule) *)
+  | Stop  (** external order to shut down *)
+
+type policy = {
+  retry : Backoff.t;  (** re-dial schedule; [attempts] is the budget *)
+  auto_promote : bool;
+      (** when the budget is spent: [true] promotes this node,
+          [false] stops it *)
+}
+
+val default_policy : policy
+(** {!Backoff.default} retries, no auto-promotion — losing a primary
+    makes the replica read-only rather than silently splitting the
+    brain. *)
+
+val step : policy -> state -> event -> state
+(** Total: any event in any state yields a state. *)
+
+val terminal : state -> bool
+(** [Promoted] and [Stopped] — states {!step} never leaves. *)
+
+val pp : state Fmt.t

@@ -7,6 +7,37 @@ module Delta = Guarded_incr.Delta
 
 type address = Unix_socket of string | Tcp of string * int
 
+let string_of_address = function
+  | Unix_socket p -> "unix:" ^ p
+  | Tcp (h, p) -> Fmt.str "tcp:%s:%d" h p
+
+(* Accepts the printed form, plus the bare "host:port" and bare-path
+   shorthands the CLI takes. *)
+let address_of_string s =
+  let s = String.trim s in
+  let drop n = String.sub s n (String.length s - n) in
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then Stdlib.Ok (Unix_socket (drop 5))
+  else
+    let explicit_tcp = String.length s > 4 && String.sub s 0 4 = "tcp:" in
+    let body = if explicit_tcp then drop 4 else s in
+    match String.rindex_opt body ':' with
+    | Some i -> (
+      let host = String.sub body 0 i in
+      let port = String.sub body (i + 1) (String.length body - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" && p >= 0 -> Stdlib.Ok (Tcp (host, p))
+      | _ ->
+        if explicit_tcp then Error (Fmt.str "address %S: expected tcp:HOST:PORT" s)
+        else Stdlib.Ok (Unix_socket s))
+    | None ->
+      if explicit_tcp then Error (Fmt.str "address %S: expected tcp:HOST:PORT" s)
+      else if s = "" then Error "empty address"
+      else Stdlib.Ok (Unix_socket s)
+
+(* Whether this server accepts writes; a replica names its primary so
+   write attempts can be redirected there. *)
+type role = Primary | Replica_of of string
+
 (* Backpressure water marks on a connection's output buffer: reads
    pause above [high_water] and resume once a flush drains the buffer
    to [low_water]. *)
@@ -52,6 +83,8 @@ type conn = {
   mutable closing : bool;  (** close once [wbuf] drains *)
   mutable stalled : bool;  (** reads paused by backpressure *)
   mutable closed : bool;
+  mutable follow_from : int option;
+      (** a follower: next journal epoch to stream to this connection *)
   session : session;
 }
 
@@ -63,9 +96,16 @@ type gauges = {
   g_bytes_buffered : int;
   g_stalls : int;
   g_load_facts : int;
+  g_role : int;
+  g_replicas : int;
 }
 
 type job = { j_conn : conn; j_req : Wire.request; j_gauges : gauges option }
+
+(* What a completion does to its connection beyond carrying the
+   response: [C_follow n] turns it into a follower streamed journal
+   records from epoch [n] on. *)
+type comp_action = C_keep | C_follow of int
 
 type t = {
   state : State.t;
@@ -86,8 +126,8 @@ type t = {
   jobs_mutex : Mutex.t;
   jobs_cond : Condition.t;
   mutable jobs_stop : bool;
-  (* Workers -> reactor: (connection, response, keep-open). *)
-  completions : (conn * Wire.response * bool) Queue.t;
+  (* Workers -> reactor. *)
+  completions : (conn * Wire.response * comp_action) Queue.t;
   comp_mutex : Mutex.t;
   (* Counters readable from any thread. *)
   metrics_mutex : Mutex.t;
@@ -95,6 +135,12 @@ type t = {
   mutable m_total_connections : int;
   mutable m_backpressure_stalls : int;
   mutable m_load_facts : int;
+  (* Replication: the role is read per-request and flipped by PROMOTE
+     (possibly from a signal context), [lag_source]/[promote_hook] are
+     wired by the replica controller before serving starts. *)
+  mutable m_role : role;
+  mutable lag_source : unit -> int;
+  mutable promote_hook : unit -> unit;
   stopping : bool Atomic.t;
   mutable reactor : Thread.t option;
   mutable workers : Thread.t list;
@@ -110,6 +156,24 @@ let connections t =
   Mutex.unlock t.metrics_mutex;
   n
 
+let role t =
+  Mutex.lock t.metrics_mutex;
+  let r = t.m_role in
+  Mutex.unlock t.metrics_mutex;
+  r
+
+let set_lag_source t f = t.lag_source <- f
+let set_promote_hook t f = t.promote_hook <- f
+
+let role_reply t =
+  let epoch = State.epoch t.state in
+  match role t with
+  | Primary ->
+    Wire.Role_reply { rr_primary = true; rr_epoch = epoch; rr_lag = 0; rr_primary_addr = None }
+  | Replica_of addr ->
+    Wire.Role_reply
+      { rr_primary = false; rr_epoch = epoch; rr_lag = t.lag_source (); rr_primary_addr = Some addr }
+
 let wake_byte = Bytes.make 1 '\001'
 
 (* Best effort: a full pipe already guarantees a pending wakeup, and a
@@ -118,6 +182,22 @@ let wake t =
   match Unix.write t.wake_w wake_byte 0 1 with
   | _ -> ()
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+(* Warm failover: flip a replica into a writable primary. The hook
+   (the replica controller's stop-following) runs outside the metrics
+   mutex, once, on whichever thread promoted first — the reactor for a
+   PROMOTE verb, a signal context when the primary's death is
+   detected. *)
+let promote t =
+  Mutex.lock t.metrics_mutex;
+  let was_replica = match t.m_role with Replica_of _ -> true | Primary -> false in
+  t.m_role <- Primary;
+  Mutex.unlock t.metrics_mutex;
+  if was_replica then begin
+    t.promote_hook ();
+    t.log "promoted to primary";
+    wake t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Query evaluation (runs on worker threads)                           *)
@@ -175,9 +255,9 @@ let save_snapshot t path =
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
 
-let run_job t (job : job) : Wire.response * bool =
+let run_job t (job : job) : Wire.response * comp_action =
   match job.j_req with
-  | Wire.Query _ | Wire.Cq _ -> (eval_query t.state job.j_req, true)
+  | Wire.Query _ | Wire.Cq _ -> (eval_query t.state job.j_req, C_keep)
   | Wire.Commit -> (
     (* The connection is [busy] for the whole job, so the session is
        ours alone here. Staged LOAD blocks decode now, on this worker —
@@ -202,40 +282,74 @@ let run_job t (job : job) : Wire.response * bool =
         (Ok []) loads
     in
     match decoded with
-    | Error msg -> (Wire.Failed msg, true)
+    | Error msg -> (Wire.Failed msg, C_keep)
     | Ok loaded_rev -> (
       let additions = List.concat (additions :: List.rev loaded_rev) in
       let delta = Delta.of_lists ~additions ~deletions in
       match State.commit t.state delta with
       | Ok r ->
-        (Wire.Committed { added = r.cr_added; removed = r.cr_removed; epoch = r.cr_epoch }, true)
-      | Error msg -> (Wire.Failed msg, true)))
+        (Wire.Committed { added = r.cr_added; removed = r.cr_removed; epoch = r.cr_epoch }, C_keep)
+      | Error msg -> (Wire.Failed msg, C_keep)))
   | Wire.Stats ->
     let g =
       match job.j_gauges with
       | Some g -> g
       | None ->
-        { g_connections = 0; g_total = 0; g_bytes_buffered = 0; g_stalls = 0; g_load_facts = 0 }
+        {
+          g_connections = 0;
+          g_total = 0;
+          g_bytes_buffered = 0;
+          g_stalls = 0;
+          g_load_facts = 0;
+          g_role = 0;
+          g_replicas = 0;
+        }
     in
     ( Wire.Stats_reply
         (State.stats t.state ~connections:g.g_connections ~total_connections:g.g_total
            ~bytes_buffered:g.g_bytes_buffered ~backpressure_stalls:g.g_stalls
-           ~load_facts:g.g_load_facts ()),
-      true )
+           ~load_facts:g.g_load_facts ~role:g.g_role ~replicas_connected:g.g_replicas
+           ~replication_lag:(if g.g_role = 1 then t.lag_source () else 0)
+           ()),
+      C_keep )
   | Wire.Snapshot path -> (
     if State.demand_mode t.state then
       (* Nothing is materialized, so there is no per-stratum dump to
          persist; the EDB is the client's data, not ours to snapshot. *)
-      (Wire.Failed "snapshots are not available in demand mode", true)
+      (Wire.Failed "snapshots are not available in demand mode", C_keep)
     else
       match (path, t.snapshot_path) with
       | None, None ->
-        (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", true)
+        (Wire.Failed "no snapshot path configured (start with --snapshot or give one)", C_keep)
       | Some p, _ | None, Some p -> (
         match save_snapshot t p with
-        | () -> (Wire.Ok, true)
-        | exception Sys_error m -> (Wire.Failed m, true)))
-  | Wire.Add _ | Wire.Remove _ | Wire.Load _ | Wire.Quit ->
+        | () -> (Wire.Ok, C_keep)
+        | exception Sys_error m -> (Wire.Failed m, C_keep)))
+  | Wire.Follow since ->
+    if State.demand_mode t.state then
+      (Wire.Failed "replication is not available in demand mode", C_keep)
+    else
+      (* Under the shared lock the decision is consistent: the epoch
+         cannot advance while we check journal coverage or dump the
+         materialization, so the follower misses no record between its
+         base and the stream. *)
+      State.with_read t.state (fun incr ->
+          let epoch = State.epoch t.state in
+          let j = match State.journal t.state with Some j -> j | None -> assert false in
+          if since > epoch then
+            ( Wire.Failed
+                (Fmt.str "follow: resume epoch %d is ahead of this server's %d" since epoch),
+              C_keep )
+          else if since >= 0 && Journal.covers j ~since ~epoch then
+            (* Cheap path: replay from the journal alone. *)
+            (Wire.Following epoch, C_follow (since + 1))
+          else
+            (* The journal no longer reaches back to [since] (or the
+               follower holds nothing): ship a full image of this
+               epoch, then stream from the next one. *)
+            let image = Snapshot.encode (Incr.program incr) (Incr.dump incr) in
+            (Wire.Snap { sn_epoch = epoch; sn_bytes = image }, C_follow (epoch + 1)))
+  | Wire.Add _ | Wire.Remove _ | Wire.Load _ | Wire.Role | Wire.Promote | Wire.Quit ->
     (* Handled inline by the reactor; never dispatched. *)
     assert false
 
@@ -249,12 +363,12 @@ let worker_loop t =
     | None -> Mutex.unlock t.jobs_mutex (* stopping with an empty queue *)
     | Some job ->
       Mutex.unlock t.jobs_mutex;
-      let resp, keep =
+      let resp, action =
         try run_job t job
-        with Invalid_argument m | Failure m -> (Wire.Failed m, true)
+        with Invalid_argument m | Failure m -> (Wire.Failed m, C_keep)
       in
       Mutex.lock t.comp_mutex;
-      Queue.add (job.j_conn, resp, keep) t.completions;
+      Queue.add (job.j_conn, resp, action) t.completions;
       Mutex.unlock t.comp_mutex;
       wake t;
       loop ()
@@ -274,11 +388,10 @@ let close_conn t c =
     Mutex.unlock t.metrics_mutex
   end
 
-(* Append one framed response to the connection's write buffer; the
+(* Append one framed payload to the connection's write buffer; the
    flush phase drains it once per tick, so pipelined responses share
    write(2) calls. *)
-let enqueue_response c resp =
-  let payload = Wire.print_response resp in
+let enqueue_payload c payload =
   let n = String.length payload in
   let hdr = Bytes.create 4 in
   Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
@@ -287,6 +400,8 @@ let enqueue_response c resp =
   Bytes.set hdr 3 (Char.chr (n land 0xff));
   Iobuf.add_subbytes c.wbuf hdr 0 4;
   Iobuf.add_string c.wbuf payload
+
+let enqueue_response c resp = enqueue_payload c (Wire.print_response resp)
 
 let update_stall t c =
   if (not c.stalled) && Iobuf.length c.wbuf > high_water then begin
@@ -302,6 +417,9 @@ let dispatch t c req =
     match req with
     | Wire.Stats ->
       let bytes = Hashtbl.fold (fun _ c acc -> acc + Iobuf.length c.wbuf) t.conns 0 in
+      let replicas =
+        Hashtbl.fold (fun _ c acc -> if c.follow_from <> None then acc + 1 else acc) t.conns 0
+      in
       Mutex.lock t.metrics_mutex;
       let g =
         {
@@ -310,6 +428,8 @@ let dispatch t c req =
           g_bytes_buffered = bytes;
           g_stalls = t.m_backpressure_stalls;
           g_load_facts = t.m_load_facts;
+          g_role = (match t.m_role with Primary -> 0 | Replica_of _ -> 1);
+          g_replicas = replicas;
         }
       in
       Mutex.unlock t.metrics_mutex;
@@ -334,6 +454,21 @@ let process_ready t c =
       enqueue_response c (Wire.Failed msg);
       c.closing <- true
     | Req req -> (
+      (* A read-only replica refuses the whole write path with a
+         redirect naming its primary; everything else serves locally. *)
+      let redirect =
+        match req with
+        | Wire.Add _ | Wire.Remove _ | Wire.Load _ | Wire.Commit -> (
+          match role t with
+          | Primary -> None
+          | Replica_of addr -> Some addr)
+        | _ -> None
+      in
+      match redirect with
+      | Some addr ->
+        enqueue_response c
+          (Wire.Failed (Fmt.str "redirect %s: this server is a read-only replica" addr))
+      | None -> (
       match req with
       | Wire.Add a ->
         (* The parser only produces ground facts, so staging is a cons. *)
@@ -351,13 +486,17 @@ let process_ready t c =
         t.m_load_facts <- t.m_load_facts + b.Wire.fb_count;
         Mutex.unlock t.metrics_mutex;
         enqueue_response c (Wire.Loaded b.Wire.fb_count)
+      | Wire.Role -> enqueue_response c (role_reply t)
+      | Wire.Promote ->
+        promote t;
+        enqueue_response c (role_reply t)
       | Wire.Quit ->
         enqueue_response c Wire.Bye;
         c.closing <- true
-      | Wire.Query _ | Wire.Cq _ | Wire.Commit | Wire.Stats | Wire.Snapshot _ ->
+      | Wire.Query _ | Wire.Cq _ | Wire.Commit | Wire.Stats | Wire.Snapshot _ | Wire.Follow _ ->
         c.busy <- true;
         dispatch t c req;
-        continue := false)
+        continue := false))
   done
 
 (* Cut every complete frame off the front of the read buffer. An
@@ -424,6 +563,7 @@ let accept_ready t =
           closing = false;
           stalled = false;
           closed = false;
+          follow_from = None;
           session = { adds_rev = []; dels_rev = []; loads_rev = [] };
         }
       in
@@ -455,14 +595,56 @@ let drain_completions t =
   Queue.clear t.completions;
   Mutex.unlock t.comp_mutex;
   List.iter
-    (fun (c, resp, keep) ->
+    (fun (c, resp, action) ->
       if not c.closed then begin
         c.busy <- false;
         enqueue_response c resp;
-        if not keep then c.closing <- true;
+        (match action with
+        | C_keep -> ()
+        | C_follow next -> c.follow_from <- Some next);
         process_ready t c
       end)
     (List.rev comps)
+
+(* Push retained journal records to every follower that is behind,
+   skipping connections above the high-water mark (they resume when
+   their buffer drains — normal backpressure). A follower whose cursor
+   fell off the journal's old end cannot be caught up by replay: it is
+   told to re-bootstrap and the connection closes. *)
+let stream_followers t =
+  match State.journal t.state with
+  | None -> ()
+  | Some j ->
+    Hashtbl.iter
+      (fun _ c ->
+        match c.follow_from with
+        | Some next when (not c.closed) && (not c.closing) && Iobuf.length c.wbuf <= high_water
+          -> (
+          (* One locked fetch: the records themselves decide both the
+             truncation verdict and the new cursor, so a concurrent
+             append or eviction cannot skew either. *)
+          match Journal.since j (next - 1) with
+          | [] -> ()
+          | (first, _) :: _ when first > next ->
+            enqueue_response c
+              (Wire.Failed
+                 (Fmt.str "journal truncated: oldest retained epoch is %d, resume wanted %d"
+                    first next));
+            c.follow_from <- None;
+            c.closing <- true
+          | records ->
+            (* The record text is already the [JOURNAL] payload — frame
+               it directly, no re-print of the delta. *)
+            let last_sent =
+              List.fold_left
+                (fun _ (e, text) ->
+                  enqueue_payload c (Fmt.str "JOURNAL %d\n%s" e text);
+                  e)
+                next records
+            in
+            c.follow_from <- Some (last_sent + 1))
+        | _ -> ())
+      t.conns
 
 let conn_events c =
   let want_read =
@@ -499,6 +681,9 @@ let tick t scratch =
         if (not c.closed) && rvs.(i + 2) land Evloop.pollin <> 0 then
           handle_readable t c scratch)
       polled;
+    (* Followers first see anything a completion or commit made
+       streamable, so the flush below carries it in the same tick. *)
+    stream_followers t;
     (* Flush phase: one write per connection with queued output, then
        backpressure transitions and deferred closes. *)
     let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
@@ -519,7 +704,11 @@ let tick t scratch =
             then close_conn t c
           end
         end)
-      all
+      all;
+    (* A follower backpressured above may have just drained: feed it
+       again so the next poll registers its interest in writability
+       (otherwise a quiet journal would leave it waiting on a wake). *)
+    stream_followers t
   end
 
 let reactor_loop t =
@@ -561,7 +750,7 @@ let bind_listener = function
     in
     (fd, Tcp (host, bound_port))
 
-let listen ?snapshot ?(log = fun _ -> ()) ?(workers = 4) state addr =
+let listen ?snapshot ?(log = fun _ -> ()) ?(workers = 4) ?(role = Primary) state addr =
   (* A client vanishing mid-reply must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   ignore (Evloop.raise_fd_limit 16384);
@@ -593,6 +782,9 @@ let listen ?snapshot ?(log = fun _ -> ()) ?(workers = 4) state addr =
       m_total_connections = 0;
       m_backpressure_stalls = 0;
       m_load_facts = 0;
+      m_role = role;
+      lag_source = (fun () -> 0);
+      promote_hook = (fun () -> ());
       stopping = Atomic.make false;
       reactor = None;
       workers = [];
@@ -600,13 +792,13 @@ let listen ?snapshot ?(log = fun _ -> ()) ?(workers = 4) state addr =
       stopped = false;
     }
   in
+  (* Each commit wakes the reactor so followers stream without
+     polling; the hook runs on the state's writer thread and only
+     writes one self-pipe byte. *)
+  State.set_commit_hook state (fun _ -> wake t);
   t.reactor <- Some (Thread.create reactor_loop t);
   t.workers <- List.init (max 1 workers) (fun _ -> Thread.create worker_loop t);
-  let pp_addr = function
-    | Unix_socket p -> Fmt.str "unix:%s" p
-    | Tcp (h, p) -> Fmt.str "tcp:%s:%d" h p
-  in
-  log (Fmt.str "listening on %s" (pp_addr bound));
+  log (Fmt.str "listening on %s" (string_of_address bound));
   t
 
 let stop t =

@@ -29,26 +29,62 @@ type address =
   | Unix_socket of string  (** path; unlinked on [listen] and [stop] *)
   | Tcp of string * int  (** host, port; port [0] picks a free one *)
 
+val string_of_address : address -> string
+(** ["unix:PATH"] / ["tcp:HOST:PORT"] — the canonical form logged at
+    startup, reported by [ROLE], and embedded in a replica's redirect
+    errors. *)
+
+val address_of_string : string -> (address, string) result
+(** Inverse of {!string_of_address}; also accepts the bare
+    ["HOST:PORT"] and bare-path shorthands the CLI takes. *)
+
+type role =
+  | Primary  (** accepts writes, streams its journal to followers *)
+  | Replica_of of string
+      (** read-only; the string names the primary
+          ({!string_of_address} form) and is quoted in write-redirect
+          errors *)
+
 type t
 
 val listen :
   ?snapshot:string ->
   ?log:(string -> unit) ->
   ?workers:int ->
+  ?role:role ->
   State.t ->
   address ->
   t
 (** Binds, starts the reactor and [workers] request threads (default
     4, clamped to [>= 1]), returns immediately. [snapshot] is the
     default path for the [SNAPSHOT] command (with no argument) and is
-    written once more during {!stop}. [log] receives one line per
-    lifecycle event (default: drop); it may be called from the reactor
-    or a worker thread. *)
+    written once more during {!stop}. [role] (default {!Primary})
+    makes the server refuse writes with a redirect when a replica.
+    [log] receives one line per lifecycle event (default: drop); it
+    may be called from the reactor or a worker thread. *)
 
 val address : t -> address
 (** The bound address — with [Tcp (_, 0)], the actual port. *)
 
 val connections : t -> int
+
+val role : t -> role
+
+val promote : t -> unit
+(** Warm failover: flip a replica into a writable {!Primary}. Fires
+    the promote hook (once) so the replica controller stops following;
+    idempotent on a primary. Safe from any thread, including a
+    signal-triggered context. *)
+
+val set_promote_hook : t -> (unit -> unit) -> unit
+(** Runs when {!promote} flips the role — the replica controller
+    registers its stop-following teardown here before serving
+    starts. *)
+
+val set_lag_source : t -> (unit -> int) -> unit
+(** Where [STATS]' [replication_lag_epochs] and [ROLE]'s [lag=] come
+    from on a replica (the controller knows the primary's last seen
+    epoch). Must be cheap and thread-safe; defaults to zero. *)
 
 val stop : t -> unit
 (** Graceful shutdown: wake the reactor, stop accepting, close live

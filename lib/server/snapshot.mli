@@ -30,6 +30,41 @@ exception Corrupt of string
 (** The file is not a readable snapshot (bad magic, unsupported
     version, checksum mismatch, truncation, malformed body). *)
 
+val encode : Theory.t -> Guarded_incr.Incr.dump -> string
+(** The complete image — magic, length, body, checksum — as bytes.
+    {!save} writes exactly these bytes to disk and the server's
+    [SNAP] reply carries exactly them over the wire, so both
+    transports share one codec and one validation chain. *)
+
+val decode : ?what:string -> string -> Theory.t * Guarded_incr.Incr.dump
+(** Verifies and decodes an {!encode}d image. [what] labels errors
+    (a path, or the wire peer).
+    @raise Corrupt on any mismatch — bad magic, unsupported version,
+    wrong length, checksum failure, malformed body. *)
+
+val restore :
+  ?pool:Guarded_par.Pool.t ->
+  ?what:string ->
+  string ->
+  Theory.t * Guarded_incr.Incr.t
+(** {!decode}, then rebuild the materialization with
+    {!Guarded_incr.Incr.restore}. @raise Corrupt as {!decode}. *)
+
+val restore_for :
+  ?pool:Guarded_par.Pool.t ->
+  ?what:string ->
+  string ->
+  Theory.t ->
+  Guarded_incr.Incr.t
+(** {!restore}, but additionally checks the stored program equals the
+    one being served — the replica bootstrap path: an image of a
+    different program is rejected as {!Corrupt} rather than replayed
+    into wrong answers. *)
+
+val theory_equal : Theory.t -> Theory.t -> bool
+(** Rule-set equality up to order — the program check behind
+    {!restore_for} and {!load_for}. *)
+
 val save : path:string -> Theory.t -> Guarded_incr.Incr.dump -> unit
 (** Atomically writes [path]. @raise Sys_error on I/O failure. *)
 

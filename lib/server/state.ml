@@ -50,7 +50,11 @@ let reservoir_percentile r p =
   end
 
 type t = {
-  backend : backend;
+  mutable backend : backend;
+  (* Every committed epoch's delta, retained for follower replay
+     (materialized serving only — demand mode has no followers). *)
+  journal : Journal.t option;
+  mutable on_commit : int -> unit;  (** fired after each epoch, outside the locks *)
   mutex : Mutex.t;
   cond : Condition.t;
   (* Readers-writer lock state: connection threads read, the writer
@@ -78,6 +82,8 @@ let program t =
 
 let demand_mode t = match t.backend with Materialized _ -> false | Demand _ -> true
 let epoch t = t.epoch
+let journal t = t.journal
+let set_commit_hook t f = t.on_commit <- f
 
 let queue_depth t =
   Mutex.lock t.mutex;
@@ -165,11 +171,18 @@ let apply_one t (p : pending) =
   let dt = Unix.gettimeofday () -. t0 in
   Mutex.lock t.mutex;
   t.epoch <- t.epoch + 1;
+  let committed_epoch = t.epoch in
+  (* Journal every epoch: even the failure paths have applied the
+     batch to the EDB (fallback recompute, or the incremental mutation
+     that preceded the cascade), so a follower replaying this record
+     converges on the same store. *)
+  Option.iter (fun j -> Journal.append j ~epoch:committed_epoch p.p_delta) t.journal;
   reservoir_add t.commit_lat dt;
   p.p_result <-
     Some (match result with Stdlib.Ok r -> Stdlib.Ok { r with cr_epoch = t.epoch } | Error _ as e -> e);
   write_unlock_locked t;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  t.on_commit committed_epoch
 
 let writer_loop t =
   let rec loop () =
@@ -216,10 +229,15 @@ let commit t delta =
 (* ------------------------------------------------------------------ *)
 (* Construction, metrics, shutdown                                     *)
 
-let make ?(queue_capacity = 64) backend =
+let make ?(queue_capacity = 64) ?journal_max_bytes ?(epoch = 0) backend =
   let t =
     {
       backend;
+      journal =
+        (match backend with
+        | Materialized _ -> Some (Journal.create ?max_bytes:journal_max_bytes ())
+        | Demand _ -> None);
+      on_commit = (fun _ -> ());
       mutex = Mutex.create ();
       cond = Condition.create ();
       readers = 0;
@@ -227,7 +245,7 @@ let make ?(queue_capacity = 64) backend =
       writer_waiting = false;
       queue = Queue.create ();
       capacity = max 1 queue_capacity;
-      epoch = 0;
+      epoch = max 0 epoch;
       stopping = false;
       writer = None;
       queries = 0;
@@ -238,13 +256,34 @@ let make ?(queue_capacity = 64) backend =
   t.writer <- Some (Thread.create writer_loop t);
   t
 
-let of_materialization ?queue_capacity incr = make ?queue_capacity (Materialized incr)
+let of_materialization ?queue_capacity ?journal_max_bytes ?epoch incr =
+  make ?queue_capacity ?journal_max_bytes ?epoch (Materialized incr)
 
-let create ?pool ?queue_capacity sigma db =
-  make ?queue_capacity (Materialized (Incr.materialize ?pool sigma db))
+let create ?pool ?queue_capacity ?journal_max_bytes sigma db =
+  make ?queue_capacity ?journal_max_bytes (Materialized (Incr.materialize ?pool sigma db))
 
 let create_demand ?pool ?queue_capacity sigma db =
   make ?queue_capacity (Demand (Demand.create ?pool sigma db))
+
+(* Replace the materialization wholesale — the replica resync path: a
+   follower whose resume epoch fell off the primary's journal
+   re-bootstraps from a snapshot and installs it at that snapshot's
+   epoch. Exclusive lock, like a commit; the journal is cleared since
+   its retained run no longer leads up to the new epoch. *)
+let install t incr ~epoch =
+  Mutex.lock t.mutex;
+  write_lock_locked t;
+  (match t.backend with
+  | Materialized _ -> ()
+  | Demand _ ->
+    write_unlock_locked t;
+    Mutex.unlock t.mutex;
+    invalid_arg "State.install: server is in demand mode");
+  t.backend <- Materialized incr;
+  t.epoch <- epoch;
+  Option.iter Journal.clear t.journal;
+  write_unlock_locked t;
+  Mutex.unlock t.mutex
 
 let note_query t dt =
   Mutex.lock t.mutex;
@@ -253,7 +292,7 @@ let note_query t dt =
   Mutex.unlock t.mutex
 
 let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure_stalls = 0)
-    ?(load_facts = 0) () =
+    ?(load_facts = 0) ?(role = 0) ?(replicas_connected = 0) ?(replication_lag = 0) () =
   (* Cardinalities are read under the shared lock (the writer may be
      mid-batch), counters under the mutex. In demand mode the resident
      store is the raw EDB and [facts] counts it; the materialization
@@ -305,6 +344,10 @@ let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure
         (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_evictions | None -> 0);
       s_heap_kb = heap_kb;
       s_demand = (match t.backend with Materialized _ -> 0 | Demand _ -> 1);
+      s_role = role;
+      s_replicas_connected = replicas_connected;
+      s_replication_lag_epochs = replication_lag;
+      s_journal_bytes = (match t.journal with Some j -> Journal.bytes j | None -> 0);
     }
   in
   Mutex.unlock t.mutex;

@@ -32,10 +32,16 @@ type backend =
   | Demand of Guarded_incr.Demand.t
 
 val create :
-  ?pool:Guarded_par.Pool.t -> ?queue_capacity:int -> Theory.t -> Database.t -> t
+  ?pool:Guarded_par.Pool.t ->
+  ?queue_capacity:int ->
+  ?journal_max_bytes:int ->
+  Theory.t ->
+  Database.t ->
+  t
 (** Materializes the program over the database and starts the writer
     thread. [queue_capacity] (default 64, clamped to [>= 1]) bounds the
-    commit queue. *)
+    commit queue; [journal_max_bytes] bounds the replication journal
+    (see {!Journal.create}). *)
 
 val create_demand :
   ?pool:Guarded_par.Pool.t -> ?queue_capacity:int -> Theory.t -> Database.t -> t
@@ -46,15 +52,34 @@ val create_demand :
 
 val demand_mode : t -> bool
 
-val of_materialization : ?queue_capacity:int -> Guarded_incr.Incr.t -> t
+val of_materialization :
+  ?queue_capacity:int -> ?journal_max_bytes:int -> ?epoch:int -> Guarded_incr.Incr.t -> t
 (** Wraps an existing materialization — the warm-restart path: the
     snapshot layer rebuilds the {!Guarded_incr.Incr.t} and serving
-    starts without re-running any fixpoint. *)
+    starts without re-running any fixpoint. [epoch] (default 0) seeds
+    the epoch counter — a replica bootstrapped from a snapshot of
+    epoch [k] starts counting at [k] so journal records line up. *)
+
+val install : t -> Guarded_incr.Incr.t -> epoch:int -> unit
+(** Replaces the materialization wholesale under the exclusive lock
+    and resets the epoch counter — the replica resync path, when a
+    follower must re-bootstrap from a fresh snapshot mid-life. The
+    journal is cleared (its run no longer leads to the new epoch).
+    @raise Invalid_argument in demand mode. *)
 
 val program : t -> Theory.t
 
 val epoch : t -> int
-(** Committed batches since startup. *)
+(** Committed batches since startup (plus the starting epoch). *)
+
+val journal : t -> Journal.t option
+(** The replication journal — one record per committed epoch, bounded
+    by bytes. [None] in demand mode. *)
+
+val set_commit_hook : t -> (int -> unit) -> unit
+(** [f epoch] runs on the writer thread after each commit, outside
+    every lock — the reactor registers a wake-up here so followers are
+    streamed to without polling. Keep it cheap and non-blocking. *)
 
 val with_backend : t -> (backend -> 'a) -> 'a
 (** Runs the callback holding the shared lock: the backend is at the
@@ -93,6 +118,9 @@ val stats :
   ?bytes_buffered:int ->
   ?backpressure_stalls:int ->
   ?load_facts:int ->
+  ?role:int ->
+  ?replicas_connected:int ->
+  ?replication_lag:int ->
   unit ->
   Wire.stats
 (** A consistent counter snapshot, with the caller's connection gauges

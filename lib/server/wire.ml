@@ -2,6 +2,7 @@
     the interface for the grammar. *)
 
 open Guarded_core
+module Delta = Guarded_incr.Delta
 
 type fact_block = { fb_count : int; fb_block : string }
 
@@ -14,6 +15,9 @@ type request =
   | Commit
   | Stats
   | Snapshot of string option
+  | Follow of int
+  | Role
+  | Promote
   | Quit
 
 type stats = {
@@ -42,6 +46,10 @@ type stats = {
   s_cache_evictions : int;
   s_heap_kb : int;
   s_demand : int;
+  s_role : int;
+  s_replicas_connected : int;
+  s_replication_lag_epochs : int;
+  s_journal_bytes : int;
 }
 
 type response =
@@ -50,6 +58,10 @@ type response =
   | Committed of { added : int; removed : int; epoch : int }
   | Loaded of int
   | Stats_reply of stats
+  | Following of int
+  | Snap of { sn_epoch : int; sn_bytes : string }
+  | Journal_rec of { jr_epoch : int; jr_delta : Delta.t }
+  | Role_reply of { rr_primary : bool; rr_epoch : int; rr_lag : int; rr_primary_addr : string option }
   | Failed of string
   | Bye
 
@@ -82,6 +94,9 @@ let print_request = function
   | Stats -> "STATS"
   | Snapshot None -> "SNAPSHOT"
   | Snapshot (Some path) -> "SNAPSHOT " ^ path
+  | Follow since -> Fmt.str "FOLLOW %d" since
+  | Role -> "ROLE"
+  | Promote -> "PROMOTE"
   | Quit -> "QUIT"
 
 let pp_tuple ppf tuple = Fmt.pf ppf "(%a)" pp_terms tuple
@@ -123,6 +138,14 @@ let stats_fields =
       fun s v -> { s with s_cache_evictions = v } );
     ("heap_kb", (fun s -> s.s_heap_kb), fun s v -> { s with s_heap_kb = v });
     ("demand", (fun s -> s.s_demand), fun s v -> { s with s_demand = v });
+    ("role", (fun s -> s.s_role), fun s v -> { s with s_role = v });
+    ( "replicas_connected",
+      (fun s -> s.s_replicas_connected),
+      fun s v -> { s with s_replicas_connected = v } );
+    ( "replication_lag_epochs",
+      (fun s -> s.s_replication_lag_epochs),
+      fun s v -> { s with s_replication_lag_epochs = v } );
+    ("journal_bytes", (fun s -> s.s_journal_bytes), fun s v -> { s with s_journal_bytes = v });
   ]
 
 let zero_stats =
@@ -152,6 +175,10 @@ let zero_stats =
     s_cache_evictions = 0;
     s_heap_kb = 0;
     s_demand = 0;
+    s_role = 0;
+    s_replicas_connected = 0;
+    s_replication_lag_epochs = 0;
+    s_journal_bytes = 0;
   }
 
 let sanitize_line msg =
@@ -169,6 +196,21 @@ let print_response = function
     Fmt.str "@[<v>STATS%a@]"
       (Fmt.list ~sep:Fmt.nop (fun ppf (key, get, _) -> Fmt.pf ppf "@,%s %d" key (get s)))
       stats_fields
+  | Following epoch -> Fmt.str "FOLLOWING @%d" epoch
+  | Snap { sn_epoch; sn_bytes } ->
+    (* Like LOAD: a textual header, then opaque bytes — the byte count
+       travels in the header because the body may contain anything. *)
+    Fmt.str "SNAP %d %d\n" sn_epoch (String.length sn_bytes) ^ sn_bytes
+  | Journal_rec { jr_epoch; jr_delta } ->
+    Fmt.str "JOURNAL %d\n%s" jr_epoch (Fmt.to_to_string Delta.pp jr_delta)
+  | Role_reply { rr_primary; rr_epoch; rr_lag; rr_primary_addr } ->
+    Fmt.str "ROLE %s @%d%s%s"
+      (if rr_primary then "primary" else "replica")
+      rr_epoch
+      (if rr_primary then "" else Fmt.str " lag=%d" rr_lag)
+      (match rr_primary_addr with
+      | Some addr -> " primary=" ^ sanitize_line addr
+      | None -> "")
   | Failed msg -> "ERROR " ^ sanitize_line msg
   | Bye -> "BYE"
 
@@ -284,6 +326,12 @@ let parse_request payload =
     | "QUIT", "" | "EXIT", "" -> Stdlib.Ok Quit
     | "SNAPSHOT", "" -> Stdlib.Ok (Snapshot None)
     | "SNAPSHOT", path -> Stdlib.Ok (Snapshot (Some path))
+    | "FOLLOW", since ->
+      let* since = parse_int "follow" since in
+      if since < -1 then Error "follow: the resume epoch cannot be below -1"
+      else Stdlib.Ok (Follow since)
+    | "ROLE", "" -> Stdlib.Ok Role
+    | "PROMOTE", "" -> Stdlib.Ok Promote
     | "LOAD", _ -> Error "load: expected LOAD <count>, a newline, then the binary fact block"
     | kw, _ -> Error (Fmt.str "unknown request %S" kw)
 
@@ -316,7 +364,94 @@ let parse_stats lines =
   in
   Stdlib.Ok (Stats_reply s)
 
+(* [SNAP <epoch> <n>\n<bytes>]: the body is the raw snapshot image
+   (arbitrary bytes, including newlines), so like LOAD it must be
+   dissected before any line splitting. *)
+let parse_snap payload =
+  match String.index_opt payload '\n' with
+  | None -> Error "snap: expected SNAP <epoch> <bytes>, a newline, then the image"
+  | Some nl -> (
+    let header = String.trim (String.sub payload 0 nl) in
+    let body = String.sub payload (nl + 1) (String.length payload - nl - 1) in
+    match split_keyword header with
+    | "SNAP", detail -> (
+      match String.split_on_char ' ' detail with
+      | [ e; n ] ->
+        let* sn_epoch = parse_int "snap" e in
+        let* n = parse_int "snap" n in
+        if n <> String.length body then
+          Error (Fmt.str "snap: %d bytes declared, %d present" n (String.length body))
+        else Stdlib.Ok (Snap { sn_epoch; sn_bytes = body })
+      | _ -> Error (Fmt.str "snap: malformed header %S" header))
+    | kw, _ -> Error (Fmt.str "snap: malformed header %S" kw))
+
+(* [JOURNAL <epoch>\n<delta text>]: the body is a {!Delta.of_string}
+   document and may span many lines inside the one frame. *)
+let parse_journal payload =
+  match String.index_opt payload '\n' with
+  | None -> (
+    match split_keyword (String.trim payload) with
+    | "JOURNAL", e ->
+      let* jr_epoch = parse_int "journal" e in
+      Stdlib.Ok (Journal_rec { jr_epoch; jr_delta = Delta.empty })
+    | kw, _ -> Error (Fmt.str "journal: malformed header %S" kw))
+  | Some nl -> (
+    let header = String.trim (String.sub payload 0 nl) in
+    let body = String.sub payload (nl + 1) (String.length payload - nl - 1) in
+    match split_keyword header with
+    | "JOURNAL", e ->
+      let* jr_epoch = parse_int "journal" e in
+      let* jr_delta = guard "journal" (fun () -> Delta.of_string body) in
+      Stdlib.Ok (Journal_rec { jr_epoch; jr_delta })
+    | kw, _ -> Error (Fmt.str "journal: malformed header %S" kw))
+
+(* "ROLE primary @E [primary=ADDR]" / "ROLE replica @E lag=N
+   [primary=ADDR]" — the address comes last and may contain spaces
+   (Unix-socket paths), so it is cut off the tail first. *)
+let parse_role detail =
+  let detail = String.trim detail in
+  let rr_primary_addr, head =
+    let pat = " primary=" in
+    let n = String.length detail and plen = String.length pat in
+    let rec find i =
+      if i + plen > n then None
+      else if String.sub detail i plen = pat then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i ->
+      (Some (String.sub detail (i + plen) (n - i - plen)), String.trim (String.sub detail 0 i))
+    | None -> (None, detail)
+  in
+  let with_epoch who e rest =
+    if not (String.length e > 1 && e.[0] = '@') then
+      Error (Fmt.str "role: expected @epoch, got %S" e)
+    else
+      let* rr_epoch = parse_int "role" (String.sub e 1 (String.length e - 1)) in
+      let* rr_lag =
+        match rest with
+        | [] -> Stdlib.Ok 0
+        | [ l ] when String.length l > 4 && String.sub l 0 4 = "lag=" ->
+          parse_int "role" (String.sub l 4 (String.length l - 4))
+        | _ -> Error (Fmt.str "role: malformed detail %S" detail)
+      in
+      Stdlib.Ok (Role_reply { rr_primary = who = "primary"; rr_epoch; rr_lag; rr_primary_addr })
+  in
+  match String.split_on_char ' ' head |> List.filter (fun s -> s <> "") with
+  | who :: e :: rest when (who = "primary" || who = "replica") && List.length rest <= 1 ->
+    with_epoch who e rest
+  | _ -> Error (Fmt.str "role: malformed detail %S" detail)
+
+let response_keyword_is payload kw =
+  let n = String.length kw in
+  String.length payload > n
+  && String.uppercase_ascii (String.sub payload 0 n) = kw
+  && (payload.[n] = ' ' || payload.[n] = '\n')
+
 let parse_response payload =
+  if response_keyword_is payload "SNAP" then parse_snap payload
+  else if response_keyword_is payload "JOURNAL" then parse_journal payload
+  else
   match String.split_on_char '\n' payload with
   | [] -> Error "empty response"
   | first :: rest -> (
@@ -345,6 +480,10 @@ let parse_response payload =
       let* n = parse_int "loaded" n in
       Stdlib.Ok (Loaded n)
     | "STATS", "" -> parse_stats rest
+    | "FOLLOWING", e when String.length e > 1 && e.[0] = '@' ->
+      let* epoch = parse_int "following" (String.sub e 1 (String.length e - 1)) in
+      Stdlib.Ok (Following epoch)
+    | "ROLE", detail when rest = [] -> parse_role detail
     | kw, _ -> Error (Fmt.str "unknown response %S" kw))
 
 (* ------------------------------------------------------------------ *)

@@ -14,15 +14,40 @@
                  | "COMMIT"                          apply the staged batch
                  | "STATS"                           counters and latencies
                  | "SNAPSHOT" [ " " path ]           persist a snapshot
+                 | "FOLLOW " k                       stream committed epochs > k
+                 | "ROLE"                            primary or replica?
+                 | "PROMOTE"                         make this server writable
                  | "QUIT"                            close the connection
       response ::= "OK"
                  | "ANSWERS " n NL tuple*            one "(t1, ..., tk)" per line
                  | "COMMITTED +" a " -" r " @" epoch
                  | "LOADED " n                       facts staged by a LOAD
                  | "STATS" NL (key " " value)*
+                 | "FOLLOWING @" epoch               replay begins after this epoch
+                 | "SNAP " epoch " " n NL bytes      snapshot image at that epoch
+                 | "JOURNAL " epoch NL delta         one committed batch
+                 | "ROLE " ("primary" | "replica" " @" epoch " lag=" n)
+                          [" primary=" addr]
                  | "ERROR " message
                  | "BYE"
     v}
+
+    {b Replication verbs.} [FOLLOW k] declares "I hold every epoch
+    through [k]; stream me what comes after" ([k = -1]: "I hold
+    nothing; send a snapshot"). The server answers either
+    [FOLLOWING @e] — its journal covers [(k, e]] and replay starts
+    immediately — or [SNAP e n] carrying a {!Snapshot}-format image of
+    epoch [e] (same [GRDSNAP1] magic, length and checksum as the file
+    form; a corrupt or version-mismatched image is rejected by the
+    replica with a parseable [ERROR]). Either way the connection then
+    turns into a one-way stream of [JOURNAL e] records, one per
+    committed batch in strict epoch order, each carrying the batch's
+    {!Guarded_incr.Delta} text. [ROLE] reports whether the server is a
+    writable primary or a read-only replica (with its current epoch,
+    replication lag, and — for a replica — its primary's address);
+    [PROMOTE] flips a replica into a writable primary (warm failover)
+    and is answered with the new [ROLE] line. Writes sent to a replica
+    are refused with [ERROR redirect ADDR: ...] naming the primary.
 
     [LOAD] is the bulk-ingest fast path: its [factblock] is [n] ground
     facts in {!Guarded_core.Codec.write_atom}'s binary encoding, back
@@ -56,6 +81,16 @@
     startup). [scripts/server_smoke.sh] asserts the presence of all
     four and the monotonicity of the latter two.
 
+    The replication keys: [role] (0 = primary, 1 = replica),
+    [replicas_connected] (gauge: connections currently following this
+    server's journal), [replication_lag_epochs] (gauge: how many
+    epochs the server trails the primary it follows; 0 on a primary)
+    and [journal_bytes] (gauge: delta text retained in the in-memory
+    journal, the replay window for reconnecting followers).
+    [scripts/server_smoke.sh]'s [repl] mode asserts all four on both
+    sides of a primary/replica pair: the roles, the lag draining to
+    zero, and [journal_bytes] growing monotonically with commits.
+
     Keywords are accepted case-insensitively; printers emit the
     canonical uppercase spelling and quote constants as needed
     ({!Guarded_core.Term.pp_quoted}), so [parse ∘ print] is the
@@ -85,6 +120,11 @@ type request =
   | Commit
   | Stats
   | Snapshot of string option
+  | Follow of int
+      (** [FOLLOW k] — stream every committed epoch past [k]; [-1]
+          demands a snapshot first. Sent by a bootstrapping replica. *)
+  | Role
+  | Promote
   | Quit
 
 type stats = {
@@ -113,6 +153,10 @@ type stats = {
   s_cache_evictions : int;  (** entries evicted by commits (aggregate) *)
   s_heap_kb : int;  (** current major-heap size, kilobytes *)
   s_demand : int;  (** 1 when serving demand-driven, else 0 *)
+  s_role : int;  (** 0 = primary, 1 = replica *)
+  s_replicas_connected : int;  (** followers streaming this journal *)
+  s_replication_lag_epochs : int;  (** epochs behind the primary; 0 on a primary *)
+  s_journal_bytes : int;  (** retained journal delta text, bytes *)
 }
 
 type response =
@@ -121,6 +165,22 @@ type response =
   | Committed of { added : int; removed : int; epoch : int }
   | Loaded of int  (** facts staged by a [LOAD] *)
   | Stats_reply of stats
+  | Following of int
+      (** [FOLLOWING @e] — the journal covers the follower's resume
+          epoch; [JOURNAL] records for epochs [> resume] follow. *)
+  | Snap of { sn_epoch : int; sn_bytes : string }
+      (** A {!Snapshot}-format image of epoch [sn_epoch]; the
+          bootstrap path when the journal no longer reaches back to
+          the follower's resume epoch. *)
+  | Journal_rec of { jr_epoch : int; jr_delta : Guarded_incr.Delta.t }
+      (** One committed batch; replicas apply these in strict epoch
+          order. *)
+  | Role_reply of {
+      rr_primary : bool;
+      rr_epoch : int;
+      rr_lag : int;  (** 0 on a primary *)
+      rr_primary_addr : string option;  (** a replica names its primary *)
+    }
   | Failed of string
   | Bye
 

@@ -1,25 +1,28 @@
 #!/usr/bin/env bash
-# Performance gate (ISSUE 6, satellite 6; extended for ISSUEs 7 and 8):
-# build, run the join-engine, column-store, demand-serving and server
-# suites, re-record the tracked bench sections and fail if any of them
-# regressed past the wall-clock or memory limits of the committed
-# baseline, or if a section's own acceptance checks stop holding:
+# Performance gate (ISSUE 6, satellite 6; extended for ISSUEs 7-9):
+# build, run the join-engine, column-store, demand-serving, server and
+# replication suites, re-record the tracked bench sections and fail if
+# any of them regressed past the wall-clock or memory limits of the
+# committed baseline, or if a section's own acceptance checks stop
+# holding:
 #   - demand: >=2x lower resident heap than materialization, hot
 #     queries >=5x faster than cold;
 #   - serve: the light-client sweep sustains >=1000 concurrent
 #     connections with zero failures (p95 latency reported);
+#   - serve replicas: the 0/1/2-replica sweep drains to lag 0 with
+#     zero failures and replica answers agreeing with the primary;
 #   - ingest: binary LOAD stages a >=100k-fact EDB >=5x faster than
 #     the equivalent +fact. text stream, with equal resulting EDBs.
 #
 # Usage: scripts/perf_gate.sh [BASELINE.json]
 #
-# The baseline defaults to BENCH_8.json (the first recording that
-# carries the ingest section; against older baselines the new sections
+# The baseline defaults to BENCH_9.json (the first recording that
+# carries the replica sweep; against older baselines the new sections
 # are reported and ignored). The recording is left in current.json for
 # inspection.
 set -euo pipefail
 
-BASELINE="${1:-BENCH_8.json}"
+BASELINE="${1:-BENCH_9.json}"
 [ -f "$BASELINE" ] || { echo "perf_gate: baseline $BASELINE not found"; exit 2; }
 
 dune build
@@ -35,6 +38,10 @@ dune exec test/test_main.exe -- test demand
 # The server suite: framing, chunked-delivery invariance, LOAD = text
 # ingest equivalence, concurrency oracles.
 dune exec test/test_main.exe -- test server
+# The replication suite: journal/backoff/failover units, wire repl
+# verbs, bootstrap equivalence, the 110-schedule cluster oracle and
+# the kill-primary/promote oracles.
+dune exec test/test_main.exe -- test repl
 
 # Re-record the tracked sections (sequential and 2-domain legs, like
 # the committed baseline) and gate: >2x wall-clock plus 0.25s slack, or
@@ -57,6 +64,8 @@ grep -q "demand hot-query check.*: ok" current.out \
   || { echo "perf_gate: demand hot-query check line missing"; exit 1; }
 grep -q "serve light-client check: ok" current.out \
   || { echo "perf_gate: serve light-client check line missing"; exit 1; }
+grep -q "serve replica check: ok" current.out \
+  || { echo "perf_gate: serve replica check line missing"; exit 1; }
 grep -q "ingest speedup check: ok" current.out \
   || { echo "perf_gate: ingest speedup check line missing"; exit 1; }
 

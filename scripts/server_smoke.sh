@@ -7,7 +7,12 @@
 # snapshots are unavailable and the counters must move: repeat queries
 # are cache hits.
 #
-# Usage: scripts/server_smoke.sh [DOMAINS] [materialized|demand]
+# In repl mode (`repl`) the smoke instead drives a primary/replica
+# pair: the replica bootstraps over the wire, serves reads, drains its
+# lag, redirects writes, and takes over via PROMOTE after the primary
+# is killed.
+#
+# Usage: scripts/server_smoke.sh [DOMAINS] [materialized|demand|repl]
 set -euo pipefail
 
 # 0 means "the sequential CI leg": serve without a pool (--domains 1).
@@ -15,8 +20,8 @@ DOMAINS="${1:-1}"
 [ "$DOMAINS" = 0 ] && DOMAINS=1
 MODE="${2:-materialized}"
 case "$MODE" in
-  materialized|demand) ;;
-  *) echo "usage: server_smoke.sh [DOMAINS] [materialized|demand]"; exit 2 ;;
+  materialized|demand|repl) ;;
+  *) echo "usage: server_smoke.sh [DOMAINS] [materialized|demand|repl]"; exit 2 ;;
 esac
 # The prebuilt binary: two dune exec instances (the backgrounded
 # server and the client calls) would contend on dune's lock.
@@ -35,6 +40,125 @@ e(a, b).
 e(b, c).
 e(c, d).
 EOF
+
+if [ "$MODE" = repl ]; then
+  # Primary/replica smoke: bootstrap over the wire, converge, redirect
+  # writes, then fail over with PROMOTE after the primary dies.
+  PSOCK="$WORK/primary.sock"
+  RSOCK="$WORK/replica.sock"
+  trap 'kill "$SERVER_PID" "$REPLICA_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+  REPLICA_PID=""
+
+  $GUARDED listen "$WORK/path.rules" "$WORK/path.db" \
+    --socket "$PSOCK" --domains "$DOMAINS" 2> "$WORK/primary.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    [ -S "$PSOCK" ] && break
+    sleep 0.2
+  done
+  [ -S "$PSOCK" ] || { echo "primary did not come up"; cat "$WORK/primary.log"; exit 1; }
+
+  # Commit before the replica exists, so the bootstrap snapshot must
+  # carry post-load state, not just the initial database.
+  $GUARDED client --socket "$PSOCK" --exec="+e(d, e)." --exec=COMMIT \
+    | grep -q "^COMMITTED" || { echo "primary commit failed"; exit 1; }
+
+  # The replica has no local database: it must bootstrap from the
+  # primary's wire snapshot (FOLLOW -1).
+  $GUARDED listen "$WORK/path.rules" --socket "$RSOCK" --follow "unix:$PSOCK" \
+    2> "$WORK/replica.log" &
+  REPLICA_PID=$!
+  for _ in $(seq 1 50); do
+    [ -S "$RSOCK" ] && break
+    sleep 0.2
+  done
+  [ -S "$RSOCK" ] || { echo "replica did not come up"; cat "$WORK/replica.log"; exit 1; }
+
+  rstat() { # rstat SOCK KEY
+    $GUARDED client --socket "$1" -e STATS | awk -v key="$2" '$1 == key { print $2 }'
+  }
+  drain() { # drain EXPECTED_EPOCH
+    for _ in $(seq 1 150); do
+      LAG=$(rstat "$RSOCK" replication_lag_epochs || echo 1)
+      EPOCH=$(rstat "$RSOCK" epoch || echo -1)
+      [ "$LAG" = 0 ] && [ "$EPOCH" -ge "$1" ] && return 0
+      sleep 0.2
+    done
+    echo "replica did not drain to epoch $1 (lag=$LAG epoch=$EPOCH)"
+    cat "$WORK/replica.log"; exit 1
+  }
+  drain 1
+
+  # Converged reads: both ends agree on the recursive closure of the
+  # 4-edge chain a-b-c-d-e (10 paths).
+  P=$($GUARDED client --socket "$PSOCK" -e "? path" | head -1)
+  R=$($GUARDED client --socket "$RSOCK" -e "? path" | head -1)
+  [ "$P" = "ANSWERS 10" ] || { echo "primary: expected ANSWERS 10, got: $P"; exit 1; }
+  [ "$R" = "$P" ] || { echo "replica diverged: primary=$P replica=$R"; exit 1; }
+
+  # Replication STATS keys on both ends.
+  for key in role replicas_connected replication_lag_epochs journal_bytes; do
+    rstat "$PSOCK" "$key" | grep -q . || { echo "primary STATS missing $key"; exit 1; }
+    rstat "$RSOCK" "$key" | grep -q . || { echo "replica STATS missing $key"; exit 1; }
+  done
+  [ "$(rstat "$PSOCK" role)" = 0 ] || { echo "primary role != 0"; exit 1; }
+  [ "$(rstat "$RSOCK" role)" = 1 ] || { echo "replica role != 1"; exit 1; }
+  [ "$(rstat "$PSOCK" replicas_connected)" -ge 1 ] \
+    || { echo "primary sees no followers"; exit 1; }
+  [ "$(rstat "$PSOCK" journal_bytes)" -gt 0 ] \
+    || { echo "primary journal is empty after a commit"; exit 1; }
+
+  # ROLE on both ends; the replica names its primary.
+  $GUARDED client --socket "$PSOCK" -e ROLE | grep -q "^ROLE primary" \
+    || { echo "primary ROLE wrong"; exit 1; }
+  $GUARDED client --socket "$RSOCK" -e ROLE | grep "^ROLE replica" | grep -q "primary=" \
+    || { echo "replica ROLE wrong"; exit 1; }
+
+  # Writes to the replica are refused with a redirect naming the
+  # primary (the client exits nonzero on ERROR replies).
+  REDIR=$($GUARDED client --socket "$RSOCK" --exec="+e(e, f)." --exec=COMMIT || true)
+  echo "$REDIR" | grep -q "^ERROR redirect" \
+    || { echo "replica accepted a write: $REDIR"; exit 1; }
+  echo "$REDIR" | grep -q "$PSOCK" \
+    || { echo "redirect does not name the primary: $REDIR"; exit 1; }
+
+  # A live commit streams through the journal and is served.
+  $GUARDED client --socket "$PSOCK" --exec="+e(e, f)." --exec=COMMIT \
+    | grep -q "^COMMITTED" || { echo "second primary commit failed"; exit 1; }
+  drain 2
+  R2=$($GUARDED client --socket "$RSOCK" -e "? path" | head -1)
+  [ "$R2" = "ANSWERS 15" ] || { echo "replica missed the commit: $R2"; exit 1; }
+
+  # Warm failover: kill the primary, promote the replica over the
+  # wire, and commit against the promoted node.
+  kill -TERM "$SERVER_PID"
+  for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -0 "$SERVER_PID" 2>/dev/null \
+    && { echo "primary did not stop on SIGTERM"; cat "$WORK/primary.log"; exit 1; }
+  $GUARDED client --socket "$RSOCK" -e PROMOTE | grep -q "^ROLE primary" \
+    || { echo "PROMOTE did not flip the role"; exit 1; }
+  [ "$(rstat "$RSOCK" role)" = 0 ] || { echo "promoted role != 0"; exit 1; }
+  $GUARDED client --socket "$RSOCK" --exec="+e(f, g)." --exec=COMMIT \
+    | grep -q "^COMMITTED" || { echo "commit on the promoted node failed"; exit 1; }
+  POST=$($GUARDED client --socket "$RSOCK" -e "? path" | head -1)
+  [ "$POST" = "ANSWERS 21" ] || { echo "promoted node: expected ANSWERS 21, got: $POST"; exit 1; }
+
+  kill -TERM "$REPLICA_PID"
+  for _ in $(seq 1 50); do
+    kill -0 "$REPLICA_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -0 "$REPLICA_PID" 2>/dev/null \
+    && { echo "replica did not stop on SIGTERM"; cat "$WORK/replica.log"; exit 1; }
+  grep -q "server stopped" "$WORK/replica.log" \
+    || { echo "no clean replica shutdown logged"; cat "$WORK/replica.log"; exit 1; }
+
+  echo "server smoke: OK (domains=$DOMAINS, mode=$MODE)"
+  exit 0
+fi
 
 if [ "$MODE" = demand ]; then
   $GUARDED listen "$WORK/path.rules" "$WORK/path.db" \

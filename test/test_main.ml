@@ -23,5 +23,6 @@ let () =
       ("saturate", Test_saturate.suite);
       ("incr", Test_incr.suite);
       ("server", Test_server.suite);
+      ("repl", Test_repl.suite);
       ("demand", Test_demand.suite);
     ]

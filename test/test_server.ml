@@ -134,6 +134,10 @@ let test_wire_responses () =
           s_cache_evictions = 19;
           s_heap_kb = 20;
           s_demand = 1;
+          s_role = 1;
+          s_replicas_connected = 2;
+          s_replication_lag_epochs = 3;
+          s_journal_bytes = 4096;
         };
     ]
   in
@@ -643,7 +647,10 @@ let test_frame_rejection () =
 let with_state_server ?(demand = false) sigma_text db_text f =
   let sock = Filename.temp_file "guarded" ".sock" in
   Sys.remove sock;
-  let st = (if demand then State.create_demand else State.create) (theory sigma_text) (db db_text) in
+  let st =
+    if demand then State.create_demand (theory sigma_text) (db db_text)
+    else State.create (theory sigma_text) (db db_text)
+  in
   let srv = Server.listen st (Server.Unix_socket sock) in
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f st srv)
 
