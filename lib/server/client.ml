@@ -8,10 +8,17 @@ type t = {
   mutable fd : Unix.file_descr;
   out : Buffer.t;
   mutable open_ : bool;
+  mutable owns_fd : bool;
+      (** [fd] has not been [Unix.close]d yet. Distinct from [open_]:
+          a transport error marks the connection dead ([open_ = false])
+          but the descriptor still belongs to us, while after a failed
+          {!reconnect} the stored number is closed and may have been
+          reassigned by the kernel to an unrelated connection — closing
+          it again would tear someone else's socket down. *)
   addr : Server.address option;  (** where {!reconnect} re-dials *)
 }
 
-let connect_fd fd = { fd; out = Buffer.create 4096; open_ = true; addr = None }
+let connect_fd fd = { fd; out = Buffer.create 4096; open_ = true; owns_fd = true; addr = None }
 
 let sock_target = function
   | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -55,7 +62,10 @@ let reconnect ?(backoff = Backoff.default) c =
   match c.addr with
   | None -> raise (Connection_lost "reconnect: connection has no address")
   | Some addr -> (
-    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    if c.owns_fd then begin
+      c.owns_fd <- false;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end;
     Buffer.clear c.out;
     c.open_ <- false;
     let attempt () =
@@ -66,6 +76,7 @@ let reconnect ?(backoff = Backoff.default) c =
     match Backoff.retry backoff attempt with
     | Ok fd ->
       c.fd <- fd;
+      c.owns_fd <- true;
       c.open_ <- true
     | Error msg ->
       raise
@@ -223,4 +234,7 @@ let close c =
        ignore (Wire.read_frame c.fd)
      with Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ())
   end;
-  try Unix.close c.fd with Unix.Unix_error _ -> ()
+  if c.owns_fd then begin
+    c.owns_fd <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

@@ -118,8 +118,11 @@ and rebase t =
   | exception Client.Connection_lost _ -> reconnect t
 
 (* Walk Reconnecting(n) states: sleep the schedule's pause, try one
-   dial. [Backoff.delay] runs dry exactly when the machine's budget
-   does, so the terminal state is the machine's, not ad-hoc. *)
+   dial. [Backoff.delay] is indexed by the current attempt number [n],
+   so a policy with [attempts = N] performs exactly N dials; the
+   machine's [step] caps [n] before the schedule runs dry, and the
+   [None] arm below is only a guard against a policy mutated under
+   us. *)
 and reconnect t =
   fire t Failover.Connection_down;
   let rec go () =
@@ -132,7 +135,7 @@ and reconnect t =
         t.log "failover: retry budget spent, promoting";
         Server.promote t.server
       | Failover.Reconnecting n -> (
-        match Backoff.delay t.policy.Failover.retry (n + 1) with
+        match Backoff.delay t.policy.Failover.retry n with
         | None ->
           (* budget spent: the step lands in the policy's terminal *)
           fire t Failover.Retry_failed;

@@ -348,7 +348,19 @@ let run_job t (job : job) : Wire.response * comp_action =
                follower holds nothing): ship a full image of this
                epoch, then stream from the next one. *)
             let image = Snapshot.encode (Incr.program incr) (Incr.dump incr) in
-            (Wire.Snap { sn_epoch = epoch; sn_bytes = image }, C_follow (epoch + 1)))
+            (* The image travels in one SNAP frame; past the wire's
+               frame limit the follower's [read_frame] would reject it
+               unread and burn its retry budget on a bootstrap that can
+               never succeed — refuse with a parseable ERROR instead.
+               64 bytes of slack covers the textual SNAP header. *)
+            if String.length image + 64 > Wire.max_frame then
+              ( Wire.Failed
+                  (Fmt.str
+                     "follow: snapshot image of %d bytes exceeds the %d-byte frame limit; \
+                      bootstrap from a file snapshot or resume from a retained journal epoch"
+                     (String.length image) Wire.max_frame),
+                C_keep )
+            else (Wire.Snap { sn_epoch = epoch; sn_bytes = image }, C_follow (epoch + 1)))
   | Wire.Add _ | Wire.Remove _ | Wire.Load _ | Wire.Role | Wire.Promote | Wire.Quit ->
     (* Handled inline by the reactor; never dispatched. *)
     assert false

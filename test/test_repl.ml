@@ -167,7 +167,20 @@ let test_failover_machine () =
     (Failover.terminal Failover.Promoted
     && Failover.terminal Failover.Stopped
     && (not (Failover.terminal Failover.Streaming))
-    && not (Failover.terminal (Failover.Reconnecting 4)))
+    && not (Failover.terminal (Failover.Reconnecting 4)));
+  (* pacing coherence: every reachable [Reconnecting n] has a delay
+     scheduled at index [n], so a policy with [attempts = N] budgets
+     exactly N dials before the machine lands in its terminal state *)
+  let rec walk st dials =
+    match st with
+    | Failover.Reconnecting n ->
+      Alcotest.(check bool) (Fmt.str "dial %d is scheduled" n) true
+        (Backoff.delay policy.Failover.retry n <> None);
+      walk (step st Failover.Retry_failed) (dials + 1)
+    | _ -> dials
+  in
+  Alcotest.(check int) "attempts = dials" 3
+    (walk (step Failover.Streaming Failover.Connection_down) 0)
 
 (* ------------------------------------------------------------------ *)
 (* Wire round-trips of the replication verbs                           *)
@@ -298,6 +311,32 @@ let test_client_connection_lost () =
       Client.reconnect c;
       Alcotest.(check int) "serving after reconnect" 3 (List.length (Client.query c "path"));
       Client.close c)
+
+(* After a failed reconnect the handle's stored fd number is already
+   closed and the kernel may have reassigned it; shutdown/close must
+   leave it alone or they tear down an unrelated descriptor. *)
+let test_client_close_after_failed_reconnect () =
+  let sock = fresh_sock () in
+  let st = State.create (theory path_sigma) (db "e(a, b).") in
+  let srv = Server.listen st (Server.Unix_socket sock) in
+  let c = Client.connect (Server.address srv) in
+  Server.stop srv;
+  (match Client.reconnect ~backoff:(Backoff.make ~base:0.001 ~attempts:2 ()) c with
+  | exception Client.Connection_lost _ -> ()
+  | () -> Alcotest.fail "reconnect to a dead server succeeded");
+  (* lowest-free-fd allocation: this probe takes the number the failed
+     reconnect released — exactly the descriptor a double-close hits *)
+  let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+    (fun () ->
+      Client.shutdown c;
+      Client.close c;
+      Client.close c;
+      match Unix.fstat probe with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        Alcotest.fail "close after a failed reconnect closed an unrelated fd")
 
 (* ------------------------------------------------------------------ *)
 (* Bootstrap equivalence: snapshot-at-k + stream = replay-from-0       *)
@@ -653,6 +692,8 @@ let suite =
       test_wire_snapshot_codec;
     Alcotest.test_case "client: Connection_lost + reconnect" `Quick
       test_client_connection_lost;
+    Alcotest.test_case "client: close after a failed reconnect is inert" `Quick
+      test_client_close_after_failed_reconnect;
     Alcotest.test_case "bootstrap: snapshot-at-k = replay-from-0" `Quick
       test_bootstrap_equivalence;
     Alcotest.test_case "replica: reads, redirects, ROLE, STATS" `Quick test_replica_serving;
