@@ -3,6 +3,7 @@
 
     {v
       guarded classify  THEORY
+      guarded analyze   THEORY [--budgets N,..]
       guarded normalize THEORY
       guarded translate THEORY [--target datalog|weakly-guarded]
       guarded chase     THEORY DATABASE [--max-derivations N] [--max-depth N]
@@ -57,6 +58,43 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify a theory in the languages of Figure 1.")
     Term.(const run $ theory_arg)
+
+(* --- analyze ---------------------------------------------------------- *)
+
+let analyze_cmd =
+  let budgets_arg =
+    Arg.(
+      value
+      & opt (list int) Guarded_analysis.Prover.default_budgets
+      & info [ "budgets" ] ~docv:"N,.."
+          ~doc:
+            "Escalating derivation budgets for the bounded-chase termination probe (only \
+             consulted when no acyclicity certificate is found).")
+  in
+  let run theory_path budgets =
+    handle_errors (fun () ->
+        let sigma = load_theory theory_path in
+        let report = Guarded_analysis.Report.analyze ~budgets sigma in
+        Fmt.pr "%a@." Guarded_analysis.Report.pp report)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Chase-termination analysis: acyclicity certificates and a bounded-chase probe."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Classifies THEORY in the languages of Figure 1, then decides weak, joint and \
+              super-weak acyclicity of its position/existential-variable/trigger graphs. \
+              Each decider returns a machine-checkable certificate (a rank function or \
+              acyclic numbering) or a concrete cycle counterexample. When no certificate \
+              exists and the theory is positive, a bounded restricted chase probes a \
+              distinct-constants instance under escalating budgets: saturation yields the \
+              finite chase of that instance (atoms, nulls, derivations are reported), \
+              exhaustion reports the offending recursive rule cycle. The final \
+              $(b,termination:) line carries the verdict.";
+         ])
+    Term.(const run $ theory_arg $ budgets_arg)
 
 (* --- normalize -------------------------------------------------------- *)
 
@@ -525,6 +563,25 @@ let listen_cmd =
              commits invalidate per dependency component. Incompatible with --snapshot \
              (nothing is materialized to persist).")
   in
+  let chase_arg =
+    Arg.(
+      value & flag
+      & info [ "chase" ]
+          ~doc:
+            "Finite-chase serving: materialize the restricted chase of THEORY over DATABASE \
+             and answer queries from it directly, bypassing the Datalog translation. Labeled \
+             nulls stay resident and are filtered from answers. Commits of pure additions \
+             continue the chase incrementally; deletions re-chase the new EDB. Only sound \
+             for terminating theories — check with $(b,guarded analyze) first; a chase that \
+             exceeds $(b,--chase-budget) refuses the batch (or startup). Incompatible with \
+             --demand, --snapshot and --follow.")
+  in
+  let chase_budget_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "chase-budget" ] ~docv:"N"
+          ~doc:"With --chase: derivation budget per chase run before a batch is refused.")
+  in
   let workers_arg =
     Arg.(
       value & opt int 4
@@ -581,14 +638,20 @@ let listen_cmd =
       Guarded_repl.Replica.stop replica
   in
   let run theory_path db_path socket host port snapshot queue_capacity budget_n domains demand
-      workers follow auto_promote =
+      chase chase_budget workers follow auto_promote =
     handle_errors (fun () ->
         let sigma = load_theory theory_path in
         let addr = resolve_address socket host port in
-        let program = serving_program budget_n sigma in
+        (* Chase mode serves the existential theory itself — no Datalog
+           translation is computed (or even required to exist). *)
+        let program = lazy (serving_program budget_n sigma) in
         let pool = make_pool domains in
         if demand && snapshot <> None then begin
           Fmt.epr "error: --demand and --snapshot are incompatible@.";
+          exit 2
+        end;
+        if chase && (demand || snapshot <> None || follow <> None) then begin
+          Fmt.epr "error: --chase is incompatible with --demand, --snapshot and --follow@.";
           exit 2
         end;
         match follow with
@@ -602,11 +665,39 @@ let listen_cmd =
             Fmt.epr "error: --follow: %s@." msg;
             exit 2
           | Ok primary ->
-            run_replica ~primary ~auto_promote ?pool ~workers ~queue_capacity ~program
-              ~db_path addr)
+            run_replica ~primary ~auto_promote ?pool ~workers ~queue_capacity
+              ~program:(Lazy.force program) ~db_path addr)
         | None ->
         let state =
-          if demand then begin
+          if chase then begin
+            match db_path with
+            | None ->
+              Fmt.epr "error: --chase needs a DATABASE@.";
+              exit 2
+            | Some path -> (
+              let db = load_db path in
+              let limits =
+                { Guarded_chase.Engine.default_limits with max_derivations = chase_budget }
+              in
+              match Guarded_server.State.create_chase ?pool ~limits ~queue_capacity sigma db with
+              | state ->
+                let s =
+                  Guarded_server.State.stats state ~connections:0 ~total_connections:0 ()
+                in
+                Fmt.epr "chase mode: serving %d chase facts (%d nulls, %d derivations) from \
+                         %d EDB facts@."
+                  s.Guarded_server.Wire.s_facts s.Guarded_server.Wire.s_chase_nulls
+                  s.Guarded_server.Wire.s_chase_derivations s.Guarded_server.Wire.s_edb_facts;
+                state
+              | exception Guarded_incr.Chase_mat.Nonterminating { budget; derivations } ->
+                Fmt.epr
+                  "error: the chase exceeded %d derivations (budget %d); this theory may \
+                   not terminate on this database — check with `guarded analyze`, or raise \
+                   --chase-budget@."
+                  derivations budget;
+                exit 3)
+          end
+          else if demand then begin
             match db_path with
             | None ->
               Fmt.epr "error: --demand needs a DATABASE@.";
@@ -615,12 +706,12 @@ let listen_cmd =
               let db = load_db path in
               Fmt.epr "demand-driven: serving %d EDB facts, nothing materialized@."
                 (Database.cardinal db);
-              Guarded_server.State.create_demand ?pool ~queue_capacity program db
+              Guarded_server.State.create_demand ?pool ~queue_capacity (Lazy.force program) db
           end
           else
           match snapshot with
           | Some path when Sys.file_exists path -> (
-            match Guarded_server.Snapshot.load_for ?pool path program with
+            match Guarded_server.Snapshot.load_for ?pool path (Lazy.force program) with
             | m ->
               Fmt.epr "warm start: %d facts restored from %s@."
                 (Database.cardinal (Guarded_incr.Incr.db m))
@@ -636,7 +727,9 @@ let listen_cmd =
               exit 2
             | Some path ->
               let db = load_db path in
-              let m, dt = timed (fun () -> Guarded_incr.Incr.materialize ?pool program db) in
+              let m, dt =
+                timed (fun () -> Guarded_incr.Incr.materialize ?pool (Lazy.force program) db)
+              in
               Fmt.epr "materialized: %d facts from %d EDB facts (%.3f ms)@."
                 (Database.cardinal (Guarded_incr.Incr.db m))
                 (Database.cardinal (Guarded_incr.Incr.edb m))
@@ -668,6 +761,9 @@ let listen_cmd =
               concurrent readers over the last committed epoch, a single writer applying \
               update batches incrementally. With $(b,--demand), nothing is materialized: \
               queries evaluate their own subgoals on demand and cache them. With \
+              $(b,--chase), the restricted chase of THEORY itself is materialized and \
+              served directly — no Datalog translation — which requires a terminating \
+              chase (see $(b,guarded analyze)). With \
               $(b,--follow), this node serves as a read replica of another $(b,listen) \
               process: it bootstraps from the primary's snapshot or journal, replays its \
               commit stream and answers writes with a redirect; the $(b,PROMOTE) wire verb \
@@ -677,8 +773,8 @@ let listen_cmd =
          ])
     Term.(
       const run $ theory_arg $ db_opt_arg $ socket_arg $ host_arg $ port_arg $ snapshot_arg
-      $ queue_arg $ budget_arg $ domains_arg $ demand_arg $ workers_arg $ follow_arg
-      $ auto_promote_arg)
+      $ queue_arg $ budget_arg $ domains_arg $ demand_arg $ chase_arg $ chase_budget_arg
+      $ workers_arg $ follow_arg $ auto_promote_arg)
 
 (* [--hammer N]: N concurrent light clients, a handful of STATS round
    trips each — the smoke-scale version of the serve bench's sweep,
@@ -945,6 +1041,7 @@ let () =
        (Cmd.group (Cmd.info "guarded" ~version:"1.0.0" ~doc)
           [
             classify_cmd;
+            analyze_cmd;
             normalize_cmd;
             translate_cmd;
             chase_cmd;

@@ -1,0 +1,486 @@
+(** Deciders for the standard chase-termination hierarchy
+    weak ⊆ joint ⊆ super-weak acyclicity.
+
+    Each decider returns either a machine-checkable certificate — a
+    rank function witnessing that the relevant dependency graph is
+    acyclic — or a concrete cycle as counterexample; the [verify_*]
+    functions re-derive the graph and check the witness, so a verdict
+    can be audited independently of the decision procedure.
+
+    - {b Weak acyclicity} (Fagin-Kolaitis-Miller-Popa): no cycle of the
+      position graph passes through a special edge. Certificate: ranks
+      over positions that are non-decreasing along regular edges and
+      strictly increasing along special ones.
+    - {b Joint acyclicity} (Krötzsch-Rudolph): for each existential
+      variable z, Ω(z) is the position closure nulls invented for z can
+      reach — seeded with z's head positions and propagated through any
+      frontier variable all of whose body positions lie inside the set.
+      The existential dependency graph has an edge z -> z' when z''s
+      rule has a frontier variable whose body positions all lie in
+      Ω(z); joint acyclicity is acyclicity of that graph.
+    - {b Super-weak acyclicity} (Marnette): over the skolemized theory,
+      places are (rule, atom occurrence, term slot) triples. Move(P) is
+      the closure of P under (i) head-place to body-place transfer at
+      the same slot when the two atoms unify after renaming apart, and
+      (ii) within a rule, body-to-head propagation of a variable once
+      {e all} its body places are in the set. Rule σ triggers σ' when
+      some frontier variable x of σ' has all its body places inside
+      Move(Out(σ, z)) for an existential z of σ; super-weak acyclicity
+      is acyclicity of the trigger relation.
+
+    All three certify termination of the restricted (and skolem) chase
+    on every database. The containments hold by construction: a joint
+    cycle maps to a weak one and a super-weak cycle to a joint one. *)
+
+open Guarded_core
+
+type position = Classify.position
+
+type edge_kind = Acyclicity.edge_kind =
+  | Regular
+  | Special
+
+type evar = int * string
+
+type wa_verdict =
+  | Wa_acyclic of (position * int) list
+  | Wa_cyclic of (position * edge_kind) list
+
+type ja_verdict =
+  | Ja_acyclic of (evar * int) list
+  | Ja_cyclic of evar list
+
+type swa_verdict =
+  | Swa_acyclic of (int * int) list
+  | Swa_cyclic of int list
+
+(* ------------------------------------------------------------------ *)
+(* Weak acyclicity.                                                    *)
+
+let weak sigma =
+  let g = Posgraph.of_theory sigma in
+  match Posgraph.special_cycle g with
+  | Some cycle -> Wa_cyclic cycle
+  | None ->
+    Wa_acyclic (List.map (fun p -> (p, Posgraph.component g p)) (Posgraph.positions g))
+
+module Pos_map = Map.Make (struct
+  type t = position
+
+  let compare = compare
+end)
+
+let cyclic_pairs l =
+  let arr = Array.of_list l in
+  let n = Array.length arr in
+  List.init n (fun i -> (arr.(i), arr.((i + 1) mod n)))
+
+let verify_weak sigma = function
+  | Wa_acyclic ranks ->
+    let rank = List.fold_left (fun m (p, r) -> Pos_map.add p r m) Pos_map.empty ranks in
+    let g = Posgraph.of_theory sigma in
+    List.for_all (fun p -> Pos_map.mem p rank) (Posgraph.positions g)
+    && List.for_all
+         (fun (p, q, kind) ->
+           match (Pos_map.find_opt p rank, Pos_map.find_opt q rank) with
+           | Some rp, Some rq -> ( match kind with Regular -> rp <= rq | Special -> rp < rq)
+           | _ -> false)
+         (Posgraph.edges g)
+  | Wa_cyclic cycle ->
+    let g = Posgraph.of_theory sigma in
+    cycle <> []
+    && List.exists (fun (_, kind) -> kind = Special) cycle
+    && List.for_all
+         (fun ((p, kind), (q, _)) -> List.mem (q, kind) (Posgraph.successors g p))
+         (cyclic_pairs cycle)
+
+(* ------------------------------------------------------------------ *)
+(* Joint acyclicity.                                                   *)
+
+module Pos_set = Classify.Pos_set
+
+(* Per rule, the frontier variables with a body argument position:
+   (variable, body positions, head positions). *)
+let frontier_info rules =
+  Array.map
+    (fun r ->
+      let body = Rule.body_atoms r and head = Rule.head r in
+      Names.Sset.elements (Rule.fvars r)
+      |> List.filter_map (fun x ->
+             let bp = Classify.positions_of_var body x in
+             if Pos_set.is_empty bp then None
+             else Some (x, bp, Classify.positions_of_var head x)))
+    rules
+
+(* Ω(z): least position set containing z's head positions and closed
+   under frontier-variable propagation (all body positions inside). *)
+let omega rules infos (i, z) =
+  let om = ref (Classify.positions_of_var (Rule.head rules.(i)) z) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (List.iter (fun (_, bp, hp) ->
+           if Pos_set.subset bp !om && not (Pos_set.subset hp !om) then begin
+             om := Pos_set.union hp !om;
+             changed := true
+           end))
+      infos
+  done;
+  !om
+
+(* The existential dependency graph: nodes are the existential
+   variables; [succ] over their dense numbering. *)
+let ja_graph sigma =
+  let rules = Array.of_list (Theory.rules sigma) in
+  let infos = frontier_info rules in
+  let evars =
+    Array.to_list rules
+    |> List.mapi (fun i r -> List.map (fun z -> (i, z)) (Names.Sset.elements (Rule.evars r)))
+    |> List.concat
+    |> Array.of_list
+  in
+  let by_rule = Hashtbl.create 16 in
+  Array.iteri (fun idx (i, _) -> Hashtbl.add by_rule i idx) evars;
+  let succ =
+    Array.map
+      (fun z ->
+        let om = omega rules infos z in
+        (* z -> every existential of a rule consuming Ω(z) through a
+           frontier variable. *)
+        let deps = ref [] in
+        Array.iteri
+          (fun j info ->
+            if List.exists (fun (_, bp, _) -> Pos_set.subset bp om) info then
+              deps := List.rev_append (Hashtbl.find_all by_rule j) !deps)
+          infos;
+        List.sort_uniq compare !deps)
+      evars
+  in
+  (evars, succ)
+
+let first_intra_edge comp succ =
+  let found = ref None in
+  Array.iteri
+    (fun u dsts ->
+      if !found = None then
+        List.iter (fun v -> if !found = None && comp.(u) = comp.(v) then found := Some (u, v)) dsts)
+    succ;
+  !found
+
+let joint sigma =
+  let evars, succ = ja_graph sigma in
+  let comp, _ = Scc.compute (Array.length evars) succ in
+  match first_intra_edge comp succ with
+  | Some (u, v) ->
+    let cycle = match Scc.cycle_through succ u v with Some c -> c | None -> assert false in
+    Ja_cyclic (List.map (fun i -> evars.(i)) cycle)
+  | None -> Ja_acyclic (Array.to_list (Array.mapi (fun i z -> (z, comp.(i))) evars))
+
+let verify_joint sigma verdict =
+  let evars, succ = ja_graph sigma in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i z -> Hashtbl.replace index z i) evars;
+  match verdict with
+  | Ja_acyclic ranks ->
+    let rank z = List.assoc_opt z ranks in
+    Array.for_all (fun z -> rank z <> None) evars
+    && Array.for_all
+         (fun u ->
+           List.for_all
+             (fun v ->
+               match (rank evars.(u), rank evars.(v)) with
+               | Some ru, Some rv -> ru < rv
+               | _ -> false)
+             succ.(u))
+         (Array.init (Array.length evars) Fun.id)
+  | Ja_cyclic cycle ->
+    cycle <> []
+    && List.for_all
+         (fun (z, z') ->
+           match (Hashtbl.find_opt index z, Hashtbl.find_opt index z') with
+           | Some u, Some v -> List.mem v succ.(u)
+           | _ -> false)
+         (cyclic_pairs cycle)
+
+(* ------------------------------------------------------------------ *)
+(* Super-weak acyclicity.                                              *)
+
+(* Terms of the skolemized theory: in a rule's head, an existential z
+   becomes the skolem term f_{rule,z}(frontier variables). Variables
+   carry a copy tag so that unifying a head atom of σ against a body
+   atom of σ' (possibly σ = σ') renames the two rules apart; skolem
+   function symbols are shared across copies. *)
+type sterm =
+  | SC of string
+  | SV of (int * string)  (** copy tag, variable name *)
+  | SF of int * string * sterm list  (** skolem: rule index, existential *)
+
+let skolemize ~copy ~rule_idx ~evset ~frontier t =
+  match t with
+  | Term.Const c -> SC c
+  | Term.Null n -> SC (Fmt.str "_n%d" n)
+  | Term.Var x ->
+    if Names.Sset.mem x evset then
+      SF (rule_idx, x, List.map (fun v -> SV (copy, v)) frontier)
+    else SV (copy, x)
+
+let rec resolve subst t =
+  match t with
+  | SV key -> (
+    match Hashtbl.find_opt subst key with Some t' -> resolve subst t' | None -> t)
+  | SC _ | SF _ -> t
+
+let rec occurs subst key t =
+  match resolve subst t with
+  | SV k -> k = key
+  | SC _ -> false
+  | SF (_, _, args) -> List.exists (occurs subst key) args
+
+let rec unify subst a b =
+  let a = resolve subst a and b = resolve subst b in
+  match (a, b) with
+  | SV k, SV k' when k = k' -> true
+  | SV k, t | t, SV k ->
+    if occurs subst k t then false
+    else begin
+      Hashtbl.replace subst k t;
+      true
+    end
+  | SC c, SC c' -> c = c'
+  | SF (r, z, args), SF (r', z', args') ->
+    r = r' && z = z' && List.for_all2 (unify subst) args args'
+  | _ -> false
+
+let unifiable terms terms' =
+  List.length terms = List.length terms'
+  &&
+  let subst = Hashtbl.create 8 in
+  List.for_all2 (unify subst) terms terms'
+
+(* One atom occurrence of the skolemized theory: the original terms
+   (for variable places) and the skolemized terms (for unification). *)
+type occurrence = {
+  o_rule : int;
+  o_var : string array;  (** variable name per slot, "" for non-vars *)
+  o_skolem : sterm list;
+  o_rel : int;  (** [Atom.rel_id] *)
+  o_place0 : int;  (** dense id of this occurrence's first slot *)
+}
+
+type swa_ctx = {
+  rules : Rule.t array;
+  heads : occurrence array array;  (** per rule, head atom occurrences *)
+  bodies : occurrence array array;  (** per rule, positive body occurrences *)
+  nplaces : int;
+  (* body places per (rule, variable), and head places per (rule, variable) *)
+  in_places : (int * string, int list) Hashtbl.t;
+  head_var_places : (int * string, int list) Hashtbl.t;
+  unif : (int * int, bool) Hashtbl.t;  (** (head place0, body place0) -> atoms unify *)
+  place_body_var : (int * string) option array;  (** body slot -> its variable *)
+}
+
+let swa_ctx sigma =
+  let rules = Array.of_list (Theory.rules sigma) in
+  let nplaces = ref 0 in
+  let in_places = Hashtbl.create 64 in
+  let head_var_places = Hashtbl.create 64 in
+  let occurrences side i r atoms =
+    let evset = Rule.evars r in
+    let frontier = Names.Sset.elements (Rule.fvars r) in
+    let copy = (2 * i) + if side = `Body then 1 else 0 in
+    Array.of_list
+      (List.map
+         (fun a ->
+           let terms = Atom.terms a in
+           let place0 = !nplaces in
+           nplaces := !nplaces + List.length terms;
+           List.iteri
+             (fun slot t ->
+               match t with
+               | Term.Var x ->
+                 let tbl = if side = `Body then in_places else head_var_places in
+                 (* Existentials never occur in bodies; head places of an
+                    existential are its Out places. *)
+                 let key = (i, x) in
+                 Hashtbl.replace tbl key
+                   ((place0 + slot)
+                   :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
+               | Term.Const _ | Term.Null _ -> ())
+             terms;
+           {
+             o_rule = i;
+             o_var =
+               Array.of_list
+                 (List.map (function Term.Var x -> x | Term.Const _ | Term.Null _ -> "") terms);
+             o_skolem = List.map (skolemize ~copy ~rule_idx:i ~evset ~frontier) terms;
+             o_rel = Atom.rel_id a;
+             o_place0 = place0;
+           })
+         atoms)
+  in
+  let heads = Array.mapi (fun i r -> occurrences `Head i r (Rule.head r)) rules in
+  let bodies = Array.mapi (fun i r -> occurrences `Body i r (Rule.body_atoms r)) rules in
+  let nplaces = !nplaces in
+  let place_body_var = Array.make nplaces None in
+  Array.iter
+    (Array.iter (fun o ->
+         Array.iteri
+           (fun slot x -> if x <> "" then place_body_var.(o.o_place0 + slot) <- Some (o.o_rule, x))
+           o.o_var))
+    bodies;
+  let unif = Hashtbl.create 256 in
+  Array.iter
+    (Array.iter (fun h ->
+         Array.iter
+           (Array.iter (fun b ->
+                if h.o_rel = b.o_rel then
+                  Hashtbl.replace unif (h.o_place0, b.o_place0) (unifiable h.o_skolem b.o_skolem)))
+           bodies))
+    heads;
+  { rules; heads; bodies; nplaces; in_places; head_var_places; unif; place_body_var }
+
+(* Move(P): mark-and-propagate closure of the two transfer rules. *)
+let move ctx (start : int list) : bool array =
+  let in_move = Array.make ctx.nplaces false in
+  (* Remaining body places per (rule, var) before its head places join. *)
+  let remaining = Hashtbl.create 64 in
+  Hashtbl.iter (fun key places -> Hashtbl.replace remaining key (List.length places)) ctx.in_places;
+  let q = Queue.create () in
+  let add p =
+    if not in_move.(p) then begin
+      in_move.(p) <- true;
+      Queue.add p q
+    end
+  in
+  List.iter add start;
+  (* Which occurrence does a place belong to? Precompute a map from
+     place0 ranges lazily: walk occurrences when processing instead. *)
+  let head_occ_of_place = Array.make ctx.nplaces None in
+  Array.iter
+    (Array.iter (fun o ->
+         Array.iteri (fun slot _ -> head_occ_of_place.(o.o_place0 + slot) <- Some o) o.o_var))
+    ctx.heads;
+  while not (Queue.is_empty q) do
+    let p = Queue.pop q in
+    (* (i) head place -> same-slot body place of any unifying atom. *)
+    (match head_occ_of_place.(p) with
+    | Some h ->
+      let slot = p - h.o_place0 in
+      Array.iter
+        (Array.iter (fun b ->
+             if
+               h.o_rel = b.o_rel
+               && (match Hashtbl.find_opt ctx.unif (h.o_place0, b.o_place0) with
+                  | Some ok -> ok
+                  | None -> false)
+             then add (b.o_place0 + slot)))
+        ctx.bodies
+    | None -> ());
+    (* (ii) body place of x: once every body place of x is in Move, the
+       head places of x join. *)
+    match ctx.place_body_var.(p) with
+    | Some key -> (
+      match Hashtbl.find_opt remaining key with
+      | Some n ->
+        let n = n - 1 in
+        Hashtbl.replace remaining key n;
+        if n = 0 then
+          List.iter add
+            (match Hashtbl.find_opt ctx.head_var_places key with Some l -> l | None -> [])
+      | None -> ())
+    | None -> ()
+  done;
+  in_move
+
+(* The trigger graph: σ -> σ' when for some existential z of σ and
+   frontier variable x of σ', every body place of x is in
+   Move(Out(σ, z)). *)
+let swa_graph sigma =
+  let ctx = swa_ctx sigma in
+  let n = Array.length ctx.rules in
+  let succ = Array.make n [] in
+  Array.iteri
+    (fun i r ->
+      Names.Sset.iter
+        (fun z ->
+          match Hashtbl.find_opt ctx.head_var_places (i, z) with
+          | None -> ()  (* existential without argument occurrence *)
+          | Some out ->
+            let mv = move ctx out in
+            Array.iteri
+              (fun j r' ->
+                if not (List.mem j succ.(i)) then
+                  let triggers =
+                    Names.Sset.exists
+                      (fun x ->
+                        match Hashtbl.find_opt ctx.in_places (j, x) with
+                        | Some (_ :: _ as places) -> List.for_all (fun p -> mv.(p)) places
+                        | Some [] | None -> false)
+                      (Rule.fvars r')
+                  in
+                  if triggers then succ.(i) <- j :: succ.(i))
+              ctx.rules)
+        (Rule.evars r))
+    ctx.rules;
+  Array.map (List.sort_uniq compare) succ
+
+let super_weak sigma =
+  let succ = swa_graph sigma in
+  let comp, _ = Scc.compute (Array.length succ) succ in
+  match first_intra_edge comp succ with
+  | Some (u, v) -> (
+    match Scc.cycle_through succ u v with
+    | Some cycle -> Swa_cyclic cycle
+    | None -> assert false)
+  | None -> Swa_acyclic (Array.to_list (Array.mapi (fun i c -> (i, c)) comp))
+
+let verify_super_weak sigma verdict =
+  let succ = swa_graph sigma in
+  let n = Array.length succ in
+  match verdict with
+  | Swa_acyclic ranks ->
+    let rank i = List.assoc_opt i ranks in
+    List.for_all (fun i -> rank i <> None) (List.init n Fun.id)
+    && List.for_all
+         (fun u ->
+           List.for_all
+             (fun v ->
+               match (rank u, rank v) with Some ru, Some rv -> ru < rv | _ -> false)
+             succ.(u))
+         (List.init n Fun.id)
+  | Swa_cyclic cycle ->
+    cycle <> []
+    && List.for_all
+         (fun (u, v) -> u >= 0 && u < n && List.mem v succ.(u))
+         (cyclic_pairs cycle)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_evar ppf ((i, z) : evar) = Fmt.pf ppf "%s@@%d" z i
+
+let pp_wa_verdict ppf = function
+  | Wa_acyclic ranks -> Fmt.pf ppf "acyclic (%d positions ranked)" (List.length ranks)
+  | Wa_cyclic cycle ->
+    Fmt.pf ppf "cyclic: %a"
+      (Fmt.list ~sep:Fmt.nop (fun ppf (p, kind) ->
+           Fmt.pf ppf "%a %s " Posgraph.pp_position p
+             (match kind with Regular -> "->" | Special -> "=>")))
+      cycle;
+    match cycle with
+    | (p, _) :: _ -> Posgraph.pp_position ppf p
+    | [] -> ()
+
+let pp_ja_verdict ppf = function
+  | Ja_acyclic ranks -> Fmt.pf ppf "acyclic (%d existentials ranked)" (List.length ranks)
+  | Ja_cyclic cycle ->
+    Fmt.pf ppf "cyclic: %a" (Fmt.list ~sep:(Fmt.any " -> ") pp_evar) cycle;
+    (match cycle with z :: _ -> Fmt.pf ppf " -> %a" pp_evar z | [] -> ())
+
+let pp_swa_verdict ppf = function
+  | Swa_acyclic ranks -> Fmt.pf ppf "acyclic (%d rules ranked)" (List.length ranks)
+  | Swa_cyclic cycle ->
+    Fmt.pf ppf "cyclic: %a"
+      (Fmt.list ~sep:(Fmt.any " -> ") (fun ppf i -> Fmt.pf ppf "rule %d" i))
+      cycle;
+    (match cycle with i :: _ -> Fmt.pf ppf " -> rule %d" i | [] -> ())

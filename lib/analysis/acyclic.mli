@@ -1,0 +1,60 @@
+(** Deciders for the chase-termination hierarchy
+    weak ⊆ joint ⊆ super-weak acyclicity, with machine-checkable
+    verdicts.
+
+    Each decider returns a certificate (a rank function over the
+    relevant dependency graph, strictly increasing along its edges) or
+    a concrete cycle as counterexample. The [verify_*] functions
+    re-derive the graph and audit the witness, so verdicts can be
+    checked independently of the decision procedure. All three classes
+    certify that the restricted (and skolem) chase terminates on every
+    database. *)
+
+open Guarded_core
+
+type position = Classify.position
+
+type edge_kind = Acyclicity.edge_kind =
+  | Regular
+  | Special
+
+type evar = int * string
+(** An existential variable, as (rule index, variable name). *)
+
+type wa_verdict =
+  | Wa_acyclic of (position * int) list
+      (** ranks: non-decreasing along regular position-graph edges,
+          strictly increasing along special ones *)
+  | Wa_cyclic of (position * edge_kind) list
+      (** a position cycle through a special edge; each element carries
+          the kind of the edge to its cyclic successor *)
+
+type ja_verdict =
+  | Ja_acyclic of (evar * int) list
+      (** topological ranks of the existential dependency graph *)
+  | Ja_cyclic of evar list  (** an existential dependency cycle *)
+
+type swa_verdict =
+  | Swa_acyclic of (int * int) list
+      (** topological ranks of the rules in the trigger graph *)
+  | Swa_cyclic of int list  (** a rule-index trigger cycle *)
+
+val weak : Theory.t -> wa_verdict
+(** Fagin-Kolaitis-Miller-Popa weak acyclicity over {!Posgraph}. *)
+
+val joint : Theory.t -> ja_verdict
+(** Krötzsch-Rudolph joint acyclicity: Ω(z) position closures and the
+    existential dependency graph. *)
+
+val super_weak : Theory.t -> swa_verdict
+(** Marnette super-weak acyclicity: place-level Move closures over the
+    skolemized theory and the rule trigger graph. *)
+
+val verify_weak : Theory.t -> wa_verdict -> bool
+val verify_joint : Theory.t -> ja_verdict -> bool
+val verify_super_weak : Theory.t -> swa_verdict -> bool
+
+val pp_evar : evar Fmt.t
+val pp_wa_verdict : wa_verdict Fmt.t
+val pp_ja_verdict : ja_verdict Fmt.t
+val pp_swa_verdict : swa_verdict Fmt.t

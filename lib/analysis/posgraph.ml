@@ -1,0 +1,165 @@
+(** The position graph of a theory (Fagin-Kolaitis-Miller-Popa).
+
+    Nodes are argument positions (relation, index); a frontier variable
+    occurring at body position [p] and head position [h] induces a
+    regular edge [p -> h], and additionally a special edge [p => e] for
+    every position [e] of an existential variable of the same rule —
+    the special edges track where firing the rule invents a fresh
+    labeled null from a value flowing in at [p]. The edge relation is
+    exactly [Guarded_core.Acyclicity.dependency_graph]; this module
+    adds the indexed view the termination deciders need: a dense node
+    numbering, successor arrays, and the condensation into strongly
+    connected components in topological order. *)
+
+open Guarded_core
+
+type position = Classify.position
+
+type edge_kind = Acyclicity.edge_kind =
+  | Regular
+  | Special
+
+type t = {
+  nodes : position array;  (** dense numbering, sorted *)
+  index : (position, int) Hashtbl.t;
+  succ : (int * edge_kind) list array;
+  comp : int array;  (** topological SCC number per node *)
+  comp_count : int;
+}
+
+(* Every argument position of the theory's signature, graph-mentioned
+   or not — certificates then rank the full signature. *)
+let all_positions sigma =
+  List.concat_map
+    (fun ((_, _, arity) as rel) -> List.init arity (fun i -> (rel, i)))
+    (Theory.relation_list sigma)
+
+let of_theory (sigma : Theory.t) : t =
+  let g = Acyclicity.dependency_graph sigma in
+  let pos_set =
+    Acyclicity.Pos_map.fold
+      (fun src edges acc ->
+        List.fold_left
+          (fun acc (dst, _) -> Classify.Pos_set.add dst acc)
+          (Classify.Pos_set.add src acc) edges)
+      g
+      (Classify.Pos_set.of_list (all_positions sigma))
+  in
+  let nodes = Array.of_list (Classify.Pos_set.elements pos_set) in
+  let index = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun i p -> Hashtbl.replace index p i) nodes;
+  let succ = Array.make (Array.length nodes) [] in
+  Acyclicity.Pos_map.iter
+    (fun src edges ->
+      let si = Hashtbl.find index src in
+      succ.(si) <-
+        List.map (fun (dst, kind) -> (Hashtbl.find index dst, kind)) edges)
+    g;
+  let comp, comp_count =
+    Scc.compute (Array.length nodes) (Array.map (List.map fst) succ)
+  in
+  { nodes; index; succ; comp; comp_count }
+
+let positions g = Array.to_list g.nodes
+let node_count g = Array.length g.nodes
+
+let edges g =
+  let acc = ref [] in
+  Array.iteri
+    (fun si dsts ->
+      List.iter (fun (di, kind) -> acc := (g.nodes.(si), g.nodes.(di), kind) :: !acc) dsts)
+    g.succ;
+  List.rev !acc
+
+let successors g p =
+  match Hashtbl.find_opt g.index p with
+  | None -> []
+  | Some i -> List.map (fun (j, kind) -> (g.nodes.(j), kind)) g.succ.(i)
+
+let component g p =
+  match Hashtbl.find_opt g.index p with
+  | None -> invalid_arg "Posgraph.component: unknown position"
+  | Some i -> g.comp.(i)
+
+let component_count g = g.comp_count
+
+(* A special edge inside one SCC is exactly a cycle through a special
+   edge (FKMP): [u => v] with a path [v ->* u]. *)
+let special_in_scc g =
+  let found = ref None in
+  Array.iteri
+    (fun si dsts ->
+      if !found = None then
+        List.iter
+          (fun (di, kind) ->
+            if !found = None && kind = Special && g.comp.(si) = g.comp.(di) then
+              found := Some (si, di))
+          dsts)
+    g.succ;
+  !found
+
+(* Shortest path [src ->* dst] by BFS; either endpoint may coincide.
+   Returns the node list starting at [src] and ending at [dst], with
+   the edge kind taken *to reach* each non-initial node. *)
+let path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace parent src src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (w, _) ->
+          if not (Hashtbl.mem parent w) then begin
+            Hashtbl.replace parent w v;
+            if w = dst then found := true else Queue.add w q
+          end)
+        g.succ.(v)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc = if v = src then v :: acc else build (Hashtbl.find parent v) (v :: acc) in
+      Some (build dst [])
+    end
+  end
+
+(* A cycle through a special edge, as [(position, kind of the edge to
+   the cyclic successor)] pairs; [None] iff the theory is weakly
+   acyclic. The cycle is [u => v ->* u]: the special edge first, then a
+   shortest path back inside the component. *)
+let special_cycle g =
+  match special_in_scc g with
+  | None -> None
+  | Some (u, v) ->
+    let nodes =
+      if u = v then [ u ]
+      else
+        match path g v u with
+        | Some p ->
+          (* p is [v; ...; u]: the cycle is u => v -> ... -> u, so take
+             u followed by p without its final (repeated) node. *)
+          u :: List.filteri (fun i _ -> i < List.length p - 1) p
+        | None -> assert false (* same SCC: a path back must exist *)
+    in
+    let arr = Array.of_list nodes in
+    let n = Array.length arr in
+    let kind_of si di =
+      let rec pick = function
+        | [] -> assert false (* consecutive cycle nodes are graph edges *)
+        | (j, k) :: rest -> if j = di then k else pick rest
+      in
+      pick g.succ.(si)
+    in
+    (* Pair each node with the kind of the edge to its cyclic successor;
+       the first edge is the special one. *)
+    Some
+      (List.init n (fun i ->
+           let si = arr.(i) and di = arr.((i + 1) mod n) in
+           let kind = if i = 0 then Special else kind_of si di in
+           (g.nodes.(si), kind)))
+
+let pp_position ppf (((rel, ann_ar, _), i) : position) =
+  if ann_ar = 0 then Fmt.pf ppf "%s[%d]" rel i else Fmt.pf ppf "%s[+%d][%d]" rel ann_ar i

@@ -1,0 +1,45 @@
+(** The position graph of a theory (the FKMP dependency graph), indexed
+    for the termination deciders.
+
+    Nodes are argument positions (relation, index). A frontier variable
+    at body position [p] and head position [h] induces a regular edge
+    [p -> h]; if the same rule invents an existential variable at head
+    position [e], each such [p] also gets a special edge [p => e]. The
+    theory is weakly acyclic iff no cycle passes through a special edge
+    — equivalently, iff no special edge stays inside one strongly
+    connected component. *)
+
+open Guarded_core
+
+type position = Classify.position
+
+type edge_kind = Acyclicity.edge_kind =
+  | Regular
+  | Special
+
+type t
+
+val of_theory : Theory.t -> t
+(** Builds the graph over every argument position of the theory's
+    signature (isolated positions included, so certificates rank the
+    full signature). *)
+
+val positions : t -> position list
+val node_count : t -> int
+val edges : t -> (position * position * edge_kind) list
+val successors : t -> position -> (position * edge_kind) list
+
+val component : t -> position -> int
+(** Topological strongly-connected-component number: every edge
+    [p -> q] has [component p <= component q], with equality exactly
+    when [p] and [q] are in one component.
+    @raise Invalid_argument on a position outside the signature. *)
+
+val component_count : t -> int
+
+val special_cycle : t -> (position * edge_kind) list option
+(** A cycle through a special edge, as [(position, kind of the edge to
+    the cyclic successor)] pairs — the special edge first. [None] iff
+    the theory is weakly acyclic. *)
+
+val pp_position : position Fmt.t

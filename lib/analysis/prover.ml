@@ -1,0 +1,170 @@
+(** The bounded-chase prover: probe termination by actually running the
+    restricted chase under escalating derivation budgets.
+
+    A [Saturated] outcome is a termination certificate in the most
+    direct sense — the finite chase itself (of the probed database;
+    when none is supplied, of the {e critical instance}: every relation
+    populated over the theory's constants plus one fresh constant, the
+    canonical hardest finite input). A probe that exhausts its budgets
+    reports the offending recursive rule cycle: the super-weak trigger
+    cycle when one exists, otherwise a recursive dependency component
+    containing an existential rule.
+
+    The default probe input is the {e distinct-constants instance}: one
+    tuple per relation, every slot a fresh constant. The classic
+    critical instance (full population over the constants plus one
+    fresh) trivializes the {e restricted} chase — with every relation
+    fully populated, every existential head is already satisfied and
+    nothing fires — so it is exposed separately for callers probing the
+    oblivious chase, where its saturation is an all-instance
+    certificate (Marnette). *)
+
+open Guarded_core
+module Engine = Guarded_chase.Engine
+
+type probe = {
+  outcome : Engine.outcome;
+  db : Database.t;  (** the chase of the last attempt *)
+  atoms : int;
+  nulls : int;  (** distinct labeled nulls in [db] *)
+  derivations : int;
+  budget : int;  (** [max_derivations] of the last attempt *)
+  rule_cycle : Rule.t list;  (** offending cycle when [Bounded]; [[]] otherwise *)
+}
+
+let default_budgets = [ 1_000; 10_000; 100_000 ]
+
+let count_nulls db =
+  let seen = Hashtbl.create 64 in
+  Database.fold
+    (fun a () ->
+      List.iter
+        (function Term.Null n -> Hashtbl.replace seen n () | Term.Const _ | Term.Var _ -> ())
+        (Atom.terms a))
+    db ();
+  Hashtbl.length seen
+
+let critical_instance ?(cap = 2048) sigma =
+  let consts = Names.Sset.elements (Theory.constants sigma) in
+  let rec fresh i =
+    let c = if i = 0 then "crit" else Fmt.str "crit%d" i in
+    if List.mem c consts then fresh (i + 1) else c
+  in
+  let star = fresh 0 in
+  let consts = Array.of_list (star :: consts) in
+  let k = Array.length consts in
+  let db = Database.create () in
+  List.iter
+    (fun ((rel, ann_ar, arity) : Atom.rel_key) ->
+      let total = ann_ar + arity in
+      (* Tuple count k^total, capped: past the cap populate only the
+         all-fresh tuple — the probe stays sound, just less adversarial. *)
+      let count =
+        let rec pow acc n = if n = 0 then acc else if acc > cap then acc else pow (acc * k) (n - 1) in
+        pow 1 total
+      in
+      let add terms =
+        let ann = List.filteri (fun i _ -> i < ann_ar) terms in
+        let args = List.filteri (fun i _ -> i >= ann_ar) terms in
+        ignore (Database.add db (Atom.make ~ann rel args))
+      in
+      if count > cap then add (List.init total (fun _ -> Term.Const star))
+      else
+        let rec tuples slot acc =
+          if slot = total then add (List.rev acc)
+          else
+            for c = 0 to k - 1 do
+              tuples (slot + 1) (Term.Const consts.(c) :: acc)
+            done
+        in
+        tuples 0 [])
+    (Theory.relation_list sigma);
+  db
+
+(* A prefix generating constants disjoint from the theory's. *)
+let fresh_prefix sigma =
+  let consts = Names.Sset.elements (Theory.constants sigma) in
+  let rec go p =
+    if List.exists (String.starts_with ~prefix:p) consts then go ("_" ^ p) else p
+  in
+  go "probe"
+
+let probe_instance sigma =
+  let prefix = fresh_prefix sigma in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Term.Const (Fmt.str "%s%d" prefix !counter)
+  in
+  let db = Database.create () in
+  List.iter
+    (fun ((rel, ann_ar, arity) : Atom.rel_key) ->
+      let ann = List.init ann_ar (fun _ -> fresh ()) in
+      let args = List.init arity (fun _ -> fresh ()) in
+      ignore (Database.add db (Atom.make ~ann rel args)))
+    (Theory.relation_list sigma);
+  db
+
+(* The cycle to blame for a budget-exhausted probe. *)
+let offending_cycle sigma =
+  match Acyclic.super_weak sigma with
+  | Acyclic.Swa_cyclic cycle ->
+    let rules = Array.of_list (Theory.rules sigma) in
+    List.map (fun i -> rules.(i)) cycle
+  | Acyclic.Swa_acyclic _ -> (
+    (* Certified acyclic yet out of budget: the chase is finite but
+       larger than the budget. Point at a recursive component with an
+       existential rule (the chase-size driver), if any. *)
+    let recursive comp =
+      let heads = Theory.head_relations comp in
+      List.exists
+        (fun r ->
+          List.exists (fun a -> Theory.Rel_set.mem (Atom.rel_key a) heads) (Rule.body_atoms r))
+        (Theory.rules comp)
+    in
+    let candidate comp =
+      recursive comp
+      && List.exists (fun r -> not (Names.Sset.is_empty (Rule.evars r))) (Theory.rules comp)
+    in
+    match List.find_opt candidate (Guarded_datalog.Depgraph.rule_components sigma) with
+    | Some comp -> Theory.rules comp
+    | None -> [])
+
+let prove ?db ?(budgets = default_budgets) ?pool sigma =
+  if not (Theory.is_positive sigma) then
+    invalid_arg "Prover.prove: negation is not supported (probe the positive part)";
+  let budgets = if budgets = [] then default_budgets else budgets in
+  let base = match db with Some d -> d | None -> probe_instance sigma in
+  let attempt budget =
+    let limits = { Engine.default_limits with max_derivations = budget } in
+    let res = Engine.run ~limits ~variant:Engine.Restricted ~record_steps:false ?pool sigma base in
+    {
+      outcome = res.outcome;
+      db = res.db;
+      atoms = Database.cardinal res.db;
+      nulls = count_nulls res.db;
+      derivations = res.derivations;
+      budget;
+      rule_cycle = [];
+    }
+  in
+  let rec go = function
+    | [] -> assert false
+    | [ b ] -> attempt b
+    | b :: rest -> (
+      let probe = attempt b in
+      match probe.outcome with Engine.Saturated -> probe | Engine.Bounded -> go rest)
+  in
+  let probe = go budgets in
+  match probe.outcome with
+  | Engine.Saturated -> probe
+  | Engine.Bounded -> { probe with rule_cycle = offending_cycle sigma }
+
+let pp_probe ppf p =
+  match p.outcome with
+  | Engine.Saturated ->
+    Fmt.pf ppf "saturated (%d atoms, %d nulls, %d derivations, budget %d)" p.atoms p.nulls
+      p.derivations p.budget
+  | Engine.Bounded ->
+    Fmt.pf ppf "exhausted budget %d (%d derivations, %d atoms; offending cycle: %d rules)"
+      p.budget p.derivations p.atoms (List.length p.rule_cycle)

@@ -1,0 +1,48 @@
+(** Bounded-chase termination probe: run the restricted chase under
+    escalating derivation budgets. A [Saturated] outcome carries the
+    finite chase itself — the most direct termination certificate for
+    the probed database; a budget-exhausted probe blames a concrete
+    recursive rule cycle. *)
+
+open Guarded_core
+
+type probe = {
+  outcome : Guarded_chase.Engine.outcome;
+  db : Database.t;  (** the chase of the last attempt *)
+  atoms : int;
+  nulls : int;  (** distinct labeled nulls in [db] *)
+  derivations : int;
+  budget : int;  (** [max_derivations] of the last attempt *)
+  rule_cycle : Rule.t list;
+      (** when [Bounded]: the super-weak trigger cycle if one exists,
+          otherwise a recursive dependency component containing an
+          existential rule; [[]] otherwise *)
+}
+
+val default_budgets : int list
+(** [1_000; 10_000; 100_000] derivations. *)
+
+val critical_instance : ?cap:int -> Theory.t -> Database.t
+(** Every relation populated with all tuples over the theory's
+    constants plus one fresh constant — the canonical hardest finite
+    input for the {e oblivious} chase (its saturation there is an
+    all-instance certificate). Relations whose full population would
+    exceed [cap] tuples (default 2048) get only the all-fresh tuple.
+    Note the restricted chase trivially saturates on it: every
+    existential head is pre-satisfied. *)
+
+val probe_instance : Theory.t -> Database.t
+(** The distinct-constants instance: one tuple per relation, every
+    slot a fresh constant — no accidental head satisfaction, so the
+    restricted chase genuinely runs. The prover's default input. *)
+
+val prove :
+  ?db:Database.t -> ?budgets:int list -> ?pool:Guarded_par.Pool.t -> Theory.t -> probe
+(** Restricted chase of [db] (default: {!probe_instance}) under each
+    budget in turn, stopping at the first saturation; steps are not
+    recorded, keeping the probe's heap linear in the chase. Saturation
+    certifies finiteness of the probed instance's chase only — the
+    acyclicity deciders are the all-database certificates.
+    @raise Invalid_argument on a theory with negation. *)
+
+val pp_probe : probe Fmt.t

@@ -1,0 +1,84 @@
+(** The analysis entry point: language classification (Figure 1 of the
+    paper) plus the chase-termination verdict — the three acyclicity
+    deciders and the bounded-chase probe, combined into a single
+    report. *)
+
+open Guarded_core
+
+type klass =
+  | Weakly_acyclic
+  | Jointly_acyclic
+  | Super_weakly_acyclic
+
+type termination =
+  | Terminating of klass  (** decider-certified: every database *)
+  | Probe_finite
+      (** no certificate, but the probed instance's restricted chase is
+          finite — other databases may diverge *)
+  | Unknown  (** every decider found a cycle and the probe ran out of budget *)
+
+type t = {
+  language : Classify.language;
+  wa : Acyclic.wa_verdict;
+  ja : Acyclic.ja_verdict;
+  swa : Acyclic.swa_verdict;
+  probe : Prover.probe option;  (** [None] when the theory has negation *)
+  termination : termination;
+}
+
+let klass_name = function
+  | Weakly_acyclic -> "weakly acyclic"
+  | Jointly_acyclic -> "jointly acyclic"
+  | Super_weakly_acyclic -> "super-weakly acyclic"
+
+let analyze ?budgets ?pool sigma =
+  let wa = Acyclic.weak sigma in
+  let ja = Acyclic.joint sigma in
+  let swa = Acyclic.super_weak sigma in
+  let probe =
+    if Theory.is_positive sigma then Some (Prover.prove ?budgets ?pool sigma) else None
+  in
+  let termination =
+    match (wa, ja, swa, probe) with
+    | Acyclic.Wa_acyclic _, _, _, _ -> Terminating Weakly_acyclic
+    | _, Acyclic.Ja_acyclic _, _, _ -> Terminating Jointly_acyclic
+    | _, _, Acyclic.Swa_acyclic _, _ -> Terminating Super_weakly_acyclic
+    | _, _, _, Some { Prover.outcome = Guarded_chase.Engine.Saturated; _ } -> Probe_finite
+    | _ -> Unknown
+  in
+  { language = Classify.classify sigma; wa; ja; swa; probe; termination }
+
+let pp_termination ppf report =
+  match report.termination with
+  | Terminating klass -> (
+    Fmt.pf ppf "terminating (%s" (klass_name klass);
+    match report.probe with
+    | Some ({ Prover.outcome = Guarded_chase.Engine.Saturated; _ } as p) ->
+      Fmt.pf ppf "; finite chase: %d atoms, %d nulls, %d derivations)" p.Prover.atoms
+        p.Prover.nulls p.Prover.derivations
+    | Some _ | None -> Fmt.pf ppf ")")
+  | Probe_finite -> (
+    match report.probe with
+    | Some p ->
+      Fmt.pf ppf
+        "probe-finite (no acyclicity certificate; probed chase: %d atoms, %d nulls — other \
+         databases may diverge)"
+        p.Prover.atoms p.Prover.nulls
+    | None -> Fmt.pf ppf "probe-finite")
+  | Unknown -> (
+    match report.probe with
+    | Some p ->
+      Fmt.pf ppf "unknown (probe exhausted %d derivations; offending cycle: %d rules)"
+        p.Prover.budget
+        (List.length p.Prover.rule_cycle)
+    | None -> Fmt.pf ppf "unknown (deciders cyclic; no probe on a theory with negation)")
+
+let pp ppf report =
+  Fmt.pf ppf "language: %s@." (Classify.language_name report.language);
+  Fmt.pf ppf "weak acyclicity: %a@." Acyclic.pp_wa_verdict report.wa;
+  Fmt.pf ppf "joint acyclicity: %a@." Acyclic.pp_ja_verdict report.ja;
+  Fmt.pf ppf "super-weak acyclicity: %a@." Acyclic.pp_swa_verdict report.swa;
+  (match report.probe with
+  | Some p -> Fmt.pf ppf "chase probe: %a@." Prover.pp_probe p
+  | None -> Fmt.pf ppf "chase probe: skipped (theory has negation)@.");
+  Fmt.pf ppf "termination: %a@." pp_termination report

@@ -1,0 +1,41 @@
+(** Combined analysis report: Figure-1 language classification plus the
+    chase-termination verdict from the acyclicity deciders and the
+    bounded-chase probe. *)
+
+open Guarded_core
+
+type klass =
+  | Weakly_acyclic
+  | Jointly_acyclic
+  | Super_weakly_acyclic
+
+type termination =
+  | Terminating of klass  (** decider-certified: every database *)
+  | Probe_finite
+      (** no certificate, but the probed instance's restricted chase is
+          finite — other databases may diverge *)
+  | Unknown
+
+type t = {
+  language : Classify.language;
+  wa : Acyclic.wa_verdict;
+  ja : Acyclic.ja_verdict;
+  swa : Acyclic.swa_verdict;
+  probe : Prover.probe option;  (** [None] when the theory has negation *)
+  termination : termination;
+}
+
+val klass_name : klass -> string
+
+val analyze : ?budgets:int list -> ?pool:Guarded_par.Pool.t -> Theory.t -> t
+(** Runs all three deciders and, on positive theories, the bounded
+    chase probe over the distinct-constants instance. The verdict picks
+    the strongest certificate: weak ⊆ joint ⊆ super-weak, with the
+    probe as instance-level fallback evidence. *)
+
+val pp_termination : t Fmt.t
+(** The one-line verdict, e.g.
+    ["terminating (weakly acyclic; finite chase: 42 atoms, ...)"]. *)
+
+val pp : t Fmt.t
+(** The full multi-line report ending in a ["termination: ..."] line. *)

@@ -1,0 +1,89 @@
+(* Tarjan's strongly connected components over a dense int graph.
+   Components are numbered in topological order: for every edge u -> v,
+   [comp.(u) <= comp.(v)], with equality exactly when u and v share a
+   component. Tarjan emits components in reverse topological order
+   (a component only after everything it reaches), so flipping the
+   emission index yields the topological numbering directly. *)
+
+let compute (n : int) (succ : int list array) : int array * int =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          visit w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let c = !next_comp in
+      incr next_comp;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- c;
+          if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  let count = !next_comp in
+  (* Reverse the emission order into a topological numbering. *)
+  for v = 0 to n - 1 do
+    comp.(v) <- count - 1 - comp.(v)
+  done;
+  (comp, count)
+
+let path (succ : int list array) (src : int) (dst : int) : int list option =
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace parent src src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun w ->
+          if not (Hashtbl.mem parent w) then begin
+            Hashtbl.replace parent w v;
+            if w = dst then found := true else Queue.add w q
+          end)
+        succ.(v)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        if v = src then v :: acc else build (Hashtbl.find parent v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+(* A cycle through the edge [u -> v]: [u] followed by a shortest path
+   [v ->* u] with the final (repeated) [u] dropped. *)
+let cycle_through (succ : int list array) (u : int) (v : int) : int list option =
+  if u = v then Some [ u ]
+  else
+    match path succ v u with
+    | None -> None
+    | Some p -> Some (u :: List.filteri (fun i _ -> i < List.length p - 1) p)

@@ -1,0 +1,16 @@
+(** Strongly connected components of a dense int graph (Tarjan). *)
+
+val compute : int -> int list array -> int array * int
+(** [compute n succ] numbers the strongly connected components of the
+    graph on nodes [0..n-1] with successor lists [succ]. Returns
+    [(comp, count)] where [comp.(v)] is the component of [v], numbered
+    topologically: every edge [u -> v] has [comp.(u) <= comp.(v)], with
+    equality exactly when [u] and [v] are in the same component. *)
+
+val path : int list array -> int -> int -> int list option
+(** Shortest path (BFS) from [src] to [dst], endpoints included;
+    [Some [src]] when they coincide. *)
+
+val cycle_through : int list array -> int -> int -> int list option
+(** Given an edge [u -> v], the cycle [u; v; ...] closing back to [u]
+    (final repetition dropped); [None] when [v] cannot reach [u]. *)

@@ -79,8 +79,8 @@ type variant =
   | Oblivious
   | Restricted
 
-let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?pool
-    (sigma : Theory.t) (db0 : Database.t) =
+let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious)
+    ?(record_steps = true) ?pool (sigma : Theory.t) (db0 : Database.t) =
   let snapshot_terms, snapshot =
     match negation with
     | Reject ->
@@ -125,6 +125,10 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?
     | Term.Const _ | Term.Var _ -> 0
   in
   let steps = ref [] in
+  (* Atoms added during the current round, feeding the next semi-naive
+     delta. Kept separately from [steps] so [record_steps:false] can
+     drop the step log without breaking round bookkeeping. *)
+  let round_added = ref [] in
   let derivations = ref 0 in
   let truncated = ref false in
   let rules = Array.of_list (Theory.rules sigma) in
@@ -175,7 +179,8 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?
         List.filter (fun a -> Database.add db a) (Subst.apply_atoms assignment (Rule.head r))
       in
       incr derivations;
-      steps := { rule = r; assignment; added } :: !steps;
+      if record_steps then steps := { rule = r; assignment; added } :: !steps;
+      round_added := List.rev_append added !round_added;
       added <> []
     end
   in
@@ -296,26 +301,18 @@ let run ?(limits = default_limits) ?(negation = Reject) ?(variant = Oblivious) ?
     | None -> fire_round ~delta
     | Some pool -> fire_round_parallel pool ~delta
   in
-  let rec rounds ~delta seen_steps =
+  let rec rounds ~delta =
     if !derivations >= limits.max_derivations then truncated := true
     else begin
+      round_added := [];
       ignore (fire_round ~delta);
-      (* The next delta: everything added by the steps of this round. *)
+      (* The next delta: everything added during this round. *)
       let next_delta = Database.create () in
-      let rec collect n l =
-        if n > 0 then
-          match l with
-          | step :: rest ->
-            List.iter (fun a -> ignore (Database.add next_delta a)) step.added;
-            collect (n - 1) rest
-          | [] -> ()
-      in
-      let total = List.length !steps in
-      collect (total - seen_steps) !steps;
-      if Database.cardinal next_delta > 0 then rounds ~delta:(Some next_delta) total
+      List.iter (fun a -> ignore (Database.add next_delta a)) !round_added;
+      if Database.cardinal next_delta > 0 then rounds ~delta:(Some next_delta)
     end
   in
-  rounds ~delta:None 0;
+  rounds ~delta:None;
   {
     db;
     outcome = (if !truncated then Bounded else Saturated);

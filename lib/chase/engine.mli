@@ -57,11 +57,17 @@ val run :
   ?limits:limits ->
   ?negation:negation ->
   ?variant:variant ->
+  ?record_steps:bool ->
   ?pool:Guarded_par.Pool.t ->
   Theory.t ->
   Database.t ->
   result
-(** With [?pool], each round's trigger enumeration is partitioned over
+(** [?record_steps] (default [true]) controls whether the per-trigger
+    [step] log is kept; pass [false] when only the final database and
+    counters matter (bulk materialization, termination probing) to cut
+    peak heap — [steps] is then [[]].
+
+    With [?pool], each round's trigger enumeration is partitioned over
     the pool's domains against the round-barrier snapshot of the
     database, while trigger application (dedup, negation check, null
     invention, fact insertion) replays sequentially in canonical order

@@ -151,6 +151,53 @@ let gen_cq_body =
     list_size (int_range 1 3) (gen_atom_over pool))
 
 (* ------------------------------------------------------------------ *)
+(* Termination zoo: existential chains with known ground truth         *)
+
+type zoo = { zoo_theory : Theory.t; zoo_cyclic : bool; zoo_len : int }
+
+let zoo_rel i = Fmt.str "z%d" i
+
+(* zi(X, Y) -> exists W. zj(Y, W). — the single body atom is the guard,
+   so every zoo theory is guarded (in fact frontier-guarded). *)
+let zoo_link i j =
+  Rule.make_pos ~evars:[ "W" ]
+    [ Atom.make (zoo_rel i) [ Term.Var "X"; Term.Var "Y" ] ]
+    [ Atom.make (zoo_rel j) [ Term.Var "Y"; Term.Var "W" ] ]
+
+(* zi(X, Y) -> zi(Y, X). — only regular position-graph edges, so it
+   never changes the termination class of the chain it decorates. *)
+let zoo_swap i =
+  Rule.make_pos
+    [ Atom.make (zoo_rel i) [ Term.Var "X"; Term.Var "Y" ] ]
+    [ Atom.make (zoo_rel i) [ Term.Var "Y"; Term.Var "X" ] ]
+
+let zoo_chain ?(swaps = []) ~len ~cyclic () =
+  let len = max 2 len in
+  let chain = List.init (len - 1) (fun i -> zoo_link i (i + 1)) in
+  let last =
+    if cyclic then zoo_link (len - 1) 0
+    else
+      (* Terminating tail: the chain drains into a plain sink. *)
+      Rule.make_pos
+        [ Atom.make (zoo_rel (len - 1)) [ Term.Var "X"; Term.Var "Y" ] ]
+        [ Atom.make "zsink" [ Term.Var "Y" ] ]
+  in
+  Theory.of_rules (chain @ [ last ] @ List.map zoo_swap swaps)
+
+let gen_zoo ?(max_len = 6) () =
+  QCheck.Gen.(
+    int_range 2 max_len >>= fun len ->
+    bool >>= fun cyclic ->
+    list_size (int_range 0 2) (int_range 0 (len - 1)) >|= fun swaps ->
+    { zoo_theory = zoo_chain ~swaps ~len ~cyclic (); zoo_cyclic = cyclic; zoo_len = len })
+
+(* Seed facts for the chain entry relation z0. *)
+let gen_zoo_db =
+  QCheck.Gen.(
+    list_size (int_range 1 4) (pair gen_const gen_const) >|= fun pairs ->
+    Database.of_atoms (List.map (fun (c1, c2) -> Atom.make (zoo_rel 0) [ c1; c2 ]) pairs))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck arbitraries with printers                                    *)
 
 let arbitrary_db = QCheck.make ~print:(Fmt.to_to_string Database.pp) (gen_db ())
@@ -159,6 +206,14 @@ let arbitrary_guarded = QCheck.make ~print:Theory.to_string gen_guarded_theory
 let arbitrary_fg = QCheck.make ~print:Theory.to_string gen_fg_theory
 let arbitrary_datalog = QCheck.make ~print:Theory.to_string gen_datalog_theory
 let arbitrary_semipositive = QCheck.make ~print:Theory.to_string gen_semipositive_theory
+
+let arbitrary_zoo =
+  QCheck.make
+    ~print:(fun z ->
+      Fmt.str "%s chain, length %d:@.%s"
+        (if z.zoo_cyclic then "cyclic" else "acyclic")
+        z.zoo_len (Theory.to_string z.zoo_theory))
+    (gen_zoo ())
 
 let arbitrary_pair arb_t =
   QCheck.make

@@ -30,6 +30,36 @@ val gen_semipositive_rule : Rule.t QCheck.Gen.t
 val gen_semipositive_theory : Theory.t QCheck.Gen.t
 val gen_cq_body : Atom.t list QCheck.Gen.t
 
+(** {2 Termination zoo}
+
+    Theories with known chase-termination ground truth, for testing the
+    acyclicity deciders and bounded-chase prover against an oracle: an
+    existential chain [z0 -> z1 -> ... ] of configurable length,
+    guarded throughout (single-atom bodies). Acyclic chains drain into
+    a sink relation (the chase terminates on every database); cyclic
+    chains close the loop with one more existential rule (the chase
+    diverges on any database reaching the cycle). Optional swap rules
+    [zi(X,Y) -> zi(Y,X)] add regular position-graph edges without
+    changing the termination class. *)
+
+type zoo = {
+  zoo_theory : Theory.t;
+  zoo_cyclic : bool;  (** ground truth: does the chain close? *)
+  zoo_len : int;  (** number of chain relations *)
+}
+
+val zoo_chain : ?swaps:int list -> len:int -> cyclic:bool -> unit -> Theory.t
+(** The deterministic chain ([len] is clamped to [>= 2]); [swaps] lists
+    the chain indices that receive a swap rule. Used directly by the
+    benchmarks. *)
+
+val gen_zoo : ?max_len:int -> unit -> zoo QCheck.Gen.t
+
+val gen_zoo_db : Database.t QCheck.Gen.t
+(** Seed facts for the chain entry relation [z0]. *)
+
+val arbitrary_zoo : zoo QCheck.arbitrary
+
 val arbitrary_db : Database.t QCheck.arbitrary
 val arbitrary_guarded : Theory.t QCheck.arbitrary
 val arbitrary_fg : Theory.t QCheck.arbitrary

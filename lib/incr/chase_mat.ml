@@ -1,0 +1,182 @@
+(** Finite-chase serving: materialize chase(Σ, D) itself.
+
+    The materialized ({!Incr}) and demand ({!Demand}) backends serve an
+    existential theory through its Datalog translation. When the
+    theory's restricted chase terminates — certified by the
+    [Guarded_analysis] deciders or observed by its bounded prover — the
+    universal model is finite and can be served directly: this backend
+    keeps chase(Σ, EDB) as a {!Database}, with the invented labeled
+    nulls resident in the store (hash-consed like every term) and
+    filtered out of answers, which are certain answers exactly as in
+    the translation backends.
+
+    Commits: an additions-only batch {e continues} the chase from
+    [chase ∪ additions] — sound and complete because the chase of that
+    instance is again a universal model of (Σ, EDB ∪ additions), and
+    the engine allocates fresh nulls past the existing ones. A batch
+    with effective deletions re-chases the new EDB from scratch (a
+    deleted fact may have supported arbitrary null derivations). Both
+    paths build the new state on the side and install it atomically,
+    so a budget-exceeded chase leaves the served state unchanged. *)
+
+open Guarded_core
+module Engine = Guarded_chase.Engine
+
+exception Nonterminating of {
+  budget : int;
+  derivations : int;
+}
+
+type t = {
+  sigma : Theory.t;
+  pool : Guarded_par.Pool.t option;
+  limits : Engine.limits;
+  mutable edb : Database.t;
+  mutable chase : Database.t;
+  (* Counters for STATS. *)
+  mutable derivations : int;  (** cumulative chase derivations *)
+  mutable rechases : int;  (** from-scratch chases (creation included) *)
+  mutable continuations : int;  (** additions-only chase continuations *)
+}
+
+let run_chase t base =
+  let res =
+    Engine.run ~limits:t.limits ~variant:Engine.Restricted ~record_steps:false ?pool:t.pool
+      t.sigma base
+  in
+  match res.Engine.outcome with
+  | Engine.Saturated ->
+    t.derivations <- t.derivations + res.Engine.derivations;
+    res.Engine.db
+  | Engine.Bounded ->
+    raise
+      (Nonterminating
+         { budget = t.limits.Engine.max_derivations; derivations = res.Engine.derivations })
+
+let create ?pool ?(limits = Engine.default_limits) sigma db0 =
+  if not (Theory.is_positive sigma) then
+    invalid_arg "Chase_mat.create: negation is not supported in chase serving";
+  let t =
+    {
+      sigma;
+      pool;
+      limits;
+      edb = Database.copy db0;
+      chase = Database.create ();
+      derivations = 0;
+      rechases = 0;
+      continuations = 0;
+    }
+  in
+  t.chase <- run_chase t t.edb;
+  t.rechases <- 1;
+  t
+
+let program t = t.sigma
+let pool t = t.pool
+let edb t = t.edb
+
+let db t = t.chase
+
+type apply_result = {
+  res_added : int;  (** net facts that entered the chase *)
+  res_removed : int;  (** net facts that left the chase *)
+}
+
+let diff_count a b =
+  (* |a \ b| *)
+  Database.fold (fun atom n -> if Database.mem b atom then n else n + 1) a 0
+
+let apply t (delta : Delta.t) =
+  let effective_deletion a =
+    Database.mem t.edb a && not (List.exists (Atom.equal a) delta.Delta.additions)
+  in
+  let old_chase = t.chase in
+  if List.exists effective_deletion delta.Delta.deletions then begin
+    (* Deletions invalidate null derivations transitively: re-chase the
+       new EDB from scratch, on the side. *)
+    let edb = Database.copy t.edb in
+    List.iter (fun a -> ignore (Database.remove edb a)) delta.Delta.deletions;
+    List.iter (fun a -> ignore (Database.add edb a)) delta.Delta.additions;
+    let chase = run_chase t edb in
+    t.edb <- edb;
+    t.chase <- chase;
+    t.rechases <- t.rechases + 1;
+    { res_added = diff_count chase old_chase; res_removed = diff_count old_chase chase }
+  end
+  else begin
+    (* Additions only: continue the chase from chase ∪ additions — the
+       engine numbers fresh nulls past the existing maximum. *)
+    let base = Database.copy t.chase in
+    List.iter (fun a -> ignore (Database.add base a)) delta.Delta.additions;
+    let chase = run_chase t base in
+    let edb = Database.copy t.edb in
+    List.iter (fun a -> ignore (Database.add edb a)) delta.Delta.additions;
+    t.edb <- edb;
+    t.chase <- chase;
+    t.continuations <- t.continuations + 1;
+    { res_added = diff_count chase old_chase; res_removed = 0 }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries: certain answers = all-constant tuples of the chase.        *)
+
+let answers t ~query = Database.constant_tuples t.chase query
+
+let pattern_answers t ~rel ~pattern =
+  let pat = Atom.make rel pattern in
+  let out = ref [] in
+  Database.iter_candidates t.chase pat (fun fact ->
+      if Atom.ann fact = [] then
+        match Subst.match_atom Subst.empty pat fact with
+        | Some _ when List.for_all Term.is_const (Atom.args fact) ->
+          out := Atom.args fact :: !out
+        | _ -> ());
+  List.sort_uniq (List.compare Term.compare) !out
+
+module Tuple_set = Set.Make (struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end)
+
+let cq_answers t ~body ~answer_vars =
+  let open Guarded_datalog in
+  let acc = ref Tuple_set.empty in
+  let iter_body k =
+    match Planner.plan body with
+    | Planner.Binary -> Homomorphism.iter_pos body t.chase k
+    | Planner.Wcoj order -> Wcoj.iter_pos ~order body t.chase k
+  in
+  iter_body (fun subst ->
+      let tuple =
+        List.map
+          (fun v -> match Subst.find_opt v subst with Some tm -> tm | None -> Term.Var v)
+          answer_vars
+      in
+      if List.for_all Term.is_const tuple then acc := Tuple_set.add tuple !acc);
+  Tuple_set.elements !acc
+
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_nulls : int;  (** distinct labeled nulls resident in the chase *)
+  st_derivations : int;  (** cumulative chase derivations *)
+  st_rechases : int;
+  st_continuations : int;
+}
+
+let stats t =
+  let seen = Hashtbl.create 64 in
+  Database.iter
+    (fun a ->
+      List.iter
+        (function Term.Null n -> Hashtbl.replace seen n () | Term.Const _ | Term.Var _ -> ())
+        (Atom.terms a))
+    t.chase;
+  {
+    st_nulls = Hashtbl.length seen;
+    st_derivations = t.derivations;
+    st_rechases = t.rechases;
+    st_continuations = t.continuations;
+  }

@@ -1,0 +1,73 @@
+(** Finite-chase serving: keep chase(Σ, EDB) materialized as a
+    {!Guarded_core.Database} and answer queries from it directly,
+    bypassing the Datalog translation. Labeled nulls live in the store
+    and are filtered from answers, so every query returns certain
+    answers. Only meaningful when the theory's restricted chase
+    terminates — gate with the [Guarded_analysis] deciders/prover. *)
+
+open Guarded_core
+
+exception Nonterminating of {
+  budget : int;  (** the derivation budget that was exceeded *)
+  derivations : int;
+}
+(** The chase hit its derivation budget. On {!create} nothing is
+    served; on {!apply} the previously served state is unchanged. *)
+
+type t
+
+val create :
+  ?pool:Guarded_par.Pool.t ->
+  ?limits:Guarded_chase.Engine.limits ->
+  Theory.t ->
+  Database.t ->
+  t
+(** Chases the database (restricted variant, steps not recorded) and
+    keeps the result. The EDB is copied.
+    @raise Nonterminating when the chase exceeds its budget.
+    @raise Invalid_argument on a theory with negation. *)
+
+val program : t -> Theory.t
+val pool : t -> Guarded_par.Pool.t option
+
+val edb : t -> Database.t
+(** The current raw EDB (updates applied). Read-only. *)
+
+val db : t -> Database.t
+(** The materialized chase (EDB ∪ derived atoms ∪ nulls). Read-only. *)
+
+type apply_result = {
+  res_added : int;  (** net facts that entered the chase *)
+  res_removed : int;  (** net facts that left the chase *)
+}
+
+val apply : t -> Delta.t -> apply_result
+(** Apply one batch: the EDB becomes [(EDB \ deletions) ∪ additions].
+    Additions-only batches continue the chase incrementally from
+    [chase ∪ additions]; batches with effective deletions re-chase the
+    new EDB from scratch. Either way the new state is built on the
+    side and installed atomically.
+    @raise Nonterminating when the new chase exceeds the budget — the
+    served state is then unchanged. *)
+
+val answers : t -> query:string -> Term.t list list
+(** Sorted constant tuples of the [query] relation in the chase —
+    certain answers, matching {!Incr.answers} over the translation. *)
+
+val pattern_answers : t -> rel:string -> pattern:Term.t list -> Term.t list list
+(** Sorted constant tuples of [rel] matching the pattern (constants
+    bound, variables free, repeated variables equated). *)
+
+val cq_answers : t -> body:Atom.t list -> answer_vars:string list -> Term.t list list
+(** Conjunctive-query certain answers: homomorphisms of [body] into
+    the chase (joins may pass through nulls), projected on
+    [answer_vars], restricted to all-constant tuples. *)
+
+type stats = {
+  st_nulls : int;  (** distinct labeled nulls resident in the chase *)
+  st_derivations : int;  (** cumulative chase derivations *)
+  st_rechases : int;  (** from-scratch chases (creation included) *)
+  st_continuations : int;  (** additions-only chase continuations *)
+}
+
+val stats : t -> stats

@@ -3,6 +3,7 @@
 open Guarded_core
 module Incr = Guarded_incr.Incr
 module Demand = Guarded_incr.Demand
+module Chase_mat = Guarded_incr.Chase_mat
 module Delta = Guarded_incr.Delta
 
 type address = Unix_socket of string | Tcp of string * int
@@ -227,16 +228,21 @@ let eval_query state (req : Wire.request) : Wire.response =
           Wire.Answers (Incr.answers incr ~query:rel)
         | Wire.Query { rel; pattern = None }, State.Demand d ->
           Wire.Answers (Demand.answers d ~query:rel)
+        | Wire.Query { rel; pattern = None }, State.Chase c ->
+          Wire.Answers (Chase_mat.answers c ~query:rel)
         | Wire.Query { rel; pattern = Some pat }, State.Materialized incr ->
           Wire.Answers (pattern_answers incr rel pat)
         | Wire.Query { rel; pattern = Some pat }, State.Demand d ->
           Wire.Answers (Demand.pattern_answers d ~rel ~pattern:pat)
+        | Wire.Query { rel; pattern = Some pat }, State.Chase c ->
+          Wire.Answers (Chase_mat.pattern_answers c ~rel ~pattern:pat)
         | Wire.Cq (ucq, _), _ ->
           let cq_answers (cq : Guarded_cq.Cq.t) =
             match backend with
             | State.Materialized incr ->
               Incr.cq_answers incr ~body:cq.body ~answer_vars:cq.answer_vars
             | State.Demand d -> Demand.cq_answers d ~body:cq.body ~answer_vars:cq.answer_vars
+            | State.Chase c -> Chase_mat.cq_answers c ~body:cq.body ~answer_vars:cq.answer_vars
           in
           let tuples = List.concat_map cq_answers ucq.Guarded_cq.Ucq.disjuncts in
           Wire.Answers (List.sort_uniq (List.compare Term.compare) tuples)
@@ -317,6 +323,10 @@ let run_job t (job : job) : Wire.response * comp_action =
       (* Nothing is materialized, so there is no per-stratum dump to
          persist; the EDB is the client's data, not ours to snapshot. *)
       (Wire.Failed "snapshots are not available in demand mode", C_keep)
+    else if State.chase_mode t.state then
+      (* The chase store holds nulls, which the snapshot codec does not
+         carry; re-chasing the EDB at startup is the recovery path. *)
+      (Wire.Failed "snapshots are not available in chase mode", C_keep)
     else
       match (path, t.snapshot_path) with
       | None, None ->
@@ -328,6 +338,8 @@ let run_job t (job : job) : Wire.response * comp_action =
   | Wire.Follow since ->
     if State.demand_mode t.state then
       (Wire.Failed "replication is not available in demand mode", C_keep)
+    else if State.chase_mode t.state then
+      (Wire.Failed "replication is not available in chase mode", C_keep)
     else
       (* Under the shared lock the decision is consistent: the epoch
          cannot advance while we check journal coverage or dump the
@@ -834,7 +846,7 @@ let stop t =
     (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
     (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
     (match t.snapshot_path with
-    | Some path when not (State.demand_mode t.state) -> (
+    | Some path when not (State.demand_mode t.state || State.chase_mode t.state) -> (
       try save_snapshot t path
       with Sys_error m -> t.log (Fmt.str "snapshot at shutdown failed: %s" m))
     | Some _ | None -> ());

@@ -3,11 +3,13 @@
 open Guarded_core
 module Incr = Guarded_incr.Incr
 module Demand = Guarded_incr.Demand
+module Chase_mat = Guarded_incr.Chase_mat
 module Delta = Guarded_incr.Delta
 
-(* What answers queries: a maintained materialization, or the
-   demand-driven evaluator over the raw EDB. *)
-type backend = Materialized of Incr.t | Demand of Demand.t
+(* What answers queries: a maintained materialization, the
+   demand-driven evaluator over the raw EDB, or the finite chase
+   itself. *)
+type backend = Materialized of Incr.t | Demand of Demand.t | Chase of Chase_mat.t
 
 type commit_result = {
   cr_added : int;
@@ -79,8 +81,13 @@ let program t =
   match t.backend with
   | Materialized incr -> Incr.program incr
   | Demand d -> Demand.program d
+  | Chase c -> Chase_mat.program c
 
-let demand_mode t = match t.backend with Materialized _ -> false | Demand _ -> true
+let demand_mode t =
+  match t.backend with Materialized _ | Chase _ -> false | Demand _ -> true
+
+let chase_mode t =
+  match t.backend with Materialized _ | Demand _ -> false | Chase _ -> true
 let epoch t = t.epoch
 let journal t = t.journal
 let set_commit_hook t f = t.on_commit <- f
@@ -117,7 +124,8 @@ let with_backend t f =
 let with_read t f =
   with_backend t (function
     | Materialized incr -> f incr
-    | Demand _ -> invalid_arg "State.with_read: server is in demand mode")
+    | Demand _ -> invalid_arg "State.with_read: server is in demand mode"
+    | Chase _ -> invalid_arg "State.with_read: server is in chase mode")
 
 (* Both called with [t.mutex] held. *)
 let write_lock_locked t =
@@ -166,6 +174,23 @@ let apply_one t (p : pending) =
       | res ->
         Stdlib.Ok
           { cr_added = res.Demand.res_added; cr_removed = res.Demand.res_removed; cr_epoch = 0 }
+      | exception e -> Error (Fmt.str "batch failed: %s" (Printexc.to_string e)))
+    | Chase c -> (
+      (* [Chase_mat.apply] builds the new chase on the side and installs
+         it atomically, so a failed batch leaves the served state
+         unchanged — no recovery needed. *)
+      match Chase_mat.apply c p.p_delta with
+      | res ->
+        Stdlib.Ok
+          {
+            cr_added = res.Chase_mat.res_added;
+            cr_removed = res.Chase_mat.res_removed;
+            cr_epoch = 0;
+          }
+      | exception Chase_mat.Nonterminating { budget; derivations } ->
+        Error
+          (Fmt.str "batch rejected: chase exceeded %d derivations (budget %d); state unchanged"
+             derivations budget)
       | exception e -> Error (Fmt.str "batch failed: %s" (Printexc.to_string e)))
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -236,7 +261,7 @@ let make ?(queue_capacity = 64) ?journal_max_bytes ?(epoch = 0) backend =
       journal =
         (match backend with
         | Materialized _ -> Some (Journal.create ?max_bytes:journal_max_bytes ())
-        | Demand _ -> None);
+        | Demand _ | Chase _ -> None);
       on_commit = (fun _ -> ());
       mutex = Mutex.create ();
       cond = Condition.create ();
@@ -265,6 +290,9 @@ let create ?pool ?queue_capacity ?journal_max_bytes sigma db =
 let create_demand ?pool ?queue_capacity sigma db =
   make ?queue_capacity (Demand (Demand.create ?pool sigma db))
 
+let create_chase ?pool ?limits ?queue_capacity sigma db =
+  make ?queue_capacity (Chase (Chase_mat.create ?pool ?limits sigma db))
+
 (* Replace the materialization wholesale — the replica resync path: a
    follower whose resume epoch fell off the primary's journal
    re-bootstraps from a snapshot and installs it at that snapshot's
@@ -275,10 +303,10 @@ let install t incr ~epoch =
   write_lock_locked t;
   (match t.backend with
   | Materialized _ -> ()
-  | Demand _ ->
+  | Demand _ | Chase _ ->
     write_unlock_locked t;
     Mutex.unlock t.mutex;
-    invalid_arg "State.install: server is in demand mode");
+    invalid_arg "State.install: server is not in materialized mode");
   t.backend <- Materialized incr;
   t.epoch <- epoch;
   Option.iter Journal.clear t.journal;
@@ -297,12 +325,13 @@ let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure
      mid-batch), counters under the mutex. In demand mode the resident
      store is the raw EDB and [facts] counts it; the materialization
      cardinality does not exist. *)
-  let facts, edb_facts, relations, index_runs, storage_bytes, cache =
+  let facts, edb_facts, relations, index_runs, storage_bytes, cache, chase =
     with_backend t (fun backend ->
-        let db, edb, cache =
+        let db, edb, cache, chase =
           match backend with
-          | Materialized incr -> (Incr.db incr, Incr.edb incr, None)
-          | Demand d -> (Demand.edb d, Demand.edb d, Some (Demand.cache_stats d))
+          | Materialized incr -> (Incr.db incr, Incr.edb incr, None, None)
+          | Demand d -> (Demand.edb d, Demand.edb d, Some (Demand.cache_stats d), None)
+          | Chase c -> (Chase_mat.db c, Chase_mat.edb c, None, Some (Chase_mat.stats c))
         in
         let storage = Database.storage_stats db in
         let runs, bytes =
@@ -310,7 +339,13 @@ let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure
             (fun (r, b) (st : Database.rel_stats) -> (r + st.rs_runs, b + st.rs_bytes))
             (0, 0) storage
         in
-        (Database.cardinal db, Database.cardinal edb, List.length storage, runs, bytes, cache))
+        ( Database.cardinal db,
+          Database.cardinal edb,
+          List.length storage,
+          runs,
+          bytes,
+          cache,
+          chase ))
   in
   let heap_kb = (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / 1024 in
   Mutex.lock t.mutex;
@@ -343,7 +378,11 @@ let stats t ~connections ~total_connections ?(bytes_buffered = 0) ?(backpressure
       s_cache_evictions =
         (match cache with Some c -> c.Guarded_incr.Subgoal_cache.sc_evictions | None -> 0);
       s_heap_kb = heap_kb;
-      s_demand = (match t.backend with Materialized _ -> 0 | Demand _ -> 1);
+      s_demand = (match t.backend with Materialized _ | Chase _ -> 0 | Demand _ -> 1);
+      s_chase_mode = (match t.backend with Chase _ -> 1 | Materialized _ | Demand _ -> 0);
+      s_chase_nulls = (match chase with Some c -> c.Chase_mat.st_nulls | None -> 0);
+      s_chase_derivations =
+        (match chase with Some c -> c.Chase_mat.st_derivations | None -> 0);
       s_role = role;
       s_replicas_connected = replicas_connected;
       s_replication_lag_epochs = replication_lag;

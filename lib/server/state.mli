@@ -30,6 +30,7 @@ type t
 type backend =
   | Materialized of Guarded_incr.Incr.t
   | Demand of Guarded_incr.Demand.t
+  | Chase of Guarded_incr.Chase_mat.t
 
 val create :
   ?pool:Guarded_par.Pool.t ->
@@ -50,7 +51,23 @@ val create_demand :
     subgoal cache, commits invalidate the cache per dependency
     component. Same locking discipline as {!create}. *)
 
+val create_chase :
+  ?pool:Guarded_par.Pool.t ->
+  ?limits:Guarded_chase.Engine.limits ->
+  ?queue_capacity:int ->
+  Theory.t ->
+  Database.t ->
+  t
+(** Finite-chase serving: the restricted chase of the database is
+    materialized and queries are answered from it directly, bypassing
+    the Datalog translation (see {!Guarded_incr.Chase_mat}). Same
+    locking discipline as {!create}; no journal, so no followers.
+    @raise Guarded_incr.Chase_mat.Nonterminating when the initial
+    chase exceeds its derivation budget. *)
+
 val demand_mode : t -> bool
+
+val chase_mode : t -> bool
 
 val of_materialization :
   ?queue_capacity:int -> ?journal_max_bytes:int -> ?epoch:int -> Guarded_incr.Incr.t -> t

@@ -46,6 +46,9 @@ type stats = {
   s_cache_evictions : int;
   s_heap_kb : int;
   s_demand : int;
+  s_chase_mode : int;
+  s_chase_nulls : int;
+  s_chase_derivations : int;
   s_role : int;
   s_replicas_connected : int;
   s_replication_lag_epochs : int;
@@ -138,6 +141,11 @@ let stats_fields =
       fun s v -> { s with s_cache_evictions = v } );
     ("heap_kb", (fun s -> s.s_heap_kb), fun s v -> { s with s_heap_kb = v });
     ("demand", (fun s -> s.s_demand), fun s v -> { s with s_demand = v });
+    ("chase_mode", (fun s -> s.s_chase_mode), fun s v -> { s with s_chase_mode = v });
+    ("chase_nulls", (fun s -> s.s_chase_nulls), fun s v -> { s with s_chase_nulls = v });
+    ( "chase_derivations",
+      (fun s -> s.s_chase_derivations),
+      fun s v -> { s with s_chase_derivations = v } );
     ("role", (fun s -> s.s_role), fun s v -> { s with s_role = v });
     ( "replicas_connected",
       (fun s -> s.s_replicas_connected),
@@ -175,6 +183,9 @@ let zero_stats =
     s_cache_evictions = 0;
     s_heap_kb = 0;
     s_demand = 0;
+    s_chase_mode = 0;
+    s_chase_nulls = 0;
+    s_chase_derivations = 0;
     s_role = 0;
     s_replicas_connected = 0;
     s_replication_lag_epochs = 0;

@@ -70,6 +70,14 @@
     mode [cache_hits]/[cache_misses]/[cache_evictions] are monotone
     across a connection's lifetime.
 
+    The finite-chase serving keys: [chase_mode] (1 when the server
+    materializes the chase itself instead of a Datalog translation,
+    else 0), [chase_nulls] (gauge: distinct labeled nulls resident in
+    the served chase) and [chase_derivations] (monotone: chase
+    derivations performed since startup, across re-chases and
+    incremental continuations). All three are zero outside chase
+    mode.
+
     The event-loop counters describe the reactor that owns every
     connection: [connections_open] (gauge: descriptors currently
     registered, equals [connections]), [bytes_buffered] (gauge: bytes
@@ -153,6 +161,9 @@ type stats = {
   s_cache_evictions : int;  (** entries evicted by commits (aggregate) *)
   s_heap_kb : int;  (** current major-heap size, kilobytes *)
   s_demand : int;  (** 1 when serving demand-driven, else 0 *)
+  s_chase_mode : int;  (** 1 when serving the materialized chase, else 0 *)
+  s_chase_nulls : int;  (** distinct labeled nulls resident in the chase *)
+  s_chase_derivations : int;  (** chase derivations since startup (monotone) *)
   s_role : int;  (** 0 = primary, 1 = replica *)
   s_replicas_connected : int;  (** followers streaming this journal *)
   s_replication_lag_epochs : int;  (** epochs behind the primary; 0 on a primary *)

@@ -12,17 +12,21 @@
 #   - serve replicas: the 0/1/2-replica sweep drains to lag 0 with
 #     zero failures and replica answers agreeing with the primary;
 #   - ingest: binary LOAD stages a >=100k-fact EDB >=5x faster than
-#     the equivalent +fact. text stream, with equal resulting EDBs.
+#     the equivalent +fact. text stream, with equal resulting EDBs;
+#   - analyze: the acyclicity deciders classify every termination-zoo
+#     chain per its ground truth with verified certificates, and
+#     finite-chase serving agrees with the translation backend across
+#     an update schedule.
 #
 # Usage: scripts/perf_gate.sh [BASELINE.json]
 #
-# The baseline defaults to BENCH_9.json (the first recording that
-# carries the replica sweep; against older baselines the new sections
-# are reported and ignored). The recording is left in current.json for
-# inspection.
+# The baseline defaults to BENCH_10.json (the first recording that
+# carries the analyze section; against older baselines the new
+# sections are reported and ignored). The recording is left in
+# current.json for inspection.
 set -euo pipefail
 
-BASELINE="${1:-BENCH_9.json}"
+BASELINE="${1:-BENCH_10.json}"
 [ -f "$BASELINE" ] || { echo "perf_gate: baseline $BASELINE not found"; exit 2; }
 
 dune build
@@ -42,13 +46,17 @@ dune exec test/test_main.exe -- test server
 # verbs, bootstrap equivalence, the 110-schedule cluster oracle and
 # the kill-primary/promote oracles.
 dune exec test/test_main.exe -- test repl
+# The termination-analysis suite: decider certificates vs the zoo
+# ground truth, the certified-implies-saturating prover property, and
+# the 110-schedule chase-serving-vs-translation oracle.
+dune exec test/test_main.exe -- test analysis
 
 # Re-record the tracked sections (sequential and 2-domain legs, like
 # the committed baseline) and gate: >2x wall-clock plus 0.25s slack, or
 # >2x allocation/heap plus 64MB slack, on any section fails the build.
 dune exec bench/main.exe -- \
   --json current.json --domains 1,2 \
-  fig2 thm1 thm2 thm5 sat incr serve ingest demand joins micro \
+  fig2 thm1 thm2 thm5 sat incr serve ingest demand analyze joins micro \
   | tee current.out
 dune exec bench/regress.exe -- "$BASELINE" current.json
 
@@ -68,5 +76,9 @@ grep -q "serve replica check: ok" current.out \
   || { echo "perf_gate: serve replica check line missing"; exit 1; }
 grep -q "ingest speedup check: ok" current.out \
   || { echo "perf_gate: ingest speedup check line missing"; exit 1; }
+grep -q "analyze decider check: ok" current.out \
+  || { echo "perf_gate: analyze decider check line missing"; exit 1; }
+grep -q "analyze serving check: ok" current.out \
+  || { echo "perf_gate: analyze serving check line missing"; exit 1; }
 
 echo "perf gate: OK (baseline $BASELINE)"

@@ -12,7 +12,13 @@
 # lag, redirects writes, and takes over via PROMOTE after the primary
 # is killed.
 #
-# Usage: scripts/server_smoke.sh [DOMAINS] [materialized|demand|repl]
+# In chase mode (`chase`) the smoke serves an existential theory whose
+# finite chase is materialized directly (no Datalog translation):
+# null-valued relations answer 0 (certain answers), additions continue
+# the chase, deletions re-chase, snapshots are refused, and the
+# chase_* STATS gauges track the resident nulls and derivations.
+#
+# Usage: scripts/server_smoke.sh [DOMAINS] [materialized|demand|repl|chase]
 set -euo pipefail
 
 # 0 means "the sequential CI leg": serve without a pool (--domains 1).
@@ -20,8 +26,8 @@ DOMAINS="${1:-1}"
 [ "$DOMAINS" = 0 ] && DOMAINS=1
 MODE="${2:-materialized}"
 case "$MODE" in
-  materialized|demand|repl) ;;
-  *) echo "usage: server_smoke.sh [DOMAINS] [materialized|demand|repl]"; exit 2 ;;
+  materialized|demand|repl|chase) ;;
+  *) echo "usage: server_smoke.sh [DOMAINS] [materialized|demand|repl|chase]"; exit 2 ;;
 esac
 # The prebuilt binary: two dune exec instances (the backgrounded
 # server and the client calls) would contend on dune's lock.
@@ -40,6 +46,88 @@ e(a, b).
 e(b, c).
 e(c, d).
 EOF
+
+if [ "$MODE" = chase ]; then
+  # Finite-chase serving: an existential theory (each company gets an
+  # invented lead), served from the materialized chase itself.
+  cat > "$WORK/org.rules" <<'EOF'
+company(X) -> exists L. lead(L, X).
+lead(L, X) -> staffed(X).
+EOF
+  cat > "$WORK/org.db" <<'EOF'
+company(acme).
+company(blix).
+EOF
+
+  $GUARDED listen "$WORK/org.rules" "$WORK/org.db" \
+    --socket "$SOCK" --chase --domains "$DOMAINS" 2> "$WORK/listen.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.2
+  done
+  [ -S "$SOCK" ] || { echo "chase server did not come up"; cat "$WORK/listen.log"; exit 1; }
+
+  cstat() { # cstat KEY
+    $GUARDED client --socket "$SOCK" -e STATS | awk -v key="$1" '$1 == key { print $2 }'
+  }
+
+  # The chase-mode STATS keys, and the mode flags: chase on, demand off.
+  for key in chase_mode chase_nulls chase_derivations; do
+    cstat "$key" | grep -q . || { echo "STATS missing key $key"; exit 1; }
+  done
+  [ "$(cstat chase_mode)" = 1 ] || { echo "chase_mode != 1"; exit 1; }
+  [ "$(cstat demand)" = 0 ] || { echo "demand flag set in chase mode"; exit 1; }
+  [ "$(cstat chase_nulls)" = 2 ] \
+    || { echo "expected 2 resident nulls, got $(cstat chase_nulls)"; exit 1; }
+  [ "$(cstat chase_derivations)" -gt 0 ] || { echo "no chase derivations"; exit 1; }
+
+  # Certain answers: staffed holds for both companies, lead is
+  # null-valued throughout and must answer 0.
+  $GUARDED client --socket "$SOCK" -e "? staffed" | head -1 | grep -qx "ANSWERS 2" \
+    || { echo "expected 2 staffed answers"; exit 1; }
+  $GUARDED client --socket "$SOCK" -e "? lead" | head -1 | grep -qx "ANSWERS 0" \
+    || { echo "null-valued lead tuples leaked into answers"; exit 1; }
+  # A CQ may join through the nulls but still projects constants only.
+  $GUARDED client --socket "$SOCK" -e "?? lead(L, X), company(X) -> q(X)." \
+    | head -1 | grep -qx "ANSWERS 2" \
+    || { echo "CQ through the invented lead failed"; exit 1; }
+
+  # An addition continues the chase (a fresh null for the new company)...
+  D0=$(cstat chase_derivations)
+  $GUARDED client --socket "$SOCK" --exec="+company(corp)." --exec=COMMIT \
+    | grep -q "^COMMITTED" || { echo "chase commit failed"; exit 1; }
+  $GUARDED client --socket "$SOCK" -e "? staffed" | head -1 | grep -qx "ANSWERS 3" \
+    || { echo "addition not chased"; exit 1; }
+  [ "$(cstat chase_nulls)" = 3 ] \
+    || { echo "expected 3 nulls after the addition, got $(cstat chase_nulls)"; exit 1; }
+  [ "$(cstat chase_derivations)" -gt "$D0" ] \
+    || { echo "chase_derivations did not grow on a continuation"; exit 1; }
+
+  # ...and a deletion re-chases the shrunk EDB.
+  $GUARDED client --socket "$SOCK" --exec="-company(acme)." --exec=COMMIT \
+    | grep -q "^COMMITTED" || { echo "chase deletion commit failed"; exit 1; }
+  $GUARDED client --socket "$SOCK" -e "? staffed" | head -1 | grep -qx "ANSWERS 2" \
+    || { echo "deletion not re-chased"; exit 1; }
+
+  # Snapshots have no wire format for nulls: refused in chase mode.
+  SNAP_REPLY=$($GUARDED client --socket "$SOCK" -e "SNAPSHOT" || true)
+  echo "$SNAP_REPLY" | head -1 | grep -q "^ERROR" \
+    || { echo "snapshot accepted in chase mode: $SNAP_REPLY"; exit 1; }
+
+  kill -TERM "$SERVER_PID"
+  for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -0 "$SERVER_PID" 2>/dev/null \
+    && { echo "chase server did not stop on SIGTERM"; cat "$WORK/listen.log"; exit 1; }
+  grep -q "server stopped" "$WORK/listen.log" \
+    || { echo "no clean shutdown logged"; cat "$WORK/listen.log"; exit 1; }
+
+  echo "server smoke: OK (domains=$DOMAINS, mode=$MODE)"
+  exit 0
+fi
 
 if [ "$MODE" = repl ]; then
   # Primary/replica smoke: bootstrap over the wire, converge, redirect

@@ -1,0 +1,431 @@
+(** Tests for the chase-termination analysis: the acyclicity deciders
+    (weak ⊆ joint ⊆ super-weak) with their certificates and
+    counterexamples, the bounded-chase prover, the analyze report, the
+    theory zoo properties, and the chase serving backend. *)
+
+open Guarded_core
+open Guarded_analysis
+module Generator = Guarded_gen.Generator
+module Delta = Guarded_incr.Delta
+module Incr = Guarded_incr.Incr
+module Chase_mat = Guarded_incr.Chase_mat
+module Wire = Guarded_server.Wire
+module State = Guarded_server.State
+module Server = Guarded_server.Server
+module Client = Guarded_server.Client
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let wa_acyclic = function Acyclic.Wa_acyclic _ -> true | Acyclic.Wa_cyclic _ -> false
+let ja_acyclic = function Acyclic.Ja_acyclic _ -> true | Acyclic.Ja_cyclic _ -> false
+let swa_acyclic = function Acyclic.Swa_acyclic _ -> true | Acyclic.Swa_cyclic _ -> false
+
+(* The ladder: four theories separating the classes.
+   - [t_wa] is weakly acyclic.
+   - [t_ja] has a special cycle through positions but nulls cannot feed
+     the cycle (they would need a [d] fact): jointly acyclic, not
+     weakly.
+   - [t_swa] conflates positions that the place-level Move keeps apart
+     through the unifiability check (distinct constants [c1]/[c2]):
+     super-weakly acyclic, not jointly.
+   - [t_div] has a genuinely divergent chase. *)
+let t_wa = "a(X) -> exists Y. r(X, Y)."
+let t_ja = "a(X) -> exists Z. c(X, Z). c(X, Y), d(Y) -> a(Y)."
+let t_swa = "a(X) -> exists Z. r(X, Z, c1). r(X, Y, c2) -> a(Y)."
+let t_div = "s(X) -> exists Y. r(X, Y). r(X, Y) -> s(Y)."
+
+let test_decider_ladder () =
+  let sigma = Helpers.theory t_wa in
+  check cbool "t_wa weak" true (wa_acyclic (Acyclic.weak sigma));
+  check cbool "t_wa joint" true (ja_acyclic (Acyclic.joint sigma));
+  check cbool "t_wa super-weak" true (swa_acyclic (Acyclic.super_weak sigma));
+  let sigma = Helpers.theory t_ja in
+  check cbool "t_ja not weak" false (wa_acyclic (Acyclic.weak sigma));
+  check cbool "t_ja joint" true (ja_acyclic (Acyclic.joint sigma));
+  check cbool "t_ja super-weak" true (swa_acyclic (Acyclic.super_weak sigma));
+  let sigma = Helpers.theory t_swa in
+  check cbool "t_swa not weak" false (wa_acyclic (Acyclic.weak sigma));
+  check cbool "t_swa not joint" false (ja_acyclic (Acyclic.joint sigma));
+  check cbool "t_swa super-weak" true (swa_acyclic (Acyclic.super_weak sigma));
+  let sigma = Helpers.theory t_div in
+  check cbool "t_div not weak" false (wa_acyclic (Acyclic.weak sigma));
+  check cbool "t_div not joint" false (ja_acyclic (Acyclic.joint sigma));
+  check cbool "t_div not super-weak" false (swa_acyclic (Acyclic.super_weak sigma))
+
+let test_certificates_verify () =
+  List.iter
+    (fun text ->
+      let sigma = Helpers.theory text in
+      check cbool
+        (Fmt.str "weak verdict of %S verifies" text)
+        true
+        (Acyclic.verify_weak sigma (Acyclic.weak sigma));
+      check cbool
+        (Fmt.str "joint verdict of %S verifies" text)
+        true
+        (Acyclic.verify_joint sigma (Acyclic.joint sigma));
+      check cbool
+        (Fmt.str "super-weak verdict of %S verifies" text)
+        true
+        (Acyclic.verify_super_weak sigma (Acyclic.super_weak sigma)))
+    [ t_wa; t_ja; t_swa; t_div ]
+
+let test_bogus_witnesses_rejected () =
+  let sigma = Helpers.theory t_wa in
+  (* An empty rank list misses every position. *)
+  check cbool "empty WA certificate rejected" false
+    (Acyclic.verify_weak sigma (Acyclic.Wa_acyclic []));
+  (* A flat-zero ranking breaks strictness on the special edge. *)
+  (match Acyclic.weak sigma with
+  | Acyclic.Wa_acyclic ranks ->
+    check cbool "flat WA certificate rejected" false
+      (Acyclic.verify_weak sigma (Acyclic.Wa_acyclic (List.map (fun (p, _) -> (p, 0)) ranks)))
+  | Acyclic.Wa_cyclic _ -> Alcotest.fail "t_wa should be weakly acyclic");
+  (* A made-up cycle is not in the graph. *)
+  check cbool "fake WA cycle rejected" false
+    (Acyclic.verify_weak sigma (Acyclic.Wa_cyclic [ ((("a", 0, 1), 0), Acyclic.Special) ]));
+  check cbool "empty JA cycle rejected" false
+    (Acyclic.verify_joint sigma (Acyclic.Ja_cyclic []));
+  check cbool "fake SWA cycle rejected" false
+    (Acyclic.verify_super_weak sigma (Acyclic.Swa_cyclic [ 0; 0 ]))
+
+let test_wa_counterexample_shape () =
+  match Acyclic.weak (Helpers.theory t_div) with
+  | Acyclic.Wa_acyclic _ -> Alcotest.fail "t_div should not be weakly acyclic"
+  | Acyclic.Wa_cyclic cycle ->
+    check cbool "cycle nonempty" true (cycle <> []);
+    check cbool "cycle has a special edge" true
+      (List.exists (fun (_, k) -> k = Acyclic.Special) cycle)
+
+let test_prover_ladder () =
+  List.iter
+    (fun text ->
+      let p = Prover.prove (Helpers.theory text) in
+      check cbool (Fmt.str "%S saturates" text) true
+        (p.Prover.outcome = Guarded_chase.Engine.Saturated))
+    [ t_wa; t_ja; t_swa ];
+  let p = Prover.prove ~budgets:[ 50; 500 ] (Helpers.theory t_div) in
+  check cbool "t_div exhausts the budget" true
+    (p.Prover.outcome = Guarded_chase.Engine.Bounded);
+  check cint "last budget reported" 500 p.Prover.budget;
+  check cbool "offending cycle reported" true (p.Prover.rule_cycle <> [])
+
+(* The restricted chase trivially saturates on the fully-populated
+   critical instance (every existential head is pre-satisfied) — the
+   reason the prover defaults to the distinct-constants instance. *)
+let test_probe_instance_matters () =
+  let sigma = Helpers.theory t_div in
+  let p = Prover.prove ~db:(Prover.critical_instance sigma) sigma in
+  check cbool "critical instance saturates trivially" true
+    (p.Prover.outcome = Guarded_chase.Engine.Saturated);
+  check cint "no derivations" 0 p.Prover.derivations;
+  let p = Prover.prove ~budgets:[ 100 ] ~db:(Helpers.db "s(a).") sigma in
+  check cbool "a real seed diverges" true (p.Prover.outcome = Guarded_chase.Engine.Bounded)
+
+let test_critical_instance () =
+  let sigma = Helpers.theory "a(X), b(Y) -> r(X, Y)." in
+  let db = Prover.critical_instance sigma in
+  (* One fresh constant, no theory constants: every relation holds all
+     tuples over {crit}: a(crit), b(crit), r(crit,crit). *)
+  check cint "three facts" 3 (Database.cardinal db);
+  let sigma = Helpers.theory "a(X) -> r(X, c)." in
+  let db = Prover.critical_instance sigma in
+  (* constants {c, crit}: a/1 gets 2 tuples, r/2 gets 4. *)
+  check cint "six facts" 6 (Database.cardinal db)
+
+let test_report_verdicts () =
+  let r = Report.analyze (Helpers.theory t_wa) in
+  check cbool "t_wa terminating" true
+    (r.Report.termination = Report.Terminating Report.Weakly_acyclic);
+  let r = Report.analyze (Helpers.theory t_ja) in
+  check cbool "t_ja jointly" true
+    (r.Report.termination = Report.Terminating Report.Jointly_acyclic);
+  let r = Report.analyze (Helpers.theory t_swa) in
+  check cbool "t_swa super-weakly" true
+    (r.Report.termination = Report.Terminating Report.Super_weakly_acyclic);
+  let r = Report.analyze ~budgets:[ 50 ] (Helpers.theory t_div) in
+  check cbool "t_div unknown" true (r.Report.termination = Report.Unknown);
+  check cbool "t_div probe bounded" true
+    (match r.Report.probe with
+    | Some p -> p.Prover.outcome = Guarded_chase.Engine.Bounded
+    | None -> false);
+  (* The report pretty-printer ends in the verdict line the CLI greps. *)
+  let text = Fmt.str "%a" Report.pp (Report.analyze (Helpers.theory t_wa)) in
+  check cbool "report has termination line" true
+    (List.exists
+       (fun l -> String.length l >= 12 && String.sub l 0 12 = "termination:")
+       (String.split_on_char '\n' text))
+
+(* A theory whose chase is finite but bigger than the first budget:
+   escalation must kick in. *)
+let test_prover_escalation () =
+  let chain n =
+    Buffer.contents
+      (let b = Buffer.create 256 in
+       for i = 0 to n - 1 do
+         Buffer.add_string b (Fmt.str "r%d(X) -> exists Y. r%d(Y). " i (i + 1))
+       done;
+       b)
+  in
+  let sigma = Helpers.theory (chain 30) in
+  let p = Prover.prove ~budgets:[ 2; 2000 ] ~db:(Helpers.db "r0(a).") sigma in
+  check cbool "escalated to saturation" true
+    (p.Prover.outcome = Guarded_chase.Engine.Saturated);
+  check cint "bigger budget used" 2000 p.Prover.budget;
+  check cint "thirty nulls invented" 30 p.Prover.nulls
+
+(* ------------------------------------------------------------------ *)
+(* Zoo properties: the deciders against known ground truth             *)
+
+(* WA ⊆ JA ⊆ SWA on every sample; and on zoo samples, whose termination
+   class is known by construction, all three deciders agree with it. *)
+let containment_holds sigma =
+  let wa = wa_acyclic (Acyclic.weak sigma) in
+  let ja = ja_acyclic (Acyclic.joint sigma) in
+  let swa = swa_acyclic (Acyclic.super_weak sigma) in
+  ((not wa) || ja) && ((not ja) || swa)
+
+let prop_zoo_ground_truth =
+  QCheck.Test.make ~count:60 ~name:"zoo: deciders match the chain's ground truth"
+    Generator.arbitrary_zoo (fun z ->
+      let sigma = z.Generator.zoo_theory in
+      let wa = wa_acyclic (Acyclic.weak sigma) in
+      let ja = ja_acyclic (Acyclic.joint sigma) in
+      let swa = swa_acyclic (Acyclic.super_weak sigma) in
+      containment_holds sigma
+      && Acyclic.verify_weak sigma (Acyclic.weak sigma)
+      && Acyclic.verify_joint sigma (Acyclic.joint sigma)
+      && Acyclic.verify_super_weak sigma (Acyclic.super_weak sigma)
+      && if z.Generator.zoo_cyclic then (not wa) && (not ja) && not swa
+         else wa && ja && swa)
+
+let prop_guarded_containment =
+  QCheck.Test.make ~count:80 ~name:"random guarded: WA => JA => SWA, certificates verify"
+    Generator.arbitrary_guarded (fun sigma ->
+      containment_holds sigma
+      && Acyclic.verify_weak sigma (Acyclic.weak sigma)
+      && Acyclic.verify_joint sigma (Acyclic.joint sigma)
+      && Acyclic.verify_super_weak sigma (Acyclic.super_weak sigma))
+
+(* Soundness: a decider certificate promises termination on EVERY
+   database, so the bounded prover must reach Saturated — both on its
+   default probe instance and on a random zoo seed. *)
+let prop_certified_saturates =
+  QCheck.Test.make ~count:40 ~name:"zoo: decider-certified theories saturate under the prover"
+    (QCheck.make
+       ~print:(fun (z, d) ->
+         Fmt.str "%s@.---@.%a" (Theory.to_string z.Generator.zoo_theory) Database.pp d)
+       QCheck.Gen.(pair (QCheck.gen Generator.arbitrary_zoo) Generator.gen_zoo_db))
+    (fun (z, seed) ->
+      let sigma = z.Generator.zoo_theory in
+      (not (swa_acyclic (Acyclic.super_weak sigma)))
+      || (Prover.prove sigma).Prover.outcome = Guarded_chase.Engine.Saturated
+         && (Prover.prove ~db:seed sigma).Prover.outcome = Guarded_chase.Engine.Saturated)
+
+(* ------------------------------------------------------------------ *)
+(* The chase-serving oracle: chase backend = translation backend       *)
+
+let sort_tuples = List.sort (List.compare Term.compare)
+
+let zoo_relations z = List.init z.Generator.zoo_len (fun i -> Fmt.str "z%d" i) @ [ "zsink" ]
+
+(* One round of queries against both sides. Relation and pattern
+   queries are certain answers on both backends and must agree exactly
+   (also as [Database.equal] fact sets); conjunctive queries may join
+   through nulls on the chase side, so the translation's answers are
+   only contained in the chase's. *)
+let chase_agree z chase reference =
+  let ok = ref true in
+  List.iter
+    (fun rel ->
+      let c_ans = sort_tuples (Chase_mat.answers chase ~query:rel) in
+      let r_ans = sort_tuples (Incr.answers reference ~query:rel) in
+      if c_ans <> r_ans then ok := false;
+      let as_db tuples = Database.of_atoms (List.map (fun tp -> Atom.make rel tp) tuples) in
+      if not (Database.equal (as_db c_ans) (as_db r_ans)) then ok := false;
+      if rel <> "zsink" then
+        List.iteri
+          (fun i c ->
+            if i < 2 then begin
+              let pattern = [ Term.Const c; Term.Var "P" ] in
+              let c_ans = Chase_mat.pattern_answers chase ~rel ~pattern in
+              let r_ans =
+                let pat = Atom.make rel pattern in
+                let out = ref [] in
+                Database.iter_candidates (Incr.db reference) pat (fun fact ->
+                    if Atom.ann fact = [] then
+                      match Subst.match_atom Subst.empty pat fact with
+                      | Some _ when List.for_all Term.is_const (Atom.args fact) ->
+                        out := Atom.args fact :: !out
+                      | _ -> ());
+                List.sort_uniq (List.compare Term.compare) !out
+              in
+              if c_ans <> r_ans then ok := false
+            end)
+          Generator.constants)
+    (zoo_relations z);
+  (* A join along the chain passes through invented nulls on the chase
+     side: the translation's certain answers must be contained. *)
+  if z.Generator.zoo_len >= 2 then begin
+    let body =
+      [
+        Atom.make "z0" [ Term.Var "X"; Term.Var "Y" ];
+        Atom.make "z1" [ Term.Var "Y"; Term.Var "W" ];
+      ]
+    in
+    let c_ans = Chase_mat.cq_answers chase ~body ~answer_vars:[ "X" ] in
+    let r_ans = Incr.cq_answers reference ~body ~answer_vars:[ "X" ] in
+    if not (List.for_all (fun t -> List.mem t c_ans) r_ans) then ok := false
+  end;
+  !ok
+
+let gen_zoo_delta len =
+  QCheck.Gen.(
+    let gen_zoo_fact =
+      int_range 0 (len - 1) >>= fun i ->
+      pair Generator.gen_const Generator.gen_const >|= fun (c1, c2) ->
+      Atom.make (Fmt.str "z%d" i) [ c1; c2 ]
+    in
+    pair (list_size (int_range 0 3) gen_zoo_fact) (list_size (int_range 0 2) gen_zoo_fact)
+    >|= fun (additions, deletions) -> Delta.of_lists ~additions ~deletions)
+
+let gen_chase_case =
+  QCheck.Gen.(
+    QCheck.gen Generator.arbitrary_zoo >>= fun z ->
+    let z = { z with Generator.zoo_cyclic = false } in
+    let z =
+      { z with Generator.zoo_theory = Generator.zoo_chain ~len:z.Generator.zoo_len ~cyclic:false () }
+    in
+    Generator.gen_zoo_db >>= fun db0 ->
+    list_size (int_range 1 4) (gen_zoo_delta z.Generator.zoo_len) >|= fun deltas ->
+    (z, db0, deltas))
+
+let arbitrary_chase_case =
+  QCheck.make
+    ~print:(fun (z, d, deltas) ->
+      Fmt.str "%s@.---@.%a@.---@.%a"
+        (Theory.to_string z.Generator.zoo_theory)
+        Database.pp d
+        (Fmt.list ~sep:(Fmt.any "@.---@.") Delta.pp)
+        deltas)
+    gen_chase_case
+
+let run_chase_case (z, db0, deltas) =
+  let sigma = z.Generator.zoo_theory in
+  let st = State.create_chase sigma db0 in
+  let served = Guarded_translate.Pipeline.serving_program sigma in
+  let reference = Incr.materialize served.Guarded_translate.Pipeline.served_program db0 in
+  let ok = ref true in
+  let round () =
+    State.with_backend st (function
+      | State.Materialized _ | State.Demand _ -> ok := false
+      | State.Chase c -> if not (chase_agree z c reference) then ok := false)
+  in
+  round ();
+  List.iter
+    (fun delta ->
+      (match State.commit st delta with Ok _ -> () | Error _ -> ok := false);
+      ignore (Incr.apply reference delta);
+      round ())
+    deltas;
+  State.shutdown st;
+  !ok
+
+let prop_chase_oracle =
+  QCheck.Test.make ~count:110 ~name:"chase serving = translation serving (zoo schedules)"
+    arbitrary_chase_case run_chase_case
+
+(* ------------------------------------------------------------------ *)
+(* Chase serving over a real socket                                    *)
+
+let test_chase_server_socket () =
+  let sock = Filename.temp_file "guarded" ".sock" in
+  Sys.remove sock;
+  (* Every course gets an invented lecturer; [staffed] projects the
+     constant back out, so certain answers flow through the nulls. *)
+  let sigma = Helpers.theory "c(X) -> exists L. t(L, X). t(L, X) -> staffed(X)." in
+  let st = State.create_chase sigma (Helpers.db "c(a). c(b).") in
+  let srv = Server.listen st (Server.Unix_socket sock) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = Client.connect (Server.address srv) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          check cint "both courses staffed" 2 (List.length (Client.query c "staffed"));
+          check cint "lecturer tuples are null-valued" 0 (List.length (Client.query c "t"));
+          let s1 = Client.stats c in
+          check cint "chase_mode flag" 1 s1.Wire.s_chase_mode;
+          check cint "not demand mode" 0 s1.Wire.s_demand;
+          check cint "two nulls resident" 2 s1.Wire.s_chase_nulls;
+          check cbool "derivations counted" true (s1.Wire.s_chase_derivations > 0);
+          (* An additions-only commit continues the chase. *)
+          (match
+             Client.commit c (Delta.of_lists ~additions:[ Helpers.atom "c(d)" ] ~deletions:[])
+           with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m);
+          check cint "new course staffed" 3 (List.length (Client.query c "staffed"));
+          let s2 = Client.stats c in
+          check cint "a fresh null" 3 s2.Wire.s_chase_nulls;
+          check cbool "derivations grew" true
+            (s2.Wire.s_chase_derivations > s1.Wire.s_chase_derivations);
+          (* A deletion forces a full re-chase. *)
+          (match
+             Client.commit c (Delta.of_lists ~additions:[] ~deletions:[ Helpers.atom "c(a)" ])
+           with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m);
+          check cint "course dropped" 2 (List.length (Client.query c "staffed"));
+          (* Materialized-mode features are refused, not crashed. *)
+          (match Client.request c (Wire.Snapshot (Some "/tmp/never-written.snap")) with
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "snapshot accepted in chase mode");
+          (match Client.request c (Wire.Follow 0) with
+          | Wire.Failed _ -> ()
+          | _ -> Alcotest.fail "follow accepted in chase mode");
+          (* CQs join through the resident nulls. *)
+          match Client.request_line c "?? t(L, X), c(X) -> q(X)." with
+          | Wire.Answers tuples -> check cint "cq through nulls" 2 (List.length tuples)
+          | _ -> Alcotest.fail "expected cq answers"))
+
+(* A divergent theory must be refused at commit time with the state
+   intact, and at creation time with an exception. *)
+let test_chase_budget_refusal () =
+  let sigma = Helpers.theory t_div in
+  (match Chase_mat.create ~limits:{ Guarded_chase.Engine.max_derivations = 100; max_depth = None } sigma (Helpers.db "s(a).") with
+  | _ -> Alcotest.fail "divergent creation should raise"
+  | exception Chase_mat.Nonterminating _ -> ());
+  (* Terminating on the empty database; the first real seed diverges. *)
+  let cm =
+    Chase_mat.create
+      ~limits:{ Guarded_chase.Engine.max_derivations = 100; max_depth = None }
+      sigma (Database.create ())
+  in
+  (match Chase_mat.apply cm (Delta.of_lists ~additions:[ Helpers.atom "s(a)" ] ~deletions:[]) with
+  | _ -> Alcotest.fail "divergent batch should raise"
+  | exception Chase_mat.Nonterminating _ -> ());
+  check cint "state unchanged after refusal" 0 (Database.cardinal (Chase_mat.db cm));
+  check cint "edb unchanged after refusal" 0 (Database.cardinal (Chase_mat.edb cm))
+
+let suite =
+  [
+    Alcotest.test_case "decider ladder" `Quick test_decider_ladder;
+    Alcotest.test_case "certificates verify" `Quick test_certificates_verify;
+    Alcotest.test_case "bogus witnesses rejected" `Quick test_bogus_witnesses_rejected;
+    Alcotest.test_case "WA counterexample shape" `Quick test_wa_counterexample_shape;
+    Alcotest.test_case "prover ladder" `Quick test_prover_ladder;
+    Alcotest.test_case "probe instance matters" `Quick test_probe_instance_matters;
+    Alcotest.test_case "critical instance" `Quick test_critical_instance;
+    Alcotest.test_case "report verdicts" `Quick test_report_verdicts;
+    Alcotest.test_case "prover escalation" `Quick test_prover_escalation;
+    Alcotest.test_case "server: chase-mode socket session" `Quick test_chase_server_socket;
+    Alcotest.test_case "chase budget refusal" `Quick test_chase_budget_refusal;
+    QCheck_alcotest.to_alcotest prop_zoo_ground_truth;
+    QCheck_alcotest.to_alcotest prop_guarded_containment;
+    QCheck_alcotest.to_alcotest prop_certified_saturates;
+    QCheck_alcotest.to_alcotest prop_chase_oracle;
+  ]

@@ -167,6 +167,75 @@ let test_partial_ground_budget () =
   | exception Grounding.Budget_exceeded _ -> ()
   | _ -> Alcotest.fail "budget not enforced"
 
+(* ------------------------------------------------------------------ *)
+(* Dependency graph: rule components and reachability edge cases       *)
+
+module Depgraph = Guarded_datalog.Depgraph
+
+let component_of components rule_text =
+  let r = Helpers.rule rule_text in
+  List.find_opt (fun comp -> List.exists (Rule.equal r) (Theory.rules comp)) components
+
+let test_rule_components_multihead () =
+  (* The multi-head rule derives [a] and [b] together, so their
+     relations are identified into one component even though no body
+     ever joins them; every rule deriving [a] rides along, and the
+     downstream [c] rule comes strictly after (dependencies first). *)
+  let sigma = Helpers.theory "s(X) -> a(X), b(X). b(X) -> a(X). a(X) -> c(X)." in
+  let components = Depgraph.rule_components sigma in
+  check cint "two nonempty components" 2 (List.length components);
+  (match (component_of components "s(X) -> a(X), b(X).", component_of components "b(X) -> a(X).") with
+  | Some c1, Some c2 -> check cbool "multi-head heads share a component" true (c1 == c2)
+  | _ -> Alcotest.fail "rules not found in any component");
+  (match (component_of components "b(X) -> a(X).", component_of components "a(X) -> c(X).") with
+  | Some c1, Some c2 -> check cbool "downstream rule separate" true (c1 != c2)
+  | _ -> Alcotest.fail "rules not found in any component");
+  (match List.map Theory.rules components with
+  | [ first; second ] ->
+    check cint "a/b component first" 2 (List.length first);
+    check cint "c component second" 1 (List.length second)
+  | _ -> Alcotest.fail "expected two components");
+  (* Concatenating the components gives back every rule. *)
+  check cint "no rule lost" (Theory.size sigma)
+    (List.fold_left (fun n c -> n + Theory.size c) 0 components)
+
+let test_rule_components_self_loop () =
+  (* A self-recursive rule keeps its relation's whole bucket — base
+     rules deriving the same head share the component — while rules of
+     downstream relations come after. *)
+  let sigma = Helpers.theory "a(X) -> p(X). p(X), e(X, Y) -> p(Y). p(X) -> q(X)." in
+  let components = Depgraph.rule_components sigma in
+  check cint "two nonempty components" 2 (List.length components);
+  match List.map Theory.rules components with
+  | [ p_rules; [ q_rule ] ] ->
+    check cint "both p-deriving rules together" 2 (List.length p_rules);
+    check cbool "self-loop rule present" true
+      (List.exists (Rule.equal (Helpers.rule "p(X), e(X, Y) -> p(Y).")) p_rules);
+    check cbool "q strictly after its dependency" true
+      (Rule.equal q_rule (Helpers.rule "p(X) -> q(X)."))
+  | _ -> Alcotest.fail "expected [p-component; q-component]"
+
+let test_reachable_from () =
+  let sigma =
+    Helpers.theory "e(X, Y) -> tc(X, Y). tc(X, Y), tc(Y, Z) -> tc(X, Z). p(X) -> q(X)."
+  in
+  let g = Depgraph.of_theory sigma in
+  let set keys = Depgraph.Rel_set.of_list keys in
+  (* Inclusive of the targets themselves, transitively closed. *)
+  let r = Depgraph.reachable_from g (set [ ("tc", 0, 2) ]) in
+  check cbool "target included" true (Depgraph.Rel_set.mem ("tc", 0, 2) r);
+  check cbool "edb dependency included" true (Depgraph.Rel_set.mem ("e", 0, 2) r);
+  check cbool "unrelated relation excluded" false (Depgraph.Rel_set.mem ("q", 0, 1) r);
+  check cbool "unrelated body excluded" false (Depgraph.Rel_set.mem ("p", 0, 1) r);
+  (* A target the program never mentions is still reflexively reachable
+     and pulls in nothing else. *)
+  let r = Depgraph.reachable_from g (set [ ("ghost", 0, 1) ]) in
+  check cbool "absent target reflexive" true (Depgraph.Rel_set.mem ("ghost", 0, 1) r);
+  check cint "absent target pulls nothing" 1 (Depgraph.Rel_set.cardinal r);
+  (* An EDB-only target has no predecessors: itself alone. *)
+  let r = Depgraph.reachable_from g (set [ ("e", 0, 2) ]) in
+  check cint "edb target alone" 1 (Depgraph.Rel_set.cardinal r)
+
 let suite =
   [
     Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
@@ -184,4 +253,7 @@ let suite =
     Alcotest.test_case "partial grounding is guarded" `Quick test_partial_ground;
     Alcotest.test_case "partial grounding preserves answers" `Quick test_partial_ground_preserves_answers;
     Alcotest.test_case "partial grounding budget" `Quick test_partial_ground_budget;
+    Alcotest.test_case "rule components: multi-head" `Quick test_rule_components_multihead;
+    Alcotest.test_case "rule components: self-loop" `Quick test_rule_components_self_loop;
+    Alcotest.test_case "reachable_from edge cases" `Quick test_reachable_from;
   ]

@@ -217,7 +217,7 @@ let run_demand_case ?pool (sigma, db0, deltas) =
   let ok = ref true in
   let round () =
     State.with_backend st (function
-      | State.Materialized _ -> ok := false
+      | State.Materialized _ | State.Chase _ -> ok := false
       | State.Demand d -> if not (agree_round d reference) then ok := false)
   in
   round ();

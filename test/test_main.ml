@@ -25,4 +25,5 @@ let () =
       ("server", Test_server.suite);
       ("repl", Test_repl.suite);
       ("demand", Test_demand.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -134,6 +134,9 @@ let test_wire_responses () =
           s_cache_evictions = 19;
           s_heap_kb = 20;
           s_demand = 1;
+          s_chase_mode = 0;
+          s_chase_nulls = 24;
+          s_chase_derivations = 25;
           s_role = 1;
           s_replicas_connected = 2;
           s_replication_lag_epochs = 3;
